@@ -1,0 +1,703 @@
+//! The gapped model array: ALEX's leaf node structure.
+//!
+//! ALEX (ref. [11]) departs from the paper's read-only RMI in one key way:
+//! data nodes store records in a *gapped array* — an array larger than its
+//! contents, with gaps left at model-predicted positions — so inserts can
+//! usually be satisfied by dropping the record into a nearby gap instead of
+//! shifting half the node. A per-node linear model predicts the slot of a
+//! key directly; an exponential search around the prediction corrects it.
+//!
+//! Following ALEX, gap slots hold a *copy* of a neighboring key (the
+//! predecessor's, or the successor's for leading gaps): the key array is
+//! then totally sorted and search needs no bitmap checks; only the
+//! occupancy bitmap distinguishes a real entry from a copy.
+
+use sosd_core::Key;
+
+/// Fraction of slots occupied after a (re)build.
+const BUILD_DENSITY: f64 = 0.7;
+/// Expansion (or split, decided by the tree layer) triggers above this.
+const MAX_DENSITY: f64 = 0.85;
+/// Smallest capacity we bother allocating.
+const MIN_CAPACITY: usize = 16;
+
+/// A fixed-size occupancy bitmap.
+#[derive(Debug, Clone)]
+struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    fn new(bits: usize) -> Self {
+        Bitmap { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// First set bit at or after `i`, if any.
+    fn next_set(&self, i: usize, len: usize) -> Option<usize> {
+        if i >= len {
+            return None;
+        }
+        let mut w = i / 64;
+        let mut word = self.words[w] & (!0u64 << (i % 64));
+        loop {
+            if word != 0 {
+                let bit = w * 64 + word.trailing_zeros() as usize;
+                return (bit < len).then_some(bit);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            word = self.words[w];
+        }
+    }
+
+    /// Last set bit at or before `i`, if any.
+    fn prev_set(&self, i: usize) -> Option<usize> {
+        let mut w = i / 64;
+        let shift = 63 - (i % 64);
+        let mut word = self.words[w] << shift >> shift;
+        loop {
+            if word != 0 {
+                return Some(w * 64 + 63 - word.leading_zeros() as usize);
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = self.words[w];
+        }
+    }
+
+    /// First *clear* bit in `lo..hi`, scanning forward.
+    fn next_clear(&self, lo: usize, hi: usize) -> Option<usize> {
+        (lo..hi).find(|&i| !self.get(i))
+    }
+
+    /// Last clear bit in `lo..hi`, scanning backward.
+    fn prev_clear(&self, lo: usize, hi: usize) -> Option<usize> {
+        (lo..hi).rev().find(|&i| !self.get(i))
+    }
+}
+
+/// A linear model mapping keys to slot positions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LinearModel {
+    pub slope: f64,
+    pub intercept: f64,
+    /// Key the model is anchored at (deltas keep `f64` exact for huge keys).
+    pub anchor: u64,
+}
+
+impl LinearModel {
+    /// Least-squares fit of `rank -> target slot` over sorted keys, scaled
+    /// so the last key maps near `target_max`.
+    pub(crate) fn fit<K: Key>(keys: &[K], target_max: f64) -> LinearModel {
+        let n = keys.len();
+        if n == 0 {
+            return LinearModel { slope: 0.0, intercept: 0.0, anchor: 0 };
+        }
+        let anchor = keys[0].to_u64();
+        if n == 1 {
+            return LinearModel { slope: 0.0, intercept: 0.0, anchor };
+        }
+        // Least squares over (dx_i, y_i) with y_i = i * target_max / (n-1).
+        let scale = target_max / (n - 1) as f64;
+        let mut sx = 0.0f64;
+        let mut sy = 0.0f64;
+        let mut sxx = 0.0f64;
+        let mut sxy = 0.0f64;
+        for (i, &k) in keys.iter().enumerate() {
+            let x = (k.to_u64() - anchor) as f64;
+            let y = i as f64 * scale;
+            sx += x;
+            sy += y;
+            sxx += x * x;
+            sxy += x * y;
+        }
+        let nf = n as f64;
+        let denom = nf * sxx - sx * sx;
+        let slope = if denom.abs() < f64::EPSILON { 0.0 } else { ((nf * sxy - sx * sy) / denom).max(0.0) };
+        let intercept = (sy - slope * sx) / nf;
+        LinearModel { slope, intercept, anchor }
+    }
+
+    #[inline]
+    pub(crate) fn predict<K: Key>(&self, key: K) -> f64 {
+        let dx = key.to_u64() as i128 - self.anchor as i128;
+        self.slope * dx as f64 + self.intercept
+    }
+}
+
+/// The outcome of [`GappedArray::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Key was new and placed.
+    Inserted,
+    /// Key existed; previous payload returned.
+    Replaced(u64),
+    /// The node is at maximum density; the caller must expand or split.
+    NeedsExpand,
+}
+
+/// ALEX's gapped model array over sorted unique keys.
+#[derive(Debug, Clone)]
+pub struct GappedArray<K: Key> {
+    keys: Vec<K>,
+    payloads: Vec<u64>,
+    occ: Bitmap,
+    num_entries: usize,
+    model: LinearModel,
+    /// Lifetime count of slots shifted by inserts (cost observability: ALEX
+    /// uses expected shifts in its cost model).
+    shifts: u64,
+}
+
+impl<K: Key> GappedArray<K> {
+    /// An empty node.
+    pub fn new() -> Self {
+        Self::from_sorted(&[], &[])
+    }
+
+    /// Model-based bulk build from sorted unique keys at `BUILD_DENSITY`.
+    ///
+    /// Each key is placed at its model-predicted slot (pushed right past
+    /// collisions), exactly ALEX's bulk-load placement: gaps end up where
+    /// the model expects future keys.
+    pub fn from_sorted(keys: &[K], payloads: &[u64]) -> Self {
+        assert_eq!(keys.len(), payloads.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be sorted and unique");
+        let n = keys.len();
+        let capacity = ((n as f64 / BUILD_DENSITY) as usize).max(MIN_CAPACITY);
+        let model = LinearModel::fit(keys, (capacity - 1) as f64);
+
+        let mut ga = GappedArray {
+            keys: vec![K::MIN_KEY; capacity],
+            payloads: vec![0; capacity],
+            occ: Bitmap::new(capacity),
+            num_entries: n,
+            model,
+            shifts: 0,
+        };
+        let mut next_free = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            let pred = ga.model.predict(k).round().max(0.0) as usize;
+            // Keep placement feasible: enough room for the remaining keys.
+            let slot = pred.max(next_free).min(capacity - (n - i));
+            ga.keys[slot] = k;
+            ga.payloads[slot] = payloads[i];
+            ga.occ.set(slot);
+            // Backfill the gap copies behind this entry.
+            for g in next_free..slot {
+                ga.keys[g] = if next_free == 0 && g < slot {
+                    // Leading gaps copy the successor.
+                    k
+                } else {
+                    ga.keys[g.saturating_sub(1)]
+                };
+            }
+            next_free = slot + 1;
+        }
+        // Trailing gaps copy the last key.
+        if n > 0 {
+            for g in next_free..capacity {
+                ga.keys[g] = ga.keys[g - 1];
+            }
+        }
+        ga
+    }
+
+    /// Number of real entries.
+    pub fn len(&self) -> usize {
+        self.num_entries
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.num_entries == 0
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Occupied fraction.
+    pub fn density(&self) -> f64 {
+        self.num_entries as f64 / self.capacity() as f64
+    }
+
+    /// Whether the next insert should expand/split instead.
+    pub fn at_max_density(&self) -> bool {
+        (self.num_entries + 1) as f64 > MAX_DENSITY * self.capacity() as f64
+    }
+
+    /// Total slots shifted by inserts so far.
+    pub fn shift_count(&self) -> u64 {
+        self.shifts
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<K>()
+            + self.payloads.capacity() * 8
+            + self.occ.words.capacity() * 8
+    }
+
+    /// Smallest real key, if any.
+    pub fn min_key(&self) -> Option<K> {
+        self.occ.next_set(0, self.capacity()).map(|i| self.keys[i])
+    }
+
+    /// First slot whose key is `>= key` (may be a gap copy), found by
+    /// exponential search around the model prediction — ALEX's lookup path.
+    #[inline]
+    fn lower_bound_slot(&self, key: K) -> usize {
+        let cap = self.capacity();
+        if cap == 0 {
+            return 0;
+        }
+        let hint = (self.model.predict(key).round().max(0.0) as usize).min(cap - 1);
+        // Exponential widening until the window brackets `key`.
+        let mut lo;
+        let mut hi;
+        if self.keys[hint] < key {
+            let mut step = 1usize;
+            lo = hint + 1;
+            hi = hint + 1;
+            while hi < cap && self.keys[hi] < key {
+                lo = hi + 1;
+                hi = (hi + step).min(cap);
+                step *= 2;
+            }
+            if hi < cap {
+                hi += 1; // make exclusive end cover the bracketing slot
+            }
+        } else {
+            let mut step = 1usize;
+            hi = hint;
+            lo = hint;
+            while lo > 0 && self.keys[lo - 1] >= key {
+                hi = lo;
+                lo = lo.saturating_sub(step);
+                step *= 2;
+            }
+        }
+        lo + self.keys[lo..hi.min(cap)].partition_point(|&k| k < key)
+    }
+
+    /// Payload of `key`, if present.
+    pub fn get(&self, key: K) -> Option<u64> {
+        let slot = self.lower_bound_slot(key);
+        // Advance over gap copies to the first real entry.
+        let real = self.occ.next_set(slot, self.capacity())?;
+        (self.keys[real] == key).then(|| self.payloads[real])
+    }
+
+    /// Smallest real entry with key `>= key`.
+    pub fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        let slot = self.lower_bound_slot(key);
+        let real = self.occ.next_set(slot, self.capacity())?;
+        Some((self.keys[real], self.payloads[real]))
+    }
+
+    /// Sum payloads of real entries with `lo <= key < hi`.
+    pub fn range_sum(&self, lo: K, hi: K) -> u64 {
+        if hi <= lo || self.num_entries == 0 {
+            return 0;
+        }
+        let mut slot = self.lower_bound_slot(lo);
+        let mut sum = 0u64;
+        while let Some(real) = self.occ.next_set(slot, self.capacity()) {
+            if self.keys[real] >= hi {
+                break;
+            }
+            sum = sum.wrapping_add(self.payloads[real]);
+            slot = real + 1;
+        }
+        sum
+    }
+
+    /// All real entries in key order.
+    pub fn entries(&self) -> Vec<(K, u64)> {
+        let mut out = Vec::with_capacity(self.num_entries);
+        let mut slot = 0usize;
+        while let Some(real) = self.occ.next_set(slot, self.capacity()) {
+            out.push((self.keys[real], self.payloads[real]));
+            slot = real + 1;
+        }
+        out
+    }
+
+    /// Model-based insert: place at (or shift toward) the corrected
+    /// position. Returns [`InsertOutcome::NeedsExpand`] without inserting
+    /// when the node is at maximum density.
+    pub fn insert(&mut self, key: K, payload: u64) -> InsertOutcome {
+        let cap = self.capacity();
+        let slot = self.lower_bound_slot(key);
+        // `j`: first real entry with key >= `key` (insertion goes before it).
+        let j = self.occ.next_set(slot, cap);
+        if let Some(j) = j {
+            if self.keys[j] == key {
+                return InsertOutcome::Replaced(std::mem::replace(&mut self.payloads[j], payload));
+            }
+        }
+        if self.at_max_density() {
+            return InsertOutcome::NeedsExpand;
+        }
+
+        // `i_prev`: last real entry with key < `key`. All slots in
+        // (i_prev, j) are gaps.
+        let i_prev = match j {
+            Some(j) if j > 0 => self.occ.prev_set(j - 1),
+            Some(_) => None,
+            None => self.occ.prev_set(cap - 1),
+        };
+        let gap_lo = i_prev.map_or(0, |p| p + 1);
+        let gap_hi = j.unwrap_or(cap);
+
+        if gap_lo < gap_hi {
+            // A gap exists exactly where the key belongs: take its right
+            // edge so no copies to its right need fixing.
+            let g = gap_hi - 1;
+            self.place(g, key, payload);
+            return InsertOutcome::Inserted;
+        }
+
+        // No gap at the insertion point (gap_lo == gap_hi == j): shift
+        // toward the nearest free slot.
+        let ins = gap_hi; // the slot the key should occupy after shifting
+        let right_free = self.occ.next_clear(ins, cap);
+        let left_free = if ins > 0 { self.occ.prev_clear(0, ins) } else { None };
+        match (left_free, right_free) {
+            (Some(l), Some(r)) => {
+                if ins - l <= r - ins + 1 {
+                    self.shift_left(l, ins, key, payload);
+                } else {
+                    self.shift_right(ins, r, key, payload);
+                }
+            }
+            (Some(l), None) => self.shift_left(l, ins, key, payload),
+            (None, Some(r)) => self.shift_right(ins, r, key, payload),
+            (None, None) => return InsertOutcome::NeedsExpand, // full
+        }
+        InsertOutcome::Inserted
+    }
+
+    /// Write a new entry into gap slot `g` and fix copies to its left.
+    fn place(&mut self, g: usize, key: K, payload: u64) {
+        debug_assert!(!self.occ.get(g));
+        self.keys[g] = key;
+        self.payloads[g] = payload;
+        self.occ.set(g);
+        self.num_entries += 1;
+        // Gap copies left of `g` down to the previous real entry must stay
+        // <= key; they hold the predecessor's value already, so only leading
+        // gaps (which copy the successor) can now exceed: they copied the
+        // old successor which is >= key... they must be lowered to `key`.
+        let mut i = g;
+        while i > 0 && !self.occ.get(i - 1) && self.keys[i - 1] > key {
+            self.keys[i - 1] = key;
+            i -= 1;
+        }
+    }
+
+    /// Move entries `[ins, r)` one slot right into free slot `r`; place the
+    /// new entry at `ins`.
+    fn shift_right(&mut self, ins: usize, r: usize, key: K, payload: u64) {
+        for i in (ins..r).rev() {
+            self.keys[i + 1] = self.keys[i];
+            self.payloads[i + 1] = self.payloads[i];
+            if self.occ.get(i) {
+                self.occ.set(i + 1);
+            } else {
+                self.occ.clear(i + 1);
+            }
+        }
+        self.shifts += (r - ins) as u64;
+        self.occ.clear(ins);
+        self.place(ins, key, payload);
+    }
+
+    /// Move entries `(l, ins)` one slot left into free slot `l`; place the
+    /// new entry at `ins - 1`.
+    fn shift_left(&mut self, l: usize, ins: usize, key: K, payload: u64) {
+        for i in l..ins - 1 {
+            self.keys[i] = self.keys[i + 1];
+            self.payloads[i] = self.payloads[i + 1];
+            if self.occ.get(i + 1) {
+                self.occ.set(i);
+            } else {
+                self.occ.clear(i);
+            }
+        }
+        self.shifts += (ins - 1 - l) as u64;
+        self.occ.clear(ins - 1);
+        self.place(ins - 1, key, payload);
+    }
+
+    /// Remove `key`, returning its payload.
+    ///
+    /// Deletion is O(1) in a gapped array: clearing the occupancy bit turns
+    /// the slot into a gap whose retained key value is its own valid copy
+    /// (the array stays totally sorted), exactly ALEX's delete path.
+    pub fn remove(&mut self, key: K) -> Option<u64> {
+        let slot = self.lower_bound_slot(key);
+        let real = self.occ.next_set(slot, self.capacity())?;
+        if self.keys[real] != key {
+            return None;
+        }
+        self.occ.clear(real);
+        self.num_entries -= 1;
+        Some(self.payloads[real])
+    }
+
+    /// Rebuild at `BUILD_DENSITY` with a retrained model (ALEX's node
+    /// expansion).
+    pub fn expand(&mut self) {
+        let entries = self.entries();
+        let keys: Vec<K> = entries.iter().map(|e| e.0).collect();
+        let payloads: Vec<u64> = entries.iter().map(|e| e.1).collect();
+        *self = GappedArray::from_sorted(&keys, &payloads);
+    }
+
+    /// Split into two halves by median rank (ALEX's sideways split),
+    /// consuming `self`. Both halves are rebuilt at `BUILD_DENSITY`.
+    pub fn split(self) -> (GappedArray<K>, GappedArray<K>) {
+        let entries = self.entries();
+        let mid = entries.len() / 2;
+        let (a, b) = entries.split_at(mid);
+        let build = |part: &[(K, u64)]| {
+            let keys: Vec<K> = part.iter().map(|e| e.0).collect();
+            let payloads: Vec<u64> = part.iter().map(|e| e.1).collect();
+            GappedArray::from_sorted(&keys, &payloads)
+        };
+        (build(a), build(b))
+    }
+
+    /// Check structural invariants (tests only): keys totally sorted, real
+    /// entries strictly increasing, gap copies equal to a neighbor.
+    pub fn check_invariants(&self) {
+        assert!(self.keys.windows(2).all(|w| w[0] <= w[1]), "slot keys must be non-decreasing");
+        let mut prev: Option<K> = None;
+        let mut count = 0;
+        for i in 0..self.capacity() {
+            if self.occ.get(i) {
+                if let Some(p) = prev {
+                    assert!(p < self.keys[i], "real keys must be strictly increasing");
+                }
+                prev = Some(self.keys[i]);
+                count += 1;
+            }
+        }
+        assert_eq!(count, self.num_entries, "occupancy count mismatch");
+    }
+}
+
+impl<K: Key> Default for GappedArray<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn bitmap_next_prev() {
+        let mut b = Bitmap::new(200);
+        b.set(3);
+        b.set(130);
+        assert_eq!(b.next_set(0, 200), Some(3));
+        assert_eq!(b.next_set(4, 200), Some(130));
+        assert_eq!(b.next_set(131, 200), None);
+        assert_eq!(b.prev_set(199), Some(130));
+        assert_eq!(b.prev_set(129), Some(3));
+        assert_eq!(b.prev_set(2), None);
+        b.clear(3);
+        assert_eq!(b.next_set(0, 200), Some(130));
+    }
+
+    #[test]
+    fn bulk_build_round_trips() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 7 + 1).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k * 2).collect();
+        let ga = GappedArray::from_sorted(&keys, &payloads);
+        ga.check_invariants();
+        assert_eq!(ga.len(), 1000);
+        assert!(ga.density() > 0.6 && ga.density() <= 0.75, "density {}", ga.density());
+        for &k in &keys {
+            assert_eq!(ga.get(k), Some(k * 2));
+        }
+        assert_eq!(ga.get(0), None);
+        assert_eq!(ga.get(2), None);
+    }
+
+    #[test]
+    fn model_predictions_leave_few_shifts() {
+        // Near-linear keys: model-based inserts should rarely shift.
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 13).collect();
+        let payloads = vec![0u64; keys.len()];
+        let mut ga = GappedArray::from_sorted(&keys, &payloads);
+        for i in 0..500u64 {
+            let k = i * 260 + 1; // lands between existing keys
+            if ga.at_max_density() {
+                ga.expand();
+            }
+            assert_eq!(ga.insert(k, 1), InsertOutcome::Inserted);
+        }
+        ga.check_invariants();
+        let shifts_per_insert = ga.shift_count() as f64 / 500.0;
+        assert!(shifts_per_insert < 4.0, "too many shifts: {shifts_per_insert}");
+    }
+
+    #[test]
+    fn insert_matches_btreemap() {
+        let mut ga = GappedArray::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let k = splitmix(i) % 2_000;
+            let v = splitmix(i ^ 0xff);
+            if ga.at_max_density() {
+                ga.expand();
+            }
+            let out = ga.insert(k, v);
+            let prev = oracle.insert(k, v);
+            match prev {
+                Some(p) => assert_eq!(out, InsertOutcome::Replaced(p), "insert {i} key {k}"),
+                None => assert_eq!(out, InsertOutcome::Inserted, "insert {i} key {k}"),
+            }
+        }
+        ga.check_invariants();
+        assert_eq!(ga.len(), oracle.len());
+        for k in 0..2_000u64 {
+            assert_eq!(ga.get(k), oracle.get(&k).copied(), "get {k}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_and_range_sum_match_oracle() {
+        let mut ga = GappedArray::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..3_000u64 {
+            let k = splitmix(i) % 100_000;
+            if ga.at_max_density() {
+                ga.expand();
+            }
+            ga.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for probe in (0..100_500u64).step_by(271) {
+            let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(ga.lower_bound_entry(probe), expect, "lb {probe}");
+        }
+        for i in 0..30u64 {
+            let lo = splitmix(i) % 100_000;
+            let hi = lo + splitmix(i * 3) % 40_000;
+            let expect: u64 = oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+            assert_eq!(ga.range_sum(lo, hi), expect, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn needs_expand_at_max_density() {
+        let mut ga = GappedArray::<u64>::new();
+        let mut k = 0u64;
+        loop {
+            match ga.insert(k, 0) {
+                InsertOutcome::Inserted => k += 1,
+                InsertOutcome::NeedsExpand => break,
+                InsertOutcome::Replaced(_) => unreachable!(),
+            }
+        }
+        let before = ga.capacity();
+        ga.expand();
+        assert!(ga.capacity() > before, "expand must grow capacity");
+        assert_eq!(ga.insert(k, 0), InsertOutcome::Inserted);
+        ga.check_invariants();
+    }
+
+    #[test]
+    fn split_partitions_by_rank() {
+        let keys: Vec<u64> = (0..1001).map(|i| i * 3).collect();
+        let payloads = vec![7u64; keys.len()];
+        let ga = GappedArray::from_sorted(&keys, &payloads);
+        let (a, b) = ga.split();
+        a.check_invariants();
+        b.check_invariants();
+        assert_eq!(a.len() + b.len(), 1001);
+        assert!(a.len().abs_diff(b.len()) <= 1);
+        let a_max = a.entries().last().unwrap().0;
+        let b_min = b.min_key().unwrap();
+        assert!(a_max < b_min);
+    }
+
+    #[test]
+    fn empty_array_behaves() {
+        let ga = GappedArray::<u64>::new();
+        assert!(ga.is_empty());
+        assert_eq!(ga.get(5), None);
+        assert_eq!(ga.lower_bound_entry(0), None);
+        assert_eq!(ga.range_sum(0, u64::MAX), 0);
+        assert_eq!(ga.min_key(), None);
+    }
+
+    #[test]
+    fn descending_then_ascending_inserts() {
+        let mut ga = GappedArray::new();
+        for k in (0..500u64).rev() {
+            if ga.at_max_density() {
+                ga.expand();
+            }
+            assert_eq!(ga.insert(k * 2, k), InsertOutcome::Inserted);
+        }
+        for k in 0..500u64 {
+            if ga.at_max_density() {
+                ga.expand();
+            }
+            assert_eq!(ga.insert(k * 2 + 1, k), InsertOutcome::Inserted);
+        }
+        ga.check_invariants();
+        assert_eq!(ga.len(), 1000);
+        for k in 0..1000u64 {
+            assert!(ga.get(k).is_some(), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn extreme_keys_do_not_overflow_model() {
+        let keys: Vec<u64> = vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX];
+        let payloads = vec![1, 2, 3, 4, 5];
+        let ga = GappedArray::from_sorted(&keys, &payloads);
+        ga.check_invariants();
+        for (&k, &v) in keys.iter().zip(&payloads) {
+            assert_eq!(ga.get(k), Some(v));
+        }
+        assert_eq!(ga.lower_bound_entry(2), Some((u64::MAX / 2, 3)));
+    }
+}

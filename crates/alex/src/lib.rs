@@ -1,0 +1,11 @@
+//! # sosd-alex
+//!
+//! An ALEX-style updatable adaptive learned index (Ding et al. — ref. [11]
+//! of the paper), the structure the paper's conclusion points to for "the
+//! next generation of learned index structures which supports writes".
+
+pub mod gapped;
+pub mod tree;
+
+pub use gapped::{GappedArray, InsertOutcome};
+pub use tree::{AlexTree, MAX_LEAF_ENTRIES};

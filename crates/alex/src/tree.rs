@@ -1,0 +1,501 @@
+//! The ALEX tree: a model-routed directory of gapped-array leaves.
+//!
+//! ALEX (ref. [11]) routes lookups through internal nodes whose linear
+//! models pick a child directly. This implementation keeps one such level: a
+//! linear model over the sorted leaf-boundary keys predicts the leaf index,
+//! and a measured error window corrects it — the same model-plus-bound
+//! pattern every learned structure in this workspace uses, so routing cost
+//! is comparable to one RMI stage. Leaves are [`GappedArray`]s: inserts are
+//! model-based, occasionally shifting toward a gap.
+//!
+//! Adaptivity follows ALEX's two escape hatches: a leaf that reaches its
+//! density limit *expands* in place (retraining its model) while it is
+//! small, and *splits sideways* into two leaves once it outgrows
+//! [`MAX_LEAF_ENTRIES`]; splits retrain the root model over the new
+//! boundary set.
+
+use crate::gapped::{GappedArray, InsertOutcome, LinearModel};
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex};
+use sosd_core::{Capabilities, IndexKind, Key};
+
+/// Default maximum leaf size: a leaf that would expand beyond this many
+/// entries splits instead. Tune with [`AlexTree::with_max_leaf`].
+pub const MAX_LEAF_ENTRIES: usize = 8192;
+
+/// An ALEX-style updatable adaptive learned index.
+pub struct AlexTree<K: Key> {
+    /// `boundaries[i]` = smallest routable key of leaf `i`;
+    /// `boundaries[0] == K::MIN_KEY` so every key routes somewhere.
+    boundaries: Vec<K>,
+    leaves: Vec<GappedArray<K>>,
+    root_model: LinearModel,
+    /// Measured max |predicted leaf - actual leaf| over the boundaries.
+    root_err: usize,
+    len: usize,
+    splits: u64,
+    expansions: u64,
+    /// Split threshold: leaves at or above this size split instead of
+    /// expanding in place.
+    max_leaf_entries: usize,
+}
+
+impl<K: Key> Default for AlexTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key> AlexTree<K> {
+    /// An empty tree with a single empty leaf and the default leaf size.
+    pub fn new() -> Self {
+        Self::with_max_leaf(MAX_LEAF_ENTRIES)
+    }
+
+    /// An empty tree whose leaves split at `max_leaf_entries`. Bigger
+    /// leaves mean fewer root-level hops but costlier expansions and worse
+    /// local models on erratic data — ALEX's node-size tradeoff, swept by
+    /// the `ext04` ablation.
+    pub fn with_max_leaf(max_leaf_entries: usize) -> Self {
+        let mut t = AlexTree {
+            boundaries: vec![K::MIN_KEY],
+            leaves: vec![GappedArray::new()],
+            root_model: LinearModel::fit::<K>(&[], 0.0),
+            root_err: 0,
+            len: 0,
+            splits: 0,
+            expansions: 0,
+            max_leaf_entries: max_leaf_entries.max(64),
+        };
+        t.retrain_root();
+        t
+    }
+
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Sideways splits performed so far.
+    pub fn split_count(&self) -> u64 {
+        self.splits
+    }
+
+    /// In-place leaf expansions performed so far.
+    pub fn expansion_count(&self) -> u64 {
+        self.expansions
+    }
+
+    /// Total slots shifted by leaf inserts (ALEX's insert-cost signal).
+    pub fn shift_count(&self) -> u64 {
+        self.leaves.iter().map(GappedArray::shift_count).sum()
+    }
+
+    /// Measured root-model error window (leaves).
+    pub fn root_error(&self) -> usize {
+        self.root_err
+    }
+
+    /// Rebuild every leaf at build density with a retrained model and
+    /// retrain the root — reclaims the gaps left by deletes (ALEX's node
+    /// contraction, done eagerly for the whole tree).
+    pub fn compact(&mut self) {
+        for leaf in &mut self.leaves {
+            leaf.expand(); // rebuild at BUILD_DENSITY (shrinks after deletes)
+        }
+        self.retrain_root();
+    }
+
+    fn retrain_root(&mut self) {
+        let n = self.boundaries.len();
+        self.root_model = LinearModel::fit(&self.boundaries, (n - 1) as f64);
+        let mut err = 0usize;
+        for (i, &b) in self.boundaries.iter().enumerate() {
+            let pred = self.root_model.predict(b).round().clamp(0.0, (n - 1) as f64) as usize;
+            err = err.max(pred.abs_diff(i));
+        }
+        self.root_err = err;
+    }
+
+    /// Leaf index whose domain contains `key`: model prediction corrected
+    /// within the measured error window.
+    #[inline]
+    fn route(&self, key: K) -> usize {
+        let n = self.boundaries.len();
+        let pred = self.root_model.predict(key).round().clamp(0.0, (n - 1) as f64) as usize;
+        let lo = pred.saturating_sub(self.root_err + 1);
+        let hi = (pred + self.root_err + 2).min(n);
+        // Floor search: last boundary <= key within the guaranteed window.
+        let w = &self.boundaries[lo..hi];
+        let i = lo + w.partition_point(|&b| b <= key);
+        i.saturating_sub(1).min(n - 1)
+    }
+
+    /// Insert into leaf `li`, expanding or splitting as needed.
+    fn insert_into_leaf(&mut self, mut li: usize, key: K, payload: u64) -> Option<u64> {
+        loop {
+            match self.leaves[li].insert(key, payload) {
+                InsertOutcome::Inserted => {
+                    self.len += 1;
+                    return None;
+                }
+                InsertOutcome::Replaced(prev) => return Some(prev),
+                InsertOutcome::NeedsExpand => {
+                    if self.leaves[li].len() < self.max_leaf_entries {
+                        self.leaves[li].expand();
+                        self.expansions += 1;
+                    } else {
+                        // Sideways split: replace leaf li with two halves.
+                        let old = std::mem::take(&mut self.leaves[li]);
+                        let (a, b) = old.split();
+                        let b_min = b.min_key().expect("split halves are non-empty");
+                        self.leaves[li] = a;
+                        self.leaves.insert(li + 1, b);
+                        self.boundaries.insert(li + 1, b_min);
+                        self.splits += 1;
+                        self.retrain_root();
+                        if key >= b_min {
+                            li += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Validate routing and leaf invariants (tests only; O(n)).
+    pub fn check_invariants(&self) {
+        assert_eq!(self.boundaries.len(), self.leaves.len());
+        assert_eq!(self.boundaries[0], K::MIN_KEY);
+        assert!(self.boundaries.windows(2).all(|w| w[0] < w[1]), "boundaries must be sorted");
+        let mut total = 0usize;
+        for (i, leaf) in self.leaves.iter().enumerate() {
+            leaf.check_invariants();
+            total += leaf.len();
+            for (k, _) in leaf.entries() {
+                assert!(k >= self.boundaries[i], "leaf {i} holds key below its boundary");
+                if i + 1 < self.boundaries.len() {
+                    assert!(k < self.boundaries[i + 1], "leaf {i} holds key beyond its domain");
+                }
+                assert_eq!(self.route(k), i, "routing must find the owning leaf for {k}");
+            }
+        }
+        assert_eq!(total, self.len);
+    }
+}
+
+impl<K: Key> BulkLoad<K> for AlexTree<K> {
+    /// Chunk the sorted input into half-max-size leaves (so bulk-loaded
+    /// leaves have room to grow before splitting), each model-built at
+    /// build density, then fit the root over the boundaries.
+    fn bulk_load(keys: &[K], payloads: &[u64]) -> Self {
+        assert_eq!(keys.len(), payloads.len());
+        if keys.is_empty() {
+            return AlexTree::new();
+        }
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "bulk_load requires strictly sorted keys");
+        let mut boundaries = Vec::new();
+        let mut leaves = Vec::new();
+        let per_leaf = MAX_LEAF_ENTRIES / 2;
+        for start in (0..keys.len()).step_by(per_leaf) {
+            let end = (start + per_leaf).min(keys.len());
+            boundaries.push(if start == 0 { K::MIN_KEY } else { keys[start] });
+            leaves.push(GappedArray::from_sorted(&keys[start..end], &payloads[start..end]));
+        }
+        let mut t = AlexTree {
+            boundaries,
+            leaves,
+            root_model: LinearModel::fit::<K>(&[], 0.0),
+            root_err: 0,
+            len: keys.len(),
+            splits: 0,
+            expansions: 0,
+            max_leaf_entries: MAX_LEAF_ENTRIES,
+        };
+        t.retrain_root();
+        t
+    }
+}
+
+impl<K: Key> DynamicOrderedIndex<K> for AlexTree<K> {
+    fn name(&self) -> &'static str {
+        "ALEX"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.boundaries.capacity() * std::mem::size_of::<K>()
+            + self.leaves.iter().map(GappedArray::size_bytes).sum::<usize>()
+    }
+
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
+        let li = self.route(key);
+        self.insert_into_leaf(li, key, payload)
+    }
+
+    /// O(1) per ALEX's delete path: the owning leaf clears the slot's
+    /// occupancy bit. Leaves are not contracted on shrink (ALEX's optional
+    /// contraction is future work here); a delete-heavy leaf simply keeps
+    /// extra gaps, which later inserts reuse.
+    fn remove(&mut self, key: K) -> Option<u64> {
+        let li = self.route(key);
+        let removed = self.leaves[li].remove(key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        self.leaves[self.route(key)].get(key)
+    }
+
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        let mut li = self.route(key);
+        loop {
+            if let Some(e) = self.leaves[li].lower_bound_entry(key) {
+                return Some(e);
+            }
+            li += 1;
+            if li >= self.leaves.len() {
+                return None;
+            }
+        }
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let mut sum = 0u64;
+        let mut li = self.route(lo);
+        while li < self.leaves.len() && self.boundaries[li] < hi {
+            sum = sum.wrapping_add(self.leaves[li].range_sum(lo, hi));
+            li += 1;
+        }
+        sum
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_tree_answers_nothing() {
+        let t = AlexTree::<u64>::new();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.lower_bound_entry(0), None);
+        assert_eq!(t.range_sum(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn inserts_split_into_multiple_leaves() {
+        let mut t = AlexTree::new();
+        for i in 0..50_000u64 {
+            t.insert(splitmix(i), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 50_000);
+        assert!(t.num_leaves() > 1, "50k inserts must split leaves");
+        assert!(t.split_count() > 0);
+        for i in (0..50_000u64).step_by(97) {
+            assert_eq!(t.get(splitmix(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        let mut t = AlexTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..40_000u64 {
+            let k = splitmix(i) % 15_000;
+            let v = splitmix(i ^ 0x1234);
+            assert_eq!(t.insert(k, v), oracle.insert(k, v), "insert #{i} key {k}");
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), oracle.len());
+        for k in 0..15_000u64 {
+            assert_eq!(t.get(k), oracle.get(&k).copied(), "get {k}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_crosses_leaves() {
+        let keys: Vec<u64> = (0..20_000).map(|i| i * 5).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let t = AlexTree::bulk_load(&keys, &payloads);
+        assert!(t.num_leaves() > 1);
+        let oracle: BTreeMap<u64, u64> = keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+        for probe in (0..100_010u64).step_by(487) {
+            let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(t.lower_bound_entry(probe), expect, "lb {probe}");
+        }
+        assert_eq!(t.lower_bound_entry(u64::MAX), None);
+    }
+
+    #[test]
+    fn range_sum_matches_oracle() {
+        let mut t = AlexTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..20_000u64 {
+            let k = splitmix(i) % 500_000;
+            t.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for i in 0..50u64 {
+            let lo = splitmix(i * 7) % 500_000;
+            let hi = lo + splitmix(i * 3) % 100_000;
+            let expect: u64 = oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+            assert_eq!(t.range_sum(lo, hi), expect, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn bulk_load_then_mixed_ops() {
+        let keys: Vec<u64> = (0..100_000).map(|i| i * 10).collect();
+        let payloads = vec![1u64; keys.len()];
+        let mut t = AlexTree::bulk_load(&keys, &payloads);
+        let mut oracle: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, 1)).collect();
+        t.check_invariants();
+        for i in 0..30_000u64 {
+            let k = splitmix(i) % 1_000_000;
+            assert_eq!(t.insert(k, 2), oracle.insert(k, 2), "insert {k}");
+        }
+        assert_eq!(t.len(), oracle.len());
+        for probe in (0..1_000_000u64).step_by(7919) {
+            assert_eq!(t.get(probe), oracle.get(&probe).copied(), "get {probe}");
+        }
+    }
+
+    #[test]
+    fn sequential_append_workload() {
+        // The classic ALEX stress: monotonically increasing inserts hammer
+        // the rightmost leaf.
+        let mut t = AlexTree::new();
+        for k in 0..30_000u64 {
+            assert_eq!(t.insert(k, k), None);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 30_000);
+        assert!(t.num_leaves() > 1);
+        assert_eq!(t.range_sum(0, 30_000), (0..30_000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn model_based_inserts_shift_little_on_uniform_data() {
+        let keys: Vec<u64> = (0..50_000).map(|i| i * 1000).collect();
+        let payloads = vec![0u64; keys.len()];
+        let mut t = AlexTree::bulk_load(&keys, &payloads);
+        for i in 0..10_000u64 {
+            t.insert(splitmix(i) % 50_000_000, 1);
+        }
+        let shifts_per_insert = t.shift_count() as f64 / 10_000.0;
+        assert!(shifts_per_insert < 8.0, "gapped inserts shifting too much: {shifts_per_insert}");
+    }
+
+    #[test]
+    fn size_bytes_counts_leaves() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 2).collect();
+        let payloads = vec![0u64; keys.len()];
+        let t = AlexTree::bulk_load(&keys, &payloads);
+        // Gapped arrays intentionally over-allocate (1/density).
+        assert!(t.size_bytes() >= 10_000 * 16);
+    }
+
+    #[test]
+    fn u32_keys_supported() {
+        let mut t = AlexTree::<u32>::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..10_000u32 {
+            let k = (splitmix(i as u64) % 1_000_000) as u32;
+            let v = i as u64;
+            assert_eq!(t.insert(k, v), oracle.insert(k, v));
+        }
+        t.check_invariants();
+        for k in (0..1_000_000u32).step_by(3331) {
+            assert_eq!(t.get(k), oracle.get(&k).copied());
+        }
+    }
+    #[test]
+    fn remove_clears_slots_and_reuses_gaps() {
+        let keys: Vec<u64> = (0..20_000).map(|i| i * 4).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 3).collect();
+        let mut t = AlexTree::bulk_load(&keys, &payloads);
+        for i in 0..10_000u64 {
+            assert_eq!(t.remove(i * 8), Some(i * 8 + 3), "remove {i}");
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 10_000);
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(4), Some(7));
+        assert_eq!(t.lower_bound_entry(0), Some((4, 7)));
+        // Reinsert into the freed gaps; shifts should be rare.
+        let shifts_before = t.shift_count();
+        for i in 0..10_000u64 {
+            assert_eq!(t.insert(i * 8, i), None, "reinsert {i}");
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 20_000);
+        let shifts = t.shift_count() - shifts_before;
+        assert!(
+            (shifts as f64) / 10_000.0 < 1.0,
+            "reinserts into freed slots should barely shift: {shifts}"
+        );
+    }
+
+    #[test]
+    fn remove_matches_btreemap_interleaved() {
+        let mut t = AlexTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..30_000u64 {
+            let k = splitmix(i) % 8_000;
+            if i % 3 == 0 {
+                assert_eq!(t.remove(k), oracle.remove(&k), "remove {k}");
+            } else {
+                let v = splitmix(i ^ 0x77);
+                assert_eq!(t.insert(k, v), oracle.insert(k, v), "insert {k}");
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), oracle.len());
+        for k in 0..8_000u64 {
+            assert_eq!(t.get(k), oracle.get(&k).copied(), "get {k}");
+        }
+    }
+
+    #[test]
+    fn compact_shrinks_after_heavy_deletes() {
+        let keys: Vec<u64> = (0..50_000).map(|i| i * 2).collect();
+        let payloads = vec![9u64; keys.len()];
+        let mut t = AlexTree::bulk_load(&keys, &payloads);
+        for i in 0..45_000u64 {
+            t.remove(i * 2);
+        }
+        let before = t.size_bytes();
+        t.compact();
+        t.check_invariants();
+        assert!(t.size_bytes() < before / 2, "90% deletes must shrink the tree substantially");
+        assert_eq!(t.len(), 5_000);
+        assert_eq!(t.get(45_000 * 2), Some(9));
+        assert_eq!(t.lower_bound_entry(0), Some((90_000, 9)));
+    }
+
+}

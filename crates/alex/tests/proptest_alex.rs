@@ -1,0 +1,110 @@
+//! Property tests for the ALEX tree and its gapped arrays: arbitrary
+//! operation sequences must match `BTreeMap`, and structural invariants must
+//! survive any insert order.
+
+use proptest::prelude::*;
+use sosd_alex::{AlexTree, GappedArray};
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex};
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gapped_array_matches_btreemap(
+        ops in prop::collection::vec((0u64..2_000, any::<u64>()), 1..600),
+    ) {
+        let mut ga = GappedArray::new();
+        let mut oracle = BTreeMap::new();
+        for &(k, v) in &ops {
+            if ga.at_max_density() {
+                ga.expand();
+            }
+            let out = ga.insert(k, v);
+            let prev = oracle.insert(k, v);
+            match prev {
+                Some(p) => prop_assert_eq!(out, sosd_alex::gapped::InsertOutcome::Replaced(p)),
+                None => prop_assert_eq!(out, sosd_alex::gapped::InsertOutcome::Inserted),
+            }
+        }
+        ga.check_invariants();
+        prop_assert_eq!(ga.len(), oracle.len());
+        for (&k, &v) in &oracle {
+            prop_assert_eq!(ga.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn tree_matches_btreemap_with_extreme_keys(
+        ops in prop::collection::vec(
+            prop_oneof![
+                5 => (0u64..10_000, any::<u64>()),
+                1 => (any::<u64>(), any::<u64>()),
+                1 => (Just(0u64), any::<u64>()),
+                1 => (Just(u64::MAX), any::<u64>()),
+            ],
+            1..500,
+        ),
+    ) {
+        let mut t = AlexTree::new();
+        let mut oracle = BTreeMap::new();
+        for (j, &(k, v)) in ops.iter().enumerate() {
+            if j % 4 == 3 {
+                prop_assert_eq!(t.remove(k), oracle.remove(&k), "remove {}", k);
+            } else {
+                prop_assert_eq!(t.insert(k, v), oracle.insert(k, v), "key {}", k);
+            }
+        }
+        t.check_invariants();
+        for &(k, _) in &ops {
+            prop_assert_eq!(t.get(k), oracle.get(&k).copied());
+            let probe = k.saturating_add(1);
+            let want = oracle.range(probe..).next().map(|(&k2, &v2)| (k2, v2));
+            prop_assert_eq!(t.lower_bound_entry(probe), want);
+        }
+    }
+
+    #[test]
+    fn bulk_load_preserves_every_entry(
+        seed in prop::collection::btree_set(any::<u64>(), 1..400),
+    ) {
+        let keys: Vec<u64> = seed.iter().copied().collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(31)).collect();
+        let t = AlexTree::bulk_load(&keys, &payloads);
+        t.check_invariants();
+        prop_assert_eq!(t.len(), keys.len());
+        for (&k, &v) in keys.iter().zip(&payloads) {
+            prop_assert_eq!(t.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn range_sums_match_oracle(
+        seed in prop::collection::btree_set(0u64..100_000, 1..300),
+        ranges in prop::collection::vec((0u64..100_000, 0u64..50_000), 1..20),
+    ) {
+        let keys: Vec<u64> = seed.iter().copied().collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k ^ 0x55).collect();
+        let t = AlexTree::bulk_load(&keys, &payloads);
+        let oracle: BTreeMap<u64, u64> = keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+        for &(lo, w) in &ranges {
+            let hi = lo.saturating_add(w);
+            let want: u64 = oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+            prop_assert_eq!(t.range_sum(lo, hi), want, "range [{}, {})", lo, hi);
+        }
+    }
+}
+
+#[test]
+fn bulk_load_from_dataset_generator() {
+    // Smoke the integration with the dataset crate: a realistic CDF shape.
+    let data = sosd_datasets::generate_u64(sosd_datasets::DatasetId::Amzn, 30_000, 9);
+    let mut keys: Vec<u64> = data.keys().to_vec();
+    keys.dedup();
+    let payloads: Vec<u64> = keys.to_vec();
+    let t = AlexTree::bulk_load(&keys, &payloads);
+    t.check_invariants();
+    for &k in keys.iter().step_by(173) {
+        assert_eq!(t.get(k), Some(k));
+    }
+}

@@ -1,0 +1,18 @@
+//! # sosd-art
+//!
+//! The Adaptive Radix Tree (Leis, Kemper, Neumann, ICDE 2013), the paper's
+//! trie baseline.
+//!
+//! ART indexes one key byte per level using adaptively sized nodes (Node4,
+//! Node16, Node48, Node256) with path compression. Keys are fixed-width
+//! big-endian integers, so lexicographic byte order equals numeric order and
+//! ordered (floor) lookups work by trie descent with predecessor fallback.
+//!
+//! Like the other tree baselines, size/accuracy is traded by indexing every
+//! `stride`-th key (Section 2.1); each subtree additionally stores its
+//! maximum slot so a floor query resolves in a single root-to-leaf descent.
+
+pub mod node;
+pub mod tree;
+
+pub use tree::{ArtBuilder, ArtIndex};

@@ -1,0 +1,277 @@
+//! ART node representations: Leaf plus the four adaptive inner node sizes.
+
+/// A tree node: single-value leaf or adaptive inner node.
+#[derive(Debug)]
+pub enum Node {
+    /// A full key (as `u64`) and its sampled-slot value.
+    Leaf { key: u64, slot: u32 },
+    /// An inner node with a compressed path and adaptive fanout. Boxed so a
+    /// leaf costs 24 bytes instead of the largest inner layout.
+    Inner(Box<Inner>),
+}
+
+/// Inner node: path-compressed prefix, subtree maximum slot, and children.
+#[derive(Debug)]
+pub struct Inner {
+    /// Compressed path bytes between the parent's branch byte and this
+    /// node's branch level (pessimistic path compression: full bytes).
+    pub prefix: Vec<u8>,
+    /// Maximum slot value in this subtree (for O(1) predecessor fallback).
+    pub max_slot: u32,
+    /// The adaptively-sized child array.
+    pub children: Children,
+}
+
+/// The four adaptive node layouts of the ART paper.
+#[derive(Debug)]
+pub enum Children {
+    /// Up to 4 (byte, child) pairs, sorted by byte.
+    N4 {
+        /// Branch bytes (first `len` entries valid).
+        bytes: [u8; 4],
+        /// Children, parallel to `bytes`.
+        ptrs: [Option<Box<Node>>; 4],
+        /// Number of occupied slots.
+        len: u8,
+    },
+    /// Up to 16 (byte, child) pairs, sorted by byte (SIMD-searchable layout).
+    N16 {
+        /// Branch bytes (first `len` entries valid).
+        bytes: [u8; 16],
+        /// Children, parallel to `bytes`.
+        ptrs: [Option<Box<Node>>; 16],
+        /// Number of occupied slots.
+        len: u8,
+    },
+    /// 256-entry indirection table into up to 48 children.
+    N48 {
+        /// `index[b]` = child slot + 1, or 0 when absent.
+        index: Box<[u8; 256]>,
+        /// Child storage addressed through `index`.
+        ptrs: Box<[Option<Box<Node>>; 48]>,
+        /// Number of occupied slots.
+        len: u8,
+    },
+    /// Direct 256-wide child array.
+    N256 {
+        /// One optional child per possible byte.
+        ptrs: Box<[Option<Box<Node>>; 256]>,
+    },
+}
+
+impl Node {
+    /// Maximum slot stored in this subtree.
+    pub fn max_slot(&self) -> u32 {
+        match self {
+            Node::Leaf { slot, .. } => *slot,
+            Node::Inner(inner) => inner.max_slot,
+        }
+    }
+
+    /// Approximate heap size of this subtree in bytes, mirroring the
+    /// allocation sizes of each adaptive layout.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => std::mem::size_of::<Node>(),
+            Node::Inner(inner) => {
+                let own = std::mem::size_of::<Node>()
+                    + std::mem::size_of::<Inner>()
+                    + inner.prefix.capacity();
+                let extra = match &inner.children {
+                    Children::N4 { .. } | Children::N16 { .. } => 0,
+                    Children::N48 { .. } => 256 + 48 * std::mem::size_of::<Option<Box<Node>>>(),
+                    Children::N256 { .. } => 256 * std::mem::size_of::<Option<Box<Node>>>(),
+                };
+                own + extra + inner.children.iter().map(|(_, c)| c.size_bytes()).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl Children {
+    /// Build the appropriately-sized layout from sorted (byte, child) pairs.
+    pub fn from_sorted(pairs: Vec<(u8, Box<Node>)>) -> Children {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+        let n = pairs.len();
+        if n <= 4 {
+            let mut bytes = [0u8; 4];
+            let mut ptrs: [Option<Box<Node>>; 4] = Default::default();
+            for (i, (b, c)) in pairs.into_iter().enumerate() {
+                bytes[i] = b;
+                ptrs[i] = Some(c);
+            }
+            Children::N4 { bytes, ptrs, len: n as u8 }
+        } else if n <= 16 {
+            let mut bytes = [0u8; 16];
+            let mut ptrs: [Option<Box<Node>>; 16] = Default::default();
+            for (i, (b, c)) in pairs.into_iter().enumerate() {
+                bytes[i] = b;
+                ptrs[i] = Some(c);
+            }
+            Children::N16 { bytes, ptrs, len: n as u8 }
+        } else if n <= 48 {
+            let mut index = Box::new([0u8; 256]);
+            let mut ptrs: Box<[Option<Box<Node>>; 48]> =
+                vec![(); 48].into_iter().map(|_| None).collect::<Vec<_>>().try_into().unwrap();
+            for (i, (b, c)) in pairs.into_iter().enumerate() {
+                index[b as usize] = i as u8 + 1;
+                ptrs[i] = Some(c);
+            }
+            Children::N48 { index, ptrs, len: n as u8 }
+        } else {
+            let mut ptrs: Box<[Option<Box<Node>>; 256]> =
+                vec![(); 256].into_iter().map(|_| None).collect::<Vec<_>>().try_into().unwrap();
+            for (b, c) in pairs {
+                ptrs[b as usize] = Some(c);
+            }
+            Children::N256 { ptrs }
+        }
+    }
+
+    /// Child whose branch byte equals `b`.
+    pub fn get(&self, b: u8) -> Option<&Node> {
+        match self {
+            Children::N4 { bytes, ptrs, len } => (0..*len as usize)
+                .find(|&i| bytes[i] == b)
+                .and_then(|i| ptrs[i].as_deref()),
+            Children::N16 { bytes, ptrs, len } => (0..*len as usize)
+                .find(|&i| bytes[i] == b)
+                .and_then(|i| ptrs[i].as_deref()),
+            Children::N48 { index, ptrs, .. } => {
+                let slot = index[b as usize];
+                if slot == 0 {
+                    None
+                } else {
+                    ptrs[slot as usize - 1].as_deref()
+                }
+            }
+            Children::N256 { ptrs } => ptrs[b as usize].as_deref(),
+        }
+    }
+
+    /// Child with the greatest branch byte strictly less than `b`.
+    pub fn predecessor(&self, b: u8) -> Option<&Node> {
+        match self {
+            Children::N4 { bytes, ptrs, len } => {
+                let cnt = bytes[..*len as usize].partition_point(|&x| x < b);
+                cnt.checked_sub(1).and_then(|i| ptrs[i].as_deref())
+            }
+            Children::N16 { bytes, ptrs, len } => {
+                let cnt = bytes[..*len as usize].partition_point(|&x| x < b);
+                cnt.checked_sub(1).and_then(|i| ptrs[i].as_deref())
+            }
+            Children::N48 { index, ptrs, .. } => (0..b as usize)
+                .rev()
+                .find(|&byte| index[byte] != 0)
+                .and_then(|byte| ptrs[index[byte] as usize - 1].as_deref()),
+            Children::N256 { ptrs } => {
+                (0..b as usize).rev().find_map(|byte| ptrs[byte].as_deref())
+            }
+        }
+    }
+
+    /// Iterate (byte, child) pairs in byte order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (u8, &Node)> + '_> {
+        match self {
+            Children::N4 { bytes, ptrs, len } => Box::new(
+                (0..*len as usize).filter_map(move |i| ptrs[i].as_deref().map(|c| (bytes[i], c))),
+            ),
+            Children::N16 { bytes, ptrs, len } => Box::new(
+                (0..*len as usize).filter_map(move |i| ptrs[i].as_deref().map(|c| (bytes[i], c))),
+            ),
+            Children::N48 { index, ptrs, .. } => Box::new((0..256usize).filter_map(move |b| {
+                let slot = index[b];
+                if slot == 0 {
+                    None
+                } else {
+                    ptrs[slot as usize - 1].as_deref().map(|c| (b as u8, c))
+                }
+            })),
+            Children::N256 { ptrs } => {
+                Box::new((0..256usize).filter_map(move |b| ptrs[b].as_deref().map(|c| (b as u8, c))))
+            }
+        }
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        match self {
+            Children::N4 { len, .. } | Children::N16 { len, .. } | Children::N48 { len, .. } => {
+                *len as usize
+            }
+            Children::N256 { ptrs } => ptrs.iter().filter(|p| p.is_some()).count(),
+        }
+    }
+
+    /// True when the node has no children (never happens post-build).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(key: u64, slot: u32) -> Box<Node> {
+        Box::new(Node::Leaf { key, slot })
+    }
+
+    fn make(pairs: Vec<u8>) -> Children {
+        Children::from_sorted(
+            pairs.into_iter().enumerate().map(|(i, b)| (b, leaf(b as u64, i as u32))).collect(),
+        )
+    }
+
+    #[test]
+    fn layouts_chosen_by_count() {
+        assert!(matches!(make((0..3).collect()), Children::N4 { .. }));
+        assert!(matches!(make((0..10).collect()), Children::N16 { .. }));
+        assert!(matches!(make((0..40).collect()), Children::N48 { .. }));
+        assert!(matches!(make((0..200).collect()), Children::N256 { .. }));
+    }
+
+    #[test]
+    fn get_and_predecessor_work_across_layouts() {
+        for count in [3usize, 10, 40, 200] {
+            let bytes: Vec<u8> = (0..count as u8).map(|i| i * (255 / count as u8)).collect();
+            let ch = Children::from_sorted(
+                bytes.iter().map(|&b| (b, leaf(b as u64, b as u32))).collect(),
+            );
+            for &b in &bytes {
+                assert!(ch.get(b).is_some(), "count={count} byte={b}");
+                assert!(ch.get(b.wrapping_add(1)).is_none() || bytes.contains(&(b + 1)));
+            }
+            // Predecessor of the smallest byte is None.
+            assert!(ch.predecessor(bytes[0]).is_none());
+            // Predecessor just above a byte returns that byte's child.
+            for w in bytes.windows(2) {
+                let pred = ch.predecessor(w[1]).expect("has predecessor");
+                match pred {
+                    Node::Leaf { key, .. } => assert_eq!(*key, w[0] as u64),
+                    _ => panic!("expected leaf"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_in_byte_order() {
+        let bytes: Vec<u8> = (0..60).map(|i| i * 4).collect();
+        let ch = Children::from_sorted(
+            bytes.iter().map(|&b| (b, leaf(b as u64, b as u32))).collect(),
+        );
+        let order: Vec<u8> = ch.iter().map(|(b, _)| b).collect();
+        assert_eq!(order, bytes);
+    }
+
+    #[test]
+    fn max_slot_propagates() {
+        let n = Node::Inner(Box::new(Inner {
+            prefix: vec![],
+            max_slot: 7,
+            children: make(vec![1, 2]),
+        }));
+        assert_eq!(n.max_slot(), 7);
+    }
+}

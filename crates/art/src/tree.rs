@@ -1,0 +1,335 @@
+//! The ART index: bulk build from sorted data and floor-search lookups.
+
+use crate::node::{Children, Inner, Node};
+use sosd_core::stride::Stride;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// Outcome of a floor descent in a subtree.
+enum Floor {
+    /// Greatest slot whose key is strictly less than the probe.
+    Found(u32),
+    /// Every key in the subtree is `>= probe`.
+    AllGreater,
+}
+
+/// Adaptive radix tree over every `stride`-th key.
+pub struct ArtIndex<K: Key> {
+    root: Box<Node>,
+    geometry: Stride,
+    size: usize,
+    key_len: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Key> ArtIndex<K> {
+    /// Build with the given sampling stride.
+    pub fn build(data: &SortedData<K>, stride: usize) -> Result<Self, BuildError> {
+        let geometry = Stride::new(stride, data.len());
+        let sampled = geometry.sample(data.keys());
+        // Radix trees cannot hold duplicate keys; keep the *last* slot of
+        // each duplicate run, which is what the strict floor search needs.
+        let mut keys: Vec<u64> = Vec::with_capacity(sampled.len());
+        let mut slots: Vec<u32> = Vec::with_capacity(sampled.len());
+        for (slot, k) in sampled.iter().enumerate() {
+            let k = k.to_u64();
+            if keys.last() == Some(&k) {
+                *slots.last_mut().expect("non-empty") = slot as u32;
+            } else {
+                keys.push(k);
+                slots.push(slot as u32);
+            }
+        }
+        let key_len = (K::BITS / 8) as usize;
+        let root = build_node(&keys, &slots, 8 - key_len, key_len);
+        let size = root.size_bytes();
+        Ok(ArtIndex { root, geometry, size, key_len, _marker: std::marker::PhantomData })
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let x = key.to_u64();
+        let bytes = x.to_be_bytes();
+        let pred = match floor(&self.root, &bytes, x, 8 - self.key_len, tracer) {
+            Floor::Found(slot) => Some(slot as usize),
+            Floor::AllGreater => None,
+        };
+        self.geometry.bound_for_pred_slot(pred)
+    }
+}
+
+/// Bulk-build a subtree over sorted unique keys. `depth` indexes into the
+/// 8-byte big-endian representation (u32 keys start at byte 4).
+#[allow(clippy::only_used_in_recursion)] // key_len is the recursion's fixed bound
+fn build_node(keys: &[u64], slots: &[u32], depth: usize, key_len: usize) -> Box<Node> {
+    debug_assert!(!keys.is_empty());
+    if keys.len() == 1 {
+        return Box::new(Node::Leaf { key: keys[0], slot: slots[0] });
+    }
+    // Longest common prefix from `depth`.
+    let first = keys[0].to_be_bytes();
+    let last = keys[keys.len() - 1].to_be_bytes();
+    let mut lcp = 0usize;
+    while depth + lcp < 8 && first[depth + lcp] == last[depth + lcp] {
+        lcp += 1;
+    }
+    debug_assert!(depth + lcp < 8, "duplicate keys reached byte level 8");
+    let branch_depth = depth + lcp;
+
+    // Group children by the branch byte.
+    let mut pairs: Vec<(u8, Box<Node>)> = Vec::new();
+    let mut group_start = 0usize;
+    while group_start < keys.len() {
+        let b = keys[group_start].to_be_bytes()[branch_depth];
+        let group_end = group_start
+            + keys[group_start..].partition_point(|k| k.to_be_bytes()[branch_depth] == b);
+        pairs.push((
+            b,
+            build_node(
+                &keys[group_start..group_end],
+                &slots[group_start..group_end],
+                branch_depth + 1,
+                key_len,
+            ),
+        ));
+        group_start = group_end;
+    }
+    let max_slot = slots[slots.len() - 1];
+    Box::new(Node::Inner(Box::new(Inner {
+        prefix: first[depth..branch_depth].to_vec(),
+        max_slot,
+        children: Children::from_sorted(pairs),
+    })))
+}
+
+/// Floor descent: greatest slot with key strictly less than `x`.
+fn floor<T: Tracer>(node: &Node, bytes: &[u8; 8], x: u64, depth: usize, tracer: &mut T) -> Floor {
+    tracer.read(node as *const Node as usize, 32);
+    tracer.instr(6);
+    match node {
+        Node::Leaf { key, slot } => {
+            let less = *key < x;
+            tracer.branch(node as *const Node as usize, less);
+            if less {
+                Floor::Found(*slot)
+            } else {
+                Floor::AllGreater
+            }
+        }
+        Node::Inner(inner) => {
+            // Compare the compressed path.
+            let mut d = depth;
+            for &pb in &inner.prefix {
+                tracer.instr(2);
+                if bytes[d] != pb {
+                    return if bytes[d] > pb {
+                        // Entire subtree compares less than the probe.
+                        Floor::Found(inner.max_slot)
+                    } else {
+                        Floor::AllGreater
+                    };
+                }
+                d += 1;
+            }
+            let b = bytes[d];
+            // Exact-branch descent first.
+            if let Some(child) = inner.children.get(b) {
+                tracer.branch(node as *const Node as usize, true);
+                if let Floor::Found(slot) = floor(child, bytes, x, d + 1, tracer) {
+                    return Floor::Found(slot);
+                }
+            } else {
+                tracer.branch(node as *const Node as usize, false);
+            }
+            // Fall back to the greatest child branching below `b`.
+            match inner.children.predecessor(b) {
+                Some(child) => Floor::Found(child.max_slot()),
+                None => Floor::AllGreater,
+            }
+        }
+    }
+}
+
+impl<K: Key> Index<K> for ArtIndex<K> {
+    fn name(&self) -> &'static str {
+        "ART"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.size
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Trie }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+// The tree owns all nodes via Box; nothing is shared or interiorly mutable.
+unsafe impl<K: Key> Send for ArtIndex<K> {}
+unsafe impl<K: Key> Sync for ArtIndex<K> {}
+
+/// Builder for [`ArtIndex`].
+#[derive(Debug, Clone)]
+pub struct ArtBuilder {
+    /// Index every `stride`-th key.
+    pub stride: usize,
+}
+
+impl Default for ArtBuilder {
+    fn default() -> Self {
+        ArtBuilder { stride: 1 }
+    }
+}
+
+impl ArtBuilder {
+    /// Ten-configuration size sweep for Figure 7.
+    pub fn size_sweep() -> Vec<ArtBuilder> {
+        [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+            .into_iter()
+            .map(|stride| ArtBuilder { stride })
+            .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for ArtBuilder {
+    type Output = ArtIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        ArtIndex::build(data, self.stride)
+    }
+
+    fn describe(&self) -> String {
+        format!("ART[stride={}]", self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+    use std::collections::BTreeMap;
+
+    fn check_against_btreemap(keys: Vec<u64>, stride: usize) {
+        let data = SortedData::new(keys.clone()).unwrap();
+        let idx = ArtIndex::build(&data, stride).unwrap();
+        // Oracle: strict predecessor among sampled keys via BTreeMap.
+        let geometry = Stride::new(stride, keys.len());
+        let sampled = geometry.sample(&keys);
+        let mut oracle = BTreeMap::new();
+        for (slot, &k) in sampled.iter().enumerate() {
+            oracle.insert(k, slot); // later slots overwrite (keep-last)
+        }
+        let mut probes: Vec<u64> = keys.clone();
+        probes.extend(keys.iter().map(|&k| k.saturating_add(1)));
+        probes.extend(keys.iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, u64::MAX, u64::MAX / 3]);
+        for x in probes {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "stride={stride} x={x} bound={b:?} lb={lb}");
+            // Cross-check the internal floor against the ordered map.
+            let want = oracle.range(..x).next_back().map(|(_, &s)| s);
+            let got = geometry.oracle_pred_slot(&keys, x);
+            assert_eq!(want, got, "oracle disagreement at x={x}");
+        }
+    }
+
+    #[test]
+    fn valid_on_dense_keys() {
+        check_against_btreemap((0..2000u64).collect(), 1);
+        check_against_btreemap((0..2000u64).collect(), 7);
+    }
+
+    #[test]
+    fn valid_on_spread_keys() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * 0x12_3456_789A).collect();
+        check_against_btreemap(keys, 1);
+    }
+
+    #[test]
+    fn valid_on_random_keys() {
+        let mut rng = XorShift64::new(77);
+        let mut keys: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        check_against_btreemap(keys.clone(), 1);
+        check_against_btreemap(keys, 16);
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        let mut keys = vec![7u64; 100];
+        keys.extend(vec![9u64; 100]);
+        keys.extend((10..500u64).map(|i| i * 3));
+        keys.sort_unstable();
+        check_against_btreemap(keys.clone(), 1);
+        check_against_btreemap(keys, 4);
+    }
+
+    #[test]
+    fn valid_with_clustered_prefixes() {
+        // Keys sharing long prefixes exercise path compression.
+        let mut keys: Vec<u64> = (0..500).map(|i| 0xAAAA_BBBB_0000_0000u64 + i).collect();
+        keys.extend((0..500).map(|i| 0xAAAA_CCCC_0000_0000u64 + i * 7));
+        keys.extend(0..500);
+        keys.sort_unstable();
+        check_against_btreemap(keys, 1);
+    }
+
+    #[test]
+    fn valid_for_u32_keys() {
+        let keys: Vec<u32> = (0..3000u32).map(|i| i * 91) .collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = ArtIndex::build(&data, 2).unwrap();
+        for &k in data.keys() {
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                let b = idx.search_bound(probe);
+                assert!(b.contains(data.lower_bound(probe)), "probe={probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_growth_uses_all_layouts() {
+        // 200 children at the root level forces N256; nested levels hit the
+        // smaller layouts.
+        let mut keys = Vec::new();
+        for hi in 0..200u64 {
+            for lo in 0..5u64 {
+                keys.push((hi << 32) | lo);
+            }
+        }
+        check_against_btreemap(keys, 1);
+    }
+
+    #[test]
+    fn size_shrinks_with_stride() {
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i * 13).collect();
+        let data = SortedData::new(keys).unwrap();
+        let s1 = Index::<u64>::size_bytes(&ArtIndex::build(&data, 1).unwrap());
+        let s32 = Index::<u64>::size_bytes(&ArtIndex::build(&data, 32).unwrap());
+        assert!(s32 * 8 < s1, "s1={s1} s32={s32}");
+    }
+
+    #[test]
+    fn traced_descent_reads_nodes() {
+        use sosd_core::CountingTracer;
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 257).collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = ArtIndex::build(&data, 1).unwrap();
+        let mut t = CountingTracer::default();
+        idx.search_bound_traced(5_000 * 257, &mut t);
+        assert!(t.reads >= 2 && t.reads <= 9, "descent depth: {} reads", t.reads);
+    }
+}

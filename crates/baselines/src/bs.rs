@@ -1,0 +1,77 @@
+//! Binary search: the size-zero baseline (the black horizontal line in
+//! Figure 7).
+
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, SearchBound, SortedData, Tracer,
+};
+
+/// An "index" that performs no indexing: every lookup gets the full-array
+/// bound and the last-mile search does all the work.
+#[derive(Debug, Clone)]
+pub struct BinarySearchIndex {
+    n: usize,
+}
+
+impl BinarySearchIndex {
+    /// Create over an array of `n` keys.
+    pub fn new(n: usize) -> Self {
+        BinarySearchIndex { n }
+    }
+}
+
+impl<K: Key> Index<K> for BinarySearchIndex {
+    fn name(&self) -> &'static str {
+        "BS"
+    }
+
+    fn size_bytes(&self) -> usize {
+        0
+    }
+
+    #[inline]
+    fn search_bound(&self, _key: K) -> SearchBound {
+        SearchBound::full(self.n)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: false, ordered: true, kind: IndexKind::BinarySearch }
+    }
+
+    fn search_bound_traced(&self, _key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        tracer.instr(1);
+        SearchBound::full(self.n)
+    }
+}
+
+/// Builder for [`BinarySearchIndex`] (no knobs).
+#[derive(Debug, Clone, Default)]
+pub struct BsBuilder;
+
+impl<K: Key> IndexBuilder<K> for BsBuilder {
+    type Output = BinarySearchIndex;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        Ok(BinarySearchIndex::new(data.len()))
+    }
+
+    fn describe(&self) -> String {
+        "BS".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::search::binary_search;
+
+    #[test]
+    fn full_bound_always_valid() {
+        let data = SortedData::new(vec![2u64, 4, 8, 16]).unwrap();
+        let idx = <BsBuilder as IndexBuilder<u64>>::build(&BsBuilder, &data).unwrap();
+        for x in 0..20u64 {
+            let b = Index::<u64>::search_bound(&idx, x);
+            assert_eq!(binary_search(data.keys(), x, b), data.lower_bound(x));
+        }
+        assert_eq!(Index::<u64>::size_bytes(&idx), 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! # sosd-baselines
+//!
+//! The two naive baselines of the paper: plain binary search (`BS`, size
+//! zero) and radix binary search (`RBS`), the lookup-table-only technique of
+//! Kipf et al. (SOSD, 2019). RBS stores just the radix table that
+//! RadixSpline would build over its spline points, but built directly over
+//! the data — a `2^r`-entry prefix table mapping each `r`-bit key prefix to
+//! the range of positions holding that prefix.
+
+pub mod bs;
+pub mod rbs;
+
+pub use bs::{BinarySearchIndex, BsBuilder};
+pub use rbs::{RadixBinarySearch, RbsBuilder};

@@ -1,0 +1,241 @@
+//! Radix binary search (RBS): a single radix lookup table over the data.
+//!
+//! For a radix width `r`, the table has `2^r + 1` entries; entry `p` holds
+//! the number of keys whose `r`-bit prefix is `< p`. A lookup extracts the
+//! prefix `p` of the key and returns the bound `[table[p], table[p+1]]` with
+//! a single shift and two adjacent table reads — which is why RBS is so
+//! competitive on prefix-uniform data and nearly useless on `face`, whose
+//! ~100 giant outliers stretch the prefix space (Section 4.2).
+
+use sosd_core::trace::addr_of_index;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// The RBS lookup table.
+///
+/// Prefixes are taken over the *occupied key range* (`key - min_key`,
+/// shifted by the range's significant bits), like the SOSD reference: a
+/// dataset spanning only 48 of 64 bits still uses the full table, while
+/// outliers that inflate the range (face) degrade it — the exact behaviour
+/// the paper analyzes.
+#[derive(Debug, Clone)]
+pub struct RadixBinarySearch<K: Key> {
+    /// `table[p]` = number of keys with normalized prefix `< p`;
+    /// length `2^r + 1`.
+    table: Vec<u64>,
+    radix_bits: u32,
+    /// Subtracted from keys before prefix extraction.
+    min_key: u64,
+    /// Right-shift turning a normalized key into a table slot.
+    shift: u32,
+    n: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Key> RadixBinarySearch<K> {
+    /// Build over sorted data with an `r`-bit prefix table.
+    pub fn build(data: &SortedData<K>, radix_bits: u32) -> Result<Self, BuildError> {
+        if radix_bits == 0 || radix_bits > K::BITS {
+            return Err(BuildError::InvalidConfig(format!(
+                "radix_bits must be in 1..={}, got {radix_bits}",
+                K::BITS
+            )));
+        }
+        if radix_bits > 28 {
+            return Err(BuildError::InvalidConfig(format!(
+                "radix_bits {radix_bits} would allocate a {}-entry table",
+                1u64 << radix_bits
+            )));
+        }
+        let min_key = data.min_key().to_u64();
+        let span = data.max_key().to_u64() - min_key;
+        let span_bits = 64 - span.leading_zeros().min(63);
+        let shift = span_bits.saturating_sub(radix_bits);
+        let slots = 1usize << radix_bits;
+        let mut table = vec![0u64; slots + 1];
+        // Count keys per prefix, then prefix-sum into cumulative offsets.
+        for &k in data.keys() {
+            let p = (((k.to_u64() - min_key) >> shift) as usize).min(slots - 1);
+            table[p + 1] += 1;
+        }
+        for p in 1..=slots {
+            table[p] += table[p - 1];
+        }
+        Ok(RadixBinarySearch {
+            table,
+            radix_bits,
+            min_key,
+            shift,
+            n: data.len(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Configured radix width.
+    pub fn radix_bits(&self) -> u32 {
+        self.radix_bits
+    }
+
+    #[inline]
+    fn slot_of(&self, key: K) -> usize {
+        let k = key.to_u64().saturating_sub(self.min_key);
+        ((k >> self.shift) as usize).min(self.table.len() - 2)
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let p = self.slot_of(key);
+        tracer.instr(5); // sub, shift, min, two loads' address arithmetic
+        tracer.read(addr_of_index(&self.table, p), 16); // adjacent entries
+        SearchBound {
+            lo: self.table[p] as usize,
+            hi: (self.table[p + 1] as usize).min(self.n),
+        }
+    }
+}
+
+impl<K: Key> Index<K> for RadixBinarySearch<K> {
+    fn name(&self) -> &'static str {
+        "RBS"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<u64>()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: false, ordered: true, kind: IndexKind::LookupTable }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`RadixBinarySearch`]; sweep `radix_bits` for Figure 7.
+#[derive(Debug, Clone)]
+pub struct RbsBuilder {
+    /// Prefix width in bits (table has `2^radix_bits + 1` entries).
+    pub radix_bits: u32,
+}
+
+impl<K: Key> IndexBuilder<K> for RbsBuilder {
+    type Output = RadixBinarySearch<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        RadixBinarySearch::build(data, self.radix_bits)
+    }
+
+    fn describe(&self) -> String {
+        format!("RBS[r={}]", self.radix_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::CountingTracer;
+
+    fn check_validity(keys: Vec<u64>, radix_bits: u32) {
+        let data = SortedData::new(keys).unwrap();
+        let idx = RadixBinarySearch::build(&data, radix_bits).unwrap();
+        // Probe present keys, midpoints, and extremes.
+        let mut probes: Vec<u64> = data.keys().to_vec();
+        probes.extend(data.keys().iter().map(|&k| k.saturating_add(1)));
+        probes.extend([0, u64::MAX, u64::MAX / 2]);
+        for x in probes {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "r={radix_bits} x={x} bound={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_spread_out_keys() {
+        check_validity(vec![1u64 << 10, 1 << 20, 1 << 40, 1 << 60, u64::MAX - 5], 8);
+    }
+
+    #[test]
+    fn valid_on_dense_keys() {
+        check_validity((0..1000u64).collect(), 8);
+        check_validity((0..1000u64).map(|i| i * 3 + 7).collect(), 12);
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        check_validity(vec![5, 5, 5, 9, 9, 1 << 50, 1 << 50], 6);
+    }
+
+    #[test]
+    fn tight_bounds_on_prefix_uniform_data() {
+        // Keys evenly spread over the full u64 space: each 8-bit prefix
+        // bucket holds ~4 keys, so bounds should be ~4 wide.
+        let n = 1024u64;
+        let keys: Vec<u64> = (0..n).map(|i| i << 54).collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = RadixBinarySearch::build(&data, 8).unwrap();
+        let avg: f64 = data
+            .keys()
+            .iter()
+            .map(|&k| idx.search_bound(k).len() as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(avg <= 5.0, "avg bound {avg}");
+    }
+
+    #[test]
+    fn outliers_ruin_the_table() {
+        // face-style: everything in a narrow low range plus one huge key
+        // makes every prefix collapse into bucket 0.
+        let mut keys: Vec<u64> = (0..1000u64).map(|i| i + 1).collect();
+        keys.push(u64::MAX - 1);
+        let data = SortedData::new(keys).unwrap();
+        let idx = RadixBinarySearch::build(&data, 8).unwrap();
+        let b = idx.search_bound(500);
+        assert!(b.len() >= 1000, "bound should be near-useless, got {b:?}");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let data = SortedData::new(vec![1u64, 2]).unwrap();
+        assert!(RadixBinarySearch::build(&data, 0).is_err());
+        assert!(RadixBinarySearch::build(&data, 65).is_err());
+        assert!(RadixBinarySearch::build(&data, 29).is_err());
+    }
+
+    #[test]
+    fn size_grows_with_radix_bits() {
+        let data = SortedData::new((0..100u64).collect()).unwrap();
+        let small = RadixBinarySearch::build(&data, 4).unwrap();
+        let large = RadixBinarySearch::build(&data, 12).unwrap();
+        assert!(Index::<u64>::size_bytes(&large) > Index::<u64>::size_bytes(&small));
+        assert_eq!(Index::<u64>::size_bytes(&small), (16 + 1) * 8);
+    }
+
+    #[test]
+    fn traced_lookup_reports_one_table_read() {
+        let data = SortedData::new((0..100u64).map(|i| i << 40).collect()).unwrap();
+        let idx = RadixBinarySearch::build(&data, 8).unwrap();
+        let mut t = CountingTracer::default();
+        let b = idx.search_bound_traced(5u64 << 40, &mut t);
+        assert_eq!(t.reads, 1);
+        assert!(b.contains(data.lower_bound(5u64 << 40)));
+    }
+
+    #[test]
+    fn works_for_u32_keys() {
+        let keys: Vec<u32> = (0..500u32).map(|i| i * 1000).collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = RadixBinarySearch::build(&data, 8).unwrap();
+        for &k in data.keys() {
+            assert!(idx.search_bound(k).contains(data.lower_bound(k)));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks: index build times (the fast slice of
+//! Figure 17; the multi-size sweep lives in the `fig17_build_times` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sosd_bench::registry::Family;
+use sosd_datasets::{registry::generate_u64, DatasetId};
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let data = generate_u64(DatasetId::Amzn, 100_000, 42);
+    let mut group = c.benchmark_group("build_amzn_100k");
+    group.sample_size(10);
+    for family in [
+        Family::Rs,
+        Family::Pgm,
+        Family::Rmi,
+        Family::Rbs,
+        Family::BTree,
+        Family::Fast,
+        Family::Art,
+        Family::RobinHash,
+    ] {
+        let builder = family.fastest_builder::<u64>();
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            b.iter(|| black_box(builder.build_boxed(black_box(&data)).expect("builds")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pla_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: optimal convex-hull PLA vs greedy shrinking cone.
+    use sosd_pgm::pla::{fit_pla, fit_pla_greedy};
+    let data = generate_u64(DatasetId::Osm, 100_000, 42);
+    let keys: Vec<u64> = data.keys().to_vec();
+    let ys: Vec<u64> = (0..keys.len() as u64).collect();
+    let mut group = c.benchmark_group("pla_fit_osm_100k");
+    group.sample_size(10);
+    group.bench_function("optimal_hull_eps64", |b| {
+        b.iter(|| black_box(fit_pla(black_box(&keys), &ys, 64).len()));
+    });
+    group.bench_function("greedy_cone_eps64", |b| {
+        b.iter(|| black_box(fit_pla_greedy(black_box(&keys), &ys, 64).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_pla_ablation);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the updatable structures (the paper's
+//! future-work direction): bulk load, pure-insert throughput, and read-heavy
+//! mixed streams for ALEX, dynamic PGM, dynamic FITing-Tree, and the
+//! insertable B+Tree baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sosd_bench::dynamic::DynFamily;
+use sosd_core::dynamic::apply_op;
+use sosd_datasets::{generate_mixed, registry::generate_u64, DatasetId, MixedConfig};
+use std::hint::black_box;
+
+fn seed_pairs(n: usize) -> (Vec<u64>, Vec<u64>) {
+    let data = generate_u64(DatasetId::Amzn, n, 42);
+    let mut keys: Vec<u64> = data.keys().to_vec();
+    keys.dedup();
+    let payloads: Vec<u64> = keys.iter().map(|&k| k ^ 0xAB).collect();
+    (keys, payloads)
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let (keys, payloads) = seed_pairs(100_000);
+    let mut group = c.benchmark_group("dyn_bulk_load_amzn_100k");
+    group.sample_size(10);
+    for family in DynFamily::ALL {
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            b.iter(|| black_box(family.bulk_load(black_box(&keys), &payloads)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_throughput(c: &mut Criterion) {
+    // Seed with half the dataset, then time inserting the held-out half.
+    let (keys, payloads) = seed_pairs(100_000);
+    let (even_k, even_p): (Vec<u64>, Vec<u64>) = keys
+        .iter()
+        .zip(&payloads)
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, (&k, &p))| (k, p))
+        .unzip();
+    let odd: Vec<(u64, u64)> = keys
+        .iter()
+        .zip(&payloads)
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, (&k, &p))| (k, p))
+        .collect();
+
+    let mut group = c.benchmark_group("dyn_insert_50k_into_50k");
+    group.sample_size(10);
+    for family in DynFamily::ALL {
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            b.iter(|| {
+                let mut idx = family.bulk_load(&even_k, &even_p);
+                for &(k, v) in &odd {
+                    black_box(idx.insert(k, v));
+                }
+                black_box(idx.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_stream(c: &mut Criterion) {
+    let w = generate_mixed(DatasetId::Amzn, 100_000, 50_000, MixedConfig::default(), 42);
+    let mut group = c.benchmark_group("dyn_mixed_90r10w_amzn");
+    group.sample_size(10);
+    for family in DynFamily::ALL {
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            b.iter(|| {
+                let mut idx = family.bulk_load(&w.bulk_keys, &w.bulk_payloads);
+                let mut acc = 0u64;
+                for &op in &w.ops {
+                    acc = acc.wrapping_add(apply_op(idx.as_mut(), op).unwrap_or(1));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_load, bench_insert_throughput, bench_mixed_stream);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks: last-mile search strategies over fixed-width
+//! bounds (the Figure 11 kernel plus the branchy-vs-branchless ablation
+//! from DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sosd_core::{SearchBound, SearchStrategy};
+use sosd_datasets::{registry::generate_u64, DatasetId};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let data = generate_u64(DatasetId::Amzn, 500_000, 42);
+    let keys = data.keys();
+    let n = keys.len();
+    for width in [64usize, 1024] {
+        let mut group = c.benchmark_group(format!("last_mile_width_{width}"));
+        group.sample_size(20);
+        for strategy in SearchStrategy::ALL {
+            group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+                let mut i = 1usize;
+                b.iter(|| {
+                    // A bound of `width` positions centered on a true hit.
+                    i = (i * 2654435761) % n;
+                    let x = keys[i];
+                    let bound = SearchBound::from_estimate(i, width / 2, width / 2, n);
+                    black_box(strategy.find(keys, black_box(x), bound))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

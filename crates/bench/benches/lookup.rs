@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks: per-family lookup latency on an amzn-shaped
+//! workload (the fast, always-run slice of Figure 7; the full sweep lives in
+//! the `fig07_pareto` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sosd_bench::registry::Family;
+use sosd_core::{Index, SearchStrategy};
+use sosd_datasets::{make_workload, DatasetId};
+use std::hint::black_box;
+
+fn bench_lookups(c: &mut Criterion) {
+    let workload = make_workload(DatasetId::Amzn, 200_000, 10_000, 42);
+    let data = &workload.data;
+    let mut group = c.benchmark_group("lookup_amzn_200k");
+    group.sample_size(20);
+    for family in [
+        Family::Rmi,
+        Family::Pgm,
+        Family::Rs,
+        Family::Rbs,
+        Family::BTree,
+        Family::IbTree,
+        Family::Fast,
+        Family::Art,
+        Family::Bs,
+        Family::RobinHash,
+        Family::CuckooMap,
+    ] {
+        let index = family
+            .default_builder::<u64>()
+            .build_boxed(data)
+            .expect("default builders succeed");
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = workload.lookups[i % workload.lookups.len()];
+                i += 1;
+                let bound = index.search_bound(black_box(x));
+                let pos = SearchStrategy::Binary.find(data.keys(), x, bound);
+                black_box(data.payload(pos.min(data.len() - 1)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference_only(c: &mut Criterion) {
+    // Index inference without the last-mile search: isolates model
+    // evaluation cost (RMI's branch-free two-model path vs PGM's descent).
+    let workload = make_workload(DatasetId::Osm, 200_000, 10_000, 42);
+    let mut group = c.benchmark_group("inference_osm_200k");
+    group.sample_size(20);
+    for family in [Family::Rmi, Family::Pgm, Family::Rs, Family::Rbs] {
+        let index = family
+            .default_builder::<u64>()
+            .build_boxed(&workload.data)
+            .expect("default builders succeed");
+        group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = workload.lookups[i % workload.lookups.len()];
+                i += 1;
+                black_box(index.search_bound(black_box(x)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rmi_stages(c: &mut Criterion) {
+    // DESIGN.md ablation: two-stage vs three-stage RMI at matched size.
+    use sosd_rmi::{ModelKind, Rmi, Rmi3};
+    let workload = make_workload(DatasetId::Amzn, 200_000, 10_000, 42);
+    let two = Rmi::build(&workload.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12)
+        .expect("2-stage builds");
+    let three =
+        Rmi3::build(&workload.data, ModelKind::Cubic, 1 << 6, (1 << 12) - 128).expect("3-stage");
+    let mut group = c.benchmark_group("rmi_stages_amzn_200k");
+    group.sample_size(20);
+    for (name, index) in [("two_stage", &two as &dyn Index<u64>), ("three_stage", &three)] {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let x = workload.lookups[i % workload.lookups.len()];
+                i += 1;
+                let bound = index.search_bound(black_box(x));
+                black_box(SearchStrategy::Binary.find(workload.data.keys(), x, bound))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_inference_only, bench_rmi_stages);
+criterion_main!(benches);

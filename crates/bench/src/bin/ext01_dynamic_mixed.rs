@@ -1,0 +1,85 @@
+//! Extension 1: the mixed read/write benchmark the paper's conclusion calls
+//! for ("As more learned index structures begin to support updates
+//! [11, 13, 14], a benchmark against traditional indexes (which are often
+//! optimized for updates) could be fruitful").
+//!
+//! Sweeps the insert fraction from read-only to write-heavy over ALEX
+//! (ref. [11]), the dynamic PGM (ref. [13]), the dynamic FITing-Tree
+//! (ref. [14]), and an insertable B+Tree, reporting stream throughput, bulk
+//! load time, and memory. Checksums prove every structure did identical
+//! work.
+//!
+//! Expected shape: learned structures win read-heavy mixes (model-predicted
+//! lookups), while the B+Tree narrows the gap — or wins — as the insert
+//! fraction grows, since its inserts are pointer-local while learned
+//! structures must merge/resegment/shift.
+
+use sosd_bench::dynamic::{run_mixed, DynFamily};
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::Args;
+use sosd_datasets::{generate_mixed, DatasetId, MixedConfig, ReadSkew};
+
+fn main() {
+    let args = Args::parse();
+    let num_ops = args.lookups;
+    // (insert, delete) mixes: read-only through write-heavy, plus a churn
+    // mix exercising deletes (tombstones / gap clears / leaf erases).
+    let mixes: [(f64, f64); 5] = [(0.0, 0.0), (0.1, 0.0), (0.5, 0.0), (0.9, 0.0), (0.25, 0.25)];
+
+    let mut report = Report::new(
+        "ext01_dynamic_mixed",
+        &["dataset", "mix", "index", "bulk_ms", "Mops_per_s", "ns_per_op", "size_mb"],
+    );
+    let mut rows = Vec::new();
+
+    let datasets =
+        if args.datasets.len() == 4 { vec![DatasetId::Amzn, DatasetId::Osm] } else { args.datasets.clone() };
+    for &dataset in &datasets {
+        for &(insert_fraction, delete_fraction) in &mixes {
+            let cfg = MixedConfig {
+                bulk_fraction: 0.5,
+                insert_fraction,
+                delete_fraction,
+                range_fraction: 0.0,
+                range_span_keys: 100,
+                read_skew: ReadSkew::Uniform,
+            };
+            let w = generate_mixed(dataset, args.n, num_ops, cfg, args.seed);
+            eprintln!("[ext01] {} ({} ops, {} bulk keys)", w.label, w.num_ops(), w.bulk_keys.len());
+
+            let mut checksum = None;
+            for family in DynFamily::ALL {
+                let r = run_mixed(family, &w.label, &w.bulk_keys, &w.bulk_payloads, &w.ops);
+                match checksum {
+                    None => checksum = Some(r.checksum),
+                    Some(c) => assert_eq!(
+                        c, r.checksum,
+                        "{} produced different results on {}",
+                        r.family, w.label
+                    ),
+                }
+                report.push_row(vec![
+                    dataset.name().to_string(),
+                    format!(
+                        "ins{:.0}%/del{:.0}%",
+                        insert_fraction * 100.0,
+                        delete_fraction * 100.0
+                    ),
+                    r.family.clone(),
+                    format!("{:.1}", r.bulk_ms),
+                    format!("{:.2}", r.mops_per_s),
+                    format!("{:.1}", r.ns_per_op),
+                    fmt_mb(r.size_bytes),
+                ]);
+                rows.push(r);
+            }
+        }
+    }
+
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "ext01_dynamic_mixed", &rows).expect("write json");
+    println!(
+        "\n(expect: learned structures lead at 0-10% inserts; the B+Tree \
+         closes in as inserts dominate)"
+    );
+}

@@ -1,0 +1,108 @@
+//! Extension 4: design-knob ablations for the updatable structures.
+//!
+//! Each dynamic index has one headline tuning knob:
+//!
+//! * **Dynamic PGM** — level-0 insert-buffer capacity (merge amortization
+//!   vs. buffer scan length).
+//! * **FITing-Tree** — per-segment delta-buffer size (the knob ref. [14]'s
+//!   own evaluation sweeps).
+//! * **ALEX** — maximum leaf size before a sideways split (ref. [11]'s node
+//!   sizing tradeoff).
+//!
+//! This harness sweeps each knob on a 50/50 read/write stream and reports
+//! throughput and memory, quantifying the tradeoffs DESIGN.md calls out.
+//! Checksums prove every configuration computed identical answers.
+
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::Args;
+use sosd_core::dynamic::{apply_op, DynamicOrderedIndex};
+use sosd_datasets::{generate_mixed, DatasetId, MixedConfig};
+use std::time::Instant;
+
+/// Drive the stream through `idx`, returning (Mops/s, checksum).
+fn drive(idx: &mut dyn DynamicOrderedIndex<u64>, ops: &[sosd_core::Op<u64>]) -> (f64, u64) {
+    let t = Instant::now();
+    let mut checksum = 0u64;
+    for &op in ops {
+        let r = apply_op(idx, op);
+        checksum = checksum.wrapping_mul(0x100000001B3).wrapping_add(r.unwrap_or(0x9E37));
+    }
+    (ops.len() as f64 / t.elapsed().as_secs_f64() / 1e6, checksum)
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = MixedConfig { bulk_fraction: 0.5, insert_fraction: 0.5, ..Default::default() };
+    let w = generate_mixed(DatasetId::Amzn, args.n, args.lookups, cfg, args.seed);
+    eprintln!("[ext04] {} ({} ops)", w.label, w.num_ops());
+
+    let mut report = Report::new(
+        "ext04_dynamic_ablation",
+        &["index", "knob", "value", "Mops_per_s", "size_mb"],
+    );
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut reference_checksum: Option<u64> = None;
+    let mut push = |report: &mut Report,
+                    rows: &mut Vec<serde_json::Value>,
+                    index: &str,
+                    knob: &str,
+                    value: String,
+                    mops: f64,
+                    size: usize,
+                    checksum: u64| {
+        match reference_checksum {
+            None => reference_checksum = Some(checksum),
+            Some(c) => assert_eq!(c, checksum, "{index} {knob}={value} diverged"),
+        }
+        report.push_row(vec![
+            index.to_string(),
+            knob.to_string(),
+            value.clone(),
+            format!("{mops:.2}"),
+            fmt_mb(size),
+        ]);
+        rows.push(serde_json::json!({
+            "index": index, "knob": knob, "value": value,
+            "mops_per_s": mops, "size_bytes": size,
+        }));
+    };
+
+    // Dynamic PGM: insert-buffer capacity.
+    for buf in [32usize, 128, 512, 2048, 8192] {
+        let mut idx = sosd_pgm::DynamicPgm::with_buffer_capacity(buf);
+        seed(&mut idx, &w.bulk_keys, &w.bulk_payloads);
+        let (mops, checksum) = drive(&mut idx, &w.ops);
+        push(&mut report, &mut rows, "DynamicPGM", "buffer", buf.to_string(), mops, idx.size_bytes(), checksum);
+    }
+
+    // FITing-Tree: delta-buffer size (eps fixed at its default).
+    for delta in [32usize, 128, 256, 1024, 4096] {
+        let mut idx = sosd_fiting::DynamicFitingTree::with_config(delta, 64);
+        seed(&mut idx, &w.bulk_keys, &w.bulk_payloads);
+        let (mops, checksum) = drive(&mut idx, &w.ops);
+        push(&mut report, &mut rows, "FITing(dyn)", "delta", delta.to_string(), mops, idx.size_bytes(), checksum);
+    }
+
+    // ALEX: max leaf size.
+    for leaf in [1024usize, 4096, 8192, 32768] {
+        let mut idx = sosd_alex::AlexTree::with_max_leaf(leaf);
+        seed(&mut idx, &w.bulk_keys, &w.bulk_payloads);
+        let (mops, checksum) = drive(&mut idx, &w.ops);
+        push(&mut report, &mut rows, "ALEX", "max_leaf", leaf.to_string(), mops, idx.size_bytes(), checksum);
+    }
+
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "ext04_dynamic_ablation", &rows).expect("write json");
+    println!(
+        "\n(expect: each knob has an interior optimum on a 50/50 mix — tiny \
+         buffers merge too often, huge buffers scan too long)"
+    );
+}
+
+/// Seed a knob-configured (non-bulk-loadable-with-knobs) index by inserting
+/// the bulk keys; bulk_load would reset the knob for ALEX/FITing defaults.
+fn seed(idx: &mut dyn DynamicOrderedIndex<u64>, keys: &[u64], payloads: &[u64]) {
+    for (&k, &v) in keys.iter().zip(payloads) {
+        idx.insert(k, v);
+    }
+}

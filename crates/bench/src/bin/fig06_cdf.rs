@@ -1,0 +1,26 @@
+//! Figure 6: CDF plots of the four datasets (emitted as sampled series).
+
+use sosd_bench::report::{write_json, Report};
+use sosd_bench::Args;
+use sosd_datasets::registry::generate_u64;
+
+fn main() {
+    let args = Args::parse();
+    let points = 64usize;
+    let mut report = Report::new("fig06_cdf", &["dataset", "key", "relative_position"]);
+    let mut series = Vec::new();
+    for &id in &args.datasets {
+        let data = generate_u64(id, args.n, args.seed);
+        let samples = data.cdf_samples(points);
+        for &(key, pos) in &samples {
+            report.push_row(vec![id.name().to_string(), key.to_string(), format!("{pos:.4}")]);
+        }
+        series.push(serde_json::json!({
+            "dataset": id.name(),
+            "points": samples.iter().map(|(k, p)| (k.to_string(), p)).collect::<Vec<_>>(),
+        }));
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig06_cdf", &series).expect("write json");
+    println!("\n(plot each dataset's (key, relative_position) series to recreate Figure 6)");
+}

@@ -1,0 +1,47 @@
+//! Figure 7: performance/size tradeoffs of all ordered index structures on
+//! the four real-world datasets, with the binary-search baseline and the
+//! Pareto front marked.
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::{pareto_rows, run_family_sweep};
+use sosd_bench::timing::TimingOptions;
+use sosd_bench::Args;
+use sosd_datasets::make_workload;
+
+fn main() {
+    let args = Args::parse();
+    let mut all_rows = Vec::new();
+    let mut report = Report::new(
+        "fig07_pareto",
+        &["dataset", "index", "config", "size_mb", "ns_per_lookup", "log2_err", "pareto"],
+    );
+    for &id in &args.datasets {
+        eprintln!("[fig07] dataset {} (n={})", id.name(), args.n);
+        let workload = make_workload(id, args.n, args.lookups, args.seed);
+        let mut dataset_rows = Vec::new();
+        for family in Family::FIGURE7.into_iter().chain([Family::Bs]) {
+            dataset_rows.extend(run_family_sweep(
+                id.name(),
+                family,
+                &workload,
+                TimingOptions::default(),
+            ));
+        }
+        let front = pareto_rows(&dataset_rows);
+        for (i, row) in dataset_rows.iter().enumerate() {
+            report.push_row(vec![
+                row.dataset.clone(),
+                row.family.clone(),
+                row.config.clone(),
+                fmt_mb(row.size_bytes),
+                format!("{:.1}", row.ns_per_lookup),
+                format!("{:.2}", row.mean_log2_err),
+                if front.contains(&i) { "*".into() } else { String::new() },
+            ]);
+        }
+        all_rows.extend(dataset_rows);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig07_pareto", &all_rows).expect("write json");
+}

@@ -1,0 +1,67 @@
+//! Figure 8: string-oriented structures (FST, Wormhole) against RMI and
+//! BTree on integer datasets — neither string structure should beat binary
+//! search here.
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::run_family_sweep;
+use sosd_bench::timing::TimingOptions;
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.datasets == DatasetId::REAL_WORLD.to_vec() {
+        args.datasets = vec![DatasetId::Amzn, DatasetId::Face];
+    }
+    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "fig08_strings",
+        &["dataset", "index", "config", "size_mb", "ns_per_lookup"],
+    );
+    for &id in &args.datasets {
+        eprintln!("[fig08] dataset {}", id.name());
+        let workload = make_workload(id, args.n, args.lookups, args.seed);
+        for family in [Family::Rmi, Family::BTree, Family::Fst, Family::Wormhole, Family::Bs] {
+            rows.extend(run_family_sweep(id.name(), family, &workload, TimingOptions::default()));
+        }
+    }
+    for row in &rows {
+        report.push_row(vec![
+            row.dataset.clone(),
+            row.family.clone(),
+            row.config.clone(),
+            fmt_mb(row.size_bytes),
+            format!("{:.1}", row.ns_per_lookup),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig08_strings", &rows).expect("write json");
+
+    // The paper's takeaway: string structures never beat plain binary search
+    // on integer keys. Print the comparison explicitly.
+    for &id in &args.datasets {
+        let bs = rows
+            .iter()
+            .find(|r| r.dataset == id.name() && r.family == "BS")
+            .map(|r| r.ns_per_lookup)
+            .unwrap_or(f64::NAN);
+        for fam in ["FST", "Wormhole"] {
+            if let Some(best) = rows
+                .iter()
+                .filter(|r| r.dataset == id.name() && r.family == fam)
+                .map(|r| r.ns_per_lookup)
+                .min_by(f64::total_cmp)
+            {
+                println!(
+                    "{}: best {} = {:.0} ns vs binary search = {:.0} ns ({}slower)",
+                    id.name(),
+                    fam,
+                    best,
+                    bs,
+                    if best > bs { "" } else { "NOT " }
+                );
+            }
+        }
+    }
+}

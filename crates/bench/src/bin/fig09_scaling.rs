@@ -1,0 +1,54 @@
+//! Figure 9: performance/size tradeoffs at growing dataset sizes
+//! (the paper sweeps 200M/400M/600M/800M; we sweep n, 2n, 3n, 4n).
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::{sweep_with_builders, thin_sweep};
+use sosd_bench::timing::TimingOptions;
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+
+fn main() {
+    let args = Args::parse();
+    let families = [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree];
+    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "fig09_scaling",
+        &["keys", "index", "config", "size_mb", "ns_per_lookup"],
+    );
+    for mult in 1..=4usize {
+        let n = args.n * mult;
+        eprintln!("[fig09] n={n}");
+        let workload = make_workload(DatasetId::Amzn, n, args.lookups, args.seed);
+        for family in families {
+            let builders = thin_sweep(family.sweep::<u64>(), 5);
+            let label = format!("{}M", n / 1_000_000);
+            let mut family_rows = sweep_with_builders(
+                &label,
+                family.name(),
+                builders,
+                &workload,
+                TimingOptions::default(),
+            );
+            for row in &mut family_rows {
+                row.dataset = format!("{n}");
+            }
+            rows.extend(family_rows);
+        }
+    }
+    for row in &rows {
+        report.push_row(vec![
+            row.dataset.clone(),
+            row.family.clone(),
+            row.config.clone(),
+            fmt_mb(row.size_bytes),
+            format!("{:.1}", row.ns_per_lookup),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig09_scaling", &rows).expect("write json");
+
+    // The paper's expectation: doubling the data costs about one extra
+    // binary-search step for an equal-size learned index.
+    println!("\n(expect ns to grow logarithmically with keys at fixed index size)");
+}

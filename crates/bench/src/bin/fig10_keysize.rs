@@ -1,0 +1,59 @@
+//! Figure 10: 32-bit vs 64-bit keys on amzn. Learned structures barely
+//! move (they compute in f64 either way); trees gain from packing twice the
+//! keys per cache line.
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::{sweep_with_builders, thin_sweep};
+use sosd_bench::timing::TimingOptions;
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, make_workload_u32, DatasetId};
+
+fn main() {
+    let args = Args::parse();
+    let families = [Family::Rmi, Family::Rs, Family::Pgm, Family::BTree, Family::Fast];
+    let mut rows = Vec::new();
+
+    eprintln!("[fig10] 64-bit amzn");
+    let w64 = make_workload(DatasetId::Amzn, args.n, args.lookups, args.seed);
+    for family in families {
+        let builders = thin_sweep(family.sweep::<u64>(), 6);
+        rows.extend(sweep_with_builders(
+            "amzn-64bit",
+            family.name(),
+            builders,
+            &w64,
+            TimingOptions::default(),
+        ));
+    }
+    drop(w64);
+
+    eprintln!("[fig10] 32-bit amzn");
+    let w32 = make_workload_u32(DatasetId::Amzn, args.n, args.lookups, args.seed);
+    for family in families {
+        let builders = thin_sweep(family.sweep::<u32>(), 6);
+        rows.extend(sweep_with_builders(
+            "amzn-32bit",
+            family.name(),
+            builders,
+            &w32,
+            TimingOptions::default(),
+        ));
+    }
+
+    let mut report = Report::new(
+        "fig10_keysize",
+        &["variant", "index", "config", "size_mb", "ns_per_lookup"],
+    );
+    for row in &rows {
+        report.push_row(vec![
+            row.dataset.clone(),
+            row.family.clone(),
+            row.config.clone(),
+            fmt_mb(row.size_bytes),
+            format!("{:.1}", row.ns_per_lookup),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig10_keysize", &rows).expect("write json");
+}

@@ -1,0 +1,54 @@
+//! Figure 11: last-mile search functions (binary vs linear vs
+//! interpolation) for the learned structures and RBS on amzn and osm,
+//! plus the branch-free binary ablation called out in DESIGN.md.
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::{sweep_with_builders, thin_sweep};
+use sosd_bench::timing::TimingOptions;
+use sosd_bench::Args;
+use sosd_core::search::SearchStrategy;
+use sosd_datasets::{make_workload, DatasetId};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.datasets == DatasetId::REAL_WORLD.to_vec() {
+        args.datasets = vec![DatasetId::Amzn, DatasetId::Osm];
+    }
+    let families = [Family::Rmi, Family::Pgm, Family::Rs, Family::Rbs];
+    let mut rows = Vec::new();
+    let mut report = Report::new(
+        "fig11_search",
+        &["dataset", "search", "index", "config", "size_mb", "ns_per_lookup"],
+    );
+    for &id in &args.datasets {
+        let workload = make_workload(id, args.n, args.lookups, args.seed);
+        for strategy in SearchStrategy::ALL {
+            eprintln!("[fig11] {} / {}", id.name(), strategy.label());
+            for family in families {
+                let builders = thin_sweep(family.sweep::<u64>(), 5);
+                let mut sweep_rows = sweep_with_builders(
+                    id.name(),
+                    family.name(),
+                    builders,
+                    &workload,
+                    TimingOptions { strategy, ..Default::default() },
+                );
+                for row in &mut sweep_rows {
+                    report.push_row(vec![
+                        row.dataset.clone(),
+                        strategy.label().to_string(),
+                        row.family.clone(),
+                        row.config.clone(),
+                        fmt_mb(row.size_bytes),
+                        format!("{:.1}", row.ns_per_lookup),
+                    ]);
+                    row.dataset = format!("{}/{}", id.name(), strategy.label());
+                }
+                rows.extend(sweep_rows);
+            }
+        }
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig11_search", &rows).expect("write json");
+}

@@ -1,0 +1,169 @@
+//! Figure 12 + the Section 4.3 regression: lookup time against size, log2
+//! error, (simulated) cache misses, branch misses, and instruction counts —
+//! then an OLS fit of lookup time on the three counters, reporting R²,
+//! standardized coefficients, and p-values like the paper.
+
+use serde::Serialize;
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::thin_sweep;
+use sosd_bench::timing::{time_lookups, TimingOptions};
+use sosd_bench::Args;
+use sosd_core::ols;
+use sosd_core::stats::log2_error_stats;
+use sosd_datasets::{make_workload, DatasetId};
+use sosd_perfsim::tracer::measure_lookups;
+use sosd_perfsim::{CacheHierarchy, SimTracer};
+
+#[derive(Debug, Clone, Serialize)]
+struct MetricRow {
+    dataset: String,
+    family: String,
+    config: String,
+    size_bytes: usize,
+    ns_per_lookup: f64,
+    mean_log2_err: f64,
+    llc_misses_per_lookup: f64,
+    branch_misses_per_lookup: f64,
+    instructions_per_lookup: f64,
+}
+
+fn main() {
+    let mut args = Args::parse();
+    if args.datasets == DatasetId::REAL_WORLD.to_vec() {
+        args.datasets = vec![DatasetId::Amzn, DatasetId::Osm];
+    }
+    let families = [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Art];
+    let sim_probes = args.lookups.min(20_000);
+    let mut rows: Vec<MetricRow> = Vec::new();
+
+    for &id in &args.datasets {
+        eprintln!("[fig12] dataset {}", id.name());
+        let workload = make_workload(id, args.n, args.lookups, args.seed);
+        for family in families {
+            for builder in thin_sweep(family.sweep::<u64>(), 6) {
+                let Ok(index) = builder.build_boxed(&workload.data) else { continue };
+                let timing = time_lookups(
+                    index.as_ref(),
+                    &workload.data,
+                    &workload.lookups,
+                    TimingOptions::default(),
+                );
+                let err_probes: Vec<u64> =
+                    workload.lookups.iter().copied().take(20_000).collect();
+                let stats = log2_error_stats(index.as_ref(), &workload.data, &err_probes);
+                // Use the paper-machine hierarchy: wall-clock timing runs on
+                // real host caches, so the simulated hierarchy should be of
+                // comparable scale for the regression to carry signal. Run
+                // with --n 2m or more so the working set exceeds the LLC.
+                let mut tracer = SimTracer::new(CacheHierarchy::xeon_6230());
+                let sim = measure_lookups(
+                    index.as_ref(),
+                    &workload.data,
+                    &workload.lookups[..sim_probes],
+                    &mut tracer,
+                    false,
+                    sim_probes / 10,
+                );
+                let (llc, br, instr) = sim.per_lookup();
+                rows.push(MetricRow {
+                    dataset: id.name().to_string(),
+                    family: family.name().to_string(),
+                    config: builder.label(),
+                    size_bytes: index.size_bytes(),
+                    ns_per_lookup: timing.ns_per_lookup,
+                    mean_log2_err: stats.mean_log2,
+                    llc_misses_per_lookup: llc,
+                    branch_misses_per_lookup: br,
+                    instructions_per_lookup: instr,
+                });
+            }
+        }
+    }
+
+    let mut report = Report::new(
+        "fig12_metrics",
+        &[
+            "dataset", "index", "config", "size_mb", "log2_err", "llc_miss", "branch_miss",
+            "instructions", "ns_per_lookup",
+        ],
+    );
+    for r in &rows {
+        report.push_row(vec![
+            r.dataset.clone(),
+            r.family.clone(),
+            r.config.clone(),
+            fmt_mb(r.size_bytes),
+            format!("{:.2}", r.mean_log2_err),
+            format!("{:.2}", r.llc_misses_per_lookup),
+            format!("{:.2}", r.branch_misses_per_lookup),
+            format!("{:.0}", r.instructions_per_lookup),
+            format!("{:.1}", r.ns_per_lookup),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig12_metrics", &rows).expect("write json");
+
+    // Section 4.3 regression: time ~ cache misses + branch misses + instrs.
+    let x: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.llc_misses_per_lookup,
+                r.branch_misses_per_lookup,
+                r.instructions_per_lookup,
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = rows.iter().map(|r| r.ns_per_lookup).collect();
+    match ols::fit(&x, &y) {
+        Ok(fit) => {
+            println!("\n### Section 4.3 regression: ns ~ llc + branch_miss + instructions");
+            println!("R^2 = {:.3} over {} observations", fit.r_squared, fit.n);
+            let names = ["cache misses", "branch misses", "instructions"];
+            for (i, name) in names.iter().enumerate() {
+                println!(
+                    "  {name}: standardized beta = {:+.2}, p = {:.4}",
+                    fit.standardized[i],
+                    fit.p_values[i + 1],
+                );
+            }
+            println!(
+                "(paper: R^2 = 0.955, betas 0.85 / -0.28 / 0.50, all p < 0.001; \
+                 size and log2 error not significant given the counters)"
+            );
+            // The paper's second claim: adding size & log2 error on top of
+            // the counters is NOT significant.
+            let x5: Vec<Vec<f64>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.llc_misses_per_lookup,
+                        r.branch_misses_per_lookup,
+                        r.instructions_per_lookup,
+                        (r.size_bytes as f64).max(1.0),
+                        r.mean_log2_err,
+                    ]
+                })
+                .collect();
+            if let Ok(fit5) = ols::fit(&x5, &y) {
+                println!(
+                    "with size + log2err added: p(size) = {:.3}, p(log2err) = {:.3}",
+                    fit5.p_values[4], fit5.p_values[5],
+                );
+            }
+            write_json(
+                &args.out_dir,
+                "fig12_regression",
+                &serde_json::json!({
+                    "r_squared": fit.r_squared,
+                    "standardized": fit.standardized,
+                    "p_values": fit.p_values,
+                    "n": fit.n,
+                }),
+            )
+            .expect("write json");
+        }
+        Err(e) => eprintln!("regression failed: {e}"),
+    }
+}

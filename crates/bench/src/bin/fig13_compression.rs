@@ -1,0 +1,47 @@
+//! Figure 13: the information-theoretic view — index size vs log2 error,
+//! treating learned indexes as lossy CDF compression.
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::run_family_sweep;
+use sosd_bench::timing::TimingOptions;
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+
+fn main() {
+    let mut args = Args::parse();
+    if args.datasets == DatasetId::REAL_WORLD.to_vec() {
+        args.datasets = vec![DatasetId::Amzn, DatasetId::Osm];
+    }
+    let families = [Family::Rs, Family::Rmi, Family::Pgm, Family::BTree];
+    let mut rows = Vec::new();
+    for &id in &args.datasets {
+        eprintln!("[fig13] dataset {}", id.name());
+        let workload = make_workload(id, args.n, args.lookups, args.seed);
+        for family in families {
+            rows.extend(run_family_sweep(
+                id.name(),
+                family,
+                &workload,
+                TimingOptions { repeats: 1, ..Default::default() },
+            ));
+        }
+    }
+    let mut report =
+        Report::new("fig13_compression", &["dataset", "index", "config", "size_mb", "log2_err"]);
+    for row in &rows {
+        report.push_row(vec![
+            row.dataset.clone(),
+            row.family.clone(),
+            row.config.clone(),
+            fmt_mb(row.size_bytes),
+            format!("{:.2}", row.mean_log2_err),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig13_compression", &rows).expect("write json");
+    println!(
+        "\n(the paper's point: similar size/log2err does not imply similar speed — \
+         compare against fig07 latencies)"
+    );
+}

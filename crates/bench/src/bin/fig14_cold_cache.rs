@@ -1,0 +1,101 @@
+//! Figure 14: warm vs cold cache. Hardware timing with cache eviction
+//! between lookups, plus the simulator's LLC-miss counts for both modes.
+
+use serde::Serialize;
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::thin_sweep;
+use sosd_bench::timing::{time_lookups, TimingOptions};
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+use sosd_perfsim::tracer::measure_lookups;
+use sosd_perfsim::SimTracer;
+
+#[derive(Debug, Clone, Serialize)]
+struct ColdRow {
+    family: String,
+    config: String,
+    size_bytes: usize,
+    warm_ns: f64,
+    cold_ns: f64,
+    warm_llc_misses: f64,
+    cold_llc_misses: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let families = [Family::Rmi, Family::Rs, Family::Pgm, Family::BTree, Family::Fast];
+    let workload = make_workload(DatasetId::Amzn, args.n, args.lookups, args.seed);
+    // Cold-mode hardware timing evicts a 64MB buffer per lookup; keep the
+    // lookup count small.
+    let cold_lookups: Vec<u64> =
+        workload.lookups.iter().copied().take(args.lookups.min(2_000)).collect();
+    let sim_probes = args.lookups.min(10_000);
+
+    let mut rows = Vec::new();
+    for family in families {
+        for builder in thin_sweep(family.sweep::<u64>(), 5) {
+            eprintln!("[fig14] {}", builder.label());
+            let Ok(index) = builder.build_boxed(&workload.data) else { continue };
+            let warm = time_lookups(
+                index.as_ref(),
+                &workload.data,
+                &workload.lookups,
+                TimingOptions::default(),
+            );
+            let cold = time_lookups(
+                index.as_ref(),
+                &workload.data,
+                &cold_lookups,
+                TimingOptions { cold: true, repeats: 1, ..Default::default() },
+            );
+            let mut warm_sim = SimTracer::scaled_default();
+            let ws = measure_lookups(
+                index.as_ref(),
+                &workload.data,
+                &workload.lookups[..sim_probes],
+                &mut warm_sim,
+                false,
+                sim_probes / 10,
+            );
+            let mut cold_sim = SimTracer::scaled_default();
+            let cs = measure_lookups(
+                index.as_ref(),
+                &workload.data,
+                &workload.lookups[..sim_probes],
+                &mut cold_sim,
+                true,
+                sim_probes / 10,
+            );
+            rows.push(ColdRow {
+                family: family.name().to_string(),
+                config: builder.label(),
+                size_bytes: index.size_bytes(),
+                warm_ns: warm.ns_per_lookup,
+                cold_ns: cold.ns_per_lookup,
+                warm_llc_misses: ws.per_lookup().0,
+                cold_llc_misses: cs.per_lookup().0,
+            });
+        }
+    }
+
+    let mut report = Report::new(
+        "fig14_cold_cache",
+        &["index", "config", "size_mb", "warm_ns", "cold_ns", "cold/warm", "warm_llc", "cold_llc"],
+    );
+    for r in &rows {
+        report.push_row(vec![
+            r.family.clone(),
+            r.config.clone(),
+            fmt_mb(r.size_bytes),
+            format!("{:.1}", r.warm_ns),
+            format!("{:.1}", r.cold_ns),
+            format!("{:.2}x", r.cold_ns / r.warm_ns.max(1e-9)),
+            format!("{:.2}", r.warm_llc_misses),
+            format!("{:.2}", r.cold_llc_misses),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig14_cold_cache", &rows).expect("write json");
+    println!("\n(paper: cold-cache penalty of roughly 2x-2.5x across structures)");
+}

@@ -1,0 +1,69 @@
+//! Figure 15: memory fences. With a SeqCst fence between lookups the CPU
+//! cannot overlap adjacent lookups; structures with short instruction
+//! streams (RMI, RS) lose the most.
+
+use serde::Serialize;
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::thin_sweep;
+use sosd_bench::timing::{time_lookups, TimingOptions};
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+
+#[derive(Debug, Clone, Serialize)]
+struct FenceRow {
+    family: String,
+    config: String,
+    size_bytes: usize,
+    nofence_ns: f64,
+    fence_ns: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let families = [Family::Rmi, Family::Rs, Family::Pgm, Family::BTree, Family::Fast];
+    let workload = make_workload(DatasetId::Amzn, args.n, args.lookups, args.seed);
+    let mut rows = Vec::new();
+    for family in families {
+        for builder in thin_sweep(family.sweep::<u64>(), 6) {
+            eprintln!("[fig15] {}", builder.label());
+            let Ok(index) = builder.build_boxed(&workload.data) else { continue };
+            let plain = time_lookups(
+                index.as_ref(),
+                &workload.data,
+                &workload.lookups,
+                TimingOptions::default(),
+            );
+            let fenced = time_lookups(
+                index.as_ref(),
+                &workload.data,
+                &workload.lookups,
+                TimingOptions { fence: true, ..Default::default() },
+            );
+            rows.push(FenceRow {
+                family: family.name().to_string(),
+                config: builder.label(),
+                size_bytes: index.size_bytes(),
+                nofence_ns: plain.ns_per_lookup,
+                fence_ns: fenced.ns_per_lookup,
+            });
+        }
+    }
+    let mut report = Report::new(
+        "fig15_fence",
+        &["index", "config", "size_mb", "no_fence_ns", "fence_ns", "slowdown"],
+    );
+    for r in &rows {
+        report.push_row(vec![
+            r.family.clone(),
+            r.config.clone(),
+            fmt_mb(r.size_bytes),
+            format!("{:.1}", r.nofence_ns),
+            format!("{:.1}", r.fence_ns),
+            format!("{:.2}x", r.fence_ns / r.nofence_ns.max(1e-9)),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig15_fence", &rows).expect("write json");
+    println!("\n(paper: ~50% slowdown for RMI/RS; BTree, FAST and PGM barely affected)");
+}

@@ -1,0 +1,161 @@
+//! Figure 16: multithreaded throughput. (a) throughput vs thread count with
+//! and without fences; (b) index size vs max-thread throughput; (c)
+//! simulated cache misses per lookup (the paper's misses/lookup/sec signal).
+
+use serde::Serialize;
+use sosd_bench::mt::{measure_throughput, thread_sweep};
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::runner::thin_sweep;
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+use sosd_perfsim::tracer::measure_lookups;
+use sosd_perfsim::SimTracer;
+use std::time::Duration;
+
+#[derive(Debug, Clone, Serialize)]
+struct MtRow {
+    family: String,
+    config: String,
+    size_bytes: usize,
+    threads: usize,
+    fence: bool,
+    lookups_per_sec: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let families = [
+        Family::Rmi,
+        Family::Pgm,
+        Family::Rs,
+        Family::Rbs,
+        Family::Art,
+        Family::BTree,
+        Family::IbTree,
+        Family::Fast,
+        Family::RobinHash,
+    ];
+    let workload = make_workload(DatasetId::Amzn, args.n, args.lookups, args.seed);
+    let budget = Duration::from_millis(if args.quick { 100 } else { 400 });
+    let threads = thread_sweep();
+    let max_threads = *threads.last().expect("non-empty");
+
+    // (a) + (c): fixed default-size configuration per family.
+    let mut rows: Vec<MtRow> = Vec::new();
+    let mut misses_report =
+        Report::new("fig16c_cache_misses", &["index", "llc_misses_per_lookup"]);
+    for family in families {
+        let builder = family.default_builder::<u64>();
+        eprintln!("[fig16a] {}", builder.label());
+        let Ok(index) = builder.build_boxed(&workload.data) else { continue };
+        for &t in &threads {
+            for fence in [false, true] {
+                let r = measure_throughput(
+                    index.as_ref(),
+                    &workload.data,
+                    &workload.lookups,
+                    t,
+                    fence,
+                    budget,
+                );
+                rows.push(MtRow {
+                    family: family.name().to_string(),
+                    config: builder.label(),
+                    size_bytes: index.size_bytes(),
+                    threads: t,
+                    fence,
+                    lookups_per_sec: r.lookups_per_sec,
+                });
+            }
+        }
+        // (c) simulated cache misses per lookup for the same configuration.
+        let probes = args.lookups.min(10_000);
+        let mut tracer = SimTracer::scaled_default();
+        let sim = measure_lookups(
+            index.as_ref(),
+            &workload.data,
+            &workload.lookups[..probes],
+            &mut tracer,
+            false,
+            probes / 10,
+        );
+        misses_report.push_row(vec![
+            family.name().to_string(),
+            format!("{:.3}", sim.per_lookup().0),
+        ]);
+    }
+
+    let mut report_a = Report::new(
+        "fig16a_threads",
+        &["index", "threads", "fence", "M_lookups_per_sec"],
+    );
+    for r in &rows {
+        report_a.push_row(vec![
+            r.family.clone(),
+            r.threads.to_string(),
+            if r.fence { "yes" } else { "no" }.into(),
+            format!("{:.2}", r.lookups_per_sec / 1e6),
+        ]);
+    }
+    report_a.emit(&args.out_dir).expect("write results");
+    misses_report.emit(&args.out_dir).expect("write results");
+
+    // Relative speedup at max threads (the rm.cab/lis8 companion plot).
+    let mut speedup = Report::new("fig16_speedup", &["index", "speedup_at_max_threads"]);
+    for family in families {
+        let base = rows
+            .iter()
+            .find(|r| r.family == family.name() && r.threads == 1 && !r.fence)
+            .map(|r| r.lookups_per_sec);
+        let top = rows
+            .iter()
+            .find(|r| r.family == family.name() && r.threads == max_threads && !r.fence)
+            .map(|r| r.lookups_per_sec);
+        if let (Some(b), Some(t)) = (base, top) {
+            speedup.push_row(vec![family.name().to_string(), format!("{:.2}x", t / b)]);
+        }
+    }
+    speedup.emit(&args.out_dir).expect("write results");
+
+    // (b) size vs throughput at max threads across each family's sweep.
+    let mut rows_b: Vec<MtRow> = Vec::new();
+    for family in [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Rbs] {
+        for builder in thin_sweep(family.sweep::<u64>(), 4) {
+            eprintln!("[fig16b] {}", builder.label());
+            let Ok(index) = builder.build_boxed(&workload.data) else { continue };
+            let r = measure_throughput(
+                index.as_ref(),
+                &workload.data,
+                &workload.lookups,
+                max_threads,
+                false,
+                budget,
+            );
+            rows_b.push(MtRow {
+                family: family.name().to_string(),
+                config: builder.label(),
+                size_bytes: index.size_bytes(),
+                threads: max_threads,
+                fence: false,
+                lookups_per_sec: r.lookups_per_sec,
+            });
+        }
+    }
+    let mut report_b = Report::new(
+        "fig16b_size_throughput",
+        &["index", "config", "size_mb", "M_lookups_per_sec"],
+    );
+    for r in &rows_b {
+        report_b.push_row(vec![
+            r.family.clone(),
+            r.config.clone(),
+            fmt_mb(r.size_bytes),
+            format!("{:.2}", r.lookups_per_sec / 1e6),
+        ]);
+    }
+    report_b.emit(&args.out_dir).expect("write results");
+
+    rows.extend(rows_b);
+    write_json(&args.out_dir, "fig16_multithread", &rows).expect("write json");
+}

@@ -1,0 +1,64 @@
+//! Figure 17: single-threaded build times of each technique's fastest
+//! variant at four dataset sizes.
+
+use serde::Serialize;
+use sosd_bench::registry::Family;
+use sosd_bench::report::{write_json, Report};
+use sosd_bench::timing::time_build;
+use sosd_bench::Args;
+use sosd_datasets::{make_workload, DatasetId};
+
+#[derive(Debug, Clone, Serialize)]
+struct BuildRow {
+    family: String,
+    keys: usize,
+    build_secs: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let families = [
+        Family::Pgm,
+        Family::Rs,
+        Family::Rmi,
+        Family::Rbs,
+        Family::Art,
+        Family::BTree,
+        Family::IbTree,
+        Family::Fast,
+        Family::Fst,
+        Family::Wormhole,
+        Family::RobinHash,
+        Family::CuckooMap,
+    ];
+    let mut rows = Vec::new();
+    for mult in 1..=4usize {
+        let n = args.n * mult;
+        eprintln!("[fig17] n={n}");
+        let workload = make_workload(DatasetId::Amzn, n, 100, args.seed);
+        for family in families {
+            let builder = family.fastest_builder::<u64>();
+            let (secs, index) = time_build(builder.as_ref(), &workload.data);
+            // Sanity: the built index must answer a lookup correctly.
+            let probe = workload.data.key(n / 2);
+            assert!(index
+                .search_bound(probe)
+                .contains(workload.data.lower_bound(probe)));
+            rows.push(BuildRow { family: family.name().to_string(), keys: n, build_secs: secs });
+        }
+    }
+    let mut report = Report::new("fig17_build_times", &["index", "keys", "build_secs"]);
+    for r in &rows {
+        report.push_row(vec![
+            r.family.clone(),
+            r.keys.to_string(),
+            format!("{:.3}", r.build_secs),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "fig17_build_times", &rows).expect("write json");
+    println!(
+        "\n(paper: BTree/FST/Wormhole build fastest; RMI slowest of the learned trio; \
+         RS builds in one pass)"
+    );
+}

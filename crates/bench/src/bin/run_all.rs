@@ -1,0 +1,88 @@
+//! Run every experiment binary in sequence — the one-command reproduction
+//! of the paper's entire evaluation section plus the extensions.
+//!
+//! Usage: `cargo run --release -p sosd-bench --bin run_all -- [--quick]
+//! [--n 1m --lookups 200k --seed 42 --out results]`. Flags are forwarded to
+//! every experiment. Each experiment's stdout+stderr is captured to
+//! `<out>/log_<name>.txt`; a summary with per-experiment wall time is
+//! printed at the end and written to `<out>/run_all_summary.csv`.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::Command;
+use std::time::Instant;
+
+/// Every experiment binary, in paper order then extensions.
+const EXPERIMENTS: &[&str] = &[
+    "table1_capabilities",
+    "fig06_cdf",
+    "fig07_pareto",
+    "fig08_strings",
+    "table2_fastest",
+    "fig09_scaling",
+    "fig10_keysize",
+    "fig11_search",
+    "fig12_metrics",
+    "fig13_compression",
+    "fig14_cold_cache",
+    "fig15_fence",
+    "fig16_multithread",
+    "fig17_build_times",
+    "ext01_dynamic_mixed",
+    "ext02_synthetic",
+    "ext03_rmi_ablation",
+    "ext04_dynamic_ablation",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    // Reuse the shared parser only to locate the output directory.
+    let out_dir = sosd_bench::Args::parse_from(forwarded.clone()).out_dir;
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+
+    let mut summary: Vec<(String, f64, bool)> = Vec::new();
+    for &name in EXPERIMENTS {
+        let exe = bin_dir.join(name);
+        if !exe.exists() {
+            eprintln!("[run_all] SKIP {name}: {} not built (build with --bins)", exe.display());
+            summary.push((name.to_string(), 0.0, false));
+            continue;
+        }
+        eprint!("[run_all] {name} ... ");
+        let t = Instant::now();
+        let output = Command::new(&exe).args(&forwarded).output().expect("spawn experiment");
+        let secs = t.elapsed().as_secs_f64();
+        let ok = output.status.success();
+        eprintln!("{} in {secs:.1}s", if ok { "ok" } else { "FAILED" });
+
+        let log = out_dir.join(format!("log_{name}.txt"));
+        let mut f = std::fs::File::create(&log).expect("create log file");
+        f.write_all(&output.stdout).expect("write log");
+        f.write_all(&output.stderr).expect("write log");
+        summary.push((name.to_string(), secs, ok));
+    }
+
+    let mut csv = String::from("experiment,seconds,ok\n");
+    println!("\n{:<24} {:>9} {:>6}", "experiment", "seconds", "ok");
+    for (name, secs, ok) in &summary {
+        println!("{name:<24} {secs:>9.1} {ok:>6}");
+        csv.push_str(&format!("{name},{secs:.1},{ok}\n"));
+    }
+    write_summary(&out_dir, &csv);
+
+    let failed: Vec<&str> =
+        summary.iter().filter(|(_, _, ok)| !ok).map(|(n, _, _)| n.as_str()).collect();
+    if failed.is_empty() {
+        println!("\nall {} experiments completed; results in {}", summary.len(), out_dir.display());
+    } else {
+        eprintln!("\nFAILED: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+}
+
+fn write_summary(out_dir: &Path, csv: &str) {
+    std::fs::write(out_dir.join("run_all_summary.csv"), csv).expect("write summary");
+}

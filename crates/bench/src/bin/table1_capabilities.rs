@@ -1,0 +1,26 @@
+//! Table 1: the capability matrix of every evaluated technique.
+
+use sosd_bench::registry::Family;
+use sosd_bench::report::Report;
+use sosd_bench::Args;
+use sosd_core::{Index, SortedData};
+
+fn main() {
+    let args = Args::parse();
+    let data = SortedData::new((0..1000u64).map(|i| i * 3).collect()).expect("valid data");
+    let mut report = Report::new("table1_capabilities", &["Method", "Updates", "Ordered", "Type"]);
+    for family in Family::ALL {
+        let index = family
+            .default_builder::<u64>()
+            .build_boxed(&data)
+            .expect("default builders succeed");
+        let caps = index.capabilities();
+        report.push_row(vec![
+            family.name().to_string(),
+            if caps.updates { "Yes" } else { "No" }.to_string(),
+            if caps.ordered { "Yes" } else { "No" }.to_string(),
+            caps.kind.label().to_string(),
+        ]);
+    }
+    report.emit(&args.out_dir).expect("write results");
+}

@@ -1,0 +1,140 @@
+//! Minimal shared flag parsing for the experiment binaries (no external
+//! dependency; flags are uniform across all `fig*`/`table*` targets).
+
+use sosd_datasets::DatasetId;
+use std::path::PathBuf;
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Dataset size in keys (paper: 200M; laptop default: 1M).
+    pub n: usize,
+    /// Number of lookup keys (paper: 10M; laptop default: 200k).
+    pub lookups: usize,
+    /// Generator/workload seed.
+    pub seed: u64,
+    /// Datasets to run on (defaults differ per experiment).
+    pub datasets: Vec<DatasetId>,
+    /// Output directory for CSV/JSON results.
+    pub out_dir: PathBuf,
+    /// Quick mode: shrink everything for smoke tests.
+    pub quick: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            n: 1_000_000,
+            lookups: 200_000,
+            seed: 42,
+            datasets: DatasetId::REAL_WORLD.to_vec(),
+            out_dir: PathBuf::from("results"),
+            quick: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Args {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--n" => args.n = parse_num(&value("--n")),
+                "--lookups" => args.lookups = parse_num(&value("--lookups")),
+                "--seed" => args.seed = parse_num(&value("--seed")) as u64,
+                "--out" => args.out_dir = PathBuf::from(value("--out")),
+                "--datasets" => {
+                    args.datasets = value("--datasets")
+                        .split(',')
+                        .map(|name| {
+                            DatasetId::parse(name).unwrap_or_else(|| {
+                                eprintln!("unknown dataset: {name}");
+                                std::process::exit(2);
+                            })
+                        })
+                        .collect();
+                }
+                "--quick" => args.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --n <keys> --lookups <count> --seed <s> \
+                         --datasets a,b,c --out <dir> --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if args.quick {
+            args.n = args.n.min(50_000);
+            args.lookups = args.lookups.min(5_000);
+        }
+        args
+    }
+}
+
+/// Accept plain integers with optional `k`/`m` suffixes (e.g. `200k`, `2m`).
+fn parse_num(s: &str) -> usize {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 1_000),
+        Some(d) => (d, 1_000_000),
+        None => (lower.as_str(), 1),
+    };
+    digits.parse::<usize>().map(|v| v * mult).unwrap_or_else(|_| {
+        eprintln!("bad number: {s}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse_from(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        let a = parse(&[]);
+        assert_eq!(a.n, 1_000_000);
+        assert_eq!(a.datasets.len(), 4);
+    }
+
+    #[test]
+    fn parses_suffixes_and_flags() {
+        let a = parse(&["--n", "2m", "--lookups", "100k", "--seed", "7"]);
+        assert_eq!(a.n, 2_000_000);
+        assert_eq!(a.lookups, 100_000);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn parses_dataset_list() {
+        let a = parse(&["--datasets", "amzn,osm"]);
+        assert_eq!(a.datasets, vec![DatasetId::Amzn, DatasetId::Osm]);
+    }
+
+    #[test]
+    fn quick_mode_shrinks() {
+        let a = parse(&["--quick"]);
+        assert!(a.n <= 50_000);
+    }
+}

@@ -1,0 +1,133 @@
+//! Harness support for the mixed read/write experiments (the paper's
+//! future-work benchmark): construction of every dynamic structure behind a
+//! uniform factory, and a timed op-stream executor.
+
+use serde::Serialize;
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex, Op};
+use std::time::Instant;
+
+/// The dynamic structures under test, in table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynFamily {
+    /// ALEX (ref. [11]): gapped model arrays.
+    Alex,
+    /// Dynamic PGM (ref. [13]): logarithmic method over static PGMs.
+    DynamicPgm,
+    /// FITing-Tree (ref. [14]): cone segments with delta buffers.
+    Fiting,
+    /// Insertable B+Tree: the traditional, insert-optimized yardstick.
+    BPlusTree,
+}
+
+impl DynFamily {
+    /// All dynamic families.
+    pub const ALL: [DynFamily; 4] =
+        [DynFamily::Alex, DynFamily::DynamicPgm, DynFamily::Fiting, DynFamily::BPlusTree];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DynFamily::Alex => "ALEX",
+            DynFamily::DynamicPgm => "DynamicPGM",
+            DynFamily::Fiting => "FITing(dyn)",
+            DynFamily::BPlusTree => "B+Tree(dyn)",
+        }
+    }
+
+    /// Bulk-load a fresh instance with the given sorted seed data.
+    pub fn bulk_load(self, keys: &[u64], payloads: &[u64]) -> Box<dyn DynamicOrderedIndex<u64>> {
+        match self {
+            DynFamily::Alex => Box::new(sosd_alex::AlexTree::bulk_load(keys, payloads)),
+            DynFamily::DynamicPgm => Box::new(sosd_pgm::DynamicPgm::bulk_load(keys, payloads)),
+            DynFamily::Fiting => Box::new(sosd_fiting::DynamicFitingTree::bulk_load(keys, payloads)),
+            DynFamily::BPlusTree => Box::new(sosd_btree::DynamicBTree::bulk_load(keys, payloads)),
+        }
+    }
+}
+
+/// Timing breakdown for one (structure, workload) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct MixedRunResult {
+    /// Structure name.
+    pub family: String,
+    /// Workload label.
+    pub workload: String,
+    /// Bulk-load wall time in milliseconds.
+    pub bulk_ms: f64,
+    /// Op-stream throughput in million operations per second.
+    pub mops_per_s: f64,
+    /// Mean nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Structure size after the stream, in bytes.
+    pub size_bytes: usize,
+    /// Checksum over all op results (proves runs did identical work).
+    pub checksum: u64,
+    /// Number of operations executed.
+    pub ops: usize,
+}
+
+/// Bulk-load `family` and drive the op stream through it, timing both.
+///
+/// The checksum folds every operation's observable result, so two correct
+/// structures on the same workload must produce identical checksums — the
+/// dynamic analogue of the paper's payload-sum validation.
+pub fn run_mixed(
+    family: DynFamily,
+    label: &str,
+    bulk_keys: &[u64],
+    bulk_payloads: &[u64],
+    ops: &[Op<u64>],
+) -> MixedRunResult {
+    let t0 = Instant::now();
+    let mut idx = family.bulk_load(bulk_keys, bulk_payloads);
+    let bulk_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let mut checksum = 0u64;
+    for &op in ops {
+        let r = sosd_core::dynamic::apply_op(idx.as_mut(), op);
+        checksum = checksum.wrapping_mul(0x100000001B3).wrapping_add(r.unwrap_or(0x9E37));
+    }
+    let elapsed = t1.elapsed().as_secs_f64();
+    let ns_per_op = elapsed * 1e9 / ops.len().max(1) as f64;
+
+    MixedRunResult {
+        family: family.name().to_string(),
+        workload: label.to_string(),
+        bulk_ms,
+        mops_per_s: ops.len() as f64 / elapsed / 1e6,
+        ns_per_op,
+        size_bytes: idx.size_bytes(),
+        checksum,
+        ops: ops.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_datasets::{generate_mixed, DatasetId, MixedConfig};
+
+    #[test]
+    fn all_families_produce_identical_checksums() {
+        let w = generate_mixed(DatasetId::Amzn, 20_000, 5_000, MixedConfig::default(), 42);
+        let results: Vec<MixedRunResult> = DynFamily::ALL
+            .iter()
+            .map(|&f| run_mixed(f, &w.label, &w.bulk_keys, &w.bulk_payloads, &w.ops))
+            .collect();
+        let first = results[0].checksum;
+        for r in &results {
+            assert_eq!(r.checksum, first, "{} diverged from {}", r.family, results[0].family);
+            assert!(r.ns_per_op > 0.0);
+            assert!(r.size_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<&str> = DynFamily::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DynFamily::ALL.len());
+    }
+}

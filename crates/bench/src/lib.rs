@@ -1,0 +1,32 @@
+//! # sosd-bench
+//!
+//! The experiment harness: everything needed to regenerate each table and
+//! figure of *Benchmarking Learned Indexes* from the workspace's index
+//! implementations.
+//!
+//! * [`registry`] — uniform access to every index family's configuration
+//!   sweep through a type-erased builder.
+//! * [`timing`] — the single-threaded lookup loop (warm/cold, with or
+//!   without memory fences, selectable last-mile search) with payload-sum
+//!   validation.
+//! * [`mt`] — the multithreaded throughput harness (Figure 16).
+//! * [`dynamic`] — the mixed read/write harness over the updatable
+//!   structures (the paper's future-work benchmark; `ext*` binaries).
+//! * [`report`] — markdown/CSV/JSON emitters writing into `results/`.
+//! * [`cli`] — the tiny shared flag parser of the `fig*`/`table*` binaries.
+//!
+//! Run experiments with e.g.
+//! `cargo run --release -p sosd-bench --bin fig07_pareto -- --n 1000000`.
+
+pub mod cli;
+pub mod dynamic;
+pub mod mt;
+pub mod registry;
+pub mod report;
+pub mod runner;
+pub mod timing;
+
+pub use cli::Args;
+pub use registry::{DynBuilder, Family};
+pub use report::Report;
+pub use timing::{time_lookups, LookupTiming};

@@ -1,0 +1,123 @@
+//! Multithreaded throughput measurement (Figure 16).
+//!
+//! Every thread loops over its own shard of the lookup keys for a fixed
+//! time budget; aggregate completed lookups per second is reported. Since
+//! multithreading strictly increases latency, throughput is the right
+//! metric (Section 4.5).
+
+use sosd_core::search::SearchStrategy;
+use sosd_core::{Index, Key, SortedData};
+use std::hint::black_box;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Result of one throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Threads used.
+    pub threads: usize,
+    /// Aggregate lookups per second.
+    pub lookups_per_sec: f64,
+}
+
+/// Measure aggregate throughput with `threads` workers for `budget`.
+pub fn measure_throughput<K: Key, I: Index<K> + Sync + ?Sized>(
+    index: &I,
+    data: &SortedData<K>,
+    lookups: &[K],
+    threads: usize,
+    use_fence: bool,
+    budget: Duration,
+) -> ThroughputResult {
+    assert!(threads >= 1);
+    assert!(!lookups.is_empty());
+    let done = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let keys = data.keys();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let done = &done;
+            let total = &total;
+            let shard: Vec<K> = lookups
+                .iter()
+                .copied()
+                .skip(t)
+                .step_by(threads)
+                .collect();
+            scope.spawn(move || {
+                let mut count = 0u64;
+                let mut checksum = 0u64;
+                'outer: loop {
+                    for &x in &shard {
+                        if use_fence {
+                            fence(Ordering::SeqCst);
+                        }
+                        let bound = index.search_bound(black_box(x));
+                        let lb = SearchStrategy::Binary.find(keys, x, bound);
+                        if lb < keys.len() {
+                            checksum = checksum.wrapping_add(data.payload(lb));
+                        }
+                        count += 1;
+                        if count.is_multiple_of(4096) && done.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                    }
+                    if done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                black_box(checksum);
+                total.fetch_add(count, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(budget);
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let count = total.load(Ordering::Relaxed);
+    ThroughputResult {
+        threads,
+        lookups_per_sec: count as f64 / budget.as_secs_f64(),
+    }
+}
+
+/// The thread counts swept in Figure 16a, adapted to the host: powers of
+/// two up to twice the available parallelism.
+pub fn thread_sweep() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    let mut counts = vec![1usize];
+    while *counts.last().expect("non-empty") < cores * 2 {
+        counts.push(counts.last().expect("non-empty") * 2);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_baselines::RbsBuilder;
+    use sosd_core::IndexBuilder;
+    use sosd_datasets::workload::sample_present_keys;
+
+    #[test]
+    fn throughput_is_positive_and_scales_not_catastrophically() {
+        let data = SortedData::new((0..100_000u64).map(|i| i * 3).collect()).unwrap();
+        let lookups = sample_present_keys(&data, 10_000, 7);
+        let idx =
+            <RbsBuilder as IndexBuilder<u64>>::build(&RbsBuilder { radix_bits: 12 }, &data)
+                .unwrap();
+        let one = measure_throughput(&idx, &data, &lookups, 1, false, Duration::from_millis(80));
+        let two = measure_throughput(&idx, &data, &lookups, 2, false, Duration::from_millis(80));
+        assert!(one.lookups_per_sec > 0.0);
+        // Two threads should not be slower than 60% of one thread.
+        assert!(two.lookups_per_sec > one.lookups_per_sec * 0.6);
+    }
+
+    #[test]
+    fn thread_sweep_starts_at_one() {
+        let sweep = thread_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.len() >= 2);
+    }
+}

@@ -1,0 +1,314 @@
+//! Uniform, type-erased access to every index family and its size sweep.
+
+use sosd_baselines::{BsBuilder, RbsBuilder};
+use sosd_core::{BuildError, Index, IndexBuilder, Key, SortedData};
+use sosd_fast::FastBuilder;
+use sosd_fiting::FitingTreeBuilder;
+use sosd_hash::{CuckooBuilder, RobinHoodBuilder};
+use sosd_pgm::PgmBuilder;
+use sosd_radix_spline::RsBuilder;
+use sosd_rmi::{ModelKind, RmiBuilder};
+use sosd_tries::{FstBuilder, WormholeBuilder};
+
+/// Type-erased builder: one Figure-7 point.
+pub trait DynBuilder<K: Key>: Send + Sync {
+    /// Build the index as a trait object.
+    fn build_boxed(&self, data: &SortedData<K>) -> Result<Box<dyn Index<K>>, BuildError>;
+    /// Configuration label for result rows.
+    fn label(&self) -> String;
+}
+
+impl<K: Key, B> DynBuilder<K> for B
+where
+    B: IndexBuilder<K> + Send + Sync,
+    B::Output: Sized + 'static,
+{
+    fn build_boxed(&self, data: &SortedData<K>) -> Result<Box<dyn Index<K>>, BuildError> {
+        Ok(Box::new(self.build(data)?))
+    }
+
+    fn label(&self) -> String {
+        self.describe()
+    }
+}
+
+/// Every index family in the benchmark (Table 1 order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Piecewise geometric model index.
+    Pgm,
+    /// RadixSpline.
+    Rs,
+    /// Recursive model index.
+    Rmi,
+    /// Static STX-style B+Tree.
+    BTree,
+    /// Interpolating B-Tree.
+    IbTree,
+    /// FAST-style branch-free layout tree.
+    Fast,
+    /// Adaptive radix tree.
+    Art,
+    /// Fast succinct trie.
+    Fst,
+    /// Wormhole hash-trie.
+    Wormhole,
+    /// Bucketized cuckoo map.
+    CuckooMap,
+    /// RobinHood hash table.
+    RobinHash,
+    /// Radix binary search lookup table.
+    Rbs,
+    /// Plain binary search.
+    Bs,
+    /// FITing-Tree (extension: ref. [14], not in the paper's Table 1
+    /// because no tuned implementation was public at the time).
+    Fiting,
+}
+
+impl Family {
+    /// The families plotted in Figure 7 (ordered indexes).
+    pub const FIGURE7: [Family; 8] = [
+        Family::Rmi,
+        Family::Pgm,
+        Family::Rs,
+        Family::Rbs,
+        Family::Art,
+        Family::BTree,
+        Family::IbTree,
+        Family::Fast,
+    ];
+
+    /// The learned index families evaluated by the paper.
+    pub const LEARNED: [Family; 3] = [Family::Rmi, Family::Pgm, Family::Rs];
+
+    /// All learned families including the FITing-Tree extension.
+    pub const LEARNED_EXTENDED: [Family; 4] =
+        [Family::Rmi, Family::Pgm, Family::Rs, Family::Fiting];
+
+    /// All families of the paper's Table 1 (exactly its 13 techniques).
+    pub const ALL: [Family; 13] = [
+        Family::Pgm,
+        Family::Rs,
+        Family::Rmi,
+        Family::BTree,
+        Family::IbTree,
+        Family::Fast,
+        Family::Art,
+        Family::Fst,
+        Family::Wormhole,
+        Family::CuckooMap,
+        Family::RobinHash,
+        Family::Rbs,
+        Family::Bs,
+    ];
+
+    /// Table 1's techniques plus the extension families.
+    pub const EXTENDED: [Family; 14] = [
+        Family::Pgm,
+        Family::Rs,
+        Family::Rmi,
+        Family::Fiting,
+        Family::BTree,
+        Family::IbTree,
+        Family::Fast,
+        Family::Art,
+        Family::Fst,
+        Family::Wormhole,
+        Family::CuckooMap,
+        Family::RobinHash,
+        Family::Rbs,
+        Family::Bs,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Pgm => "PGM",
+            Family::Rs => "RS",
+            Family::Rmi => "RMI",
+            Family::BTree => "BTree",
+            Family::IbTree => "IBTree",
+            Family::Fast => "FAST",
+            Family::Art => "ART",
+            Family::Fst => "FST",
+            Family::Wormhole => "Wormhole",
+            Family::CuckooMap => "CuckooMap",
+            Family::RobinHash => "RobinHash",
+            Family::Rbs => "RBS",
+            Family::Bs => "BS",
+            Family::Fiting => "FITing",
+        }
+    }
+
+    /// The family's size sweep (up to ~10 configurations, small to large),
+    /// generic over the key width.
+    pub fn sweep<K: Key>(self) -> Vec<Box<dyn DynBuilder<K>>> {
+        match self {
+            Family::Rmi => rmi_sweep(),
+            Family::Pgm => sosd_pgm::PgmBuilder::size_sweep()
+                .into_iter()
+                .rev() // small to large
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::Rs => RsBuilder::size_sweep()
+                .into_iter()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::BTree => sosd_btree::BTreeBuilder::size_sweep()
+                .into_iter()
+                .rev()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::IbTree => sosd_btree::IbTreeBuilder::size_sweep()
+                .into_iter()
+                .rev()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::Fast => FastBuilder::size_sweep()
+                .into_iter()
+                .rev()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::Art => sosd_art::ArtBuilder::size_sweep()
+                .into_iter()
+                .rev()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::Fst => FstBuilder::size_sweep()
+                .into_iter()
+                .rev()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::Wormhole => WormholeBuilder::size_sweep()
+                .into_iter()
+                .rev()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+            Family::Rbs => (4..=26)
+                .step_by(2)
+                .map(|r| Box::new(RbsBuilder { radix_bits: r.min(K::BITS).min(28) }) as _)
+                .collect(),
+            Family::Bs => vec![Box::new(BsBuilder)],
+            Family::CuckooMap => vec![Box::new(CuckooBuilder::default())],
+            Family::RobinHash => vec![Box::new(RobinHoodBuilder::default())],
+            Family::Fiting => FitingTreeBuilder::size_sweep()
+                .into_iter()
+                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .collect(),
+        }
+    }
+
+    /// The family's single "reasonable default" configuration, used by
+    /// experiments that fix the size budget (Figures 14-16).
+    pub fn default_builder<K: Key>(self) -> Box<dyn DynBuilder<K>> {
+        match self {
+            Family::Rmi => Box::new(RmiBuilder::default()),
+            Family::Pgm => Box::new(PgmBuilder::default()),
+            Family::Rs => Box::new(RsBuilder::default()),
+            Family::BTree => Box::new(sosd_btree::BTreeBuilder { stride: 16, fanout: 16 }),
+            Family::IbTree => Box::new(sosd_btree::IbTreeBuilder { stride: 16, fanout: 64 }),
+            Family::Fast => Box::new(FastBuilder { stride: 16 }),
+            Family::Art => Box::new(sosd_art::ArtBuilder { stride: 16 }),
+            Family::Fst => Box::new(FstBuilder { stride: 16 }),
+            Family::Wormhole => Box::new(WormholeBuilder { stride: 16 }),
+            Family::Rbs => Box::new(RbsBuilder { radix_bits: 18.min(K::BITS) }),
+            Family::Bs => Box::new(BsBuilder),
+            Family::CuckooMap => Box::new(CuckooBuilder::default()),
+            Family::RobinHash => Box::new(RobinHoodBuilder::default()),
+            Family::Fiting => Box::new(FitingTreeBuilder { eps: 128 }),
+        }
+    }
+}
+
+impl Family {
+    /// The fastest-lookup variant of each family (Table 2 / Figure 17 use
+    /// "the fastest variant of each index structure").
+    pub fn fastest_builder<K: Key>(self) -> Box<dyn DynBuilder<K>> {
+        match self {
+            Family::Rmi => Box::new(RmiBuilder {
+                root_kind: ModelKind::Cubic,
+                leaf_kind: ModelKind::Linear,
+                branch: 1 << 18,
+            }),
+            Family::Pgm => Box::new(PgmBuilder { eps: 16, eps_internal: 4 }),
+            Family::Rs => Box::new(RsBuilder { eps: 16, radix_bits: 20.min(K::BITS).min(28) }),
+            Family::BTree => Box::new(sosd_btree::BTreeBuilder { stride: 1, fanout: 16 }),
+            Family::IbTree => Box::new(sosd_btree::IbTreeBuilder { stride: 1, fanout: 64 }),
+            Family::Fast => Box::new(FastBuilder { stride: 1 }),
+            Family::Art => Box::new(sosd_art::ArtBuilder { stride: 1 }),
+            Family::Fst => Box::new(FstBuilder { stride: 1 }),
+            Family::Wormhole => Box::new(WormholeBuilder { stride: 1 }),
+            Family::Rbs => Box::new(RbsBuilder { radix_bits: 24.min(K::BITS).min(28) }),
+            Family::Bs => Box::new(BsBuilder),
+            Family::CuckooMap => Box::new(CuckooBuilder::default()),
+            Family::RobinHash => Box::new(RobinHoodBuilder::default()),
+            Family::Fiting => Box::new(FitingTreeBuilder { eps: 16 }),
+        }
+    }
+}
+
+/// The RMI grid the tuner would pick from, as a fixed deterministic sweep
+/// (cubic root + linear leaves, the dominant CDFShop choice).
+fn rmi_sweep<K: Key>() -> Vec<Box<dyn DynBuilder<K>>> {
+    (6..=24)
+        .step_by(2)
+        .map(|b| {
+            Box::new(RmiBuilder {
+                root_kind: ModelKind::Cubic,
+                leaf_kind: ModelKind::Linear,
+                branch: 1usize << b,
+            }) as Box<dyn DynBuilder<K>>
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_is_all_plus_fiting() {
+        assert_eq!(Family::EXTENDED.len(), Family::ALL.len() + 1);
+        for f in Family::ALL {
+            assert!(Family::EXTENDED.contains(&f), "{} missing from EXTENDED", f.name());
+        }
+        assert!(Family::EXTENDED.contains(&Family::Fiting));
+        assert!(!Family::ALL.contains(&Family::Fiting), "Table 1 stays at 13 techniques");
+    }
+
+    #[test]
+    fn every_family_builds_on_small_data() {
+        let data = SortedData::new((0..10_000u64).map(|i| i * 3).collect()).unwrap();
+        for family in Family::EXTENDED {
+            let builder = family.default_builder::<u64>();
+            let idx = builder.build_boxed(&data).unwrap_or_else(|e| {
+                panic!("{} failed to build: {e}", family.name());
+            });
+            let b = idx.search_bound(7_500);
+            assert!(b.contains(data.lower_bound(7_500)), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn sweeps_are_bounded_and_labelled() {
+        for family in Family::FIGURE7 {
+            let sweep = family.sweep::<u64>();
+            assert!(!sweep.is_empty() && sweep.len() <= 12, "{}", family.name());
+            for b in &sweep {
+                assert!(!b.label().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_build_for_u32() {
+        let data = SortedData::new((0..5_000u32).map(|i| i * 7).collect()).unwrap();
+        for family in [Family::Rmi, Family::Rs, Family::Pgm, Family::BTree, Family::Fast] {
+            for b in family.sweep::<u32>().iter().take(2) {
+                let idx = b.build_boxed(&data).unwrap();
+                assert!(idx.search_bound(700u32).contains(data.lower_bound(700)));
+            }
+        }
+    }
+}

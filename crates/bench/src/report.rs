@@ -1,0 +1,153 @@
+//! Experiment reporting: aligned text tables on stdout plus CSV and JSON
+//! files under the results directory.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A tabular experiment report.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Experiment identifier, e.g. `fig07_pareto`.
+    pub name: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Start a report with the given columns.
+    pub fn new(name: &str, columns: &[&str]) -> Self {
+        Report {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the column count).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned markdown-ish table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            let line = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ");
+            let _ = writeln!(out, "| {} |", line);
+        };
+        fmt_row(&mut out, &self.columns);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        fmt_row(&mut out, &sep);
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Print the table and persist CSV under `dir`.
+    pub fn emit(&self, dir: &Path) -> std::io::Result<()> {
+        println!("\n## {}\n", self.name);
+        print!("{}", self.to_table());
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Persist any serializable experiment payload as JSON under `dir`.
+pub fn write_json<T: Serialize>(dir: &Path, name: &str, value: &T) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable experiment payload");
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Human-friendly byte size (two significant decimals, MB granularity like
+/// the paper's axes).
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.3}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let mut r = Report::new("test", &["name", "value"]);
+        r.push_row(vec!["short".into(), "1".into()]);
+        r.push_row(vec!["much_longer_name".into(), "2".into()]);
+        let t = r.to_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut r = Report::new("test", &["a"]);
+        r.push_row(vec!["x,y".into()]);
+        assert!(r.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Report::new("test", &["a", "b"]);
+        r.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let dir = std::env::temp_dir().join(format!("sosd_report_{}", std::process::id()));
+        let path = write_json(&dir, "t", &vec![1, 2, 3]).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fmt_mb_scales() {
+        assert_eq!(fmt_mb(1024 * 1024), "1.000");
+        assert_eq!(fmt_mb(512 * 1024), "0.500");
+    }
+}

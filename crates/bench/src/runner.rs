@@ -1,0 +1,183 @@
+//! Shared experiment routines: build a family sweep on a workload, measure
+//! size / latency / log2 error, and return uniform rows.
+
+use crate::registry::{DynBuilder, Family};
+use crate::timing::{time_lookups, TimingOptions};
+use serde::Serialize;
+use sosd_core::stats::log2_error_stats;
+use sosd_core::{Index, Key};
+use sosd_datasets::workload::Workload;
+
+/// One measured configuration (a point in Figure 7 and friends).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Family name ("RMI", "PGM", ...).
+    pub family: String,
+    /// Full configuration label.
+    pub config: String,
+    /// Index size in bytes (excluding the data array).
+    pub size_bytes: usize,
+    /// Median nanoseconds per lookup.
+    pub ns_per_lookup: f64,
+    /// Mean log2 of the search-bound width.
+    pub mean_log2_err: f64,
+    /// Build time in seconds.
+    pub build_secs: f64,
+}
+
+/// Measure every configuration of `family` on the workload.
+///
+/// The checksum of every timed run is validated against the workload's
+/// expected value — a wrong lookup pipeline fails loudly, not silently.
+pub fn run_family_sweep<K: Key>(
+    dataset: &str,
+    family: Family,
+    workload: &Workload<K>,
+    options: TimingOptions,
+) -> Vec<SweepRow> {
+    sweep_with_builders(dataset, family.name(), family.sweep::<K>(), workload, options)
+}
+
+/// Like [`run_family_sweep`] but with an explicit builder list.
+pub fn sweep_with_builders<K: Key>(
+    dataset: &str,
+    family_name: &str,
+    builders: Vec<Box<dyn DynBuilder<K>>>,
+    workload: &Workload<K>,
+    options: TimingOptions,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for builder in builders {
+        let start = std::time::Instant::now();
+        let index = match builder.build_boxed(&workload.data) {
+            Ok(i) => i,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", builder.label());
+                continue;
+            }
+        };
+        let build_secs = start.elapsed().as_secs_f64();
+        rows.push(measure_index(
+            dataset,
+            family_name,
+            &builder.label(),
+            index.as_ref(),
+            workload,
+            options,
+            build_secs,
+        ));
+    }
+    rows
+}
+
+/// Measure one already-built index.
+pub fn measure_index<K: Key, I: Index<K> + ?Sized>(
+    dataset: &str,
+    family_name: &str,
+    config: &str,
+    index: &I,
+    workload: &Workload<K>,
+    options: TimingOptions,
+    build_secs: f64,
+) -> SweepRow {
+    let timing = time_lookups(index, &workload.data, &workload.lookups, options);
+    // Hash tables cannot serve absent keys with useful bounds, but our
+    // workloads only look up present keys (like the paper's), so the
+    // checksum must always match.
+    assert_eq!(
+        timing.checksum, workload.expected_checksum,
+        "{family_name} {config} returned wrong results"
+    );
+    let err_probes: Vec<K> = workload.lookups.iter().copied().take(20_000).collect();
+    let stats = log2_error_stats(index, &workload.data, &err_probes);
+    SweepRow {
+        dataset: dataset.to_string(),
+        family: family_name.to_string(),
+        config: config.to_string(),
+        size_bytes: index.size_bytes(),
+        ns_per_lookup: timing.ns_per_lookup,
+        mean_log2_err: stats.mean_log2,
+        build_secs,
+    }
+}
+
+/// Convenience: the sweep rows that lie on the (size, time) Pareto front.
+pub fn pareto_rows(rows: &[SweepRow]) -> Vec<usize> {
+    let pts: Vec<(f64, f64)> =
+        rows.iter().map(|r| (r.size_bytes as f64, r.ns_per_lookup)).collect();
+    sosd_core::stats::pareto_front(&pts)
+}
+
+/// Downsample a builder sweep to at most `max` entries (used by the slower
+/// experiments to keep total build counts sane).
+pub fn thin_sweep<K: Key>(
+    mut builders: Vec<Box<dyn DynBuilder<K>>>,
+    max: usize,
+) -> Vec<Box<dyn DynBuilder<K>>> {
+    if builders.len() <= max || max == 0 {
+        return builders;
+    }
+    let len = builders.len();
+    let keep: Vec<usize> = (0..max).map(|i| i * (len - 1) / (max - 1)).collect();
+    let mut kept = Vec::with_capacity(max);
+    for (i, builder) in builders.drain(..).enumerate() {
+        if keep.contains(&i) {
+            kept.push(builder);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingOptions;
+    use sosd_datasets::{make_workload, DatasetId};
+
+    #[test]
+    fn sweep_produces_monotone_sizes_for_rbs() {
+        let w = make_workload(DatasetId::UniformDense, 20_000, 2_000, 3);
+        let rows = run_family_sweep(
+            "uniform_dense",
+            Family::Rbs,
+            &w,
+            TimingOptions { repeats: 1, ..Default::default() },
+        );
+        assert!(rows.len() >= 5);
+        assert!(rows.windows(2).all(|p| p[0].size_bytes <= p[1].size_bytes));
+    }
+
+    #[test]
+    fn learned_families_run_end_to_end() {
+        let w = make_workload(DatasetId::Amzn, 20_000, 2_000, 3);
+        for family in Family::LEARNED {
+            let builders = thin_sweep(family.sweep::<u64>(), 2);
+            let rows = sweep_with_builders(
+                "amzn",
+                family.name(),
+                builders,
+                &w,
+                TimingOptions { repeats: 1, ..Default::default() },
+            );
+            assert_eq!(rows.len(), 2, "{}", family.name());
+            for r in rows {
+                assert!(r.ns_per_lookup > 0.0);
+                assert!(r.size_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn thin_sweep_keeps_ends() {
+        let builders = Family::Rbs.sweep::<u64>();
+        let n = builders.len();
+        let first = builders[0].label();
+        let last = builders[n - 1].label();
+        let thinned = thin_sweep(builders, 3);
+        assert_eq!(thinned.len(), 3);
+        assert_eq!(thinned[0].label(), first);
+        assert_eq!(thinned[2].label(), last);
+    }
+}

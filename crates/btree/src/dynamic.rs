@@ -1,0 +1,627 @@
+//! An insertable in-memory B+Tree — the "insert-optimized traditional"
+//! baseline the paper's conclusion measures learned structures against.
+//!
+//! Section 4.6 of the paper observes that "BTrees, FST, and Wormhole provide
+//! the fastest build times, as these structures were designed to support fast
+//! updates". The static [`crate::tree::BTreeIndex`] cannot demonstrate that
+//! property, so this module implements a textbook B+Tree: sorted keys in
+//! every node, payloads only in leaves, leaves chained for range scans, and
+//! top-down splits on overflow. It implements
+//! [`sosd_core::DynamicOrderedIndex`], making it the traditional yardstick
+//! for the updatable learned indexes (ALEX, dynamic PGM, FITing-Tree).
+
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex};
+use sosd_core::{Capabilities, IndexKind, Key};
+
+/// Maximum number of keys per node. 32 eight-byte keys = 256 bytes = four
+/// cache lines, matching the paper's STX-style node sizing.
+const MAX_KEYS: usize = 32;
+/// Minimum keys after a split (half of max, rounded down).
+const SPLIT_POINT: usize = MAX_KEYS / 2;
+
+/// Index of a node in the arena. `u32` keeps parent/child links compact.
+type NodeId = u32;
+const NO_NODE: NodeId = u32::MAX;
+
+/// An inner node: router keys and child pointers (`children.len() ==
+/// keys.len() + 1`). `keys[i]` is the smallest key reachable under
+/// `children[i + 1]`.
+struct InnerNode<K> {
+    keys: Vec<K>,
+    children: Vec<NodeId>,
+}
+
+/// A leaf node: sorted key/payload pairs plus a link to the next leaf.
+struct LeafNode<K> {
+    keys: Vec<K>,
+    payloads: Vec<u64>,
+    next: NodeId,
+}
+
+enum Node<K> {
+    Inner(InnerNode<K>),
+    Leaf(LeafNode<K>),
+}
+
+/// An insertable B+Tree mapping keys to 8-byte payloads.
+///
+/// Nodes live in an arena (`Vec<Node>`); child links are arena indexes. This
+/// avoids both `unsafe` pointer plumbing and per-node allocations, and makes
+/// [`DynamicOrderedIndex::size_bytes`] straightforward to compute.
+pub struct DynamicBTree<K: Key> {
+    nodes: Vec<Node<K>>,
+    root: NodeId,
+    len: usize,
+    /// Height of the tree (1 = root is a leaf); lets insert pre-allocate its
+    /// descent stack without touching the heap in the common case.
+    height: usize,
+}
+
+impl<K: Key> Default for DynamicBTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key> DynamicBTree<K> {
+    /// An empty tree whose root is a leaf.
+    pub fn new() -> Self {
+        let root_leaf = Node::Leaf(LeafNode { keys: Vec::new(), payloads: Vec::new(), next: NO_NODE });
+        DynamicBTree { nodes: vec![root_leaf], root: 0, len: 0, height: 1 }
+    }
+
+    /// Descend from the root to the leaf that should contain `key`,
+    /// recording the path of (inner node, child slot) pairs.
+    fn descend(&self, key: K, path: &mut Vec<(NodeId, usize)>) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Inner(inner) => {
+                    // First router key > `key` selects the child: keys equal
+                    // to the router go right (routers are copies of leaf
+                    // separator keys).
+                    let slot = inner.keys.partition_point(|&k| k <= key);
+                    path.push((id, slot));
+                    id = inner.children[slot];
+                }
+                Node::Leaf(_) => return id,
+            }
+        }
+    }
+
+    fn leaf(&self, id: NodeId) -> &LeafNode<K> {
+        match &self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("leaf id points at inner node"),
+        }
+    }
+
+    fn leaf_mut(&mut self, id: NodeId) -> &mut LeafNode<K> {
+        match &mut self.nodes[id as usize] {
+            Node::Leaf(l) => l,
+            Node::Inner(_) => unreachable!("leaf id points at inner node"),
+        }
+    }
+
+    fn alloc(&mut self, node: Node<K>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Split the overflowing leaf `id`, returning `(separator, new_leaf)`.
+    /// The separator is the first key of the new (right) leaf.
+    fn split_leaf(&mut self, id: NodeId) -> (K, NodeId) {
+        let (right_keys, right_payloads, old_next) = {
+            let leaf = self.leaf_mut(id);
+            let right_keys: Vec<K> = leaf.keys.split_off(SPLIT_POINT);
+            let right_payloads: Vec<u64> = leaf.payloads.split_off(SPLIT_POINT);
+            (right_keys, right_payloads, leaf.next)
+        };
+        let sep = right_keys[0];
+        let new_id = self.alloc(Node::Leaf(LeafNode {
+            keys: right_keys,
+            payloads: right_payloads,
+            next: old_next,
+        }));
+        self.leaf_mut(id).next = new_id;
+        (sep, new_id)
+    }
+
+    /// Split the overflowing inner node `id`, returning `(separator,
+    /// new_node)`. The separator moves up; it is *not* retained in either
+    /// half (standard B-Tree inner split).
+    fn split_inner(&mut self, id: NodeId) -> (K, NodeId) {
+        let (sep, right_keys, right_children) = {
+            let inner = match &mut self.nodes[id as usize] {
+                Node::Inner(i) => i,
+                Node::Leaf(_) => unreachable!("inner id points at leaf"),
+            };
+            let mut right_keys = inner.keys.split_off(SPLIT_POINT);
+            let right_children = inner.children.split_off(SPLIT_POINT + 1);
+            let sep = right_keys.remove(0);
+            (sep, right_keys, right_children)
+        };
+        let new_id = self.alloc(Node::Inner(InnerNode { keys: right_keys, children: right_children }));
+        (sep, new_id)
+    }
+
+    /// Insert, splitting any node that overflows along the path back up.
+    fn insert_impl(&mut self, key: K, payload: u64) -> Option<u64> {
+        let mut path = Vec::with_capacity(self.height);
+        let leaf_id = self.descend(key, &mut path);
+
+        // Insert into the leaf.
+        {
+            let leaf = self.leaf_mut(leaf_id);
+            match leaf.keys.binary_search(&key) {
+                Ok(i) => return Some(std::mem::replace(&mut leaf.payloads[i], payload)),
+                Err(i) => {
+                    leaf.keys.insert(i, key);
+                    leaf.payloads.insert(i, payload);
+                    self.len += 1;
+                }
+            }
+        }
+
+        // Propagate splits upward.
+        if self.leaf(leaf_id).keys.len() <= MAX_KEYS {
+            return None;
+        }
+        let (mut sep, mut new_child) = self.split_leaf(leaf_id);
+        let mut child_id = leaf_id;
+        loop {
+            match path.pop() {
+                Some((parent_id, slot)) => {
+                    let overflow = {
+                        let parent = match &mut self.nodes[parent_id as usize] {
+                            Node::Inner(i) => i,
+                            Node::Leaf(_) => unreachable!("path entry points at leaf"),
+                        };
+                        debug_assert_eq!(parent.children[slot], child_id);
+                        parent.keys.insert(slot, sep);
+                        parent.children.insert(slot + 1, new_child);
+                        parent.keys.len() > MAX_KEYS
+                    };
+                    if !overflow {
+                        return None;
+                    }
+                    let (s, n) = self.split_inner(parent_id);
+                    sep = s;
+                    new_child = n;
+                    child_id = parent_id;
+                }
+                None => {
+                    // Root split: grow the tree by one level.
+                    let old_root = self.root;
+                    debug_assert_eq!(old_root, child_id);
+                    let new_root = self.alloc(Node::Inner(InnerNode {
+                        keys: vec![sep],
+                        children: vec![old_root, new_child],
+                    }));
+                    self.root = new_root;
+                    self.height += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Leaf and in-leaf position of the smallest key `>= key`, if any.
+    fn lower_bound_pos(&self, key: K) -> Option<(NodeId, usize)> {
+        let mut path = Vec::with_capacity(self.height);
+        let leaf_id = self.descend(key, &mut path);
+        let leaf = self.leaf(leaf_id);
+        let i = leaf.keys.partition_point(|&k| k < key);
+        if i < leaf.keys.len() {
+            return Some((leaf_id, i));
+        }
+        // The answer, if it exists, is the first key of a later leaf;
+        // deletions can leave empty leaves in the chain, so skip them.
+        let mut next = leaf.next;
+        while next != NO_NODE {
+            let next_leaf = self.leaf(next);
+            if !next_leaf.keys.is_empty() {
+                return Some((next, 0));
+            }
+            next = next_leaf.next;
+        }
+        None
+    }
+
+    /// Iterate entries in `[lo, hi)` via the leaf chain, applying `f`.
+    fn scan<F: FnMut(K, u64)>(&self, lo: K, hi: K, mut f: F) {
+        let Some((mut leaf_id, mut i)) = self.lower_bound_pos(lo) else {
+            return;
+        };
+        loop {
+            let leaf = self.leaf(leaf_id);
+            while i < leaf.keys.len() {
+                let k = leaf.keys[i];
+                if k >= hi {
+                    return;
+                }
+                f(k, leaf.payloads[i]);
+                i += 1;
+            }
+            if leaf.next == NO_NODE {
+                return;
+            }
+            leaf_id = leaf.next;
+            i = 0;
+        }
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Validate structural invariants (sorted nodes, router consistency,
+    /// leaf-chain order). Used by tests; O(n).
+    pub fn check_invariants(&self) {
+        self.check_node(self.root, None, None);
+        // Leaf chain must yield globally sorted keys.
+        let mut prev: Option<K> = None;
+        let mut leaf_id = self.leftmost_leaf();
+        while leaf_id != NO_NODE {
+            let leaf = self.leaf(leaf_id);
+            for &k in &leaf.keys {
+                if let Some(p) = prev {
+                    assert!(p < k, "leaf chain out of order: {p} !< {k}");
+                }
+                prev = Some(k);
+            }
+            leaf_id = leaf.next;
+        }
+    }
+
+    fn leftmost_leaf(&self) -> NodeId {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id as usize] {
+                Node::Inner(inner) => id = inner.children[0],
+                Node::Leaf(_) => return id,
+            }
+        }
+    }
+
+    fn check_node(&self, id: NodeId, lo: Option<K>, hi: Option<K>) {
+        match &self.nodes[id as usize] {
+            Node::Leaf(leaf) => {
+                assert_eq!(leaf.keys.len(), leaf.payloads.len());
+                for w in leaf.keys.windows(2) {
+                    assert!(w[0] < w[1], "leaf keys not strictly sorted");
+                }
+                for &k in &leaf.keys {
+                    if let Some(lo) = lo {
+                        assert!(k >= lo, "leaf key {k} below router bound {lo}");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(k < hi, "leaf key {k} not below router bound {hi}");
+                    }
+                }
+            }
+            Node::Inner(inner) => {
+                assert_eq!(inner.children.len(), inner.keys.len() + 1);
+                for w in inner.keys.windows(2) {
+                    assert!(w[0] < w[1], "inner keys not strictly sorted");
+                }
+                for (i, &child) in inner.children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(inner.keys[i - 1]) };
+                    let child_hi = if i == inner.keys.len() { hi } else { Some(inner.keys[i]) };
+                    self.check_node(child, child_lo, child_hi);
+                }
+            }
+        }
+    }
+}
+
+impl<K: Key> BulkLoad<K> for DynamicBTree<K> {
+    /// Build bottom-up from sorted pairs: pack leaves to ~87% fill (so early
+    /// inserts don't immediately split every leaf), then build inner levels
+    /// over the leaf separators.
+    fn bulk_load(keys: &[K], payloads: &[u64]) -> Self {
+        assert_eq!(keys.len(), payloads.len());
+        if keys.is_empty() {
+            return DynamicBTree::new();
+        }
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "bulk_load requires strictly sorted keys");
+
+        let per_leaf = (MAX_KEYS * 7) / 8;
+        let mut nodes: Vec<Node<K>> = Vec::new();
+        // (first key, node id) for the level currently being built.
+        let mut level: Vec<(K, NodeId)> = Vec::new();
+
+        for chunk_start in (0..keys.len()).step_by(per_leaf) {
+            let chunk_end = (chunk_start + per_leaf).min(keys.len());
+            let id = nodes.len() as NodeId;
+            nodes.push(Node::Leaf(LeafNode {
+                keys: keys[chunk_start..chunk_end].to_vec(),
+                payloads: payloads[chunk_start..chunk_end].to_vec(),
+                next: NO_NODE,
+            }));
+            level.push((keys[chunk_start], id));
+        }
+        // Chain the leaves.
+        for i in 0..level.len().saturating_sub(1) {
+            let next_id = level[i + 1].1;
+            match &mut nodes[level[i].1 as usize] {
+                Node::Leaf(l) => l.next = next_id,
+                Node::Inner(_) => unreachable!(),
+            }
+        }
+
+        let mut height = 1;
+        while level.len() > 1 {
+            let per_inner = MAX_KEYS; // children per inner node
+            let mut next_level: Vec<(K, NodeId)> = Vec::new();
+            for chunk in level.chunks(per_inner) {
+                let children: Vec<NodeId> = chunk.iter().map(|&(_, id)| id).collect();
+                let inner_keys: Vec<K> = chunk[1..].iter().map(|&(k, _)| k).collect();
+                let id = nodes.len() as NodeId;
+                nodes.push(Node::Inner(InnerNode { keys: inner_keys, children }));
+                next_level.push((chunk[0].0, id));
+            }
+            level = next_level;
+            height += 1;
+        }
+
+        DynamicBTree { root: level[0].1, nodes, len: keys.len(), height }
+    }
+}
+
+impl<K: Key> DynamicOrderedIndex<K> for DynamicBTree<K> {
+    fn name(&self) -> &'static str {
+        "B+Tree(dyn)"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>() + self.nodes.capacity() * std::mem::size_of::<Node<K>>();
+        for node in &self.nodes {
+            total += match node {
+                Node::Inner(i) => {
+                    i.keys.capacity() * std::mem::size_of::<K>() + i.children.capacity() * 4
+                }
+                Node::Leaf(l) => l.keys.capacity() * std::mem::size_of::<K>() + l.payloads.capacity() * 8,
+            };
+        }
+        total
+    }
+
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
+        self.insert_impl(key, payload)
+    }
+
+    /// Erase from the leaf without rebalancing (the strategy of several
+    /// production B-Trees, e.g. PostgreSQL's nbtree, which only recycles
+    /// fully empty pages): underfull leaves are tolerated and empty leaves
+    /// are skipped by the chain walkers.
+    fn remove(&mut self, key: K) -> Option<u64> {
+        let mut path = Vec::with_capacity(self.height);
+        let leaf_id = self.descend(key, &mut path);
+        let leaf = self.leaf_mut(leaf_id);
+        match leaf.keys.binary_search(&key) {
+            Ok(i) => {
+                leaf.keys.remove(i);
+                let payload = leaf.payloads.remove(i);
+                self.len -= 1;
+                Some(payload)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        let mut path = Vec::with_capacity(self.height);
+        let leaf_id = self.descend(key, &mut path);
+        let leaf = self.leaf(leaf_id);
+        leaf.keys.binary_search(&key).ok().map(|i| leaf.payloads[i])
+    }
+
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        self.lower_bound_pos(key).map(|(leaf_id, i)| {
+            let leaf = self.leaf(leaf_id);
+            (leaf.keys[i], leaf.payloads[i])
+        })
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        let mut sum = 0u64;
+        self.scan(lo, hi, |_, v| sum = sum.wrapping_add(v));
+        sum
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Tree }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_tree_has_no_entries() {
+        let t = DynamicBTree::<u64>::new();
+        assert_eq!(t.get(42), None);
+        assert_eq!(t.lower_bound_entry(0), None);
+        assert_eq!(t.range_sum(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn sequential_inserts_split_correctly() {
+        let mut t = DynamicBTree::new();
+        for k in 0..10_000u64 {
+            assert_eq!(t.insert(k, k * 3), None);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 10_000);
+        assert!(t.height() > 1, "10k sequential inserts must split the root");
+        for k in (0..10_000u64).step_by(97) {
+            assert_eq!(t.get(k), Some(k * 3));
+        }
+        assert_eq!(t.get(10_000), None);
+    }
+
+    #[test]
+    fn random_inserts_match_btreemap() {
+        let mut t = DynamicBTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..20_000u64 {
+            let k = splitmix(i) % 5_000; // force duplicates/overwrites
+            let v = splitmix(i ^ 0xdead);
+            assert_eq!(t.insert(k, v), oracle.insert(k, v), "insert #{i} key {k}");
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), oracle.len());
+        for k in 0..5_000u64 {
+            assert_eq!(t.get(k), oracle.get(&k).copied(), "get {k}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_matches_btreemap_range() {
+        let mut t = DynamicBTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..3_000u64 {
+            let k = splitmix(i) % 100_000;
+            t.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for probe in (0..100_500u64).step_by(113) {
+            let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(t.lower_bound_entry(probe), expect, "lb {probe}");
+        }
+    }
+
+    #[test]
+    fn range_sum_matches_oracle() {
+        let mut t = DynamicBTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let k = splitmix(i) % 50_000;
+            let v = i;
+            t.insert(k, v);
+            oracle.insert(k, v);
+        }
+        for i in 0..50u64 {
+            let lo = splitmix(i * 7) % 50_000;
+            let hi = lo + splitmix(i * 13) % 10_000;
+            let expect: u64 = oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+            assert_eq!(t.range_sum(lo, hi), expect, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let keys: Vec<u64> = (0..7_777).map(|i| i * 5).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k ^ 0xffff).collect();
+        let bulk = DynamicBTree::bulk_load(&keys, &payloads);
+        bulk.check_invariants();
+        assert_eq!(bulk.len(), keys.len());
+        for (&k, &v) in keys.iter().zip(&payloads) {
+            assert_eq!(bulk.get(k), Some(v));
+        }
+        assert_eq!(bulk.get(1), None); // absent key between 0 and 5
+        assert_eq!(bulk.lower_bound_entry(6), Some((10, 10 ^ 0xffff)));
+    }
+
+    #[test]
+    fn bulk_load_then_insert_interleaves() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 10).collect();
+        let payloads = vec![1u64; keys.len()];
+        let mut t = DynamicBTree::bulk_load(&keys, &payloads);
+        for i in 0..1000u64 {
+            t.insert(i * 10 + 5, 2);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.range_sum(0, u64::MAX), 1000 + 2000);
+    }
+
+    #[test]
+    fn bulk_load_empty_is_usable() {
+        let t = DynamicBTree::<u64>::bulk_load(&[], &[]);
+        assert_eq!(t.len(), 0);
+        let mut t = t;
+        t.insert(1, 1);
+        assert_eq!(t.get(1), Some(1));
+    }
+
+    #[test]
+    fn size_bytes_grows_with_content() {
+        let mut t = DynamicBTree::new();
+        let empty = t.size_bytes();
+        for k in 0..10_000u64 {
+            t.insert(k, k);
+        }
+        assert!(t.size_bytes() > empty);
+        // Owns its data: at least 16 bytes/entry.
+        assert!(t.size_bytes() >= 10_000 * 16);
+    }
+
+    #[test]
+    fn u32_keys_work() {
+        let mut t = DynamicBTree::<u32>::new();
+        for k in (0..1000u32).rev() {
+            t.insert(k, k as u64);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.lower_bound_entry(500), Some((500, 500)));
+    }
+    #[test]
+    fn remove_matches_btreemap_and_tolerates_empty_leaves() {
+        let mut t = DynamicBTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i * 2);
+            oracle.insert(i, i * 2);
+        }
+        // Drain a whole contiguous band of leaves, leaving them empty.
+        for i in 2_000..6_000u64 {
+            assert_eq!(t.remove(i), oracle.remove(&i), "remove {i}");
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), oracle.len());
+        // Lower bound must skip the emptied band.
+        assert_eq!(t.lower_bound_entry(2_000), Some((6_000, 12_000)));
+        // Range sum across the hole.
+        let expect: u64 = oracle.range(1_990..6_010).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+        assert_eq!(t.range_sum(1_990, 6_010), expect);
+        assert_eq!(t.remove(3_000), None, "already removed");
+    }
+
+    #[test]
+    fn remove_then_reinsert_round_trips() {
+        let mut t = DynamicBTree::new();
+        for i in 0..1_000u64 {
+            t.insert(i, i);
+        }
+        for i in 0..1_000u64 {
+            assert_eq!(t.remove(i), Some(i));
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lower_bound_entry(0), None);
+        for i in 0..1_000u64 {
+            assert_eq!(t.insert(i, i + 7), None);
+        }
+        t.check_invariants();
+        assert_eq!(t.get(500), Some(507));
+    }
+
+}

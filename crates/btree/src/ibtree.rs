@@ -1,0 +1,142 @@
+//! The interpolating B-Tree (IBTree): identical layout to the B+Tree, but
+//! nodes are searched by interpolation (Graefe, DaMoN 2006). On smooth key
+//! distributions the in-node search converges in O(1) probes; on erratic
+//! ones it degrades toward a linear scan.
+
+use crate::layered::{LayeredTree, NodeSearch};
+use sosd_core::stride::Stride;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// Interpolating B-Tree over every `stride`-th key.
+#[derive(Debug, Clone)]
+pub struct IbTreeIndex<K: Key> {
+    tree: LayeredTree<K>,
+    geometry: Stride,
+}
+
+impl<K: Key> IbTreeIndex<K> {
+    /// Build with the given sampling stride and node fanout.
+    pub fn build(data: &SortedData<K>, stride: usize, fanout: usize) -> Result<Self, BuildError> {
+        let geometry = Stride::new(stride, data.len());
+        let sampled = geometry.sample(data.keys());
+        Ok(IbTreeIndex { tree: LayeredTree::build(sampled, fanout)?, geometry })
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let cnt = self.tree.rank(key, NodeSearch::Interpolation, tracer);
+        self.geometry.bound_for_pred_slot(cnt.checked_sub(1))
+    }
+}
+
+impl<K: Key> Index<K> for IbTreeIndex<K> {
+    fn name(&self) -> &'static str {
+        "IBTree"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Tree }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`IbTreeIndex`].
+#[derive(Debug, Clone)]
+pub struct IbTreeBuilder {
+    /// Index every `stride`-th key.
+    pub stride: usize,
+    /// Keys per node. IBTree benefits from wider nodes than the B+Tree
+    /// because interpolation replaces the in-node binary search; 64 keys
+    /// (512 bytes of u64) is the default.
+    pub fanout: usize,
+}
+
+impl Default for IbTreeBuilder {
+    fn default() -> Self {
+        IbTreeBuilder { stride: 1, fanout: 64 }
+    }
+}
+
+impl IbTreeBuilder {
+    /// Ten-configuration size sweep for Figure 7.
+    pub fn size_sweep() -> Vec<IbTreeBuilder> {
+        [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+            .into_iter()
+            .map(|stride| IbTreeBuilder { stride, fanout: 64 })
+            .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for IbTreeBuilder {
+    type Output = IbTreeIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        IbTreeIndex::build(data, self.stride, self.fanout)
+    }
+
+    fn describe(&self) -> String {
+        format!("IBTree[stride={},fanout={}]", self.stride, self.fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all_probes(keys: Vec<u64>, stride: usize, fanout: usize) {
+        let data = SortedData::new(keys).unwrap();
+        let idx = IbTreeIndex::build(&data, stride, fanout).unwrap();
+        let max = data.max_key();
+        for x in 0..=max.saturating_add(2) {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "stride={stride} x={x} b={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_linear_keys() {
+        check_all_probes((0..500u64).map(|i| i * 2).collect(), 1, 8);
+        check_all_probes((0..500u64).map(|i| i * 2).collect(), 4, 8);
+    }
+
+    #[test]
+    fn valid_on_quadratic_keys() {
+        check_all_probes((0..200u64).map(|i| i * i).collect(), 3, 16);
+    }
+
+    #[test]
+    fn valid_with_duplicates_and_flat_nodes() {
+        check_all_probes(vec![9; 100], 2, 8);
+        check_all_probes(vec![1, 1, 2, 2, 2, 2, 2, 2, 3, 100], 2, 4);
+    }
+
+    #[test]
+    fn agrees_with_btree_bounds() {
+        use crate::tree::BTreeIndex;
+        let keys: Vec<u64> = (0..997u64).map(|i| i.wrapping_mul(2654435761) % 100_000).collect();
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        let data = SortedData::new(sorted).unwrap();
+        let bt = BTreeIndex::build(&data, 4, 16).unwrap();
+        let ib = IbTreeIndex::build(&data, 4, 16).unwrap();
+        for x in (0..100_000u64).step_by(97) {
+            assert_eq!(ib.search_bound(x), bt.search_bound(x), "x={x}");
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The shared static layered-tree structure.
+//!
+//! Level 0 holds the (sampled) keys; level `l+1` holds every `fanout`-th key
+//! of level `l`. A lookup descends from the top level, searching a window of
+//! at most `fanout` keys per level — the contiguous layout means each node
+//! visit is one or two cache lines, like a packed B+Tree node.
+
+use sosd_core::trace::addr_of_index;
+use sosd_core::{BuildError, Key, Tracer};
+
+/// How a node's key window is searched during descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSearch {
+    /// Binary search within the window (STX-style B+Tree).
+    Binary,
+    /// Interpolation between the window's end keys, then a linear fix-up
+    /// (interpolating B-Tree).
+    Interpolation,
+}
+
+/// A static, pointer-free multi-level tree over a sorted key array.
+#[derive(Debug, Clone)]
+pub struct LayeredTree<K: Key> {
+    /// `levels[0]` are the leaf keys; the last level has `<= fanout` keys.
+    levels: Vec<Vec<K>>,
+    fanout: usize,
+}
+
+impl<K: Key> LayeredTree<K> {
+    /// Build over `keys` (must be sorted; typically the sampled key set).
+    pub fn build(keys: Vec<K>, fanout: usize) -> Result<Self, BuildError> {
+        if fanout < 2 {
+            return Err(BuildError::InvalidConfig(format!(
+                "fanout must be >= 2, got {fanout}"
+            )));
+        }
+        if keys.is_empty() {
+            return Err(BuildError::InvalidConfig("cannot build over zero keys".into()));
+        }
+        debug_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut levels = vec![keys];
+        while levels.last().expect("non-empty").len() > fanout {
+            let below = levels.last().expect("non-empty");
+            let next: Vec<K> = below.iter().copied().step_by(fanout).collect();
+            levels.push(next);
+        }
+        Ok(LayeredTree { levels, fanout })
+    }
+
+    /// Number of leaf keys.
+    #[inline]
+    pub fn num_keys(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Number of levels including the leaf level.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total bytes across all levels (leaf keys included: the tree owns its
+    /// sampled copy of the keys).
+    pub fn size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<K>())
+            .sum()
+    }
+
+    /// The leaf key array.
+    #[inline]
+    pub fn leaves(&self) -> &[K] {
+        &self.levels[0]
+    }
+
+    /// `partition_point` over the leaf keys: the number of leaf keys `< x`,
+    /// computed by tree descent. Emits one node read per level plus the
+    /// comparison branches to `tracer`.
+    pub fn rank<T: Tracer>(&self, x: K, mode: NodeSearch, tracer: &mut T) -> usize {
+        let top = self.levels.last().expect("non-empty");
+        let mut p = window_search(top, 0, top.len(), x, mode, tracer);
+        for level in self.levels[..self.levels.len() - 1].iter().rev() {
+            if p == 0 {
+                // Every key of the upper level (hence this one) is >= x.
+                continue;
+            }
+            let start = (p - 1) * self.fanout;
+            let end = (p * self.fanout).min(level.len());
+            p = window_search(level, start, end, x, mode, tracer);
+        }
+        p
+    }
+}
+
+/// `start + partition_point(level[start..end], < x)`, with tracing.
+fn window_search<K: Key, T: Tracer>(
+    level: &[K],
+    start: usize,
+    end: usize,
+    x: K,
+    mode: NodeSearch,
+    tracer: &mut T,
+) -> usize {
+    debug_assert!(start <= end && end <= level.len());
+    if start == end {
+        return start;
+    }
+    // One node visit: the window is contiguous, so model it as a single read
+    // spanning the touched keys (the cache simulator splits it into lines).
+    tracer.read(
+        addr_of_index(level, start),
+        (end - start) * std::mem::size_of::<K>(),
+    );
+    let site = level.as_ptr() as usize ^ start;
+    match mode {
+        NodeSearch::Binary => {
+            let mut lo = start;
+            let mut hi = end;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                tracer.instr(5);
+                let less = level[mid] < x;
+                tracer.branch(site, less);
+                if less {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        }
+        NodeSearch::Interpolation => {
+            let kl = level[start].to_f64();
+            let kr = level[end - 1].to_f64();
+            tracer.instr(12); // two converts, sub, div, mul, round, clamp
+            let guess = if kr > kl {
+                let frac = ((x.to_f64() - kl) / (kr - kl)).clamp(0.0, 1.0);
+                start + (frac * (end - 1 - start) as f64) as usize
+            } else {
+                start
+            };
+            let mut i = guess.clamp(start, end - 1);
+            // Linear fix-up from the interpolated guess.
+            if level[i] < x {
+                tracer.branch(site, true);
+                while i < end && level[i] < x {
+                    tracer.read(addr_of_index(level, i), std::mem::size_of::<K>());
+                    tracer.instr(3);
+                    i += 1;
+                }
+            } else {
+                tracer.branch(site, false);
+                while i > start && level[i - 1] >= x {
+                    tracer.read(addr_of_index(level, i - 1), std::mem::size_of::<K>());
+                    tracer.instr(3);
+                    i -= 1;
+                }
+            }
+            i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::NullTracer;
+
+    fn ranks_match(keys: Vec<u64>, fanout: usize, mode: NodeSearch) {
+        let tree = LayeredTree::build(keys.clone(), fanout).unwrap();
+        let probes: Vec<u64> = (0..=keys.last().copied().unwrap_or(0).saturating_add(2)).collect();
+        for x in probes {
+            assert_eq!(
+                tree.rank(x, mode, &mut NullTracer),
+                keys.partition_point(|&k| k < x),
+                "fanout={fanout} mode={mode:?} x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_matches_partition_point_binary() {
+        ranks_match((0..100u64).map(|i| i * 3).collect(), 4, NodeSearch::Binary);
+        ranks_match((0..1000u64).map(|i| i * 2 + 1).collect(), 16, NodeSearch::Binary);
+        ranks_match(vec![5, 5, 5, 7, 7, 20], 2, NodeSearch::Binary);
+    }
+
+    #[test]
+    fn rank_matches_partition_point_interpolation() {
+        ranks_match((0..100u64).map(|i| i * 3).collect(), 4, NodeSearch::Interpolation);
+        ranks_match(
+            (0..500u64).map(|i| i * i).collect(),
+            16,
+            NodeSearch::Interpolation,
+        );
+        ranks_match(vec![5, 5, 5, 7, 7, 20], 2, NodeSearch::Interpolation);
+    }
+
+    #[test]
+    fn single_key_tree() {
+        let tree = LayeredTree::build(vec![42u64], 16).unwrap();
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.rank(41, NodeSearch::Binary, &mut NullTracer), 0);
+        assert_eq!(tree.rank(42, NodeSearch::Binary, &mut NullTracer), 0);
+        assert_eq!(tree.rank(43, NodeSearch::Binary, &mut NullTracer), 1);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let tree = LayeredTree::build((0..4096u64).collect(), 16).unwrap();
+        // 4096 -> 256 -> 16: three levels.
+        assert_eq!(tree.height(), 3);
+        let tree2 = LayeredTree::build((0..4097u64).collect(), 16).unwrap();
+        assert_eq!(tree2.height(), 4);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(LayeredTree::build(Vec::<u64>::new(), 16).is_err());
+        assert!(LayeredTree::build(vec![1u64], 1).is_err());
+    }
+
+    #[test]
+    fn size_includes_all_levels() {
+        let tree = LayeredTree::build((0..256u64).collect(), 16).unwrap();
+        // 256 + 16 keys * 8 bytes.
+        assert_eq!(tree.size_bytes(), (256 + 16) * 8);
+    }
+}

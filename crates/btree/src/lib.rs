@@ -1,0 +1,20 @@
+//! # sosd-btree
+//!
+//! Tree-structured baselines: a cache-optimized static B+Tree (modeled on
+//! the STX B+Tree the paper uses) and an interpolating B-Tree (IBTree,
+//! Graefe 2006) that replaces in-node binary search with interpolation.
+//!
+//! Both are *static* read-optimized trees laid out as contiguous per-level
+//! key arrays (no pointers: child positions are implicit from the fanout),
+//! and both trade size for accuracy by indexing only every `stride`-th key,
+//! exactly the technique described in Section 2.1 / 4.1.1 of the paper.
+
+pub mod dynamic;
+pub mod ibtree;
+pub mod layered;
+pub mod tree;
+
+pub use dynamic::DynamicBTree;
+pub use ibtree::{IbTreeBuilder, IbTreeIndex};
+pub use layered::LayeredTree;
+pub use tree::{BTreeBuilder, BTreeIndex};

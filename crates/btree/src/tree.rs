@@ -1,0 +1,168 @@
+//! The static B+Tree index (STX-style) with the sampling-stride tradeoff.
+
+use crate::layered::{LayeredTree, NodeSearch};
+use sosd_core::stride::Stride;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// Static B+Tree over every `stride`-th key of the data.
+#[derive(Debug, Clone)]
+pub struct BTreeIndex<K: Key> {
+    tree: LayeredTree<K>,
+    geometry: Stride,
+}
+
+impl<K: Key> BTreeIndex<K> {
+    /// Build with the given sampling stride and node fanout.
+    pub fn build(data: &SortedData<K>, stride: usize, fanout: usize) -> Result<Self, BuildError> {
+        let geometry = Stride::new(stride, data.len());
+        let sampled = geometry.sample(data.keys());
+        Ok(BTreeIndex { tree: LayeredTree::build(sampled, fanout)?, geometry })
+    }
+
+    /// Tree height in levels.
+    pub fn height(&self) -> usize {
+        self.tree.height()
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let cnt = self.tree.rank(key, NodeSearch::Binary, tracer);
+        self.geometry.bound_for_pred_slot(cnt.checked_sub(1))
+    }
+}
+
+impl<K: Key> Index<K> for BTreeIndex<K> {
+    fn name(&self) -> &'static str {
+        "BTree"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.tree.size_bytes()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Tree }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`BTreeIndex`].
+#[derive(Debug, Clone)]
+pub struct BTreeBuilder {
+    /// Index every `stride`-th key (1 = all keys, larger = smaller tree).
+    pub stride: usize,
+    /// Keys per node; 16 matches a 128-byte node of u64 keys.
+    pub fanout: usize,
+}
+
+impl Default for BTreeBuilder {
+    fn default() -> Self {
+        BTreeBuilder { stride: 1, fanout: 16 }
+    }
+}
+
+impl BTreeBuilder {
+    /// The size sweep used for the paper's Figure 7 (ten configurations
+    /// from maximum size down).
+    pub fn size_sweep() -> Vec<BTreeBuilder> {
+        [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+            .into_iter()
+            .map(|stride| BTreeBuilder { stride, fanout: 16 })
+            .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for BTreeBuilder {
+    type Output = BTreeIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        BTreeIndex::build(data, self.stride, self.fanout)
+    }
+
+    fn describe(&self) -> String {
+        format!("BTree[stride={},fanout={}]", self.stride, self.fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::CountingTracer;
+
+    fn check_all_probes(keys: Vec<u64>, stride: usize) {
+        let data = SortedData::new(keys).unwrap();
+        let idx = BTreeIndex::build(&data, stride, 4).unwrap();
+        let max = data.max_key();
+        for x in 0..=max.saturating_add(2) {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "stride={stride} x={x} b={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_at_stride_1() {
+        check_all_probes((0..200u64).map(|i| i * 2).collect(), 1);
+    }
+
+    #[test]
+    fn valid_at_larger_strides() {
+        for stride in [2, 3, 7, 16, 100, 1000] {
+            check_all_probes((0..300u64).map(|i| i * 3 + 1).collect(), stride);
+        }
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        check_all_probes(vec![4, 4, 4, 4, 9, 9, 9, 15, 15, 22], 2);
+        check_all_probes(vec![7; 50], 4);
+    }
+
+    #[test]
+    fn stride_1_bounds_are_tight() {
+        let data = SortedData::new((0..1000u64).collect()).unwrap();
+        let idx = BTreeIndex::build(&data, 1, 16).unwrap();
+        for x in [0u64, 17, 500, 999] {
+            assert!(idx.search_bound(x).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn larger_stride_means_smaller_index() {
+        let data = SortedData::new((0..10_000u64).collect()).unwrap();
+        let s1 = Index::<u64>::size_bytes(&BTreeIndex::build(&data, 1, 16).unwrap());
+        let s16 = Index::<u64>::size_bytes(&BTreeIndex::build(&data, 16, 16).unwrap());
+        assert!(s16 * 10 < s1, "s1={s1} s16={s16}");
+    }
+
+    #[test]
+    fn traced_lookup_touches_each_level_once() {
+        let data = SortedData::new((0..4096u64).collect()).unwrap();
+        let idx = BTreeIndex::build(&data, 1, 16).unwrap();
+        let mut t = CountingTracer::default();
+        idx.search_bound_traced(2000u64, &mut t);
+        // Three levels -> three node reads (a descent never revisits nodes).
+        assert_eq!(t.reads, 3);
+        assert!(t.branches > 0);
+    }
+
+    #[test]
+    fn builder_describe_mentions_knobs() {
+        let d = <BTreeBuilder as IndexBuilder<u64>>::describe(&BTreeBuilder {
+            stride: 8,
+            fanout: 16,
+        });
+        assert!(d.contains("stride=8"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Search bounds: the output of every index structure.
+
+use serde::{Deserialize, Serialize};
+
+/// A search bound `[lo, hi]` over positions of a sorted array of length `n`.
+///
+/// An index is *valid* (Section 2 of the paper) if for every lookup key `x`
+/// the bound satisfies `lo <= LB(x) <= hi`, where `LB(x)` is the position of
+/// the smallest key `>= x` (and `LB(x) = n` when `x` exceeds every key).
+///
+/// The last-mile search inspects keys at positions `lo..hi` (half-open); when
+/// none of those keys is `>= x` the answer is `hi` itself, which is why `hi`
+/// participates in the invariant even though it is never dereferenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchBound {
+    /// Inclusive lower end of the bound.
+    pub lo: usize,
+    /// Upper end of the bound; `LB(x) <= hi <= n`.
+    pub hi: usize,
+}
+
+impl SearchBound {
+    /// A bound covering the entire array (always valid).
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        SearchBound { lo: 0, hi: n }
+    }
+
+    /// Build a bound from a position estimate and per-side error margins,
+    /// clamped to `[0, n]`.
+    #[inline]
+    pub fn from_estimate(estimate: usize, err_lo: usize, err_hi: usize, n: usize) -> Self {
+        let lo = estimate.saturating_sub(err_lo);
+        let hi = estimate.saturating_add(err_hi).min(n);
+        SearchBound { lo: lo.min(n), hi }
+    }
+
+    /// Number of positions the last-mile search may have to inspect.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    /// True when the bound pins a single position without any search.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// `log2` of the bound size: the expected number of binary-search steps
+    /// (the paper's "log2 error" metric). Zero-width bounds cost zero steps.
+    #[inline]
+    pub fn log2_len(&self) -> f64 {
+        let w = self.len();
+        if w <= 1 {
+            0.0
+        } else {
+            (w as f64).log2()
+        }
+    }
+
+    /// Whether `pos` satisfies the validity invariant for this bound.
+    #[inline]
+    pub fn contains(&self, pos: usize) -> bool {
+        self.lo <= pos && pos <= self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bound_contains_everything() {
+        let b = SearchBound::full(10);
+        assert!(b.contains(0));
+        assert!(b.contains(10));
+        assert_eq!(b.len(), 10);
+    }
+
+    #[test]
+    fn from_estimate_clamps_low() {
+        let b = SearchBound::from_estimate(3, 10, 2, 100);
+        assert_eq!(b.lo, 0);
+        assert_eq!(b.hi, 5);
+    }
+
+    #[test]
+    fn from_estimate_clamps_high() {
+        let b = SearchBound::from_estimate(98, 2, 10, 100);
+        assert_eq!(b.lo, 96);
+        assert_eq!(b.hi, 100);
+    }
+
+    #[test]
+    fn from_estimate_handles_overflow() {
+        let b = SearchBound::from_estimate(usize::MAX, 0, 10, 100);
+        assert_eq!(b.hi, 100);
+        assert_eq!(b.lo, 100);
+    }
+
+    #[test]
+    fn log2_len_matches_binary_steps() {
+        assert_eq!(SearchBound { lo: 0, hi: 1 }.log2_len(), 0.0);
+        assert_eq!(SearchBound { lo: 0, hi: 0 }.log2_len(), 0.0);
+        assert_eq!(SearchBound { lo: 0, hi: 8 }.log2_len(), 3.0);
+        assert!((SearchBound { lo: 10, hi: 138 }.log2_len() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_is_inclusive_on_both_ends() {
+        let b = SearchBound { lo: 5, hi: 9 };
+        assert!(!b.contains(4));
+        assert!(b.contains(5));
+        assert!(b.contains(9));
+        assert!(!b.contains(10));
+    }
+}

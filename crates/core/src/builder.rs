@@ -1,0 +1,75 @@
+//! The builder interface: how indexes are constructed from sorted data.
+
+use crate::data::SortedData;
+use crate::error::BuildError;
+use crate::index::Index;
+use crate::key::Key;
+
+/// A configured recipe for building one index variant.
+///
+/// Builders carry the tuning knobs (branching factor, error bound, radix
+/// bits, sampling stride, ...) so experiment harnesses can sweep
+/// configurations uniformly: each point in Figure 7 is one builder.
+pub trait IndexBuilder<K: Key> {
+    /// The index type this builder produces.
+    type Output: Index<K>;
+
+    /// Build the index over `data`.
+    ///
+    /// Building must not mutate the data; the index stores whatever auxiliary
+    /// structures it needs. Returns a typed error for invalid configurations
+    /// or unbuildable datasets rather than panicking.
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError>;
+
+    /// A short human-readable description of this configuration, used to
+    /// label rows in experiment output (e.g. `"RMI[cubic,b=2^14]"`).
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::SearchBound;
+    use crate::index::{Capabilities, IndexKind};
+
+    struct TrivialIndex {
+        n: usize,
+    }
+
+    impl Index<u64> for TrivialIndex {
+        fn name(&self) -> &'static str {
+            "Trivial"
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn search_bound(&self, _key: u64) -> SearchBound {
+            SearchBound::full(self.n)
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities { updates: false, ordered: true, kind: IndexKind::BinarySearch }
+        }
+    }
+
+    struct TrivialBuilder;
+
+    impl IndexBuilder<u64> for TrivialBuilder {
+        type Output = TrivialIndex;
+
+        fn build(&self, data: &SortedData<u64>) -> Result<TrivialIndex, BuildError> {
+            Ok(TrivialIndex { n: data.len() })
+        }
+
+        fn describe(&self) -> String {
+            "Trivial".into()
+        }
+    }
+
+    #[test]
+    fn builder_produces_valid_index() {
+        let data = SortedData::new(vec![1u64, 5, 9]).unwrap();
+        let idx = TrivialBuilder.build(&data).unwrap();
+        let b = idx.search_bound(6);
+        assert!(b.contains(data.lower_bound(6)));
+    }
+}

@@ -1,0 +1,229 @@
+//! The interface for *updatable* ordered indexes.
+//!
+//! The paper benchmarks read-only structures, but its conclusion names the
+//! obvious next step: "As more learned index structures begin to support
+//! updates [11, 13, 14], a benchmark against traditional indexes (which are
+//! often optimized for updates) could be fruitful." This module provides the
+//! shared interface for that extension: ALEX (`sosd-alex`, ref. [11]), the
+//! dynamic PGM (`sosd-pgm`, ref. [13]), the FITing-Tree (`sosd-fiting`,
+//! ref. [14]), and a dynamic B+Tree baseline (`sosd-btree`) all implement
+//! [`DynamicOrderedIndex`].
+//!
+//! Unlike the read-only [`crate::Index`] — which maps keys to positions in an
+//! external [`crate::SortedData`] — a dynamic index *owns* its key/payload
+//! pairs: there is no longer a stable dense array for positions to refer to.
+//! Lookups therefore return payloads directly, and range queries aggregate
+//! payloads over a key interval.
+
+use crate::index::Capabilities;
+use crate::key::Key;
+
+/// An updatable ordered map from keys to 8-byte payloads.
+///
+/// Semantics match `std::collections::BTreeMap<K, u64>`: keys are unique and
+/// inserting an existing key replaces its payload. The integration suite
+/// property-tests every implementation against exactly that oracle.
+pub trait DynamicOrderedIndex<K: Key>: Send {
+    /// Short name used in result tables ("ALEX", "DynamicPGM", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of keys currently stored.
+    fn len(&self) -> usize;
+
+    /// True when no keys are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total in-memory footprint in bytes, *including* stored keys and
+    /// payloads (a dynamic index owns its data, so unlike
+    /// [`crate::Index::size_bytes`] the data is part of the structure).
+    fn size_bytes(&self) -> usize;
+
+    /// Insert `key` with `payload`, replacing and returning the previous
+    /// payload if `key` was already present.
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64>;
+
+    /// Remove `key`, returning its payload if it was present.
+    ///
+    /// Implementations may tombstone rather than physically erase (the
+    /// dynamic PGM and FITing-Tree do, reclaiming space at their next
+    /// merge; ALEX clears the slot's occupancy bit; the B+Tree erases from
+    /// the leaf without rebalancing) — observable behaviour must match
+    /// `BTreeMap::remove` either way.
+    fn remove(&mut self, key: K) -> Option<u64>;
+
+    /// Payload stored for `key`, if present.
+    fn get(&self, key: K) -> Option<u64>;
+
+    /// Smallest stored entry with key `>= key` (the dynamic analogue of the
+    /// paper's lower-bound lookup), or `None` when every stored key is
+    /// smaller.
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)>;
+
+    /// Sum of payloads over all entries with `lo <= key < hi` — the dynamic
+    /// analogue of the harness's payload-checksum validation and the
+    /// range-scan workload of LSM-style systems.
+    fn range_sum(&self, lo: K, hi: K) -> u64;
+
+    /// Table-1-style capability row.
+    fn capabilities(&self) -> Capabilities;
+}
+
+/// Bulk construction from sorted key/payload pairs.
+///
+/// Dynamic indexes are typically seeded with an initial sorted dataset and
+/// then hit with a mixed read/write workload; `bulk_load` is the fast path
+/// for that seeding (ALEX's `bulk_load`, PGM's initial static level, a
+/// B+Tree build from sorted pairs).
+pub trait BulkLoad<K: Key>: Sized {
+    /// Build from parallel sorted arrays. Keys must be strictly increasing;
+    /// duplicate or unsorted keys are a caller bug and may panic in debug
+    /// builds.
+    fn bulk_load(keys: &[K], payloads: &[u64]) -> Self;
+}
+
+/// A single operation in a mixed read/write workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op<K: Key> {
+    /// Insert (or overwrite) `key` with `payload`.
+    Insert(K, u64),
+    /// Remove `key`.
+    Remove(K),
+    /// Point lookup of `key`.
+    Lookup(K),
+    /// Sum payloads over `[lo, hi)`.
+    RangeSum(K, K),
+}
+
+/// Apply one operation, returning the observable result (for oracle
+/// comparison): previous/found/removed payload or range sum.
+pub fn apply_op<K: Key, D: DynamicOrderedIndex<K> + ?Sized>(idx: &mut D, op: Op<K>) -> Option<u64> {
+    match op {
+        Op::Insert(k, v) => idx.insert(k, v),
+        Op::Remove(k) => idx.remove(k),
+        Op::Lookup(k) => idx.get(k),
+        Op::RangeSum(lo, hi) => Some(idx.range_sum(lo, hi)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+
+    /// Minimal reference implementation used to exercise the trait surface.
+    struct VecMap {
+        entries: Vec<(u64, u64)>,
+    }
+
+    impl DynamicOrderedIndex<u64> for VecMap {
+        fn name(&self) -> &'static str {
+            "VecMap"
+        }
+        fn len(&self) -> usize {
+            self.entries.len()
+        }
+        fn size_bytes(&self) -> usize {
+            self.entries.capacity() * 16
+        }
+        fn insert(&mut self, key: u64, payload: u64) -> Option<u64> {
+            match self.entries.binary_search_by_key(&key, |e| e.0) {
+                Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, payload)),
+                Err(i) => {
+                    self.entries.insert(i, (key, payload));
+                    None
+                }
+            }
+        }
+        fn remove(&mut self, key: u64) -> Option<u64> {
+            self.entries
+                .binary_search_by_key(&key, |e| e.0)
+                .ok()
+                .map(|i| self.entries.remove(i).1)
+        }
+        fn get(&self, key: u64) -> Option<u64> {
+            self.entries
+                .binary_search_by_key(&key, |e| e.0)
+                .ok()
+                .map(|i| self.entries[i].1)
+        }
+        fn lower_bound_entry(&self, key: u64) -> Option<(u64, u64)> {
+            let i = self.entries.partition_point(|e| e.0 < key);
+            self.entries.get(i).copied()
+        }
+        fn range_sum(&self, lo: u64, hi: u64) -> u64 {
+            self.entries
+                .iter()
+                .filter(|e| e.0 >= lo && e.0 < hi)
+                .fold(0u64, |acc, e| acc.wrapping_add(e.1))
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities { updates: true, ordered: true, kind: IndexKind::BinarySearch }
+        }
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut m = VecMap { entries: vec![] };
+        assert_eq!(m.insert(5, 50), None);
+        assert_eq!(m.insert(5, 55), Some(50));
+        assert_eq!(m.get(5), Some(55));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn lower_bound_entry_matches_semantics() {
+        let mut m = VecMap { entries: vec![] };
+        for k in [10u64, 20, 30] {
+            m.insert(k, k * 2);
+        }
+        assert_eq!(m.lower_bound_entry(0), Some((10, 20)));
+        assert_eq!(m.lower_bound_entry(10), Some((10, 20)));
+        assert_eq!(m.lower_bound_entry(11), Some((20, 40)));
+        assert_eq!(m.lower_bound_entry(31), None);
+    }
+
+    #[test]
+    fn range_sum_is_half_open() {
+        let mut m = VecMap { entries: vec![] };
+        for k in 0..10u64 {
+            m.insert(k, 1);
+        }
+        assert_eq!(m.range_sum(2, 5), 3);
+        assert_eq!(m.range_sum(0, 10), 10);
+        assert_eq!(m.range_sum(5, 5), 0);
+    }
+
+    #[test]
+    fn apply_op_routes_to_methods() {
+        let mut m = VecMap { entries: vec![] };
+        assert_eq!(apply_op(&mut m, Op::Insert(1, 7)), None);
+        assert_eq!(apply_op(&mut m, Op::Lookup(1)), Some(7));
+        assert_eq!(apply_op(&mut m, Op::RangeSum(0, 2)), Some(7));
+        assert_eq!(apply_op(&mut m, Op::Lookup(9)), None);
+        assert_eq!(apply_op(&mut m, Op::Remove(1)), Some(7));
+        assert_eq!(apply_op(&mut m, Op::Remove(1)), None);
+        assert_eq!(apply_op(&mut m, Op::Lookup(1)), None);
+    }
+
+    #[test]
+    fn remove_then_reinsert_round_trips() {
+        let mut m = VecMap { entries: vec![] };
+        m.insert(10, 1);
+        m.insert(20, 2);
+        assert_eq!(m.remove(10), Some(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.lower_bound_entry(0), Some((20, 2)));
+        assert_eq!(m.insert(10, 3), None);
+        assert_eq!(m.get(10), Some(3));
+    }
+
+    #[test]
+    fn is_empty_tracks_len() {
+        let mut m = VecMap { entries: vec![] };
+        assert!(m.is_empty());
+        m.insert(1, 1);
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for data validation and index construction.
+
+use std::fmt;
+
+/// Errors raised when constructing a [`crate::SortedData`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// The key array was empty.
+    Empty,
+    /// The key array was not sorted in non-decreasing order; the payload is
+    /// the first offending position.
+    Unsorted(usize),
+    /// Keys and payloads had different lengths.
+    LengthMismatch {
+        /// Number of keys provided.
+        keys: usize,
+        /// Number of payloads provided.
+        payloads: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Empty => write!(f, "dataset must contain at least one key"),
+            DataError::Unsorted(i) => {
+                write!(f, "keys are not sorted: position {i} is smaller than its predecessor")
+            }
+            DataError::LengthMismatch { keys, payloads } => {
+                write!(f, "{keys} keys but {payloads} payloads")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Errors raised by [`crate::IndexBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The input data was rejected.
+    Data(DataError),
+    /// A configuration parameter was out of range.
+    InvalidConfig(String),
+    /// The builder cannot represent this dataset (e.g. a cuckoo table that
+    /// failed to place all keys after the retry limit).
+    Unbuildable(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Data(e) => write!(f, "invalid data: {e}"),
+            BuildError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BuildError::Unbuildable(msg) => write!(f, "index cannot be built: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<DataError> for BuildError {
+    fn from(e: DataError) -> Self {
+        BuildError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DataError::Empty.to_string().contains("at least one"));
+        assert!(DataError::Unsorted(7).to_string().contains('7'));
+        let e = BuildError::InvalidConfig("radix bits must be > 0".into());
+        assert!(e.to_string().contains("radix bits"));
+    }
+
+    #[test]
+    fn data_error_converts_to_build_error() {
+        let b: BuildError = DataError::Empty.into();
+        assert_eq!(b, BuildError::Data(DataError::Empty));
+    }
+}

@@ -1,0 +1,165 @@
+//! The index-structure interface shared by every technique in the benchmark.
+
+use crate::bound::SearchBound;
+use crate::key::Key;
+use crate::trace::Tracer;
+
+/// Broad family of an index technique, as listed in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// CDF-approximating learned structures (RMI, PGM, RS).
+    Learned,
+    /// B-Tree-family structures.
+    Tree,
+    /// Radix/succinct tries.
+    Trie,
+    /// Hybrid hash/trie structures (Wormhole).
+    HybridHashTrie,
+    /// Unordered hash tables.
+    Hash,
+    /// Plain lookup tables (RBS).
+    LookupTable,
+    /// Binary search over the data itself.
+    BinarySearch,
+}
+
+impl IndexKind {
+    /// Human-readable label matching the paper's Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexKind::Learned => "Learned",
+            IndexKind::Tree => "Tree",
+            IndexKind::Trie => "Trie",
+            IndexKind::HybridHashTrie => "Hybrid hash/trie",
+            IndexKind::Hash => "Hash",
+            IndexKind::LookupTable => "Lookup table",
+            IndexKind::BinarySearch => "Binary search",
+        }
+    }
+}
+
+/// Capability row for Table 1: what a technique supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Whether the structure supports updates (we benchmark read-only).
+    pub updates: bool,
+    /// Whether the structure supports ordered (lower-bound/range) lookups.
+    pub ordered: bool,
+    /// Technique family.
+    pub kind: IndexKind,
+}
+
+/// An index structure over a [`crate::SortedData`].
+///
+/// Implementations must be *valid* per Section 2 of the paper: for every
+/// possible lookup key `x` (present or absent), the returned bound must
+/// contain the lower bound of `x`. The integration suite property-tests this
+/// invariant for every index in the workspace.
+pub trait Index<K: Key>: Send + Sync {
+    /// Short name used in result tables ("RMI", "PGM", "BTree", ...).
+    fn name(&self) -> &'static str;
+
+    /// In-memory footprint of the index structure itself in bytes, excluding
+    /// the underlying data array (the x-axis of Figure 7).
+    fn size_bytes(&self) -> usize;
+
+    /// Map a lookup key to a search bound containing its lower bound.
+    fn search_bound(&self, key: K) -> SearchBound;
+
+    /// Table 1 capability row for this technique.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Traced variant of [`Index::search_bound`] that reports memory reads,
+    /// branches, and instruction counts to `tracer` for the hardware-counter
+    /// simulation (Figures 12, 14, 16c).
+    ///
+    /// The default implementation performs an untraced lookup; instrumented
+    /// indexes override it.
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        let _ = tracer;
+        self.search_bound(key)
+    }
+}
+
+/// Blanket impl so `Box<dyn Index<K>>` and `&I` are themselves indexes.
+impl<K: Key, I: Index<K> + ?Sized> Index<K> for &I {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn search_bound(&self, key: K) -> SearchBound {
+        (**self).search_bound(key)
+    }
+    fn capabilities(&self) -> Capabilities {
+        (**self).capabilities()
+    }
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        (**self).search_bound_traced(key, tracer)
+    }
+}
+
+impl<K: Key, I: Index<K> + ?Sized> Index<K> for Box<I> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn search_bound(&self, key: K) -> SearchBound {
+        (**self).search_bound(key)
+    }
+    fn capabilities(&self) -> Capabilities {
+        (**self).capabilities()
+    }
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        (**self).search_bound_traced(key, tracer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::NullTracer;
+
+    struct FullScan {
+        n: usize,
+    }
+
+    impl Index<u64> for FullScan {
+        fn name(&self) -> &'static str {
+            "FullScan"
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn search_bound(&self, _key: u64) -> SearchBound {
+            SearchBound::full(self.n)
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities { updates: false, ordered: true, kind: IndexKind::BinarySearch }
+        }
+    }
+
+    #[test]
+    fn default_traced_lookup_delegates() {
+        let idx = FullScan { n: 8 };
+        let mut t = NullTracer;
+        assert_eq!(idx.search_bound_traced(5, &mut t), SearchBound::full(8));
+    }
+
+    #[test]
+    fn boxed_and_borrowed_indexes_delegate() {
+        let idx: Box<dyn Index<u64>> = Box::new(FullScan { n: 4 });
+        assert_eq!(idx.name(), "FullScan");
+        assert_eq!(idx.search_bound(1), SearchBound::full(4));
+        assert_eq!(idx.capabilities().kind, IndexKind::BinarySearch);
+    }
+
+    #[test]
+    fn kind_labels_match_table1() {
+        assert_eq!(IndexKind::HybridHashTrie.label(), "Hybrid hash/trie");
+        assert_eq!(IndexKind::Learned.label(), "Learned");
+    }
+}

@@ -1,0 +1,171 @@
+//! The integer key abstraction.
+//!
+//! The paper evaluates unsigned 64-bit keys throughout, plus 32-bit keys in
+//! Section 4.2.2. [`Key`] abstracts over both widths so every index is generic
+//! in the key type.
+
+use std::fmt::{Debug, Display};
+use std::hash::Hash;
+
+/// An unsigned fixed-width integer key.
+///
+/// Implementations must be totally ordered and support lossless conversion to
+/// `u64` as well as (clamped) conversion to and from `f64` — the latter is
+/// what learned models compute in.
+pub trait Key:
+    Copy + Ord + Eq + Hash + Send + Sync + Debug + Display + Default + 'static
+{
+    /// Bit width of the key type (32 or 64).
+    const BITS: u32;
+    /// Smallest representable key.
+    const MIN_KEY: Self;
+    /// Largest representable key.
+    const MAX_KEY: Self;
+
+    /// Widen to `u64` (lossless).
+    fn to_u64(self) -> u64;
+    /// Narrow from `u64`, saturating at `MAX_KEY`.
+    fn from_u64(v: u64) -> Self;
+    /// Convert to `f64` for model arithmetic (may round for large `u64`).
+    fn to_f64(self) -> f64;
+    /// Convert from `f64`, clamping to the representable range and treating
+    /// NaN as zero.
+    fn from_f64_clamped(v: f64) -> Self;
+
+    /// The `bits` most significant bits of the key, as a table offset.
+    ///
+    /// `bits` must be in `1..=Self::BITS`. This is the radix-table operation
+    /// shared by RadixSpline, RBS, and radix root models in the RMI.
+    #[inline]
+    fn radix_prefix(self, bits: u32) -> usize {
+        debug_assert!(bits >= 1 && bits <= Self::BITS);
+        (self.to_u64() >> (Self::BITS - bits).min(63)) as usize
+    }
+
+    /// Saturating subtraction, used for key-space arithmetic in splines.
+    fn saturating_sub_key(self, other: Self) -> Self;
+}
+
+impl Key for u64 {
+    const BITS: u32 = 64;
+    const MIN_KEY: Self = 0;
+    const MAX_KEY: Self = u64::MAX;
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64_clamped(v: f64) -> Self {
+        if v.is_nan() || v <= 0.0 {
+            0
+        } else if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        }
+    }
+
+    #[inline]
+    fn saturating_sub_key(self, other: Self) -> Self {
+        self.saturating_sub(other)
+    }
+}
+
+impl Key for u32 {
+    const BITS: u32 = 32;
+    const MIN_KEY: Self = 0;
+    const MAX_KEY: Self = u32::MAX;
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v.min(u32::MAX as u64) as u32
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn from_f64_clamped(v: f64) -> Self {
+        if v.is_nan() || v <= 0.0 {
+            0
+        } else if v >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            v as u32
+        }
+    }
+
+    #[inline]
+    fn saturating_sub_key(self, other: Self) -> Self {
+        self.saturating_sub(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips() {
+        for v in [0u64, 1, 42, u64::MAX / 2, u64::MAX] {
+            assert_eq!(u64::from_u64(v.to_u64()), v);
+        }
+    }
+
+    #[test]
+    fn u32_round_trips() {
+        for v in [0u32, 1, 42, u32::MAX / 2, u32::MAX] {
+            assert_eq!(u32::from_u64(v.to_u64()), v);
+        }
+    }
+
+    #[test]
+    fn u32_from_u64_saturates() {
+        assert_eq!(u32::from_u64(u64::MAX), u32::MAX);
+        assert_eq!(u32::from_u64(1 << 40), u32::MAX);
+    }
+
+    #[test]
+    fn from_f64_clamps() {
+        assert_eq!(u64::from_f64_clamped(-1.5), 0);
+        assert_eq!(u64::from_f64_clamped(f64::NAN), 0);
+        assert_eq!(u64::from_f64_clamped(f64::INFINITY), u64::MAX);
+        assert_eq!(u32::from_f64_clamped(1e20), u32::MAX);
+        assert_eq!(u64::from_f64_clamped(1234.7), 1234);
+    }
+
+    #[test]
+    fn radix_prefix_extracts_top_bits() {
+        let k: u64 = 0xABCD_0000_0000_0000;
+        assert_eq!(k.radix_prefix(16), 0xABCD);
+        assert_eq!(k.radix_prefix(8), 0xAB);
+        assert_eq!(k.radix_prefix(4), 0xA);
+        let k32: u32 = 0xAB00_0000;
+        assert_eq!(k32.radix_prefix(8), 0xAB);
+    }
+
+    #[test]
+    fn radix_prefix_full_width() {
+        let k: u32 = 0xDEAD_BEEF;
+        assert_eq!(k.radix_prefix(32), 0xDEAD_BEEF);
+    }
+}

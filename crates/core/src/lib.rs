@@ -1,0 +1,50 @@
+//! # sosd-core
+//!
+//! Core abstractions for the SOSD learned-index benchmark, a reproduction of
+//! *Benchmarking Learned Indexes* (Marcus et al., VLDB 2020).
+//!
+//! The paper formulates every index structure — learned or traditional — as a
+//! mapping from an integer lookup key to a [`SearchBound`] that is guaranteed
+//! to contain the *lower bound* of the key: the position of the smallest key
+//! in a sorted array that is greater than or equal to the lookup key. A
+//! *last-mile* search (binary, linear, or interpolation; see [`search`]) then
+//! locates the exact position inside the bound.
+//!
+//! This crate provides:
+//!
+//! * [`Key`] — the integer key abstraction (`u32` and `u64`).
+//! * [`SortedData`] — the sorted array of keys plus 8-byte payloads that every
+//!   index is built over.
+//! * [`Index`] and [`IndexBuilder`] — the interface every index implements.
+//! * [`search`] — last-mile search functions, in plain and traced variants.
+//! * [`Tracer`] — the event sink used by the `sosd-perfsim` hardware-counter
+//!   simulator to observe memory reads, branches, and instruction counts.
+//! * [`stats`] — log2-error statistics, Pareto-front extraction, and the OLS
+//!   regression machinery used by the paper's Section 4.3 analysis.
+//! * [`dynamic`] — the [`DynamicOrderedIndex`] interface for the updatable
+//!   structures of the paper's future-work section (ALEX, dynamic PGM,
+//!   FITing-Tree, dynamic B+Tree).
+
+pub mod bound;
+pub mod builder;
+pub mod data;
+pub mod dynamic;
+pub mod error;
+pub mod index;
+pub mod key;
+pub mod ols;
+pub mod search;
+pub mod stats;
+pub mod stride;
+pub mod trace;
+pub mod util;
+
+pub use bound::SearchBound;
+pub use builder::IndexBuilder;
+pub use data::SortedData;
+pub use dynamic::{BulkLoad, DynamicOrderedIndex, Op};
+pub use error::{BuildError, DataError};
+pub use index::{Capabilities, Index, IndexKind};
+pub use key::Key;
+pub use search::{LastMileSearch, SearchStrategy};
+pub use trace::{CountingTracer, NullTracer, Tracer};

@@ -1,0 +1,325 @@
+//! Ordinary least squares with inference, for the paper's Section 4.3
+//! explanatory analysis.
+//!
+//! The paper regresses lookup time on cache misses, branch misses, and
+//! instruction counts, reporting R^2 = 0.955 and standardized coefficients
+//! (0.85, -0.28, 0.50). This module reproduces that analysis: coefficient
+//! estimates, R^2, standardized coefficients, t statistics, and two-sided
+//! p-values (normal approximation to the t distribution, adequate at the
+//! sample sizes used).
+
+// Matrix/bit-twiddling code below indexes multiple arrays in lockstep;
+// index loops are clearer than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+/// Result of fitting `y = b0 + b1*x1 + ... + bk*xk`.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    /// Coefficients, `[b0 (intercept), b1, ..., bk]`.
+    pub coefficients: Vec<f64>,
+    /// Standardized (beta) coefficients for the non-intercept terms:
+    /// `b_j * sd(x_j) / sd(y)`.
+    pub standardized: Vec<f64>,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard errors of the coefficients (incl. intercept).
+    pub std_errors: Vec<f64>,
+    /// t statistics (coefficient / std error).
+    pub t_stats: Vec<f64>,
+    /// Two-sided p-values (normal approximation).
+    pub p_values: Vec<f64>,
+    /// Number of observations.
+    pub n: usize,
+}
+
+/// Errors from [`fit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OlsError {
+    /// Fewer observations than parameters.
+    TooFewObservations,
+    /// Predictor matrix rows have inconsistent lengths.
+    RaggedRows,
+    /// The normal equations are singular (collinear predictors).
+    Singular,
+}
+
+impl std::fmt::Display for OlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OlsError::TooFewObservations => write!(f, "not enough observations for OLS"),
+            OlsError::RaggedRows => write!(f, "predictor rows have different lengths"),
+            OlsError::Singular => write!(f, "singular design matrix (collinear predictors)"),
+        }
+    }
+}
+
+impl std::error::Error for OlsError {}
+
+/// Solve the square system `a * x = b` by Gaussian elimination with partial
+/// pivoting. `a` is row-major `n x n`.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, OlsError> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(OlsError::Singular);
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Invert a square matrix via Gauss-Jordan; used for coefficient covariance.
+fn invert(m: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, OlsError> {
+    let n = m.len();
+    let mut a: Vec<Vec<f64>> = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(OlsError::Singular);
+        }
+        a.swap(col, pivot);
+        let d = a[col][col];
+        for k in 0..2 * n {
+            a[col][k] /= d;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in 0..2 * n {
+                a[row][k] -= f * a[col][k];
+            }
+        }
+    }
+    Ok(a.into_iter().map(|r| r[n..].to_vec()).collect())
+}
+
+/// Standard normal CDF via an Abramowitz-Stegun `erf` approximation
+/// (max abs error ~1.5e-7, ample for reporting p-value stars).
+fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf } else { -erf };
+    0.5 * (1.0 + erf)
+}
+
+/// Two-sided p-value for a t statistic (normal approximation).
+pub fn two_sided_p(t: f64) -> f64 {
+    2.0 * (1.0 - normal_cdf(t.abs()))
+}
+
+/// Fit an OLS regression of `y` on predictor rows `x` (one row per
+/// observation, no intercept column — it is added internally).
+pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<OlsFit, OlsError> {
+    let n = y.len();
+    if n == 0 || x.len() != n {
+        return Err(OlsError::TooFewObservations);
+    }
+    let k = x[0].len();
+    if x.iter().any(|r| r.len() != k) {
+        return Err(OlsError::RaggedRows);
+    }
+    let p = k + 1; // with intercept
+    if n <= p {
+        return Err(OlsError::TooFewObservations);
+    }
+
+    // Build X'X and X'y with the intercept as column 0.
+    let design_row = |i: usize, j: usize| -> f64 {
+        if j == 0 {
+            1.0
+        } else {
+            x[i][j - 1]
+        }
+    };
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![0.0; p];
+    for i in 0..n {
+        for a in 0..p {
+            let va = design_row(i, a);
+            xty[a] += va * y[i];
+            for b in a..p {
+                xtx[a][b] += va * design_row(i, b);
+            }
+        }
+    }
+    for a in 0..p {
+        for b in 0..a {
+            xtx[a][b] = xtx[b][a];
+        }
+    }
+
+    let coefficients = solve(xtx.clone(), xty)?;
+
+    // Residuals and R^2.
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for i in 0..n {
+        let pred: f64 = (0..p).map(|j| coefficients[j] * design_row(i, j)).sum();
+        ss_res += (y[i] - pred) * (y[i] - pred);
+        ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+    }
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+    // Coefficient covariance: sigma^2 (X'X)^-1.
+    let dof = (n - p) as f64;
+    let sigma2 = ss_res / dof;
+    let xtx_inv = invert(&xtx)?;
+    let std_errors: Vec<f64> = (0..p).map(|j| (sigma2 * xtx_inv[j][j]).max(0.0).sqrt()).collect();
+    let t_stats: Vec<f64> = (0..p)
+        .map(|j| {
+            if std_errors[j] == 0.0 {
+                0.0
+            } else {
+                coefficients[j] / std_errors[j]
+            }
+        })
+        .collect();
+    let p_values: Vec<f64> = t_stats.iter().map(|&t| two_sided_p(t)).collect();
+
+    // Standardized coefficients.
+    let sd = |vals: &dyn Fn(usize) -> f64| -> f64 {
+        let mean = (0..n).map(vals).sum::<f64>() / n as f64;
+        ((0..n).map(|i| (vals(i) - mean) * (vals(i) - mean)).sum::<f64>() / n as f64).sqrt()
+    };
+    let sd_y = sd(&|i| y[i]);
+    let standardized: Vec<f64> = (1..p)
+        .map(|j| {
+            let sd_x = sd(&|i| x[i][j - 1]);
+            if sd_y == 0.0 {
+                0.0
+            } else {
+                coefficients[j] * sd_x / sd_y
+            }
+        })
+        .collect();
+
+    Ok(OlsFit { coefficients, standardized, r_squared, std_errors, t_stats, p_values, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::XorShift64;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 3 + 2*x1 - x2, noiseless.
+        let mut rng = XorShift64::new(42);
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 5.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let f = fit(&x, &y).unwrap();
+        assert!((f.coefficients[0] - 3.0).abs() < 1e-8);
+        assert!((f.coefficients[1] - 2.0).abs() < 1e-8);
+        assert!((f.coefficients[2] + 1.0).abs() < 1e-8);
+        assert!(f.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn significant_predictors_have_small_p() {
+        let mut rng = XorShift64::new(7);
+        let x: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.next_f64() * 10.0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 1.0 + 5.0 * r[0] + (rng.next_f64() - 0.5))
+            .collect();
+        let f = fit(&x, &y).unwrap();
+        assert!(f.p_values[1] < 0.001, "p = {}", f.p_values[1]);
+        assert!(f.r_squared > 0.9);
+    }
+
+    #[test]
+    fn irrelevant_predictor_is_insignificant() {
+        let mut rng = XorShift64::new(99);
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0])
+            .collect();
+        // y depends only on x1.
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 2.0 * r[0] + (rng.next_f64() - 0.5) * 4.0)
+            .collect();
+        let f = fit(&x, &y).unwrap();
+        assert!(f.p_values[1] < 0.001);
+        assert!(f.p_values[2] > 0.05, "noise predictor p = {}", f.p_values[2]);
+    }
+
+    #[test]
+    fn standardized_coefficients_are_scale_invariant() {
+        let mut rng = XorShift64::new(5);
+        let x1: Vec<f64> = (0..150).map(|_| rng.next_f64()).collect();
+        let y: Vec<f64> = x1.iter().map(|&v| 10.0 * v + rng.next_f64() * 0.01).collect();
+        let xa: Vec<Vec<f64>> = x1.iter().map(|&v| vec![v]).collect();
+        let xb: Vec<Vec<f64>> = x1.iter().map(|&v| vec![v * 1000.0]).collect();
+        let fa = fit(&xa, &y).unwrap();
+        let fb = fit(&xb, &y).unwrap();
+        assert!((fa.standardized[0] - fb.standardized[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_collinear_predictors() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(fit(&x, &y).unwrap_err(), OlsError::Singular);
+    }
+
+    #[test]
+    fn rejects_too_few_observations() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![1.0, 2.0];
+        assert_eq!(fit(&x, &y).unwrap_err(), OlsError::TooFewObservations);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(two_sided_p(0.0) > 0.99);
+        assert!(two_sided_p(5.0) < 1e-5);
+    }
+}

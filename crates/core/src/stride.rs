@@ -1,0 +1,128 @@
+//! Sampling-stride support: the paper's universal size/accuracy tradeoff for
+//! tree structures (Section 2.1 / 4.1.1).
+//!
+//! Tree indexes are shrunk by inserting only every `stride`-th key. The tree
+//! then locates the greatest *sampled* key strictly less than the lookup key;
+//! the stride geometry turns that slot into a valid search bound over the
+//! full array.
+
+use crate::bound::SearchBound;
+use crate::key::Key;
+
+/// Geometry of a sampled key set: every `stride`-th key of an array of `n`
+/// keys, i.e. positions `0, stride, 2*stride, ...`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stride {
+    /// Sampling interval (1 = every key).
+    pub stride: usize,
+    /// Length of the underlying data array.
+    pub n: usize,
+}
+
+impl Stride {
+    /// Create the geometry; stride of 0 is treated as 1.
+    pub fn new(stride: usize, n: usize) -> Self {
+        Stride { stride: stride.max(1), n }
+    }
+
+    /// Number of sampled slots.
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        if self.n == 0 {
+            0
+        } else {
+            (self.n - 1) / self.stride + 1
+        }
+    }
+
+    /// Data position of a sampled slot.
+    #[inline]
+    pub fn position_of_slot(&self, slot: usize) -> usize {
+        slot * self.stride
+    }
+
+    /// Extract the sampled keys from the full key array.
+    pub fn sample<K: Key>(&self, keys: &[K]) -> Vec<K> {
+        debug_assert_eq!(keys.len(), self.n);
+        keys.iter().copied().step_by(self.stride).collect()
+    }
+
+    /// Convert the tree's answer into a search bound.
+    ///
+    /// `pred_slot` is the greatest slot whose key is *strictly less* than the
+    /// lookup key, or `None` when every sampled key is `>= x`. Strictness
+    /// matters for duplicate keys: a sampled key equal to `x` may have equal
+    /// keys before it in the full array, so it cannot anchor the low end.
+    #[inline]
+    pub fn bound_for_pred_slot(&self, pred_slot: Option<usize>) -> SearchBound {
+        match pred_slot {
+            None => SearchBound { lo: 0, hi: self.stride.min(self.n) },
+            Some(slot) => {
+                let lo = self.position_of_slot(slot).min(self.n);
+                let hi = if slot + 1 >= self.num_slots() {
+                    self.n
+                } else {
+                    self.position_of_slot(slot + 1).min(self.n)
+                };
+                SearchBound { lo, hi }
+            }
+        }
+    }
+
+    /// Reference implementation of the slot a valid tree must report:
+    /// the greatest slot with sampled key `< x` (via the full key array).
+    pub fn oracle_pred_slot<K: Key>(&self, keys: &[K], x: K) -> Option<usize> {
+        let sampled = self.sample(keys);
+        let cnt = sampled.partition_point(|&k| k < x);
+        cnt.checked_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_count_covers_all_keys() {
+        assert_eq!(Stride::new(1, 10).num_slots(), 10);
+        assert_eq!(Stride::new(2, 10).num_slots(), 5);
+        assert_eq!(Stride::new(3, 10).num_slots(), 4);
+        assert_eq!(Stride::new(100, 10).num_slots(), 1);
+    }
+
+    #[test]
+    fn sample_picks_every_nth() {
+        let keys: Vec<u64> = (0..10).collect();
+        assert_eq!(Stride::new(3, 10).sample(&keys), vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn bounds_are_valid_for_all_probes() {
+        // Exhaustive validity check including duplicates.
+        let keys: Vec<u64> = vec![2, 4, 4, 4, 8, 8, 10, 14, 14, 20, 22, 30];
+        for stride in 1..=6 {
+            let s = Stride::new(stride, keys.len());
+            for x in 0..=32u64 {
+                let lb = keys.partition_point(|&k| k < x);
+                let b = s.bound_for_pred_slot(s.oracle_pred_slot(&keys, x));
+                assert!(
+                    b.contains(lb),
+                    "stride={stride} x={x} bound={b:?} lb={lb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn none_slot_covers_array_head() {
+        let s = Stride::new(4, 20);
+        assert_eq!(s.bound_for_pred_slot(None), SearchBound { lo: 0, hi: 4 });
+    }
+
+    #[test]
+    fn last_slot_extends_to_end() {
+        let s = Stride::new(4, 19); // slots at 0,4,8,12,16
+        assert_eq!(s.num_slots(), 5);
+        assert_eq!(s.bound_for_pred_slot(Some(4)), SearchBound { lo: 16, hi: 19 });
+    }
+}

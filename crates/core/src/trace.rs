@@ -1,0 +1,121 @@
+//! Execution tracing: the interface between index lookups and the
+//! hardware-counter simulator in `sosd-perfsim`.
+//!
+//! The paper explains index performance with three hardware counters — cache
+//! misses, branch mispredictions, and instruction counts (Section 4.3). We
+//! reproduce those counters with a simulator instead of `perf`, so each index
+//! exposes a *traced* lookup path that reports every memory read, conditional
+//! branch, and an instruction-count estimate to a [`Tracer`].
+
+/// Sink for execution events emitted by traced lookups.
+///
+/// Addresses are real in-memory addresses of the index structures, so cache
+/// behaviour in the simulator reflects the actual data layout.
+pub trait Tracer {
+    /// A data read of `bytes` bytes starting at `addr`.
+    fn read(&mut self, addr: usize, bytes: usize);
+    /// A conditional branch at call site `site` that was `taken` or not.
+    fn branch(&mut self, site: usize, taken: bool);
+    /// `count` straight-line instructions retired.
+    fn instr(&mut self, count: u64);
+}
+
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    #[inline]
+    fn read(&mut self, addr: usize, bytes: usize) {
+        (**self).read(addr, bytes)
+    }
+    #[inline]
+    fn branch(&mut self, site: usize, taken: bool) {
+        (**self).branch(site, taken)
+    }
+    #[inline]
+    fn instr(&mut self, count: u64) {
+        (**self).instr(count)
+    }
+}
+
+/// A tracer that discards all events (the cost-free default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn read(&mut self, _addr: usize, _bytes: usize) {}
+    #[inline]
+    fn branch(&mut self, _site: usize, _taken: bool) {}
+    #[inline]
+    fn instr(&mut self, _count: u64) {}
+}
+
+/// A tracer that simply counts events, with no cache or predictor model.
+/// Useful in tests to assert that traced paths actually emit events.
+#[derive(Debug, Default, Clone)]
+pub struct CountingTracer {
+    /// Number of `read` events.
+    pub reads: u64,
+    /// Total bytes across all reads.
+    pub bytes_read: u64,
+    /// Number of `branch` events.
+    pub branches: u64,
+    /// Number of taken branches.
+    pub taken: u64,
+    /// Total instruction count.
+    pub instructions: u64,
+}
+
+impl Tracer for CountingTracer {
+    #[inline]
+    fn read(&mut self, _addr: usize, bytes: usize) {
+        self.reads += 1;
+        self.bytes_read += bytes as u64;
+    }
+
+    #[inline]
+    fn branch(&mut self, _site: usize, taken: bool) {
+        self.branches += 1;
+        if taken {
+            self.taken += 1;
+        }
+    }
+
+    #[inline]
+    fn instr(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
+
+/// Helper: the address of a slice element, for emitting `read` events.
+#[inline]
+pub fn addr_of_index<T>(slice: &[T], i: usize) -> usize {
+    debug_assert!(i < slice.len());
+    slice.as_ptr() as usize + i * std::mem::size_of::<T>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_tracer_counts() {
+        let mut t = CountingTracer::default();
+        t.read(0x1000, 8);
+        t.read(0x2000, 4);
+        t.branch(1, true);
+        t.branch(2, false);
+        t.instr(10);
+        assert_eq!(t.reads, 2);
+        assert_eq!(t.bytes_read, 12);
+        assert_eq!(t.branches, 2);
+        assert_eq!(t.taken, 1);
+        assert_eq!(t.instructions, 10);
+    }
+
+    #[test]
+    fn addr_of_index_strides_by_element_size() {
+        let v = [1u64, 2, 3];
+        let base = v.as_ptr() as usize;
+        assert_eq!(addr_of_index(&v, 0), base);
+        assert_eq!(addr_of_index(&v, 2), base + 16);
+    }
+}

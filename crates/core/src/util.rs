@@ -1,0 +1,94 @@
+//! Small shared utilities: deterministic mixing and payload generation.
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+///
+/// Used for deterministic payload generation and as the hash function of the
+/// hash-table baselines (it passes the usual avalanche tests and is what the
+/// original SOSD harness effectively relies on for integer hashing).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A tiny deterministic PRNG (xorshift64*), used where pulling in `rand`
+/// would be overkill (payloads, tie-breaking). Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create a generator; a zero seed is remapped to a fixed constant since
+    /// xorshift has an all-zeroes fixed point.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 { 0x853C_49E6_748F_EA9B } else { seed },
+        }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // benchmark workload generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixes() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Consecutive inputs should differ in roughly half their bits.
+        let d = (splitmix64(100) ^ splitmix64(101)).count_ones();
+        assert!(d > 16 && d < 48, "poor avalanche: {d} bits");
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_remapped() {
+        let mut a = XorShift64::new(0);
+        assert_ne!(a.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = XorShift64::new(3);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Generate SOSD-format binary dataset files, mirroring the benchmark
+//! repository the paper distributes.
+//!
+//! Usage: `cargo run --release -p sosd-datasets --bin gen_datasets -- \
+//!           [--n 1m] [--seed 42] [--dir data] [--u32] [dataset ...]`
+
+use sosd_datasets::{io, DatasetId};
+use std::path::PathBuf;
+
+fn main() {
+    let mut n = 1_000_000usize;
+    let mut seed = 42u64;
+    let mut dir = PathBuf::from("data");
+    let mut u32_mode = false;
+    let mut picked: Vec<DatasetId> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--n" => {
+                let v = args.next().expect("--n value");
+                let (digits, mult) = match v.to_ascii_lowercase() {
+                    s if s.ends_with('m') => (s[..s.len() - 1].to_string(), 1_000_000),
+                    s if s.ends_with('k') => (s[..s.len() - 1].to_string(), 1_000),
+                    s => (s, 1),
+                };
+                n = digits.parse::<usize>().expect("numeric --n") * mult;
+            }
+            "--seed" => seed = args.next().expect("--seed value").parse().expect("numeric seed"),
+            "--dir" => dir = PathBuf::from(args.next().expect("--dir value")),
+            "--u32" => u32_mode = true,
+            name => match DatasetId::parse(name) {
+                Some(id) => picked.push(id),
+                None => {
+                    eprintln!("unknown dataset '{name}'; known: all of {:?}",
+                        DatasetId::ALL.map(|d| d.name()));
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if picked.is_empty() {
+        picked = DatasetId::REAL_WORLD.to_vec();
+    }
+
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for id in picked {
+        let suffix = if u32_mode { "uint32" } else { "uint64" };
+        let path = dir.join(format!("{}_{}_{}", id.name(), n, suffix));
+        if u32_mode {
+            let data = sosd_datasets::generate_u32(id, n, seed);
+            io::write_keys(&path, data.keys()).expect("write dataset");
+        } else {
+            let data = sosd_datasets::generate_u64(id, n, seed);
+            io::write_keys(&path, data.keys()).expect("write dataset");
+        }
+        println!("wrote {} ({n} keys)", path.display());
+    }
+}

@@ -1,0 +1,170 @@
+//! Probability distributions over the core deterministic PRNG.
+//!
+//! Implemented from scratch (Box-Muller, inversion sampling) so dataset
+//! generation depends only on the workspace's own seeded generator and stays
+//! bit-for-bit reproducible across platforms.
+
+use sosd_core::util::XorShift64;
+
+/// Standard normal sample via the Box-Muller transform.
+pub fn normal(rng: &mut XorShift64) -> f64 {
+    // Guard against log(0).
+    let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+#[inline]
+pub fn normal_with(rng: &mut XorShift64, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * normal(rng)
+}
+
+/// Exponential sample with the given rate (inversion method).
+pub fn exponential(rng: &mut XorShift64, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u = rng.next_f64().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+#[inline]
+pub fn log_normal(rng: &mut XorShift64, mu: f64, sigma: f64) -> f64 {
+    normal_with(rng, mu, sigma).exp()
+}
+
+/// A Zipf(s) distribution over ranks `0..n`, sampled by inversion over the
+/// precomputed cumulative mass. Used for skewed lookup workloads (hot keys).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build over `n` ranks with exponent `s > 0` (larger = more skew; `s`
+    /// around 0.99 is the common YCSB setting).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut acc = 0.0f64;
+        let mut cumulative: Vec<f64> = (1..=n)
+            .map(|k| {
+                acc += 1.0 / (k as f64).powf(s);
+                acc
+            })
+            .collect();
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank (0 = most popular).
+    pub fn sample(&self, rng: &mut XorShift64) -> usize {
+        let u = rng.next_f64();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+/// A categorical distribution over component weights, sampled by inversion.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (need not be normalized).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|&w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Categorical { cumulative }
+    }
+
+    /// Sample a component index.
+    pub fn sample(&self, rng: &mut XorShift64) -> usize {
+        let u = rng.next_f64();
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = XorShift64::new(1);
+        let s: Vec<f64> = (0..50_000).map(|_| normal(&mut rng)).collect();
+        let (mean, var) = moments(&s);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut rng = XorShift64::new(2);
+        let s: Vec<f64> = (0..50_000).map(|_| normal_with(&mut rng, 10.0, 3.0)).collect();
+        let (mean, var) = moments(&s);
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 9.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = XorShift64::new(3);
+        let s: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 4.0)).collect();
+        let (mean, _) = moments(&s);
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut rng = XorShift64::new(4);
+        let s: Vec<f64> = (0..20_000).map(|_| log_normal(&mut rng, 0.0, 1.0)).collect();
+        assert!(s.iter().all(|&x| x > 0.0));
+        let (mean, _) = moments(&s);
+        // E[lognormal(0,1)] = exp(0.5) ~ 1.6487
+        assert!((mean - 1.6487).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = XorShift64::new(5);
+        let cat = Categorical::new(&[1.0, 3.0]);
+        let mut counts = [0usize; 2];
+        for _ in 0..40_000 {
+            counts[cat.sample(&mut rng)] += 1;
+        }
+        let frac = counts[1] as f64 / 40_000.0;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn categorical_rejects_empty() {
+        Categorical::new(&[]);
+    }
+}

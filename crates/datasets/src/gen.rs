@@ -1,0 +1,294 @@
+//! The dataset generators themselves.
+//!
+//! Every generator returns a sorted `Vec<u64>` of exactly `n` keys and is a
+//! pure function of `(n, seed)`. Where the real dataset has unique keys
+//! (`amzn`, `face`, `osm`), duplicates produced by sampling are nudged
+//! upward to preserve both uniqueness and the CDF shape; `wiki` keeps its
+//! duplicates because the real dataset has them.
+
+use crate::dist::{exponential, log_normal, normal_with, Categorical};
+use crate::hilbert;
+use sosd_core::util::XorShift64;
+
+/// Number of extreme outlier keys in the `face` dataset (the paper reports
+/// "approximately 100 outliers" in `(2^59, 2^64 - 1)`).
+pub const FACE_OUTLIERS: usize = 100;
+
+/// Sort keys and replace duplicates with the next free larger value,
+/// preserving sortedness and (approximately) the CDF shape.
+fn sort_dedup_nudge(mut keys: Vec<u64>) -> Vec<u64> {
+    keys.sort_unstable();
+    for i in 1..keys.len() {
+        if keys[i] <= keys[i - 1] {
+            keys[i] = keys[i - 1].saturating_add(1);
+        }
+    }
+    // A run that saturated at u64::MAX (e.g. osm points clamped into the top
+    // grid corner) is resolved by nudging downward from the end.
+    for i in (0..keys.len().saturating_sub(1)).rev() {
+        if keys[i] >= keys[i + 1] {
+            keys[i] = keys[i + 1] - 1;
+        }
+    }
+    keys
+}
+
+/// `amzn`: Amazon book-popularity keys.
+///
+/// A three-component normal mixture in linear key space produces the
+/// smooth, gently S-curved CDF of Figure 6 — globally easy to approximate,
+/// with natural sampling noise at small scales. Keys occupy roughly
+/// `(0, 2^47)`.
+pub fn amzn(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0xA3A1);
+    let mixture = Categorical::new(&[0.45, 0.35, 0.20]);
+    let scale = (1u64 << 46) as f64;
+    // (mean, std dev) in units of `scale`.
+    let params = [(0.55, 0.22), (1.10, 0.18), (1.55, 0.28)];
+    let max = scale * 2.0 - 1.0;
+    let keys = (0..n)
+        .map(|_| {
+            let (mu, sigma) = params[mixture.sample(&mut rng)];
+            normal_with(&mut rng, mu * scale, sigma * scale).clamp(1.0, max) as u64
+        })
+        .collect();
+    sort_dedup_nudge(keys)
+}
+
+/// `face`: randomly sampled user IDs.
+///
+/// Bulk of the keys uniform in `(0, 2^50)`, plus [`FACE_OUTLIERS`] extreme
+/// outliers in `(2^59, 2^64)`. The outliers make the top 16 prefix bits of a
+/// radix table nearly useless, reproducing the paper's RBS/ART discussion.
+pub fn face(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0xFACE);
+    let outliers = FACE_OUTLIERS.min(n / 2);
+    let bulk = n - outliers;
+    let mut keys: Vec<u64> = (0..bulk)
+        .map(|_| 1 + rng.next_below((1u64 << 50) - 1))
+        .collect();
+    let outlier_span = u64::MAX - (1u64 << 59);
+    keys.extend((0..outliers).map(|_| (1u64 << 59) + rng.next_below(outlier_span)));
+    sort_dedup_nudge(keys)
+}
+
+/// Number of population clusters ("cities") used by the `osm` generator.
+fn osm_cluster_count(n: usize) -> usize {
+    (n / 4_000).clamp(32, 4_096)
+}
+
+/// `osm`: OpenStreetMap-style cell IDs.
+///
+/// Clustered 2-D points (log-normally sized Gaussian clusters, plus a
+/// uniform background) mapped through an order-32 [Hilbert
+/// curve](crate::hilbert). The projection shreds spatial locality into
+/// erratic small-scale CDF structure — the property that makes `osm` hard
+/// for every learned index in the paper.
+pub fn osm(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0x05E7);
+    let span = 1u64 << 32;
+    let clusters = osm_cluster_count(n);
+    let centers: Vec<(f64, f64, f64)> = (0..clusters)
+        .map(|_| {
+            let cx = rng.next_below(span) as f64;
+            let cy = rng.next_below(span) as f64;
+            // Cluster radius varies over ~3 orders of magnitude.
+            let spread = log_normal(&mut rng, 18.0, 1.2).min(span as f64 / 8.0);
+            (cx, cy, spread)
+        })
+        .collect();
+    let pick = Categorical::new(&vec![1.0; clusters]);
+    let max_coord = (span - 1) as f64;
+    let keys = (0..n)
+        .map(|_| {
+            let (x, y) = if rng.next_f64() < 0.10 {
+                // Background noise: uniform over the whole plane.
+                (rng.next_below(span), rng.next_below(span))
+            } else {
+                let (cx, cy, spread) = centers[pick.sample(&mut rng)];
+                let x = normal_with(&mut rng, cx, spread).clamp(0.0, max_coord);
+                let y = normal_with(&mut rng, cy, spread).clamp(0.0, max_coord);
+                (x as u64, y as u64)
+            };
+            hilbert::xy2d(32, x, y)
+        })
+        .collect();
+    sort_dedup_nudge(keys)
+}
+
+/// `wiki`: edit timestamps (seconds), including genuine duplicates.
+///
+/// A Poisson arrival process whose rate is modulated by daily and weekly
+/// cycles plus random burst episodes. Quantizing arrival times to whole
+/// seconds yields duplicate keys exactly like the real dataset.
+pub fn wiki(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0x311C1);
+    let day = 86_400.0;
+    let week = 7.0 * day;
+    let base_rate = 2.0; // edits per second
+    let mut t = 1.0e9; // ~2001, in seconds since the epoch
+    let mut burst_left = 0usize;
+    let mut burst_boost = 1.0;
+    let mut keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        if burst_left == 0 && rng.next_f64() < 0.001 {
+            // A vandalism/bot burst: very high rate for a stretch of edits.
+            burst_left = 64 + rng.next_below(512) as usize;
+            burst_boost = 8.0 + rng.next_f64() * 24.0;
+        }
+        let phase_day = (t / day) * 2.0 * std::f64::consts::PI;
+        let phase_week = (t / week) * 2.0 * std::f64::consts::PI;
+        let mut rate = base_rate * (1.0 + 0.5 * phase_day.sin()) * (1.0 + 0.25 * phase_week.sin());
+        if burst_left > 0 {
+            burst_left -= 1;
+            rate *= burst_boost;
+        }
+        t += exponential(&mut rng, rate.max(1e-6));
+        keys.push(t as u64);
+    }
+    keys.sort_unstable(); // already nearly sorted; keep duplicates
+    keys
+}
+
+/// Dense uniform synthetic data: keys `0, g, 2g, ...` with a fixed gap.
+/// Trivial for every index; used as a sanity baseline and in tests.
+pub fn uniform_dense(n: usize, _seed: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| i * 8).collect()
+}
+
+/// Sparse uniform synthetic data: i.i.d. uniform over the full `u64` range.
+pub fn uniform_sparse(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0x5AA5);
+    sort_dedup_nudge((0..n).map(|_| rng.next_u64()).collect())
+}
+
+/// Single log-normal synthetic dataset (the classic learned-index demo).
+pub fn lognormal(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0x109A);
+    let max = (1u64 << 56) as f64;
+    sort_dedup_nudge(
+        (0..n)
+            .map(|_| log_normal(&mut rng, 25.0, 2.0).min(max - 1.0).max(1.0) as u64)
+            .collect(),
+    )
+}
+
+/// Single normal synthetic dataset: the remaining SOSD [17] synthetic
+/// shape — a symmetric unimodal CDF that learned models fit almost
+/// perfectly (the "drawn from a known distribution" case the paper's
+/// Section 4.1.2 warns about).
+pub fn normal(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = XorShift64::new(seed ^ 0x4084);
+    let mean = (1u64 << 50) as f64;
+    let std_dev = (1u64 << 44) as f64;
+    sort_dedup_nudge(
+        (0..n)
+            .map(|_| normal_with(&mut rng, mean, std_dev).max(1.0) as u64)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted(keys: &[u64]) -> bool {
+        keys.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    fn is_strictly_sorted(keys: &[u64]) -> bool {
+        keys.windows(2).all(|w| w[0] < w[1])
+    }
+
+    #[test]
+    fn all_generators_are_sorted_and_sized() {
+        let n = 20_000;
+        for (name, keys) in [
+            ("amzn", amzn(n, 1)),
+            ("face", face(n, 1)),
+            ("osm", osm(n, 1)),
+            ("wiki", wiki(n, 1)),
+            ("uniform_dense", uniform_dense(n, 1)),
+            ("uniform_sparse", uniform_sparse(n, 1)),
+            ("lognormal", lognormal(n, 1)),
+        ] {
+            assert_eq!(keys.len(), n, "{name} length");
+            assert!(is_sorted(&keys), "{name} not sorted");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(amzn(5_000, 7), amzn(5_000, 7));
+        assert_eq!(osm(5_000, 7), osm(5_000, 7));
+        assert_ne!(amzn(5_000, 7), amzn(5_000, 8));
+    }
+
+    #[test]
+    fn unique_key_datasets_have_no_duplicates() {
+        for keys in [amzn(20_000, 3), face(20_000, 3), osm(20_000, 3)] {
+            assert!(is_strictly_sorted(&keys));
+        }
+    }
+
+    #[test]
+    fn wiki_has_duplicates() {
+        let keys = wiki(50_000, 3);
+        let dups = keys.windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(dups > 100, "expected many duplicate timestamps, got {dups}");
+    }
+
+    #[test]
+    fn face_has_extreme_outliers() {
+        let keys = face(50_000, 2);
+        let outliers = keys.iter().filter(|&&k| k > 1u64 << 59).count();
+        assert!(
+            (50..=150).contains(&outliers),
+            "expected ~100 outliers, got {outliers}"
+        );
+        // Bulk below 2^50 (plus nudge slack).
+        let bulk = keys.iter().filter(|&&k| k < 1u64 << 51).count();
+        assert!(bulk >= 49_800);
+    }
+
+    #[test]
+    fn osm_is_locally_erratic_compared_to_amzn() {
+        // Measure local non-linearity: mean relative deviation of the middle
+        // key of every window of 64 from the window's linear interpolation.
+        fn local_err(keys: &[u64]) -> f64 {
+            let w = 64;
+            let mut total = 0.0;
+            let mut count = 0;
+            for chunk in keys.chunks_exact(w) {
+                let lo = chunk[0] as f64;
+                let hi = chunk[w - 1] as f64;
+                if hi <= lo {
+                    continue;
+                }
+                let mid = chunk[w / 2] as f64;
+                let expected = lo + (hi - lo) * 0.5;
+                total += ((mid - expected) / (hi - lo)).abs();
+                count += 1;
+            }
+            total / count as f64
+        }
+        let e_osm = local_err(&osm(100_000, 9));
+        let e_amzn = local_err(&amzn(100_000, 9));
+        assert!(
+            e_osm > 1.5 * e_amzn,
+            "osm should be locally harder: osm={e_osm:.4} amzn={e_amzn:.4}"
+        );
+    }
+
+    #[test]
+    fn dedup_nudge_preserves_sortedness() {
+        let keys = sort_dedup_nudge(vec![5, 5, 5, 1, 1, 9]);
+        assert_eq!(keys, vec![1, 2, 5, 6, 7, 9]);
+    }
+
+    #[test]
+    fn uniform_dense_is_evenly_spaced() {
+        let keys = uniform_dense(100, 0);
+        assert!(keys.windows(2).all(|w| w[1] - w[0] == 8));
+    }
+}

@@ -1,0 +1,79 @@
+//! Binary dataset (de)serialization in the SOSD on-disk format:
+//! a little-endian `u64` key count followed by the keys themselves
+//! (little-endian, fixed width).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use sosd_core::Key;
+
+/// Write keys in SOSD binary format.
+pub fn write_keys<K: Key, P: AsRef<Path>>(path: P, keys: &[K]) -> io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(&(keys.len() as u64).to_le_bytes())?;
+    let width = (K::BITS / 8) as usize;
+    for &k in keys {
+        out.write_all(&k.to_u64().to_le_bytes()[..width])?;
+    }
+    out.flush()
+}
+
+/// Read keys in SOSD binary format. Fails on truncated files.
+pub fn read_keys<K: Key, P: AsRef<Path>>(path: P) -> io::Result<Vec<K>> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut count_buf = [0u8; 8];
+    input.read_exact(&mut count_buf)?;
+    let count = u64::from_le_bytes(count_buf) as usize;
+    let width = (K::BITS / 8) as usize;
+    let mut keys = Vec::with_capacity(count);
+    let mut buf = [0u8; 8];
+    for _ in 0..count {
+        input.read_exact(&mut buf[..width])?;
+        let mut full = [0u8; 8];
+        full[..width].copy_from_slice(&buf[..width]);
+        keys.push(K::from_u64(u64::from_le_bytes(full)));
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sosd_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let path = tmp("u64");
+        let keys: Vec<u64> = vec![0, 1, 42, u64::MAX];
+        write_keys(&path, &keys).unwrap();
+        let back: Vec<u64> = read_keys(&path).unwrap();
+        assert_eq!(back, keys);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn u32_round_trip_uses_narrow_encoding() {
+        let path = tmp("u32");
+        let keys: Vec<u32> = vec![0, 7, u32::MAX];
+        write_keys(&path, &keys).unwrap();
+        let meta = std::fs::metadata(&path).unwrap();
+        assert_eq!(meta.len(), 8 + 3 * 4);
+        let back: Vec<u32> = read_keys(&path).unwrap();
+        assert_eq!(back, keys);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_errors() {
+        let path = tmp("trunc");
+        std::fs::write(&path, 100u64.to_le_bytes()).unwrap();
+        assert!(read_keys::<u64, _>(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! # sosd-datasets
+//!
+//! Dataset and workload generators for the SOSD learned-index benchmark.
+//!
+//! The paper evaluates on four *real-world* datasets of 200M unsigned 64-bit
+//! keys: `amzn` (Amazon book popularity), `face` (Facebook user IDs), `osm`
+//! (OpenStreetMap cell IDs produced by a Hilbert-curve projection), and
+//! `wiki` (Wikipedia edit timestamps). Those datasets are not redistributable
+//! here, so this crate generates *synthetic equivalents that reproduce the
+//! properties the paper's analysis depends on*:
+//!
+//! * `amzn` — smooth, heavy-tailed popularity CDF (log-normal mixture).
+//! * `face` — near-uniform random IDs **plus ~100 extreme outliers** in
+//!   `(2^59, 2^64)`; the outliers are what cripple radix tables in Fig. 7.
+//! * `osm` — clustered 2-D points mapped through a real [Hilbert
+//!   curve](hilbert), yielding the locally-erratic, hard-to-learn CDF the
+//!   paper attributes osm's poor learned-index performance to.
+//! * `wiki` — bursty timestamp stream with daily/weekly periodicity and
+//!   genuine duplicate keys.
+//!
+//! All generation is deterministic given a seed and scale-free: the paper's
+//! 200M-key experiments shrink to laptop size by passing a smaller `n`.
+
+pub mod dist;
+pub mod gen;
+pub mod hilbert;
+pub mod io;
+pub mod mixed;
+pub mod registry;
+pub mod workload;
+
+pub use mixed::{generate_mixed, MixedConfig, MixedWorkload, ReadSkew};
+pub use registry::{generate_u32, generate_u64, DatasetId};
+pub use workload::{make_workload, make_workload_u32, Workload};

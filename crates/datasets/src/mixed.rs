@@ -1,0 +1,292 @@
+//! Mixed read/write workload generation — the paper's future-work
+//! benchmark ("a benchmark for mixed read/write workloads", Section 1 and
+//! the conclusion).
+//!
+//! A [`MixedWorkload`] seeds a dynamic index with a bulk-loaded prefix of a
+//! dataset, then issues an operation stream mixing point lookups, inserts of
+//! the held-out keys, and range-sum queries. Knobs follow the YCSB
+//! conventions: an insert fraction, a range fraction, and a choice of read
+//! skew (uniform or Zipfian over the *currently inserted* key population).
+
+use crate::dist::Zipf;
+use crate::registry::{self, DatasetId};
+use sosd_core::dynamic::Op;
+use sosd_core::util::XorShift64;
+use sosd_core::Key;
+
+/// How read keys are drawn from the inserted population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReadSkew {
+    /// Uniform over all currently present keys.
+    Uniform,
+    /// Zipf-distributed over a shuffled popularity ranking (hot keys exist
+    /// but are spread across the key space, as in YCSB).
+    Zipf(f64),
+}
+
+/// Configuration for [`generate_mixed`].
+#[derive(Debug, Clone, Copy)]
+pub struct MixedConfig {
+    /// Fraction of the dataset bulk-loaded before the op stream (the rest
+    /// arrives as inserts).
+    pub bulk_fraction: f64,
+    /// Fraction of stream operations that are inserts.
+    pub insert_fraction: f64,
+    /// Fraction of stream operations that are deletes of present keys
+    /// (churn). Deleted keys never return.
+    pub delete_fraction: f64,
+    /// Fraction of stream operations that are range sums (the remainder
+    /// after inserts, deletes, and ranges are point lookups).
+    pub range_fraction: f64,
+    /// Maximum width of a range query, in key-space distance between
+    /// consecutive dataset keys (ranges span ~this many keys).
+    pub range_span_keys: usize,
+    /// Read-key skew.
+    pub read_skew: ReadSkew,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            bulk_fraction: 0.5,
+            insert_fraction: 0.1,
+            delete_fraction: 0.0,
+            range_fraction: 0.0,
+            range_span_keys: 100,
+            read_skew: ReadSkew::Uniform,
+        }
+    }
+}
+
+/// A generated mixed read/write workload.
+#[derive(Debug, Clone)]
+pub struct MixedWorkload<K: Key> {
+    /// Keys to bulk-load before the stream (sorted, unique).
+    pub bulk_keys: Vec<K>,
+    /// Payloads parallel to `bulk_keys`.
+    pub bulk_payloads: Vec<u64>,
+    /// The operation stream.
+    pub ops: Vec<Op<K>>,
+    /// Human-readable description ("amzn bulk=50% ins=10% uniform").
+    pub label: String,
+}
+
+impl<K: Key> MixedWorkload<K> {
+    /// Number of operations in the stream.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Count of insert operations in the stream.
+    pub fn num_inserts(&self) -> usize {
+        self.ops.iter().filter(|op| matches!(op, Op::Insert(..))).count()
+    }
+}
+
+/// Deterministic payload for a key (stable across the workload and any
+/// oracle re-execution).
+#[inline]
+fn payload_for(key: u64) -> u64 {
+    sosd_core::util::splitmix64(key ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+/// Generate a mixed workload over dataset `id` with `n` total keys and
+/// `num_ops` stream operations.
+///
+/// The dataset's keys are split by a deterministic shuffle into a
+/// bulk-loaded set and an insert set; inserts in the stream drain the
+/// insert set in shuffle order (so they arrive key-randomly, the hardest
+/// case for sorted-array structures). Reads target keys already present at
+/// that point in the stream, making every lookup a guaranteed hit — the
+/// same convention as the paper's read-only workloads.
+pub fn generate_mixed(id: DatasetId, n: usize, num_ops: usize, cfg: MixedConfig, seed: u64) -> MixedWorkload<u64> {
+    assert!((0.0..=1.0).contains(&cfg.bulk_fraction), "bulk_fraction out of range");
+    assert!(
+        cfg.insert_fraction + cfg.delete_fraction + cfg.range_fraction <= 1.0,
+        "insert + delete + range fractions exceed 1"
+    );
+    let data = registry::generate_u64(id, n, seed);
+    // Unique keys only: dynamic indexes have map semantics.
+    let mut keys: Vec<u64> = data.keys().to_vec();
+    keys.dedup();
+
+    let mut rng = XorShift64::new(seed ^ 0x3D1F);
+    // Deterministic Fisher-Yates to pick the insert set.
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    let num_bulk = ((keys.len() as f64) * cfg.bulk_fraction) as usize;
+    let (bulk_idx, insert_idx) = order.split_at(num_bulk.min(keys.len()));
+
+    let mut bulk_keys: Vec<u64> = bulk_idx.iter().map(|&i| keys[i as usize]).collect();
+    bulk_keys.sort_unstable();
+    let bulk_payloads: Vec<u64> = bulk_keys.iter().map(|&k| payload_for(k)).collect();
+
+    // `present` grows as inserts are issued; reads sample from it.
+    let mut present: Vec<u64> = bulk_keys.clone();
+    let mut insert_queue = insert_idx.iter().map(|&i| keys[i as usize]);
+
+    let zipf = match cfg.read_skew {
+        ReadSkew::Zipf(s) => Some(Zipf::new(keys.len(), s)),
+        ReadSkew::Uniform => None,
+    };
+
+    let mut ops: Vec<Op<u64>> = Vec::with_capacity(num_ops);
+    for _ in 0..num_ops {
+        let u = rng.next_f64();
+        if u < cfg.insert_fraction {
+            match insert_queue.next() {
+                Some(k) => {
+                    present.push(k);
+                    ops.push(Op::Insert(k, payload_for(k)));
+                    continue;
+                }
+                None => { /* insert set exhausted: fall through to a read */ }
+            }
+        }
+        if u < cfg.insert_fraction + cfg.delete_fraction && present.len() > 1 {
+            // Churn: delete a random present key for good.
+            let i = rng.next_below(present.len() as u64) as usize;
+            let k = present.swap_remove(i);
+            ops.push(Op::Remove(k));
+            continue;
+        }
+        if u < cfg.insert_fraction + cfg.delete_fraction + cfg.range_fraction && !present.is_empty() {
+            let i = rng.next_below(present.len() as u64) as usize;
+            let lo = present[i];
+            // Span roughly `range_span_keys` dataset keys.
+            let avg_gap = (keys[keys.len() - 1] / keys.len().max(1) as u64).max(1);
+            let hi = lo.saturating_add(avg_gap.saturating_mul(cfg.range_span_keys as u64));
+            ops.push(Op::RangeSum(lo, hi));
+            continue;
+        }
+        // Point lookup of a present key.
+        let i = match &zipf {
+            Some(z) => {
+                // Zipf rank into the present population (rank 0 = hottest).
+                z.sample(&mut rng) % present.len().max(1)
+            }
+            None => rng.next_below(present.len().max(1) as u64) as usize,
+        };
+        ops.push(Op::Lookup(present[i.min(present.len() - 1)]));
+    }
+
+    let skew = match cfg.read_skew {
+        ReadSkew::Uniform => "uniform".to_string(),
+        ReadSkew::Zipf(s) => format!("zipf({s})"),
+    };
+    let label = format!(
+        "{} bulk={:.0}% ins={:.0}% del={:.0}% range={:.0}% {}",
+        id.name(),
+        cfg.bulk_fraction * 100.0,
+        cfg.insert_fraction * 100.0,
+        cfg.delete_fraction * 100.0,
+        cfg.range_fraction * 100.0,
+        skew
+    );
+    MixedWorkload { bulk_keys, bulk_payloads, ops, label }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_mostly_reads() {
+        let w = generate_mixed(DatasetId::Amzn, 20_000, 10_000, MixedConfig::default(), 7);
+        let inserts = w.num_inserts();
+        assert!(inserts > 500 && inserts < 1_500, "~10% inserts expected, got {inserts}");
+        assert_eq!(w.num_ops(), 10_000);
+        assert!(!w.bulk_keys.is_empty());
+        assert!(w.bulk_keys.windows(2).all(|x| x[0] < x[1]), "bulk keys sorted unique");
+    }
+
+    #[test]
+    fn reads_always_hit_present_keys() {
+        let w = generate_mixed(DatasetId::Wiki, 10_000, 5_000, MixedConfig::default(), 3);
+        let mut present: std::collections::HashSet<u64> = w.bulk_keys.iter().copied().collect();
+        for op in &w.ops {
+            match *op {
+                Op::Insert(k, _) => {
+                    assert!(present.insert(k), "insert of already-present key {k}");
+                }
+                Op::Remove(k) => {
+                    assert!(present.remove(&k), "remove of absent key {k}");
+                }
+                Op::Lookup(k) => assert!(present.contains(&k), "lookup of absent key {k}"),
+                Op::RangeSum(lo, hi) => assert!(lo <= hi),
+            }
+        }
+    }
+
+    #[test]
+    fn insert_heavy_mix_drains_heldout_keys() {
+        let cfg = MixedConfig { bulk_fraction: 0.2, insert_fraction: 0.9, ..Default::default() };
+        let w = generate_mixed(DatasetId::Face, 5_000, 6_000, cfg, 11);
+        // 80% of ~5k keys are held out; a 90% insert mix over 6k ops should
+        // drain most of them.
+        assert!(w.num_inserts() > 3_000, "{}", w.num_inserts());
+    }
+
+    #[test]
+    fn zipf_skew_produces_hot_keys() {
+        let cfg = MixedConfig {
+            insert_fraction: 0.0,
+            read_skew: ReadSkew::Zipf(1.1),
+            ..Default::default()
+        };
+        let w = generate_mixed(DatasetId::Amzn, 10_000, 20_000, cfg, 5);
+        let mut counts = std::collections::HashMap::new();
+        for op in &w.ops {
+            if let Op::Lookup(k) = op {
+                *counts.entry(*k).or_insert(0usize) += 1;
+            }
+        }
+        let max = counts.values().copied().max().unwrap();
+        let distinct = counts.len();
+        // Zipf(1.1): the hottest key gets a large share; uniform would give
+        // each key ~2 hits over 20k ops on 5k keys.
+        assert!(max > 200, "hottest key only {max} hits");
+        assert!(distinct > 100, "only {distinct} distinct keys read");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = generate_mixed(DatasetId::Osm, 5_000, 2_000, MixedConfig::default(), 9);
+        let b = generate_mixed(DatasetId::Osm, 5_000, 2_000, MixedConfig::default(), 9);
+        assert_eq!(a.bulk_keys, b.bulk_keys);
+        assert_eq!(a.ops, b.ops);
+    }
+
+    #[test]
+    fn range_fraction_emits_ranges() {
+        let cfg = MixedConfig { range_fraction: 0.3, ..Default::default() };
+        let w = generate_mixed(DatasetId::Amzn, 5_000, 5_000, cfg, 2);
+        let ranges = w.ops.iter().filter(|op| matches!(op, Op::RangeSum(..))).count();
+        assert!(ranges > 1_000, "expected ~30% ranges, got {ranges}");
+    }
+    #[test]
+    fn delete_fraction_emits_removes_of_present_keys() {
+        let cfg = MixedConfig { delete_fraction: 0.3, ..Default::default() };
+        let w = generate_mixed(DatasetId::Amzn, 8_000, 8_000, cfg, 13);
+        let mut present: std::collections::HashSet<u64> = w.bulk_keys.iter().copied().collect();
+        let mut removes = 0usize;
+        for op in &w.ops {
+            match *op {
+                Op::Insert(k, _) => {
+                    present.insert(k);
+                }
+                Op::Remove(k) => {
+                    removes += 1;
+                    assert!(present.remove(&k), "remove of absent key {k}");
+                }
+                Op::Lookup(k) => assert!(present.contains(&k), "lookup of deleted key {k}"),
+                Op::RangeSum(..) => {}
+            }
+        }
+        assert!(removes > 1_800, "expected ~30% removes, got {removes}");
+    }
+
+}

@@ -1,0 +1,146 @@
+//! Dataset registry: names, enumeration, and uniform generation entry points.
+
+use crate::gen;
+use sosd_core::SortedData;
+
+/// The datasets of the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Amazon book popularity (smooth, heavy-tailed).
+    Amzn,
+    /// Facebook user IDs (uniform with ~100 extreme outliers).
+    Face,
+    /// OpenStreetMap cell IDs (Hilbert projection; locally erratic).
+    Osm,
+    /// Wikipedia edit timestamps (bursty, contains duplicates).
+    Wiki,
+    /// Synthetic: dense evenly spaced keys.
+    UniformDense,
+    /// Synthetic: uniform over the full 64-bit space.
+    UniformSparse,
+    /// Synthetic: single log-normal.
+    Lognormal,
+    /// Synthetic: single normal (symmetric unimodal).
+    Normal,
+}
+
+impl DatasetId {
+    /// The four real-world datasets of Section 4.1.2, in paper order.
+    pub const REAL_WORLD: [DatasetId; 4] =
+        [DatasetId::Amzn, DatasetId::Face, DatasetId::Osm, DatasetId::Wiki];
+
+    /// All datasets including synthetic extras.
+    pub const ALL: [DatasetId; 8] = [
+        DatasetId::Amzn,
+        DatasetId::Face,
+        DatasetId::Osm,
+        DatasetId::Wiki,
+        DatasetId::UniformDense,
+        DatasetId::UniformSparse,
+        DatasetId::Lognormal,
+        DatasetId::Normal,
+    ];
+
+    /// The synthetic datasets (SOSD ref. [17] shapes), in difficulty order.
+    pub const SYNTHETIC: [DatasetId; 4] = [
+        DatasetId::UniformDense,
+        DatasetId::Normal,
+        DatasetId::Lognormal,
+        DatasetId::UniformSparse,
+    ];
+
+    /// Dataset name as used in the paper's tables and plots.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Amzn => "amzn",
+            DatasetId::Face => "face",
+            DatasetId::Osm => "osm",
+            DatasetId::Wiki => "wiki",
+            DatasetId::UniformDense => "uniform_dense",
+            DatasetId::UniformSparse => "uniform_sparse",
+            DatasetId::Lognormal => "lognormal",
+            DatasetId::Normal => "normal",
+        }
+    }
+
+    /// Parse a dataset name (as accepted by the harness CLIs).
+    pub fn parse(name: &str) -> Option<DatasetId> {
+        DatasetId::ALL.into_iter().find(|d| d.name() == name)
+    }
+
+    /// Generate the raw sorted key vector.
+    pub fn generate_keys(self, n: usize, seed: u64) -> Vec<u64> {
+        match self {
+            DatasetId::Amzn => gen::amzn(n, seed),
+            DatasetId::Face => gen::face(n, seed),
+            DatasetId::Osm => gen::osm(n, seed),
+            DatasetId::Wiki => gen::wiki(n, seed),
+            DatasetId::UniformDense => gen::uniform_dense(n, seed),
+            DatasetId::UniformSparse => gen::uniform_sparse(n, seed),
+            DatasetId::Lognormal => gen::lognormal(n, seed),
+            DatasetId::Normal => gen::normal(n, seed),
+        }
+    }
+}
+
+/// Generate a 64-bit dataset with payloads.
+pub fn generate_u64(id: DatasetId, n: usize, seed: u64) -> SortedData<u64> {
+    SortedData::new(id.generate_keys(n, seed)).expect("generators produce valid sorted data")
+}
+
+/// Generate a 32-bit dataset by rank-preserving rescaling of the 64-bit
+/// version (Section 4.2.2 scales `amzn` down to 32 bits the same way).
+pub fn generate_u32(id: DatasetId, n: usize, seed: u64) -> SortedData<u32> {
+    let keys64 = id.generate_keys(n, seed);
+    let max = *keys64.last().expect("non-empty") as u128;
+    let mut keys32: Vec<u32> = keys64
+        .iter()
+        .map(|&k| {
+            (k as u128 * u32::MAX as u128).checked_div(max).unwrap_or(0) as u32
+        })
+        .collect();
+    // Rescaling can collide; nudge exactly like the 64-bit generators do,
+    // saturating at the top of the 32-bit range.
+    for i in 1..keys32.len() {
+        if keys32[i] <= keys32[i - 1] {
+            keys32[i] = keys32[i - 1].saturating_add(1);
+        }
+    }
+    SortedData::new(keys32).expect("rescaled keys remain sorted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for id in DatasetId::ALL {
+            assert_eq!(DatasetId::parse(id.name()), Some(id));
+        }
+        assert_eq!(DatasetId::parse("nope"), None);
+    }
+
+    #[test]
+    fn generate_u64_produces_requested_size() {
+        let d = generate_u64(DatasetId::Amzn, 10_000, 42);
+        assert_eq!(d.len(), 10_000);
+    }
+
+    #[test]
+    fn generate_u32_preserves_rank_structure() {
+        let d64 = generate_u64(DatasetId::Amzn, 10_000, 42);
+        let d32 = generate_u32(DatasetId::Amzn, 10_000, 42);
+        assert_eq!(d32.len(), d64.len());
+        // Same relative CDF shape: quartile keys land at proportional spots.
+        let q64 = d64.key(5_000) as f64 / d64.max_key() as f64;
+        let q32 = d32.key(5_000) as f64 / d32.max_key() as f64;
+        assert!((q64 - q32).abs() < 0.01, "q64={q64} q32={q32}");
+    }
+
+    #[test]
+    fn u32_wiki_stays_sorted_despite_duplicates() {
+        let d = generate_u32(DatasetId::Wiki, 20_000, 3);
+        assert!(d.keys().windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,113 @@
+//! Lookup workload generation (Section 4.1.2: 10M random lookup keys per
+//! dataset, each drawn from the keys present in the data).
+
+use crate::registry::{self, DatasetId};
+use sosd_core::util::XorShift64;
+use sosd_core::{Key, SortedData};
+
+/// A dataset together with its lookup keys and the expected checksum.
+#[derive(Debug, Clone)]
+pub struct Workload<K: Key> {
+    /// The sorted data array the indexes are built over.
+    pub data: SortedData<K>,
+    /// Lookup keys, in query order.
+    pub lookups: Vec<K>,
+    /// Sum of per-lookup payload sums; harnesses compare against this to
+    /// prove their lookups actually found the right records.
+    pub expected_checksum: u64,
+}
+
+impl<K: Key> Workload<K> {
+    /// Assemble a workload from data and lookups, computing the checksum.
+    pub fn new(data: SortedData<K>, lookups: Vec<K>) -> Self {
+        let expected_checksum = lookups
+            .iter()
+            .fold(0u64, |acc, &x| acc.wrapping_add(data.payload_sum_at(x)));
+        Workload { data, lookups, expected_checksum }
+    }
+
+    /// Number of lookups.
+    pub fn num_lookups(&self) -> usize {
+        self.lookups.len()
+    }
+}
+
+/// Draw `count` lookup keys uniformly from the keys present in `data`
+/// (the paper's workload: every lookup key exists).
+pub fn sample_present_keys<K: Key>(data: &SortedData<K>, count: usize, seed: u64) -> Vec<K> {
+    let mut rng = XorShift64::new(seed ^ 0x100C);
+    (0..count)
+        .map(|_| data.key(rng.next_below(data.len() as u64) as usize))
+        .collect()
+}
+
+/// Draw lookup keys where a fraction `absent_frac` are uniform random keys
+/// that may be absent — used by validity tests to exercise the full
+/// lower-bound contract, including probes beyond the key range.
+pub fn sample_mixed_keys<K: Key>(
+    data: &SortedData<K>,
+    count: usize,
+    absent_frac: f64,
+    seed: u64,
+) -> Vec<K> {
+    let mut rng = XorShift64::new(seed ^ 0xAB5E);
+    (0..count)
+        .map(|_| {
+            if rng.next_f64() < absent_frac {
+                K::from_u64(rng.next_u64())
+            } else {
+                data.key(rng.next_below(data.len() as u64) as usize)
+            }
+        })
+        .collect()
+}
+
+/// Generate the standard 64-bit workload for a dataset.
+pub fn make_workload(id: DatasetId, n: usize, num_lookups: usize, seed: u64) -> Workload<u64> {
+    let data = registry::generate_u64(id, n, seed);
+    let lookups = sample_present_keys(&data, num_lookups, seed.wrapping_add(1));
+    Workload::new(data, lookups)
+}
+
+/// Generate the 32-bit workload (Section 4.2.2).
+pub fn make_workload_u32(id: DatasetId, n: usize, num_lookups: usize, seed: u64) -> Workload<u32> {
+    let data = registry::generate_u32(id, n, seed);
+    let lookups = sample_present_keys(&data, num_lookups, seed.wrapping_add(1));
+    Workload::new(data, lookups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_keys_are_present() {
+        let w = make_workload(DatasetId::Amzn, 5_000, 1_000, 11);
+        for &x in &w.lookups {
+            let lb = w.data.lower_bound(x);
+            assert!(lb < w.data.len() && w.data.key(lb) == x, "lookup key {x} not present");
+        }
+    }
+
+    #[test]
+    fn checksum_is_nonzero_and_deterministic() {
+        let a = make_workload(DatasetId::Wiki, 5_000, 500, 11);
+        let b = make_workload(DatasetId::Wiki, 5_000, 500, 11);
+        assert_eq!(a.expected_checksum, b.expected_checksum);
+        assert_ne!(a.expected_checksum, 0);
+    }
+
+    #[test]
+    fn mixed_keys_include_absent_probes() {
+        let w = make_workload(DatasetId::Face, 5_000, 10, 11);
+        let mixed = sample_mixed_keys(&w.data, 2_000, 0.5, 42);
+        let absent = mixed
+            .iter()
+            .filter(|&&x| {
+                let lb = w.data.lower_bound(x);
+                lb >= w.data.len() || w.data.key(lb) != x
+            })
+            .count();
+        assert!(absent > 500, "expected many absent probes, got {absent}");
+    }
+}

@@ -1,0 +1,248 @@
+//! The shrinking-cone segmentation algorithm of the FITing-Tree.
+//!
+//! Given points `(x_i, y_i)` with strictly increasing `x` and non-decreasing
+//! `y`, greedily grow a segment anchored at its first point `(x_0, y_0)`
+//! while some slope `s` keeps every point within the error bound:
+//! `|y_0 + s * (x_i - x_0) - y_i| <= ε`. Each point narrows the feasible
+//! slope interval (the "cone"); when the cone collapses, the segment ends
+//! and a new one starts at the current point.
+//!
+//! Unlike the optimal convex-hull PLA used by the PGM index (which may place
+//! the segment's line anywhere), the cone line is *anchored* at the first
+//! point. That costs some segments (the FITing-Tree paper reports the greedy
+//! fit is within a small factor of optimal) but makes the fit embarrassingly
+//! simple and single-pass with O(1) state — the property RadixSpline
+//! inherits (Section 3.2 of the benchmarked paper).
+
+use sosd_core::Key;
+
+/// One segment produced by [`fit_cone`]: an anchored line over input points
+/// `[start, end)` with measured per-side prediction errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConeSegment<K: Key> {
+    /// First key of the segment (the cone anchor; domain starts here).
+    pub first_key: K,
+    /// Chosen slope in positions per key unit (midpoint of the final cone).
+    pub slope: f64,
+    /// `y` of the anchor point: the line is `y0 + slope * (key - first_key)`.
+    pub y0: f64,
+    /// First input index covered.
+    pub start: usize,
+    /// One past the last input index covered.
+    pub end: usize,
+    /// Measured maximum of `predict - y` over the segment (how far the line
+    /// overshoots), rounded up.
+    pub err_over: u32,
+    /// Measured maximum of `y - predict` (undershoot), rounded up.
+    pub err_under: u32,
+}
+
+impl<K: Key> ConeSegment<K> {
+    /// Evaluate the anchored line at `key`.
+    ///
+    /// The key delta is formed in integer space first so that keys near
+    /// `2^64` (whose direct `f64` conversion rounds by up to 2048) still
+    /// interpolate exactly.
+    #[inline]
+    pub fn predict(&self, key: K) -> f64 {
+        let dx = key.to_u64() as i128 - self.first_key.to_u64() as i128;
+        self.y0 + self.slope * dx as f64
+    }
+}
+
+/// Fit a shrinking-cone segmentation with error bound `eps` over points
+/// `(xs[i], ys[i])`. `xs` must be strictly increasing and `ys`
+/// non-decreasing; `eps >= 1`.
+///
+/// The theoretical guarantee is `|predict(x_i) - y_i| <= eps` for every
+/// point; because the final slope materializes through `f64`, each segment's
+/// *actual* errors are re-measured and stored (`err_over`/`err_under`), and
+/// callers build bounds from those. The measured errors never exceed
+/// `eps + 1`.
+pub fn fit_cone<K: Key>(xs: &[K], ys: &[u64], eps: u64) -> Vec<ConeSegment<K>> {
+    assert_eq!(xs.len(), ys.len());
+    assert!(eps >= 1, "eps must be at least 1");
+    debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "xs must be strictly increasing");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+
+    let mut segments = Vec::new();
+    let eps = eps as f64;
+
+    let mut start = 0usize;
+    // Feasible slope interval for the current segment.
+    let mut slope_lo = f64::NEG_INFINITY;
+    let mut slope_hi = f64::INFINITY;
+
+    let mut i = 1usize;
+    while i <= xs.len() {
+        if i == xs.len() {
+            segments.push(close_segment(xs, ys, start, i, slope_lo, slope_hi));
+            break;
+        }
+        let dx = (xs[i].to_u64() as i128 - xs[start].to_u64() as i128) as f64;
+        let dy = ys[i] as f64 - ys[start] as f64;
+        // Slopes that keep point i within ±eps of the anchored line.
+        let lo_i = (dy - eps) / dx;
+        let hi_i = (dy + eps) / dx;
+        if lo_i > slope_hi || hi_i < slope_lo {
+            // Cone collapsed: close the segment and restart at point i.
+            segments.push(close_segment(xs, ys, start, i, slope_lo, slope_hi));
+            start = i;
+            slope_lo = f64::NEG_INFINITY;
+            slope_hi = f64::INFINITY;
+        } else {
+            slope_lo = slope_lo.max(lo_i);
+            slope_hi = slope_hi.min(hi_i);
+        }
+        i += 1;
+    }
+    segments
+}
+
+/// Materialize the segment over `[start, end)` with the final cone
+/// `[slope_lo, slope_hi]`, measuring actual errors.
+fn close_segment<K: Key>(
+    xs: &[K],
+    ys: &[u64],
+    start: usize,
+    end: usize,
+    slope_lo: f64,
+    slope_hi: f64,
+) -> ConeSegment<K> {
+    debug_assert!(end > start);
+    // One-point segments have an unconstrained cone; use slope 0.
+    let slope = if slope_lo.is_infinite() && slope_hi.is_infinite() {
+        0.0
+    } else if slope_lo.is_infinite() {
+        slope_hi.min(0.0)
+    } else if slope_hi.is_infinite() {
+        slope_lo.max(0.0)
+    } else {
+        (slope_lo + slope_hi) * 0.5
+    };
+    let mut seg = ConeSegment {
+        first_key: xs[start],
+        slope,
+        y0: ys[start] as f64,
+        start,
+        end,
+        err_over: 0,
+        err_under: 0,
+    };
+    let (mut over, mut under) = (0.0f64, 0.0f64);
+    for i in start..end {
+        let d = seg.predict(xs[i]) - ys[i] as f64;
+        if d > over {
+            over = d;
+        }
+        if -d > under {
+            under = -d;
+        }
+    }
+    seg.err_over = over.ceil() as u32;
+    seg.err_under = under.ceil() as u32;
+    seg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn linear_data_fits_one_segment() {
+        let xs: Vec<u64> = (0..1000).map(|i| i * 7 + 3).collect();
+        let segs = fit_cone(&xs, &positions(1000), 4);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].err_over <= 5 && segs[0].err_under <= 5);
+    }
+
+    #[test]
+    fn error_bound_holds_on_every_point() {
+        // Quadratic-ish data forces multiple segments.
+        let xs: Vec<u64> = (0..2000u64).map(|i| i * i + i).collect();
+        let ys = positions(2000);
+        for eps in [1u64, 4, 16, 64] {
+            let segs = fit_cone(&xs, &ys, eps);
+            for seg in &segs {
+                for i in seg.start..seg.end {
+                    let err = (seg.predict(xs[i]) - ys[i] as f64).abs();
+                    assert!(
+                        err <= eps as f64 + 1.0,
+                        "eps={eps} seg@{} point {i}: err={err}",
+                        seg.start
+                    );
+                    assert!(err <= seg.err_over.max(seg.err_under) as f64 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_partition_the_input() {
+        let xs: Vec<u64> = (0..500u64).map(|i| i * 13 % 7919 + i * 100).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let ys = positions(sorted.len());
+        let segs = fit_cone(&sorted, &ys, 8);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, sorted.len());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must tile");
+            assert!(w[0].first_key < w[1].first_key);
+        }
+    }
+
+    #[test]
+    fn smaller_eps_needs_at_least_as_many_segments() {
+        let xs: Vec<u64> = (0..3000u64).map(|i| (i as f64).powf(1.5) as u64 * 10 + i).collect();
+        let mut dedup = xs.clone();
+        dedup.dedup();
+        let ys = positions(dedup.len());
+        let coarse = fit_cone(&dedup, &ys, 256).len();
+        let fine = fit_cone(&dedup, &ys, 4).len();
+        assert!(fine >= coarse, "fine={fine} coarse={coarse}");
+    }
+
+    #[test]
+    fn single_point_input() {
+        let segs = fit_cone(&[42u64], &[0], 8);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].predict(42), 0.0);
+    }
+
+    #[test]
+    fn empty_input_yields_no_segments() {
+        let segs = fit_cone::<u64>(&[], &[], 8);
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn greedy_uses_bounded_factor_more_segments_than_optimal() {
+        // Cross-check against the optimal PLA from the PGM crate: greedy may
+        // use more segments, never fewer (optimality of the convex-hull fit).
+        let xs: Vec<u64> = (0..5000u64)
+            .map(|i| i * 31 + (i % 97) * (i % 89))
+            .scan(0u64, |acc, v| {
+                *acc = (*acc).max(v) + 1;
+                Some(*acc)
+            })
+            .collect();
+        let ys = positions(xs.len());
+        for eps in [8u64, 32] {
+            let greedy = fit_cone(&xs, &ys, eps).len();
+            let optimal = sosd_pgm::fit_pla(&xs, &ys, eps).len();
+            assert!(greedy >= optimal, "greedy {greedy} < optimal {optimal}");
+            assert!(
+                greedy <= optimal.max(1) * 3 + 2,
+                "greedy blowup: {greedy} vs optimal {optimal}"
+            );
+        }
+    }
+}

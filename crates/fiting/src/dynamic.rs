@@ -1,0 +1,685 @@
+//! The insert-supporting FITing-Tree (delta-insert strategy).
+//!
+//! Ref. [14] proposes two insert strategies; this is the *delta* one: every
+//! segment carries a small sorted buffer of pending inserts. Lookups consult
+//! the buffer alongside the segment's main (model-indexed) data. When a
+//! buffer overflows, the segment merges its buffer into its data and re-runs
+//! the shrinking cone over the merged keys — which may split the segment
+//! into several, keeping every segment's model within the error bound ε as
+//! the data distribution shifts.
+//!
+//! Keys are unique (map semantics); inserting an existing key overwrites its
+//! payload in place, wherever it lives. Deletions tombstone main-data keys
+//! (reclaimed at the segment's next merge) and erase buffered keys directly.
+
+use crate::cone::fit_cone;
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex};
+use sosd_core::{Capabilities, IndexKind, Key, SearchBound};
+
+/// Default pending inserts a segment absorbs before merging (the
+/// FITing-Tree paper's buffer-size knob; 256 sits in the middle of its
+/// evaluated range). Tune with [`DynamicFitingTree::with_config`].
+pub const DEFAULT_MAX_DELTA: usize = 256;
+
+/// Default cone error bound used when (re)segmenting on merges.
+pub const DEFAULT_SEG_EPS: u64 = 64;
+
+/// An anchored linear model over a segment's *local* positions, with a
+/// measured lookup envelope (gap terms included, so absent-key probes stay
+/// covered).
+#[derive(Debug, Clone, Copy)]
+struct LocalModel {
+    slope: f64,
+    err_over: u32,
+    err_under: u32,
+}
+
+impl LocalModel {
+    /// Fit the anchored chord from the first to the last point and measure
+    /// its actual error envelope. Never fails: a poor fit just yields a wide
+    /// envelope (correctness is always measured, ε only shapes performance).
+    fn fit<K: Key>(keys: &[K]) -> LocalModel {
+        let n = keys.len();
+        if n < 2 {
+            return LocalModel { slope: 0.0, err_over: 0, err_under: 0 };
+        }
+        let dx = (keys[n - 1].to_u64() as i128 - keys[0].to_u64() as i128) as f64;
+        let slope = if dx > 0.0 { (n as f64 - 1.0) / dx } else { 0.0 };
+        let x0 = keys[0].to_u64();
+        let pred = |i: usize| -> f64 {
+            let d = (keys[i].to_u64() as i128 - x0 as i128) as f64;
+            slope * d
+        };
+        let mut over = 0.0f64;
+        let mut under = 0.0f64;
+        for i in 0..n {
+            let p = pred(i);
+            over = over.max(p - i as f64);
+            under = under.max(i as f64 - p);
+            if i > 0 {
+                // Gap term: an absent key just above keys[i-1] has local
+                // lower bound i but predicts near pred(i-1).
+                under = under.max(i as f64 - pred(i - 1));
+            }
+        }
+        LocalModel {
+            slope,
+            err_over: over.ceil().min(u32::MAX as f64) as u32,
+            err_under: under.ceil().min(u32::MAX as f64) as u32,
+        }
+    }
+
+    /// Local-position search bound for `key` within a segment of `n` keys
+    /// anchored at `first`.
+    #[inline]
+    fn bound<K: Key>(&self, key: K, first: K, n: usize) -> SearchBound {
+        if n == 0 {
+            return SearchBound { lo: 0, hi: 0 };
+        }
+        let dx = key.to_u64().saturating_sub(first.to_u64()) as f64;
+        let pred = (self.slope * dx).clamp(0.0, (n - 1) as f64);
+        let lo = (pred - self.err_over as f64 - 1.0).max(0.0) as usize;
+        let hi = ((pred + self.err_under as f64 + 2.0) as usize).min(n);
+        SearchBound { lo: lo.min(hi), hi }
+    }
+}
+
+/// One segment: model-indexed sorted main data plus a sorted delta buffer.
+///
+/// Deletions of main-data keys are tombstoned (the key must stay so the
+/// model's positions remain valid); the next merge drops dead entries.
+/// Buffer deletions erase directly.
+struct Segment<K: Key> {
+    /// Domain start: keys in `[domain_key, next segment's domain_key)` route
+    /// here. The model anchors at `keys[0]`, which may sit above
+    /// `domain_key`.
+    domain_key: K,
+    keys: Vec<K>,
+    payloads: Vec<u64>,
+    model: LocalModel,
+    buf_keys: Vec<K>,
+    buf_payloads: Vec<u64>,
+    /// Lazily allocated tombstone flags, parallel to `keys`.
+    dead: Option<Box<[bool]>>,
+}
+
+impl<K: Key> Segment<K> {
+    fn new(domain_key: K, keys: Vec<K>, payloads: Vec<u64>) -> Self {
+        let model = LocalModel::fit(&keys);
+        Segment {
+            domain_key,
+            keys,
+            payloads,
+            model,
+            buf_keys: Vec::new(),
+            buf_payloads: Vec::new(),
+            dead: None,
+        }
+    }
+
+    #[inline]
+    fn is_dead(&self, i: usize) -> bool {
+        self.dead.as_ref().is_some_and(|d| d[i])
+    }
+
+    fn set_dead(&mut self, i: usize, dead: bool) {
+        match &mut self.dead {
+            Some(d) => d[i] = dead,
+            None if dead => {
+                let mut d = vec![false; self.keys.len()].into_boxed_slice();
+                d[i] = true;
+                self.dead = Some(d);
+            }
+            None => {}
+        }
+    }
+
+    /// First *live* main entry with key `>= x`, as an index.
+    fn main_lower_bound_live(&self, x: K) -> Option<usize> {
+        let mut i = self.main_lower_bound(x);
+        while i < self.keys.len() {
+            if !self.is_dead(i) {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Position of the first main key `>= x`.
+    #[inline]
+    fn main_lower_bound(&self, x: K) -> usize {
+        if self.keys.is_empty() {
+            return 0;
+        }
+        let b = self.model.bound(x, self.keys[0], self.keys.len());
+        sosd_core::search::binary_search(&self.keys, x, b)
+    }
+
+    fn find_main(&self, x: K) -> Option<usize> {
+        let i = self.main_lower_bound(x);
+        (i < self.keys.len() && self.keys[i] == x).then_some(i)
+    }
+
+    fn entries(&self) -> usize {
+        self.keys.len() + self.buf_keys.len()
+    }
+
+    /// Merge main and buffer into one sorted pair of arrays (disjoint
+    /// keys), dropping tombstoned entries — merges reclaim deleted space.
+    fn merged(&mut self) -> (Vec<K>, Vec<u64>) {
+        let n = self.entries();
+        let mut keys = Vec::with_capacity(n);
+        let mut payloads = Vec::with_capacity(n);
+        let (a_k, a_p) = (std::mem::take(&mut self.keys), std::mem::take(&mut self.payloads));
+        let (b_k, b_p) = (std::mem::take(&mut self.buf_keys), std::mem::take(&mut self.buf_payloads));
+        let dead = std::mem::take(&mut self.dead);
+        let is_dead = |i: usize| dead.as_ref().is_some_and(|d| d[i]);
+        let (mut i, mut j) = (0, 0);
+        while i < a_k.len() || j < b_k.len() {
+            if i < a_k.len() && is_dead(i) {
+                i += 1;
+                continue;
+            }
+            let take_a = j >= b_k.len() || (i < a_k.len() && a_k[i] < b_k[j]);
+            if take_a {
+                keys.push(a_k[i]);
+                payloads.push(a_p[i]);
+                i += 1;
+            } else {
+                debug_assert!(i >= a_k.len() || a_k[i] != b_k[j], "main and buffer must be disjoint");
+                keys.push(b_k[j]);
+                payloads.push(b_p[j]);
+                j += 1;
+            }
+        }
+        (keys, payloads)
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.keys.capacity() + self.buf_keys.capacity()) * std::mem::size_of::<K>()
+            + (self.payloads.capacity() + self.buf_payloads.capacity()) * 8
+            + self.dead.as_ref().map_or(0, |d| d.len())
+    }
+}
+
+/// The delta-insert FITing-Tree (ref. [14]).
+pub struct DynamicFitingTree<K: Key> {
+    /// Parallel to `segments`: `dir_keys[i] == segments[i].domain_key`.
+    dir_keys: Vec<K>,
+    segments: Vec<Segment<K>>,
+    len: usize,
+    /// Segments produced by merges so far (adaptivity observability).
+    resegment_count: u64,
+    /// Per-segment delta buffer capacity.
+    max_delta: usize,
+    /// Cone ε used when (re)segmenting.
+    seg_eps: u64,
+}
+
+impl<K: Key> Default for DynamicFitingTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key> DynamicFitingTree<K> {
+    /// An empty tree with a single all-covering segment and the default
+    /// knobs.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_MAX_DELTA, DEFAULT_SEG_EPS)
+    }
+
+    /// An empty tree with explicit knobs: `max_delta` pending inserts per
+    /// segment before a merge, and cone error `seg_eps` for (re)fits.
+    /// Bigger buffers favour writes; smaller ε favours reads — the
+    /// tradeoff the FITing-Tree paper's evaluation sweeps and the `ext04`
+    /// ablation reproduces.
+    pub fn with_config(max_delta: usize, seg_eps: u64) -> Self {
+        DynamicFitingTree {
+            dir_keys: vec![K::MIN_KEY],
+            segments: vec![Segment::new(K::MIN_KEY, Vec::new(), Vec::new())],
+            len: 0,
+            resegment_count: 0,
+            max_delta: max_delta.max(8),
+            seg_eps: seg_eps.max(1),
+        }
+    }
+
+    /// Current number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total merge-and-resegment events so far.
+    pub fn resegment_count(&self) -> u64 {
+        self.resegment_count
+    }
+
+    /// Merge every segment's buffer into its data and drop all tombstones,
+    /// re-running the cone where segments drifted — the explicit
+    /// space-reclamation step for delete-heavy workloads.
+    pub fn compact(&mut self) {
+        // Merging splices segments in place, so walk by stable position:
+        // after merging segment `s` the splice result occupies `s..s+k`;
+        // skip past it.
+        let mut s = 0;
+        while s < self.segments.len() {
+            let before = self.segments.len();
+            self.merge_segment(s);
+            let grown = self.segments.len() - before;
+            s += 1 + grown;
+        }
+    }
+
+    /// Index of the segment whose domain contains `key`.
+    #[inline]
+    fn route(&self, key: K) -> usize {
+        self.dir_keys.partition_point(|&k| k <= key).saturating_sub(1)
+    }
+
+    /// Merge segment `s`'s buffer into its data and re-run the cone,
+    /// splicing any split segments into the directory.
+    fn merge_segment(&mut self, s: usize) {
+        let domain_key = self.segments[s].domain_key;
+        let (keys, payloads) = self.segments[s].merged();
+        if keys.is_empty() {
+            return;
+        }
+        let positions: Vec<u64> = (0..keys.len() as u64).collect();
+        let cone = fit_cone(&keys, &positions, self.seg_eps);
+        self.resegment_count += cone.len() as u64;
+
+        let mut new_segments = Vec::with_capacity(cone.len());
+        let mut new_dir = Vec::with_capacity(cone.len());
+        for (ci, cs) in cone.iter().enumerate() {
+            let seg_keys = keys[cs.start..cs.end].to_vec();
+            let seg_payloads = payloads[cs.start..cs.end].to_vec();
+            // The first split inherits the old domain boundary so routing
+            // for keys below the first stored key is unchanged.
+            let dk = if ci == 0 { domain_key } else { cs.first_key };
+            new_dir.push(dk);
+            new_segments.push(Segment::new(dk, seg_keys, seg_payloads));
+        }
+        self.dir_keys.splice(s..=s, new_dir);
+        self.segments.splice(s..=s, new_segments);
+    }
+}
+
+impl<K: Key> BulkLoad<K> for DynamicFitingTree<K> {
+    fn bulk_load(keys: &[K], payloads: &[u64]) -> Self {
+        assert_eq!(keys.len(), payloads.len());
+        if keys.is_empty() {
+            return DynamicFitingTree::new();
+        }
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "bulk_load requires strictly sorted keys");
+        let positions: Vec<u64> = (0..keys.len() as u64).collect();
+        let cone = fit_cone(keys, &positions, DEFAULT_SEG_EPS);
+        let mut dir_keys = Vec::with_capacity(cone.len());
+        let mut segments = Vec::with_capacity(cone.len());
+        for (ci, cs) in cone.iter().enumerate() {
+            let dk = if ci == 0 { K::MIN_KEY } else { cs.first_key };
+            dir_keys.push(dk);
+            segments.push(Segment::new(
+                dk,
+                keys[cs.start..cs.end].to_vec(),
+                payloads[cs.start..cs.end].to_vec(),
+            ));
+        }
+        DynamicFitingTree {
+            dir_keys,
+            segments,
+            len: keys.len(),
+            resegment_count: 0,
+            max_delta: DEFAULT_MAX_DELTA,
+            seg_eps: DEFAULT_SEG_EPS,
+        }
+    }
+}
+
+impl<K: Key> DynamicOrderedIndex<K> for DynamicFitingTree<K> {
+    fn name(&self) -> &'static str {
+        "FITing(dyn)"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.dir_keys.capacity() * std::mem::size_of::<K>()
+            + self.segments.iter().map(Segment::size_bytes).sum::<usize>()
+    }
+
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
+        let s = self.route(key);
+        let seg = &mut self.segments[s];
+        if let Some(i) = seg.find_main(key) {
+            if seg.is_dead(i) {
+                // Revive the tombstoned key in place.
+                seg.payloads[i] = payload;
+                seg.set_dead(i, false);
+                self.len += 1;
+                return None;
+            }
+            return Some(std::mem::replace(&mut seg.payloads[i], payload));
+        }
+        match seg.buf_keys.binary_search(&key) {
+            Ok(i) => Some(std::mem::replace(&mut seg.buf_payloads[i], payload)),
+            Err(i) => {
+                seg.buf_keys.insert(i, key);
+                seg.buf_payloads.insert(i, payload);
+                self.len += 1;
+                if seg.buf_keys.len() >= self.max_delta {
+                    self.merge_segment(s);
+                }
+                None
+            }
+        }
+    }
+
+    fn remove(&mut self, key: K) -> Option<u64> {
+        let s = self.route(key);
+        let seg = &mut self.segments[s];
+        if let Some(i) = seg.find_main(key) {
+            if seg.is_dead(i) {
+                return None;
+            }
+            seg.set_dead(i, true);
+            self.len -= 1;
+            return Some(seg.payloads[i]);
+        }
+        match seg.buf_keys.binary_search(&key) {
+            Ok(i) => {
+                seg.buf_keys.remove(i);
+                let payload = seg.buf_payloads.remove(i);
+                self.len -= 1;
+                Some(payload)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        let seg = &self.segments[self.route(key)];
+        if let Some(i) = seg.find_main(key) {
+            return (!seg.is_dead(i)).then(|| seg.payloads[i]);
+        }
+        seg.buf_keys.binary_search(&key).ok().map(|i| seg.buf_payloads[i])
+    }
+
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        let mut s = self.route(key);
+        // Within the routed segment, both main and buffer may hold the
+        // answer; later segments only matter if this one has nothing >= key.
+        loop {
+            let seg = &self.segments[s];
+            let mut best: Option<(K, u64)> = None;
+            if let Some(i) = seg.main_lower_bound_live(key) {
+                best = Some((seg.keys[i], seg.payloads[i]));
+            }
+            let j = seg.buf_keys.partition_point(|&k| k < key);
+            if j < seg.buf_keys.len() {
+                let cand = (seg.buf_keys[j], seg.buf_payloads[j]);
+                if best.is_none_or(|b| cand.0 < b.0) {
+                    best = Some(cand);
+                }
+            }
+            if best.is_some() {
+                return best;
+            }
+            s += 1;
+            if s >= self.segments.len() {
+                return None;
+            }
+        }
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let mut sum = 0u64;
+        let mut s = self.route(lo);
+        while s < self.segments.len() && self.segments[s].domain_key < hi {
+            let seg = &self.segments[s];
+            let a = seg.main_lower_bound(lo);
+            let b = seg.main_lower_bound(hi);
+            for i in a..b {
+                if !seg.is_dead(i) {
+                    sum = sum.wrapping_add(seg.payloads[i]);
+                }
+            }
+            let a = seg.buf_keys.partition_point(|&k| k < lo);
+            let b = seg.buf_keys.partition_point(|&k| k < hi);
+            for v in &seg.buf_payloads[a..b] {
+                sum = sum.wrapping_add(*v);
+            }
+            s += 1;
+        }
+        sum
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_tree_answers_nothing() {
+        let t = DynamicFitingTree::<u64>::new();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.lower_bound_entry(0), None);
+        assert_eq!(t.range_sum(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn inserts_trigger_merges_and_splits() {
+        let mut t = DynamicFitingTree::new();
+        for i in 0..20_000u64 {
+            t.insert(splitmix(i), i);
+        }
+        assert_eq!(t.len(), 20_000);
+        assert!(t.resegment_count() > 0, "buffers must have overflowed");
+        assert!(t.num_segments() >= 1);
+        for i in (0..20_000u64).step_by(67) {
+            assert_eq!(t.get(splitmix(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn overwrite_in_main_and_buffer() {
+        let mut t = DynamicFitingTree::new();
+        // Fill past one merge so some keys live in main data.
+        for i in 0..1_000u64 {
+            t.insert(i * 2, i);
+        }
+        assert_eq!(t.insert(0, 777), Some(0));
+        assert_eq!(t.get(0), Some(777));
+        // A key still in a buffer:
+        t.insert(999_999, 1);
+        assert_eq!(t.insert(999_999, 2), Some(1));
+        assert_eq!(t.get(999_999), Some(2));
+        assert_eq!(t.len(), 1_001);
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        let mut t = DynamicFitingTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..30_000u64 {
+            let k = splitmix(i) % 10_000;
+            let v = splitmix(i ^ 0x5555);
+            assert_eq!(t.insert(k, v), oracle.insert(k, v), "insert #{i} key {k}");
+        }
+        assert_eq!(t.len(), oracle.len());
+        for k in 0..10_000u64 {
+            assert_eq!(t.get(k), oracle.get(&k).copied(), "get {k}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_crosses_segments() {
+        let mut t = DynamicFitingTree::new();
+        let mut oracle = BTreeMap::new();
+        // Two widely separated clusters force multiple segments.
+        for i in 0..5_000u64 {
+            let k = if i % 2 == 0 { i * 3 } else { 1 << 40 | (i * 7) };
+            t.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for probe in [0u64, 14_000, 15_001, (1 << 40) - 1, (1 << 40) + 3, u64::MAX] {
+            let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(t.lower_bound_entry(probe), expect, "lb {probe}");
+        }
+    }
+
+    #[test]
+    fn range_sum_matches_oracle() {
+        let mut t = DynamicFitingTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..10_000u64 {
+            let k = splitmix(i) % 200_000;
+            t.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for i in 0..50u64 {
+            let lo = splitmix(i * 3) % 200_000;
+            let hi = lo + splitmix(i * 11) % 60_000;
+            let expect: u64 = oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+            assert_eq!(t.range_sum(lo, hi), expect, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn bulk_load_segments_linear_data_coarsely() {
+        let keys: Vec<u64> = (0..100_000).map(|i| i * 4).collect();
+        let payloads = vec![1u64; keys.len()];
+        let t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        assert_eq!(t.len(), 100_000);
+        assert_eq!(t.num_segments(), 1, "linear data is one cone segment");
+        assert_eq!(t.get(400), Some(1));
+        assert_eq!(t.get(401), None);
+    }
+
+    #[test]
+    fn bulk_load_then_insert_round_trips() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 10).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let mut t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        let mut oracle: BTreeMap<u64, u64> =
+            keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+        for i in 0..10_000u64 {
+            let k = splitmix(i) % 100_000;
+            assert_eq!(t.insert(k, i), oracle.insert(k, i), "insert {k}");
+        }
+        assert_eq!(t.len(), oracle.len());
+        for probe in (0..100_010u64).step_by(487) {
+            let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(t.lower_bound_entry(probe), expect, "lb {probe}");
+        }
+    }
+
+    #[test]
+    fn nonlinear_data_splits_into_many_segments() {
+        let keys: Vec<u64> = (0..50_000u64).map(|i| i * i).collect();
+        let payloads = vec![0u64; keys.len()];
+        let t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        assert!(t.num_segments() > 10, "quadratic data must split: {}", t.num_segments());
+    }
+
+    #[test]
+    fn size_bytes_counts_owned_data() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 2).collect();
+        let payloads = vec![0u64; keys.len()];
+        let t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        assert!(t.size_bytes() >= 10_000 * 16);
+    }
+
+    #[test]
+    fn u32_keys_supported() {
+        let mut t = DynamicFitingTree::<u32>::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..5_000u32 {
+            let k = (splitmix(i as u64) % 100_000) as u32;
+            let v = i as u64;
+            assert_eq!(t.insert(k, v), oracle.insert(k, v));
+        }
+        for k in (0..100_000u32).step_by(313) {
+            assert_eq!(t.get(k), oracle.get(&k).copied());
+        }
+    }
+    #[test]
+    fn remove_tombstones_main_and_erases_buffer() {
+        let keys: Vec<u64> = (0..20_000).map(|i| i * 5).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 2).collect();
+        let mut t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        // Main-data delete (tombstone).
+        assert_eq!(t.remove(50), Some(52));
+        assert_eq!(t.get(50), None);
+        // Buffered-insert delete (direct erase).
+        t.insert(51, 7);
+        assert_eq!(t.remove(51), Some(7));
+        assert_eq!(t.get(51), None);
+        assert_eq!(t.len(), 20_000 - 1);
+        // Lower bound skips the tombstone.
+        assert_eq!(t.lower_bound_entry(46), Some((55, 57)));
+        // Merge reclaims: force the segment to merge via buffer pressure.
+        for i in 0..5_000u64 {
+            t.insert(i * 5 + 1, 1);
+        }
+        assert_eq!(t.get(50), None, "dead key must stay dead across merges");
+        assert_eq!(t.insert(50, 123), None);
+        assert_eq!(t.get(50), Some(123));
+    }
+
+    #[test]
+    fn delete_everything_then_lower_bound_is_none() {
+        let keys: Vec<u64> = (0..3_000).map(|i| i * 2).collect();
+        let payloads = vec![1u64; keys.len()];
+        let mut t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        for &k in &keys {
+            assert_eq!(t.remove(k), Some(1));
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lower_bound_entry(0), None);
+        assert_eq!(t.range_sum(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn compact_drops_tombstones_everywhere() {
+        let keys: Vec<u64> = (0..40_000).map(|i| i * 3).collect();
+        let payloads = vec![1u64; keys.len()];
+        let mut t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        for i in 0..20_000u64 {
+            t.remove(i * 6);
+        }
+        for i in 0..3_000u64 {
+            t.insert(i * 6 + 1, 2);
+        }
+        let expect_sum = t.range_sum(0, u64::MAX);
+        t.compact();
+        assert_eq!(t.len(), 23_000);
+        assert_eq!(t.range_sum(0, u64::MAX), expect_sum, "compaction preserves content");
+        assert_eq!(t.get(0), None);
+        assert_eq!(t.get(3), Some(1));
+        assert_eq!(t.get(1), Some(2));
+    }
+
+}

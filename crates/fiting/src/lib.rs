@@ -1,0 +1,31 @@
+//! # sosd-fiting
+//!
+//! The FITing-Tree (Galakatos et al., SIGMOD 2019 — ref. [14] of the paper):
+//! a data-aware learned index that partitions the key space with the
+//! *shrinking cone* segmentation algorithm and indexes the resulting
+//! segments in a directory.
+//!
+//! The paper cites FITing-Tree as one of the bottom-up learned structures
+//! (RadixSpline's spline fitter "is similar to the shrinking cone algorithm
+//! of FITing-Tree", Section 3.2) but could not evaluate it because no tuned
+//! implementation was publicly available (Section 3). This crate fills that
+//! gap with both variants from the FITing-Tree paper:
+//!
+//! * [`FitingTreeIndex`] — the static, read-only index over a
+//!   [`sosd_core::SortedData`], implementing [`sosd_core::Index`] so it
+//!   slots into every experiment harness next to RMI/PGM/RS.
+//! * [`DynamicFitingTree`] — the *delta-insert* variant: each segment
+//!   carries a small sorted buffer; overflowing buffers trigger a local
+//!   merge-and-resegment. Implements
+//!   [`sosd_core::dynamic::DynamicOrderedIndex`].
+//!
+//! Both are built on the [`cone`] module, a direct implementation of the
+//! shrinking-cone fitter with a per-point error guarantee of ε.
+
+pub mod cone;
+pub mod dynamic;
+pub mod static_index;
+
+pub use cone::{fit_cone, ConeSegment};
+pub use dynamic::DynamicFitingTree;
+pub use static_index::{FitingTreeBuilder, FitingTreeIndex};

@@ -1,0 +1,328 @@
+//! The static (read-only) FITing-Tree over a [`SortedData`].
+//!
+//! Segments come from the shrinking-cone fitter ([`crate::cone`]); the
+//! directory over segment first-keys is a flat sorted array searched with
+//! binary search (the FITing-Tree paper uses a B+Tree for the directory to
+//! absorb segment inserts; for the read-only variant a dense array is the
+//! cache-friendlier equivalent, the same choice the PGM and RadixSpline
+//! crates make for their top levels).
+
+use crate::cone::{fit_cone, ConeSegment};
+use sosd_core::trace::addr_of_index;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, SearchBound, SortedData, Tracer,
+};
+
+/// A segment's runtime model: anchored line + lookup-envelope errors.
+/// 24 bytes, same shape as the PGM's `SegModel`.
+#[derive(Debug, Clone, Copy)]
+struct SegModel {
+    slope: f64,
+    y0: f64,
+    /// Max overestimation `pred - y` over the envelope set.
+    err_over: u32,
+    /// Max underestimation, including consecutive-pair rank-gap terms
+    /// (`y_i - pred(x_{i-1})`) so absent keys inside duplicate runs stay
+    /// covered.
+    err_under: u32,
+}
+
+/// The static FITing-Tree index (ref. [14]): shrinking-cone segments behind
+/// a sorted segment directory.
+#[derive(Debug, Clone)]
+pub struct FitingTreeIndex<K: Key> {
+    first_keys: Vec<K>,
+    models: Vec<SegModel>,
+    n: usize,
+    max_key: K,
+    max_target: f64,
+}
+
+impl<K: Key> FitingTreeIndex<K> {
+    /// Build with per-point error bound `eps` (`1..=2^24`).
+    pub fn build(data: &SortedData<K>, eps: u64) -> Result<Self, BuildError> {
+        if eps == 0 || eps > (1 << 24) {
+            return Err(BuildError::InvalidConfig(format!("eps must be in 1..=2^24, got {eps}")));
+        }
+        // Distinct keys with first-occurrence positions, as everywhere else
+        // in the workspace: the cone needs strictly increasing x.
+        let keys = data.keys();
+        let mut xs: Vec<K> = Vec::new();
+        let mut ys: Vec<u64> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if xs.last() != Some(&k) {
+                xs.push(k);
+                ys.push(i as u64);
+            }
+        }
+
+        let segments = fit_cone(&xs, &ys, eps);
+        let m = xs.len();
+        let max_target = ys[m - 1] as f64;
+        let mut first_keys = Vec::with_capacity(segments.len());
+        let mut models = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            models.push(lookup_envelope(seg, &xs, &ys, max_target));
+            first_keys.push(seg.first_key);
+        }
+
+        Ok(FitingTreeIndex { first_keys, models, n: data.len(), max_key: data.max_key(), max_target })
+    }
+
+    /// Number of cone segments.
+    pub fn num_segments(&self) -> usize {
+        self.models.len()
+    }
+
+    #[inline]
+    fn predict(&self, seg: usize, key: K) -> f64 {
+        let m = &self.models[seg];
+        let dx = key.to_u64() as i128 - self.first_keys[seg].to_u64() as i128;
+        (m.y0 + m.slope * dx as f64).clamp(0.0, self.max_target)
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        // Floor segment: last first_key <= key (clamped to segment 0 for
+        // keys below the whole domain).
+        let seg = floor_segment(&self.first_keys, key, tracer);
+        tracer.read(addr_of_index(&self.models, seg), std::mem::size_of::<SegModel>());
+        tracer.instr(8);
+        let m = &self.models[seg];
+        let pred = self.predict(seg, key);
+
+        let lo = {
+            let f = pred - m.err_over as f64 - 1.0;
+            if f <= 0.0 {
+                0
+            } else {
+                (f as usize).min(self.n)
+            }
+        };
+        let hi = if key > self.max_key {
+            // Past every key: LB is n, which first-occurrence training
+            // positions cannot see when the tail has duplicates.
+            self.n
+        } else {
+            let f = pred + m.err_under as f64 + 2.0;
+            if f <= 0.0 {
+                0
+            } else {
+                (f as usize).min(self.n)
+            }
+        };
+        SearchBound { lo: lo.min(hi), hi }
+    }
+}
+
+/// Measure the lookup envelope for one segment: the per-point residuals plus
+/// the rank-gap terms covering absent keys, plus the next segment's first
+/// pair (the sandwich argument: an absent key just below the next segment's
+/// first key is still routed to *this* segment).
+fn lookup_envelope<K: Key>(seg: &ConeSegment<K>, xs: &[K], ys: &[u64], max_target: f64) -> SegModel {
+    let m = xs.len();
+    let slope = seg.slope.max(0.0);
+    let x0 = seg.first_key.to_u64();
+    let pred_at = |i: usize| -> f64 {
+        let dx = (xs[i].to_u64() as i128 - x0 as i128) as f64;
+        (seg.y0 + slope * dx).clamp(0.0, max_target)
+    };
+    let hi_i = seg.end.min(m - 1);
+    let mut err_over = 0f64;
+    let mut err_under = ys[seg.start] as f64 - pred_at(seg.start);
+    #[allow(clippy::needless_range_loop)] // indexes ys twice (i and i-1)
+    for i in seg.start..=hi_i {
+        let pred = pred_at(i);
+        err_over = err_over.max(pred - ys[i] as f64);
+        if i > seg.start {
+            err_under = err_under.max(ys[i] as f64 - pred_at(i - 1));
+        }
+    }
+    SegModel {
+        slope,
+        y0: seg.y0,
+        err_over: err_over.max(0.0).ceil().min(u32::MAX as f64) as u32,
+        err_under: err_under.max(0.0).ceil().min(u32::MAX as f64) as u32,
+    }
+}
+
+/// Index of the last `first_keys` entry `<= key`, or 0 when `key` precedes
+/// them all. Traced binary search over the directory.
+#[inline]
+fn floor_segment<K: Key, T: Tracer>(first_keys: &[K], key: K, tracer: &mut T) -> usize {
+    let site = first_keys.as_ptr() as usize;
+    let mut lo = 0usize;
+    let mut hi = first_keys.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        tracer.read(addr_of_index(first_keys, mid), std::mem::size_of::<K>());
+        tracer.instr(4);
+        let taken = first_keys[mid] <= key;
+        tracer.branch(site, taken);
+        if taken {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo.saturating_sub(1)
+}
+
+impl<K: Key> Index<K> for FitingTreeIndex<K> {
+    fn name(&self) -> &'static str {
+        "FITing"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.first_keys.len() * std::mem::size_of::<K>()
+            + self.models.len() * std::mem::size_of::<SegModel>()
+    }
+
+    fn search_bound(&self, key: K) -> SearchBound {
+        let mut t = sosd_core::NullTracer;
+        self.bound_generic(key, &mut t)
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        // The FITing-Tree supports inserts (ref. [14]; `DynamicFitingTree`);
+        // this static build is the read-only benchmark variant.
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
+    }
+}
+
+/// Builder: one knob (ε), exactly like PGM's leaf level.
+#[derive(Debug, Clone, Copy)]
+pub struct FitingTreeBuilder {
+    /// Per-point prediction error bound.
+    pub eps: u64,
+}
+
+impl FitingTreeBuilder {
+    /// Ten configurations from coarse (small) to fine (large), mirroring the
+    /// paper's 10-point sweeps.
+    pub fn size_sweep() -> Vec<FitingTreeBuilder> {
+        [4096, 2048, 1024, 512, 256, 128, 64, 32, 16, 8]
+            .into_iter()
+            .map(|eps| FitingTreeBuilder { eps })
+            .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for FitingTreeBuilder {
+    type Output = FitingTreeIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        FitingTreeIndex::build(data, self.eps)
+    }
+
+    fn describe(&self) -> String {
+        format!("FITing[eps={}]", self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::CountingTracer;
+
+    fn data(keys: Vec<u64>) -> SortedData<u64> {
+        SortedData::new(keys).unwrap()
+    }
+
+    fn check_all_probes(idx: &FitingTreeIndex<u64>, d: &SortedData<u64>) {
+        // Present keys, their neighbours, and extremes.
+        let mut probes: Vec<u64> = d.keys().to_vec();
+        probes.extend(d.keys().iter().map(|&k| k.saturating_add(1)));
+        probes.extend(d.keys().iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, u64::MAX, u64::MAX / 2]);
+        for x in probes {
+            let b = idx.search_bound(x);
+            let lb = d.lower_bound(x);
+            assert!(b.contains(lb), "probe {x}: bound {b:?} misses LB {lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_linear_data() {
+        let d = data((0..10_000).map(|i| i * 3).collect());
+        let idx = FitingTreeIndex::build(&d, 16).unwrap();
+        assert_eq!(idx.num_segments(), 1, "linear data needs one cone segment");
+        check_all_probes(&idx, &d);
+    }
+
+    #[test]
+    fn valid_on_quadratic_data() {
+        let d = data((0..20_000u64).map(|i| i * i / 7 + i).collect());
+        for eps in [4, 64, 1024] {
+            let idx = FitingTreeIndex::build(&d, eps).unwrap();
+            check_all_probes(&idx, &d);
+        }
+    }
+
+    #[test]
+    fn valid_with_heavy_duplicates() {
+        // The rank-gap case: a huge duplicate run followed by sparse keys.
+        let mut keys = vec![10u64; 5_000];
+        keys.extend((0..100u64).map(|i| 1_000 + i * 17));
+        keys.sort_unstable();
+        let d = data(keys);
+        let idx = FitingTreeIndex::build(&d, 8).unwrap();
+        check_all_probes(&idx, &d);
+        // Probe just below the post-run key: LB is deep into the array.
+        let b = idx.search_bound(999);
+        assert!(b.contains(d.lower_bound(999)));
+    }
+
+    #[test]
+    fn smaller_eps_tightens_bounds_and_grows_size() {
+        let mut keys: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 1_000_000).collect();
+        keys.sort_unstable();
+        let d = data(keys);
+        let coarse = FitingTreeIndex::build(&d, 1024).unwrap();
+        let fine = FitingTreeIndex::build(&d, 8).unwrap();
+        assert!(fine.size_bytes() >= coarse.size_bytes());
+        let probe = d.key(d.len() / 2);
+        assert!(fine.search_bound(probe).len() <= coarse.search_bound(probe).len());
+    }
+
+    #[test]
+    fn rejects_bad_eps() {
+        let d = data(vec![1, 2, 3]);
+        assert!(FitingTreeIndex::build(&d, 0).is_err());
+        assert!(FitingTreeIndex::build(&d, 1 << 25).is_err());
+    }
+
+    #[test]
+    fn builder_sweep_is_monotone_in_eps() {
+        let sweep = FitingTreeBuilder::size_sweep();
+        assert_eq!(sweep.len(), 10);
+        assert!(sweep.windows(2).all(|w| w[0].eps > w[1].eps));
+        assert!(<FitingTreeBuilder as IndexBuilder<u64>>::describe(&sweep[0]).contains("4096"));
+    }
+
+    #[test]
+    fn traced_lookup_reports_reads() {
+        let mut keys: Vec<u64> = (0..10_000u64).map(|i| (i * i) % 999_983).collect();
+        keys.sort_unstable();
+        let d = data(keys);
+        let idx = FitingTreeIndex::build(&d, 32).unwrap();
+        let mut t = CountingTracer::default();
+        let probe = d.key(500);
+        let b = idx.search_bound_traced(probe, &mut t);
+        assert!(b.contains(d.lower_bound(probe)));
+        assert!(t.reads > 0, "directory search must touch memory");
+    }
+
+    #[test]
+    fn single_key_dataset() {
+        let d = data(vec![42]);
+        let idx = FitingTreeIndex::build(&d, 4).unwrap();
+        assert!(idx.search_bound(41).contains(0));
+        assert!(idx.search_bound(42).contains(0));
+        assert!(idx.search_bound(43).contains(1));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the FITing-Tree: the shrinking-cone error invariant,
+//! static-index validity on arbitrary key multisets, and dynamic-tree
+//! equivalence with `BTreeMap`.
+
+use proptest::prelude::*;
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex};
+use sosd_core::{Index, SortedData};
+use sosd_fiting::{fit_cone, DynamicFitingTree, FitingTreeIndex};
+use std::collections::BTreeMap;
+
+/// Sorted keys with duplicates and occasional extremes (same shape as the
+/// workspace-level strategy).
+fn keys_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => any::<u32>().prop_map(|v| v as u64 * 1000),
+            2 => any::<u64>(),
+            1 => Just(0u64),
+            1 => Just(u64::MAX),
+            2 => (0u64..50).prop_map(|v| v * 7),
+        ],
+        1..300,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cone_error_bound_holds(
+        seed in prop::collection::btree_set(any::<u64>(), 2..300),
+        eps in 1u64..256,
+    ) {
+        let xs: Vec<u64> = seed.iter().copied().collect();
+        let ys: Vec<u64> = (0..xs.len() as u64).collect();
+        let segs = fit_cone(&xs, &ys, eps);
+        // Segments tile the input.
+        prop_assert_eq!(segs[0].start, 0);
+        prop_assert_eq!(segs.last().unwrap().end, xs.len());
+        for w in segs.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // Per-point error within eps (+1 for f64 materialization).
+        for seg in &segs {
+            for i in seg.start..seg.end {
+                let err = (seg.predict(xs[i]) - ys[i] as f64).abs();
+                prop_assert!(err <= eps as f64 + 1.0, "eps={} err={}", eps, err);
+            }
+        }
+    }
+
+    #[test]
+    fn static_index_always_valid(keys in keys_strategy(), eps in 1u64..128) {
+        let data = SortedData::new(keys.clone()).expect("sorted input");
+        let idx = FitingTreeIndex::build(&data, eps).expect("build");
+        let mut probes: Vec<u64> = keys.clone();
+        probes.extend(keys.iter().map(|&k| k.saturating_add(1)));
+        probes.extend(keys.iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, u64::MAX, u64::MAX / 2]);
+        for x in probes {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            prop_assert!(b.contains(lb), "probe {} bound {:?} misses LB {}", x, b, lb);
+        }
+    }
+
+    #[test]
+    fn dynamic_tree_matches_btreemap(
+        ops in prop::collection::vec(
+            prop_oneof![
+                5 => (0u64..8_000, any::<u64>()),
+                1 => (any::<u64>(), any::<u64>()),
+            ],
+            1..500,
+        ),
+    ) {
+        let mut t = DynamicFitingTree::new();
+        let mut oracle = BTreeMap::new();
+        for (j, &(k, v)) in ops.iter().enumerate() {
+            if j % 4 == 3 {
+                prop_assert_eq!(t.remove(k), oracle.remove(&k), "remove {}", k);
+            } else {
+                prop_assert_eq!(t.insert(k, v), oracle.insert(k, v), "key {}", k);
+            }
+        }
+        prop_assert_eq!(t.len(), oracle.len());
+        for &(k, _) in &ops {
+            prop_assert_eq!(t.get(k), oracle.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn dynamic_bulk_load_round_trips(
+        seed in prop::collection::btree_set(any::<u64>(), 1..400),
+    ) {
+        let keys: Vec<u64> = seed.iter().copied().collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(7)).collect();
+        let t = DynamicFitingTree::bulk_load(&keys, &payloads);
+        prop_assert_eq!(t.len(), keys.len());
+        for (&k, &v) in keys.iter().zip(&payloads) {
+            prop_assert_eq!(t.get(k), Some(v));
+        }
+    }
+}
+
+#[test]
+fn static_index_on_generated_datasets() {
+    // Realistic CDFs: the static FITing-Tree must be valid on all of them.
+    for id in sosd_datasets::DatasetId::ALL {
+        let data = sosd_datasets::generate_u64(id, 20_000, 5);
+        let idx = FitingTreeIndex::build(&data, 32).expect("build");
+        for i in (0..data.len()).step_by(97) {
+            let k = data.key(i);
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                let b = idx.search_bound(probe);
+                assert!(
+                    b.contains(data.lower_bound(probe)),
+                    "{}: probe {probe}",
+                    id.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Bucketized two-choice cuckoo hashing with packed 4-slot buckets.
+//!
+//! Mirrors the SIMD cuckoo map the paper benchmarks (Stanford
+//! index-baselines): every key lives in one of two buckets of four slots;
+//! a lookup compares all four slots of a bucket at once (here: branch-free
+//! unrolled scalar compares over one 64-byte bucket — one cache line).
+//! The paper's implementation supports 32-bit keys only; ours is generic
+//! but Table 2 uses it with `u32` just like the paper.
+
+use sosd_core::trace::addr_of_index;
+use sosd_core::util::{splitmix64, XorShift64};
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// Slots per bucket (one cache line of key/pos pairs).
+const BUCKET_SLOTS: usize = 4;
+/// Random-walk eviction budget per insert before growing the table.
+const MAX_KICKS: usize = 500;
+
+/// A 4-slot bucket: keys and positions in parallel arrays, empty slots
+/// marked by `pos == u32::MAX`.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    keys: [u64; BUCKET_SLOTS],
+    pos: [u32; BUCKET_SLOTS],
+}
+
+const EMPTY_POS: u32 = u32::MAX;
+
+impl Bucket {
+    fn empty() -> Bucket {
+        Bucket { keys: [0; BUCKET_SLOTS], pos: [EMPTY_POS; BUCKET_SLOTS] }
+    }
+
+    /// Branch-free 4-way compare; returns the matching position if any.
+    #[inline]
+    fn find(&self, k: u64) -> Option<u32> {
+        let mut found = EMPTY_POS;
+        for i in 0..BUCKET_SLOTS {
+            let hit = (self.keys[i] == k) & (self.pos[i] != EMPTY_POS);
+            found = if hit { self.pos[i] } else { found };
+        }
+        (found != EMPTY_POS).then_some(found)
+    }
+
+    fn insert_free(&mut self, k: u64, p: u32) -> bool {
+        for i in 0..BUCKET_SLOTS {
+            if self.pos[i] == EMPTY_POS {
+                self.keys[i] = k;
+                self.pos[i] = p;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The cuckoo map from key to first-occurrence position.
+pub struct CuckooMap<K: Key> {
+    buckets: Vec<Bucket>,
+    mask: usize,
+    n: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+#[inline]
+fn hash1(k: u64) -> u64 {
+    splitmix64(k)
+}
+
+#[inline]
+fn hash2(k: u64) -> u64 {
+    splitmix64(k ^ 0x9E37_79B9_7F4A_7C15)
+}
+
+impl<K: Key> CuckooMap<K> {
+    /// Build at the given load factor (the paper tunes to 0.99).
+    pub fn build(data: &SortedData<K>, load_factor: f64) -> Result<Self, BuildError> {
+        if !(0.05..=0.99).contains(&load_factor) {
+            return Err(BuildError::InvalidConfig(format!(
+                "load factor must be in [0.05, 0.99], got {load_factor}"
+            )));
+        }
+        if data.len() >= EMPTY_POS as usize {
+            return Err(BuildError::Unbuildable("dataset too large for u32 positions".into()));
+        }
+        let mut num_buckets = ((data.len() as f64 / (BUCKET_SLOTS as f64 * load_factor))
+            as usize)
+            .next_power_of_two()
+            .max(2);
+        // Retry with a bigger table if the random walk fails to place a key.
+        for _attempt in 0..4 {
+            match Self::try_build(data, num_buckets) {
+                Some(map) => return Ok(map),
+                None => num_buckets *= 2,
+            }
+        }
+        Err(BuildError::Unbuildable(
+            "cuckoo insertion kept failing after 4 growth rounds".into(),
+        ))
+    }
+
+    fn try_build(data: &SortedData<K>, num_buckets: usize) -> Option<CuckooMap<K>> {
+        let mut buckets = vec![Bucket::empty(); num_buckets];
+        let mask = num_buckets - 1;
+        let mut rng = XorShift64::new(0xC0C0_0C0C ^ num_buckets as u64);
+        let mut prev: Option<u64> = None;
+        for (i, &key) in data.keys().iter().enumerate() {
+            let k = key.to_u64();
+            if prev == Some(k) {
+                continue;
+            }
+            prev = Some(k);
+            let mut cur_key = k;
+            let mut cur_pos = i as u32;
+            let b1 = hash1(cur_key) as usize & mask;
+            let b2 = hash2(cur_key) as usize & mask;
+            if buckets[b1].insert_free(cur_key, cur_pos)
+                || buckets[b2].insert_free(cur_key, cur_pos)
+            {
+                continue;
+            }
+            // Random-walk eviction.
+            let mut victim_bucket = if rng.next_u64() & 1 == 0 { b1 } else { b2 };
+            let mut placed = false;
+            for _ in 0..MAX_KICKS {
+                let slot = rng.next_below(BUCKET_SLOTS as u64) as usize;
+                let b = &mut buckets[victim_bucket];
+                std::mem::swap(&mut cur_key, &mut b.keys[slot]);
+                std::mem::swap(&mut cur_pos, &mut b.pos[slot]);
+                // Move the evicted key to its alternate bucket.
+                let h1 = hash1(cur_key) as usize & mask;
+                let h2 = hash2(cur_key) as usize & mask;
+                let alt = if victim_bucket == h1 { h2 } else { h1 };
+                if buckets[alt].insert_free(cur_key, cur_pos) {
+                    placed = true;
+                    break;
+                }
+                victim_bucket = alt;
+            }
+            if !placed {
+                return None;
+            }
+        }
+        Some(CuckooMap { buckets, mask, n: data.len(), _marker: std::marker::PhantomData })
+    }
+
+    /// Point lookup: position of the key's first occurrence.
+    #[inline]
+    pub fn get<T: Tracer>(&self, key: K, tracer: &mut T) -> Option<u32> {
+        let k = key.to_u64();
+        let b1 = hash1(k) as usize & self.mask;
+        tracer.instr(8);
+        tracer.read(addr_of_index(&self.buckets, b1), std::mem::size_of::<Bucket>());
+        if let Some(p) = self.buckets[b1].find(k) {
+            return Some(p);
+        }
+        let b2 = hash2(k) as usize & self.mask;
+        tracer.instr(8);
+        tracer.read(addr_of_index(&self.buckets, b2), std::mem::size_of::<Bucket>());
+        self.buckets[b2].find(k)
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        match self.get(key, tracer) {
+            Some(pos) => SearchBound { lo: pos as usize, hi: pos as usize + 1 },
+            None => SearchBound::full(self.n),
+        }
+    }
+}
+
+impl<K: Key> Index<K> for CuckooMap<K> {
+    fn name(&self) -> &'static str {
+        "CuckooMap"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.buckets.len() * std::mem::size_of::<Bucket>()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: false, kind: IndexKind::Hash }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`CuckooMap`].
+#[derive(Debug, Clone)]
+pub struct CuckooBuilder {
+    /// Target load factor (paper: 0.99 maximizes lookup performance).
+    pub load_factor: f64,
+}
+
+impl Default for CuckooBuilder {
+    fn default() -> Self {
+        CuckooBuilder { load_factor: 0.99 }
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for CuckooBuilder {
+    type Output = CuckooMap<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        CuckooMap::build(data, self.load_factor)
+    }
+
+    fn describe(&self) -> String {
+        format!("CuckooMap[lf={}]", self.load_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn finds_every_key_even_at_high_load() {
+        let mut rng = XorShift64::new(17);
+        let mut keys: Vec<u64> = (0..20_000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let data = SortedData::new(keys.clone()).unwrap();
+        for lf in [0.5, 0.9, 0.99] {
+            let map = CuckooMap::build(&data, lf).unwrap();
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(map.get(k, &mut NullTracer), Some(i as u32), "lf={lf}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * 2).collect();
+        let data = SortedData::new(keys).unwrap();
+        let map = CuckooMap::build(&data, 0.9).unwrap();
+        for i in 0..2000u64 {
+            assert_eq!(map.get(i * 2 + 1, &mut NullTracer), None);
+        }
+    }
+
+    #[test]
+    fn agrees_with_std_hashmap_under_duplicates() {
+        let mut rng = XorShift64::new(23);
+        let mut keys: Vec<u64> = (0..3000).map(|_| rng.next_below(5_000)).collect();
+        keys.sort_unstable();
+        let data = SortedData::new(keys.clone()).unwrap();
+        let map = CuckooMap::build(&data, 0.8).unwrap();
+        let mut oracle: HashMap<u64, u32> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            oracle.entry(k).or_insert(i as u32);
+        }
+        for probe in 0..5_000u64 {
+            assert_eq!(map.get(probe, &mut NullTracer), oracle.get(&probe).copied());
+        }
+    }
+
+    #[test]
+    fn lookup_reads_at_most_two_buckets() {
+        use sosd_core::CountingTracer;
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 7 + 1).collect();
+        let data = SortedData::new(keys.clone()).unwrap();
+        let map = CuckooMap::build(&data, 0.95).unwrap();
+        for &k in keys.iter().step_by(53) {
+            let mut t = CountingTracer::default();
+            assert!(map.get(k, &mut t).is_some());
+            assert!(t.reads <= 2, "cuckoo lookups touch <= 2 buckets");
+        }
+    }
+
+    #[test]
+    fn works_with_u32_keys_like_the_paper() {
+        let keys: Vec<u32> = (0..5000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        sorted.dedup();
+        let data = SortedData::new(sorted.clone()).unwrap();
+        let map = CuckooMap::build(&data, 0.99).unwrap();
+        for (i, &k) in sorted.iter().enumerate() {
+            assert_eq!(map.get(k, &mut NullTracer), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn high_load_factor_is_compact() {
+        let keys: Vec<u64> = (0..40_000u64).collect();
+        let data = SortedData::new(keys).unwrap();
+        let tight = CuckooMap::build(&data, 0.99).unwrap();
+        // 40k keys * 16 bytes/slot at ~99% load in power-of-two buckets.
+        let bytes = Index::<u64>::size_bytes(&tight);
+        assert!(bytes <= 40_000 * 16 * 2, "size {bytes}");
+    }
+
+    #[test]
+    fn rejects_bad_load_factor() {
+        let data = SortedData::new(vec![1u64]).unwrap();
+        assert!(CuckooMap::build(&data, 0.0).is_err());
+        assert!(CuckooMap::build(&data, 1.5).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! # sosd-hash
+//!
+//! Hash-table baselines: a RobinHood open-addressing table and a bucketized
+//! two-choice cuckoo map (Section 4.1.1, Table 2).
+//!
+//! Hash tables answer *point* lookups in O(1) but do not support ordered
+//! (lower-bound) queries; for present keys they return an exact single-
+//! position bound, for absent keys they fall back to the full-array bound.
+//! The paper evaluates them only on present-key workloads, where they hold
+//! the latency record at a massive memory cost — our Table 2 reproduces
+//! exactly that tradeoff. Load factors follow the paper's tuning: 0.25 for
+//! RobinHood, 0.99 for the cuckoo map.
+
+pub mod cuckoo;
+pub mod robinhood;
+
+pub use cuckoo::{CuckooBuilder, CuckooMap};
+pub use robinhood::{RobinHoodBuilder, RobinHoodMap};

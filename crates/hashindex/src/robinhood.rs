@@ -1,0 +1,260 @@
+//! RobinHood hashing: linear probing where rich entries (short probe
+//! distances) yield their slots to poor ones, keeping the probe-length
+//! variance tiny even at high load.
+
+use sosd_core::trace::addr_of_index;
+use sosd_core::util::splitmix64;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// A table entry; `pos == u32::MAX` marks an empty slot (positions are
+/// bounded far below that by construction).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: u64,
+    pos: u32,
+}
+
+const EMPTY_POS: u32 = u32::MAX;
+
+/// RobinHood hash map from key to first-occurrence position.
+pub struct RobinHoodMap<K: Key> {
+    slots: Vec<Entry>,
+    mask: usize,
+    n: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Key> RobinHoodMap<K> {
+    /// Build at the given load factor (the paper tunes to 0.25).
+    pub fn build(data: &SortedData<K>, load_factor: f64) -> Result<Self, BuildError> {
+        if !(0.05..=0.97).contains(&load_factor) {
+            return Err(BuildError::InvalidConfig(format!(
+                "load factor must be in [0.05, 0.97], got {load_factor}"
+            )));
+        }
+        if data.len() >= EMPTY_POS as usize {
+            return Err(BuildError::Unbuildable("dataset too large for u32 positions".into()));
+        }
+        let cap = ((data.len() as f64 / load_factor) as usize)
+            .next_power_of_two()
+            .max(8);
+        let mut slots = vec![Entry { key: 0, pos: EMPTY_POS }; cap];
+        let mask = cap - 1;
+
+        let mut prev: Option<u64> = None;
+        for (i, &k) in data.keys().iter().enumerate() {
+            let k = k.to_u64();
+            if prev == Some(k) {
+                continue; // keep the first occurrence of duplicate keys
+            }
+            prev = Some(k);
+            // RobinHood insert: displace entries with shorter probe distance.
+            let mut entry = Entry { key: k, pos: i as u32 };
+            let mut idx = splitmix64(k) as usize & mask;
+            let mut dist = 0usize;
+            loop {
+                if slots[idx].pos == EMPTY_POS {
+                    slots[idx] = entry;
+                    break;
+                }
+                let their_dist = idx.wrapping_sub(splitmix64(slots[idx].key) as usize) & mask;
+                if their_dist < dist {
+                    std::mem::swap(&mut entry, &mut slots[idx]);
+                    dist = their_dist;
+                }
+                idx = (idx + 1) & mask;
+                dist += 1;
+            }
+        }
+        Ok(RobinHoodMap { slots, mask, n: data.len(), _marker: std::marker::PhantomData })
+    }
+
+    /// Point lookup: position of the key's first occurrence.
+    #[inline]
+    pub fn get<T: Tracer>(&self, key: K, tracer: &mut T) -> Option<u32> {
+        let k = key.to_u64();
+        let mut idx = splitmix64(k) as usize & self.mask;
+        let mut dist = 0usize;
+        tracer.instr(6);
+        loop {
+            tracer.read(addr_of_index(&self.slots, idx), std::mem::size_of::<Entry>());
+            let e = self.slots[idx];
+            if e.pos == EMPTY_POS {
+                return None;
+            }
+            if e.key == k {
+                return Some(e.pos);
+            }
+            // RobinHood invariant: once our distance exceeds the resident's,
+            // the key cannot be further along.
+            let their_dist = idx.wrapping_sub(splitmix64(e.key) as usize) & self.mask;
+            if their_dist < dist {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+            dist += 1;
+            tracer.instr(8);
+        }
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        match self.get(key, tracer) {
+            Some(pos) => SearchBound { lo: pos as usize, hi: pos as usize + 1 },
+            None => SearchBound::full(self.n),
+        }
+    }
+}
+
+impl<K: Key> Index<K> for RobinHoodMap<K> {
+    fn name(&self) -> &'static str {
+        "RobinHash"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Entry>()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: false, kind: IndexKind::Hash }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`RobinHoodMap`].
+#[derive(Debug, Clone)]
+pub struct RobinHoodBuilder {
+    /// Target load factor (paper: 0.25 maximizes lookup performance).
+    pub load_factor: f64,
+}
+
+impl Default for RobinHoodBuilder {
+    fn default() -> Self {
+        RobinHoodBuilder { load_factor: 0.25 }
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for RobinHoodBuilder {
+    type Output = RobinHoodMap<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        RobinHoodMap::build(data, self.load_factor)
+    }
+
+    fn describe(&self) -> String {
+        format!("RobinHash[lf={}]", self.load_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+    use std::collections::HashMap;
+
+    #[test]
+    fn finds_every_key_at_various_load_factors() {
+        let mut rng = XorShift64::new(3);
+        let mut keys: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let data = SortedData::new(keys.clone()).unwrap();
+        for lf in [0.1, 0.25, 0.5, 0.9] {
+            let map = RobinHoodMap::build(&data, lf).unwrap();
+            for (i, &k) in keys.iter().enumerate() {
+                assert_eq!(map.get(k, &mut NullTracer), Some(i as u32), "lf={lf} key={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_keys_return_none() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 2).collect();
+        let data = SortedData::new(keys).unwrap();
+        let map = RobinHoodMap::build(&data, 0.25).unwrap();
+        for i in 0..1000u64 {
+            assert_eq!(map.get(i * 2 + 1, &mut NullTracer), None);
+        }
+    }
+
+    #[test]
+    fn agrees_with_std_hashmap() {
+        let mut rng = XorShift64::new(11);
+        let mut keys: Vec<u64> = (0..3000).map(|_| rng.next_below(10_000)).collect();
+        keys.sort_unstable();
+        let data = SortedData::new(keys.clone()).unwrap();
+        let map = RobinHoodMap::build(&data, 0.4).unwrap();
+        let mut oracle: HashMap<u64, u32> = HashMap::new();
+        for (i, &k) in keys.iter().enumerate() {
+            oracle.entry(k).or_insert(i as u32); // first occurrence
+        }
+        for probe in 0..10_000u64 {
+            assert_eq!(map.get(probe, &mut NullTracer), oracle.get(&probe).copied());
+        }
+    }
+
+    #[test]
+    fn duplicates_map_to_first_occurrence() {
+        let keys = vec![5u64, 5, 5, 9, 9, 12];
+        let data = SortedData::new(keys).unwrap();
+        let map = RobinHoodMap::build(&data, 0.25).unwrap();
+        assert_eq!(map.get(5u64, &mut NullTracer), Some(0));
+        assert_eq!(map.get(9u64, &mut NullTracer), Some(3));
+    }
+
+    #[test]
+    fn search_bound_is_exact_for_present_keys() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 3).collect();
+        let data = SortedData::new(keys).unwrap();
+        let map = RobinHoodMap::build(&data, 0.25).unwrap();
+        let b = map.search_bound(300u64);
+        assert_eq!(b, SearchBound { lo: 100, hi: 101 });
+        assert_eq!(map.search_bound(301u64), SearchBound::full(500));
+    }
+
+    #[test]
+    fn lower_load_factor_means_bigger_table() {
+        let keys: Vec<u64> = (0..4096u64).collect();
+        let data = SortedData::new(keys).unwrap();
+        let dense = RobinHoodMap::build(&data, 0.9).unwrap();
+        let sparse = RobinHoodMap::build(&data, 0.1).unwrap();
+        assert!(Index::<u64>::size_bytes(&sparse) > 4 * Index::<u64>::size_bytes(&dense));
+    }
+
+    #[test]
+    fn rejects_bad_load_factor() {
+        let data = SortedData::new(vec![1u64]).unwrap();
+        assert!(RobinHoodMap::build(&data, 0.0).is_err());
+        assert!(RobinHoodMap::build(&data, 0.99).is_err());
+    }
+
+    #[test]
+    fn probe_lengths_stay_short() {
+        use sosd_core::CountingTracer;
+        let mut rng = XorShift64::new(5);
+        let mut keys: Vec<u64> = (0..20_000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let data = SortedData::new(keys.clone()).unwrap();
+        let map = RobinHoodMap::build(&data, 0.25).unwrap();
+        let mut total_reads = 0u64;
+        for &k in keys.iter().step_by(37) {
+            let mut t = CountingTracer::default();
+            map.get(k, &mut t);
+            total_reads += t.reads;
+        }
+        let avg = total_reads as f64 / (keys.len() / 37) as f64;
+        assert!(avg < 1.6, "avg probes {avg} too long at load 0.25");
+    }
+}

@@ -1,0 +1,262 @@
+//! Set-associative LRU cache simulation.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (64 everywhere in practice).
+    pub line_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / (self.ways * self.line_bytes)).max(1)
+    }
+}
+
+/// One cache level: per-set LRU stacks of line tags.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    config: CacheConfig,
+    /// `sets[s]` holds up to `ways` tags, most recently used first.
+    sets: Vec<Vec<u64>>,
+    /// Hits observed at this level.
+    pub hits: u64,
+    /// Misses observed at this level (forwarded to the next level).
+    pub misses: u64,
+}
+
+impl CacheLevel {
+    /// Create an empty level.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![Vec::with_capacity(config.ways); config.num_sets()];
+        CacheLevel { config, sets, hits: 0, misses: 0 }
+    }
+
+    /// Access one line; true = hit. Misses install the line (inclusive).
+    #[inline]
+    pub fn access_line(&mut self, line: u64) -> bool {
+        let num_sets = self.sets.len() as u64;
+        let set = &mut self.sets[(line % num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // LRU bump.
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.ways {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Drop all cached lines (the Figure 14 cold-cache mode).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// This level's geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+/// A three-level inclusive hierarchy (L1 → L2 → LLC).
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    /// L1 data cache.
+    pub l1: CacheLevel,
+    /// Private L2.
+    pub l2: CacheLevel,
+    /// Last-level cache; its misses are the paper's "cache misses".
+    pub llc: CacheLevel,
+    line_bytes: usize,
+    /// Total line accesses issued.
+    pub accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Build from three per-level configurations (line sizes must agree).
+    pub fn new(l1: CacheConfig, l2: CacheConfig, llc: CacheConfig) -> Self {
+        assert!(
+            l1.line_bytes == l2.line_bytes && l2.line_bytes == llc.line_bytes,
+            "line sizes must agree"
+        );
+        CacheHierarchy {
+            line_bytes: l1.line_bytes,
+            l1: CacheLevel::new(l1),
+            l2: CacheLevel::new(l2),
+            llc: CacheLevel::new(llc),
+            accesses: 0,
+        }
+    }
+
+    /// The paper's machine: Xeon Gold 6230 (32 KiB L1d, 1 MiB L2,
+    /// 27.5 MiB shared LLC — per-core slice ~1.375 MiB; we model a private
+    /// 2 MiB slice).
+    pub fn xeon_6230() -> Self {
+        CacheHierarchy::new(
+            CacheConfig { size_bytes: 32 << 10, ways: 8, line_bytes: 64 },
+            CacheConfig { size_bytes: 1 << 20, ways: 16, line_bytes: 64 },
+            CacheConfig { size_bytes: 2 << 20, ways: 11, line_bytes: 64 },
+        )
+    }
+
+    /// Laptop-scale default: the Xeon hierarchy scaled by the same ~100x
+    /// factor as the datasets, preserving the index-size : LLC ratio that
+    /// drives the paper's cache analysis.
+    pub fn scaled_default() -> Self {
+        CacheHierarchy::new(
+            CacheConfig { size_bytes: 8 << 10, ways: 8, line_bytes: 64 },
+            CacheConfig { size_bytes: 64 << 10, ways: 16, line_bytes: 64 },
+            CacheConfig { size_bytes: 256 << 10, ways: 8, line_bytes: 64 },
+        )
+    }
+
+    /// Access `bytes` bytes starting at `addr`, touching every spanned line.
+    #[inline]
+    pub fn access(&mut self, addr: usize, bytes: usize) {
+        let first = addr as u64 / self.line_bytes as u64;
+        let last = (addr + bytes.max(1) - 1) as u64 / self.line_bytes as u64;
+        for line in first..=last {
+            self.accesses += 1;
+            if self.l1.access_line(line) {
+                continue;
+            }
+            if self.l2.access_line(line) {
+                continue;
+            }
+            self.llc.access_line(line);
+        }
+    }
+
+    /// LLC misses — the headline "cache misses" metric of Figure 12.
+    pub fn llc_misses(&self) -> u64 {
+        self.llc.misses
+    }
+
+    /// Flush every level (cold-cache mode).
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+        self.llc.flush();
+    }
+
+    /// Reset counters but keep cache contents (for warm-up phases).
+    pub fn reset_counters(&mut self) {
+        self.accesses = 0;
+        for lvl in [&mut self.l1, &mut self.l2, &mut self.llc] {
+            lvl.hits = 0;
+            lvl.misses = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        // 4 lines direct-ish L1, 16-line L2, 64-line LLC.
+        CacheHierarchy::new(
+            CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64 },
+            CacheConfig { size_bytes: 1024, ways: 4, line_bytes: 64 },
+            CacheConfig { size_bytes: 4096, ways: 8, line_bytes: 64 },
+        )
+    }
+
+    #[test]
+    fn repeat_access_hits_l1() {
+        let mut c = tiny();
+        c.access(0x1000, 8);
+        assert_eq!(c.l1.misses, 1);
+        c.access(0x1000, 8);
+        c.access(0x1008, 8); // same line
+        assert_eq!(c.l1.hits, 2);
+        assert_eq!(c.llc_misses(), 1);
+    }
+
+    #[test]
+    fn straddling_read_touches_two_lines() {
+        let mut c = tiny();
+        c.access(0x1000 + 60, 8); // crosses a 64B boundary
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.l1.misses, 2);
+    }
+
+    #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // line * 64 reads as the address map
+    fn lru_evicts_least_recent() {
+        // L1: 2 ways, 2 sets. Lines 0,2,4 map to set 0 (line % 2 == 0).
+        let mut c = tiny();
+        c.access(0 * 64, 1); // set 0: [0]
+        c.access(2 * 64, 1); // set 0: [2, 0]
+        c.access(0 * 64, 1); // hit, set 0: [0, 2]
+        c.access(4 * 64, 1); // evicts 2, set 0: [4, 0]
+        assert_eq!(c.l1.hits, 1);
+        c.access(2 * 64, 1); // miss in L1 (was evicted), hit in L2
+        assert_eq!(c.l1.misses, 4);
+        assert_eq!(c.l2.hits, 1);
+    }
+
+    #[test]
+    fn flush_forces_misses() {
+        let mut c = tiny();
+        c.access(0x4000, 8);
+        c.flush();
+        c.access(0x4000, 8);
+        assert_eq!(c.llc_misses(), 2);
+    }
+
+    #[test]
+    fn working_set_larger_than_llc_thrashes() {
+        let mut c = tiny(); // LLC = 64 lines
+        // Stream 256 distinct lines twice: second pass still misses.
+        for round in 0..2 {
+            for i in 0..256usize {
+                c.access(i * 64, 1);
+            }
+            if round == 0 {
+                c.reset_counters();
+            }
+        }
+        assert!(
+            c.llc_misses() > 200,
+            "streaming working set should thrash: {} misses",
+            c.llc_misses()
+        );
+    }
+
+    #[test]
+    fn working_set_fitting_in_llc_stops_missing() {
+        let mut c = tiny();
+        for _ in 0..4 {
+            for i in 0..32usize {
+                c.access(i * 64, 1);
+            }
+        }
+        c.reset_counters();
+        for i in 0..32usize {
+            c.access(i * 64, 1);
+        }
+        assert_eq!(c.llc_misses(), 0);
+    }
+
+    #[test]
+    fn presets_have_sane_geometry() {
+        let x = CacheHierarchy::xeon_6230();
+        assert_eq!(x.l1.config().num_sets(), 64);
+        let s = CacheHierarchy::scaled_default();
+        assert!(s.llc.config().size_bytes < x.llc.config().size_bytes);
+    }
+}

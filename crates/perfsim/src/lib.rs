@@ -1,0 +1,24 @@
+//! # sosd-perfsim
+//!
+//! A deterministic hardware-counter simulator standing in for `perf`
+//! (Sections 4.3-4.5 of the paper analyze cache misses, branch
+//! mispredictions, and instruction counts).
+//!
+//! Index lookups emit events through [`sosd_core::Tracer`]; this crate's
+//! [`SimTracer`] feeds them into a three-level set-associative LRU [`cache`]
+//! hierarchy and a gshare [`branch`] predictor. Addresses are the *real*
+//! in-memory addresses of the index structures, so layout effects (packed
+//! nodes, adjacent table entries) are faithfully modelled.
+//!
+//! The default hierarchy scales the paper's Xeon Gold 6230 down by the same
+//! factor as the datasets (200M keys → laptop-size), keeping the
+//! index-size-to-LLC ratio — the quantity the paper's analysis depends on —
+//! in the same regime. `xeon_6230` is available for full-size runs.
+
+pub mod branch;
+pub mod cache;
+pub mod tracer;
+
+pub use branch::Gshare;
+pub use cache::{CacheConfig, CacheHierarchy, CacheLevel};
+pub use tracer::{SimStats, SimTracer};

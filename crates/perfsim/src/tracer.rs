@@ -1,0 +1,241 @@
+//! The simulator-backed [`Tracer`] and per-experiment statistics.
+
+use crate::branch::Gshare;
+use crate::cache::CacheHierarchy;
+use sosd_core::{SearchBound, SortedData, Tracer};
+use sosd_core::{Index, Key};
+
+/// Counter snapshot, in absolute event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimStats {
+    /// Lookups measured.
+    pub lookups: u64,
+    /// L1 data misses.
+    pub l1_misses: u64,
+    /// Last-level cache misses (the paper's "cache misses").
+    pub llc_misses: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+    /// Instructions retired (estimate).
+    pub instructions: u64,
+    /// Memory reads issued.
+    pub reads: u64,
+}
+
+impl SimStats {
+    /// Per-lookup averages `(llc_misses, branch_misses, instructions)`.
+    pub fn per_lookup(&self) -> (f64, f64, f64) {
+        let n = self.lookups.max(1) as f64;
+        (
+            self.llc_misses as f64 / n,
+            self.branch_misses as f64 / n,
+            self.instructions as f64 / n,
+        )
+    }
+}
+
+/// A [`Tracer`] backed by the cache hierarchy and branch predictor.
+pub struct SimTracer {
+    /// The simulated cache hierarchy.
+    pub caches: CacheHierarchy,
+    /// The simulated branch predictor.
+    pub predictor: Gshare,
+    /// Instruction count accumulator.
+    pub instructions: u64,
+    reads: u64,
+}
+
+impl SimTracer {
+    /// Simulator with the laptop-scaled hierarchy.
+    pub fn scaled_default() -> Self {
+        SimTracer::new(CacheHierarchy::scaled_default())
+    }
+
+    /// Simulator with an explicit hierarchy.
+    pub fn new(caches: CacheHierarchy) -> Self {
+        SimTracer { caches, predictor: Gshare::default_predictor(), instructions: 0, reads: 0 }
+    }
+
+    /// Flush the simulated caches (Figure 14 cold-cache mode).
+    pub fn flush_caches(&mut self) {
+        self.caches.flush();
+    }
+
+    /// Zero all counters, keeping cache and predictor state (warm-up).
+    pub fn reset_counters(&mut self) {
+        self.caches.reset_counters();
+        self.predictor.reset_counters();
+        self.instructions = 0;
+        self.reads = 0;
+    }
+
+    /// Snapshot the counters, attributing them to `lookups` lookups.
+    pub fn stats(&self, lookups: u64) -> SimStats {
+        SimStats {
+            lookups,
+            l1_misses: self.caches.l1.misses,
+            llc_misses: self.caches.llc_misses(),
+            branches: self.predictor.branches,
+            branch_misses: self.predictor.misses,
+            instructions: self.instructions,
+            reads: self.reads,
+        }
+    }
+}
+
+impl Tracer for SimTracer {
+    #[inline]
+    fn read(&mut self, addr: usize, bytes: usize) {
+        self.reads += 1;
+        self.caches.access(addr, bytes);
+    }
+
+    #[inline]
+    fn branch(&mut self, site: usize, taken: bool) {
+        self.predictor.record(site, taken);
+    }
+
+    #[inline]
+    fn instr(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
+
+/// Run a traced lookup loop over `probes`: index inference plus a traced
+/// last-mile binary search over the data, optionally flushing caches
+/// between lookups (cold mode). Counters are warmed with `warmup` lookups
+/// first. Returns per-loop statistics.
+pub fn measure_lookups<K: Key, I: Index<K> + ?Sized>(
+    index: &I,
+    data: &SortedData<K>,
+    probes: &[K],
+    tracer: &mut SimTracer,
+    cold: bool,
+    warmup: usize,
+) -> SimStats {
+    let run = |t: &mut SimTracer, keys: &[K]| {
+        for &x in keys {
+            if cold {
+                t.flush_caches();
+            }
+            let bound: SearchBound = index.search_bound_traced(x, t);
+            let pos = sosd_core::search::binary_search_traced(data.keys(), x, bound, t);
+            // Touch the payload like the real harness does.
+            if pos < data.len() {
+                t.read(
+                    data.payloads().as_ptr() as usize + pos * 8,
+                    8,
+                );
+            }
+        }
+    };
+    let warmup = warmup.min(probes.len());
+    run(tracer, &probes[..warmup]);
+    tracer.reset_counters();
+    run(tracer, &probes[warmup..]);
+    tracer.stats((probes.len() - warmup) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::NullTracer;
+
+    struct NarrowIndex;
+
+    impl Index<u64> for NarrowIndex {
+        fn name(&self) -> &'static str {
+            "narrow"
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+        fn search_bound(&self, key: u64) -> SearchBound {
+            let est = (key / 2) as usize;
+            SearchBound::from_estimate(est, 2, 2, 10_000)
+        }
+        fn capabilities(&self) -> sosd_core::Capabilities {
+            sosd_core::Capabilities {
+                updates: false,
+                ordered: true,
+                kind: sosd_core::IndexKind::Learned,
+            }
+        }
+    }
+
+    fn data() -> SortedData<u64> {
+        SortedData::new((0..10_000u64).map(|i| i * 2).collect()).unwrap()
+    }
+
+    #[test]
+    fn cold_mode_incurs_more_misses_than_warm() {
+        let data = data();
+        // Re-probe a small key set so the warm run can actually reuse lines.
+        let probes: Vec<u64> = (0..500u64).map(|i| (i % 50) * 40).collect();
+        let mut warm = SimTracer::scaled_default();
+        let warm_stats = measure_lookups(&NarrowIndex, &data, &probes, &mut warm, false, 100);
+        let mut cold = SimTracer::scaled_default();
+        let cold_stats = measure_lookups(&NarrowIndex, &data, &probes, &mut cold, true, 100);
+        assert!(
+            cold_stats.llc_misses > warm_stats.llc_misses,
+            "cold {} <= warm {}",
+            cold_stats.llc_misses,
+            warm_stats.llc_misses
+        );
+    }
+
+    #[test]
+    fn narrow_bounds_mean_fewer_misses_than_full_search() {
+        struct FullIndex;
+        impl Index<u64> for FullIndex {
+            fn name(&self) -> &'static str {
+                "full"
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn search_bound(&self, _key: u64) -> SearchBound {
+                SearchBound::full(10_000)
+            }
+            fn capabilities(&self) -> sosd_core::Capabilities {
+                sosd_core::Capabilities {
+                    updates: false,
+                    ordered: true,
+                    kind: sosd_core::IndexKind::BinarySearch,
+                }
+            }
+        }
+        let data = data();
+        let probes: Vec<u64> = (0..400u64).map(|i| (i * 97) % 20_000).collect();
+        let mut a = SimTracer::scaled_default();
+        let narrow = measure_lookups(&NarrowIndex, &data, &probes, &mut a, false, 50);
+        let mut b = SimTracer::scaled_default();
+        let full = measure_lookups(&FullIndex, &data, &probes, &mut b, false, 50);
+        assert!(narrow.llc_misses < full.llc_misses);
+        assert!(narrow.branches < full.branches);
+        assert!(narrow.instructions < full.instructions);
+    }
+
+    #[test]
+    fn stats_per_lookup_normalizes() {
+        let s = SimStats {
+            lookups: 10,
+            llc_misses: 30,
+            branch_misses: 20,
+            instructions: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.per_lookup(), (3.0, 2.0, 100.0));
+    }
+
+    #[test]
+    fn tracer_counts_reads() {
+        let mut t = SimTracer::scaled_default();
+        t.read(0x1000, 8);
+        t.read(0x2000, 8);
+        assert_eq!(t.stats(1).reads, 2);
+        let _ = NullTracer; // silence unused import in some cfgs
+    }
+}

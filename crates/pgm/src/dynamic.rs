@@ -1,0 +1,639 @@
+//! Dynamic PGM: the insert-supporting variant of the PGM index.
+//!
+//! Section 3.3 of the paper notes that "the PGM index can also handle
+//! inserts" but does not evaluate that capability; Ferragina & Vinciguerra
+//! (ref. [13]) dynamize the static structure with the *logarithmic method*
+//! (Bentley–Saxe): a sequence of static, immutable PGM-indexed sorted runs of
+//! geometrically increasing size. Inserts land in a small sorted buffer;
+//! when the buffer fills, it is merged with every occupied run below the
+//! first empty slot into a single new run at that slot, and a fresh static
+//! PGM is built over the merged run.
+//!
+//! One deliberate simplification relative to ref. [13]: inserting a key that
+//! is already present updates its payload *in place* instead of appending a
+//! shadowing duplicate. This keeps all runs key-disjoint — which makes
+//! lookups, lower bounds, and range sums simple unions — and gives the exact
+//! `BTreeMap` semantics the cross-structure oracle tests demand. Deletions
+//! follow ref. [13]'s tombstone approach: the key stays in its run (so PGM
+//! positions remain valid) flagged dead, is skipped by every query, revives
+//! on re-insert, and is physically dropped at the next merge.
+
+use crate::pgm::PgmIndex;
+use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex};
+use sosd_core::{Capabilities, Index, IndexKind, Key, SearchBound, SortedData};
+
+/// Default insert-buffer capacity (the "level 0" of the logarithmic
+/// method); tune with [`DynamicPgm::with_buffer_capacity`].
+pub const DEFAULT_BUFFER_CAPACITY: usize = 128;
+
+/// Runs shorter than this are searched with plain binary search; a PGM over
+/// a handful of keys costs more to build and chase than it saves.
+const MIN_PGM_RUN: usize = 512;
+
+/// Leaf-level ε for per-run PGM indexes (the dynamic PGM in ref. [13] uses
+/// one ε for every run).
+const RUN_EPS: u64 = 64;
+/// Internal-level ε for per-run PGM indexes.
+const RUN_EPS_INTERNAL: u64 = 16;
+
+/// A drained run's contents during a merge: keys, payloads, tombstones.
+type MergeSource<K> = (Vec<K>, Vec<u64>, Option<Box<[bool]>>);
+
+/// One immutable sorted run with an optional static PGM over its keys.
+///
+/// Deletions tombstone entries in place (ref. [13]'s approach, restricted
+/// to keys that exist): the key stays so the PGM's positions remain valid;
+/// the next merge drops dead entries.
+struct Run<K: Key> {
+    keys: Vec<K>,
+    payloads: Vec<u64>,
+    pgm: Option<PgmIndex<K>>,
+    /// Lazily allocated tombstone flags, parallel to `keys`.
+    dead: Option<Box<[bool]>>,
+}
+
+impl<K: Key> Run<K> {
+    fn build(keys: Vec<K>, payloads: Vec<u64>) -> Self {
+        debug_assert_eq!(keys.len(), payloads.len());
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "runs hold strictly sorted keys");
+        let pgm = if keys.len() >= MIN_PGM_RUN {
+            // The static PGM is trained on key/position pairs only; payloads
+            // are irrelevant, so the transient SortedData copy is dropped as
+            // soon as the model is fitted.
+            let data = SortedData::new(keys.clone()).expect("non-empty sorted run");
+            Some(
+                PgmIndex::build(&data, RUN_EPS, RUN_EPS_INTERNAL)
+                    .expect("static eps are validated constants"),
+            )
+        } else {
+            None
+        };
+        Run { keys, payloads, pgm, dead: None }
+    }
+
+    #[inline]
+    fn is_dead(&self, i: usize) -> bool {
+        self.dead.as_ref().is_some_and(|d| d[i])
+    }
+
+    fn set_dead(&mut self, i: usize, dead: bool) {
+        match &mut self.dead {
+            Some(d) => d[i] = dead,
+            None if dead => {
+                let mut d = vec![false; self.keys.len()].into_boxed_slice();
+                d[i] = true;
+                self.dead = Some(d);
+            }
+            None => {}
+        }
+    }
+
+    /// Position of the first key `>= x` inside this run (dead or alive).
+    #[inline]
+    fn lower_bound(&self, x: K) -> usize {
+        let bound = match &self.pgm {
+            Some(pgm) => pgm.search_bound(x),
+            None => SearchBound::full(self.keys.len()),
+        };
+        sosd_core::search::binary_search(&self.keys, x, bound)
+    }
+
+    /// First *live* entry with key `>= x`.
+    fn lower_bound_live(&self, x: K) -> Option<(K, u64)> {
+        let mut i = self.lower_bound(x);
+        while i < self.keys.len() {
+            if !self.is_dead(i) {
+                return Some((self.keys[i], self.payloads[i]));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// In-run position of `x` if the key exists (live or tombstoned).
+    #[inline]
+    fn find(&self, x: K) -> Option<usize> {
+        let i = self.lower_bound(x);
+        (i < self.keys.len() && self.keys[i] == x).then_some(i)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<K>()
+            + self.payloads.capacity() * 8
+            + self.pgm.as_ref().map_or(0, |p| p.size_bytes())
+            + self.dead.as_ref().map_or(0, |d| d.len())
+    }
+}
+
+/// A PGM index dynamized with the logarithmic method (ref. [13], §"PGM can
+/// also handle inserts"; the paper's future-work benchmark).
+pub struct DynamicPgm<K: Key> {
+    /// Sorted insert buffer (level 0), kept small.
+    buf_keys: Vec<K>,
+    buf_payloads: Vec<u64>,
+    /// `runs[i]`, when occupied, holds roughly `buffer_capacity << i` keys.
+    /// All runs and the buffer are pairwise key-disjoint.
+    runs: Vec<Option<Run<K>>>,
+    len: usize,
+    /// Cumulative keys merged, tracked for the amortized-cost tests.
+    merged_keys: u64,
+    /// Inserts accumulate in the buffer until it reaches this size.
+    buffer_capacity: usize,
+}
+
+impl<K: Key> Default for DynamicPgm<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Key> DynamicPgm<K> {
+    /// An empty dynamic PGM with the default buffer capacity.
+    pub fn new() -> Self {
+        Self::with_buffer_capacity(DEFAULT_BUFFER_CAPACITY)
+    }
+
+    /// An empty dynamic PGM whose insert buffer holds `capacity` keys
+    /// before each merge. Larger buffers amortize merges over more inserts
+    /// (faster writes) at the price of a longer linear-scanned level 0
+    /// (slower reads) — the knob the `ext04` ablation sweeps.
+    pub fn with_buffer_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(8);
+        DynamicPgm {
+            buf_keys: Vec::with_capacity(capacity),
+            buf_payloads: Vec::with_capacity(capacity),
+            runs: Vec::new(),
+            len: 0,
+            merged_keys: 0,
+            buffer_capacity: capacity,
+        }
+    }
+
+    /// Number of occupied runs (excluding the insert buffer). The
+    /// logarithmic method guarantees O(log(n / B)) of these.
+    pub fn num_runs(&self) -> usize {
+        self.runs.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Total keys moved by merges so far; `merged_keys / len` is the
+    /// write-amplification factor the logarithmic method pays.
+    pub fn merged_keys(&self) -> u64 {
+        self.merged_keys
+    }
+
+    /// Merge the buffer and every run into a single run, physically
+    /// dropping all tombstones — the explicit space-reclamation step for
+    /// delete-heavy workloads (ref. [13] performs the same cleanup lazily
+    /// at its major merges).
+    pub fn compact(&mut self) {
+        let mut entries: Vec<(K, u64)> = Vec::with_capacity(self.len);
+        for (k, v) in self.buf_keys.drain(..).zip(self.buf_payloads.drain(..)) {
+            entries.push((k, v));
+        }
+        for run in self.runs.drain(..).flatten() {
+            for i in 0..run.keys.len() {
+                if !run.is_dead(i) {
+                    entries.push((run.keys[i], run.payloads[i]));
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries are disjoint");
+        debug_assert_eq!(entries.len(), self.len, "compaction must keep every live entry");
+        let keys: Vec<K> = entries.iter().map(|e| e.0).collect();
+        let payloads: Vec<u64> = entries.iter().map(|e| e.1).collect();
+        self.merged_keys += keys.len() as u64;
+        if !keys.is_empty() {
+            self.runs.push(Some(Run::build(keys, payloads)));
+        }
+    }
+
+    /// Merge the buffer and runs `0..j` (`j` = first empty slot) into slot
+    /// `j`. All sources are key-disjoint, so this is a pure k-way merge.
+    fn flush_buffer(&mut self) {
+        if self.buf_keys.is_empty() {
+            return;
+        }
+        let j = self.runs.iter().position(|r| r.is_none()).unwrap_or(self.runs.len());
+        if j == self.runs.len() {
+            self.runs.push(None);
+        }
+
+        // Gather sources: the buffer plus every run below slot j. Dead
+        // entries are dropped here — the merge is where tombstones reclaim
+        // their space.
+        let mut sources: Vec<MergeSource<K>> = Vec::with_capacity(j + 1);
+        sources.push((
+            std::mem::take(&mut self.buf_keys),
+            std::mem::take(&mut self.buf_payloads),
+            None,
+        ));
+        for slot in self.runs[..j].iter_mut() {
+            if let Some(run) = slot.take() {
+                sources.push((run.keys, run.payloads, run.dead));
+            }
+        }
+
+        let total: usize = sources.iter().map(|(k, _, _)| k.len()).sum();
+        let mut keys = Vec::with_capacity(total);
+        let mut payloads = Vec::with_capacity(total);
+        let mut cursors = vec![0usize; sources.len()];
+        // Advance every cursor past tombstoned entries.
+        let skip_dead = |sources: &[MergeSource<K>], cursors: &mut [usize]| {
+            for (s, (sk, _, dead)) in sources.iter().enumerate() {
+                if let Some(d) = dead {
+                    while cursors[s] < sk.len() && d[cursors[s]] {
+                        cursors[s] += 1;
+                    }
+                }
+            }
+        };
+        // Simple k-way merge; k is O(log n) so the linear min scan is fine.
+        loop {
+            skip_dead(&sources, &mut cursors);
+            let mut best: Option<(usize, K)> = None;
+            for (s, (sk, _, _)) in sources.iter().enumerate() {
+                if cursors[s] < sk.len() {
+                    let k = sk[cursors[s]];
+                    match best {
+                        Some((_, bk)) if bk <= k => {
+                            debug_assert!(bk != k, "runs must be key-disjoint");
+                        }
+                        _ => best = Some((s, k)),
+                    }
+                }
+            }
+            let Some((s, k)) = best else { break };
+            keys.push(k);
+            payloads.push(sources[s].1[cursors[s]]);
+            cursors[s] += 1;
+        }
+
+        self.merged_keys += keys.len() as u64;
+        self.runs[j] = if keys.is_empty() { None } else { Some(Run::build(keys, payloads)) };
+        self.buf_keys.reserve(self.buffer_capacity);
+        self.buf_payloads.reserve(self.buffer_capacity);
+    }
+}
+
+impl<K: Key> BulkLoad<K> for DynamicPgm<K> {
+    /// Seed with one big static run: exactly what the logarithmic method
+    /// degenerates to for a sorted bulk input.
+    fn bulk_load(keys: &[K], payloads: &[u64]) -> Self {
+        assert_eq!(keys.len(), payloads.len());
+        let mut idx = DynamicPgm::new();
+        if keys.is_empty() {
+            return idx;
+        }
+        idx.len = keys.len();
+        idx.merged_keys = keys.len() as u64;
+        // Place the run at the slot matching its size so future flushes keep
+        // geometric shape.
+        let mut slot = 0usize;
+        while (idx.buffer_capacity << (slot + 1)) < keys.len() {
+            slot += 1;
+        }
+        idx.runs.resize_with(slot + 1, || None);
+        idx.runs[slot] = Some(Run::build(keys.to_vec(), payloads.to_vec()));
+        idx
+    }
+}
+
+impl<K: Key> DynamicOrderedIndex<K> for DynamicPgm<K> {
+    fn name(&self) -> &'static str {
+        "DynamicPGM"
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.buf_keys.capacity() * std::mem::size_of::<K>()
+            + self.buf_payloads.capacity() * 8
+            + self.runs.capacity() * std::mem::size_of::<Option<Run<K>>>()
+            + self.runs.iter().flatten().map(Run::size_bytes).sum::<usize>()
+    }
+
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
+        // In-place overwrite keeps runs disjoint (see module docs); a
+        // tombstoned key revives in place.
+        if let Ok(i) = self.buf_keys.binary_search(&key) {
+            return Some(std::mem::replace(&mut self.buf_payloads[i], payload));
+        }
+        for run in self.runs.iter_mut().flatten() {
+            if let Some(i) = run.find(key) {
+                if run.is_dead(i) {
+                    run.payloads[i] = payload;
+                    run.set_dead(i, false);
+                    self.len += 1;
+                    return None;
+                }
+                return Some(std::mem::replace(&mut run.payloads[i], payload));
+            }
+        }
+
+        let i = self.buf_keys.partition_point(|&k| k < key);
+        self.buf_keys.insert(i, key);
+        self.buf_payloads.insert(i, payload);
+        self.len += 1;
+        if self.buf_keys.len() >= self.buffer_capacity {
+            self.flush_buffer();
+        }
+        None
+    }
+
+    fn remove(&mut self, key: K) -> Option<u64> {
+        if let Ok(i) = self.buf_keys.binary_search(&key) {
+            self.buf_keys.remove(i);
+            let payload = self.buf_payloads.remove(i);
+            self.len -= 1;
+            return Some(payload);
+        }
+        for run in self.runs.iter_mut().flatten() {
+            if let Some(i) = run.find(key) {
+                if run.is_dead(i) {
+                    return None;
+                }
+                run.set_dead(i, true);
+                self.len -= 1;
+                return Some(run.payloads[i]);
+            }
+        }
+        None
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        if let Ok(i) = self.buf_keys.binary_search(&key) {
+            return Some(self.buf_payloads[i]);
+        }
+        self.runs.iter().flatten().find_map(|run| {
+            run.find(key)
+                .filter(|&i| !run.is_dead(i))
+                .map(|i| run.payloads[i])
+        })
+    }
+
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        let mut best: Option<(K, u64)> = None;
+        let i = self.buf_keys.partition_point(|&k| k < key);
+        if i < self.buf_keys.len() {
+            best = Some((self.buf_keys[i], self.buf_payloads[i]));
+        }
+        for run in self.runs.iter().flatten() {
+            if let Some(cand) = run.lower_bound_live(key) {
+                if best.is_none_or(|b| cand.0 < b.0) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let mut sum = 0u64;
+        let a = self.buf_keys.partition_point(|&k| k < lo);
+        let b = self.buf_keys.partition_point(|&k| k < hi);
+        for v in &self.buf_payloads[a..b] {
+            sum = sum.wrapping_add(*v);
+        }
+        // Runs are disjoint: each contributes its own slice independently.
+        for run in self.runs.iter().flatten() {
+            let a = run.lower_bound(lo);
+            let b = run.lower_bound(hi);
+            for i in a..b {
+                if !run.is_dead(i) {
+                    sum = sum.wrapping_add(run.payloads[i]);
+                }
+            }
+        }
+        sum
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn empty_index_answers_nothing() {
+        let idx = DynamicPgm::<u64>::new();
+        assert_eq!(idx.len(), 0);
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(7), None);
+        assert_eq!(idx.lower_bound_entry(0), None);
+        assert_eq!(idx.range_sum(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn inserts_flush_into_geometric_runs() {
+        let mut idx = DynamicPgm::new();
+        for i in 0..10_000u64 {
+            idx.insert(splitmix(i), i);
+        }
+        assert_eq!(idx.len(), 10_000);
+        // Logarithmic method: run count stays O(log(n/B)).
+        assert!(idx.num_runs() <= 12, "too many runs: {}", idx.num_runs());
+        for i in (0..10_000u64).step_by(61) {
+            assert_eq!(idx.get(splitmix(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn overwrite_returns_previous_payload() {
+        let mut idx = DynamicPgm::new();
+        // Push enough that the key lands in a merged run, not the buffer.
+        for i in 0..1_000u64 {
+            idx.insert(i, i);
+        }
+        assert_eq!(idx.insert(5, 999), Some(5));
+        assert_eq!(idx.get(5), Some(999));
+        assert_eq!(idx.len(), 1_000);
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        let mut idx = DynamicPgm::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..30_000u64 {
+            let k = splitmix(i) % 8_000;
+            let v = splitmix(i ^ 0xabcd);
+            assert_eq!(idx.insert(k, v), oracle.insert(k, v), "insert #{i}");
+        }
+        assert_eq!(idx.len(), oracle.len());
+        for k in 0..8_000u64 {
+            assert_eq!(idx.get(k), oracle.get(&k).copied(), "get {k}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_scans_all_runs() {
+        let mut idx = DynamicPgm::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..5_000u64 {
+            let k = splitmix(i) % 1_000_000;
+            idx.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for probe in (0..1_001_000u64).step_by(997) {
+            let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(idx.lower_bound_entry(probe), expect, "lb {probe}");
+        }
+    }
+
+    #[test]
+    fn range_sum_matches_oracle() {
+        let mut idx = DynamicPgm::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..8_000u64 {
+            let k = splitmix(i) % 100_000;
+            idx.insert(k, i);
+            oracle.insert(k, i);
+        }
+        for i in 0..40u64 {
+            let lo = splitmix(i * 31) % 100_000;
+            let hi = lo + splitmix(i * 17) % 30_000;
+            let expect: u64 = oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v));
+            assert_eq!(idx.range_sum(lo, hi), expect, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn bulk_load_places_single_run() {
+        let keys: Vec<u64> = (0..50_000).map(|i| i * 3).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let idx = DynamicPgm::bulk_load(&keys, &payloads);
+        assert_eq!(idx.len(), keys.len());
+        assert_eq!(idx.num_runs(), 1);
+        assert_eq!(idx.get(300), Some(301));
+        assert_eq!(idx.get(301), None);
+        assert_eq!(idx.lower_bound_entry(301), Some((303, 304)));
+    }
+
+    #[test]
+    fn bulk_then_insert_keeps_run_count_logarithmic() {
+        let keys: Vec<u64> = (0..100_000).map(|i| i * 2).collect();
+        let payloads = vec![1u64; keys.len()];
+        let mut idx = DynamicPgm::bulk_load(&keys, &payloads);
+        for i in 0..20_000u64 {
+            idx.insert(i * 2 + 1, 1);
+        }
+        assert_eq!(idx.len(), 120_000);
+        assert!(idx.num_runs() <= 14, "run blowup: {}", idx.num_runs());
+        assert_eq!(idx.range_sum(0, 100), 100);
+    }
+
+    #[test]
+    fn write_amplification_is_logarithmic() {
+        let mut idx = DynamicPgm::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            idx.insert(splitmix(i), i);
+        }
+        let amp = idx.merged_keys() as f64 / n as f64;
+        // Bentley–Saxe moves each key O(log(n/B)) times; with B=128 and
+        // n=100k that is ~log2(781) ≈ 10.
+        assert!(amp < 16.0, "write amplification too high: {amp}");
+    }
+
+    #[test]
+    fn size_bytes_includes_runs_and_models() {
+        let keys: Vec<u64> = (0..50_000).map(|i| i * 7).collect();
+        let payloads = vec![0u64; keys.len()];
+        let idx = DynamicPgm::bulk_load(&keys, &payloads);
+        assert!(idx.size_bytes() >= 50_000 * 16, "must count owned data");
+    }
+
+    #[test]
+    fn u32_keys_supported() {
+        let mut idx = DynamicPgm::<u32>::new();
+        for i in 0..2_000u32 {
+            idx.insert(i.wrapping_mul(2654435761) % 65_536, i as u64);
+        }
+        let mut oracle = BTreeMap::new();
+        for i in 0..2_000u32 {
+            oracle.insert(i.wrapping_mul(2654435761) % 65_536, i as u64);
+        }
+        assert_eq!(idx.len(), oracle.len());
+        for k in (0..65_536u32).step_by(111) {
+            assert_eq!(idx.get(k), oracle.get(&k).copied());
+        }
+    }
+    #[test]
+    fn remove_tombstones_and_merge_reclaims() {
+        let keys: Vec<u64> = (0..50_000).map(|i| i * 2).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let mut idx = DynamicPgm::bulk_load(&keys, &payloads);
+        for i in 0..25_000u64 {
+            assert_eq!(idx.remove(i * 4), Some(i * 4 + 1), "remove {i}");
+        }
+        assert_eq!(idx.len(), 25_000);
+        assert_eq!(idx.get(0), None);
+        assert_eq!(idx.get(2), Some(3));
+        // Lower bound skips tombstones.
+        assert_eq!(idx.lower_bound_entry(0), Some((2, 3)));
+        // Inserts trigger merges that drop the dead entries; afterwards
+        // everything still answers correctly.
+        for i in 0..10_000u64 {
+            idx.insert(1_000_000 + i, i);
+        }
+        assert_eq!(idx.len(), 35_000);
+        assert_eq!(idx.get(4), None);
+        assert_eq!(idx.range_sum(0, 10), 3 + 7); // keys 2 and 6 alive
+    }
+
+    #[test]
+    fn removed_key_revives_with_new_payload() {
+        let keys: Vec<u64> = (0..2_000).map(|i| i * 3).collect();
+        let payloads = vec![5u64; keys.len()];
+        let mut idx = DynamicPgm::bulk_load(&keys, &payloads);
+        assert_eq!(idx.remove(30), Some(5));
+        assert_eq!(idx.get(30), None);
+        assert_eq!(idx.insert(30, 99), None, "revive counts as fresh insert");
+        assert_eq!(idx.get(30), Some(99));
+        assert_eq!(idx.len(), 2_000);
+        assert_eq!(idx.remove(31), None, "absent key");
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones_and_shrinks() {
+        let keys: Vec<u64> = (0..60_000).map(|i| i * 2).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let mut idx = DynamicPgm::bulk_load(&keys, &payloads);
+        for i in 0..30_000u64 {
+            idx.remove(i * 4);
+        }
+        // Fragment the run structure with fresh inserts.
+        for i in 0..5_000u64 {
+            idx.insert(1_000_000 + i * 2, i);
+        }
+        let before = idx.size_bytes();
+        idx.compact();
+        assert_eq!(idx.num_runs(), 1, "compaction leaves one run");
+        assert!(idx.size_bytes() < before, "compaction must shrink");
+        assert_eq!(idx.len(), 35_000);
+        // Everything still answers correctly.
+        assert_eq!(idx.get(0), None);
+        assert_eq!(idx.get(2), Some(3));
+        assert_eq!(idx.get(1_000_000), Some(0));
+        assert_eq!(idx.lower_bound_entry(0), Some((2, 3)));
+    }
+
+}

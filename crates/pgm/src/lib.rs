@@ -1,0 +1,21 @@
+//! # sosd-pgm
+//!
+//! The Piecewise Geometric Model index (Ferragina & Vinciguerra, VLDB 2020),
+//! Section 3.3 of the paper.
+//!
+//! A PGM index is built *bottom-up*: an optimal ε-bounded piecewise linear
+//! regression over the data ([`pla`], the one-pass convex-hull algorithm of
+//! O'Rourke / Xie et al. — each regression uses the fewest possible
+//! segments), then recursively another ε-bounded regression over the
+//! segments' first keys, until a single segment remains. Lookups descend the
+//! levels, searching a `2ε`-wide window of segment keys per level — the
+//! inter-level searching that the paper identifies as PGM's cost relative to
+//! RMI's direct indexing.
+
+pub mod dynamic;
+pub mod pgm;
+pub mod pla;
+
+pub use dynamic::DynamicPgm;
+pub use pgm::{PgmBuilder, PgmIndex};
+pub use pla::{fit_pla, PlaSegment};

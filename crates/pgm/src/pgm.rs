@@ -1,0 +1,479 @@
+//! The multi-level PGM index built on [`crate::pla`].
+
+use crate::pla::{fit_pla, PlaSegment};
+use sosd_core::trace::addr_of_index;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// Default ε for the internal (recursive) levels, matching the reference
+/// implementation's `EpsilonRecursive`.
+pub const DEFAULT_EPS_INTERNAL: u64 = 4;
+
+/// A segment's runtime model: an anchored line plus its measured error
+/// envelope. 24 bytes.
+#[derive(Debug, Clone, Copy)]
+struct SegModel {
+    slope: f64,
+    y0: f64,
+    /// Max overestimation `max(pred - y)` over the segment's envelope set.
+    err_over: u32,
+    /// Max underestimation, including the consecutive-pair gap terms
+    /// `y_i - pred(x_{i-1})` that cover absent keys falling inside large
+    /// rank gaps (duplicate runs).
+    err_under: u32,
+}
+
+/// One level of the PGM: parallel arrays of segment first-keys and models.
+#[derive(Debug, Clone)]
+struct Level<K: Key> {
+    first_keys: Vec<K>,
+    models: Vec<SegModel>,
+    /// Largest target value of this level; predictions clamp into
+    /// `[0, max_target]` (monotone, and keeps error envelopes representable
+    /// even when a segment is extrapolated toward a distant outlier).
+    max_target: f64,
+}
+
+impl<K: Key> Level<K> {
+    /// Build a level from fitted segments over `(xs, ys)` pairs, clamping
+    /// slopes non-negative and measuring the boundary-inclusive envelope.
+    fn from_segments(segments: &[PlaSegment<K>], xs: &[K], ys: &[u64]) -> Level<K> {
+        let mut first_keys = Vec::with_capacity(segments.len());
+        let mut models = Vec::with_capacity(segments.len());
+        let m = xs.len();
+        let max_target = ys[m - 1] as f64;
+        for seg in segments {
+            let slope = seg.slope.max(0.0);
+            let x0 = seg.first_key.to_u64();
+            let pred_at = |i: usize| -> f64 {
+                let dx = (xs[i].to_u64() as i128 - x0 as i128) as f64;
+                (seg.y0 + slope * dx).clamp(0.0, max_target)
+            };
+            // Envelope over the segment's own pairs plus the next segment's
+            // first pair (the sandwich argument for absent keys needs it).
+            // The high side additionally covers rank gaps between
+            // consecutive pairs: an absent key just above x_{i-1} has lower
+            // bound ys[i] while the model predicts ~pred(x_{i-1}).
+            let hi_i = seg.end.min(m - 1);
+            let mut err_over = 0f64;
+            let mut err_under = ys[seg.start] as f64 - pred_at(seg.start);
+            #[allow(clippy::needless_range_loop)] // indexes ys at both i and i-1
+            for i in seg.start..=hi_i {
+                let pred = pred_at(i);
+                err_over = err_over.max(pred - ys[i] as f64);
+                if i > seg.start {
+                    err_under = err_under.max(ys[i] as f64 - pred_at(i - 1));
+                }
+            }
+            first_keys.push(seg.first_key);
+            models.push(SegModel {
+                slope,
+                y0: seg.y0,
+                err_over: err_over.max(0.0).ceil().min(u32::MAX as f64) as u32,
+                err_under: err_under.max(0.0).ceil().min(u32::MAX as f64) as u32,
+            });
+        }
+        Level { first_keys, models, max_target }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.first_keys.len()
+    }
+
+    #[inline]
+    fn predict(&self, seg: usize, key: K) -> f64 {
+        let m = &self.models[seg];
+        let dx = key.to_u64() as i128 - self.first_keys[seg].to_u64() as i128;
+        (m.y0 + m.slope * dx as f64).clamp(0.0, self.max_target)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.first_keys.len() * std::mem::size_of::<K>()
+            + self.models.len() * std::mem::size_of::<SegModel>()
+    }
+
+    #[inline]
+    fn errs(&self, seg: usize) -> (usize, usize) {
+        let m = &self.models[seg];
+        (m.err_over as usize, m.err_under as usize)
+    }
+}
+
+/// The PGM index (Section 3.3): recursive ε-bounded piecewise linear models.
+#[derive(Debug, Clone)]
+pub struct PgmIndex<K: Key> {
+    /// `levels[0]` predicts data positions; the last level has one segment.
+    levels: Vec<Level<K>>,
+    n: usize,
+    /// Largest key in the data. Models are trained on first-occurrence
+    /// positions, so a probe beyond every key needs its bound stretched to
+    /// `n` by hand when the tail contains duplicates.
+    max_key: K,
+}
+
+impl<K: Key> PgmIndex<K> {
+    /// Build with leaf-level error `eps` and internal-level error
+    /// `eps_internal`.
+    pub fn build(data: &SortedData<K>, eps: u64, eps_internal: u64) -> Result<Self, BuildError> {
+        if eps == 0 || eps > (1 << 24) {
+            return Err(BuildError::InvalidConfig(format!(
+                "eps must be in 1..=2^24, got {eps}"
+            )));
+        }
+        if eps_internal == 0 || eps_internal > (1 << 24) {
+            return Err(BuildError::InvalidConfig(format!(
+                "eps_internal must be in 1..=2^24, got {eps_internal}"
+            )));
+        }
+        // Distinct keys with their first-occurrence positions: a PLA needs
+        // strictly increasing x, and lower-bound semantics want the first
+        // occurrence anyway.
+        let keys = data.keys();
+        let mut xs: Vec<K> = Vec::new();
+        let mut ys: Vec<u64> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if xs.last() != Some(&k) {
+                xs.push(k);
+                ys.push(i as u64);
+            }
+        }
+
+        let mut levels = Vec::new();
+        let segments = fit_pla(&xs, &ys, eps);
+        levels.push(Level::from_segments(&segments, &xs, &ys));
+
+        // Recurse over segment first-keys until one segment remains.
+        while levels.last().expect("non-empty").len() > 1 {
+            if levels.len() > 64 {
+                return Err(BuildError::Unbuildable(
+                    "PGM recursion failed to converge".into(),
+                ));
+            }
+            let below = levels.last().expect("non-empty");
+            let xs_up: Vec<K> = below.first_keys.clone();
+            let ys_up: Vec<u64> = (0..below.len() as u64).collect();
+            let segs_up = fit_pla(&xs_up, &ys_up, eps_internal);
+            levels.push(Level::from_segments(&segs_up, &xs_up, &ys_up));
+        }
+
+        Ok(PgmIndex { levels, n: data.len(), max_key: data.max_key() })
+    }
+
+    /// Number of levels (root included).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of leaf-level segments.
+    pub fn num_segments(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let top = self.levels.last().expect("non-empty");
+        debug_assert_eq!(top.len(), 1);
+        tracer.read(addr_of_index(&top.models, 0), std::mem::size_of::<SegModel>());
+        tracer.instr(8);
+        let mut pred = top.predict(0, key);
+        let (mut err_over, mut err_under) = top.errs(0);
+
+        // Descend: at each step `pred` estimates the floor-segment index in
+        // the level below; search a (2ε+3)-wide window of its first keys.
+        for l in (0..self.levels.len() - 1).rev() {
+            let below = &self.levels[l];
+            let cnt = below.len();
+            let lo_w = {
+                let f = pred - err_over as f64 - 2.0;
+                if f <= 0.0 {
+                    0
+                } else {
+                    (f as usize).min(cnt - 1)
+                }
+            };
+            let hi_w = {
+                let f = pred + err_under as f64 + 2.0;
+                if f <= 0.0 {
+                    0
+                } else {
+                    (f as usize).min(cnt - 1)
+                }
+            };
+            let seg = floor_in_window(&below.first_keys, key, lo_w, hi_w, tracer);
+            tracer.read(addr_of_index(&below.models, seg), std::mem::size_of::<SegModel>());
+            tracer.instr(8);
+            pred = below.predict(seg, key);
+            (err_over, err_under) = below.errs(seg);
+        }
+
+        let lo = {
+            let f = pred - err_over as f64 - 1.0;
+            if f <= 0.0 {
+                0
+            } else {
+                (f as usize).min(self.n)
+            }
+        };
+        let hi = if key > self.max_key {
+            // Past every key: LB is n, which first-occurrence training
+            // positions cannot see when the tail has duplicates.
+            self.n
+        } else {
+            let f = pred + err_under as f64 + 2.0;
+            if f <= 0.0 {
+                0
+            } else {
+                (f as usize).min(self.n)
+            }
+        };
+        SearchBound { lo, hi: hi.max(lo) }
+    }
+}
+
+/// Rightmost index in `[lo_w, hi_w]` whose key is `<= x`, assuming it exists
+/// or that `lo_w` is an acceptable fallback (x below every key). Traced
+/// binary search over the inclusive window.
+#[inline]
+fn floor_in_window<K: Key, T: Tracer>(
+    first_keys: &[K],
+    x: K,
+    lo_w: usize,
+    hi_w: usize,
+    tracer: &mut T,
+) -> usize {
+    let site = first_keys.as_ptr() as usize;
+    let mut lo = lo_w;
+    let mut hi = hi_w + 1; // exclusive
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        tracer.read(addr_of_index(first_keys, mid), std::mem::size_of::<K>());
+        tracer.instr(5);
+        let le = first_keys[mid] <= x;
+        tracer.branch(site, le);
+        if le {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    // `lo` is now one past the rightmost key <= x within the window.
+    lo.saturating_sub(1).max(lo_w)
+}
+
+impl<K: Key> Index<K> for PgmIndex<K> {
+    fn name(&self) -> &'static str {
+        "PGM"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.levels.iter().map(Level::size_bytes).sum()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`PgmIndex`]: sweep `eps` for the Figure 7 size axis.
+#[derive(Debug, Clone)]
+pub struct PgmBuilder {
+    /// Leaf-level error bound (the paper's tuning knob).
+    pub eps: u64,
+    /// Internal-level error bound.
+    pub eps_internal: u64,
+}
+
+impl Default for PgmBuilder {
+    fn default() -> Self {
+        PgmBuilder { eps: 64, eps_internal: DEFAULT_EPS_INTERNAL }
+    }
+}
+
+impl PgmBuilder {
+    /// Ten-configuration sweep from tight to loose error bounds.
+    pub fn size_sweep() -> Vec<PgmBuilder> {
+        [4u64, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+            .into_iter()
+            .map(|eps| PgmBuilder { eps, eps_internal: DEFAULT_EPS_INTERNAL })
+            .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for PgmBuilder {
+    type Output = PgmIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        PgmIndex::build(data, self.eps, self.eps_internal)
+    }
+
+    fn describe(&self) -> String {
+        format!("PGM[eps={},eps_i={}]", self.eps, self.eps_internal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+
+    fn validity_probes(data: &SortedData<u64>) -> Vec<u64> {
+        let mut probes: Vec<u64> = data.keys().to_vec();
+        probes.extend(data.keys().iter().map(|&k| k.saturating_add(1)));
+        probes.extend(data.keys().iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, 1, u64::MAX, u64::MAX - 1, u64::MAX / 2]);
+        probes
+    }
+
+    fn check_validity(keys: Vec<u64>, eps: u64) {
+        let data = SortedData::new(keys).unwrap();
+        let pgm = PgmIndex::build(&data, eps, DEFAULT_EPS_INTERNAL).unwrap();
+        for x in validity_probes(&data) {
+            let b = pgm.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "eps={eps} x={x} bound={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_linear_data() {
+        check_validity((0..5000u64).map(|i| i * 3 + 7).collect(), 8);
+    }
+
+    #[test]
+    fn valid_on_random_gaps_many_eps() {
+        let mut rng = XorShift64::new(3);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..20_000 {
+            let shift = 1 + rng.next_below(12);
+            x += 1 + rng.next_below(1 << shift);
+            keys.push(x);
+        }
+        for eps in [4u64, 16, 64, 256] {
+            check_validity(keys.clone(), eps);
+        }
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        let mut keys = vec![7u64; 500];
+        keys.extend(vec![9u64; 500]);
+        keys.extend((10..2000u64).map(|i| i * 5));
+        keys.sort_unstable();
+        check_validity(keys, 16);
+    }
+
+    #[test]
+    fn valid_with_extreme_outliers() {
+        let mut keys: Vec<u64> = (0..3000).map(|i| i * 7 + 1).collect();
+        keys.extend([u64::MAX - 100, u64::MAX - 50, u64::MAX - 1]);
+        check_validity(keys, 8);
+    }
+
+    #[test]
+    fn valid_on_tiny_datasets() {
+        check_validity(vec![42], 4);
+        check_validity(vec![1, 2], 4);
+        check_validity(vec![5, 5, 5], 4);
+    }
+
+    #[test]
+    fn bounds_respect_epsilon_scale() {
+        let keys: Vec<u64> = (0..50_000u64).map(|i| i * 13).collect();
+        let data = SortedData::new(keys).unwrap();
+        let pgm = PgmIndex::build(&data, 16, 4).unwrap();
+        let worst = data
+            .keys()
+            .iter()
+            .step_by(101)
+            .map(|&k| pgm.search_bound(k).len())
+            .max()
+            .unwrap();
+        // Bound width is at most 2*eps plus the fixed slack.
+        assert!(worst <= 2 * 16 + 4, "worst bound {worst}");
+    }
+
+    #[test]
+    fn smaller_eps_means_bigger_index() {
+        let mut rng = XorShift64::new(9);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..50_000 {
+            x += 1 + rng.next_below(4000);
+            keys.push(x);
+        }
+        let data = SortedData::new(keys).unwrap();
+        let tight = PgmIndex::build(&data, 4, 4).unwrap();
+        let loose = PgmIndex::build(&data, 256, 4).unwrap();
+        assert!(
+            Index::<u64>::size_bytes(&tight) > 4 * Index::<u64>::size_bytes(&loose),
+            "tight={} loose={}",
+            Index::<u64>::size_bytes(&tight),
+            Index::<u64>::size_bytes(&loose)
+        );
+        assert!(tight.num_segments() > loose.num_segments());
+    }
+
+    #[test]
+    fn top_level_is_single_segment() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i * i % 1_000_000_007).collect();
+        let mut keys = keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let data = SortedData::new(keys).unwrap();
+        let pgm = PgmIndex::build(&data, 32, 4).unwrap();
+        assert!(pgm.height() >= 2);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let data = SortedData::new(vec![1u64, 2, 3]).unwrap();
+        assert!(PgmIndex::build(&data, 0, 4).is_err());
+        assert!(PgmIndex::build(&data, 4, 0).is_err());
+        assert!(PgmIndex::build(&data, 1 << 25, 4).is_err());
+    }
+
+    #[test]
+    fn works_for_u32_keys() {
+        let keys: Vec<u32> = (0..5000u32).map(|i| i * 11 + 3).collect();
+        let data = SortedData::new(keys).unwrap();
+        let pgm = PgmIndex::build(&data, 8, 4).unwrap();
+        for &k in data.keys() {
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                assert!(pgm.search_bound(probe).contains(data.lower_bound(probe)));
+            }
+        }
+    }
+
+    #[test]
+    fn traced_lookup_reads_one_model_per_level() {
+        use sosd_core::CountingTracer;
+        let mut rng = XorShift64::new(11);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..100_000 {
+            let shift = 1 + rng.next_below(10);
+            x += 1 + rng.next_below(1 << shift);
+            keys.push(x);
+        }
+        let data = SortedData::new(keys).unwrap();
+        let pgm = PgmIndex::build(&data, 16, 4).unwrap();
+        let mut t = CountingTracer::default();
+        pgm.search_bound_traced(data.key(50_000), &mut t);
+        // At least one model read per level plus window-search key reads.
+        assert!(t.reads as usize >= pgm.height());
+        assert!(t.branches > 0, "PGM descent requires searching, unlike RMI");
+    }
+}

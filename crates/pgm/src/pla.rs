@@ -1,0 +1,538 @@
+//! Optimal one-pass ε-bounded piecewise linear approximation.
+//!
+//! Given points `(x_i, y_i)` with strictly increasing `x` and non-decreasing
+//! `y`, partition them into the minimum number of segments such that each
+//! segment admits a line `f` with `|f(x_i) - y_i| <= ε` for all its points.
+//!
+//! This is the online convex-hull algorithm used inside the PGM index
+//! (O'Rourke 1981; Xie et al., VLDBJ 2014): each point contributes a
+//! vertical channel `[y-ε, y+ε]`; a feasible line must thread every channel.
+//! The algorithm maintains the two extreme feasible lines (maximum and
+//! minimum slope) plus the convex hulls of channel endpoints that future
+//! rotations can pivot on, processing each point in amortized O(1).
+//!
+//! All feasibility tests use exact `i128` arithmetic (keys up to 2^64,
+//! positions up to 2^34: cross products stay below 2^99), so segment
+//! boundaries are exact; only the final slope/intercept materialization uses
+//! `f64`, and the PGM layer re-measures actual errors afterwards.
+
+use sosd_core::Key;
+
+/// One fitted segment over points `[start, end)` of the input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaSegment<K: Key> {
+    /// Key of the segment's first point (its domain starts here).
+    pub first_key: K,
+    /// Line slope in positions per key unit (may be slightly negative for
+    /// short noisy segments; callers clamp if they need monotonicity).
+    pub slope: f64,
+    /// Line value at `first_key`.
+    pub y0: f64,
+    /// First input index covered.
+    pub start: usize,
+    /// One past the last input index covered.
+    pub end: usize,
+}
+
+impl<K: Key> PlaSegment<K> {
+    /// Evaluate the segment's line at a key.
+    ///
+    /// The key delta is computed in integer space before converting to
+    /// `f64`: for keys near `2^64` the direct `f64` conversions would round
+    /// by up to 2048 units, but their *difference* stays exact up to `2^53`.
+    #[inline]
+    pub fn predict(&self, key: K) -> f64 {
+        let dx = key.to_u64() as i128 - self.first_key.to_u64() as i128;
+        self.y0 + self.slope * dx as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct P {
+    x: i128,
+    y: i128,
+}
+
+/// Sign of the turn o->a->b (counterclockwise positive).
+#[inline]
+fn cross(o: P, a: P, b: P) -> i128 {
+    (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+}
+
+/// Is slope(p, q) < slope(r, s)? Requires `q.x > p.x` and `s.x > r.x`.
+#[inline]
+fn slope_lt(p: P, q: P, r: P, s: P) -> bool {
+    (q.y - p.y) * (s.x - r.x) < (s.y - r.y) * (q.x - p.x)
+}
+
+/// Is `point` strictly above the line through `(a, b)`? Requires `b.x > a.x`.
+#[inline]
+fn strictly_above(point: P, a: P, b: P) -> bool {
+    // point.y > a.y + (point.x - a.x) * (b.y - a.y) / (b.x - a.x)
+    (point.y - a.y) * (b.x - a.x) > (point.x - a.x) * (b.y - a.y)
+}
+
+/// Is `point` strictly below the line through `(a, b)`?
+#[inline]
+fn strictly_below(point: P, a: P, b: P) -> bool {
+    (point.y - a.y) * (b.x - a.x) < (point.x - a.x) * (b.y - a.y)
+}
+
+/// Streaming segment fitter. Feed strictly-increasing `x`; collect segments.
+struct Fitter {
+    eps: i128,
+    /// Lower convex hull of top channel endpoints (pivots for the min line).
+    top_hull: Vec<P>,
+    top_start: usize,
+    /// Upper convex hull of bottom channel endpoints (pivots for the max line).
+    bot_hull: Vec<P>,
+    bot_start: usize,
+    /// Extreme feasible lines as point pairs (valid once `count >= 2`).
+    max_line: (P, P),
+    min_line: (P, P),
+    count: usize,
+    start_idx: usize,
+    first: P,
+}
+
+impl Fitter {
+    fn new(eps: u64) -> Self {
+        let zero = P { x: 0, y: 0 };
+        Fitter {
+            eps: eps as i128,
+            top_hull: Vec::new(),
+            top_start: 0,
+            bot_hull: Vec::new(),
+            bot_start: 0,
+            max_line: (zero, zero),
+            min_line: (zero, zero),
+            count: 0,
+            start_idx: 0,
+            first: zero,
+        }
+    }
+
+    fn reset(&mut self, start_idx: usize) {
+        self.top_hull.clear();
+        self.bot_hull.clear();
+        self.top_start = 0;
+        self.bot_start = 0;
+        self.count = 0;
+        self.start_idx = start_idx;
+    }
+
+    /// Try to absorb the point; false means the current segment must close
+    /// *before* this point.
+    fn add(&mut self, x: i128, y: i128) -> bool {
+        let top = P { x, y: y + self.eps };
+        let bot = P { x, y: y - self.eps };
+        match self.count {
+            0 => {
+                self.first = P { x, y };
+                self.top_hull.push(top);
+                self.bot_hull.push(bot);
+                self.count = 1;
+                return true;
+            }
+            1 => {
+                debug_assert!(x > self.first.x, "x must be strictly increasing");
+                // Max slope: bottom-left to top-right; min slope: top-left to
+                // bottom-right.
+                self.max_line = (self.bot_hull[0], top);
+                self.min_line = (self.top_hull[0], bot);
+                push_lower_hull(&mut self.top_hull, self.top_start, top);
+                push_upper_hull(&mut self.bot_hull, self.bot_start, bot);
+                self.count = 2;
+                return true;
+            }
+            _ => {}
+        }
+
+        // Feasibility: the new channel must intersect the corridor spanned
+        // by the extreme lines.
+        if strictly_above(bot, self.max_line.0, self.max_line.1)
+            || strictly_below(top, self.min_line.0, self.min_line.1)
+        {
+            return false;
+        }
+
+        // Rotate the max line down if the new top endpoint binds.
+        if strictly_below(top, self.max_line.0, self.max_line.1) {
+            // New max line pivots on the bottom hull and passes through
+            // `top`; the optimal pivot minimizes the slope (unimodal walk).
+            let h = &self.bot_hull;
+            let mut i = self.bot_start;
+            while i + 1 < h.len() && slope_lt(h[i + 1], top, h[i], top) {
+                i += 1;
+            }
+            self.bot_start = i;
+            self.max_line = (h[i], top);
+        }
+
+        // Rotate the min line up if the new bottom endpoint binds.
+        if strictly_above(bot, self.min_line.0, self.min_line.1) {
+            let h = &self.top_hull;
+            let mut i = self.top_start;
+            while i + 1 < h.len() && slope_lt(h[i], bot, h[i + 1], bot) {
+                i += 1;
+            }
+            self.top_start = i;
+            self.min_line = (h[i], bot);
+        }
+
+        push_lower_hull(&mut self.top_hull, self.top_start, top);
+        push_upper_hull(&mut self.bot_hull, self.bot_start, bot);
+        self.count += 1;
+        true
+    }
+
+    /// Materialize the closed segment covering `[start_idx, end_idx)`.
+    fn finish<K: Key>(&self, first_key: K, end_idx: usize) -> PlaSegment<K> {
+        let fx = self.first.x as f64;
+        if self.count == 1 {
+            return PlaSegment {
+                first_key,
+                slope: 0.0,
+                y0: self.first.y as f64,
+                start: self.start_idx,
+                end: end_idx,
+            };
+        }
+        let slope_of = |(p, q): (P, P)| -> f64 {
+            (q.y - p.y) as f64 / (q.x - p.x) as f64
+        };
+        let s_max = slope_of(self.max_line);
+        let s_min = slope_of(self.min_line);
+        let slope = 0.5 * (s_max + s_min);
+        // Intersection of the extreme lines (both pass through the feasible
+        // parameter region); fall back to the max line's left point.
+        let (p1, q1) = self.max_line;
+        let (p2, q2) = self.min_line;
+        let (x1, y1) = (p1.x as f64, p1.y as f64);
+        let (x2, y2) = (p2.x as f64, p2.y as f64);
+        let _ = (q1, q2);
+        let (ix, iy) = if (s_max - s_min).abs() > 1e-12 {
+            let ix = (y2 - y1 + s_max * x1 - s_min * x2) / (s_max - s_min);
+            (ix, y1 + s_max * (ix - x1))
+        } else {
+            (x1, y1)
+        };
+        let y0 = iy + slope * (fx - ix);
+        PlaSegment { first_key, slope, y0, start: self.start_idx, end: end_idx }
+    }
+}
+
+/// Append to a lower convex hull (slopes increasing left to right).
+fn push_lower_hull(hull: &mut Vec<P>, floor: usize, p: P) {
+    while hull.len() >= floor + 2
+        && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0
+    {
+        hull.pop();
+    }
+    hull.push(p);
+}
+
+/// Append to an upper convex hull (slopes decreasing left to right).
+fn push_upper_hull(hull: &mut Vec<P>, floor: usize, p: P) {
+    while hull.len() >= floor + 2
+        && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) >= 0
+    {
+        hull.pop();
+    }
+    hull.push(p);
+}
+
+/// Fit an optimal ε-bounded PLA over `(keys[i], ys[i])` pairs.
+///
+/// Requirements: `keys` strictly increasing, `ys` non-decreasing, equal
+/// lengths, non-empty. `eps = 0` is allowed (exact interpolation segments).
+pub fn fit_pla<K: Key>(keys: &[K], ys: &[u64], eps: u64) -> Vec<PlaSegment<K>> {
+    assert_eq!(keys.len(), ys.len(), "keys/ys length mismatch");
+    assert!(!keys.is_empty(), "cannot fit zero points");
+    debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+
+    let mut segments = Vec::new();
+    let mut fitter = Fitter::new(eps);
+    let mut seg_first = keys[0];
+    fitter.reset(0);
+    for i in 0..keys.len() {
+        let x = keys[i].to_u64() as i128;
+        let y = ys[i] as i128;
+        if !fitter.add(x, y) {
+            segments.push(fitter.finish(seg_first, i));
+            fitter.reset(i);
+            seg_first = keys[i];
+            let ok = fitter.add(x, y);
+            debug_assert!(ok, "first point of a fresh segment is always feasible");
+        }
+    }
+    segments.push(fitter.finish(seg_first, keys.len()));
+    segments
+}
+
+/// Reference implementation: greedy shrinking-cone fitting (FITing-Tree
+/// style). Guarantees the same ε error bound but may use more segments;
+/// used in tests as an upper bound on the optimal segment count, and
+/// exported for the ablation benchmarks.
+pub fn fit_pla_greedy<K: Key>(keys: &[K], ys: &[u64], eps: u64) -> Vec<PlaSegment<K>> {
+    assert_eq!(keys.len(), ys.len());
+    assert!(!keys.is_empty());
+    let eps = eps as f64;
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    while start < keys.len() {
+        let x0 = keys[start].to_f64();
+        let y0 = ys[start] as f64;
+        let mut slope_lo = f64::NEG_INFINITY;
+        let mut slope_hi = f64::INFINITY;
+        let mut end = start + 1;
+        while end < keys.len() {
+            let dx = keys[end].to_f64() - x0;
+            let dy = ys[end] as f64 - y0;
+            let lo = (dy - eps) / dx;
+            let hi = (dy + eps) / dx;
+            let new_lo = slope_lo.max(lo);
+            let new_hi = slope_hi.min(hi);
+            if new_lo > new_hi {
+                break;
+            }
+            slope_lo = new_lo;
+            slope_hi = new_hi;
+            end += 1;
+        }
+        let slope = if end == start + 1 {
+            0.0
+        } else {
+            0.5 * (slope_lo.max(-1e18) + slope_hi.min(1e18))
+        };
+        segments.push(PlaSegment { first_key: keys[start], slope, y0, start, end });
+        start = end;
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+
+    /// Maximum |prediction - y| over each segment's own points.
+    fn max_error(keys: &[u64], ys: &[u64], segments: &[PlaSegment<u64>]) -> f64 {
+        let mut worst = 0.0f64;
+        for seg in segments {
+            for i in seg.start..seg.end {
+                let err = (seg.predict(keys[i]) - ys[i] as f64).abs();
+                worst = worst.max(err);
+            }
+        }
+        worst
+    }
+
+    fn check_cover(n: usize, segments: &[PlaSegment<u64>]) {
+        assert_eq!(segments[0].start, 0);
+        assert_eq!(segments.last().unwrap().end, n);
+        for w in segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must tile the input");
+            assert!(w[0].first_key < w[1].first_key);
+        }
+    }
+
+    fn ranks(keys: &[u64]) -> Vec<u64> {
+        (0..keys.len() as u64).collect()
+    }
+
+    #[test]
+    fn linear_data_needs_one_segment() {
+        let keys: Vec<u64> = (0..10_000).map(|i| i * 7 + 100).collect();
+        let segs = fit_pla(&keys, &ranks(&keys), 4);
+        assert_eq!(segs.len(), 1);
+        assert!(max_error(&keys, &ranks(&keys), &segs) <= 4.0 + 1e-6);
+    }
+
+    #[test]
+    fn eps_zero_on_linear_data_is_exact() {
+        let keys: Vec<u64> = (0..1000).map(|i| i * 3).collect();
+        let segs = fit_pla(&keys, &ranks(&keys), 0);
+        assert_eq!(segs.len(), 1);
+        assert!(max_error(&keys, &ranks(&keys), &segs) < 1e-6);
+    }
+
+    #[test]
+    fn respects_epsilon_on_random_walks() {
+        let mut rng = XorShift64::new(17);
+        for eps in [1u64, 4, 16, 64] {
+            let mut keys = Vec::new();
+            let mut x = 0u64;
+            for _ in 0..20_000 {
+                // Bursty gaps produce realistic curvature.
+                let shift = 1 + rng.next_below(14);
+                x += 1 + rng.next_below(1 << shift);
+                keys.push(x);
+            }
+            let ys = ranks(&keys);
+            let segs = fit_pla(&keys, &ys, eps);
+            check_cover(keys.len(), &segs);
+            let err = max_error(&keys, &ys, &segs);
+            assert!(
+                err <= eps as f64 + 1.0,
+                "eps={eps}: max err {err} with {} segments",
+                segs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_never_uses_more_segments_than_greedy() {
+        let mut rng = XorShift64::new(23);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..30_000 {
+            x += 1 + rng.next_below(1000);
+            keys.push(x);
+        }
+        let ys = ranks(&keys);
+        for eps in [2u64, 8, 32] {
+            let opt = fit_pla(&keys, &ys, eps).len();
+            let greedy = fit_pla_greedy(&keys, &ys, eps).len();
+            assert!(opt <= greedy, "eps={eps}: optimal {opt} > greedy {greedy}");
+        }
+    }
+
+    #[test]
+    fn greedy_respects_epsilon_too() {
+        let mut rng = XorShift64::new(29);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..10_000 {
+            x += 1 + rng.next_below(5000);
+            keys.push(x);
+        }
+        let ys = ranks(&keys);
+        let segs = fit_pla_greedy(&keys, &ys, 8);
+        check_cover(keys.len(), &segs);
+        assert!(max_error(&keys, &ys, &segs) <= 9.0);
+    }
+
+    #[test]
+    fn larger_eps_fewer_segments() {
+        let keys: Vec<u64> = (0..20_000u64).map(|i| i * i / 7 + i).collect();
+        let ys = ranks(&keys);
+        let s1 = fit_pla(&keys, &ys, 1).len();
+        let s16 = fit_pla(&keys, &ys, 16).len();
+        let s256 = fit_pla(&keys, &ys, 256).len();
+        assert!(s1 > s16 && s16 > s256, "{s1} {s16} {s256}");
+    }
+
+    #[test]
+    fn single_point_input() {
+        let segs = fit_pla(&[42u64], &[7], 4);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].predict(42u64), 7.0);
+    }
+
+    #[test]
+    fn two_point_input_interpolates() {
+        let segs = fit_pla(&[10u64, 20], &[0, 10], 1);
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].predict(15u64) - 5.0).abs() <= 1.5);
+    }
+
+    #[test]
+    fn step_function_splits() {
+        // y jumps by 100 halfway: with eps=1 a single line cannot span it
+        // against the dense x spacing.
+        let mut keys: Vec<u64> = (0..100).collect();
+        keys.extend(100..200u64);
+        let mut ys: Vec<u64> = (0..100).collect();
+        ys.extend((0..100).map(|i| i + 10_000));
+        let segs = fit_pla(&keys, &ys, 1);
+        assert!(segs.len() >= 2);
+        assert!(max_error(&keys, &ys, &segs) <= 2.0);
+    }
+
+    #[test]
+    fn huge_keys_do_not_overflow() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| u64::MAX - 10_000 + i * 10).collect();
+        let ys = ranks(&keys);
+        let segs = fit_pla(&keys, &ys, 2);
+        check_cover(keys.len(), &segs);
+        assert!(max_error(&keys, &ys, &segs) <= 3.0);
+    }
+
+    #[test]
+    fn exhaustive_small_inputs_against_brute_force() {
+        // For tiny inputs, verify optimality by brute-force segment DP.
+        fn feasible(keys: &[u64], ys: &[u64], eps: f64) -> bool {
+            // A line through the channel exists iff for all pairs i<j the
+            // slope windows overlap; test via LP on two variables is
+            // overkill — use the greedy cone from each start.
+            let n = keys.len();
+            if n <= 2 {
+                return true;
+            }
+            let x0 = keys[0] as f64;
+            let y0c = ys[0] as f64;
+            // Feasible slopes through point-0 channel endpoints are not
+            // complete; instead check channel threading via 2D LP over
+            // (slope a, intercept b) using all constraint pairs.
+            let mut lo = f64::NEG_INFINITY;
+            let mut hi = f64::INFINITY;
+            // Fix b implicitly: line must pass within eps of point 0 too,
+            // so parameterize by value v at x0 in [y0-eps, y0+eps] and
+            // sweep a coarse grid (adequate for n <= 8 test sizes).
+            for step in 0..=200 {
+                let v = y0c - eps + (2.0 * eps) * step as f64 / 200.0;
+                let mut alo = f64::NEG_INFINITY;
+                let mut ahi = f64::INFINITY;
+                for i in 1..n {
+                    let dx = keys[i] as f64 - x0;
+                    let dy = ys[i] as f64 - v;
+                    alo = alo.max((dy - eps) / dx);
+                    ahi = ahi.min((dy + eps) / dx);
+                }
+                if alo <= ahi + 1e-12 {
+                    return true;
+                }
+                lo = lo.max(alo);
+                hi = hi.min(ahi);
+            }
+            false
+        }
+        fn optimal_count(keys: &[u64], ys: &[u64], eps: u64) -> usize {
+            let n = keys.len();
+            let mut dp = vec![usize::MAX; n + 1];
+            dp[0] = 0;
+            for j in 1..=n {
+                for i in 0..j {
+                    if dp[i] != usize::MAX && feasible(&keys[i..j], &ys[i..j], eps as f64) {
+                        dp[j] = dp[j].min(dp[i] + 1);
+                    }
+                }
+            }
+            dp[n]
+        }
+        let mut rng = XorShift64::new(5);
+        for trial in 0..30 {
+            let n = 3 + (trial % 6);
+            let mut keys = Vec::new();
+            let mut x = 0u64;
+            for _ in 0..n {
+                x += 1 + rng.next_below(20);
+                keys.push(x);
+            }
+            let ys: Vec<u64> = (0..n as u64).map(|i| i * (1 + rng.next_below(3))).collect();
+            let mut ys = ys;
+            ys.sort_unstable();
+            for eps in [0u64, 1, 2] {
+                let got = fit_pla(&keys, &ys, eps).len();
+                let want = optimal_count(&keys, &ys, eps);
+                // The grid-based feasibility check may be slightly
+                // optimistic, so allow equality or one extra segment.
+                assert!(
+                    got <= want + 1 && got >= want,
+                    "n={n} eps={eps} got={got} want={want} keys={keys:?} ys={ys:?}"
+                );
+            }
+        }
+    }
+}

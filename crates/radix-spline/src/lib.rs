@@ -1,0 +1,24 @@
+//! # sosd-radix-spline
+//!
+//! RadixSpline (Kipf et al., aiDM @ SIGMOD 2020), Section 3.2 of the paper:
+//! a learned index built in a **single pass** with constant worst-case cost
+//! per element.
+//!
+//! Two components:
+//!
+//! * a [`spline`] — an error-bounded linear spline over the CDF fitted with
+//!   the greedy spline-corridor algorithm (Neumann & Michel's smooth
+//!   interpolating histograms, the same family as FITing-Tree's shrinking
+//!   cone), whose knots are a subset of the data points; and
+//! * a [`radix table`](rs::RsIndex) indexing the `r`-bit prefixes of the
+//!   spline knots, which replaces the binary search over knots with a single
+//!   shift + two adjacent table reads.
+//!
+//! Lookup: radix table → narrow knot range → binary search the knots →
+//! linear interpolation inside the segment → error-bounded search bound.
+
+pub mod rs;
+pub mod spline;
+
+pub use rs::{RsBuilder, RsIndex};
+pub use spline::{fit_spline, SplinePoint};

@@ -1,0 +1,417 @@
+//! The RadixSpline index: radix table over spline knots + interpolation.
+
+use crate::spline::fit_spline;
+use sosd_core::trace::addr_of_index;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// The RadixSpline index (Section 3.2).
+#[derive(Debug, Clone)]
+pub struct RsIndex<K: Key> {
+    /// Knot keys (strictly increasing; subset of the data keys).
+    knot_keys: Vec<K>,
+    /// Knot ranks, parallel to `knot_keys`.
+    knot_ranks: Vec<u64>,
+    /// Radix table: `table[p]` = number of knots with normalized `r`-bit
+    /// prefix `< p` (prefixes are taken over the occupied key range, like
+    /// the reference implementation).
+    table: Vec<u32>,
+    radix_bits: u32,
+    /// Subtracted from keys before prefix extraction.
+    min_norm: u64,
+    /// Right-shift turning a normalized key into a table slot.
+    shift: u32,
+    /// Measured prediction envelope (boundary- and gap-inclusive).
+    err_over: u32,
+    err_under: u32,
+    n: usize,
+    max_key: K,
+}
+
+impl<K: Key> RsIndex<K> {
+    /// Build with spline error `eps` and an `r`-bit radix table.
+    pub fn build(data: &SortedData<K>, eps: u64, radix_bits: u32) -> Result<Self, BuildError> {
+        if eps == 0 || eps > (1 << 24) {
+            return Err(BuildError::InvalidConfig(format!(
+                "eps must be in 1..=2^24, got {eps}"
+            )));
+        }
+        if radix_bits == 0 || radix_bits > 28 || radix_bits > K::BITS {
+            return Err(BuildError::InvalidConfig(format!(
+                "radix_bits must be in 1..=min(28, {}), got {radix_bits}",
+                K::BITS
+            )));
+        }
+
+        // Distinct (key, first-occurrence rank) pairs.
+        let keys = data.keys();
+        let mut xs: Vec<K> = Vec::new();
+        let mut ys: Vec<u64> = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            if xs.last() != Some(&k) {
+                xs.push(k);
+                ys.push(i as u64);
+            }
+        }
+
+        let knots = fit_spline(&xs, &ys, eps);
+        let knot_keys: Vec<K> = knots.iter().map(|p| p.key).collect();
+        let knot_ranks: Vec<u64> = knots.iter().map(|p| p.rank).collect();
+
+        // Radix table over knot-key prefixes (cumulative counts), with
+        // prefixes normalized to the occupied key range.
+        let min_norm = data.min_key().to_u64();
+        let span = data.max_key().to_u64() - min_norm;
+        let span_bits = 64 - span.leading_zeros().min(63);
+        let shift = span_bits.saturating_sub(radix_bits);
+        let slots = 1usize << radix_bits;
+        let mut table = vec![0u32; slots + 1];
+        for &k in &knot_keys {
+            let p = (((k.to_u64() - min_norm) >> shift) as usize).min(slots - 1);
+            table[p + 1] += 1;
+        }
+        for p in 1..=slots {
+            table[p] += table[p - 1];
+        }
+
+        // Measure the actual interpolation envelope over all pairs, walking
+        // pairs and segments together in one pass. Gap terms
+        // (`y_i - pred(x_{i-1})`) cover absent keys inside rank gaps.
+        let interp = |seg: usize, key: K| -> f64 {
+            interpolate(&knot_keys, &knot_ranks, seg, key)
+        };
+        let mut err_over = 0f64;
+        let mut err_under = 0f64;
+        let mut seg = 0usize;
+        let mut prev_pred = interp(0, xs[0]);
+        for i in 0..xs.len() {
+            while seg + 1 < knot_keys.len() && knot_keys[seg + 1] <= xs[i] {
+                seg += 1;
+            }
+            let pred = interp(seg.min(knot_keys.len().saturating_sub(2)), xs[i]);
+            err_over = err_over.max(pred - ys[i] as f64);
+            err_under = err_under.max(ys[i] as f64 - pred);
+            if i > 0 {
+                err_under = err_under.max(ys[i] as f64 - prev_pred);
+            }
+            prev_pred = pred;
+        }
+
+        Ok(RsIndex {
+            knot_keys,
+            knot_ranks,
+            table,
+            radix_bits,
+            min_norm,
+            shift,
+            err_over: err_over.max(0.0).ceil().min(u32::MAX as f64) as u32,
+            err_under: err_under.max(0.0).ceil().min(u32::MAX as f64) as u32,
+            n: data.len(),
+            max_key: data.max_key(),
+        })
+    }
+
+    /// Number of spline knots.
+    pub fn num_knots(&self) -> usize {
+        self.knot_keys.len()
+    }
+
+    /// Configured radix width.
+    pub fn radix_bits(&self) -> u32 {
+        self.radix_bits
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        // 1. Radix table: subtract + shift + two adjacent reads.
+        let norm = key.to_u64().saturating_sub(self.min_norm);
+        let p = ((norm >> self.shift) as usize).min(self.table.len() - 2);
+        tracer.instr(5);
+        tracer.read(addr_of_index(&self.table, p), 8);
+        let mut lo = self.table[p] as usize;
+        let mut hi = (self.table[p + 1] as usize).min(self.knot_keys.len());
+
+        // 2. Binary search the knot range for the floor knot (rightmost knot
+        //    key <= lookup key).
+        let site = self.knot_keys.as_ptr() as usize;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            tracer.read(addr_of_index(&self.knot_keys, mid), std::mem::size_of::<K>());
+            tracer.instr(5);
+            let le = self.knot_keys[mid] <= key;
+            tracer.branch(site, le);
+            if le {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let seg = lo.saturating_sub(1).min(self.knot_keys.len().saturating_sub(2));
+
+        // 3. Interpolate within the segment.
+        tracer.read(addr_of_index(&self.knot_ranks, seg), 16);
+        tracer.instr(10);
+        let pred = interpolate(&self.knot_keys, &self.knot_ranks, seg, key);
+
+        // 4. Error-bounded search bound.
+        let lo_b = {
+            let f = pred - self.err_over as f64 - 1.0;
+            if f <= 0.0 {
+                0
+            } else {
+                (f as usize).min(self.n)
+            }
+        };
+        let hi_b = if key > self.max_key {
+            self.n
+        } else {
+            let f = pred + self.err_under as f64 + 2.0;
+            if f <= 0.0 {
+                0
+            } else {
+                (f as usize).min(self.n)
+            }
+        };
+        SearchBound { lo: lo_b, hi: hi_b.max(lo_b) }
+    }
+}
+
+/// Linear interpolation between knots `seg` and `seg + 1`, clamped and
+/// monotone. Integer key deltas keep precision for huge keys.
+#[inline]
+fn interpolate<K: Key>(knot_keys: &[K], knot_ranks: &[u64], seg: usize, key: K) -> f64 {
+    if knot_keys.len() == 1 {
+        return knot_ranks[0] as f64;
+    }
+    let a_key = knot_keys[seg].to_u64();
+    let b_key = knot_keys[seg + 1].to_u64();
+    let a_rank = knot_ranks[seg] as f64;
+    let b_rank = knot_ranks[seg + 1] as f64;
+    if b_key <= a_key {
+        return a_rank;
+    }
+    let dx = (key.to_u64() as i128 - a_key as i128) as f64;
+    let frac = (dx / (b_key - a_key) as f64).clamp(0.0, 1.0);
+    a_rank + frac * (b_rank - a_rank)
+}
+
+impl<K: Key> Index<K> for RsIndex<K> {
+    fn name(&self) -> &'static str {
+        "RS"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.knot_keys.len() * std::mem::size_of::<K>()
+            + self.knot_ranks.len() * 8
+            + self.table.len() * 4
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: false, ordered: true, kind: IndexKind::Learned }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`RsIndex`]: two knobs, as the paper emphasizes.
+#[derive(Debug, Clone)]
+pub struct RsBuilder {
+    /// Spline error bound.
+    pub eps: u64,
+    /// Radix table prefix width.
+    pub radix_bits: u32,
+}
+
+impl Default for RsBuilder {
+    fn default() -> Self {
+        RsBuilder { eps: 32, radix_bits: 18 }
+    }
+}
+
+impl RsBuilder {
+    /// Ten-configuration sweep: tighter spline + wider table as size grows.
+    pub fn size_sweep() -> Vec<RsBuilder> {
+        [
+            (2048u64, 6u32),
+            (1024, 8),
+            (512, 10),
+            (256, 12),
+            (128, 14),
+            (64, 16),
+            (32, 18),
+            (16, 20),
+            (8, 22),
+            (4, 24),
+        ]
+        .into_iter()
+        .map(|(eps, radix_bits)| RsBuilder { eps, radix_bits })
+        .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for RsBuilder {
+    type Output = RsIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        RsIndex::build(data, self.eps, self.radix_bits.min(K::BITS))
+    }
+
+    fn describe(&self) -> String {
+        format!("RS[eps={},r={}]", self.eps, self.radix_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+
+    fn validity_probes(data: &SortedData<u64>) -> Vec<u64> {
+        let mut probes: Vec<u64> = data.keys().to_vec();
+        probes.extend(data.keys().iter().map(|&k| k.saturating_add(1)));
+        probes.extend(data.keys().iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, 1, u64::MAX, u64::MAX - 1, u64::MAX / 2]);
+        probes
+    }
+
+    fn check_validity(keys: Vec<u64>, eps: u64, radix_bits: u32) {
+        let data = SortedData::new(keys).unwrap();
+        let rs = RsIndex::build(&data, eps, radix_bits).unwrap();
+        for x in validity_probes(&data) {
+            let b = rs.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "eps={eps} r={radix_bits} x={x} b={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_linear_data() {
+        check_validity((0..5000u64).map(|i| i * 3 + 7).collect(), 16, 10);
+    }
+
+    #[test]
+    fn valid_on_random_gaps() {
+        let mut rng = XorShift64::new(3);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..20_000 {
+            let shift = 1 + rng.next_below(12);
+            x += 1 + rng.next_below(1 << shift);
+            keys.push(x);
+        }
+        for (eps, r) in [(4u64, 18u32), (32, 12), (256, 8)] {
+            check_validity(keys.clone(), eps, r);
+        }
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        let mut keys = vec![7u64; 500];
+        keys.extend(vec![9u64; 500]);
+        keys.extend((10..2000u64).map(|i| i * 5));
+        keys.sort_unstable();
+        check_validity(keys, 16, 10);
+    }
+
+    #[test]
+    fn valid_with_extreme_outliers() {
+        let mut keys: Vec<u64> = (0..3000).map(|i| i * 7 + 1).collect();
+        keys.extend([u64::MAX - 100, u64::MAX - 50, u64::MAX - 1]);
+        check_validity(keys, 8, 16);
+    }
+
+    #[test]
+    fn valid_on_tiny_datasets() {
+        check_validity(vec![42], 4, 8);
+        check_validity(vec![1, 2], 4, 8);
+        check_validity(vec![5, 5, 5], 4, 8);
+    }
+
+    #[test]
+    fn bound_width_tracks_eps() {
+        let keys: Vec<u64> = (0..50_000u64).map(|i| i * 13).collect();
+        let data = SortedData::new(keys).unwrap();
+        let rs = RsIndex::build(&data, 16, 16).unwrap();
+        let worst = data
+            .keys()
+            .iter()
+            .step_by(101)
+            .map(|&k| rs.search_bound(k).len())
+            .max()
+            .unwrap();
+        assert!(worst <= 4 * 16 + 4, "worst bound {worst}");
+    }
+
+    #[test]
+    fn more_radix_bits_bigger_but_table_helps_search() {
+        let mut rng = XorShift64::new(5);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..50_000 {
+            x += 1 + rng.next_below(1 << 18);
+            keys.push(x);
+        }
+        let data = SortedData::new(keys).unwrap();
+        let small = RsIndex::build(&data, 32, 8).unwrap();
+        let large = RsIndex::build(&data, 32, 20).unwrap();
+        assert!(Index::<u64>::size_bytes(&large) > Index::<u64>::size_bytes(&small));
+        assert_eq!(small.num_knots(), large.num_knots());
+    }
+
+    #[test]
+    fn single_pass_build_knot_count_scales_inverse_with_eps() {
+        let keys: Vec<u64> = (0..50_000u64).map(|i| i * i / 13 + i).collect();
+        let data = SortedData::new(keys).unwrap();
+        let tight = RsIndex::build(&data, 4, 12).unwrap();
+        let loose = RsIndex::build(&data, 128, 12).unwrap();
+        assert!(tight.num_knots() > loose.num_knots());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let data = SortedData::new(vec![1u64, 2, 3]).unwrap();
+        assert!(RsIndex::build(&data, 0, 8).is_err());
+        assert!(RsIndex::build(&data, 8, 0).is_err());
+        assert!(RsIndex::build(&data, 8, 29).is_err());
+    }
+
+    #[test]
+    fn works_for_u32_keys() {
+        let keys: Vec<u32> = (0..5000u32).map(|i| i * 11 + 3).collect();
+        let data = SortedData::new(keys).unwrap();
+        let rs = RsIndex::build(&data, 8, 12).unwrap();
+        for &k in data.keys() {
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                assert!(rs.search_bound(probe).contains(data.lower_bound(probe)));
+            }
+        }
+    }
+
+    #[test]
+    fn traced_lookup_reads_table_then_knots() {
+        use sosd_core::CountingTracer;
+        let mut rng = XorShift64::new(11);
+        let mut keys = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..50_000 {
+            x += 1 + rng.next_below(1 << 14);
+            keys.push(x);
+        }
+        let data = SortedData::new(keys).unwrap();
+        let rs = RsIndex::build(&data, 32, 16).unwrap();
+        let mut t = CountingTracer::default();
+        rs.search_bound_traced(data.key(25_000), &mut t);
+        assert!(t.reads >= 2, "radix table + knot reads");
+        // With a well-sized radix table the knot search is short.
+        assert!(t.reads <= 12, "radix table should narrow the search: {} reads", t.reads);
+    }
+}

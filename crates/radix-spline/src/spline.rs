@@ -1,0 +1,165 @@
+//! Greedy spline-corridor fitting (one pass, constant work per point).
+
+use sosd_core::Key;
+
+/// A spline knot: a `(key, rank)` pair taken from the data itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplinePoint<K: Key> {
+    /// The knot's key.
+    pub key: K,
+    /// The knot's CDF rank (first-occurrence position).
+    pub rank: u64,
+}
+
+/// Fit an error-bounded linear spline over `(xs[i], ys[i])` pairs.
+///
+/// `xs` must be strictly increasing, `ys` non-decreasing. The returned knots
+/// start at the first pair and end at the last; between consecutive knots,
+/// linear interpolation approximates every covered pair's rank to within
+/// about `eps` (the greedy corridor can exceed `eps` by a small factor at
+/// interior points, which is why [`crate::rs::RsIndex`] measures the actual
+/// envelope after fitting).
+pub fn fit_spline<K: Key>(xs: &[K], ys: &[u64], eps: u64) -> Vec<SplinePoint<K>> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    assert!(!xs.is_empty(), "cannot fit zero points");
+    debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+
+    let m = xs.len();
+    let mut knots = Vec::new();
+    knots.push(SplinePoint { key: xs[0], rank: ys[0] });
+    if m == 1 {
+        return knots;
+    }
+
+    let eps = eps as f64;
+    let mut origin = (xs[0].to_u64(), ys[0] as f64);
+    let mut slope_lo = f64::NEG_INFINITY;
+    let mut slope_hi = f64::INFINITY;
+    let mut prev = (xs[0], ys[0]);
+
+    for i in 1..m {
+        let x = xs[i];
+        let y = ys[i] as f64;
+        let dx = (x.to_u64() - origin.0) as f64;
+        let lo = (y - eps - origin.1) / dx;
+        let hi = (y + eps - origin.1) / dx;
+        if lo > slope_hi || hi < slope_lo {
+            // Corridor collapsed: the previous point becomes a knot and the
+            // corridor restarts from it through the current point.
+            knots.push(SplinePoint { key: prev.0, rank: prev.1 });
+            origin = (prev.0.to_u64(), prev.1 as f64);
+            let dx = (x.to_u64() - origin.0) as f64;
+            slope_lo = (y - eps - origin.1) / dx;
+            slope_hi = (y + eps - origin.1) / dx;
+        } else {
+            slope_lo = slope_lo.max(lo);
+            slope_hi = slope_hi.min(hi);
+        }
+        prev = (x, ys[i]);
+    }
+    // The final point always becomes a knot so interpolation covers the
+    // entire key range.
+    if knots.last().map(|p| p.key) != Some(prev.0) {
+        knots.push(SplinePoint { key: prev.0, rank: prev.1 });
+    }
+    knots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+
+    /// Interpolate `x` over the knots (binary search, for testing).
+    fn interpolate(knots: &[SplinePoint<u64>], x: u64) -> f64 {
+        let idx = knots.partition_point(|p| p.key <= x);
+        if idx == 0 {
+            return knots[0].rank as f64;
+        }
+        if idx >= knots.len() {
+            return knots[knots.len() - 1].rank as f64;
+        }
+        let a = knots[idx - 1];
+        let b = knots[idx];
+        let frac = (x - a.key) as f64 / (b.key - a.key) as f64;
+        a.rank as f64 + frac * (b.rank - a.rank) as f64
+    }
+
+    fn max_interp_error(xs: &[u64], ys: &[u64], knots: &[SplinePoint<u64>]) -> f64 {
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| (interpolate(knots, x) - y as f64).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn ranks(n: usize) -> Vec<u64> {
+        (0..n as u64).collect()
+    }
+
+    #[test]
+    fn linear_data_needs_two_knots() {
+        let xs: Vec<u64> = (0..10_000).map(|i| i * 3 + 5).collect();
+        let knots = fit_spline(&xs, &ranks(xs.len()), 8);
+        assert_eq!(knots.len(), 2);
+        assert_eq!(knots[0].key, 5);
+        assert_eq!(knots[1].key, xs[xs.len() - 1]);
+    }
+
+    #[test]
+    fn endpoints_are_knots() {
+        let xs: Vec<u64> = (0..5000u64).map(|i| i * i + i).collect();
+        let knots = fit_spline(&xs, &ranks(xs.len()), 16);
+        assert_eq!(knots.first().unwrap().key, xs[0]);
+        assert_eq!(knots.last().unwrap().key, *xs.last().unwrap());
+        assert!(knots.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn interpolation_error_stays_near_eps() {
+        let mut rng = XorShift64::new(7);
+        let mut xs = Vec::new();
+        let mut x = 0u64;
+        for _ in 0..30_000 {
+            let shift = 1 + rng.next_below(12);
+            x += 1 + rng.next_below(1 << shift);
+            xs.push(x);
+        }
+        for eps in [4u64, 16, 64, 256] {
+            let knots = fit_spline(&xs, &ranks(xs.len()), eps);
+            let err = max_interp_error(&xs, &ranks(xs.len()), &knots);
+            // Greedy corridor: bounded by a small multiple of eps.
+            assert!(
+                err <= 2.0 * eps as f64 + 2.0,
+                "eps={eps}: interpolation error {err} with {} knots",
+                knots.len()
+            );
+        }
+    }
+
+    #[test]
+    fn larger_eps_fewer_knots() {
+        let xs: Vec<u64> = (0..30_000u64).map(|i| i * i / 11 + i).collect();
+        let k4 = fit_spline(&xs, &ranks(xs.len()), 4).len();
+        let k64 = fit_spline(&xs, &ranks(xs.len()), 64).len();
+        assert!(k64 < k4, "k4={k4} k64={k64}");
+    }
+
+    #[test]
+    fn single_and_two_point_inputs() {
+        assert_eq!(fit_spline(&[9u64], &[0], 4).len(), 1);
+        let knots = fit_spline(&[3u64, 9], &[0, 1], 4);
+        assert_eq!(knots.len(), 2);
+    }
+
+    #[test]
+    fn single_pass_property_step_function() {
+        // A sharp step forces a knot near the discontinuity.
+        let mut xs: Vec<u64> = (0..1000).collect();
+        xs.extend((0..1000u64).map(|i| 1_000_000 + i));
+        let mut ys: Vec<u64> = (0..1000).collect();
+        ys.extend((0..1000u64).map(|i| 1000 + i));
+        let knots = fit_spline(&xs, &ys, 2);
+        assert!(knots.len() >= 3);
+        assert!(max_interp_error(&xs, &ys, &knots) <= 6.0);
+    }
+}

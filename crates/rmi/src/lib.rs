@@ -1,0 +1,29 @@
+//! # sosd-rmi
+//!
+//! A two-stage Recursive Model Index (Kraska et al., SIGMOD 2018), the
+//! paper's reference learned index — this reproduction follows the
+//! open-source Rust RMI the paper introduced ([1] in the paper).
+//!
+//! An RMI approximates the CDF of a sorted key array with a tree of simple
+//! models: a stage-one model partitions the key space into `B` buckets, and
+//! one stage-two model per bucket refines the prediction (Section 3.1). The
+//! RMI is trained *top-down*: unlike PGM/RadixSpline there is no a-priori
+//! error bound — instead per-leaf error envelopes are measured after
+//! training and attached to each leaf, which is what makes RMI inference so
+//! cheap (two model evaluations, no searching between layers) at the cost of
+//! unbounded worst-case error.
+//!
+//! Model types are selectable per stage (linear, linear-spline, cubic,
+//! log-linear, radix), and [`tuner`] provides a CDFShop-style auto-tuner
+//! (Marcus et al., SIGMOD 2020 demo) that sweeps model types and branching
+//! factors and returns a Pareto-optimal configuration set.
+
+pub mod model;
+pub mod rmi;
+pub mod rmi3;
+pub mod tuner;
+
+pub use model::ModelKind;
+pub use rmi::{Rmi, RmiBuilder};
+pub use rmi3::{Rmi3, Rmi3Builder};
+pub use tuner::{auto_tune, TunerConfig};

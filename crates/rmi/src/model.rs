@@ -1,0 +1,401 @@
+//! The model zoo for RMI stages.
+//!
+//! Every model maps a key (as `f64`) to an estimated CDF position and is
+//! **monotone non-decreasing** by construction — monotonicity is what lets
+//! the RMI turn measured per-leaf training errors into bounds that are valid
+//! for *absent* keys too (see the invariant notes on [`crate::rmi::Rmi`]).
+
+use sosd_core::Key;
+
+/// Selectable model families, mirroring the reference RMI's model types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Least-squares line (slope clamped non-negative).
+    Linear,
+    /// Line through the first and last point.
+    LinearSpline,
+    /// Monotone cubic Hermite segment through the end points
+    /// (Fritsch-Carlson slope limiting).
+    Cubic,
+    /// Least-squares line in `ln(1 + x)` space.
+    LogLinear,
+    /// Radix bucketing on the top bits of the key (root stage only).
+    Radix,
+}
+
+impl ModelKind {
+    /// Model kinds usable as the RMI root.
+    pub const ROOT_KINDS: [ModelKind; 4] = [
+        ModelKind::Linear,
+        ModelKind::Cubic,
+        ModelKind::LogLinear,
+        ModelKind::Radix,
+    ];
+
+    /// Short label for configuration strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Linear => "linear",
+            ModelKind::LinearSpline => "spline",
+            ModelKind::Cubic => "cubic",
+            ModelKind::LogLinear => "loglinear",
+            ModelKind::Radix => "radix",
+        }
+    }
+}
+
+/// A fitted model. All variants are monotone non-decreasing in the key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Model {
+    /// `y = y0 + slope * (x - x0)`; anchored at the training mean for
+    /// numeric stability with 64-bit keys.
+    Linear {
+        /// Positions per key unit (non-negative).
+        slope: f64,
+        /// Anchor key.
+        x0: f64,
+        /// Value at the anchor.
+        y0: f64,
+    },
+    /// `y = y0 + slope * (ln(1+x) - u0)`.
+    LogLinear {
+        /// Positions per log-key unit (non-negative).
+        slope: f64,
+        /// Anchor in `ln(1+x)` space.
+        u0: f64,
+        /// Value at the anchor.
+        y0: f64,
+    },
+    /// Monotone cubic Hermite on `t = (x - x0) / dx` in `[0, 1]`:
+    /// `y = h00(t) y0 + h10(t) dx m0' + h01(t) y1 + h11(t) dx m1'`.
+    Cubic {
+        /// Segment start key.
+        x0: f64,
+        /// Segment key span.
+        dx: f64,
+        /// Value at the start.
+        y0: f64,
+        /// Value at the end.
+        y1: f64,
+        /// Start slope (Fritsch-Carlson limited).
+        m0: f64,
+        /// End slope (Fritsch-Carlson limited).
+        m1: f64,
+    },
+    /// `y = ((x >> shift) as f64) * scale`, the radix-table root.
+    Radix {
+        /// Bits shifted out before scaling.
+        shift: u32,
+        /// Output units per prefix value.
+        scale: f64,
+    },
+}
+
+impl Model {
+    /// Evaluate the model at a key.
+    #[inline]
+    pub fn predict<K: Key>(&self, key: K) -> f64 {
+        match *self {
+            Model::Linear { slope, x0, y0 } => y0 + slope * (key.to_f64() - x0),
+            Model::LogLinear { slope, u0, y0 } => {
+                y0 + slope * ((1.0 + key.to_f64()).ln() - u0)
+            }
+            Model::Cubic { x0, dx, y0, y1, m0, m1 } => {
+                if dx <= 0.0 {
+                    return y0;
+                }
+                let t = ((key.to_f64() - x0) / dx).clamp(0.0, 1.0);
+                let t2 = t * t;
+                let t3 = t2 * t;
+                let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+                let h10 = t3 - 2.0 * t2 + t;
+                let h01 = -2.0 * t3 + 3.0 * t2;
+                let h11 = t3 - t2;
+                h00 * y0 + h10 * dx * m0 + h01 * y1 + h11 * dx * m1
+            }
+            Model::Radix { shift, scale } => {
+                ((key.to_u64() >> shift.min(63)) as f64) * scale
+            }
+        }
+    }
+
+    /// Rough evaluation cost in instructions, for the perf simulator.
+    pub fn instr_cost(&self) -> u64 {
+        match self {
+            Model::Linear { .. } => 4,
+            Model::LogLinear { .. } => 24, // ln dominates
+            Model::Cubic { .. } => 14,
+            Model::Radix { .. } => 3,
+        }
+    }
+}
+
+/// Fit a least-squares line over `(key, position)` pairs, with the slope
+/// clamped non-negative to preserve monotonicity.
+pub fn fit_linear<K: Key>(keys: &[K], positions: &[usize]) -> Model {
+    debug_assert_eq!(keys.len(), positions.len());
+    let n = keys.len();
+    if n == 0 {
+        return Model::Linear { slope: 0.0, x0: 0.0, y0: 0.0 };
+    }
+    let x_mean = keys.iter().map(|k| k.to_f64()).sum::<f64>() / n as f64;
+    let y_mean = positions.iter().map(|&p| p as f64).sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (k, &p) in keys.iter().zip(positions) {
+        let dx = k.to_f64() - x_mean;
+        sxy += dx * (p as f64 - y_mean);
+        sxx += dx * dx;
+    }
+    let slope = if sxx > 0.0 { (sxy / sxx).max(0.0) } else { 0.0 };
+    Model::Linear { slope, x0: x_mean, y0: y_mean }
+}
+
+/// Fit a line through the first and last `(key, position)` pair.
+pub fn fit_linear_spline<K: Key>(keys: &[K], positions: &[usize]) -> Model {
+    let n = keys.len();
+    if n == 0 {
+        return Model::Linear { slope: 0.0, x0: 0.0, y0: 0.0 };
+    }
+    let x0 = keys[0].to_f64();
+    let x1 = keys[n - 1].to_f64();
+    let y0 = positions[0] as f64;
+    let y1 = positions[n - 1] as f64;
+    let slope = if x1 > x0 { ((y1 - y0) / (x1 - x0)).max(0.0) } else { 0.0 };
+    Model::Linear { slope, x0, y0 }
+}
+
+/// Fit a least-squares line in `ln(1+x)` space (slope clamped `>= 0`).
+pub fn fit_log_linear<K: Key>(keys: &[K], positions: &[usize]) -> Model {
+    let n = keys.len();
+    if n == 0 {
+        return Model::LogLinear { slope: 0.0, u0: 0.0, y0: 0.0 };
+    }
+    let u: Vec<f64> = keys.iter().map(|k| (1.0 + k.to_f64()).ln()).collect();
+    let u_mean = u.iter().sum::<f64>() / n as f64;
+    let y_mean = positions.iter().map(|&p| p as f64).sum::<f64>() / n as f64;
+    let mut suy = 0.0;
+    let mut suu = 0.0;
+    for (ui, &p) in u.iter().zip(positions) {
+        let du = ui - u_mean;
+        suy += du * (p as f64 - y_mean);
+        suu += du * du;
+    }
+    let slope = if suu > 0.0 { (suy / suu).max(0.0) } else { 0.0 };
+    Model::LogLinear { slope, u0: u_mean, y0: y_mean }
+}
+
+/// Fit a monotone cubic Hermite segment through the end points, with slopes
+/// estimated from near-end secants and limited per Fritsch-Carlson so the
+/// segment is monotone non-decreasing.
+pub fn fit_cubic<K: Key>(keys: &[K], positions: &[usize]) -> Model {
+    let n = keys.len();
+    if n < 2 {
+        return fit_linear_spline(keys, positions);
+    }
+    let x0 = keys[0].to_f64();
+    let x1 = keys[n - 1].to_f64();
+    let dx = x1 - x0;
+    if dx <= 0.0 {
+        return fit_linear_spline(keys, positions);
+    }
+    let y0 = positions[0] as f64;
+    let y1 = positions[n - 1] as f64;
+    let secant = (y1 - y0) / dx;
+    // End slopes from ~5% inboard secants.
+    let probe = (n / 20).max(1).min(n - 1);
+    let slope_at = |a: usize, b: usize| -> f64 {
+        let d = keys[b].to_f64() - keys[a].to_f64();
+        if d > 0.0 {
+            ((positions[b] as f64 - positions[a] as f64) / d).max(0.0)
+        } else {
+            0.0
+        }
+    };
+    let mut m0 = slope_at(0, probe);
+    let mut m1 = slope_at(n - 1 - probe, n - 1);
+    if secant <= 0.0 {
+        m0 = 0.0;
+        m1 = 0.0;
+    } else {
+        // Fritsch-Carlson: limit (m0/secant, m1/secant) into the circle of
+        // radius 3 to guarantee monotonicity.
+        let a = m0 / secant;
+        let b = m1 / secant;
+        let r2 = a * a + b * b;
+        if r2 > 9.0 {
+            let s = 3.0 / r2.sqrt();
+            m0 = s * a * secant;
+            m1 = s * b * secant;
+        }
+    }
+    Model::Cubic { x0, dx, y0, y1, m0, m1 }
+}
+
+/// Fit a radix root: `y = (x >> shift) * scale`, scaled so the largest key
+/// maps to about `n`. Degrades gracefully (and realistically) when outliers
+/// inflate the key range, as on the `face` dataset.
+pub fn fit_radix<K: Key>(keys: &[K], positions: &[usize], out_range: f64) -> Model {
+    let n = keys.len();
+    if n == 0 {
+        return Model::Radix { shift: 0, scale: 0.0 };
+    }
+    let _ = positions;
+    let max_key = keys[n - 1].to_u64();
+    // Keep ~20 significant bits after the shift.
+    let bits = 64 - max_key.leading_zeros();
+    let shift = bits.saturating_sub(20);
+    let top = (max_key >> shift).max(1);
+    Model::Radix { shift, scale: out_range / (top as f64 + 1.0) }
+}
+
+/// Fit a model of the requested kind.
+pub fn fit<K: Key>(kind: ModelKind, keys: &[K], positions: &[usize], out_range: f64) -> Model {
+    match kind {
+        ModelKind::Linear => fit_linear(keys, positions),
+        ModelKind::LinearSpline => fit_linear_spline(keys, positions),
+        ModelKind::Cubic => fit_cubic(keys, positions),
+        ModelKind::LogLinear => fit_log_linear(keys, positions),
+        ModelKind::Radix => fit_radix(keys, positions, out_range),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    fn assert_monotone(model: &Model, keys: &[u64]) {
+        let mut prev = f64::NEG_INFINITY;
+        for &k in keys {
+            let y = model.predict(k);
+            assert!(
+                y >= prev - 1e-9,
+                "{model:?} not monotone at key {k}: {y} < {prev}"
+            );
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn linear_fits_exact_line() {
+        let keys: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let m = fit_linear(&keys, &positions(100));
+        for (i, &k) in keys.iter().enumerate() {
+            assert!((m.predict(k) - i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_slope_clamped_non_negative() {
+        // Degenerate positions that would yield negative slope.
+        let keys: Vec<u64> = vec![1, 2, 3];
+        let m = fit_linear(&keys, &[5, 3, 1]);
+        match m {
+            Model::Linear { slope, .. } => assert_eq!(slope, 0.0),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn spline_hits_endpoints() {
+        let keys: Vec<u64> = (0..50).map(|i| i * i).collect();
+        let m = fit_linear_spline(&keys, &positions(50));
+        assert!((m.predict(keys[0]) - 0.0).abs() < 1e-9);
+        assert!((m.predict(keys[49]) - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cubic_hits_endpoints_and_is_monotone() {
+        let keys: Vec<u64> = (0..200).map(|i| i * i * 3).collect();
+        let m = fit_cubic(&keys, &positions(200));
+        assert!((m.predict(keys[0]) - 0.0).abs() < 1e-6);
+        assert!((m.predict(keys[199]) - 199.0).abs() < 1e-6);
+        // Monotonicity over a dense probe of the key range.
+        let probes: Vec<u64> = (0..=keys[199]).step_by(97).collect();
+        assert_monotone(&m, &probes);
+    }
+
+    #[test]
+    fn cubic_on_steep_ends_stays_monotone() {
+        // A CDF with a very steep start would break an unlimited Hermite fit.
+        let mut keys: Vec<u64> = (0..100).collect();
+        keys.extend((0..100).map(|i| 1_000_000 + i * 100_000));
+        let m = fit_cubic(&keys, &positions(200));
+        let probes: Vec<u64> = (0..=keys[199]).step_by(1013).collect();
+        assert_monotone(&m, &probes);
+    }
+
+    #[test]
+    fn loglinear_fits_exponential_data() {
+        let keys: Vec<u64> = (0..100).map(|i| (1.2f64.powi(i)) as u64 + i as u64).collect();
+        let m = fit_log_linear(&keys, &positions(100));
+        // Should fit far better than a plain line near the high end.
+        let lin = fit_linear(&keys, &positions(100));
+        let err = |mm: &Model| -> f64 {
+            keys.iter()
+                .enumerate()
+                .map(|(i, &k)| (mm.predict(k) - i as f64).abs())
+                .fold(0.0, f64::max)
+        };
+        assert!(err(&m) < err(&lin), "loglinear {} vs linear {}", err(&m), err(&lin));
+    }
+
+    #[test]
+    fn radix_is_monotone_and_spans_range() {
+        let keys: Vec<u64> = (0..1000).map(|i| i << 40).collect();
+        let m = fit_radix(&keys, &positions(1000), 1000.0);
+        assert_monotone(&m, &keys);
+        assert!(m.predict(keys[999]) <= 1000.0);
+        assert!(m.predict(keys[999]) > 900.0);
+    }
+
+    #[test]
+    fn all_kinds_fit_and_predict_finite() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 7 + 3).collect();
+        for kind in [
+            ModelKind::Linear,
+            ModelKind::LinearSpline,
+            ModelKind::Cubic,
+            ModelKind::LogLinear,
+            ModelKind::Radix,
+        ] {
+            let m = fit(kind, &keys, &positions(500), 500.0);
+            for &k in &keys {
+                assert!(m.predict(k).is_finite(), "{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_point_fits_do_not_panic() {
+        let empty: Vec<u64> = vec![];
+        let one = vec![42u64];
+        for kind in [
+            ModelKind::Linear,
+            ModelKind::LinearSpline,
+            ModelKind::Cubic,
+            ModelKind::LogLinear,
+            ModelKind::Radix,
+        ] {
+            let _ = fit(kind, &empty, &[], 10.0);
+            let m = fit(kind, &one, &[0], 10.0);
+            assert!(m.predict(42u64).is_finite());
+        }
+    }
+
+    #[test]
+    fn flat_keys_predict_constant() {
+        let keys = vec![9u64; 10];
+        let m = fit_cubic(&keys, &positions(10));
+        assert!(m.predict(9u64).is_finite());
+        let m2 = fit_linear(&keys, &positions(10));
+        match m2 {
+            Model::Linear { slope, .. } => assert_eq!(slope, 0.0),
+            _ => panic!(),
+        }
+    }
+}

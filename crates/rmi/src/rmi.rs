@@ -1,0 +1,398 @@
+//! The two-stage RMI index.
+//!
+//! # Validity invariant
+//!
+//! All stage models are monotone non-decreasing in the key (see
+//! [`crate::model`]), so the composed approximation `A(x)` is monotone
+//! between training keys. Per-leaf error envelopes are measured over each
+//! leaf's assigned keys *plus one boundary key on each side*; together with
+//! monotonicity this makes the bound
+//! `[A(x) - err_down - 1, A(x) + err_up + 2]` valid for **every** possible
+//! lookup key, present or absent — the property the whole benchmark contract
+//! rests on, and the one our property tests hammer.
+
+use crate::model::{self, Model, ModelKind};
+use sosd_core::trace::addr_of_index;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// A compact second-stage model: an anchored line plus its error envelope.
+/// 32 bytes, two per cache line.
+#[derive(Debug, Clone, Copy)]
+struct Leaf {
+    slope: f64,
+    x0: f64,
+    y0: f64,
+    /// Max overestimation `max(pred - y)` over the envelope set; widens the
+    /// low side of the bound.
+    err_over: u32,
+    /// Max underestimation `max(y - pred)`; widens the high side.
+    err_under: u32,
+}
+
+impl Leaf {
+    #[inline]
+    fn predict(&self, x: f64) -> f64 {
+        self.y0 + self.slope * (x - self.x0)
+    }
+
+    fn from_model(m: &Model) -> Leaf {
+        match *m {
+            Model::Linear { slope, x0, y0 } => {
+                Leaf { slope, x0, y0, err_over: 0, err_under: 0 }
+            }
+            _ => unreachable!("leaf models are always from the linear family"),
+        }
+    }
+}
+
+/// A two-stage recursive model index.
+#[derive(Debug, Clone)]
+pub struct Rmi<K: Key> {
+    root: Model,
+    leaves: Vec<Leaf>,
+    /// `branch / n`, precomputed for bucket selection.
+    scale: f64,
+    n: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Key> Rmi<K> {
+    /// Build an RMI over `data`.
+    pub fn build(
+        data: &SortedData<K>,
+        root_kind: ModelKind,
+        leaf_kind: ModelKind,
+        branch: usize,
+    ) -> Result<Self, BuildError> {
+        if branch == 0 || branch > (1 << 26) {
+            return Err(BuildError::InvalidConfig(format!(
+                "branching factor must be in 1..=2^26, got {branch}"
+            )));
+        }
+        if !matches!(leaf_kind, ModelKind::Linear | ModelKind::LinearSpline) {
+            return Err(BuildError::InvalidConfig(format!(
+                "leaf models must be linear or spline, got {leaf_kind:?}"
+            )));
+        }
+        let keys = data.keys();
+        let n = keys.len();
+        let positions: Vec<usize> = (0..n).collect();
+
+        // Stage one: fit on a subsample for large datasets (deterministic).
+        let step = (n / (1 << 20)).max(1);
+        let root = if step == 1 {
+            model::fit(root_kind, keys, &positions, n as f64)
+        } else {
+            let ks: Vec<K> = keys.iter().copied().step_by(step).collect();
+            let ps: Vec<usize> = positions.iter().copied().step_by(step).collect();
+            model::fit(root_kind, &ks, &ps, n as f64)
+        };
+        let scale = branch as f64 / n as f64;
+
+        // Assign keys to buckets; clamp monotone against float jitter.
+        let bucket_of = |key: K| -> usize {
+            let p = root.predict(key) * scale;
+            if p.is_nan() || p <= 0.0 {
+                0
+            } else {
+                (p as usize).min(branch - 1)
+            }
+        };
+        let mut starts = vec![0usize; branch + 1];
+        let mut cur = 0usize;
+        for (i, &k) in keys.iter().enumerate() {
+            let b = bucket_of(k).max(cur);
+            while cur < b {
+                cur += 1;
+                starts[cur] = i;
+            }
+        }
+        while cur < branch {
+            cur += 1;
+            starts[cur] = n;
+        }
+
+        // Stage two: fit one linear leaf per bucket and measure its error
+        // envelope including one boundary key on each side.
+        let mut leaves = Vec::with_capacity(branch);
+        for b in 0..branch {
+            let (s, e) = (starts[b], starts[b + 1]);
+            let fitted = if e > s {
+                model::fit(leaf_kind, &keys[s..e], &positions[s..e], n as f64)
+            } else {
+                Model::Linear { slope: 0.0, x0: 0.0, y0: s as f64 }
+            };
+            let mut leaf = Leaf::from_model(&fitted);
+            let lo_i = s.saturating_sub(1);
+            let hi_i = e.min(n - 1);
+            let mut err_over = 0f64;
+            let mut err_under = 0f64;
+            #[allow(clippy::needless_range_loop)] // i is both index and target rank
+            for i in lo_i..=hi_i {
+                let pred = leaf.predict(keys[i].to_f64());
+                err_over = err_over.max(pred - i as f64);
+                err_under = err_under.max(i as f64 - pred);
+            }
+            leaf.err_over = err_over.ceil().min(u32::MAX as f64) as u32;
+            leaf.err_under = err_under.ceil().min(u32::MAX as f64) as u32;
+            leaves.push(leaf);
+        }
+
+        Ok(Rmi { root, leaves, scale, n, _marker: std::marker::PhantomData })
+    }
+
+    /// The branching factor (number of second-stage models).
+    pub fn branching_factor(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Mean of the stored per-leaf error spans, weighted equally per leaf.
+    pub fn mean_leaf_error(&self) -> f64 {
+        let total: f64 = self
+            .leaves
+            .iter()
+            .map(|l| (l.err_over + l.err_under) as f64)
+            .sum();
+        total / self.leaves.len() as f64
+    }
+
+    #[inline]
+    fn bucket(&self, key: K) -> usize {
+        let p = self.root.predict(key) * self.scale;
+        if p.is_nan() || p <= 0.0 {
+            0
+        } else {
+            (p as usize).min(self.leaves.len() - 1)
+        }
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        tracer.instr(self.root.instr_cost() + 3);
+        let b = self.bucket(key);
+        tracer.read(addr_of_index(&self.leaves, b), std::mem::size_of::<Leaf>());
+        let leaf = &self.leaves[b];
+        tracer.instr(8);
+        let p = leaf.predict(key.to_f64());
+        let lo_f = p - leaf.err_over as f64 - 1.0;
+        let hi_f = p + leaf.err_under as f64 + 2.0;
+        let lo = if lo_f <= 0.0 { 0 } else { (lo_f as usize).min(self.n) };
+        let hi = if hi_f <= 0.0 { 0 } else { (hi_f as usize).min(self.n) };
+        SearchBound { lo, hi: hi.max(lo) }
+    }
+}
+
+impl<K: Key> Index<K> for Rmi<K> {
+    fn name(&self) -> &'static str {
+        "RMI"
+    }
+
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Model>() + self.leaves.len() * std::mem::size_of::<Leaf>()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: false, ordered: true, kind: IndexKind::Learned }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`Rmi`]: one Figure-7 point per configuration.
+#[derive(Debug, Clone)]
+pub struct RmiBuilder {
+    /// Stage-one model family.
+    pub root_kind: ModelKind,
+    /// Stage-two model family (linear family only).
+    pub leaf_kind: ModelKind,
+    /// Number of stage-two models.
+    pub branch: usize,
+}
+
+impl Default for RmiBuilder {
+    fn default() -> Self {
+        RmiBuilder { root_kind: ModelKind::Cubic, leaf_kind: ModelKind::Linear, branch: 1 << 14 }
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for RmiBuilder {
+    type Output = Rmi<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        Rmi::build(data, self.root_kind, self.leaf_kind, self.branch)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "RMI[{},{},b={}]",
+            self.root_kind.label(),
+            self.leaf_kind.label(),
+            self.branch
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::CountingTracer;
+
+    fn validity_probes(data: &SortedData<u64>) -> Vec<u64> {
+        let mut probes: Vec<u64> = data.keys().to_vec();
+        probes.extend(data.keys().iter().map(|&k| k.saturating_add(1)));
+        probes.extend(data.keys().iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, 1, u64::MAX, u64::MAX - 1, u64::MAX / 2]);
+        probes
+    }
+
+    fn check_validity(keys: Vec<u64>, root: ModelKind, branch: usize) {
+        let data = SortedData::new(keys).unwrap();
+        let rmi = Rmi::build(&data, root, ModelKind::Linear, branch).unwrap();
+        for x in validity_probes(&data) {
+            let b = rmi.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(
+                b.contains(lb),
+                "{root:?} branch={branch} x={x} bound={b:?} lb={lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_on_linear_data_all_roots() {
+        let keys: Vec<u64> = (0..2000).map(|i| i * 13 + 5).collect();
+        for root in ModelKind::ROOT_KINDS {
+            for branch in [1, 2, 16, 256, 4096] {
+                check_validity(keys.clone(), root, branch);
+            }
+        }
+    }
+
+    #[test]
+    fn valid_on_quadratic_data_all_roots() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * i).collect();
+        for root in ModelKind::ROOT_KINDS {
+            check_validity(keys.clone(), root, 64);
+        }
+    }
+
+    #[test]
+    fn valid_on_clustered_data() {
+        let mut keys: Vec<u64> = (0..500).collect();
+        keys.extend((0..500).map(|i| 1_000_000_000 + i * 3));
+        keys.extend((0..500).map(|i| (1u64 << 60) + i * 1_000_000));
+        for root in ModelKind::ROOT_KINDS {
+            check_validity(keys.clone(), root, 128);
+        }
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        let mut keys = vec![7u64; 300];
+        keys.extend(vec![9u64; 300]);
+        keys.extend((10..500u64).map(|i| i * 2));
+        keys.sort_unstable();
+        for root in ModelKind::ROOT_KINDS {
+            check_validity(keys.clone(), root, 32);
+        }
+    }
+
+    #[test]
+    fn valid_with_extreme_outliers() {
+        // face-style: low bulk plus giant outliers.
+        let mut keys: Vec<u64> = (0..1000).map(|i| i * 7 + 1).collect();
+        keys.extend([u64::MAX - 10, u64::MAX - 5, u64::MAX - 1]);
+        for root in ModelKind::ROOT_KINDS {
+            check_validity(keys.clone(), root, 64);
+        }
+    }
+
+    #[test]
+    fn single_key_dataset() {
+        check_validity(vec![42], ModelKind::Linear, 8);
+    }
+
+    #[test]
+    fn branch_one_is_a_single_model() {
+        let keys: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let data = SortedData::new(keys).unwrap();
+        let rmi = Rmi::build(&data, ModelKind::Linear, ModelKind::Linear, 1).unwrap();
+        assert_eq!(rmi.branching_factor(), 1);
+        for x in validity_probes(&data) {
+            assert!(rmi.search_bound(x).contains(data.lower_bound(x)));
+        }
+    }
+
+    #[test]
+    fn more_branches_tighter_bounds() {
+        let keys: Vec<u64> = (0..20_000u64).map(|i| ((i as f64).powf(1.4)) as u64 * 3).collect();
+        let mut keys = keys;
+        keys.dedup();
+        let data = SortedData::new(keys).unwrap();
+        let small = Rmi::build(&data, ModelKind::Cubic, ModelKind::Linear, 4).unwrap();
+        let large = Rmi::build(&data, ModelKind::Cubic, ModelKind::Linear, 4096).unwrap();
+        let avg = |r: &Rmi<u64>| -> f64 {
+            data.keys()
+                .iter()
+                .step_by(37)
+                .map(|&k| r.search_bound(k).len() as f64)
+                .sum::<f64>()
+                / (data.len() / 37) as f64
+        };
+        assert!(
+            avg(&large) * 4.0 < avg(&small),
+            "large {} vs small {}",
+            avg(&large),
+            avg(&small)
+        );
+    }
+
+    #[test]
+    fn size_scales_with_branch() {
+        let data = SortedData::new((0..1000u64).collect()).unwrap();
+        let a = Rmi::build(&data, ModelKind::Linear, ModelKind::Linear, 16).unwrap();
+        let b = Rmi::build(&data, ModelKind::Linear, ModelKind::Linear, 1024).unwrap();
+        assert!(Index::<u64>::size_bytes(&b) > Index::<u64>::size_bytes(&a) * 50);
+    }
+
+    #[test]
+    fn traced_inference_is_one_leaf_read_no_branches() {
+        let data = SortedData::new((0..10_000u64).map(|i| i * 5).collect()).unwrap();
+        let rmi = Rmi::build(&data, ModelKind::Cubic, ModelKind::Linear, 512).unwrap();
+        let mut t = CountingTracer::default();
+        rmi.search_bound_traced(25_000, &mut t);
+        assert_eq!(t.reads, 1, "RMI inference should read exactly one leaf");
+        assert_eq!(t.branches, 0, "RMI inference is branch-free");
+        assert!(t.instructions > 0);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let data = SortedData::new(vec![1u64, 2, 3]).unwrap();
+        assert!(Rmi::build(&data, ModelKind::Linear, ModelKind::Linear, 0).is_err());
+        assert!(Rmi::build(&data, ModelKind::Linear, ModelKind::Cubic, 4).is_err());
+        assert!(Rmi::build(&data, ModelKind::Linear, ModelKind::Linear, 1 << 27).is_err());
+    }
+
+    #[test]
+    fn works_with_u32_keys() {
+        let keys: Vec<u32> = (0..3000u32).map(|i| i * 11).collect();
+        let data = SortedData::new(keys).unwrap();
+        let rmi = Rmi::build(&data, ModelKind::Cubic, ModelKind::Linear, 64).unwrap();
+        for &k in data.keys() {
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                assert!(rmi.search_bound(probe).contains(data.lower_bound(probe)));
+            }
+        }
+    }
+}

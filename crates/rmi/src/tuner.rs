@@ -1,0 +1,131 @@
+//! CDFShop-style auto-tuning (Marcus, Zhang, Kraska, SIGMOD 2020 demo).
+//!
+//! The paper tunes every RMI with CDFShop, which explores model-type and
+//! branching-factor combinations and returns ~10 Pareto-optimal
+//! configurations from minimum to maximum size. This module reproduces that
+//! workflow: a deterministic grid sweep scored by (index size, mean log2
+//! error on sampled probes), reduced to its Pareto front.
+
+use crate::model::ModelKind;
+use crate::rmi::{Rmi, RmiBuilder};
+use sosd_core::stats::{log2_error_stats, pareto_front};
+use sosd_core::util::XorShift64;
+use sosd_core::{Index, Key, SortedData};
+
+/// Grid and scoring parameters for [`auto_tune`].
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// Stage-one model families to try.
+    pub root_kinds: Vec<ModelKind>,
+    /// Branching factors to try (capped at the dataset size internally).
+    pub branches: Vec<usize>,
+    /// Number of sampled probe keys used to score each candidate.
+    pub probes: usize,
+    /// Maximum number of configurations to return.
+    pub max_configs: usize,
+    /// Probe-sampling seed.
+    pub seed: u64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            root_kinds: ModelKind::ROOT_KINDS.to_vec(),
+            branches: (6..=22).step_by(2).map(|b| 1usize << b).collect(),
+            probes: 10_000,
+            max_configs: 10,
+            seed: 0xCDF_5409,
+        }
+    }
+}
+
+/// Explore the configuration grid and return a Pareto-optimal set of
+/// builders ordered by increasing size, at most `max_configs` long.
+pub fn auto_tune<K: Key>(data: &SortedData<K>, cfg: &TunerConfig) -> Vec<RmiBuilder> {
+    let mut rng = XorShift64::new(cfg.seed);
+    let probes: Vec<K> = (0..cfg.probes.max(1))
+        .map(|_| data.key(rng.next_below(data.len() as u64) as usize))
+        .collect();
+
+    let mut candidates: Vec<(RmiBuilder, f64, f64)> = Vec::new();
+    for &root_kind in &cfg.root_kinds {
+        for &branch in &cfg.branches {
+            let branch = branch.min(data.len().max(1));
+            let builder = RmiBuilder { root_kind, leaf_kind: ModelKind::Linear, branch };
+            let Ok(rmi) = Rmi::build(data, root_kind, ModelKind::Linear, branch) else {
+                continue;
+            };
+            let stats = log2_error_stats(&rmi, data, &probes);
+            candidates.push((
+                builder,
+                Index::<K>::size_bytes(&rmi) as f64,
+                stats.mean_log2,
+            ));
+        }
+    }
+
+    let points: Vec<(f64, f64)> = candidates.iter().map(|c| (c.1, c.2)).collect();
+    let front = pareto_front(&points);
+
+    // Thin the front evenly to at most max_configs entries, keeping ends.
+    let picked: Vec<usize> = if front.len() <= cfg.max_configs {
+        front
+    } else {
+        (0..cfg.max_configs)
+            .map(|i| front[i * (front.len() - 1) / (cfg.max_configs - 1)])
+            .collect()
+    };
+    picked.into_iter().map(|i| candidates[i].0.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::IndexBuilder;
+
+    fn small_config() -> TunerConfig {
+        TunerConfig {
+            branches: vec![16, 64, 256, 1024],
+            probes: 500,
+            max_configs: 5,
+            ..TunerConfig::default()
+        }
+    }
+
+    #[test]
+    fn returns_bounded_pareto_set() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| i * 17 + (i % 13)).collect();
+        let data = SortedData::new(keys).unwrap();
+        let configs = auto_tune(&data, &small_config());
+        assert!(!configs.is_empty());
+        assert!(configs.len() <= 5);
+    }
+
+    #[test]
+    fn configs_span_increasing_sizes() {
+        let keys: Vec<u64> = (0..30_000u64).map(|i| (i * i) / 3 + i).collect();
+        let data = SortedData::new(keys).unwrap();
+        let configs = auto_tune(&data, &small_config());
+        let sizes: Vec<usize> = configs
+            .iter()
+            .map(|b| {
+                let rmi = IndexBuilder::<u64>::build(b, &data).unwrap();
+                Index::<u64>::size_bytes(&rmi)
+            })
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes {sizes:?}");
+        assert!(sizes.last().unwrap() > sizes.first().unwrap());
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 3).collect();
+        let data = SortedData::new(keys).unwrap();
+        let a = auto_tune(&data, &small_config());
+        let b = auto_tune(&data, &small_config());
+        let desc = |v: &[RmiBuilder]| -> Vec<String> {
+            v.iter().map(IndexBuilder::<u64>::describe).collect()
+        };
+        assert_eq!(desc(&a), desc(&b));
+    }
+}

@@ -1,0 +1,308 @@
+//! # sosd-succinct
+//!
+//! Succinct bit vector with constant-time rank and near-constant-time select
+//! — the substrate for the LOUDS-encoded fast succinct trie (FST) baseline.
+//!
+//! Layout: raw `u64` words plus one cumulative rank sample per 512-bit
+//! superblock (rank9-style, 6.25% overhead), with select answered by a
+//! binary search over superblocks followed by word scans.
+
+/// A plain append-only bit vector.
+#[derive(Debug, Clone, Default)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Create an empty bit vector.
+    pub fn new() -> Self {
+        BitVec::default()
+    }
+
+    /// Create with capacity for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitVec { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    /// Append a bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Read the bit at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bits have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes used by the raw bits.
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Rank/select directory over a [`BitVec`].
+#[derive(Debug, Clone)]
+pub struct RankSelect {
+    bits: BitVec,
+    /// `super_ranks[s]` = number of ones before superblock `s` (8 words).
+    super_ranks: Vec<u64>,
+    ones: u64,
+}
+
+const WORDS_PER_SUPER: usize = 8; // 512-bit superblocks
+
+impl RankSelect {
+    /// Build the directory (one pass over the words).
+    pub fn new(bits: BitVec) -> Self {
+        let mut super_ranks = Vec::with_capacity(bits.words.len() / WORDS_PER_SUPER + 1);
+        let mut acc = 0u64;
+        for (w, word) in bits.words.iter().enumerate() {
+            if w % WORDS_PER_SUPER == 0 {
+                super_ranks.push(acc);
+            }
+            acc += word.count_ones() as u64;
+        }
+        if bits.words.is_empty() {
+            super_ranks.push(0);
+        }
+        RankSelect { bits, super_ranks, ones: acc }
+    }
+
+    /// The underlying bit vector.
+    #[inline]
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> u64 {
+        self.ones
+    }
+
+    /// Number of ones in `[0, i)`. `i` may equal `len`.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> u64 {
+        debug_assert!(i <= self.bits.len);
+        let word = i / 64;
+        let sb = word / WORDS_PER_SUPER;
+        let mut r = self.super_ranks[sb];
+        for w in sb * WORDS_PER_SUPER..word {
+            r += self.bits.words[w].count_ones() as u64;
+        }
+        if !i.is_multiple_of(64) {
+            r += (self.bits.words[word] & ((1u64 << (i % 64)) - 1)).count_ones() as u64;
+        }
+        r
+    }
+
+    /// Number of zeros in `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> u64 {
+        i as u64 - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one (0-indexed); `None` when out of range.
+    pub fn select1(&self, k: u64) -> Option<usize> {
+        if k >= self.ones {
+            return None;
+        }
+        // Superblock binary search: last superblock with rank <= k.
+        let sb = self.super_ranks.partition_point(|&r| r <= k) - 1;
+        let mut remaining = k - self.super_ranks[sb];
+        let start = sb * WORDS_PER_SUPER;
+        for w in start..self.bits.words.len() {
+            let pop = self.bits.words[w].count_ones() as u64;
+            if remaining < pop {
+                return Some(w * 64 + select_in_word(self.bits.words[w], remaining as u32));
+            }
+            remaining -= pop;
+        }
+        None
+    }
+
+    /// Position of the `k`-th zero (0-indexed); `None` when out of range.
+    pub fn select0(&self, k: u64) -> Option<usize> {
+        let zeros = self.bits.len as u64 - self.ones;
+        if k >= zeros {
+            return None;
+        }
+        // Zeros before superblock s = s*512 - super_ranks[s] (clamped by len).
+        let zero_rank = |s: usize| (s * WORDS_PER_SUPER * 64) as u64 - self.super_ranks[s];
+        let mut lo = 0usize;
+        let mut hi = self.super_ranks.len();
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if zero_rank(mid) <= k {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut remaining = k - zero_rank(lo);
+        for w in lo * WORDS_PER_SUPER..self.bits.words.len() {
+            let valid = (self.bits.len - w * 64).min(64);
+            let inv = !self.bits.words[w] & if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            let pop = inv.count_ones() as u64;
+            if remaining < pop {
+                return Some(w * 64 + select_in_word(inv, remaining as u32));
+            }
+            remaining -= pop;
+        }
+        None
+    }
+}
+
+/// Position of the `k`-th set bit within a word (0-indexed; must exist).
+#[inline]
+fn select_in_word(mut word: u64, mut k: u32) -> usize {
+    debug_assert!(word.count_ones() > k);
+    loop {
+        let tz = word.trailing_zeros();
+        if k == 0 {
+            return tz as usize;
+        }
+        word &= word - 1; // clear lowest set bit
+        k -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make(pattern: impl Iterator<Item = bool>) -> RankSelect {
+        let mut bv = BitVec::new();
+        for b in pattern {
+            bv.push(b);
+        }
+        RankSelect::new(bv)
+    }
+
+    /// Simple deterministic pseudo-random bit stream.
+    fn noise(n: usize, seed: u64) -> Vec<bool> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 62) & 1 == 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_get_round_trip() {
+        let pat = noise(1000, 5);
+        let mut bv = BitVec::new();
+        for &b in &pat {
+            bv.push(b);
+        }
+        assert_eq!(bv.len(), 1000);
+        for (i, &b) in pat.iter().enumerate() {
+            assert_eq!(bv.get(i), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn rank1_matches_naive_on_noise() {
+        let pat = noise(5000, 9);
+        let rs = make(pat.iter().copied());
+        let mut naive = 0u64;
+        for i in 0..=pat.len() {
+            assert_eq!(rs.rank1(i), naive, "rank1({i})");
+            if i < pat.len() && pat[i] {
+                naive += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn select1_inverts_rank1() {
+        let pat = noise(5000, 13);
+        let rs = make(pat.iter().copied());
+        let mut k = 0u64;
+        for (i, &b) in pat.iter().enumerate() {
+            if b {
+                assert_eq!(rs.select1(k), Some(i), "select1({k})");
+                k += 1;
+            }
+        }
+        assert_eq!(rs.select1(k), None);
+    }
+
+    #[test]
+    fn select0_inverts_rank0() {
+        let pat = noise(3000, 21);
+        let rs = make(pat.iter().copied());
+        let mut k = 0u64;
+        for (i, &b) in pat.iter().enumerate() {
+            if !b {
+                assert_eq!(rs.select0(k), Some(i), "select0({k})");
+                k += 1;
+            }
+        }
+        assert_eq!(rs.select0(k), None);
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let ones = make((0..700).map(|_| true));
+        assert_eq!(ones.rank1(700), 700);
+        assert_eq!(ones.select1(699), Some(699));
+        assert_eq!(ones.select0(0), None);
+        let zeros = make((0..700).map(|_| false));
+        assert_eq!(zeros.rank1(700), 0);
+        assert_eq!(zeros.select0(699), Some(699));
+        assert_eq!(zeros.select1(0), None);
+    }
+
+    #[test]
+    fn empty_bitvec() {
+        let rs = RankSelect::new(BitVec::new());
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.select1(0), None);
+        assert_eq!(rs.select0(0), None);
+    }
+
+    #[test]
+    fn superblock_boundaries() {
+        // Exactly one superblock (512 bits) of alternating bits plus spill.
+        let pat: Vec<bool> = (0..600).map(|i| i % 2 == 0).collect();
+        let rs = make(pat.iter().copied());
+        assert_eq!(rs.rank1(512), 256);
+        assert_eq!(rs.rank1(513), 257);
+        assert_eq!(rs.select1(256), Some(512));
+    }
+
+    #[test]
+    fn select_in_word_all_positions() {
+        let w: u64 = 0b1011_0100_1111_0001;
+        let positions: Vec<usize> = (0..64).filter(|&i| (w >> i) & 1 == 1).collect();
+        for (k, &p) in positions.iter().enumerate() {
+            assert_eq!(select_in_word(w, k as u32), p);
+        }
+    }
+}

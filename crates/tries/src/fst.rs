@@ -1,0 +1,333 @@
+//! FST: a LOUDS-sparse fast succinct trie (SuRF's lower layer) over
+//! big-endian key bytes.
+//!
+//! Layout (per SuRF): three parallel per-label sequences in level order —
+//! `labels` (the branch byte), `has_child` (1 = inner edge, 0 = leaf), and
+//! `louds` (1 = first label of its node) — with child navigation computed
+//! from rank/select over the bit vectors. Single-key subtrees are truncated
+//! into leaves; the full key is kept alongside the leaf value so floor
+//! queries can compare beyond the stored prefix.
+
+use sosd_core::stride::Stride;
+use sosd_core::trace::addr_of_index;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+use sosd_succinct::{BitVec, RankSelect};
+use std::collections::VecDeque;
+
+/// The succinct trie index.
+pub struct FstIndex<K: Key> {
+    labels: Vec<u8>,
+    has_child: RankSelect,
+    louds: RankSelect,
+    /// Full keys of the leaves, indexed by leaf rank (`rank0(has_child, pos)`).
+    leaf_keys: Vec<u64>,
+    /// Sampled slots, parallel to `leaf_keys`.
+    leaf_slots: Vec<u32>,
+    geometry: Stride,
+    key_offset: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Key> FstIndex<K> {
+    /// Build with the given sampling stride.
+    pub fn build(data: &SortedData<K>, stride: usize) -> Result<Self, BuildError> {
+        let geometry = Stride::new(stride, data.len());
+        let sampled = geometry.sample(data.keys());
+        // Dedup keeping the last slot (strict-floor semantics).
+        let mut keys: Vec<u64> = Vec::with_capacity(sampled.len());
+        let mut slots: Vec<u32> = Vec::with_capacity(sampled.len());
+        for (slot, k) in sampled.iter().enumerate() {
+            let k = k.to_u64();
+            if keys.last() == Some(&k) {
+                *slots.last_mut().expect("non-empty") = slot as u32;
+            } else {
+                keys.push(k);
+                slots.push(slot as u32);
+            }
+        }
+        let key_offset = 8 - (K::BITS / 8) as usize;
+
+        // BFS construction so labels are emitted in level (LOUDS) order.
+        let mut labels = Vec::new();
+        let mut has_child = BitVec::new();
+        let mut louds = BitVec::new();
+        let mut leaf_keys = Vec::new();
+        let mut leaf_slots = Vec::new();
+        let mut queue: VecDeque<(usize, usize, usize)> = VecDeque::new(); // lo, hi, depth
+        queue.push_back((0, keys.len(), key_offset));
+        while let Some((lo, hi, depth)) = queue.pop_front() {
+            debug_assert!(depth < 8, "non-unique keys reached full depth");
+            let mut first_in_node = true;
+            let mut g = lo;
+            while g < hi {
+                let b = keys[g].to_be_bytes()[depth];
+                let g_end =
+                    g + keys[g..hi].partition_point(|k| k.to_be_bytes()[depth] == b);
+                labels.push(b);
+                louds.push(first_in_node);
+                first_in_node = false;
+                if g_end - g == 1 {
+                    // Single-key subtree: truncate to a leaf.
+                    has_child.push(false);
+                    leaf_keys.push(keys[g]);
+                    leaf_slots.push(slots[g]);
+                } else {
+                    has_child.push(true);
+                    queue.push_back((g, g_end, depth + 1));
+                }
+                g = g_end;
+            }
+        }
+
+        Ok(FstIndex {
+            labels,
+            has_child: RankSelect::new(has_child),
+            louds: RankSelect::new(louds),
+            leaf_keys,
+            leaf_slots,
+            geometry,
+            key_offset,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of trie labels (edges).
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label range `[start, end)` of a node.
+    #[inline]
+    fn node_range(&self, node_id: u64) -> (usize, usize) {
+        let s = self.louds.select1(node_id).expect("valid node id");
+        let e = self
+            .louds
+            .select1(node_id + 1)
+            .unwrap_or(self.labels.len());
+        (s, e)
+    }
+
+    /// Node id of the child hanging off label position `pos`.
+    #[inline]
+    fn child_node(&self, pos: usize) -> u64 {
+        self.has_child.rank1(pos + 1)
+    }
+
+    /// Leaf rank of the leaf at label position `pos`.
+    #[inline]
+    fn leaf_rank(&self, pos: usize) -> usize {
+        self.has_child.rank0(pos) as usize
+    }
+
+    /// Greatest slot in the subtree rooted at `node_id` (rightmost leaf).
+    fn max_of_subtree<T: Tracer>(&self, mut node_id: u64, tracer: &mut T) -> u32 {
+        loop {
+            let (s, e) = self.node_range(node_id);
+            let p = e - 1;
+            tracer.read(addr_of_index(&self.labels, p), 1);
+            tracer.instr(8);
+            let _ = s;
+            if self.has_child.bits().get(p) {
+                node_id = self.child_node(p);
+            } else {
+                return self.leaf_slots[self.leaf_rank(p)];
+            }
+        }
+    }
+
+    /// Greatest sampled slot with key strictly less than `x` in the subtree.
+    fn floor<T: Tracer>(
+        &self,
+        node_id: u64,
+        depth: usize,
+        bytes: &[u8; 8],
+        x: u64,
+        tracer: &mut T,
+    ) -> Option<u32> {
+        let (s, e) = self.node_range(node_id);
+        let b = bytes[depth];
+        tracer.read(addr_of_index(&self.labels, s), e - s);
+        tracer.instr(10); // rank/select arithmetic per node
+        let pos = s + self.labels[s..e].partition_point(|&l| l < b);
+        let site = self as *const _ as usize;
+        if pos < e && self.labels[pos] == b {
+            tracer.branch(site, true);
+            if self.has_child.bits().get(pos) {
+                if let Some(slot) =
+                    self.floor(self.child_node(pos), depth + 1, bytes, x, tracer)
+                {
+                    return Some(slot);
+                }
+            } else {
+                let r = self.leaf_rank(pos);
+                tracer.read(addr_of_index(&self.leaf_keys, r), 8);
+                if self.leaf_keys[r] < x {
+                    return Some(self.leaf_slots[r]);
+                }
+            }
+        } else {
+            tracer.branch(site, false);
+        }
+        // Greatest label strictly below the search byte.
+        if pos > s {
+            let p = pos - 1;
+            if self.has_child.bits().get(p) {
+                return Some(self.max_of_subtree(self.child_node(p), tracer));
+            }
+            return Some(self.leaf_slots[self.leaf_rank(p)]);
+        }
+        None
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let x = key.to_u64();
+        let bytes = x.to_be_bytes();
+        let pred = self
+            .floor(0, self.key_offset, &bytes, x, tracer)
+            .map(|s| s as usize);
+        self.geometry.bound_for_pred_slot(pred)
+    }
+}
+
+impl<K: Key> Index<K> for FstIndex<K> {
+    fn name(&self) -> &'static str {
+        "FST"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.labels.len()
+            + self.has_child.bits().size_bytes()
+            + self.louds.bits().size_bytes()
+            + self.leaf_keys.len() * 8
+            + self.leaf_slots.len() * 4
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::Trie }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`FstIndex`].
+#[derive(Debug, Clone)]
+pub struct FstBuilder {
+    /// Index every `stride`-th key.
+    pub stride: usize,
+}
+
+impl Default for FstBuilder {
+    fn default() -> Self {
+        FstBuilder { stride: 1 }
+    }
+}
+
+impl FstBuilder {
+    /// Size sweep for Figure 8.
+    pub fn size_sweep() -> Vec<FstBuilder> {
+        [1usize, 4, 16, 64, 256].into_iter().map(|stride| FstBuilder { stride }).collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for FstBuilder {
+    type Output = FstIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        FstIndex::build(data, self.stride)
+    }
+
+    fn describe(&self) -> String {
+        format!("FST[stride={}]", self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+
+    fn check_validity(keys: Vec<u64>, stride: usize) {
+        let data = SortedData::new(keys.clone()).unwrap();
+        let idx = FstIndex::build(&data, stride).unwrap();
+        let mut probes: Vec<u64> = keys.clone();
+        probes.extend(keys.iter().map(|&k| k.saturating_add(1)));
+        probes.extend(keys.iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, u64::MAX, u64::MAX / 5]);
+        for x in probes {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "stride={stride} x={x} bound={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_dense_keys() {
+        check_validity((0..2000u64).collect(), 1);
+        check_validity((0..2000u64).collect(), 5);
+    }
+
+    #[test]
+    fn valid_on_random_keys() {
+        let mut rng = XorShift64::new(41);
+        let mut keys: Vec<u64> = (0..4000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        check_validity(keys.clone(), 1);
+        check_validity(keys, 8);
+    }
+
+    #[test]
+    fn valid_with_shared_prefixes() {
+        let mut keys: Vec<u64> = (0..500).map(|i| 0xDEAD_0000_0000_0000u64 + i).collect();
+        keys.extend((0..500).map(|i| 0xDEAD_BEEF_0000_0000u64 + i * 3));
+        keys.extend((0..500).map(|i| i * 7));
+        keys.sort_unstable();
+        check_validity(keys, 1);
+    }
+
+    #[test]
+    fn valid_with_duplicates_in_data() {
+        let mut keys = vec![3u64; 60];
+        keys.extend(vec![1u64 << 40; 60]);
+        keys.extend((0..300u64).map(|i| (1u64 << 41) + i));
+        keys.sort_unstable();
+        check_validity(keys.clone(), 1);
+        check_validity(keys, 3);
+    }
+
+    #[test]
+    fn valid_for_u32_keys() {
+        let keys: Vec<u32> = (0..2000u32).map(|i| i * 37).collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = FstIndex::build(&data, 2).unwrap();
+        for &k in data.keys() {
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                assert!(idx.search_bound(probe).contains(data.lower_bound(probe)));
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_trie_small_on_sparse_keys() {
+        let mut rng = XorShift64::new(9);
+        let mut keys: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let data = SortedData::new(keys.clone()).unwrap();
+        let idx = FstIndex::build(&data, 1).unwrap();
+        // Random 64-bit keys diverge within ~3 bytes, so labels should be
+        // far fewer than keys * 8.
+        assert!(idx.num_labels() < keys.len() * 4, "labels: {}", idx.num_labels());
+    }
+}

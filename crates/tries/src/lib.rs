@@ -1,0 +1,23 @@
+//! # sosd-tries
+//!
+//! The string-oriented baselines of Figure 8: FST (the Fast Succinct Trie of
+//! SuRF, Zhang et al., SIGMOD 2018) and Wormhole (Wu, Ni, Jiang, EuroSys
+//! 2019).
+//!
+//! Both structures are designed for variable-length string keys where a key
+//! comparison is expensive; on fixed-width integers their per-byte traversal
+//! machinery becomes pure overhead, which is exactly the paper's Figure 8
+//! result (neither beats plain binary search on integer keys).
+//!
+//! * [`fst`]: a LOUDS-sparse succinct trie over big-endian key bytes, built
+//!   on the `sosd-succinct` rank/select bit vectors.
+//! * [`wormhole`]: a hash-accelerated anchor trie — sorted leaf nodes of
+//!   ~64 keys, with a MetaTrieHash mapping every anchor prefix to a leaf
+//!   range so the right leaf is found by binary search over *prefix length*
+//!   (hash probes) instead of over keys.
+
+pub mod fst;
+pub mod wormhole;
+
+pub use fst::{FstBuilder, FstIndex};
+pub use wormhole::{WormholeBuilder, WormholeIndex};

@@ -1,0 +1,375 @@
+//! Wormhole: a hash-accelerated ordered index (Wu, Ni, Jiang, EuroSys 2019).
+//!
+//! Keys live in sorted leaf nodes of ~64 entries. Each leaf has an *anchor*
+//! — the shortest key prefix separating it from its left neighbour — and a
+//! MetaTrieHash maps every anchor prefix to the range of leaves below it.
+//! A lookup binary-searches over *prefix length* (hash probes, O(log L))
+//! instead of over keys, then resolves the exact leaf among the few anchors
+//! in the matched range. Designed for long string keys; on fixed 8-byte
+//! integers the hashing machinery is overhead, per Figure 8.
+
+use sosd_core::stride::Stride;
+use sosd_core::trace::addr_of_index;
+use sosd_core::util::splitmix64;
+use sosd_core::{
+    BuildError, Capabilities, Index, IndexBuilder, IndexKind, Key, NullTracer, SearchBound,
+    SortedData, Tracer,
+};
+
+/// Keys per leaf node.
+const LEAF_SIZE: usize = 64;
+
+/// One MetaTrieHash entry: an anchor prefix and its leaf range.
+#[derive(Debug, Clone, Copy)]
+struct HashEntry {
+    /// Prefix bytes left-aligned in a u64 (numeric padded form).
+    prefix: u64,
+    /// Prefix length in bytes; `u8::MAX` marks an empty slot.
+    len: u8,
+    min_leaf: u32,
+    max_leaf: u32,
+}
+
+const EMPTY: u8 = u8::MAX;
+
+/// Open-addressing table keyed by (prefix, len).
+#[derive(Debug, Clone)]
+struct MetaTrieHash {
+    slots: Vec<HashEntry>,
+    mask: usize,
+}
+
+impl MetaTrieHash {
+    fn with_capacity(entries: usize) -> Self {
+        let cap = (entries * 2).next_power_of_two().max(8);
+        MetaTrieHash {
+            slots: vec![HashEntry { prefix: 0, len: EMPTY, min_leaf: 0, max_leaf: 0 }; cap],
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn hash(prefix: u64, len: u8) -> usize {
+        splitmix64(prefix ^ ((len as u64) << 56).rotate_left(17)) as usize
+    }
+
+    fn upsert(&mut self, prefix: u64, len: u8, leaf: u32) {
+        let mut i = Self::hash(prefix, len) & self.mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.len == EMPTY {
+                *slot = HashEntry { prefix, len, min_leaf: leaf, max_leaf: leaf };
+                return;
+            }
+            if slot.len == len && slot.prefix == prefix {
+                slot.min_leaf = slot.min_leaf.min(leaf);
+                slot.max_leaf = slot.max_leaf.max(leaf);
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn get<T: Tracer>(&self, prefix: u64, len: u8, tracer: &mut T) -> Option<(u32, u32)> {
+        let mut i = Self::hash(prefix, len) & self.mask;
+        tracer.instr(6);
+        loop {
+            tracer.read(addr_of_index(&self.slots, i), std::mem::size_of::<HashEntry>());
+            let slot = &self.slots[i];
+            if slot.len == EMPTY {
+                return None;
+            }
+            if slot.len == len && slot.prefix == prefix {
+                return Some((slot.min_leaf, slot.max_leaf));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<HashEntry>()
+    }
+}
+
+/// The Wormhole index over every `stride`-th key.
+pub struct WormholeIndex<K: Key> {
+    /// Anchor of each leaf in numeric padded form (`anchors[0] == 0`).
+    anchors: Vec<u64>,
+    /// Leaf key storage: all sampled keys, chunked by [`LEAF_SIZE`].
+    keys: Vec<u64>,
+    /// Slot of each stored key (keep-last under duplicates).
+    slots: Vec<u32>,
+    table: MetaTrieHash,
+    geometry: Stride,
+    key_len: usize,
+    _marker: std::marker::PhantomData<K>,
+}
+
+/// Truncate a padded key to its first `len` bytes (zeroing the rest).
+#[inline]
+fn prefix_of(padded: u64, len: u8) -> u64 {
+    if len == 0 {
+        0
+    } else if len >= 8 {
+        padded
+    } else {
+        padded & !(u64::MAX >> (len * 8))
+    }
+}
+
+impl<K: Key> WormholeIndex<K> {
+    /// Build with the given sampling stride.
+    pub fn build(data: &SortedData<K>, stride: usize) -> Result<Self, BuildError> {
+        let geometry = Stride::new(stride, data.len());
+        let sampled = geometry.sample(data.keys());
+        let mut keys: Vec<u64> = Vec::with_capacity(sampled.len());
+        let mut slots: Vec<u32> = Vec::with_capacity(sampled.len());
+        for (slot, k) in sampled.iter().enumerate() {
+            let k = k.to_u64();
+            if keys.last() == Some(&k) {
+                *slots.last_mut().expect("non-empty") = slot as u32;
+            } else {
+                keys.push(k);
+                slots.push(slot as u32);
+            }
+        }
+        let key_len = (K::BITS / 8) as usize;
+        // Keys are left-padded in to_be_bytes form; shift so the significant
+        // bytes are the leading ones (prefix arithmetic works on u64).
+        let shift = (8 - key_len) * 8;
+        let padded: Vec<u64> = keys.iter().map(|&k| k << shift).collect();
+
+        let num_leaves = keys.len().div_ceil(LEAF_SIZE);
+        let mut anchors = Vec::with_capacity(num_leaves);
+        let mut anchor_lens = Vec::with_capacity(num_leaves);
+        for leaf in 0..num_leaves {
+            if leaf == 0 {
+                anchors.push(0u64);
+                anchor_lens.push(0u8);
+                continue;
+            }
+            let prev_last = padded[leaf * LEAF_SIZE - 1];
+            let cur_first = padded[leaf * LEAF_SIZE];
+            // Shortest prefix of cur_first that exceeds prev_last.
+            let diff_byte = ((prev_last ^ cur_first).leading_zeros() / 8) as u8;
+            let len = (diff_byte + 1).min(key_len as u8);
+            anchors.push(prefix_of(cur_first, len));
+            anchor_lens.push(len);
+        }
+
+        let mut table = MetaTrieHash::with_capacity(
+            anchor_lens.iter().map(|&l| l as usize + 1).sum::<usize>(),
+        );
+        for (leaf, (&a, &l)) in anchors.iter().zip(&anchor_lens).enumerate() {
+            for len in 0..=l {
+                table.upsert(prefix_of(a, len), len, leaf as u32);
+            }
+        }
+
+        Ok(WormholeIndex {
+            anchors,
+            keys,
+            slots,
+            table,
+            geometry,
+            key_len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of leaf nodes.
+    pub fn num_leaves(&self) -> usize {
+        self.anchors.len()
+    }
+
+    #[inline]
+    fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
+        let x = key.to_u64();
+        let padded = x << ((8 - self.key_len) * 8);
+
+        // Binary search over prefix length: the anchor-prefix set is
+        // prefix-closed, so membership is monotone in the length.
+        let mut best = (0u32, self.anchors.len() as u32 - 1);
+        let mut lo_len = 0u8;
+        let mut hi_len = self.key_len as u8;
+        while lo_len < hi_len {
+            let mid = lo_len + (hi_len - lo_len).div_ceil(2);
+            match self.table.get(prefix_of(padded, mid), mid, tracer) {
+                Some(range) => {
+                    best = range;
+                    lo_len = mid;
+                }
+                None => hi_len = mid - 1,
+            }
+            tracer.branch(self as *const _ as usize, true);
+        }
+
+        // Resolve the leaf: greatest anchor (numeric padded) <= padded key,
+        // searching one leaf left of the matched range for safety.
+        let lo_leaf = (best.0 as usize).saturating_sub(1);
+        let hi_leaf = best.1 as usize;
+        let window = &self.anchors[lo_leaf..=hi_leaf];
+        tracer.read(addr_of_index(&self.anchors, lo_leaf), window.len() * 8);
+        tracer.instr(4 + window.len() as u64);
+        let leaf = lo_leaf + window.partition_point(|&a| a <= padded).saturating_sub(1);
+
+        // Strict floor within the leaf (spilling into the left neighbour).
+        let start = leaf * LEAF_SIZE;
+        let end = ((leaf + 1) * LEAF_SIZE).min(self.keys.len());
+        tracer.read(addr_of_index(&self.keys, start), (end - start) * 8);
+        tracer.instr(8);
+        let idx = start + self.keys[start..end].partition_point(|&k| k < x);
+        let pred = if idx > start {
+            Some(self.slots[idx - 1] as usize)
+        } else if start > 0 {
+            Some(self.slots[start - 1] as usize)
+        } else {
+            None
+        };
+        self.geometry.bound_for_pred_slot(pred)
+    }
+}
+
+impl<K: Key> Index<K> for WormholeIndex<K> {
+    fn name(&self) -> &'static str {
+        "Wormhole"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.anchors.len() * 8
+            + self.keys.len() * 8
+            + self.slots.len() * 4
+            + self.table.size_bytes()
+    }
+
+    #[inline]
+    fn search_bound(&self, key: K) -> SearchBound {
+        self.bound_generic(key, &mut NullTracer)
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::HybridHashTrie }
+    }
+
+    fn search_bound_traced(&self, key: K, tracer: &mut dyn Tracer) -> SearchBound {
+        self.bound_generic(key, &mut { tracer })
+    }
+}
+
+/// Builder for [`WormholeIndex`].
+#[derive(Debug, Clone)]
+pub struct WormholeBuilder {
+    /// Index every `stride`-th key.
+    pub stride: usize,
+}
+
+impl Default for WormholeBuilder {
+    fn default() -> Self {
+        WormholeBuilder { stride: 1 }
+    }
+}
+
+impl WormholeBuilder {
+    /// Size sweep for Figure 8.
+    pub fn size_sweep() -> Vec<WormholeBuilder> {
+        [1usize, 4, 16, 64, 256]
+            .into_iter()
+            .map(|stride| WormholeBuilder { stride })
+            .collect()
+    }
+}
+
+impl<K: Key> IndexBuilder<K> for WormholeBuilder {
+    type Output = WormholeIndex<K>;
+
+    fn build(&self, data: &SortedData<K>) -> Result<Self::Output, BuildError> {
+        WormholeIndex::build(data, self.stride)
+    }
+
+    fn describe(&self) -> String {
+        format!("Wormhole[stride={}]", self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sosd_core::util::XorShift64;
+
+    fn check_validity(keys: Vec<u64>, stride: usize) {
+        let data = SortedData::new(keys.clone()).unwrap();
+        let idx = WormholeIndex::build(&data, stride).unwrap();
+        let mut probes: Vec<u64> = keys.clone();
+        probes.extend(keys.iter().map(|&k| k.saturating_add(1)));
+        probes.extend(keys.iter().map(|&k| k.saturating_sub(1)));
+        probes.extend([0, u64::MAX, u64::MAX / 7]);
+        for x in probes {
+            let b = idx.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(b.contains(lb), "stride={stride} x={x} bound={b:?} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn valid_on_dense_keys() {
+        check_validity((0..3000u64).collect(), 1);
+        check_validity((0..3000u64).collect(), 4);
+    }
+
+    #[test]
+    fn valid_on_random_keys() {
+        let mut rng = XorShift64::new(31);
+        let mut keys: Vec<u64> = (0..5000).map(|_| rng.next_u64()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        check_validity(keys.clone(), 1);
+        check_validity(keys, 8);
+    }
+
+    #[test]
+    fn valid_with_shared_prefixes() {
+        let mut keys: Vec<u64> = (0..800).map(|i| 0xAB00_0000_0000_0000u64 + i).collect();
+        keys.extend((0..800).map(|i| 0xAB00_CD00_0000_0000u64 + i * 11));
+        keys.extend((0..800).map(|i| i * 13));
+        keys.sort_unstable();
+        check_validity(keys, 1);
+    }
+
+    #[test]
+    fn valid_with_duplicates() {
+        let mut keys = vec![5u64; 100];
+        keys.extend(vec![1u64 << 30; 100]);
+        keys.extend((0..400u64).map(|i| (1u64 << 31) + i * 3));
+        keys.sort_unstable();
+        check_validity(keys.clone(), 1);
+        check_validity(keys, 5);
+    }
+
+    #[test]
+    fn valid_for_u32_keys() {
+        let keys: Vec<u32> = (0..3000u32).map(|i| i * 29).collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = WormholeIndex::build(&data, 2).unwrap();
+        for &k in data.keys() {
+            for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
+                assert!(idx.search_bound(probe).contains(data.lower_bound(probe)));
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs() {
+        check_validity(vec![42], 1);
+        check_validity(vec![1, 2], 1);
+        check_validity((0..65u64).collect(), 1); // exactly one leaf + 1
+    }
+
+    #[test]
+    fn leaf_partitioning_matches_key_count() {
+        let keys: Vec<u64> = (0..1000u64).map(|i| i * 17).collect();
+        let data = SortedData::new(keys).unwrap();
+        let idx = WormholeIndex::build(&data, 1).unwrap();
+        assert_eq!(idx.num_leaves(), 1000usize.div_ceil(LEAF_SIZE));
+    }
+}

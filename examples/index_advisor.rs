@@ -1,0 +1,86 @@
+//! Scenario: an "index advisor" that picks the right structure for *your*
+//! data and memory budget.
+//!
+//! The paper's headline result is a Pareto analysis: which index gives the
+//! fastest lookups at each size budget depends on the dataset. This example
+//! runs the same analysis programmatically — auto-tuning an RMI (CDFShop
+//! style), sweeping PGM/RS/BTree, and printing the Pareto-optimal choice
+//! for a handful of memory budgets.
+//!
+//! Run with: `cargo run --release --example index_advisor [dataset]`
+
+use sosd::bench::registry::Family;
+use sosd::bench::runner::{pareto_rows, run_family_sweep, sweep_with_builders};
+use sosd::bench::timing::TimingOptions;
+use sosd::core::IndexBuilder;
+use sosd::datasets::{make_workload, DatasetId};
+use sosd::rmi::{auto_tune, TunerConfig};
+
+fn main() {
+    let dataset = std::env::args()
+        .nth(1)
+        .and_then(|s| DatasetId::parse(&s))
+        .unwrap_or(DatasetId::Osm);
+    let workload = make_workload(dataset, 300_000, 50_000, 1);
+    println!("advising for dataset '{}' ({} keys)\n", dataset.name(), workload.data.len());
+
+    // 1. CDFShop-style auto-tuning for the RMI: Pareto set over model types
+    //    and branching factors.
+    let tuner = TunerConfig {
+        branches: vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16],
+        probes: 5_000,
+        max_configs: 5,
+        ..TunerConfig::default()
+    };
+    let rmi_configs = auto_tune(&workload.data, &tuner);
+    println!("auto-tuner picked {} RMI configurations:", rmi_configs.len());
+    for c in &rmi_configs {
+        println!("  {}", IndexBuilder::<u64>::describe(c));
+    }
+
+    // 2. Measure everything: tuned RMIs plus the standard sweeps.
+    let opts = TimingOptions { repeats: 1, ..Default::default() };
+    let mut rows = sweep_with_builders(
+        dataset.name(),
+        "RMI",
+        rmi_configs
+            .into_iter()
+            .map(|b| Box::new(b) as Box<dyn sosd::bench::registry::DynBuilder<u64>>)
+            .collect(),
+        &workload,
+        opts,
+    );
+    for family in [Family::Pgm, Family::Rs, Family::BTree, Family::Rbs] {
+        rows.extend(run_family_sweep(dataset.name(), family, &workload, opts));
+    }
+
+    // 3. Report the Pareto front and answer budget queries.
+    let front = pareto_rows(&rows);
+    println!("\nPareto-optimal configurations (size -> latency):");
+    for &i in &front {
+        let r = &rows[i];
+        println!(
+            "  {:>10.1} KB -> {:>7.1} ns  {}",
+            r.size_bytes as f64 / 1024.0,
+            r.ns_per_lookup,
+            r.config
+        );
+    }
+
+    for budget_kb in [16.0, 128.0, 1024.0, 8192.0] {
+        let best = front
+            .iter()
+            .map(|&i| &rows[i])
+            .filter(|r| r.size_bytes as f64 / 1024.0 <= budget_kb)
+            .min_by(|a, b| a.ns_per_lookup.total_cmp(&b.ns_per_lookup));
+        match best {
+            Some(r) => println!(
+                "budget {budget_kb:>7.0} KB: use {} ({:.1} ns, {:.1} KB)",
+                r.config,
+                r.ns_per_lookup,
+                r.size_bytes as f64 / 1024.0
+            ),
+            None => println!("budget {budget_kb:>7.0} KB: nothing fits — use binary search"),
+        }
+    }
+}

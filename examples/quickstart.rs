@@ -1,0 +1,64 @@
+//! Quickstart: build each learned index over a realistic dataset, run
+//! lookups through the search-bound + last-mile pipeline, and compare
+//! size / accuracy / latency.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sosd::core::stats::log2_error_stats;
+use sosd::core::{Index, IndexBuilder, SearchStrategy};
+use sosd::datasets::{make_workload, DatasetId};
+use sosd::pgm::PgmBuilder;
+use sosd::radix_spline::RsBuilder;
+use sosd::rmi::RmiBuilder;
+use std::time::Instant;
+
+fn main() {
+    // 1. A dataset: 500k keys shaped like Amazon book-popularity data, with
+    //    100k lookups drawn from the keys (the paper's workload design).
+    let workload = make_workload(DatasetId::Amzn, 500_000, 100_000, 42);
+    let data = &workload.data;
+    println!(
+        "dataset: {} keys in [{}, {}], {} lookups\n",
+        data.len(),
+        data.min_key(),
+        data.max_key(),
+        workload.lookups.len()
+    );
+
+    // 2. Build one index of each learned family.
+    let rmi = RmiBuilder::default().build(data).expect("rmi builds");
+    let pgm = PgmBuilder::default().build(data).expect("pgm builds");
+    let rs = RsBuilder::default().build(data).expect("rs builds");
+
+    // 3. Run the full lookup pipeline for each and report.
+    println!(
+        "{:<6} {:>10} {:>12} {:>12}",
+        "index", "size (KB)", "log2 error", "ns/lookup"
+    );
+    for index in [&rmi as &dyn Index<u64>, &pgm, &rs] {
+        let stats = log2_error_stats(index, data, &workload.lookups[..10_000]);
+        let start = Instant::now();
+        let mut checksum = 0u64;
+        for &key in &workload.lookups {
+            let bound = index.search_bound(key);
+            let pos = SearchStrategy::Binary.find(data.keys(), key, bound);
+            checksum = checksum.wrapping_add(data.payload(pos));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / workload.lookups.len() as f64;
+        assert!(checksum != 0);
+        println!(
+            "{:<6} {:>10.1} {:>12.2} {:>12.1}",
+            index.name(),
+            index.size_bytes() as f64 / 1024.0,
+            stats.mean_log2,
+            ns
+        );
+    }
+
+    // 4. The validity contract: bounds are correct even for absent keys.
+    let absent = data.max_key() - 1;
+    let bound = rmi.search_bound(absent);
+    let lb = data.lower_bound(absent);
+    assert!(bound.contains(lb));
+    println!("\nabsent-key probe {absent}: bound [{}, {}] contains LB {lb}", bound.lo, bound.hi);
+}

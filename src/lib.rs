@@ -1,0 +1,61 @@
+//! # sosd
+//!
+//! A benchmark suite and library for learned index structures — a
+//! from-scratch Rust reproduction of *Benchmarking Learned Indexes*
+//! (Marcus, Kipf, van Renen, Stoian, Misra, Kemper, Neumann, Kraska;
+//! VLDB 2020) and its SOSD benchmark.
+//!
+//! ## What's inside
+//!
+//! * Three learned indexes: [`rmi`] (recursive model index with a
+//!   CDFShop-style auto-tuner), [`pgm`] (piecewise geometric model index
+//!   over an optimal one-pass ε-PLA), and [`radix_spline`].
+//! * Traditional baselines: [`btree`] (STX-style B+Tree and interpolating
+//!   IBTree), [`art`], [`fast`], [`tries`] (FST + Wormhole), [`hash`]
+//!   (RobinHood + cuckoo), and [`baselines`] (binary search + RBS).
+//! * The updatable structures of the paper's future-work section: [`alex`]
+//!   (gapped model arrays, ref. [11]), [`fiting`] (FITing-Tree with
+//!   shrinking-cone segmentation and delta buffers, ref. [14]), the dynamic
+//!   PGM ([`pgm::DynamicPgm`], ref. [13]), and an insertable B+Tree
+//!   baseline ([`btree::DynamicBTree`]) — all behind
+//!   [`core::DynamicOrderedIndex`].
+//! * The dataset repository ([`datasets`]): synthetic generators
+//!   reproducing the amzn/face/osm/wiki distributions (including a real
+//!   Hilbert-curve projection for osm), workload generation, and the SOSD
+//!   binary format.
+//! * A hardware-counter simulator ([`perfsim`]) standing in for `perf`.
+//! * The experiment harness ([`bench`]) that regenerates every table and
+//!   figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sosd::core::{Index, IndexBuilder, SearchStrategy};
+//! use sosd::datasets::{make_workload, DatasetId};
+//! use sosd::rmi::RmiBuilder;
+//!
+//! let workload = make_workload(DatasetId::Amzn, 50_000, 1_000, 42);
+//! let rmi = RmiBuilder::default().build(&workload.data).unwrap();
+//! for &key in &workload.lookups[..10] {
+//!     let bound = rmi.search_bound(key);
+//!     let pos = SearchStrategy::Binary.find(workload.data.keys(), key, bound);
+//!     assert_eq!(workload.data.key(pos), key);
+//! }
+//! ```
+
+pub use sosd_alex as alex;
+pub use sosd_art as art;
+pub use sosd_baselines as baselines;
+pub use sosd_bench as bench;
+pub use sosd_btree as btree;
+pub use sosd_core as core;
+pub use sosd_datasets as datasets;
+pub use sosd_fast as fast;
+pub use sosd_fiting as fiting;
+pub use sosd_hash as hash;
+pub use sosd_perfsim as perfsim;
+pub use sosd_pgm as pgm;
+pub use sosd_radix_spline as radix_spline;
+pub use sosd_rmi as rmi;
+pub use sosd_succinct as succinct;
+pub use sosd_tries as tries;

@@ -1,0 +1,189 @@
+//! Cross-structure tests for the updatable indexes (the paper's future-work
+//! benchmark): ALEX, dynamic PGM, dynamic FITing-Tree, and the dynamic
+//! B+Tree baseline must behave exactly like `BTreeMap<u64, u64>` under
+//! arbitrary operation sequences.
+
+use proptest::prelude::*;
+use sosd::alex::AlexTree;
+use sosd::btree::DynamicBTree;
+use sosd::core::dynamic::{BulkLoad, DynamicOrderedIndex, Op};
+use sosd::fiting::DynamicFitingTree;
+use sosd::pgm::DynamicPgm;
+use std::collections::BTreeMap;
+
+/// Every dynamic structure in the workspace, freshly constructed.
+fn all_empty() -> Vec<Box<dyn DynamicOrderedIndex<u64>>> {
+    vec![
+        Box::new(AlexTree::new()),
+        Box::new(DynamicPgm::new()),
+        Box::new(DynamicFitingTree::new()),
+        Box::new(DynamicBTree::new()),
+    ]
+}
+
+/// Every dynamic structure bulk-loaded with the same seed data.
+fn all_loaded(keys: &[u64], payloads: &[u64]) -> Vec<Box<dyn DynamicOrderedIndex<u64>>> {
+    vec![
+        Box::new(AlexTree::bulk_load(keys, payloads)),
+        Box::new(DynamicPgm::bulk_load(keys, payloads)),
+        Box::new(DynamicFitingTree::bulk_load(keys, payloads)),
+        Box::new(DynamicBTree::bulk_load(keys, payloads)),
+    ]
+}
+
+/// Random op sequences over a smallish key domain (so overwrites, hits and
+/// misses all occur).
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op<u64>>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0u64..5_000, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            3 => (0u64..5_500).prop_map(Op::Lookup),
+            2 => (0u64..5_500).prop_map(Op::Remove),
+            1 => (0u64..5_000, 0u64..2_000).prop_map(|(lo, w)| Op::RangeSum(lo, lo.saturating_add(w))),
+            1 => Just(Op::Lookup(u64::MAX)),
+            1 => (any::<u64>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        ],
+        1..max_len,
+    )
+}
+
+/// Apply `op` to the oracle, mirroring `DynamicOrderedIndex` semantics.
+fn oracle_apply(oracle: &mut BTreeMap<u64, u64>, op: Op<u64>) -> Option<u64> {
+    match op {
+        Op::Insert(k, v) => oracle.insert(k, v),
+        Op::Remove(k) => oracle.remove(&k),
+        Op::Lookup(k) => oracle.get(&k).copied(),
+        Op::RangeSum(lo, hi) => {
+            Some(oracle.range(lo..hi).fold(0u64, |a, (_, &v)| a.wrapping_add(v)))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Starting empty, every structure gives byte-identical results to the
+    /// oracle for every operation in the sequence.
+    #[test]
+    fn all_structures_match_oracle_from_empty(ops in ops_strategy(400)) {
+        for mut idx in all_empty() {
+            let mut oracle = BTreeMap::new();
+            for (i, &op) in ops.iter().enumerate() {
+                let got = sosd::core::dynamic::apply_op(idx.as_mut(), op);
+                let want = oracle_apply(&mut oracle, op);
+                prop_assert_eq!(got, want, "{} diverged at op #{} ({:?})", idx.name(), i, op);
+            }
+            prop_assert_eq!(idx.len(), oracle.len(), "{} length mismatch", idx.name());
+        }
+    }
+
+    /// Starting from a bulk load, the structures still track the oracle.
+    #[test]
+    fn all_structures_match_oracle_after_bulk_load(
+        seed in prop::collection::btree_set(0u64..100_000, 1..500),
+        ops in ops_strategy(200),
+    ) {
+        let keys: Vec<u64> = seed.iter().copied().collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k ^ 0xABCD).collect();
+        for mut idx in all_loaded(&keys, &payloads) {
+            let mut oracle: BTreeMap<u64, u64> =
+                keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+            prop_assert_eq!(idx.len(), oracle.len(), "{} bulk length", idx.name());
+            for (i, &op) in ops.iter().enumerate() {
+                let got = sosd::core::dynamic::apply_op(idx.as_mut(), op);
+                let want = oracle_apply(&mut oracle, op);
+                prop_assert_eq!(got, want, "{} diverged at op #{} ({:?})", idx.name(), i, op);
+            }
+        }
+    }
+
+    /// Lower-bound iteration agrees with the oracle at arbitrary probes.
+    #[test]
+    fn lower_bound_matches_oracle(
+        seed in prop::collection::btree_set(0u64..1_000_000, 1..400),
+        probes in prop::collection::vec(0u64..1_100_000, 1..100),
+    ) {
+        let keys: Vec<u64> = seed.iter().copied().collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(3)).collect();
+        let oracle: BTreeMap<u64, u64> =
+            keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+        for idx in all_loaded(&keys, &payloads) {
+            for &p in &probes {
+                let want = oracle.range(p..).next().map(|(&k, &v)| (k, v));
+                prop_assert_eq!(idx.lower_bound_entry(p), want, "{} lb({})", idx.name(), p);
+            }
+            prop_assert_eq!(idx.lower_bound_entry(u64::MAX), oracle.range(u64::MAX..).next().map(|(&k, &v)| (k, v)));
+        }
+    }
+}
+
+#[test]
+fn bulk_load_then_heavy_insert_storm() {
+    // Deterministic end-to-end stress: seed with an even-key universe, then
+    // insert all odd keys, then verify every key and several range sums.
+    let keys: Vec<u64> = (0..40_000u64).map(|i| i * 2).collect();
+    let payloads: Vec<u64> = keys.iter().map(|&k| k + 7).collect();
+    for mut idx in all_loaded(&keys, &payloads) {
+        for i in 0..40_000u64 {
+            assert_eq!(idx.insert(i * 2 + 1, i), None, "{} odd insert", idx.name());
+        }
+        assert_eq!(idx.len(), 80_000, "{}", idx.name());
+        for i in (0..40_000u64).step_by(331) {
+            assert_eq!(idx.get(i * 2), Some(i * 2 + 7), "{} even get", idx.name());
+            assert_eq!(idx.get(i * 2 + 1), Some(i), "{} odd get", idx.name());
+        }
+        let full: u64 = (0..40_000u64)
+            .fold(0u64, |a, i| a.wrapping_add(i * 2 + 7).wrapping_add(i));
+        assert_eq!(idx.range_sum(0, u64::MAX), full, "{} full range", idx.name());
+    }
+}
+
+#[test]
+fn churn_delete_then_reinsert_everything() {
+    // Deterministic churn stress: delete every other key, verify, reinsert
+    // them with new payloads, verify again — exercising tombstone revival
+    // (PGM/FITing), gap reuse (ALEX), and underfull leaves (B+Tree).
+    let keys: Vec<u64> = (0..30_000u64).map(|i| i * 3).collect();
+    let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+    for mut idx in all_loaded(&keys, &payloads) {
+        for i in (0..30_000u64).step_by(2) {
+            assert_eq!(idx.remove(i * 3), Some(i * 3 + 1), "{} remove", idx.name());
+        }
+        assert_eq!(idx.len(), 15_000, "{}", idx.name());
+        for i in 0..30_000u64 {
+            let expect = (i % 2 == 1).then_some(i * 3 + 1);
+            assert_eq!(idx.get(i * 3), expect, "{} get after delete", idx.name());
+        }
+        // Lower bounds must skip deleted keys.
+        assert_eq!(idx.lower_bound_entry(0), Some((3, 4)), "{}", idx.name());
+        for i in (0..30_000u64).step_by(2) {
+            assert_eq!(idx.insert(i * 3, i), None, "{} reinsert", idx.name());
+        }
+        assert_eq!(idx.len(), 30_000, "{}", idx.name());
+        assert_eq!(idx.get(0), Some(0), "{} revived payload", idx.name());
+        assert_eq!(idx.remove(1), None, "{} absent remove", idx.name());
+    }
+}
+
+#[test]
+fn capabilities_report_updates_and_order() {
+    for idx in all_empty() {
+        let caps = idx.capabilities();
+        assert!(caps.updates, "{} must report update support", idx.name());
+        assert!(caps.ordered, "{} must report ordered support", idx.name());
+    }
+}
+
+#[test]
+fn size_bytes_reflects_ownership() {
+    let keys: Vec<u64> = (0..10_000u64).map(|i| i * 5).collect();
+    let payloads = vec![0u64; keys.len()];
+    for idx in all_loaded(&keys, &payloads) {
+        assert!(
+            idx.size_bytes() >= 10_000 * 16,
+            "{} must count its owned keys and payloads ({} bytes)",
+            idx.name(),
+            idx.size_bytes()
+        );
+    }
+}

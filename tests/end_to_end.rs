@@ -1,0 +1,120 @@
+//! End-to-end lookup pipeline tests: build every index on every dataset,
+//! run the full timed lookup loop with each last-mile search strategy, and
+//! require bit-exact payload checksums — the same validation the paper's
+//! harness performs.
+
+use sosd::bench::registry::Family;
+use sosd::bench::timing::{time_lookups, TimingOptions};
+use sosd::core::SearchStrategy;
+use sosd::datasets::{make_workload, make_workload_u32, DatasetId};
+
+#[test]
+fn every_family_produces_correct_checksums_on_amzn() {
+    let w = make_workload(DatasetId::Amzn, 40_000, 4_000, 5);
+    for family in Family::ALL {
+        let index = family.default_builder::<u64>().build_boxed(&w.data).unwrap();
+        let t = time_lookups(
+            index.as_ref(),
+            &w.data,
+            &w.lookups,
+            TimingOptions { repeats: 1, ..Default::default() },
+        );
+        assert_eq!(t.checksum, w.expected_checksum, "{}", family.name());
+    }
+}
+
+#[test]
+fn all_search_strategies_agree_on_wiki_duplicates() {
+    // wiki has duplicate keys: the strictest test of lower-bound handling.
+    let w = make_workload(DatasetId::Wiki, 40_000, 4_000, 5);
+    for family in [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Art] {
+        let index = family.default_builder::<u64>().build_boxed(&w.data).unwrap();
+        for strategy in SearchStrategy::ALL {
+            let t = time_lookups(
+                index.as_ref(),
+                &w.data,
+                &w.lookups,
+                TimingOptions { strategy, repeats: 1, ..Default::default() },
+            );
+            assert_eq!(
+                t.checksum,
+                w.expected_checksum,
+                "{} with {strategy:?}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fence_and_cold_modes_do_not_change_results() {
+    let w = make_workload(DatasetId::Face, 30_000, 500, 5);
+    let index = Family::Rmi.default_builder::<u64>().build_boxed(&w.data).unwrap();
+    for (fence, cold) in [(true, false), (false, true)] {
+        let t = time_lookups(
+            index.as_ref(),
+            &w.data,
+            &w.lookups,
+            TimingOptions { fence, cold, repeats: 1, ..Default::default() },
+        );
+        assert_eq!(t.checksum, w.expected_checksum, "fence={fence} cold={cold}");
+    }
+}
+
+#[test]
+fn u32_pipeline_matches_checksums() {
+    let w = make_workload_u32(DatasetId::Amzn, 40_000, 4_000, 5);
+    for family in [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Fast, Family::CuckooMap]
+    {
+        let index = family.default_builder::<u32>().build_boxed(&w.data).unwrap();
+        let t = time_lookups(
+            index.as_ref(),
+            &w.data,
+            &w.lookups,
+            TimingOptions { repeats: 1, ..Default::default() },
+        );
+        assert_eq!(t.checksum, w.expected_checksum, "{}", family.name());
+    }
+}
+
+#[test]
+fn multithreaded_lookups_are_correct_and_positive() {
+    use sosd::bench::mt::measure_throughput;
+    use std::time::Duration;
+    let w = make_workload(DatasetId::Amzn, 50_000, 5_000, 5);
+    let index = Family::Rs.default_builder::<u64>().build_boxed(&w.data).unwrap();
+    let r = measure_throughput(
+        index.as_ref(),
+        &w.data,
+        &w.lookups,
+        2,
+        false,
+        Duration::from_millis(100),
+    );
+    assert!(r.lookups_per_sec > 1000.0);
+}
+
+#[test]
+fn traced_lookups_match_untraced_bounds() {
+    use sosd::core::{NullTracer, Tracer};
+    let w = make_workload(DatasetId::Osm, 30_000, 2_000, 5);
+    struct Recorder(Vec<(usize, usize)>);
+    impl Tracer for Recorder {
+        fn read(&mut self, addr: usize, bytes: usize) {
+            self.0.push((addr, bytes));
+        }
+        fn branch(&mut self, _: usize, _: bool) {}
+        fn instr(&mut self, _: u64) {}
+    }
+    for family in [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Art] {
+        let index = family.default_builder::<u64>().build_boxed(&w.data).unwrap();
+        for &x in &w.lookups[..200] {
+            let plain = index.search_bound(x);
+            let mut rec = Recorder(Vec::new());
+            let traced = index.search_bound_traced(x, &mut rec);
+            assert_eq!(plain, traced, "{} diverges under tracing", family.name());
+            let mut null = NullTracer;
+            assert_eq!(index.search_bound_traced(x, &mut null), plain);
+        }
+    }
+}

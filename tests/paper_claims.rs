@@ -1,0 +1,203 @@
+//! Executable versions of the paper's qualitative claims, at reduced scale.
+//!
+//! These are *shape* tests: they assert who wins and in which direction,
+//! with generous margins, not absolute numbers. Each test cites the paper
+//! section it reproduces.
+
+use sosd::bench::registry::Family;
+use sosd::core::stats::log2_error_stats;
+use sosd::core::{Index, IndexBuilder};
+use sosd::datasets::{make_workload, registry::generate_u64, DatasetId};
+use sosd::pgm::PgmIndex;
+use sosd::radix_spline::RsIndex;
+use sosd::rmi::{ModelKind, Rmi};
+
+const N: usize = 120_000;
+
+/// Section 4.2: "learned structures perform poorly on osm because osm is
+/// difficult to learn" — at a comparable size budget, every learned index
+/// needs a much wider search bound on osm than on amzn.
+#[test]
+fn osm_is_harder_to_learn_than_amzn() {
+    let amzn = make_workload(DatasetId::Amzn, N, 5_000, 1);
+    let osm = make_workload(DatasetId::Osm, N, 5_000, 1);
+    // RMI at a fixed branching factor.
+    let rmi_a = Rmi::build(&amzn.data, ModelKind::Cubic, ModelKind::Linear, 1 << 10).unwrap();
+    let rmi_o = Rmi::build(&osm.data, ModelKind::Cubic, ModelKind::Linear, 1 << 10).unwrap();
+    let err_a = log2_error_stats(&rmi_a, &amzn.data, &amzn.lookups).mean_log2;
+    let err_o = log2_error_stats(&rmi_o, &osm.data, &osm.lookups).mean_log2;
+    assert!(
+        err_o > err_a + 1.0,
+        "osm should cost >= 1 extra binary-search step: amzn={err_a:.2} osm={err_o:.2}"
+    );
+    // PGM at a fixed error needs far more space on osm.
+    let pgm_a = PgmIndex::build(&amzn.data, 32, 4).unwrap();
+    let pgm_o = PgmIndex::build(&osm.data, 32, 4).unwrap();
+    assert!(
+        pgm_o.num_segments() > 3 * pgm_a.num_segments(),
+        "osm should need many more segments: amzn={} osm={}",
+        pgm_a.num_segments(),
+        pgm_o.num_segments()
+    );
+}
+
+/// Section 4.2 "Performance of RBS": the ~100 giant outliers in face make
+/// the radix table's top prefix bits nearly useless.
+#[test]
+fn face_outliers_cripple_rbs() {
+    use sosd::baselines::RadixBinarySearch;
+    let amzn = generate_u64(DatasetId::Amzn, N, 2);
+    let face = generate_u64(DatasetId::Face, N, 2);
+    let rbs_a = RadixBinarySearch::build(&amzn, 16).unwrap();
+    let rbs_f = RadixBinarySearch::build(&face, 16).unwrap();
+    let probe_a: Vec<u64> = amzn.keys().iter().copied().step_by(97).collect();
+    let probe_f: Vec<u64> = face.keys().iter().copied().step_by(97).collect();
+    let err_a = log2_error_stats(&rbs_a, &amzn, &probe_a).mean_log2;
+    let err_f = log2_error_stats(&rbs_f, &face, &probe_f).mean_log2;
+    assert!(
+        err_f > err_a + 4.0,
+        "face bounds should be far wider: amzn={err_a:.2} face={err_f:.2}"
+    );
+}
+
+/// Section 4.2 "Performance of PGM": with both tuned, the RMI achieves a
+/// given log2 error with cheaper inference — equal-error configurations
+/// should favour RMI on amzn. We assert the structural part: at matched
+/// mean log2 error, PGM does strictly more work per lookup (traced reads).
+#[test]
+fn pgm_does_more_work_than_rmi_at_equal_error() {
+    use sosd::core::CountingTracer;
+    let w = make_workload(DatasetId::Amzn, N, 2_000, 3);
+    let rmi = Rmi::build(&w.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12).unwrap();
+    let rmi_err = log2_error_stats(&rmi, &w.data, &w.lookups).mean_log2;
+    // Choose PGM eps to roughly match the RMI's mean log2 error.
+    let eps = (2f64.powf(rmi_err) / 2.0).max(4.0) as u64;
+    let pgm = PgmIndex::build(&w.data, eps, 4).unwrap();
+    let mut rmi_reads = 0u64;
+    let mut pgm_reads = 0u64;
+    for &x in &w.lookups {
+        let mut t = CountingTracer::default();
+        rmi.search_bound_traced(x, &mut t);
+        rmi_reads += t.reads;
+        let mut t = CountingTracer::default();
+        pgm.search_bound_traced(x, &mut t);
+        pgm_reads += t.reads;
+    }
+    assert!(
+        pgm_reads > 2 * rmi_reads,
+        "PGM descends and searches between layers; RMI reads one leaf: \
+         pgm={pgm_reads} rmi={rmi_reads}"
+    );
+}
+
+/// Section 4.6: RS builds faster than RMI (single pass, constant work per
+/// element), and both learned builds are slower than a B-Tree bulk load.
+#[test]
+fn build_time_ordering_matches_paper() {
+    use sosd::btree::BTreeBuilder;
+    use sosd::radix_spline::RsBuilder;
+    use sosd::rmi::RmiBuilder;
+    use std::time::Instant;
+    let data = generate_u64(DatasetId::Amzn, 400_000, 4);
+    let time = |f: &dyn Fn()| {
+        let best = (0..3)
+            .map(|_| {
+                let s = Instant::now();
+                f();
+                s.elapsed()
+            })
+            .min()
+            .expect("three runs");
+        best.as_secs_f64()
+    };
+    let rmi_b = RmiBuilder { root_kind: ModelKind::Cubic, leaf_kind: ModelKind::Linear, branch: 1 << 16 };
+    let rs_b = RsBuilder { eps: 16, radix_bits: 18 };
+    let bt_b = BTreeBuilder { stride: 1, fanout: 16 };
+    let t_rmi = time(&|| drop(IndexBuilder::<u64>::build(&rmi_b, &data).unwrap()));
+    let t_rs = time(&|| drop(IndexBuilder::<u64>::build(&rs_b, &data).unwrap()));
+    let t_bt = time(&|| drop(IndexBuilder::<u64>::build(&bt_b, &data).unwrap()));
+    // The insert-optimized tree bulk-loads faster than either learned build.
+    // (The paper additionally finds RMI slower than RS; our RMI trains with
+    // closed-form per-leaf fits, so that gap shrinks to parity at this
+    // scale — see EXPERIMENTS.md.)
+    assert!(t_bt < t_rmi, "BTree ({t_bt:.3}s) should build faster than RMI ({t_rmi:.3}s)");
+    assert!(t_bt < t_rs, "BTree ({t_bt:.3}s) should build faster than RS ({t_rs:.3}s)");
+}
+
+/// Figure 9's mechanism: doubling the dataset at a fixed index size widens
+/// the search bound by about one binary-search step.
+#[test]
+fn doubling_data_costs_one_binary_step() {
+    let small = make_workload(DatasetId::Amzn, N, 5_000, 5);
+    let big = make_workload(DatasetId::Amzn, 2 * N, 5_000, 5);
+    let rmi_s = Rmi::build(&small.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12).unwrap();
+    let rmi_b = Rmi::build(&big.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12).unwrap();
+    let err_s = log2_error_stats(&rmi_s, &small.data, &small.lookups).mean_log2;
+    let err_b = log2_error_stats(&rmi_b, &big.data, &big.lookups).mean_log2;
+    let delta = err_b - err_s;
+    assert!(
+        (0.3..2.0).contains(&delta),
+        "expected ~1 extra step, got {delta:.2} (small={err_s:.2}, big={err_b:.2})"
+    );
+}
+
+/// Table 2's shape: hash tables answer point lookups with at most two
+/// bucket probes but cost vastly more memory than a learned index of
+/// comparable latency class.
+#[test]
+fn hashing_trades_memory_for_latency() {
+    let w = make_workload(DatasetId::Amzn, N, 2_000, 6);
+    let rmi = Rmi::build(&w.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12).unwrap();
+    let robin = Family::RobinHash.default_builder::<u64>().build_boxed(&w.data).unwrap();
+    let rmi_size = Index::<u64>::size_bytes(&rmi);
+    assert!(
+        robin.size_bytes() > 10 * rmi_size,
+        "RobinHood at load 0.25 should dwarf the RMI: hash={} rmi={rmi_size}",
+        robin.size_bytes()
+    );
+}
+
+/// Figure 13's caveat: equal (size, log2 error) does not mean equal speed —
+/// the three learned indexes converge in the information-theoretic view
+/// while their lookup structures differ. Structural proxy: at similar error,
+/// per-lookup traced reads differ across RMI/RS/PGM.
+#[test]
+fn compression_view_hides_inference_cost() {
+    use sosd::core::CountingTracer;
+    let w = make_workload(DatasetId::Amzn, N, 2_000, 7);
+    let rmi = Rmi::build(&w.data, ModelKind::Cubic, ModelKind::Linear, 1 << 11).unwrap();
+    let rs = RsIndex::build(&w.data, 32, 16).unwrap();
+    let pgm = PgmIndex::build(&w.data, 32, 4).unwrap();
+    let reads = |idx: &dyn Index<u64>| -> f64 {
+        let mut total = 0u64;
+        for &x in &w.lookups {
+            let mut t = CountingTracer::default();
+            idx.search_bound_traced(x, &mut t);
+            total += t.reads;
+        }
+        total as f64 / w.lookups.len() as f64
+    };
+    let (r_rmi, r_rs, r_pgm) = (reads(&rmi), reads(&rs), reads(&pgm));
+    assert!(r_rmi < r_rs && r_rs < r_pgm, "rmi={r_rmi:.1} rs={r_rs:.1} pgm={r_pgm:.1}");
+}
+
+/// Section 4.1.2: lookups on wiki (duplicates!) must resolve to the first
+/// occurrence, and payload sums must cover the whole duplicate run.
+#[test]
+fn wiki_duplicate_semantics() {
+    let w = make_workload(DatasetId::Wiki, N, 5_000, 8);
+    let dup_count = w
+        .data
+        .keys()
+        .windows(2)
+        .filter(|p| p[0] == p[1])
+        .count();
+    assert!(dup_count > 100, "wiki should contain duplicates, got {dup_count}");
+    let rmi = Rmi::build(&w.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12).unwrap();
+    for &x in w.lookups.iter().take(500) {
+        let bound = rmi.search_bound(x);
+        let lb = w.data.lower_bound(x);
+        assert!(bound.contains(lb));
+        assert!(lb == 0 || w.data.key(lb - 1) < x, "must be the FIRST occurrence");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based validity tests: random key multisets (duplicates and
+//! extreme values included), random configurations, and probes around every
+//! key must always yield bounds containing the true lower bound.
+
+use proptest::prelude::*;
+use sosd::art::ArtBuilder;
+use sosd::baselines::RbsBuilder;
+use sosd::btree::{BTreeBuilder, IbTreeBuilder};
+use sosd::core::{IndexBuilder, SortedData};
+use sosd::fast::FastBuilder;
+use sosd::fiting::FitingTreeBuilder;
+use sosd::pgm::PgmBuilder;
+use sosd::radix_spline::RsBuilder;
+use sosd::rmi::{ModelKind, RmiBuilder};
+use sosd::tries::{FstBuilder, WormholeBuilder};
+
+/// Sorted keys with duplicates and occasional extremes.
+fn keys_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => any::<u32>().prop_map(|v| v as u64 * 1000),
+            2 => any::<u64>(),
+            1 => Just(0u64),
+            1 => Just(u64::MAX),
+            2 => (0u64..50).prop_map(|v| v * 7), // forces duplicates
+        ],
+        1..300,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Probe keys: each key, its neighbours, and the far extremes.
+fn probes_for(keys: &[u64]) -> Vec<u64> {
+    let mut probes = Vec::with_capacity(keys.len() * 3 + 4);
+    for &k in keys {
+        probes.push(k);
+        probes.push(k.saturating_add(1));
+        probes.push(k.saturating_sub(1));
+    }
+    probes.extend([0, 1, u64::MAX, u64::MAX / 2]);
+    probes
+}
+
+fn assert_valid<B: IndexBuilder<u64>>(builder: &B, keys: &[u64])
+where
+    B::Output: sosd::core::Index<u64>,
+{
+    use sosd::core::Index;
+    let data = SortedData::new(keys.to_vec()).expect("sorted input");
+    let index = builder.build(&data).expect("build succeeds");
+    for x in probes_for(keys) {
+        let bound = index.search_bound(x);
+        let lb = data.lower_bound(x);
+        prop_assert_is_true(bound.contains(lb), &builder.describe(), x, lb);
+    }
+}
+
+fn prop_assert_is_true(cond: bool, what: &str, x: u64, lb: usize) {
+    assert!(cond, "{what}: probe {x} missed lower bound {lb}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rmi_always_valid(keys in keys_strategy(), branch in 1usize..64, root_idx in 0usize..4) {
+        let builder = RmiBuilder {
+            root_kind: ModelKind::ROOT_KINDS[root_idx],
+            leaf_kind: ModelKind::Linear,
+            branch,
+        };
+        assert_valid(&builder, &keys);
+    }
+
+    #[test]
+    fn pgm_always_valid(keys in keys_strategy(), eps in 1u64..128) {
+        assert_valid(&PgmBuilder { eps, eps_internal: 4 }, &keys);
+    }
+
+    #[test]
+    fn rs_always_valid(keys in keys_strategy(), eps in 1u64..128, bits in 1u32..20) {
+        assert_valid(&RsBuilder { eps, radix_bits: bits }, &keys);
+    }
+
+    #[test]
+    fn fiting_always_valid(keys in keys_strategy(), eps in 1u64..128) {
+        assert_valid(&FitingTreeBuilder { eps }, &keys);
+    }
+
+    #[test]
+    fn btree_always_valid(keys in keys_strategy(), stride in 1usize..40, fanout in 2usize..32) {
+        assert_valid(&BTreeBuilder { stride, fanout }, &keys);
+    }
+
+    #[test]
+    fn ibtree_always_valid(keys in keys_strategy(), stride in 1usize..40) {
+        assert_valid(&IbTreeBuilder { stride, fanout: 16 }, &keys);
+    }
+
+    #[test]
+    fn fast_always_valid(keys in keys_strategy(), stride in 1usize..40) {
+        assert_valid(&FastBuilder { stride }, &keys);
+    }
+
+    #[test]
+    fn art_always_valid(keys in keys_strategy(), stride in 1usize..40) {
+        assert_valid(&ArtBuilder { stride }, &keys);
+    }
+
+    #[test]
+    fn fst_always_valid(keys in keys_strategy(), stride in 1usize..40) {
+        assert_valid(&FstBuilder { stride }, &keys);
+    }
+
+    #[test]
+    fn wormhole_always_valid(keys in keys_strategy(), stride in 1usize..40) {
+        assert_valid(&WormholeBuilder { stride }, &keys);
+    }
+
+    #[test]
+    fn rbs_always_valid(keys in keys_strategy(), bits in 1u32..20) {
+        assert_valid(&RbsBuilder { radix_bits: bits }, &keys);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All ordered indexes agree on the lower bound after last-mile search.
+    #[test]
+    fn all_indexes_agree_on_lower_bound(keys in keys_strategy()) {
+        use sosd::core::{Index, SearchStrategy};
+        let data = SortedData::new(keys.clone()).expect("sorted");
+        let rmi = RmiBuilder::default().build(&data).expect("rmi");
+        let pgm = PgmBuilder { eps: 16, eps_internal: 4 }.build(&data).expect("pgm");
+        let bt = BTreeBuilder { stride: 4, fanout: 8 }.build(&data).expect("btree");
+        for x in probes_for(&keys) {
+            let want = data.lower_bound(x);
+            for (name, bound) in [
+                ("rmi", rmi.search_bound(x)),
+                ("pgm", pgm.search_bound(x)),
+                ("btree", bt.search_bound(x)),
+            ] {
+                let got = SearchStrategy::Binary.find(data.keys(), x, bound);
+                prop_assert_eq!(got, want, "{} at {}", name, x);
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate validity suite: every index family must satisfy the Section 2
+//! contract — for every possible lookup key, the returned search bound
+//! contains the key's lower bound — on every dataset shape, including probes
+//! for absent keys and keys beyond both ends of the data.
+
+use sosd::bench::registry::Family;
+use sosd::datasets::workload::sample_mixed_keys;
+use sosd::datasets::{registry::generate_u64, DatasetId};
+
+const N: usize = 30_000;
+const PROBES: usize = 4_000;
+
+fn check_family_on_dataset(family: Family, id: DatasetId) {
+    let data = generate_u64(id, N, 99);
+    // Thin the sweep: first/middle/last configuration of each family.
+    let sweep = family.sweep::<u64>();
+    let picks = [0, sweep.len() / 2, sweep.len() - 1];
+    for &i in picks.iter().take(sweep.len().min(3)) {
+        let builder = &sweep[i];
+        let index = builder
+            .build_boxed(&data)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", builder.label()));
+        let mut probes = sample_mixed_keys(&data, PROBES, 0.5, 7);
+        probes.extend([0, 1, u64::MAX, u64::MAX - 1]);
+        probes.push(data.min_key().saturating_sub(1));
+        probes.push(data.max_key().saturating_add(1));
+        for x in probes {
+            // Hash tables are unordered: their contract only covers present
+            // keys (Table 1); skip absent probes for them.
+            let caps = index.capabilities();
+            if !caps.ordered {
+                let lb = data.lower_bound(x);
+                let present = lb < data.len() && data.key(lb) == x;
+                if !present {
+                    continue;
+                }
+            }
+            let bound = index.search_bound(x);
+            let lb = data.lower_bound(x);
+            assert!(
+                bound.contains(lb),
+                "{} on {}: key {x} bound {bound:?} misses LB {lb}",
+                builder.label(),
+                id.name()
+            );
+        }
+    }
+}
+
+macro_rules! validity_tests {
+    ($($name:ident: $family:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                for id in DatasetId::REAL_WORLD {
+                    check_family_on_dataset($family, id);
+                }
+            }
+        )*
+    };
+}
+
+validity_tests! {
+    rmi_valid_on_all_datasets: Family::Rmi;
+    pgm_valid_on_all_datasets: Family::Pgm;
+    rs_valid_on_all_datasets: Family::Rs;
+    btree_valid_on_all_datasets: Family::BTree;
+    ibtree_valid_on_all_datasets: Family::IbTree;
+    fast_valid_on_all_datasets: Family::Fast;
+    art_valid_on_all_datasets: Family::Art;
+    fst_valid_on_all_datasets: Family::Fst;
+    wormhole_valid_on_all_datasets: Family::Wormhole;
+    rbs_valid_on_all_datasets: Family::Rbs;
+    bs_valid_on_all_datasets: Family::Bs;
+    robinhood_valid_on_all_datasets: Family::RobinHash;
+    cuckoo_valid_on_all_datasets: Family::CuckooMap;
+}
+
+#[test]
+fn synthetic_datasets_are_also_valid() {
+    for id in [DatasetId::UniformDense, DatasetId::UniformSparse, DatasetId::Lognormal] {
+        for family in Family::LEARNED {
+            check_family_on_dataset(family, id);
+        }
+    }
+}
