@@ -132,7 +132,8 @@ impl LinearModel {
         }
         let nf = n as f64;
         let denom = nf * sxx - sx * sx;
-        let slope = if denom.abs() < f64::EPSILON { 0.0 } else { ((nf * sxy - sx * sy) / denom).max(0.0) };
+        let slope =
+            if denom.abs() < f64::EPSILON { 0.0 } else { ((nf * sxy - sx * sy) / denom).max(0.0) };
         let intercept = (sy - slope * sx) / nf;
         LinearModel { slope, intercept, anchor }
     }

@@ -192,7 +192,10 @@ impl<K: Key> BulkLoad<K> for AlexTree<K> {
         if keys.is_empty() {
             return AlexTree::new();
         }
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "bulk_load requires strictly sorted keys");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bulk_load requires strictly sorted keys"
+        );
         let mut boundaries = Vec::new();
         let mut leaves = Vec::new();
         let per_leaf = MAX_LEAF_ENTRIES / 2;
@@ -343,7 +346,8 @@ mod tests {
         let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
         let t = AlexTree::bulk_load(&keys, &payloads);
         assert!(t.num_leaves() > 1);
-        let oracle: BTreeMap<u64, u64> = keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+        let oracle: BTreeMap<u64, u64> =
+            keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
         for probe in (0..100_010u64).step_by(487) {
             let expect = oracle.range(probe..).next().map(|(&k, &v)| (k, v));
             assert_eq!(t.lower_bound_entry(probe), expect, "lb {probe}");
@@ -497,5 +501,4 @@ mod tests {
         assert_eq!(t.get(45_000 * 2), Some(9));
         assert_eq!(t.lower_bound_entry(0), Some((90_000, 9)));
     }
-
 }

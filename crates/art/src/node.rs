@@ -131,12 +131,12 @@ impl Children {
     /// Child whose branch byte equals `b`.
     pub fn get(&self, b: u8) -> Option<&Node> {
         match self {
-            Children::N4 { bytes, ptrs, len } => (0..*len as usize)
-                .find(|&i| bytes[i] == b)
-                .and_then(|i| ptrs[i].as_deref()),
-            Children::N16 { bytes, ptrs, len } => (0..*len as usize)
-                .find(|&i| bytes[i] == b)
-                .and_then(|i| ptrs[i].as_deref()),
+            Children::N4 { bytes, ptrs, len } => {
+                (0..*len as usize).find(|&i| bytes[i] == b).and_then(|i| ptrs[i].as_deref())
+            }
+            Children::N16 { bytes, ptrs, len } => {
+                (0..*len as usize).find(|&i| bytes[i] == b).and_then(|i| ptrs[i].as_deref())
+            }
             Children::N48 { index, ptrs, .. } => {
                 let slot = index[b as usize];
                 if slot == 0 {
@@ -164,9 +164,7 @@ impl Children {
                 .rev()
                 .find(|&byte| index[byte] != 0)
                 .and_then(|byte| ptrs[index[byte] as usize - 1].as_deref()),
-            Children::N256 { ptrs } => {
-                (0..b as usize).rev().find_map(|byte| ptrs[byte].as_deref())
-            }
+            Children::N256 { ptrs } => (0..b as usize).rev().find_map(|byte| ptrs[byte].as_deref()),
         }
     }
 
@@ -187,9 +185,9 @@ impl Children {
                     ptrs[slot as usize - 1].as_deref().map(|c| (b as u8, c))
                 }
             })),
-            Children::N256 { ptrs } => {
-                Box::new((0..256usize).filter_map(move |b| ptrs[b].as_deref().map(|c| (b as u8, c))))
-            }
+            Children::N256 { ptrs } => Box::new(
+                (0..256usize).filter_map(move |b| ptrs[b].as_deref().map(|c| (b as u8, c))),
+            ),
         }
     }
 
@@ -258,9 +256,8 @@ mod tests {
     #[test]
     fn iter_is_in_byte_order() {
         let bytes: Vec<u8> = (0..60).map(|i| i * 4).collect();
-        let ch = Children::from_sorted(
-            bytes.iter().map(|&b| (b, leaf(b as u64, b as u32))).collect(),
-        );
+        let ch =
+            Children::from_sorted(bytes.iter().map(|&b| (b, leaf(b as u64, b as u32))).collect());
         let order: Vec<u8> = ch.iter().map(|(b, _)| b).collect();
         assert_eq!(order, bytes);
     }

@@ -289,7 +289,7 @@ mod tests {
 
     #[test]
     fn valid_for_u32_keys() {
-        let keys: Vec<u32> = (0..3000u32).map(|i| i * 91) .collect();
+        let keys: Vec<u32> = (0..3000u32).map(|i| i * 91).collect();
         let data = SortedData::new(keys).unwrap();
         let idx = ArtIndex::build(&data, 2).unwrap();
         for &k in data.keys() {

@@ -89,10 +89,7 @@ impl<K: Key> RadixBinarySearch<K> {
         let p = self.slot_of(key);
         tracer.instr(5); // sub, shift, min, two loads' address arithmetic
         tracer.read(addr_of_index(&self.table, p), 16); // adjacent entries
-        SearchBound {
-            lo: self.table[p] as usize,
-            hi: (self.table[p + 1] as usize).min(self.n),
-        }
+        SearchBound { lo: self.table[p] as usize, hi: (self.table[p + 1] as usize).min(self.n) }
     }
 }
 
@@ -181,12 +178,8 @@ mod tests {
         let keys: Vec<u64> = (0..n).map(|i| i << 54).collect();
         let data = SortedData::new(keys).unwrap();
         let idx = RadixBinarySearch::build(&data, 8).unwrap();
-        let avg: f64 = data
-            .keys()
-            .iter()
-            .map(|&k| idx.search_bound(k).len() as f64)
-            .sum::<f64>()
-            / n as f64;
+        let avg: f64 =
+            data.keys().iter().map(|&k| idx.search_bound(k).len() as f64).sum::<f64>() / n as f64;
         assert!(avg <= 5.0, "avg bound {avg}");
     }
 

@@ -26,10 +26,8 @@ fn bench_lookups(c: &mut Criterion) {
         Family::RobinHash,
         Family::CuckooMap,
     ] {
-        let index = family
-            .default_builder::<u64>()
-            .build_boxed(data)
-            .expect("default builders succeed");
+        let index =
+            family.default_builder::<u64>().build_boxed(data).expect("default builders succeed");
         group.bench_function(BenchmarkId::from_parameter(family.name()), |b| {
             let mut i = 0usize;
             b.iter(|| {

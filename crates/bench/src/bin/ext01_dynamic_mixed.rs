@@ -32,8 +32,13 @@ fn main() {
     );
     let mut rows = Vec::new();
 
-    let datasets =
-        if args.datasets.len() == 4 { vec![DatasetId::Amzn, DatasetId::Osm] } else { args.datasets.clone() };
+    // This experiment defaults to a two-dataset subset (it replays five op
+    // mixes per dataset); honor any explicit --datasets selection.
+    let datasets = if args.datasets == DatasetId::REAL_WORLD {
+        vec![DatasetId::Amzn, DatasetId::Osm]
+    } else {
+        args.datasets.clone()
+    };
     for &dataset in &datasets {
         for &(insert_fraction, delete_fraction) in &mixes {
             let cfg = MixedConfig {

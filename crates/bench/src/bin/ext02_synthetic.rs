@@ -27,10 +27,8 @@ fn main() {
     );
     let mut rows: Vec<serde_json::Value> = Vec::new();
 
-    let datasets: Vec<DatasetId> = DatasetId::SYNTHETIC
-        .into_iter()
-        .chain(DatasetId::REAL_WORLD)
-        .collect();
+    let datasets: Vec<DatasetId> =
+        DatasetId::SYNTHETIC.into_iter().chain(DatasetId::REAL_WORLD).collect();
     for dataset in datasets {
         let workload = make_workload(dataset, args.n, args.lookups, args.seed);
         eprintln!("[ext02] {}", dataset.name());

@@ -36,10 +36,8 @@ fn main() {
     let w = generate_mixed(DatasetId::Amzn, args.n, args.lookups, cfg, args.seed);
     eprintln!("[ext04] {} ({} ops)", w.label, w.num_ops());
 
-    let mut report = Report::new(
-        "ext04_dynamic_ablation",
-        &["index", "knob", "value", "Mops_per_s", "size_mb"],
-    );
+    let mut report =
+        Report::new("ext04_dynamic_ablation", &["index", "knob", "value", "Mops_per_s", "size_mb"]);
     let mut rows: Vec<serde_json::Value> = Vec::new();
     let mut reference_checksum: Option<u64> = None;
     let mut push = |report: &mut Report,
@@ -72,7 +70,16 @@ fn main() {
         let mut idx = sosd_pgm::DynamicPgm::with_buffer_capacity(buf);
         seed(&mut idx, &w.bulk_keys, &w.bulk_payloads);
         let (mops, checksum) = drive(&mut idx, &w.ops);
-        push(&mut report, &mut rows, "DynamicPGM", "buffer", buf.to_string(), mops, idx.size_bytes(), checksum);
+        push(
+            &mut report,
+            &mut rows,
+            "DynamicPGM",
+            "buffer",
+            buf.to_string(),
+            mops,
+            idx.size_bytes(),
+            checksum,
+        );
     }
 
     // FITing-Tree: delta-buffer size (eps fixed at its default).
@@ -80,7 +87,16 @@ fn main() {
         let mut idx = sosd_fiting::DynamicFitingTree::with_config(delta, 64);
         seed(&mut idx, &w.bulk_keys, &w.bulk_payloads);
         let (mops, checksum) = drive(&mut idx, &w.ops);
-        push(&mut report, &mut rows, "FITing(dyn)", "delta", delta.to_string(), mops, idx.size_bytes(), checksum);
+        push(
+            &mut report,
+            &mut rows,
+            "FITing(dyn)",
+            "delta",
+            delta.to_string(),
+            mops,
+            idx.size_bytes(),
+            checksum,
+        );
     }
 
     // ALEX: max leaf size.
@@ -88,7 +104,16 @@ fn main() {
         let mut idx = sosd_alex::AlexTree::with_max_leaf(leaf);
         seed(&mut idx, &w.bulk_keys, &w.bulk_payloads);
         let (mops, checksum) = drive(&mut idx, &w.ops);
-        push(&mut report, &mut rows, "ALEX", "max_leaf", leaf.to_string(), mops, idx.size_bytes(), checksum);
+        push(
+            &mut report,
+            &mut rows,
+            "ALEX",
+            "max_leaf",
+            leaf.to_string(),
+            mops,
+            idx.size_bytes(),
+            checksum,
+        );
     }
 
     report.emit(&args.out_dir).expect("write results");

@@ -15,10 +15,8 @@ fn main() {
         args.datasets = vec![DatasetId::Amzn, DatasetId::Face];
     }
     let mut rows = Vec::new();
-    let mut report = Report::new(
-        "fig08_strings",
-        &["dataset", "index", "config", "size_mb", "ns_per_lookup"],
-    );
+    let mut report =
+        Report::new("fig08_strings", &["dataset", "index", "config", "size_mb", "ns_per_lookup"]);
     for &id in &args.datasets {
         eprintln!("[fig08] dataset {}", id.name());
         let workload = make_workload(id, args.n, args.lookups, args.seed);

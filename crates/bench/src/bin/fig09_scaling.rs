@@ -12,10 +12,8 @@ fn main() {
     let args = Args::parse();
     let families = [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree];
     let mut rows = Vec::new();
-    let mut report = Report::new(
-        "fig09_scaling",
-        &["keys", "index", "config", "size_mb", "ns_per_lookup"],
-    );
+    let mut report =
+        Report::new("fig09_scaling", &["keys", "index", "config", "size_mb", "ns_per_lookup"]);
     for mult in 1..=4usize {
         let n = args.n * mult;
         eprintln!("[fig09] n={n}");

@@ -41,10 +41,8 @@ fn main() {
         ));
     }
 
-    let mut report = Report::new(
-        "fig10_keysize",
-        &["variant", "index", "config", "size_mb", "ns_per_lookup"],
-    );
+    let mut report =
+        Report::new("fig10_keysize", &["variant", "index", "config", "size_mb", "ns_per_lookup"]);
     for row in &rows {
         report.push_row(vec![
             row.dataset.clone(),

@@ -49,8 +49,7 @@ fn main() {
                     &workload.lookups,
                     TimingOptions::default(),
                 );
-                let err_probes: Vec<u64> =
-                    workload.lookups.iter().copied().take(20_000).collect();
+                let err_probes: Vec<u64> = workload.lookups.iter().copied().take(20_000).collect();
                 let stats = log2_error_stats(index.as_ref(), &workload.data, &err_probes);
                 // Use the paper-machine hierarchy: wall-clock timing runs on
                 // real host caches, so the simulated hierarchy should be of
@@ -84,8 +83,15 @@ fn main() {
     let mut report = Report::new(
         "fig12_metrics",
         &[
-            "dataset", "index", "config", "size_mb", "log2_err", "llc_miss", "branch_miss",
-            "instructions", "ns_per_lookup",
+            "dataset",
+            "index",
+            "config",
+            "size_mb",
+            "log2_err",
+            "llc_miss",
+            "branch_miss",
+            "instructions",
+            "ns_per_lookup",
         ],
     );
     for r in &rows {
@@ -108,11 +114,7 @@ fn main() {
     let x: Vec<Vec<f64>> = rows
         .iter()
         .map(|r| {
-            vec![
-                r.llc_misses_per_lookup,
-                r.branch_misses_per_lookup,
-                r.instructions_per_lookup,
-            ]
+            vec![r.llc_misses_per_lookup, r.branch_misses_per_lookup, r.instructions_per_lookup]
         })
         .collect();
     let y: Vec<f64> = rows.iter().map(|r| r.ns_per_lookup).collect();

@@ -43,8 +43,7 @@ fn main() {
 
     // (a) + (c): fixed default-size configuration per family.
     let mut rows: Vec<MtRow> = Vec::new();
-    let mut misses_report =
-        Report::new("fig16c_cache_misses", &["index", "llc_misses_per_lookup"]);
+    let mut misses_report = Report::new("fig16c_cache_misses", &["index", "llc_misses_per_lookup"]);
     for family in families {
         let builder = family.default_builder::<u64>();
         eprintln!("[fig16a] {}", builder.label());
@@ -80,16 +79,12 @@ fn main() {
             false,
             probes / 10,
         );
-        misses_report.push_row(vec![
-            family.name().to_string(),
-            format!("{:.3}", sim.per_lookup().0),
-        ]);
+        misses_report
+            .push_row(vec![family.name().to_string(), format!("{:.3}", sim.per_lookup().0)]);
     }
 
-    let mut report_a = Report::new(
-        "fig16a_threads",
-        &["index", "threads", "fence", "M_lookups_per_sec"],
-    );
+    let mut report_a =
+        Report::new("fig16a_threads", &["index", "threads", "fence", "M_lookups_per_sec"]);
     for r in &rows {
         report_a.push_row(vec![
             r.family.clone(),
@@ -142,10 +137,8 @@ fn main() {
             });
         }
     }
-    let mut report_b = Report::new(
-        "fig16b_size_throughput",
-        &["index", "config", "size_mb", "M_lookups_per_sec"],
-    );
+    let mut report_b =
+        Report::new("fig16b_size_throughput", &["index", "config", "size_mb", "M_lookups_per_sec"]);
     for r in &rows_b {
         report_b.push_row(vec![
             r.family.clone(),

@@ -41,19 +41,13 @@ fn main() {
             let (secs, index) = time_build(builder.as_ref(), &workload.data);
             // Sanity: the built index must answer a lookup correctly.
             let probe = workload.data.key(n / 2);
-            assert!(index
-                .search_bound(probe)
-                .contains(workload.data.lower_bound(probe)));
+            assert!(index.search_bound(probe).contains(workload.data.lower_bound(probe)));
             rows.push(BuildRow { family: family.name().to_string(), keys: n, build_secs: secs });
         }
     }
     let mut report = Report::new("fig17_build_times", &["index", "keys", "build_secs"]);
     for r in &rows {
-        report.push_row(vec![
-            r.family.clone(),
-            r.keys.to_string(),
-            format!("{:.3}", r.build_secs),
-        ]);
+        report.push_row(vec![r.family.clone(), r.keys.to_string(), format!("{:.3}", r.build_secs)]);
     }
     report.emit(&args.out_dir).expect("write results");
     write_json(&args.out_dir, "fig17_build_times", &rows).expect("write json");

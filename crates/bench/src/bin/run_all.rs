@@ -6,6 +6,11 @@
 //! every experiment. Each experiment's stdout+stderr is captured to
 //! `<out>/log_<name>.txt`; a summary with per-experiment wall time is
 //! printed at the end and written to `<out>/run_all_summary.csv`.
+//!
+//! Exit status: nonzero when any experiment that *ran* failed (its own exit
+//! status was nonzero, or it could not be spawned). Experiments whose
+//! binaries are not built are reported as `skipped` and do not fail the
+//! run — build with `--bins` to cover everything.
 
 use std::io::Write;
 use std::path::Path;
@@ -32,7 +37,29 @@ const EXPERIMENTS: &[&str] = &[
     "ext02_synthetic",
     "ext03_rmi_ablation",
     "ext04_dynamic_ablation",
+    "ext05_batching",
 ];
+
+/// Outcome of one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Ran and exited zero.
+    Ok,
+    /// Binary not built; nothing ran.
+    Skipped,
+    /// Ran and exited nonzero, or failed to spawn.
+    Failed,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Skipped => "skipped",
+            Status::Failed => "FAILED",
+        }
+    }
+}
 
 fn main() {
     let forwarded: Vec<String> = std::env::args().skip(1).collect();
@@ -43,40 +70,66 @@ fn main() {
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin directory");
 
-    let mut summary: Vec<(String, f64, bool)> = Vec::new();
+    let mut summary: Vec<(String, f64, Status)> = Vec::new();
     for &name in EXPERIMENTS {
         let exe = bin_dir.join(name);
         if !exe.exists() {
             eprintln!("[run_all] SKIP {name}: {} not built (build with --bins)", exe.display());
-            summary.push((name.to_string(), 0.0, false));
+            // Drop any log a previous run left in this out_dir so the
+            // on-disk evidence matches the summary.
+            let _ = std::fs::remove_file(out_dir.join(format!("log_{name}.txt")));
+            summary.push((name.to_string(), 0.0, Status::Skipped));
             continue;
         }
         eprint!("[run_all] {name} ... ");
         let t = Instant::now();
-        let output = Command::new(&exe).args(&forwarded).output().expect("spawn experiment");
+        let status = match Command::new(&exe).args(&forwarded).output() {
+            Ok(output) => {
+                let log = out_dir.join(format!("log_{name}.txt"));
+                let mut f = std::fs::File::create(&log).expect("create log file");
+                f.write_all(&output.stdout).expect("write log");
+                f.write_all(&output.stderr).expect("write log");
+                if output.status.success() {
+                    Status::Ok
+                } else {
+                    Status::Failed
+                }
+            }
+            Err(e) => {
+                eprintln!("[run_all] spawn failed for {name}: {e}");
+                // Overwrite any stale log from a previous run into this
+                // out_dir so the on-disk evidence matches the summary.
+                let log = out_dir.join(format!("log_{name}.txt"));
+                let _ = std::fs::write(&log, format!("[run_all] spawn failed: {e}\n"));
+                Status::Failed
+            }
+        };
         let secs = t.elapsed().as_secs_f64();
-        let ok = output.status.success();
-        eprintln!("{} in {secs:.1}s", if ok { "ok" } else { "FAILED" });
-
-        let log = out_dir.join(format!("log_{name}.txt"));
-        let mut f = std::fs::File::create(&log).expect("create log file");
-        f.write_all(&output.stdout).expect("write log");
-        f.write_all(&output.stderr).expect("write log");
-        summary.push((name.to_string(), secs, ok));
+        eprintln!("{} in {secs:.1}s", status.label());
+        summary.push((name.to_string(), secs, status));
     }
 
-    let mut csv = String::from("experiment,seconds,ok\n");
-    println!("\n{:<24} {:>9} {:>6}", "experiment", "seconds", "ok");
-    for (name, secs, ok) in &summary {
-        println!("{name:<24} {secs:>9.1} {ok:>6}");
-        csv.push_str(&format!("{name},{secs:.1},{ok}\n"));
+    let mut csv = String::from("experiment,seconds,status\n");
+    println!("\n{:<24} {:>9} {:>8}", "experiment", "seconds", "status");
+    for (name, secs, status) in &summary {
+        println!("{name:<24} {secs:>9.1} {:>8}", status.label());
+        csv.push_str(&format!("{name},{secs:.1},{}\n", status.label()));
     }
     write_summary(&out_dir, &csv);
 
-    let failed: Vec<&str> =
-        summary.iter().filter(|(_, _, ok)| !ok).map(|(n, _, _)| n.as_str()).collect();
+    let count = |s: Status| summary.iter().filter(|(_, _, st)| *st == s).count();
+    let failed: Vec<&str> = summary
+        .iter()
+        .filter(|(_, _, st)| *st == Status::Failed)
+        .map(|(n, _, _)| n.as_str())
+        .collect();
     if failed.is_empty() {
-        println!("\nall {} experiments completed; results in {}", summary.len(), out_dir.display());
+        println!(
+            "\n{} experiments completed ({} skipped); results in {}",
+            count(Status::Ok),
+            count(Status::Skipped),
+            out_dir.display()
+        );
     } else {
         eprintln!("\nFAILED: {}", failed.join(", "));
         std::process::exit(1);

@@ -10,10 +10,8 @@ fn main() {
     let data = SortedData::new((0..1000u64).map(|i| i * 3).collect()).expect("valid data");
     let mut report = Report::new("table1_capabilities", &["Method", "Updates", "Ordered", "Type"]);
     for family in Family::ALL {
-        let index = family
-            .default_builder::<u64>()
-            .build_boxed(&data)
-            .expect("default builders succeed");
+        let index =
+            family.default_builder::<u64>().build_boxed(&data).expect("default builders succeed");
         let caps = index.capabilities();
         report.push_row(vec![
             family.name().to_string(),

@@ -29,15 +29,9 @@ fn main() {
     let mut fastest: Vec<SweepRow> = Vec::new();
     for family in families {
         eprintln!("[table2] sweeping {}", family.name());
-        let rows = run_family_sweep(
-            "amzn-32bit",
-            family,
-            &workload,
-            TimingOptions::default(),
-        );
-        if let Some(best) = rows
-            .into_iter()
-            .min_by(|a, b| a.ns_per_lookup.total_cmp(&b.ns_per_lookup))
+        let rows = run_family_sweep("amzn-32bit", family, &workload, TimingOptions::default());
+        if let Some(best) =
+            rows.into_iter().min_by(|a, b| a.ns_per_lookup.total_cmp(&b.ns_per_lookup))
         {
             fastest.push(best);
         }

@@ -4,6 +4,7 @@
 
 use serde::Serialize;
 use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex, Op};
+use sosd_core::{DynamicEngine, QueryEngine};
 use std::time::Instant;
 
 /// The dynamic structures under test, in table order.
@@ -39,9 +40,17 @@ impl DynFamily {
         match self {
             DynFamily::Alex => Box::new(sosd_alex::AlexTree::bulk_load(keys, payloads)),
             DynFamily::DynamicPgm => Box::new(sosd_pgm::DynamicPgm::bulk_load(keys, payloads)),
-            DynFamily::Fiting => Box::new(sosd_fiting::DynamicFitingTree::bulk_load(keys, payloads)),
+            DynFamily::Fiting => {
+                Box::new(sosd_fiting::DynamicFitingTree::bulk_load(keys, payloads))
+            }
             DynFamily::BPlusTree => Box::new(sosd_btree::DynamicBTree::bulk_load(keys, payloads)),
         }
+    }
+
+    /// Bulk-load and wrap in the serving-facing [`QueryEngine`] facade —
+    /// the dynamic counterpart of `IndexSpec::engine`.
+    pub fn engine(self, keys: &[u64], payloads: &[u64]) -> Box<dyn QueryEngine<u64>> {
+        Box::new(DynamicEngine::new(self.bulk_load(keys, payloads)))
     }
 }
 
@@ -120,6 +129,21 @@ mod tests {
             assert_eq!(r.checksum, first, "{} diverged from {}", r.family, results[0].family);
             assert!(r.ns_per_op > 0.0);
             assert!(r.size_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn dynamic_engines_serve_the_facade() {
+        let keys: Vec<u64> = (0..5_000u64).map(|i| i * 2).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        for family in DynFamily::ALL {
+            let engine = family.engine(&keys, &payloads);
+            assert_eq!(engine.len(), keys.len(), "{}", family.name());
+            assert_eq!(engine.get(2_468), Some(2_469), "{}", family.name());
+            assert_eq!(engine.get(2_469), None, "{}", family.name());
+            assert_eq!(engine.lower_bound(3).map(|e| e.0), Some(4), "{}", family.name());
+            let batch = engine.lookup_batch(&[0, 1, 9_998]);
+            assert_eq!(batch, vec![Some(1), None, Some(9_999)], "{}", family.name());
         }
     }
 

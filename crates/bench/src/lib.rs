@@ -4,11 +4,12 @@
 //! figure of *Benchmarking Learned Indexes* from the workspace's index
 //! implementations.
 //!
-//! * [`registry`] — uniform access to every index family's configuration
-//!   sweep through a type-erased builder.
+//! * [`registry`] — uniform access to every index family through
+//!   serializable [`IndexSpec`]s that construct type-erased builders or
+//!   serving-facing `QueryEngine`s.
 //! * [`timing`] — the single-threaded lookup loop (warm/cold, with or
 //!   without memory fences, selectable last-mile search) with payload-sum
-//!   validation.
+//!   validation, plus the batched `QueryEngine` path.
 //! * [`mt`] — the multithreaded throughput harness (Figure 16).
 //! * [`dynamic`] — the mixed read/write harness over the updatable
 //!   structures (the paper's future-work benchmark; `ext*` binaries).
@@ -27,6 +28,6 @@ pub mod runner;
 pub mod timing;
 
 pub use cli::Args;
-pub use registry::{DynBuilder, Family};
+pub use registry::{DynBuilder, Family, IndexParams, IndexSpec};
 pub use report::Report;
-pub use timing::{time_lookups, LookupTiming};
+pub use timing::{time_lookups, time_lookups_batched, LookupTiming};

@@ -39,12 +39,7 @@ pub fn measure_throughput<K: Key, I: Index<K> + Sync + ?Sized>(
         for t in 0..threads {
             let done = &done;
             let total = &total;
-            let shard: Vec<K> = lookups
-                .iter()
-                .copied()
-                .skip(t)
-                .step_by(threads)
-                .collect();
+            let shard: Vec<K> = lookups.iter().copied().skip(t).step_by(threads).collect();
             scope.spawn(move || {
                 let mut count = 0u64;
                 let mut checksum = 0u64;
@@ -76,10 +71,7 @@ pub fn measure_throughput<K: Key, I: Index<K> + Sync + ?Sized>(
     });
 
     let count = total.load(Ordering::Relaxed);
-    ThroughputResult {
-        threads,
-        lookups_per_sec: count as f64 / budget.as_secs_f64(),
-    }
+    ThroughputResult { threads, lookups_per_sec: count as f64 / budget.as_secs_f64() }
 }
 
 /// The thread counts swept in Figure 16a, adapted to the host: powers of
@@ -104,9 +96,8 @@ mod tests {
     fn throughput_is_positive_and_scales_not_catastrophically() {
         let data = SortedData::new((0..100_000u64).map(|i| i * 3).collect()).unwrap();
         let lookups = sample_present_keys(&data, 10_000, 7);
-        let idx =
-            <RbsBuilder as IndexBuilder<u64>>::build(&RbsBuilder { radix_bits: 12 }, &data)
-                .unwrap();
+        let idx = <RbsBuilder as IndexBuilder<u64>>::build(&RbsBuilder { radix_bits: 12 }, &data)
+            .unwrap();
         let one = measure_throughput(&idx, &data, &lookups, 1, false, Duration::from_millis(80));
         let two = measure_throughput(&idx, &data, &lookups, 2, false, Duration::from_millis(80));
         assert!(one.lookups_per_sec > 0.0);

@@ -1,7 +1,18 @@
-//! Uniform, type-erased access to every index family and its size sweep.
+//! Uniform, config-driven access to every index family.
+//!
+//! The registry's unit of configuration is the [`IndexSpec`]: a
+//! serializable `{ family, params }` record that pins down one buildable
+//! index variant (one Figure-7 point). Specs replace the old ad-hoc label
+//! strings — an experiment can be described as a list of specs in JSON,
+//! round-tripped through `serde`, and turned into either a raw type-erased
+//! [`Index`] builder ([`IndexSpec::builder`]) or a full serving-facing
+//! [`QueryEngine`] ([`IndexSpec::engine`]).
 
+use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
-use sosd_core::{BuildError, Index, IndexBuilder, Key, SortedData};
+use sosd_core::{
+    BuildError, Index, IndexBuilder, Key, QueryEngine, SearchStrategy, SortedData, StaticEngine,
+};
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
 use sosd_hash::{CuckooBuilder, RobinHoodBuilder};
@@ -9,6 +20,7 @@ use sosd_pgm::PgmBuilder;
 use sosd_radix_spline::RsBuilder;
 use sosd_rmi::{ModelKind, RmiBuilder};
 use sosd_tries::{FstBuilder, WormholeBuilder};
+use std::sync::Arc;
 
 /// Type-erased builder: one Figure-7 point.
 pub trait DynBuilder<K: Key>: Send + Sync {
@@ -64,6 +76,271 @@ pub enum Family {
     /// FITing-Tree (extension: ref. [14], not in the paper's Table 1
     /// because no tuned implementation was public at the time).
     Fiting,
+}
+
+/// The tuning knobs of one index variant — the serializable payload of an
+/// [`IndexSpec`]. One variant per family, mirroring each concrete builder's
+/// fields; parameterless families carry an empty variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexParams {
+    /// RMI: root/leaf model kinds plus leaf count.
+    Rmi {
+        /// Root-stage model.
+        root: ModelKind,
+        /// Leaf-stage model.
+        leaf: ModelKind,
+        /// Number of leaf models.
+        branch: usize,
+    },
+    /// PGM: leaf and internal epsilon.
+    Pgm {
+        /// Leaf-segment error bound.
+        eps: u64,
+        /// Internal-level error bound.
+        eps_internal: u64,
+    },
+    /// RadixSpline: spline error and radix-table width.
+    Rs {
+        /// Spline error bound.
+        eps: u64,
+        /// Radix-table bits.
+        radix_bits: u32,
+    },
+    /// B+Tree: sampling stride and node fanout.
+    BTree {
+        /// Key sampling stride.
+        stride: usize,
+        /// Node fanout.
+        fanout: usize,
+    },
+    /// Interpolating B-Tree: sampling stride and node fanout.
+    IbTree {
+        /// Key sampling stride.
+        stride: usize,
+        /// Node fanout.
+        fanout: usize,
+    },
+    /// FAST: sampling stride.
+    Fast {
+        /// Key sampling stride.
+        stride: usize,
+    },
+    /// ART: sampling stride.
+    Art {
+        /// Key sampling stride.
+        stride: usize,
+    },
+    /// FST: sampling stride.
+    Fst {
+        /// Key sampling stride.
+        stride: usize,
+    },
+    /// Wormhole: sampling stride.
+    Wormhole {
+        /// Key sampling stride.
+        stride: usize,
+    },
+    /// RBS: radix-table bits.
+    Rbs {
+        /// Radix-table bits (clamped to the key width at spec creation).
+        radix_bits: u32,
+    },
+    /// Binary search: no knobs.
+    Bs,
+    /// Cuckoo hash map: library defaults.
+    CuckooMap,
+    /// RobinHood hash table: library defaults.
+    RobinHash,
+    /// FITing-Tree: segment error bound.
+    Fiting {
+        /// Segment error bound.
+        eps: u64,
+    },
+}
+
+/// One fully-specified, buildable index configuration.
+///
+/// `params` alone determines behavior (`builder`, `engine`, `label`);
+/// `family` is display metadata denormalized for readability. Construct
+/// with [`IndexSpec::new`], which pairs them — serialization always derives
+/// the family from `params`, so a hand-assembled mismatch cannot survive a
+/// JSON round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexSpec {
+    /// The index family.
+    pub family: Family,
+    /// The family's tuning knobs.
+    pub params: IndexParams,
+}
+
+impl IndexSpec {
+    /// Pair params with their family (single source of truth for the
+    /// family/params correspondence).
+    pub fn new(params: IndexParams) -> Self {
+        let family = match params {
+            IndexParams::Rmi { .. } => Family::Rmi,
+            IndexParams::Pgm { .. } => Family::Pgm,
+            IndexParams::Rs { .. } => Family::Rs,
+            IndexParams::BTree { .. } => Family::BTree,
+            IndexParams::IbTree { .. } => Family::IbTree,
+            IndexParams::Fast { .. } => Family::Fast,
+            IndexParams::Art { .. } => Family::Art,
+            IndexParams::Fst { .. } => Family::Fst,
+            IndexParams::Wormhole { .. } => Family::Wormhole,
+            IndexParams::Rbs { .. } => Family::Rbs,
+            IndexParams::Bs => Family::Bs,
+            IndexParams::CuckooMap => Family::CuckooMap,
+            IndexParams::RobinHash => Family::RobinHash,
+            IndexParams::Fiting { .. } => Family::Fiting,
+        };
+        IndexSpec { family, params }
+    }
+
+    /// The concrete type-erased builder for this spec.
+    pub fn builder<K: Key>(&self) -> Box<dyn DynBuilder<K>> {
+        match self.params {
+            IndexParams::Rmi { root, leaf, branch } => {
+                Box::new(RmiBuilder { root_kind: root, leaf_kind: leaf, branch })
+            }
+            IndexParams::Pgm { eps, eps_internal } => Box::new(PgmBuilder { eps, eps_internal }),
+            IndexParams::Rs { eps, radix_bits } => Box::new(RsBuilder { eps, radix_bits }),
+            IndexParams::BTree { stride, fanout } => {
+                Box::new(sosd_btree::BTreeBuilder { stride, fanout })
+            }
+            IndexParams::IbTree { stride, fanout } => {
+                Box::new(sosd_btree::IbTreeBuilder { stride, fanout })
+            }
+            IndexParams::Fast { stride } => Box::new(FastBuilder { stride }),
+            IndexParams::Art { stride } => Box::new(sosd_art::ArtBuilder { stride }),
+            IndexParams::Fst { stride } => Box::new(FstBuilder { stride }),
+            IndexParams::Wormhole { stride } => Box::new(WormholeBuilder { stride }),
+            IndexParams::Rbs { radix_bits } => Box::new(RbsBuilder { radix_bits }),
+            IndexParams::Bs => Box::new(BsBuilder),
+            IndexParams::CuckooMap => Box::new(CuckooBuilder::default()),
+            IndexParams::RobinHash => Box::new(RobinHoodBuilder::default()),
+            IndexParams::Fiting { eps } => Box::new(FitingTreeBuilder { eps }),
+        }
+    }
+
+    /// Configuration label for result rows (delegates to the builder).
+    pub fn label<K: Key>(&self) -> String {
+        self.builder::<K>().label()
+    }
+
+    /// Build a serving-facing [`QueryEngine`] over shared data: the static
+    /// adapter with the given last-mile strategy.
+    pub fn engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Result<Box<dyn QueryEngine<K>>, BuildError> {
+        let index = self.builder::<K>().build_boxed(data)?;
+        Ok(Box::new(StaticEngine::with_strategy(index, Arc::clone(data), strategy)))
+    }
+}
+
+impl Serialize for IndexSpec {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut params: Vec<(String, Value)> = Vec::new();
+        match self.params {
+            IndexParams::Rmi { root, leaf, branch } => {
+                params.push(("root".into(), Value::Str(root.label().into())));
+                params.push(("leaf".into(), Value::Str(leaf.label().into())));
+                params.push(("branch".into(), Value::UInt(branch as u64)));
+            }
+            IndexParams::Pgm { eps, eps_internal } => {
+                params.push(("eps".into(), Value::UInt(eps)));
+                params.push(("eps_internal".into(), Value::UInt(eps_internal)));
+            }
+            IndexParams::Rs { eps, radix_bits } => {
+                params.push(("eps".into(), Value::UInt(eps)));
+                params.push(("radix_bits".into(), Value::UInt(radix_bits as u64)));
+            }
+            IndexParams::BTree { stride, fanout } | IndexParams::IbTree { stride, fanout } => {
+                params.push(("stride".into(), Value::UInt(stride as u64)));
+                params.push(("fanout".into(), Value::UInt(fanout as u64)));
+            }
+            IndexParams::Fast { stride }
+            | IndexParams::Art { stride }
+            | IndexParams::Fst { stride }
+            | IndexParams::Wormhole { stride } => {
+                params.push(("stride".into(), Value::UInt(stride as u64)));
+            }
+            IndexParams::Rbs { radix_bits } => {
+                params.push(("radix_bits".into(), Value::UInt(radix_bits as u64)));
+            }
+            IndexParams::Bs | IndexParams::CuckooMap | IndexParams::RobinHash => {}
+            IndexParams::Fiting { eps } => {
+                params.push(("eps".into(), Value::UInt(eps)));
+            }
+        }
+        // Derive the family from params so even a hand-assembled spec with
+        // a mismatched `family` field serializes self-consistently.
+        let family = IndexSpec::new(self.params).family;
+        Value::Object(vec![
+            ("family".into(), Value::Str(family.name().into())),
+            ("params".into(), Value::Object(params)),
+        ])
+    }
+}
+
+impl Deserialize for IndexSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let family_name = v
+            .get_field("family")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::custom("spec missing `family`"))?;
+        let family = Family::parse(family_name)
+            .ok_or_else(|| serde::Error::custom(format!("unknown family `{family_name}`")))?;
+        let params =
+            v.get_field("params").ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+        let knob = |name: &str| -> Result<u64, serde::Error> {
+            params
+                .get_field(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| serde::Error::custom(format!("{family_name} needs `{name}`")))
+        };
+        let model = |name: &str| -> Result<ModelKind, serde::Error> {
+            let label = params
+                .get_field(name)
+                .and_then(serde::Value::as_str)
+                .ok_or_else(|| serde::Error::custom(format!("{family_name} needs `{name}`")))?;
+            ModelKind::parse(label)
+                .ok_or_else(|| serde::Error::custom(format!("unknown model kind `{label}`")))
+        };
+        let params = match family {
+            Family::Rmi => IndexParams::Rmi {
+                root: model("root")?,
+                leaf: model("leaf")?,
+                branch: knob("branch")? as usize,
+            },
+            Family::Pgm => {
+                IndexParams::Pgm { eps: knob("eps")?, eps_internal: knob("eps_internal")? }
+            }
+            Family::Rs => {
+                IndexParams::Rs { eps: knob("eps")?, radix_bits: knob("radix_bits")? as u32 }
+            }
+            Family::BTree => IndexParams::BTree {
+                stride: knob("stride")? as usize,
+                fanout: knob("fanout")? as usize,
+            },
+            Family::IbTree => IndexParams::IbTree {
+                stride: knob("stride")? as usize,
+                fanout: knob("fanout")? as usize,
+            },
+            Family::Fast => IndexParams::Fast { stride: knob("stride")? as usize },
+            Family::Art => IndexParams::Art { stride: knob("stride")? as usize },
+            Family::Fst => IndexParams::Fst { stride: knob("stride")? as usize },
+            Family::Wormhole => IndexParams::Wormhole { stride: knob("stride")? as usize },
+            Family::Rbs => IndexParams::Rbs { radix_bits: knob("radix_bits")? as u32 },
+            Family::Bs => IndexParams::Bs,
+            Family::CuckooMap => IndexParams::CuckooMap,
+            Family::RobinHash => IndexParams::RobinHash,
+            Family::Fiting => IndexParams::Fiting { eps: knob("eps")? },
+        };
+        Ok(IndexSpec { family, params })
+    }
 }
 
 impl Family {
@@ -141,126 +418,167 @@ impl Family {
         }
     }
 
-    /// The family's size sweep (up to ~10 configurations, small to large),
-    /// generic over the key width.
-    pub fn sweep<K: Key>(self) -> Vec<Box<dyn DynBuilder<K>>> {
-        match self {
-            Family::Rmi => rmi_sweep(),
-            Family::Pgm => sosd_pgm::PgmBuilder::size_sweep()
+    /// Inverse of [`Family::name`] (spec deserialization).
+    pub fn parse(name: &str) -> Option<Family> {
+        Family::EXTENDED.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Whether the family supports ordered (lower-bound/range) lookups —
+    /// the static half of every technique's Table 1 capability row.
+    pub fn ordered(self) -> bool {
+        !matches!(self, Family::CuckooMap | Family::RobinHash)
+    }
+
+    /// The family's size sweep as specs (up to ~10 configurations, small to
+    /// large). Knobs that depend on the key width (radix bits) are clamped
+    /// here, and configurations that clamp to the same point are
+    /// deduplicated so sweeps never measure one variant twice.
+    pub fn sweep_specs<K: Key>(self) -> Vec<IndexSpec> {
+        let specs: Vec<IndexSpec> = match self {
+            Family::Rmi => (6..=24)
+                .step_by(2)
+                .map(|b| IndexParams::Rmi {
+                    root: ModelKind::Cubic,
+                    leaf: ModelKind::Linear,
+                    branch: 1usize << b,
+                })
+                .map(IndexSpec::new)
+                .collect(),
+            Family::Pgm => PgmBuilder::size_sweep()
                 .into_iter()
                 .rev() // small to large
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| {
+                    IndexSpec::new(IndexParams::Pgm { eps: b.eps, eps_internal: b.eps_internal })
+                })
                 .collect(),
             Family::Rs => RsBuilder::size_sweep()
                 .into_iter()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| {
+                    IndexSpec::new(IndexParams::Rs {
+                        eps: b.eps,
+                        radix_bits: b.radix_bits.min(K::BITS).min(28),
+                    })
+                })
                 .collect(),
             Family::BTree => sosd_btree::BTreeBuilder::size_sweep()
                 .into_iter()
                 .rev()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::BTree { stride: b.stride, fanout: b.fanout }))
                 .collect(),
             Family::IbTree => sosd_btree::IbTreeBuilder::size_sweep()
                 .into_iter()
                 .rev()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::IbTree { stride: b.stride, fanout: b.fanout }))
                 .collect(),
             Family::Fast => FastBuilder::size_sweep()
                 .into_iter()
                 .rev()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::Fast { stride: b.stride }))
                 .collect(),
             Family::Art => sosd_art::ArtBuilder::size_sweep()
                 .into_iter()
                 .rev()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::Art { stride: b.stride }))
                 .collect(),
             Family::Fst => FstBuilder::size_sweep()
                 .into_iter()
                 .rev()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::Fst { stride: b.stride }))
                 .collect(),
             Family::Wormhole => WormholeBuilder::size_sweep()
                 .into_iter()
                 .rev()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::Wormhole { stride: b.stride }))
                 .collect(),
             Family::Rbs => (4..=26)
                 .step_by(2)
-                .map(|r| Box::new(RbsBuilder { radix_bits: r.min(K::BITS).min(28) }) as _)
+                .map(|r| IndexSpec::new(IndexParams::Rbs { radix_bits: r.min(K::BITS).min(28) }))
                 .collect(),
-            Family::Bs => vec![Box::new(BsBuilder)],
-            Family::CuckooMap => vec![Box::new(CuckooBuilder::default())],
-            Family::RobinHash => vec![Box::new(RobinHoodBuilder::default())],
+            Family::Bs => vec![IndexSpec::new(IndexParams::Bs)],
+            Family::CuckooMap => vec![IndexSpec::new(IndexParams::CuckooMap)],
+            Family::RobinHash => vec![IndexSpec::new(IndexParams::RobinHash)],
             Family::Fiting => FitingTreeBuilder::size_sweep()
                 .into_iter()
-                .map(|b| Box::new(b) as Box<dyn DynBuilder<K>>)
+                .map(|b| IndexSpec::new(IndexParams::Fiting { eps: b.eps }))
                 .collect(),
-        }
+        };
+        // Key-width clamping can fold adjacent sweep points onto the same
+        // configuration; keep the first of each.
+        let mut seen = std::collections::HashSet::new();
+        specs.into_iter().filter(|s| seen.insert(*s)).collect()
     }
 
     /// The family's single "reasonable default" configuration, used by
     /// experiments that fix the size budget (Figures 14-16).
-    pub fn default_builder<K: Key>(self) -> Box<dyn DynBuilder<K>> {
-        match self {
-            Family::Rmi => Box::new(RmiBuilder::default()),
-            Family::Pgm => Box::new(PgmBuilder::default()),
-            Family::Rs => Box::new(RsBuilder::default()),
-            Family::BTree => Box::new(sosd_btree::BTreeBuilder { stride: 16, fanout: 16 }),
-            Family::IbTree => Box::new(sosd_btree::IbTreeBuilder { stride: 16, fanout: 64 }),
-            Family::Fast => Box::new(FastBuilder { stride: 16 }),
-            Family::Art => Box::new(sosd_art::ArtBuilder { stride: 16 }),
-            Family::Fst => Box::new(FstBuilder { stride: 16 }),
-            Family::Wormhole => Box::new(WormholeBuilder { stride: 16 }),
-            Family::Rbs => Box::new(RbsBuilder { radix_bits: 18.min(K::BITS) }),
-            Family::Bs => Box::new(BsBuilder),
-            Family::CuckooMap => Box::new(CuckooBuilder::default()),
-            Family::RobinHash => Box::new(RobinHoodBuilder::default()),
-            Family::Fiting => Box::new(FitingTreeBuilder { eps: 128 }),
-        }
+    pub fn default_spec<K: Key>(self) -> IndexSpec {
+        let rmi_default = RmiBuilder::default();
+        IndexSpec::new(match self {
+            Family::Rmi => IndexParams::Rmi {
+                root: rmi_default.root_kind,
+                leaf: rmi_default.leaf_kind,
+                branch: rmi_default.branch,
+            },
+            Family::Pgm => {
+                let b = PgmBuilder::default();
+                IndexParams::Pgm { eps: b.eps, eps_internal: b.eps_internal }
+            }
+            Family::Rs => {
+                let b = RsBuilder::default();
+                IndexParams::Rs { eps: b.eps, radix_bits: b.radix_bits.min(K::BITS).min(28) }
+            }
+            Family::BTree => IndexParams::BTree { stride: 16, fanout: 16 },
+            Family::IbTree => IndexParams::IbTree { stride: 16, fanout: 64 },
+            Family::Fast => IndexParams::Fast { stride: 16 },
+            Family::Art => IndexParams::Art { stride: 16 },
+            Family::Fst => IndexParams::Fst { stride: 16 },
+            Family::Wormhole => IndexParams::Wormhole { stride: 16 },
+            Family::Rbs => IndexParams::Rbs { radix_bits: 18.min(K::BITS) },
+            Family::Bs => IndexParams::Bs,
+            Family::CuckooMap => IndexParams::CuckooMap,
+            Family::RobinHash => IndexParams::RobinHash,
+            Family::Fiting => IndexParams::Fiting { eps: 128 },
+        })
     }
-}
 
-impl Family {
     /// The fastest-lookup variant of each family (Table 2 / Figure 17 use
     /// "the fastest variant of each index structure").
-    pub fn fastest_builder<K: Key>(self) -> Box<dyn DynBuilder<K>> {
-        match self {
-            Family::Rmi => Box::new(RmiBuilder {
-                root_kind: ModelKind::Cubic,
-                leaf_kind: ModelKind::Linear,
+    pub fn fastest_spec<K: Key>(self) -> IndexSpec {
+        IndexSpec::new(match self {
+            Family::Rmi => IndexParams::Rmi {
+                root: ModelKind::Cubic,
+                leaf: ModelKind::Linear,
                 branch: 1 << 18,
-            }),
-            Family::Pgm => Box::new(PgmBuilder { eps: 16, eps_internal: 4 }),
-            Family::Rs => Box::new(RsBuilder { eps: 16, radix_bits: 20.min(K::BITS).min(28) }),
-            Family::BTree => Box::new(sosd_btree::BTreeBuilder { stride: 1, fanout: 16 }),
-            Family::IbTree => Box::new(sosd_btree::IbTreeBuilder { stride: 1, fanout: 64 }),
-            Family::Fast => Box::new(FastBuilder { stride: 1 }),
-            Family::Art => Box::new(sosd_art::ArtBuilder { stride: 1 }),
-            Family::Fst => Box::new(FstBuilder { stride: 1 }),
-            Family::Wormhole => Box::new(WormholeBuilder { stride: 1 }),
-            Family::Rbs => Box::new(RbsBuilder { radix_bits: 24.min(K::BITS).min(28) }),
-            Family::Bs => Box::new(BsBuilder),
-            Family::CuckooMap => Box::new(CuckooBuilder::default()),
-            Family::RobinHash => Box::new(RobinHoodBuilder::default()),
-            Family::Fiting => Box::new(FitingTreeBuilder { eps: 16 }),
-        }
-    }
-}
-
-/// The RMI grid the tuner would pick from, as a fixed deterministic sweep
-/// (cubic root + linear leaves, the dominant CDFShop choice).
-fn rmi_sweep<K: Key>() -> Vec<Box<dyn DynBuilder<K>>> {
-    (6..=24)
-        .step_by(2)
-        .map(|b| {
-            Box::new(RmiBuilder {
-                root_kind: ModelKind::Cubic,
-                leaf_kind: ModelKind::Linear,
-                branch: 1usize << b,
-            }) as Box<dyn DynBuilder<K>>
+            },
+            Family::Pgm => IndexParams::Pgm { eps: 16, eps_internal: 4 },
+            Family::Rs => IndexParams::Rs { eps: 16, radix_bits: 20.min(K::BITS).min(28) },
+            Family::BTree => IndexParams::BTree { stride: 1, fanout: 16 },
+            Family::IbTree => IndexParams::IbTree { stride: 1, fanout: 64 },
+            Family::Fast => IndexParams::Fast { stride: 1 },
+            Family::Art => IndexParams::Art { stride: 1 },
+            Family::Fst => IndexParams::Fst { stride: 1 },
+            Family::Wormhole => IndexParams::Wormhole { stride: 1 },
+            Family::Rbs => IndexParams::Rbs { radix_bits: 24.min(K::BITS).min(28) },
+            Family::Bs => IndexParams::Bs,
+            Family::CuckooMap => IndexParams::CuckooMap,
+            Family::RobinHash => IndexParams::RobinHash,
+            Family::Fiting => IndexParams::Fiting { eps: 16 },
         })
-        .collect()
+    }
+
+    /// The family's size sweep as ready-to-run builders (spec-backed).
+    pub fn sweep<K: Key>(self) -> Vec<Box<dyn DynBuilder<K>>> {
+        self.sweep_specs::<K>().iter().map(IndexSpec::builder).collect()
+    }
+
+    /// Builder for [`Family::default_spec`].
+    pub fn default_builder<K: Key>(self) -> Box<dyn DynBuilder<K>> {
+        self.default_spec::<K>().builder()
+    }
+
+    /// Builder for [`Family::fastest_spec`].
+    pub fn fastest_builder<K: Key>(self) -> Box<dyn DynBuilder<K>> {
+        self.fastest_spec::<K>().builder()
+    }
 }
 
 #[cfg(test)]
@@ -310,5 +628,96 @@ mod tests {
                 assert!(idx.search_bound(700u32).contains(data.lower_bound(700)));
             }
         }
+    }
+
+    #[test]
+    fn sweep_labels_are_unique_per_family() {
+        // Key-width clamping must never leave two identical sweep points
+        // (the u32 instantiations clamp radix bits the furthest).
+        for family in Family::EXTENDED {
+            let labels64: Vec<String> =
+                family.sweep_specs::<u64>().iter().map(|s| s.label::<u64>()).collect();
+            let labels32: Vec<String> =
+                family.sweep_specs::<u32>().iter().map(|s| s.label::<u32>()).collect();
+            for labels in [labels64, labels32] {
+                let mut dedup = labels.clone();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(dedup.len(), labels.len(), "{} sweep has duplicates", family.name());
+            }
+        }
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let data = SortedData::new((0..1_000u64).collect()).unwrap();
+        for family in Family::EXTENDED {
+            let mut specs = family.sweep_specs::<u64>();
+            specs.push(family.default_spec::<u64>());
+            specs.push(family.fastest_spec::<u64>());
+            for spec in specs {
+                let json = serde_json::to_string(&spec).unwrap();
+                let back: IndexSpec = serde_json::from_str(&json).unwrap();
+                assert_eq!(back, spec, "{json}");
+                assert_eq!(back.label::<u64>(), spec.label::<u64>());
+            }
+            // Family names embedded in specs parse back.
+            assert_eq!(Family::parse(family.name()), Some(family));
+            // And a spec-built index answers a lookup.
+            let idx = family.default_spec::<u64>().builder::<u64>().build_boxed(&data).unwrap();
+            assert!(idx.search_bound(500).contains(data.lower_bound(500)));
+        }
+    }
+
+    #[test]
+    fn spec_engines_serve_lookups() {
+        let data = Arc::new(SortedData::new((0..20_000u64).map(|i| i * 2).collect()).unwrap());
+        for family in Family::FIGURE7 {
+            let engine = family
+                .default_spec::<u64>()
+                .engine(&data, SearchStrategy::Binary)
+                .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+            assert_eq!(engine.len(), data.len());
+            let key = data.key(1_234);
+            assert_eq!(engine.get(key), Some(data.payload(1_234)), "{}", family.name());
+            assert_eq!(engine.get(key + 1), None, "{}", family.name());
+            assert_eq!(
+                engine.lower_bound(key + 1).map(|e| e.0),
+                Some(key + 2),
+                "{}",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ordered_flag_matches_capabilities() {
+        let data = SortedData::new((0..2_000u64).collect()).unwrap();
+        for family in Family::EXTENDED {
+            let idx = family.default_builder::<u64>().build_boxed(&data).unwrap();
+            assert_eq!(family.ordered(), idx.capabilities().ordered, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn hand_assembled_family_mismatch_cannot_survive_serialization() {
+        // `params` drives behavior; serialization must emit the family the
+        // params actually belong to, not a mismatched display field.
+        let rogue =
+            IndexSpec { family: Family::Bs, params: IndexParams::Pgm { eps: 64, eps_internal: 8 } };
+        let json = serde_json::to_string(&rogue).unwrap();
+        let back: IndexSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.family, Family::Pgm);
+        assert_eq!(back.params, rogue.params);
+    }
+
+    #[test]
+    fn mismatched_spec_json_is_rejected() {
+        assert!(serde_json::from_str::<IndexSpec>("{\"family\":\"PGM\",\"params\":{}}").is_err());
+        assert!(serde_json::from_str::<IndexSpec>("{\"family\":\"Nope\",\"params\":{}}").is_err());
+        let ok: IndexSpec =
+            serde_json::from_str("{\"family\":\"PGM\",\"params\":{\"eps\":64,\"eps_internal\":8}}")
+                .unwrap();
+        assert_eq!(ok.params, IndexParams::Pgm { eps: 64, eps_internal: 8 });
     }
 }

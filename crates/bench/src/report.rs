@@ -71,11 +71,8 @@ impl Report {
                 s.to_string()
             }
         };
-        let _ = writeln!(
-            out,
-            "{}",
-            self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-        );
+        let _ =
+            writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

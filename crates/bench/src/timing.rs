@@ -8,7 +8,7 @@
 //! hardware side of Figure 14's cold-cache mode.
 
 use sosd_core::search::SearchStrategy;
-use sosd_core::{Index, Key, SortedData};
+use sosd_core::{Index, Key, QueryEngine, SortedData};
 use std::hint::black_box;
 use std::sync::atomic::{fence, Ordering};
 use std::time::Instant;
@@ -54,12 +54,7 @@ pub struct TimingOptions {
 
 impl Default for TimingOptions {
     fn default() -> Self {
-        TimingOptions {
-            strategy: SearchStrategy::Binary,
-            fence: false,
-            cold: false,
-            repeats: 3,
-        }
+        TimingOptions { strategy: SearchStrategy::Binary, fence: false, cold: false, repeats: 3 }
     }
 }
 
@@ -83,11 +78,7 @@ pub fn time_lookups<K: Key, I: Index<K> + ?Sized>(
 ) -> LookupTiming {
     assert!(!lookups.is_empty(), "need lookups to time");
     let keys = data.keys();
-    let mut eviction = if options.cold {
-        vec![0u64; EVICTION_BYTES / 8]
-    } else {
-        Vec::new()
-    };
+    let mut eviction = if options.cold { vec![0u64; EVICTION_BYTES / 8] } else { Vec::new() };
 
     let mut times = Vec::with_capacity(options.repeats.max(1));
     let mut checksum = 0u64;
@@ -126,6 +117,44 @@ pub fn time_lookups<K: Key, I: Index<K> + ?Sized>(
             elapsed_ns = start.elapsed().as_nanos();
         }
         times.push(elapsed_ns as f64 / lookups.len() as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    LookupTiming { ns_per_lookup: times[times.len() / 2], checksum }
+}
+
+/// Time lookups through a [`QueryEngine`]'s batched entry point.
+///
+/// The lookup stream is cut into groups of `batch_size` and each group is
+/// executed with [`QueryEngine::get_batch`] — `batch_size == 1` measures the
+/// facade's one-at-a-time path, larger sizes measure how much an adapter's
+/// interleaved/prefetching override amortizes per-lookup stalls. Present
+/// keys contribute their payload sum to the checksum (identical to
+/// [`time_lookups`]'s contract), so a run over present-key workloads must
+/// reproduce the workload's expected checksum.
+pub fn time_lookups_batched<K: Key, E: QueryEngine<K> + ?Sized>(
+    engine: &E,
+    lookups: &[K],
+    batch_size: usize,
+    repeats: usize,
+) -> LookupTiming {
+    assert!(!lookups.is_empty(), "need lookups to time");
+    let batch_size = batch_size.max(1);
+    let mut results: Vec<Option<u64>> = Vec::with_capacity(batch_size);
+
+    let mut times = Vec::with_capacity(repeats.max(1));
+    let mut checksum = 0u64;
+    for _ in 0..repeats.max(1) {
+        checksum = 0;
+        let start = Instant::now();
+        for batch in lookups.chunks(batch_size) {
+            results.clear();
+            engine.get_batch(black_box(batch), &mut results);
+            for r in &results {
+                checksum = checksum.wrapping_add(r.unwrap_or(0));
+            }
+        }
+        black_box(checksum);
+        times.push(start.elapsed().as_nanos() as f64 / lookups.len() as f64);
     }
     times.sort_by(f64::total_cmp);
     LookupTiming { ns_per_lookup: times[times.len() / 2], checksum }
@@ -181,6 +210,39 @@ mod tests {
             TimingOptions { fence: true, repeats: 1, ..Default::default() },
         );
         assert_eq!(t.checksum, w.expected_checksum);
+    }
+
+    #[test]
+    fn batched_lookups_match_expected_checksum() {
+        use sosd_core::StaticEngine;
+        use std::sync::Arc;
+        let w = workload();
+        let data = Arc::new(w.data.clone());
+        let idx = <BsBuilder as IndexBuilder<u64>>::build(&BsBuilder, &data).unwrap();
+        let engine = StaticEngine::new(idx, data);
+        for batch_size in [1usize, 2, 7, 8, 64, 10_000] {
+            let t = time_lookups_batched(&engine, &w.lookups, batch_size, 1);
+            assert_eq!(t.checksum, w.expected_checksum, "batch_size={batch_size}");
+            assert!(t.ns_per_lookup > 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_checksum_agrees_with_scalar_loop() {
+        use sosd_core::StaticEngine;
+        use std::sync::Arc;
+        let w = workload();
+        let data = Arc::new(w.data.clone());
+        let idx = <BsBuilder as IndexBuilder<u64>>::build(&BsBuilder, &data).unwrap();
+        let scalar = time_lookups(
+            &idx,
+            &w.data,
+            &w.lookups,
+            TimingOptions { repeats: 1, ..Default::default() },
+        );
+        let engine = StaticEngine::new(idx, data);
+        let batched = time_lookups_batched(&engine, &w.lookups, 16, 1);
+        assert_eq!(batched.checksum, scalar.checksum);
     }
 
     #[test]

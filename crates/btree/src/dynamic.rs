@@ -66,7 +66,8 @@ impl<K: Key> Default for DynamicBTree<K> {
 impl<K: Key> DynamicBTree<K> {
     /// An empty tree whose root is a leaf.
     pub fn new() -> Self {
-        let root_leaf = Node::Leaf(LeafNode { keys: Vec::new(), payloads: Vec::new(), next: NO_NODE });
+        let root_leaf =
+            Node::Leaf(LeafNode { keys: Vec::new(), payloads: Vec::new(), next: NO_NODE });
         DynamicBTree { nodes: vec![root_leaf], root: 0, len: 0, height: 1 }
     }
 
@@ -142,7 +143,8 @@ impl<K: Key> DynamicBTree<K> {
             let sep = right_keys.remove(0);
             (sep, right_keys, right_children)
         };
-        let new_id = self.alloc(Node::Inner(InnerNode { keys: right_keys, children: right_children }));
+        let new_id =
+            self.alloc(Node::Inner(InnerNode { keys: right_keys, children: right_children }));
         (sep, new_id)
     }
 
@@ -326,7 +328,10 @@ impl<K: Key> BulkLoad<K> for DynamicBTree<K> {
         if keys.is_empty() {
             return DynamicBTree::new();
         }
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "bulk_load requires strictly sorted keys");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bulk_load requires strictly sorted keys"
+        );
 
         let per_leaf = (MAX_KEYS * 7) / 8;
         let mut nodes: Vec<Node<K>> = Vec::new();
@@ -381,13 +386,16 @@ impl<K: Key> DynamicOrderedIndex<K> for DynamicBTree<K> {
     }
 
     fn size_bytes(&self) -> usize {
-        let mut total = std::mem::size_of::<Self>() + self.nodes.capacity() * std::mem::size_of::<Node<K>>();
+        let mut total =
+            std::mem::size_of::<Self>() + self.nodes.capacity() * std::mem::size_of::<Node<K>>();
         for node in &self.nodes {
             total += match node {
                 Node::Inner(i) => {
                     i.keys.capacity() * std::mem::size_of::<K>() + i.children.capacity() * 4
                 }
-                Node::Leaf(l) => l.keys.capacity() * std::mem::size_of::<K>() + l.payloads.capacity() * 8,
+                Node::Leaf(l) => {
+                    l.keys.capacity() * std::mem::size_of::<K>() + l.payloads.capacity() * 8
+                }
             };
         }
         total
@@ -623,5 +631,4 @@ mod tests {
         t.check_invariants();
         assert_eq!(t.get(500), Some(507));
     }
-
 }

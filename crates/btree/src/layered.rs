@@ -30,9 +30,7 @@ impl<K: Key> LayeredTree<K> {
     /// Build over `keys` (must be sorted; typically the sampled key set).
     pub fn build(keys: Vec<K>, fanout: usize) -> Result<Self, BuildError> {
         if fanout < 2 {
-            return Err(BuildError::InvalidConfig(format!(
-                "fanout must be >= 2, got {fanout}"
-            )));
+            return Err(BuildError::InvalidConfig(format!("fanout must be >= 2, got {fanout}")));
         }
         if keys.is_empty() {
             return Err(BuildError::InvalidConfig("cannot build over zero keys".into()));
@@ -62,10 +60,7 @@ impl<K: Key> LayeredTree<K> {
     /// Total bytes across all levels (leaf keys included: the tree owns its
     /// sampled copy of the keys).
     pub fn size_bytes(&self) -> usize {
-        self.levels
-            .iter()
-            .map(|l| l.len() * std::mem::size_of::<K>())
-            .sum()
+        self.levels.iter().map(|l| l.len() * std::mem::size_of::<K>()).sum()
     }
 
     /// The leaf key array.
@@ -108,10 +103,7 @@ fn window_search<K: Key, T: Tracer>(
     }
     // One node visit: the window is contiguous, so model it as a single read
     // spanning the touched keys (the cache simulator splits it into lines).
-    tracer.read(
-        addr_of_index(level, start),
-        (end - start) * std::mem::size_of::<K>(),
-    );
+    tracer.read(addr_of_index(level, start), (end - start) * std::mem::size_of::<K>());
     let site = level.as_ptr() as usize ^ start;
     match mode {
         NodeSearch::Binary => {
@@ -189,11 +181,7 @@ mod tests {
     #[test]
     fn rank_matches_partition_point_interpolation() {
         ranks_match((0..100u64).map(|i| i * 3).collect(), 4, NodeSearch::Interpolation);
-        ranks_match(
-            (0..500u64).map(|i| i * i).collect(),
-            16,
-            NodeSearch::Interpolation,
-        );
+        ranks_match((0..500u64).map(|i| i * i).collect(), 16, NodeSearch::Interpolation);
         ranks_match(vec![5, 5, 5, 7, 7, 20], 2, NodeSearch::Interpolation);
     }
 

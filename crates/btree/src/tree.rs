@@ -159,10 +159,8 @@ mod tests {
 
     #[test]
     fn builder_describe_mentions_knobs() {
-        let d = <BTreeBuilder as IndexBuilder<u64>>::describe(&BTreeBuilder {
-            stride: 8,
-            fanout: 16,
-        });
+        let d =
+            <BTreeBuilder as IndexBuilder<u64>>::describe(&BTreeBuilder { stride: 8, fanout: 16 });
         assert!(d.contains("stride=8"));
     }
 }

@@ -31,10 +31,7 @@ impl<K: Key> SortedData<K> {
             return Err(DataError::Empty);
         }
         if keys.len() != payloads.len() {
-            return Err(DataError::LengthMismatch {
-                keys: keys.len(),
-                payloads: payloads.len(),
-            });
+            return Err(DataError::LengthMismatch { keys: keys.len(), payloads: payloads.len() });
         }
         if let Some(i) = (1..keys.len()).find(|&i| keys[i] < keys[i - 1]) {
             return Err(DataError::Unsorted(i));
@@ -146,10 +143,7 @@ mod tests {
 
     #[test]
     fn rejects_unsorted() {
-        assert_eq!(
-            SortedData::new(vec![3u64, 1, 2]).unwrap_err(),
-            DataError::Unsorted(1)
-        );
+        assert_eq!(SortedData::new(vec![3u64, 1, 2]).unwrap_err(), DataError::Unsorted(1));
     }
 
     #[test]

@@ -70,6 +70,39 @@ pub trait DynamicOrderedIndex<K: Key>: Send {
     fn capabilities(&self) -> Capabilities;
 }
 
+/// Blanket impl so `Box<dyn DynamicOrderedIndex<K>>` is itself a dynamic
+/// index (mirroring the [`crate::Index`] blanket impls) — this is what lets
+/// [`crate::DynamicEngine`] wrap the registry's type-erased structures.
+impl<K: Key, D: DynamicOrderedIndex<K> + ?Sized> DynamicOrderedIndex<K> for Box<D> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
+        (**self).insert(key, payload)
+    }
+    fn remove(&mut self, key: K) -> Option<u64> {
+        (**self).remove(key)
+    }
+    fn get(&self, key: K) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        (**self).lower_bound_entry(key)
+    }
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        (**self).range_sum(lo, hi)
+    }
+    fn capabilities(&self) -> Capabilities {
+        (**self).capabilities()
+    }
+}
+
 /// Bulk construction from sorted key/payload pairs.
 ///
 /// Dynamic indexes are typically seeded with an initial sorted dataset and
@@ -137,16 +170,10 @@ mod tests {
             }
         }
         fn remove(&mut self, key: u64) -> Option<u64> {
-            self.entries
-                .binary_search_by_key(&key, |e| e.0)
-                .ok()
-                .map(|i| self.entries.remove(i).1)
+            self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries.remove(i).1)
         }
         fn get(&self, key: u64) -> Option<u64> {
-            self.entries
-                .binary_search_by_key(&key, |e| e.0)
-                .ok()
-                .map(|i| self.entries[i].1)
+            self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries[i].1)
         }
         fn lower_bound_entry(&self, key: u64) -> Option<(u64, u64)> {
             let i = self.entries.partition_point(|e| e.0 < key);

@@ -1,0 +1,551 @@
+//! The serving-facing query API: one facade over both index worlds.
+//!
+//! The benchmark's two interfaces are deliberately minimal — the read-only
+//! [`Index`] maps keys to [`SearchBound`]s over an external [`SortedData`],
+//! and [`DynamicOrderedIndex`] owns its entries — which left every harness
+//! and example re-implementing the last-mile search and payload gather. A
+//! serving layer needs one ordered-map surface instead. [`QueryEngine`]
+//! provides it: payload-returning point lookups, ordered lower-bound and
+//! range queries, and a **batched** lookup entry point.
+//!
+//! Batching matters for the same reason the paper's cold-cache and
+//! multithreaded figures do: a single lookup spends most of its time stalled
+//! on cache misses, so executing a group of independent lookups in stages —
+//! model inference for all, then last-mile search for all, with software
+//! prefetches issued for the next lookup's bound window — overlaps those
+//! stalls instead of serializing them. [`StaticEngine`] implements exactly
+//! that; adapters that cannot prefetch simply inherit the default loop.
+//!
+//! Two adapters ship here:
+//!
+//! * [`StaticEngine`] — any [`Index`] plus its [`SortedData`], folding in
+//!   the last-mile [`SearchStrategy`] so callers never see positions.
+//! * [`DynamicEngine`] — any [`DynamicOrderedIndex`], which already speaks
+//!   payloads natively.
+
+use crate::bound::SearchBound;
+use crate::data::SortedData;
+use crate::dynamic::DynamicOrderedIndex;
+use crate::index::Index;
+use crate::key::Key;
+use crate::search::SearchStrategy;
+use std::sync::Arc;
+
+/// Issue a best-effort prefetch of the cache line holding `ptr`.
+///
+/// A hint only: correctness never depends on it, and on architectures
+/// without a stable prefetch intrinsic it compiles to nothing.
+#[inline(always)]
+fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(ptr as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+/// A unified, payload-returning ordered map over keys — the interface a
+/// serving layer builds on, implemented by adapters over both the static
+/// ([`Index`] + [`SortedData`]) and dynamic ([`DynamicOrderedIndex`])
+/// worlds.
+///
+/// # Duplicate keys
+///
+/// The static world allows duplicate keys (the `wiki` dataset has them);
+/// [`QueryEngine::get`] therefore returns the **sum of payloads of all
+/// records equal to the key** — the same aggregate the paper's harness
+/// checksums — which coincides with the single stored payload when keys are
+/// unique (always true in the dynamic world).
+pub trait QueryEngine<K: Key>: Send {
+    /// Engine description for result tables (e.g. `"RMI+binary"`).
+    fn name(&self) -> String;
+
+    /// Number of stored records.
+    fn len(&self) -> usize;
+
+    /// True when no records are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-memory footprint of the index structure in bytes. For static
+    /// engines this excludes the data array (matching
+    /// [`Index::size_bytes`]); dynamic structures own their data and count
+    /// it (matching [`DynamicOrderedIndex::size_bytes`]).
+    fn size_bytes(&self) -> usize;
+
+    /// Sum of payloads of all records equal to `key`, or `None` when the
+    /// key is absent.
+    fn get(&self, key: K) -> Option<u64>;
+
+    /// The smallest stored entry with key `>= key`, or `None` when every
+    /// stored key is smaller.
+    fn lower_bound(&self, key: K) -> Option<(K, u64)>;
+
+    /// All entries with `lo <= key < hi`, in key order (duplicates
+    /// included).
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)>;
+
+    /// Sum of payloads over `lo <= key < hi` without materializing the
+    /// entries. Adapters override this with an allocation-free path.
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        self.range(lo, hi).iter().fold(0u64, |acc, e| acc.wrapping_add(e.1))
+    }
+
+    /// Execute a batch of point lookups, appending one result per key to
+    /// `out` (same contract as [`QueryEngine::get`], preserving order).
+    ///
+    /// The default implementation loops over [`QueryEngine::get`]; adapters
+    /// may override it with interleaved/prefetching execution that amortizes
+    /// cache-miss stalls across the batch. Overrides must stay observably
+    /// identical to the loop.
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        out.reserve(keys.len());
+        for &key in keys {
+            out.push(self.get(key));
+        }
+    }
+
+    /// Convenience wrapper over [`QueryEngine::get_batch`] returning a
+    /// fresh vector.
+    fn lookup_batch(&self, keys: &[K]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        self.get_batch(keys, &mut out);
+        out
+    }
+}
+
+impl<K: Key, E: QueryEngine<K> + ?Sized> QueryEngine<K> for Box<E> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn get(&self, key: K) -> Option<u64> {
+        (**self).get(key)
+    }
+    fn lower_bound(&self, key: K) -> Option<(K, u64)> {
+        (**self).lower_bound(key)
+    }
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        (**self).range(lo, hi)
+    }
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        (**self).range_sum(lo, hi)
+    }
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        (**self).get_batch(keys, out)
+    }
+    fn lookup_batch(&self, keys: &[K]) -> Vec<Option<u64>> {
+        (**self).lookup_batch(keys)
+    }
+}
+
+/// Lookups interleaved per batch chunk: bounds for the whole chunk are
+/// computed (and their windows prefetched) before any last-mile search
+/// runs, so one lookup's model inference overlaps another's memory stalls.
+/// Eight keeps the in-flight prefetches within typical L1 miss queues.
+const BATCH_CHUNK: usize = 8;
+
+/// [`QueryEngine`] adapter for the static world: any [`Index`] over a
+/// shared [`SortedData`], with the last-mile search folded in.
+///
+/// The data array is held by `Arc` so many engines (one per index
+/// configuration, as the registry builds them) share one copy.
+pub struct StaticEngine<K: Key, I: Index<K>> {
+    index: I,
+    data: Arc<SortedData<K>>,
+    strategy: SearchStrategy,
+}
+
+impl<K: Key, I: Index<K>> StaticEngine<K, I> {
+    /// Wrap `index` (built over `data`) with binary last-mile search.
+    pub fn new(index: I, data: Arc<SortedData<K>>) -> Self {
+        Self::with_strategy(index, data, SearchStrategy::Binary)
+    }
+
+    /// Wrap with an explicit last-mile strategy.
+    pub fn with_strategy(index: I, data: Arc<SortedData<K>>, strategy: SearchStrategy) -> Self {
+        StaticEngine { index, data, strategy }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The shared data array.
+    pub fn data(&self) -> &Arc<SortedData<K>> {
+        &self.data
+    }
+
+    /// The configured last-mile strategy.
+    pub fn strategy(&self) -> SearchStrategy {
+        self.strategy
+    }
+
+    /// Exact lower-bound position of `key` in the data array.
+    #[inline]
+    fn position(&self, key: K) -> usize {
+        let bound = self.index.search_bound(key);
+        self.strategy.find(self.data.keys(), key, bound)
+    }
+
+    /// Sum payloads of all records equal to `key` starting at `pos`.
+    #[inline]
+    fn payload_sum_from(&self, key: K, pos: usize) -> Option<u64> {
+        let keys = self.data.keys();
+        if pos >= keys.len() || keys[pos] != key {
+            return None;
+        }
+        let payloads = self.data.payloads();
+        let mut sum = 0u64;
+        let mut i = pos;
+        while i < keys.len() && keys[i] == key {
+            sum = sum.wrapping_add(payloads[i]);
+            i += 1;
+        }
+        Some(sum)
+    }
+}
+
+impl<K: Key, I: Index<K>> QueryEngine<K> for StaticEngine<K, I> {
+    fn name(&self) -> String {
+        format!("{}+{}", self.index.name(), self.strategy.label())
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        let pos = self.position(key);
+        self.payload_sum_from(key, pos)
+    }
+
+    fn lower_bound(&self, key: K) -> Option<(K, u64)> {
+        let pos = self.position(key);
+        (pos < self.data.len()).then(|| (self.data.key(pos), self.data.payload(pos)))
+    }
+
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let start = self.position(lo);
+        let end = self.position(hi);
+        let keys = self.data.keys();
+        let payloads = self.data.payloads();
+        (start..end).map(|i| (keys[i], payloads[i])).collect()
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let start = self.position(lo);
+        let end = self.position(hi);
+        self.data.payloads()[start..end].iter().fold(0u64, |acc, &p| acc.wrapping_add(p))
+    }
+
+    /// Interleaved batched lookup: per chunk, run model inference for every
+    /// key and prefetch each bound's probe window, then run the last-mile
+    /// searches against lines already in flight.
+    fn get_batch(&self, lookup_keys: &[K], out: &mut Vec<Option<u64>>) {
+        let keys = self.data.keys();
+        out.reserve(lookup_keys.len());
+        let mut bounds = [SearchBound { lo: 0, hi: 0 }; BATCH_CHUNK];
+        for chunk in lookup_keys.chunks(BATCH_CHUNK) {
+            // Phase 1: inference + prefetch. The binary search's first probe
+            // is the window midpoint; linear-ish finishes start at `lo`.
+            for (slot, &x) in bounds.iter_mut().zip(chunk) {
+                let bound = self.index.search_bound(x);
+                let lo = bound.lo.min(keys.len().saturating_sub(1));
+                let mid = (bound.lo + bound.len() / 2).min(keys.len().saturating_sub(1));
+                unsafe {
+                    prefetch_read(keys.as_ptr().add(mid));
+                    prefetch_read(keys.as_ptr().add(lo));
+                }
+                *slot = bound;
+            }
+            // Phase 2: last-mile + payload gather.
+            for (&bound, &x) in bounds.iter().zip(chunk) {
+                let pos = self.strategy.find(keys, x, bound);
+                out.push(self.payload_sum_from(x, pos));
+            }
+        }
+    }
+}
+
+/// [`QueryEngine`] adapter for the dynamic world: any
+/// [`DynamicOrderedIndex`] already maps keys to payloads, so the adapter
+/// only bridges the range queries.
+pub struct DynamicEngine<K: Key, D: DynamicOrderedIndex<K>> {
+    index: D,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K: Key, D: DynamicOrderedIndex<K>> DynamicEngine<K, D> {
+    /// Wrap a dynamic index.
+    pub fn new(index: D) -> Self {
+        DynamicEngine { index, _marker: std::marker::PhantomData }
+    }
+
+    /// The wrapped index, for reads beyond the facade.
+    pub fn inner(&self) -> &D {
+        &self.index
+    }
+
+    /// Mutable access for the write path ([`DynamicOrderedIndex::insert`] /
+    /// [`DynamicOrderedIndex::remove`]); the facade itself is read-only.
+    pub fn inner_mut(&mut self) -> &mut D {
+        &mut self.index
+    }
+
+    /// Unwrap back into the dynamic index.
+    pub fn into_inner(self) -> D {
+        self.index
+    }
+}
+
+impl<K: Key, D: DynamicOrderedIndex<K>> QueryEngine<K> for DynamicEngine<K, D> {
+    fn name(&self) -> String {
+        self.index.name().to_string()
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        self.index.get(key)
+    }
+
+    fn lower_bound(&self, key: K) -> Option<(K, u64)> {
+        self.index.lower_bound_entry(key)
+    }
+
+    /// Bridged through repeated [`DynamicOrderedIndex::lower_bound_entry`]
+    /// probes — `O(m log n)` for `m` returned entries, since the trait has
+    /// no range-iteration primitive yet. Fine for point-ish windows; a
+    /// leaf-walk primitive on the dynamic trait is the planned fix for
+    /// analytics-sized scans (see ROADMAP).
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        let mut out = Vec::new();
+        let mut probe = lo;
+        while let Some((k, v)) = self.index.lower_bound_entry(probe) {
+            if k >= hi {
+                break;
+            }
+            out.push((k, v));
+            if k == K::MAX_KEY {
+                break;
+            }
+            probe = K::from_u64(k.to_u64() + 1);
+        }
+        out
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        self.index.range_sum(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Capabilities, IndexKind};
+
+    /// Trivial always-valid index: full-array bounds.
+    struct FullScan {
+        n: usize,
+    }
+
+    impl Index<u64> for FullScan {
+        fn name(&self) -> &'static str {
+            "FullScan"
+        }
+        fn size_bytes(&self) -> usize {
+            8
+        }
+        fn search_bound(&self, _key: u64) -> SearchBound {
+            SearchBound::full(self.n)
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities { updates: false, ordered: true, kind: IndexKind::BinarySearch }
+        }
+    }
+
+    fn static_engine() -> StaticEngine<u64, FullScan> {
+        let data =
+            SortedData::with_payloads(vec![1u64, 3, 3, 9, 12], vec![10, 20, 30, 40, 50]).unwrap();
+        let n = data.len();
+        StaticEngine::new(FullScan { n }, Arc::new(data))
+    }
+
+    #[test]
+    fn static_get_sums_duplicates() {
+        let e = static_engine();
+        assert_eq!(e.get(1), Some(10));
+        assert_eq!(e.get(3), Some(50), "duplicate payloads are summed");
+        assert_eq!(e.get(2), None);
+        assert_eq!(e.get(100), None);
+    }
+
+    #[test]
+    fn static_lower_bound_and_range() {
+        let e = static_engine();
+        assert_eq!(e.lower_bound(0), Some((1, 10)));
+        assert_eq!(e.lower_bound(4), Some((9, 40)));
+        assert_eq!(e.lower_bound(13), None);
+        assert_eq!(e.range(3, 12), vec![(3, 20), (3, 30), (9, 40)]);
+        assert_eq!(e.range(12, 3), vec![]);
+        assert_eq!(e.range_sum(3, 12), 90);
+        assert_eq!(e.range_sum(0, u64::MAX), 150);
+    }
+
+    #[test]
+    fn static_batch_matches_get() {
+        let e = static_engine();
+        let probes: Vec<u64> = (0..40).collect();
+        let batched = e.lookup_batch(&probes);
+        for (&x, got) in probes.iter().zip(&batched) {
+            assert_eq!(*got, e.get(x), "probe {x}");
+        }
+    }
+
+    #[test]
+    fn batch_chunks_longer_than_input_are_safe() {
+        let e = static_engine();
+        // Shorter than one chunk, exactly one chunk, and a partial tail.
+        for n in [1usize, BATCH_CHUNK, BATCH_CHUNK * 2 + 3] {
+            let probes: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(e.lookup_batch(&probes).len(), n);
+        }
+    }
+
+    #[test]
+    fn engine_reports_metadata() {
+        let e = static_engine();
+        assert_eq!(e.len(), 5);
+        assert!(!e.is_empty());
+        assert_eq!(e.size_bytes(), 8);
+        assert_eq!(e.name(), "FullScan+binary");
+    }
+
+    /// Minimal dynamic index for adapter tests.
+    struct VecMap {
+        entries: Vec<(u64, u64)>,
+    }
+
+    impl DynamicOrderedIndex<u64> for VecMap {
+        fn name(&self) -> &'static str {
+            "VecMap"
+        }
+        fn len(&self) -> usize {
+            self.entries.len()
+        }
+        fn size_bytes(&self) -> usize {
+            self.entries.capacity() * 16
+        }
+        fn insert(&mut self, key: u64, payload: u64) -> Option<u64> {
+            match self.entries.binary_search_by_key(&key, |e| e.0) {
+                Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, payload)),
+                Err(i) => {
+                    self.entries.insert(i, (key, payload));
+                    None
+                }
+            }
+        }
+        fn remove(&mut self, key: u64) -> Option<u64> {
+            self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries.remove(i).1)
+        }
+        fn get(&self, key: u64) -> Option<u64> {
+            self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries[i].1)
+        }
+        fn lower_bound_entry(&self, key: u64) -> Option<(u64, u64)> {
+            let i = self.entries.partition_point(|e| e.0 < key);
+            self.entries.get(i).copied()
+        }
+        fn range_sum(&self, lo: u64, hi: u64) -> u64 {
+            self.entries
+                .iter()
+                .filter(|e| e.0 >= lo && e.0 < hi)
+                .fold(0u64, |acc, e| acc.wrapping_add(e.1))
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities { updates: true, ordered: true, kind: IndexKind::BinarySearch }
+        }
+    }
+
+    fn dynamic_engine() -> DynamicEngine<u64, VecMap> {
+        let mut m = VecMap { entries: Vec::new() };
+        for k in [2u64, 5, 8, u64::MAX] {
+            m.insert(k, k.wrapping_mul(10));
+        }
+        DynamicEngine::new(m)
+    }
+
+    #[test]
+    fn dynamic_adapter_delegates() {
+        let e = dynamic_engine();
+        assert_eq!(e.name(), "VecMap");
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.get(5), Some(50));
+        assert_eq!(e.get(6), None);
+        assert_eq!(e.lower_bound(6), Some((8, 80)));
+        assert_eq!(e.range_sum(2, 9), 150);
+    }
+
+    #[test]
+    fn dynamic_range_iterates_and_stops_at_max_key() {
+        let e = dynamic_engine();
+        assert_eq!(e.range(3, 9), vec![(5, 50), (8, 80)]);
+        // Range reaching the extreme key must terminate.
+        let all = e.range(0, u64::MAX);
+        assert_eq!(all, vec![(2, 20), (5, 50), (8, 80)], "hi is exclusive");
+        let upper = e.lower_bound(u64::MAX);
+        assert_eq!(upper, Some((u64::MAX, u64::MAX.wrapping_mul(10))));
+    }
+
+    #[test]
+    fn dynamic_batch_default_loops() {
+        let e = dynamic_engine();
+        assert_eq!(e.lookup_batch(&[2, 3, 5]), vec![Some(20), None, Some(50)]);
+    }
+
+    #[test]
+    fn write_path_reaches_through_inner_mut() {
+        let mut e = dynamic_engine();
+        e.inner_mut().insert(7, 70);
+        assert_eq!(e.get(7), Some(70));
+        assert_eq!(e.inner_mut().remove(2), Some(20));
+        assert_eq!(e.get(2), None);
+    }
+
+    #[test]
+    fn boxed_engines_are_first_class() {
+        let engines: Vec<Box<dyn QueryEngine<u64>>> =
+            vec![Box::new(static_engine()), Box::new(dynamic_engine())];
+        for e in &engines {
+            assert!(e.len() > 0);
+            assert!(e.lower_bound(0).is_some());
+            let batch = e.lookup_batch(&[0, 2, 5]);
+            assert_eq!(batch.len(), 3);
+        }
+    }
+}

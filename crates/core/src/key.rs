@@ -12,9 +12,7 @@ use std::hash::Hash;
 /// Implementations must be totally ordered and support lossless conversion to
 /// `u64` as well as (clamped) conversion to and from `f64` — the latter is
 /// what learned models compute in.
-pub trait Key:
-    Copy + Ord + Eq + Hash + Send + Sync + Debug + Display + Default + 'static
-{
+pub trait Key: Copy + Ord + Eq + Hash + Send + Sync + Debug + Display + Default + 'static {
     /// Bit width of the key type (32 or 64).
     const BITS: u32;
     /// Smallest representable key.

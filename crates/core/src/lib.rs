@@ -24,11 +24,15 @@
 //! * [`dynamic`] — the [`DynamicOrderedIndex`] interface for the updatable
 //!   structures of the paper's future-work section (ALEX, dynamic PGM,
 //!   FITing-Tree, dynamic B+Tree).
+//! * [`engine`] — the serving-facing [`QueryEngine`] facade unifying both
+//!   worlds behind payload-returning `get`/`lower_bound`/`range` plus a
+//!   batched, prefetch-friendly lookup path.
 
 pub mod bound;
 pub mod builder;
 pub mod data;
 pub mod dynamic;
+pub mod engine;
 pub mod error;
 pub mod index;
 pub mod key;
@@ -43,6 +47,7 @@ pub use bound::SearchBound;
 pub use builder::IndexBuilder;
 pub use data::SortedData;
 pub use dynamic::{BulkLoad, DynamicOrderedIndex, Op};
+pub use engine::{DynamicEngine, QueryEngine, StaticEngine};
 pub use error::{BuildError, DataError};
 pub use index::{Capabilities, Index, IndexKind};
 pub use key::Key;

@@ -210,13 +210,7 @@ pub fn fit(x: &[Vec<f64>], y: &[f64]) -> Result<OlsFit, OlsError> {
     let xtx_inv = invert(&xtx)?;
     let std_errors: Vec<f64> = (0..p).map(|j| (sigma2 * xtx_inv[j][j]).max(0.0).sqrt()).collect();
     let t_stats: Vec<f64> = (0..p)
-        .map(|j| {
-            if std_errors[j] == 0.0 {
-                0.0
-            } else {
-                coefficients[j] / std_errors[j]
-            }
-        })
+        .map(|j| if std_errors[j] == 0.0 { 0.0 } else { coefficients[j] / std_errors[j] })
         .collect();
     let p_values: Vec<f64> = t_stats.iter().map(|&t| two_sided_p(t)).collect();
 
@@ -249,9 +243,8 @@ mod tests {
     fn recovers_exact_linear_relationship() {
         // y = 3 + 2*x1 - x2, noiseless.
         let mut rng = XorShift64::new(42);
-        let x: Vec<Vec<f64>> = (0..100)
-            .map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 5.0])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..100).map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 5.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
         let f = fit(&x, &y).unwrap();
         assert!((f.coefficients[0] - 3.0).abs() < 1e-8);
@@ -264,10 +257,7 @@ mod tests {
     fn significant_predictors_have_small_p() {
         let mut rng = XorShift64::new(7);
         let x: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.next_f64() * 10.0]).collect();
-        let y: Vec<f64> = x
-            .iter()
-            .map(|r| 1.0 + 5.0 * r[0] + (rng.next_f64() - 0.5))
-            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 1.0 + 5.0 * r[0] + (rng.next_f64() - 0.5)).collect();
         let f = fit(&x, &y).unwrap();
         assert!(f.p_values[1] < 0.001, "p = {}", f.p_values[1]);
         assert!(f.r_squared > 0.9);
@@ -276,14 +266,10 @@ mod tests {
     #[test]
     fn irrelevant_predictor_is_insignificant() {
         let mut rng = XorShift64::new(99);
-        let x: Vec<Vec<f64>> = (0..300)
-            .map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0])
-            .collect();
+        let x: Vec<Vec<f64>> =
+            (0..300).map(|_| vec![rng.next_f64() * 10.0, rng.next_f64() * 10.0]).collect();
         // y depends only on x1.
-        let y: Vec<f64> = x
-            .iter()
-            .map(|r| 2.0 * r[0] + (rng.next_f64() - 0.5) * 4.0)
-            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + (rng.next_f64() - 0.5) * 4.0).collect();
         let f = fit(&x, &y).unwrap();
         assert!(f.p_values[1] < 0.001);
         assert!(f.p_values[2] > 0.05, "noise predictor p = {}", f.p_values[2]);

@@ -44,11 +44,7 @@ pub fn log2_error_stats<K: Key, I: Index<K> + ?Sized>(
         sum_len += b.len() as f64;
     }
     let n = probes.len() as f64;
-    Log2ErrorStats {
-        mean_log2: sum_log2 / n,
-        max_log2,
-        mean_bound_len: sum_len / n,
-    }
+    Log2ErrorStats { mean_log2: sum_log2 / n, max_log2, mean_bound_len: sum_len / n }
 }
 
 /// Indices of the Pareto-optimal points when minimizing both coordinates
@@ -59,10 +55,7 @@ pub fn log2_error_stats<K: Key, I: Index<K> + ?Sized>(
 pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..points.len()).collect();
     order.sort_by(|&a, &b| {
-        points[a]
-            .0
-            .total_cmp(&points[b].0)
-            .then(points[a].1.total_cmp(&points[b].1))
+        points[a].0.total_cmp(&points[b].0).then(points[a].1.total_cmp(&points[b].1))
     });
     let mut front = Vec::new();
     let mut best_y = f64::INFINITY;

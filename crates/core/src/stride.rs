@@ -105,10 +105,7 @@ mod tests {
             for x in 0..=32u64 {
                 let lb = keys.partition_point(|&k| k < x);
                 let b = s.bound_for_pred_slot(s.oracle_pred_slot(&keys, x));
-                assert!(
-                    b.contains(lb),
-                    "stride={stride} x={x} bound={b:?} lb={lb}"
-                );
+                assert!(b.contains(lb), "stride={stride} x={x} bound={b:?} lb={lb}");
             }
         }
     }

@@ -24,9 +24,7 @@ impl XorShift64 {
     /// Create a generator; a zero seed is remapped to a fixed constant since
     /// xorshift has an all-zeroes fixed point.
     pub fn new(seed: u64) -> Self {
-        XorShift64 {
-            state: if seed == 0 { 0x853C_49E6_748F_EA9B } else { seed },
-        }
+        XorShift64 { state: if seed == 0 { 0x853C_49E6_748F_EA9B } else { seed } }
     }
 
     /// Next 64-bit value.

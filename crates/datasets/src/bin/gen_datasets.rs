@@ -32,8 +32,10 @@ fn main() {
             name => match DatasetId::parse(name) {
                 Some(id) => picked.push(id),
                 None => {
-                    eprintln!("unknown dataset '{name}'; known: all of {:?}",
-                        DatasetId::ALL.map(|d| d.name()));
+                    eprintln!(
+                        "unknown dataset '{name}'; known: all of {:?}",
+                        DatasetId::ALL.map(|d| d.name())
+                    );
                     std::process::exit(2);
                 }
             },

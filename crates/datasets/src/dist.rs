@@ -63,9 +63,7 @@ impl Zipf {
     /// Sample a rank (0 = most popular).
     pub fn sample(&self, rng: &mut XorShift64) -> usize {
         let u = rng.next_f64();
-        self.cumulative
-            .partition_point(|&c| c < u)
-            .min(self.cumulative.len() - 1)
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
     }
 }
 
@@ -96,9 +94,7 @@ impl Categorical {
     /// Sample a component index.
     pub fn sample(&self, rng: &mut XorShift64) -> usize {
         let u = rng.next_f64();
-        self.cumulative
-            .partition_point(|&c| c < u)
-            .min(self.cumulative.len() - 1)
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
     }
 }
 

@@ -64,9 +64,7 @@ pub fn face(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = XorShift64::new(seed ^ 0xFACE);
     let outliers = FACE_OUTLIERS.min(n / 2);
     let bulk = n - outliers;
-    let mut keys: Vec<u64> = (0..bulk)
-        .map(|_| 1 + rng.next_below((1u64 << 50) - 1))
-        .collect();
+    let mut keys: Vec<u64> = (0..bulk).map(|_| 1 + rng.next_below((1u64 << 50) - 1)).collect();
     let outlier_span = u64::MAX - (1u64 << 59);
     keys.extend((0..outliers).map(|_| (1u64 << 59) + rng.next_below(outlier_span)));
     sort_dedup_nudge(keys)
@@ -167,9 +165,7 @@ pub fn lognormal(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = XorShift64::new(seed ^ 0x109A);
     let max = (1u64 << 56) as f64;
     sort_dedup_nudge(
-        (0..n)
-            .map(|_| log_normal(&mut rng, 25.0, 2.0).min(max - 1.0).max(1.0) as u64)
-            .collect(),
+        (0..n).map(|_| log_normal(&mut rng, 25.0, 2.0).min(max - 1.0).max(1.0) as u64).collect(),
     )
 }
 
@@ -181,11 +177,7 @@ pub fn normal(n: usize, seed: u64) -> Vec<u64> {
     let mut rng = XorShift64::new(seed ^ 0x4084);
     let mean = (1u64 << 50) as f64;
     let std_dev = (1u64 << 44) as f64;
-    sort_dedup_nudge(
-        (0..n)
-            .map(|_| normal_with(&mut rng, mean, std_dev).max(1.0) as u64)
-            .collect(),
-    )
+    sort_dedup_nudge((0..n).map(|_| normal_with(&mut rng, mean, std_dev).max(1.0) as u64).collect())
 }
 
 #[cfg(test)]
@@ -242,10 +234,7 @@ mod tests {
     fn face_has_extreme_outliers() {
         let keys = face(50_000, 2);
         let outliers = keys.iter().filter(|&&k| k > 1u64 << 59).count();
-        assert!(
-            (50..=150).contains(&outliers),
-            "expected ~100 outliers, got {outliers}"
-        );
+        assert!((50..=150).contains(&outliers), "expected ~100 outliers, got {outliers}");
         // Bulk below 2^50 (plus nudge slack).
         let bulk = keys.iter().filter(|&&k| k < 1u64 << 51).count();
         assert!(bulk >= 49_800);

@@ -99,7 +99,13 @@ fn payload_for(key: u64) -> u64 {
 /// case for sorted-array structures). Reads target keys already present at
 /// that point in the stream, making every lookup a guaranteed hit — the
 /// same convention as the paper's read-only workloads.
-pub fn generate_mixed(id: DatasetId, n: usize, num_ops: usize, cfg: MixedConfig, seed: u64) -> MixedWorkload<u64> {
+pub fn generate_mixed(
+    id: DatasetId,
+    n: usize,
+    num_ops: usize,
+    cfg: MixedConfig,
+    seed: u64,
+) -> MixedWorkload<u64> {
     assert!((0.0..=1.0).contains(&cfg.bulk_fraction), "bulk_fraction out of range");
     assert!(
         cfg.insert_fraction + cfg.delete_fraction + cfg.range_fraction <= 1.0,
@@ -153,7 +159,8 @@ pub fn generate_mixed(id: DatasetId, n: usize, num_ops: usize, cfg: MixedConfig,
             ops.push(Op::Remove(k));
             continue;
         }
-        if u < cfg.insert_fraction + cfg.delete_fraction + cfg.range_fraction && !present.is_empty() {
+        if u < cfg.insert_fraction + cfg.delete_fraction + cfg.range_fraction && !present.is_empty()
+        {
             let i = rng.next_below(present.len() as u64) as usize;
             let lo = present[i];
             // Span roughly `range_span_keys` dataset keys.
@@ -288,5 +295,4 @@ mod tests {
         }
         assert!(removes > 1_800, "expected ~30% removes, got {removes}");
     }
-
 }

@@ -95,9 +95,7 @@ pub fn generate_u32(id: DatasetId, n: usize, seed: u64) -> SortedData<u32> {
     let max = *keys64.last().expect("non-empty") as u128;
     let mut keys32: Vec<u32> = keys64
         .iter()
-        .map(|&k| {
-            (k as u128 * u32::MAX as u128).checked_div(max).unwrap_or(0) as u32
-        })
+        .map(|&k| (k as u128 * u32::MAX as u128).checked_div(max).unwrap_or(0) as u32)
         .collect();
     // Rescaling can collide; nudge exactly like the 64-bit generators do,
     // saturating at the top of the 32-bit range.

@@ -20,9 +20,8 @@ pub struct Workload<K: Key> {
 impl<K: Key> Workload<K> {
     /// Assemble a workload from data and lookups, computing the checksum.
     pub fn new(data: SortedData<K>, lookups: Vec<K>) -> Self {
-        let expected_checksum = lookups
-            .iter()
-            .fold(0u64, |acc, &x| acc.wrapping_add(data.payload_sum_at(x)));
+        let expected_checksum =
+            lookups.iter().fold(0u64, |acc, &x| acc.wrapping_add(data.payload_sum_at(x)));
         Workload { data, lookups, expected_checksum }
     }
 
@@ -36,9 +35,7 @@ impl<K: Key> Workload<K> {
 /// (the paper's workload: every lookup key exists).
 pub fn sample_present_keys<K: Key>(data: &SortedData<K>, count: usize, seed: u64) -> Vec<K> {
     let mut rng = XorShift64::new(seed ^ 0x100C);
-    (0..count)
-        .map(|_| data.key(rng.next_below(data.len() as u64) as usize))
-        .collect()
+    (0..count).map(|_| data.key(rng.next_below(data.len() as u64) as usize)).collect()
 }
 
 /// Draw lookup keys where a fraction `absent_frac` are uniform random keys

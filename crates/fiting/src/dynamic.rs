@@ -172,7 +172,8 @@ impl<K: Key> Segment<K> {
         let mut keys = Vec::with_capacity(n);
         let mut payloads = Vec::with_capacity(n);
         let (a_k, a_p) = (std::mem::take(&mut self.keys), std::mem::take(&mut self.payloads));
-        let (b_k, b_p) = (std::mem::take(&mut self.buf_keys), std::mem::take(&mut self.buf_payloads));
+        let (b_k, b_p) =
+            (std::mem::take(&mut self.buf_keys), std::mem::take(&mut self.buf_payloads));
         let dead = std::mem::take(&mut self.dead);
         let is_dead = |i: usize| dead.as_ref().is_some_and(|d| d[i]);
         let (mut i, mut j) = (0, 0);
@@ -187,7 +188,10 @@ impl<K: Key> Segment<K> {
                 payloads.push(a_p[i]);
                 i += 1;
             } else {
-                debug_assert!(i >= a_k.len() || a_k[i] != b_k[j], "main and buffer must be disjoint");
+                debug_assert!(
+                    i >= a_k.len() || a_k[i] != b_k[j],
+                    "main and buffer must be disjoint"
+                );
                 keys.push(b_k[j]);
                 payloads.push(b_p[j]);
                 j += 1;
@@ -313,7 +317,10 @@ impl<K: Key> BulkLoad<K> for DynamicFitingTree<K> {
         if keys.is_empty() {
             return DynamicFitingTree::new();
         }
-        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "bulk_load requires strictly sorted keys");
+        debug_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bulk_load requires strictly sorted keys"
+        );
         let positions: Vec<u64> = (0..keys.len() as u64).collect();
         let cone = fit_cone(keys, &positions, DEFAULT_SEG_EPS);
         let mut dir_keys = Vec::with_capacity(cone.len());
@@ -681,5 +688,4 @@ mod tests {
         assert_eq!(t.get(3), Some(1));
         assert_eq!(t.get(1), Some(2));
     }
-
 }

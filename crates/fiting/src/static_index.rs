@@ -66,7 +66,13 @@ impl<K: Key> FitingTreeIndex<K> {
             first_keys.push(seg.first_key);
         }
 
-        Ok(FitingTreeIndex { first_keys, models, n: data.len(), max_key: data.max_key(), max_target })
+        Ok(FitingTreeIndex {
+            first_keys,
+            models,
+            n: data.len(),
+            max_key: data.max_key(),
+            max_target,
+        })
     }
 
     /// Number of cone segments.
@@ -119,7 +125,12 @@ impl<K: Key> FitingTreeIndex<K> {
 /// the rank-gap terms covering absent keys, plus the next segment's first
 /// pair (the sandwich argument: an absent key just below the next segment's
 /// first key is still routed to *this* segment).
-fn lookup_envelope<K: Key>(seg: &ConeSegment<K>, xs: &[K], ys: &[u64], max_target: f64) -> SegModel {
+fn lookup_envelope<K: Key>(
+    seg: &ConeSegment<K>,
+    xs: &[K],
+    ys: &[u64],
+    max_target: f64,
+) -> SegModel {
     let m = xs.len();
     let slope = seg.slope.max(0.0);
     let x0 = seg.first_key.to_u64();
@@ -279,7 +290,8 @@ mod tests {
 
     #[test]
     fn smaller_eps_tightens_bounds_and_grows_size() {
-        let mut keys: Vec<u64> = (0..50_000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 1_000_000).collect();
+        let mut keys: Vec<u64> =
+            (0..50_000u64).map(|i| i.wrapping_mul(0x9E3779B9) % 1_000_000).collect();
         keys.sort_unstable();
         let d = data(keys);
         let coarse = FitingTreeIndex::build(&d, 1024).unwrap();

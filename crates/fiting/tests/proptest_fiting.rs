@@ -117,11 +117,7 @@ fn static_index_on_generated_datasets() {
             let k = data.key(i);
             for probe in [k.saturating_sub(1), k, k.saturating_add(1)] {
                 let b = idx.search_bound(probe);
-                assert!(
-                    b.contains(data.lower_bound(probe)),
-                    "{}: probe {probe}",
-                    id.name()
-                );
+                assert!(b.contains(data.lower_bound(probe)), "{}: probe {probe}", id.name());
             }
         }
     }

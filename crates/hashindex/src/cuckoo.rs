@@ -86,8 +86,7 @@ impl<K: Key> CuckooMap<K> {
         if data.len() >= EMPTY_POS as usize {
             return Err(BuildError::Unbuildable("dataset too large for u32 positions".into()));
         }
-        let mut num_buckets = ((data.len() as f64 / (BUCKET_SLOTS as f64 * load_factor))
-            as usize)
+        let mut num_buckets = ((data.len() as f64 / (BUCKET_SLOTS as f64 * load_factor)) as usize)
             .next_power_of_two()
             .max(2);
         // Retry with a bigger table if the random walk fails to place a key.
@@ -97,9 +96,7 @@ impl<K: Key> CuckooMap<K> {
                 None => num_buckets *= 2,
             }
         }
-        Err(BuildError::Unbuildable(
-            "cuckoo insertion kept failing after 4 growth rounds".into(),
-        ))
+        Err(BuildError::Unbuildable("cuckoo insertion kept failing after 4 growth rounds".into()))
     }
 
     fn try_build(data: &SortedData<K>, num_buckets: usize) -> Option<CuckooMap<K>> {

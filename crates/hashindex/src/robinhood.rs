@@ -38,9 +38,7 @@ impl<K: Key> RobinHoodMap<K> {
         if data.len() >= EMPTY_POS as usize {
             return Err(BuildError::Unbuildable("dataset too large for u32 positions".into()));
         }
-        let cap = ((data.len() as f64 / load_factor) as usize)
-            .next_power_of_two()
-            .max(8);
+        let cap = ((data.len() as f64 / load_factor) as usize).next_power_of_two().max(8);
         let mut slots = vec![Entry { key: 0, pos: EMPTY_POS }; cap];
         let mask = cap - 1;
 

@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_llc_thrashes() {
         let mut c = tiny(); // LLC = 64 lines
-        // Stream 256 distinct lines twice: second pass still misses.
+                            // Stream 256 distinct lines twice: second pass still misses.
         for round in 0..2 {
             for i in 0..256usize {
                 c.access(i * 64, 1);

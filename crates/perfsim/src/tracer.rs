@@ -2,8 +2,8 @@
 
 use crate::branch::Gshare;
 use crate::cache::CacheHierarchy;
-use sosd_core::{SearchBound, SortedData, Tracer};
 use sosd_core::{Index, Key};
+use sosd_core::{SearchBound, SortedData, Tracer};
 
 /// Counter snapshot, in absolute event counts.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -28,11 +28,7 @@ impl SimStats {
     /// Per-lookup averages `(llc_misses, branch_misses, instructions)`.
     pub fn per_lookup(&self) -> (f64, f64, f64) {
         let n = self.lookups.max(1) as f64;
-        (
-            self.llc_misses as f64 / n,
-            self.branch_misses as f64 / n,
-            self.instructions as f64 / n,
-        )
+        (self.llc_misses as f64 / n, self.branch_misses as f64 / n, self.instructions as f64 / n)
     }
 }
 
@@ -124,10 +120,7 @@ pub fn measure_lookups<K: Key, I: Index<K> + ?Sized>(
             let pos = sosd_core::search::binary_search_traced(data.keys(), x, bound, t);
             // Touch the payload like the real harness does.
             if pos < data.len() {
-                t.read(
-                    data.payloads().as_ptr() as usize + pos * 8,
-                    8,
-                );
+                t.read(data.payloads().as_ptr() as usize + pos * 8, 8);
             }
         }
     };

@@ -368,11 +368,10 @@ impl<K: Key> DynamicOrderedIndex<K> for DynamicPgm<K> {
         if let Ok(i) = self.buf_keys.binary_search(&key) {
             return Some(self.buf_payloads[i]);
         }
-        self.runs.iter().flatten().find_map(|run| {
-            run.find(key)
-                .filter(|&i| !run.is_dead(i))
-                .map(|i| run.payloads[i])
-        })
+        self.runs
+            .iter()
+            .flatten()
+            .find_map(|run| run.find(key).filter(|&i| !run.is_dead(i)).map(|i| run.payloads[i]))
     }
 
     fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
@@ -635,5 +634,4 @@ mod tests {
         assert_eq!(idx.get(1_000_000), Some(0));
         assert_eq!(idx.lower_bound_entry(0), Some((2, 3)));
     }
-
 }

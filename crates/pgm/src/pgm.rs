@@ -119,9 +119,7 @@ impl<K: Key> PgmIndex<K> {
     /// `eps_internal`.
     pub fn build(data: &SortedData<K>, eps: u64, eps_internal: u64) -> Result<Self, BuildError> {
         if eps == 0 || eps > (1 << 24) {
-            return Err(BuildError::InvalidConfig(format!(
-                "eps must be in 1..=2^24, got {eps}"
-            )));
+            return Err(BuildError::InvalidConfig(format!("eps must be in 1..=2^24, got {eps}")));
         }
         if eps_internal == 0 || eps_internal > (1 << 24) {
             return Err(BuildError::InvalidConfig(format!(
@@ -148,9 +146,7 @@ impl<K: Key> PgmIndex<K> {
         // Recurse over segment first-keys until one segment remains.
         while levels.last().expect("non-empty").len() > 1 {
             if levels.len() > 64 {
-                return Err(BuildError::Unbuildable(
-                    "PGM recursion failed to converge".into(),
-                ));
+                return Err(BuildError::Unbuildable("PGM recursion failed to converge".into()));
             }
             let below = levels.last().expect("non-empty");
             let xs_up: Vec<K> = below.first_keys.clone();
@@ -394,13 +390,8 @@ mod tests {
         let keys: Vec<u64> = (0..50_000u64).map(|i| i * 13).collect();
         let data = SortedData::new(keys).unwrap();
         let pgm = PgmIndex::build(&data, 16, 4).unwrap();
-        let worst = data
-            .keys()
-            .iter()
-            .step_by(101)
-            .map(|&k| pgm.search_bound(k).len())
-            .max()
-            .unwrap();
+        let worst =
+            data.keys().iter().step_by(101).map(|&k| pgm.search_bound(k).len()).max().unwrap();
         // Bound width is at most 2*eps plus the fixed slack.
         assert!(worst <= 2 * 16 + 4, "worst bound {worst}");
     }

@@ -198,9 +198,7 @@ impl Fitter {
                 end: end_idx,
             };
         }
-        let slope_of = |(p, q): (P, P)| -> f64 {
-            (q.y - p.y) as f64 / (q.x - p.x) as f64
-        };
+        let slope_of = |(p, q): (P, P)| -> f64 { (q.y - p.y) as f64 / (q.x - p.x) as f64 };
         let s_max = slope_of(self.max_line);
         let s_min = slope_of(self.min_line);
         let slope = 0.5 * (s_max + s_min);
@@ -224,9 +222,7 @@ impl Fitter {
 
 /// Append to a lower convex hull (slopes increasing left to right).
 fn push_lower_hull(hull: &mut Vec<P>, floor: usize, p: P) {
-    while hull.len() >= floor + 2
-        && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0
-    {
+    while hull.len() >= floor + 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0 {
         hull.pop();
     }
     hull.push(p);
@@ -234,9 +230,7 @@ fn push_lower_hull(hull: &mut Vec<P>, floor: usize, p: P) {
 
 /// Append to an upper convex hull (slopes decreasing left to right).
 fn push_upper_hull(hull: &mut Vec<P>, floor: usize, p: P) {
-    while hull.len() >= floor + 2
-        && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) >= 0
-    {
+    while hull.len() >= floor + 2 && cross(hull[hull.len() - 2], hull[hull.len() - 1], p) >= 0 {
         hull.pop();
     }
     hull.push(p);
@@ -300,11 +294,8 @@ pub fn fit_pla_greedy<K: Key>(keys: &[K], ys: &[u64], eps: u64) -> Vec<PlaSegmen
             slope_hi = new_hi;
             end += 1;
         }
-        let slope = if end == start + 1 {
-            0.0
-        } else {
-            0.5 * (slope_lo.max(-1e18) + slope_hi.min(1e18))
-        };
+        let slope =
+            if end == start + 1 { 0.0 } else { 0.5 * (slope_lo.max(-1e18) + slope_hi.min(1e18)) };
         segments.push(PlaSegment { first_key: keys[start], slope, y0, start, end });
         start = end;
     }

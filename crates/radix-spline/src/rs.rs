@@ -34,9 +34,7 @@ impl<K: Key> RsIndex<K> {
     /// Build with spline error `eps` and an `r`-bit radix table.
     pub fn build(data: &SortedData<K>, eps: u64, radix_bits: u32) -> Result<Self, BuildError> {
         if eps == 0 || eps > (1 << 24) {
-            return Err(BuildError::InvalidConfig(format!(
-                "eps must be in 1..=2^24, got {eps}"
-            )));
+            return Err(BuildError::InvalidConfig(format!("eps must be in 1..=2^24, got {eps}")));
         }
         if radix_bits == 0 || radix_bits > 28 || radix_bits > K::BITS {
             return Err(BuildError::InvalidConfig(format!(
@@ -79,9 +77,7 @@ impl<K: Key> RsIndex<K> {
         // Measure the actual interpolation envelope over all pairs, walking
         // pairs and segments together in one pass. Gap terms
         // (`y_i - pred(x_{i-1})`) cover absent keys inside rank gaps.
-        let interp = |seg: usize, key: K| -> f64 {
-            interpolate(&knot_keys, &knot_ranks, seg, key)
-        };
+        let interp = |seg: usize, key: K| -> f64 { interpolate(&knot_keys, &knot_ranks, seg, key) };
         let mut err_over = 0f64;
         let mut err_under = 0f64;
         let mut seg = 0usize;
@@ -341,13 +337,8 @@ mod tests {
         let keys: Vec<u64> = (0..50_000u64).map(|i| i * 13).collect();
         let data = SortedData::new(keys).unwrap();
         let rs = RsIndex::build(&data, 16, 16).unwrap();
-        let worst = data
-            .keys()
-            .iter()
-            .step_by(101)
-            .map(|&k| rs.search_bound(k).len())
-            .max()
-            .unwrap();
+        let worst =
+            data.keys().iter().step_by(101).map(|&k| rs.search_bound(k).len()).max().unwrap();
         assert!(worst <= 4 * 16 + 4, "worst bound {worst}");
     }
 

@@ -24,13 +24,18 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
-    /// Model kinds usable as the RMI root.
-    pub const ROOT_KINDS: [ModelKind; 4] = [
+    /// Every model kind.
+    pub const ALL: [ModelKind; 5] = [
         ModelKind::Linear,
+        ModelKind::LinearSpline,
         ModelKind::Cubic,
         ModelKind::LogLinear,
         ModelKind::Radix,
     ];
+
+    /// Model kinds usable as the RMI root.
+    pub const ROOT_KINDS: [ModelKind; 4] =
+        [ModelKind::Linear, ModelKind::Cubic, ModelKind::LogLinear, ModelKind::Radix];
 
     /// Short label for configuration strings.
     pub fn label(self) -> &'static str {
@@ -41,6 +46,11 @@ impl ModelKind {
             ModelKind::LogLinear => "loglinear",
             ModelKind::Radix => "radix",
         }
+    }
+
+    /// Inverse of [`ModelKind::label`] (configuration parsing).
+    pub fn parse(label: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.label() == label)
     }
 }
 
@@ -97,9 +107,7 @@ impl Model {
     pub fn predict<K: Key>(&self, key: K) -> f64 {
         match *self {
             Model::Linear { slope, x0, y0 } => y0 + slope * (key.to_f64() - x0),
-            Model::LogLinear { slope, u0, y0 } => {
-                y0 + slope * ((1.0 + key.to_f64()).ln() - u0)
-            }
+            Model::LogLinear { slope, u0, y0 } => y0 + slope * ((1.0 + key.to_f64()).ln() - u0),
             Model::Cubic { x0, dx, y0, y1, m0, m1 } => {
                 if dx <= 0.0 {
                     return y0;
@@ -113,9 +121,7 @@ impl Model {
                 let h11 = t3 - t2;
                 h00 * y0 + h10 * dx * m0 + h01 * y1 + h11 * dx * m1
             }
-            Model::Radix { shift, scale } => {
-                ((key.to_u64() >> shift.min(63)) as f64) * scale
-            }
+            Model::Radix { shift, scale } => ((key.to_u64() >> shift.min(63)) as f64) * scale,
         }
     }
 
@@ -272,10 +278,7 @@ mod tests {
         let mut prev = f64::NEG_INFINITY;
         for &k in keys {
             let y = model.predict(k);
-            assert!(
-                y >= prev - 1e-9,
-                "{model:?} not monotone at key {k}: {y} < {prev}"
-            );
+            assert!(y >= prev - 1e-9, "{model:?} not monotone at key {k}: {y} < {prev}");
             prev = y;
         }
     }

@@ -40,9 +40,7 @@ impl Leaf {
 
     fn from_model(m: &Model) -> Leaf {
         match *m {
-            Model::Linear { slope, x0, y0 } => {
-                Leaf { slope, x0, y0, err_over: 0, err_under: 0 }
-            }
+            Model::Linear { slope, x0, y0 } => Leaf { slope, x0, y0, err_over: 0, err_under: 0 },
             _ => unreachable!("leaf models are always from the linear family"),
         }
     }
@@ -151,11 +149,7 @@ impl<K: Key> Rmi<K> {
 
     /// Mean of the stored per-leaf error spans, weighted equally per leaf.
     pub fn mean_leaf_error(&self) -> f64 {
-        let total: f64 = self
-            .leaves
-            .iter()
-            .map(|l| (l.err_over + l.err_under) as f64)
-            .sum();
+        let total: f64 = self.leaves.iter().map(|l| (l.err_over + l.err_under) as f64).sum();
         total / self.leaves.len() as f64
     }
 
@@ -233,12 +227,7 @@ impl<K: Key> IndexBuilder<K> for RmiBuilder {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "RMI[{},{},b={}]",
-            self.root_kind.label(),
-            self.leaf_kind.label(),
-            self.branch
-        )
+        format!("RMI[{},{},b={}]", self.root_kind.label(), self.leaf_kind.label(), self.branch)
     }
 }
 
@@ -261,10 +250,7 @@ mod tests {
         for x in validity_probes(&data) {
             let b = rmi.search_bound(x);
             let lb = data.lower_bound(x);
-            assert!(
-                b.contains(lb),
-                "{root:?} branch={branch} x={x} bound={b:?} lb={lb}"
-            );
+            assert!(b.contains(lb), "{root:?} branch={branch} x={x} bound={b:?} lb={lb}");
         }
     }
 
@@ -342,19 +328,10 @@ mod tests {
         let small = Rmi::build(&data, ModelKind::Cubic, ModelKind::Linear, 4).unwrap();
         let large = Rmi::build(&data, ModelKind::Cubic, ModelKind::Linear, 4096).unwrap();
         let avg = |r: &Rmi<u64>| -> f64 {
-            data.keys()
-                .iter()
-                .step_by(37)
-                .map(|&k| r.search_bound(k).len() as f64)
-                .sum::<f64>()
+            data.keys().iter().step_by(37).map(|&k| r.search_bound(k).len() as f64).sum::<f64>()
                 / (data.len() / 37) as f64
         };
-        assert!(
-            avg(&large) * 4.0 < avg(&small),
-            "large {} vs small {}",
-            avg(&large),
-            avg(&small)
-        );
+        assert!(avg(&large) * 4.0 < avg(&small), "large {} vs small {}", avg(&large), avg(&small));
     }
 
     #[test]

@@ -197,15 +197,7 @@ impl<K: Key> Rmi3<K> {
             leaves.push(leaf);
         }
 
-        Ok(Rmi3 {
-            root,
-            mids,
-            leaves,
-            scale1,
-            scale2,
-            n,
-            _marker: std::marker::PhantomData,
-        })
+        Ok(Rmi3 { root, mids, leaves, scale1, scale2, n, _marker: std::marker::PhantomData })
     }
 
     /// Mid-stage fanout.
@@ -222,19 +214,12 @@ impl<K: Key> Rmi3<K> {
     fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
         tracer.instr(self.root.instr_cost() + 3);
         let p1 = self.root.predict(key) * self.scale1;
-        let b1 = if p1.is_nan() || p1 <= 0.0 {
-            0
-        } else {
-            (p1 as usize).min(self.mids.len() - 1)
-        };
+        let b1 = if p1.is_nan() || p1 <= 0.0 { 0 } else { (p1 as usize).min(self.mids.len() - 1) };
         tracer.read(addr_of_index(&self.mids, b1), std::mem::size_of::<MidModel>());
         tracer.instr(8);
         let p2 = self.mids[b1].predict(key.to_f64()) * self.scale2;
-        let b2 = if p2.is_nan() || p2 <= 0.0 {
-            0
-        } else {
-            (p2 as usize).min(self.leaves.len() - 1)
-        };
+        let b2 =
+            if p2.is_nan() || p2 <= 0.0 { 0 } else { (p2 as usize).min(self.leaves.len() - 1) };
         tracer.read(addr_of_index(&self.leaves, b2), std::mem::size_of::<Leaf>());
         tracer.instr(8);
         let leaf = &self.leaves[b2];
@@ -297,12 +282,7 @@ impl<K: Key> IndexBuilder<K> for Rmi3Builder {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "RMI3[{},b1={},b2={}]",
-            self.root_kind.label(),
-            self.branch1,
-            self.branch2
-        )
+        format!("RMI3[{},b1={},b2={}]", self.root_kind.label(), self.branch1, self.branch2)
     }
 }
 
@@ -378,11 +358,7 @@ mod tests {
         // leaves * 32B; use b2 = 2^12 - overhead comparable.
         let three = Rmi3::build(&data, ModelKind::Cubic, 1 << 8, (1 << 12) - 320).unwrap();
         let avg = |b: &dyn Index<u64>| -> f64 {
-            data.keys()
-                .iter()
-                .step_by(53)
-                .map(|&k| b.search_bound(k).len() as f64)
-                .sum::<f64>()
+            data.keys().iter().step_by(53).map(|&k| b.search_bound(k).len() as f64).sum::<f64>()
                 / (data.len() / 53) as f64
         };
         let (e2, e3) = (avg(&two), avg(&three));

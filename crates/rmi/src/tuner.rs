@@ -56,11 +56,7 @@ pub fn auto_tune<K: Key>(data: &SortedData<K>, cfg: &TunerConfig) -> Vec<RmiBuil
                 continue;
             };
             let stats = log2_error_stats(&rmi, data, &probes);
-            candidates.push((
-                builder,
-                Index::<K>::size_bytes(&rmi) as f64,
-                stats.mean_log2,
-            ));
+            candidates.push((builder, Index::<K>::size_bytes(&rmi) as f64, stats.mean_log2));
         }
     }
 
@@ -71,9 +67,7 @@ pub fn auto_tune<K: Key>(data: &SortedData<K>, cfg: &TunerConfig) -> Vec<RmiBuil
     let picked: Vec<usize> = if front.len() <= cfg.max_configs {
         front
     } else {
-        (0..cfg.max_configs)
-            .map(|i| front[i * (front.len() - 1) / (cfg.max_configs - 1)])
-            .collect()
+        (0..cfg.max_configs).map(|i| front[i * (front.len() - 1) / (cfg.max_configs - 1)]).collect()
     };
     picked.into_iter().map(|i| candidates[i].0.clone()).collect()
 }

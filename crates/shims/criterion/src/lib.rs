@@ -1,0 +1,172 @@
+//! Offline shim for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! Implements the benchmark-definition API the workspace's `benches/` use
+//! and a simple measurement loop: each benchmark body is warmed up once,
+//! then timed over `sample_size` samples; the median ns/iteration is
+//! printed. No statistics, plots, or baselines — just honest wall clock.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median ns per call over the sample count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, median_ns: 0.0 };
+        f(&mut b);
+        println!("{}/{}: median {:.1} ns/iter", self.name, id.0, b.median_ns);
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { sample_size: self.sample_size, median_ns: 0.0 };
+        f(&mut b, input);
+        println!("{}/{}: median {:.1} ns/iter", self.name, id.0, b.median_ns);
+        self
+    }
+
+    /// Finish the group (prints a separator for readability).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup { name, sample_size: self.sample_size }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Define a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group.sample_size(3);
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline shim for `serde_derive` (see `crates/shims/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! non-generic structs with named fields — the only shape the workspace
+//! derives on. The macro hand-parses the item token stream (no `syn`/`quote`
+//! available offline) and emits the impl by formatting source text, which
+//! `TokenStream::from_str` re-lexes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed struct: name and named-field list.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `[attrs] [pub] struct Name { [attrs] [pub] field: Ty, ... }`.
+///
+/// Returns `Err(message)` for shapes the shim does not support (enums,
+/// generics, tuple structs) so the caller can emit a readable compile error.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility, expect `struct`.
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return Err("serde shim derives support structs only".into());
+            }
+            Some(_) => {}
+            None => return Err("expected a struct".into()),
+        }
+    }
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+
+    let body = match it.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("serde shim derives do not support generics".into());
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err("serde shim derives support named-field structs only".into()),
+    };
+
+    // Fields: skip attributes/visibility; a field name is the ident directly
+    // followed by a single `:` (a `::` in a type path never follows an ident
+    // we are in name position for, because we skip the type to the next
+    // top-level comma).
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name_tok = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id),
+                Some(other) => {
+                    return Err(format!("unexpected token in struct body: {other}"));
+                }
+                None => break None,
+            }
+        };
+        let Some(name_tok) = name_tok else { break };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name_tok}`")),
+        }
+        fields.push(name_tok.to_string());
+        // Skip the type up to the next comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        for tok in it.by_ref() {
+            match tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+
+    Ok(StructShape { name, fields })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error")
+}
+
+/// Derive `serde::Serialize` (shim): converts each field with
+/// `Serialize::to_value` into an ordered JSON object.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut pushes = String::new();
+    for f in &shape.fields {
+        pushes.push_str(&format!(
+            "__fields.push((::std::string::String::from({f:?}), \
+             ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim): reads each field back from the JSON
+/// object by name.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let mut inits = String::new();
+    for f in &shape.fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(__v.get_field({f:?}).ok_or_else(|| \
+             ::serde::Error::custom(concat!(\"missing field \", {f:?})))?)?,\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

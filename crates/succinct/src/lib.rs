@@ -165,7 +165,8 @@ impl RankSelect {
         let mut remaining = k - zero_rank(lo);
         for w in lo * WORDS_PER_SUPER..self.bits.words.len() {
             let valid = (self.bits.len - w * 64).min(64);
-            let inv = !self.bits.words[w] & if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
+            let inv =
+                !self.bits.words[w] & if valid == 64 { u64::MAX } else { (1u64 << valid) - 1 };
             let pop = inv.count_ones() as u64;
             if remaining < pop {
                 return Some(w * 64 + select_in_word(inv, remaining as u32));

@@ -64,8 +64,7 @@ impl<K: Key> FstIndex<K> {
             let mut g = lo;
             while g < hi {
                 let b = keys[g].to_be_bytes()[depth];
-                let g_end =
-                    g + keys[g..hi].partition_point(|k| k.to_be_bytes()[depth] == b);
+                let g_end = g + keys[g..hi].partition_point(|k| k.to_be_bytes()[depth] == b);
                 labels.push(b);
                 louds.push(first_in_node);
                 first_in_node = false;
@@ -103,10 +102,7 @@ impl<K: Key> FstIndex<K> {
     #[inline]
     fn node_range(&self, node_id: u64) -> (usize, usize) {
         let s = self.louds.select1(node_id).expect("valid node id");
-        let e = self
-            .louds
-            .select1(node_id + 1)
-            .unwrap_or(self.labels.len());
+        let e = self.louds.select1(node_id + 1).unwrap_or(self.labels.len());
         (s, e)
     }
 
@@ -156,9 +152,7 @@ impl<K: Key> FstIndex<K> {
         if pos < e && self.labels[pos] == b {
             tracer.branch(site, true);
             if self.has_child.bits().get(pos) {
-                if let Some(slot) =
-                    self.floor(self.child_node(pos), depth + 1, bytes, x, tracer)
-                {
+                if let Some(slot) = self.floor(self.child_node(pos), depth + 1, bytes, x, tracer) {
                     return Some(slot);
                 }
             } else {
@@ -186,9 +180,7 @@ impl<K: Key> FstIndex<K> {
     fn bound_generic<T: Tracer>(&self, key: K, tracer: &mut T) -> SearchBound {
         let x = key.to_u64();
         let bytes = x.to_be_bytes();
-        let pred = self
-            .floor(0, self.key_offset, &bytes, x, tracer)
-            .map(|s| s as usize);
+        let pred = self.floor(0, self.key_offset, &bytes, x, tracer).map(|s| s as usize);
         self.geometry.bound_for_pred_slot(pred)
     }
 }

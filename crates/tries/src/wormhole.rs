@@ -158,9 +158,8 @@ impl<K: Key> WormholeIndex<K> {
             anchor_lens.push(len);
         }
 
-        let mut table = MetaTrieHash::with_capacity(
-            anchor_lens.iter().map(|&l| l as usize + 1).sum::<usize>(),
-        );
+        let mut table =
+            MetaTrieHash::with_capacity(anchor_lens.iter().map(|&l| l as usize + 1).sum::<usize>());
         for (leaf, (&a, &l)) in anchors.iter().zip(&anchor_lens).enumerate() {
             for len in 0..=l {
                 table.upsert(prefix_of(a, len), len, leaf as u32);
@@ -273,10 +272,7 @@ impl Default for WormholeBuilder {
 impl WormholeBuilder {
     /// Size sweep for Figure 8.
     pub fn size_sweep() -> Vec<WormholeBuilder> {
-        [1usize, 4, 16, 64, 256]
-            .into_iter()
-            .map(|stride| WormholeBuilder { stride })
-            .collect()
+        [1usize, 4, 16, 64, 256].into_iter().map(|stride| WormholeBuilder { stride }).collect()
     }
 }
 

@@ -17,10 +17,8 @@ use sosd::datasets::{make_workload, DatasetId};
 use sosd::rmi::{auto_tune, TunerConfig};
 
 fn main() {
-    let dataset = std::env::args()
-        .nth(1)
-        .and_then(|s| DatasetId::parse(&s))
-        .unwrap_or(DatasetId::Osm);
+    let dataset =
+        std::env::args().nth(1).and_then(|s| DatasetId::parse(&s)).unwrap_or(DatasetId::Osm);
     let workload = make_workload(dataset, 300_000, 50_000, 1);
     println!("advising for dataset '{}' ({} keys)\n", dataset.name(), workload.data.len());
 

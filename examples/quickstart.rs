@@ -1,64 +1,81 @@
-//! Quickstart: build each learned index over a realistic dataset, run
-//! lookups through the search-bound + last-mile pipeline, and compare
-//! size / accuracy / latency.
+//! Quickstart: serve lookups over each learned index through the unified
+//! `QueryEngine` facade — point lookups, ordered queries, and the batched
+//! path — with engines constructed from serializable `IndexSpec`s.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use sosd::core::stats::log2_error_stats;
-use sosd::core::{Index, IndexBuilder, SearchStrategy};
+use sosd::bench::registry::Family;
+use sosd::bench::timing::time_lookups_batched;
+use sosd::core::{QueryEngine, SearchStrategy};
 use sosd::datasets::{make_workload, DatasetId};
-use sosd::pgm::PgmBuilder;
-use sosd::radix_spline::RsBuilder;
-use sosd::rmi::RmiBuilder;
-use std::time::Instant;
+use std::sync::Arc;
 
 fn main() {
     // 1. A dataset: 500k keys shaped like Amazon book-popularity data, with
     //    100k lookups drawn from the keys (the paper's workload design).
     let workload = make_workload(DatasetId::Amzn, 500_000, 100_000, 42);
-    let data = &workload.data;
+    let (lookups, expected_checksum) = (workload.lookups, workload.expected_checksum);
+    let data = Arc::new(workload.data);
     println!(
         "dataset: {} keys in [{}, {}], {} lookups\n",
         data.len(),
         data.min_key(),
         data.max_key(),
-        workload.lookups.len()
+        lookups.len()
     );
 
-    // 2. Build one index of each learned family.
-    let rmi = RmiBuilder::default().build(data).expect("rmi builds");
-    let pgm = PgmBuilder::default().build(data).expect("pgm builds");
-    let rs = RsBuilder::default().build(data).expect("rs builds");
-
-    // 3. Run the full lookup pipeline for each and report.
+    // 2. One engine per learned family, each built from a config-driven
+    //    spec (print the spec JSON — this is what an experiment config or a
+    //    serving deployment would store).
     println!(
-        "{:<6} {:>10} {:>12} {:>12}",
-        "index", "size (KB)", "log2 error", "ns/lookup"
+        "{:<6} {:>10} {:>12} {:>14} {:>9}",
+        "index", "size (KB)", "ns/lookup", "ns/lookup b=16", "speedup"
     );
-    for index in [&rmi as &dyn Index<u64>, &pgm, &rs] {
-        let stats = log2_error_stats(index, data, &workload.lookups[..10_000]);
-        let start = Instant::now();
-        let mut checksum = 0u64;
-        for &key in &workload.lookups {
-            let bound = index.search_bound(key);
-            let pos = SearchStrategy::Binary.find(data.keys(), key, bound);
-            checksum = checksum.wrapping_add(data.payload(pos));
-        }
-        let ns = start.elapsed().as_nanos() as f64 / workload.lookups.len() as f64;
-        assert!(checksum != 0);
+    for family in Family::LEARNED {
+        let spec = family.default_spec::<u64>();
+        let engine = spec.engine(&data, SearchStrategy::Binary).expect("spec builds");
+
+        // One-at-a-time and batched timings through the same facade; both
+        // must reproduce the workload's expected checksum.
+        let scalar = time_lookups_batched(engine.as_ref(), &lookups, 1, 3);
+        let batched = time_lookups_batched(engine.as_ref(), &lookups, 16, 3);
+        assert_eq!(scalar.checksum, expected_checksum);
+        assert_eq!(batched.checksum, expected_checksum);
+
         println!(
-            "{:<6} {:>10.1} {:>12.2} {:>12.1}",
-            index.name(),
-            index.size_bytes() as f64 / 1024.0,
-            stats.mean_log2,
-            ns
+            "{:<6} {:>10.1} {:>12.1} {:>14.1} {:>8.2}x",
+            family.name(),
+            engine.size_bytes() as f64 / 1024.0,
+            scalar.ns_per_lookup,
+            batched.ns_per_lookup,
+            scalar.ns_per_lookup / batched.ns_per_lookup,
         );
     }
 
-    // 4. The validity contract: bounds are correct even for absent keys.
-    let absent = data.max_key() - 1;
-    let bound = rmi.search_bound(absent);
-    let lb = data.lower_bound(absent);
-    assert!(bound.contains(lb));
-    println!("\nabsent-key probe {absent}: bound [{}, {}] contains LB {lb}", bound.lo, bound.hi);
+    // 3. The ordered-map facade: point gets, lower bounds, and ranges with
+    //    payloads — no search bounds or positions in sight.
+    let engine = Family::Rmi
+        .default_spec::<u64>()
+        .engine(&data, SearchStrategy::Binary)
+        .expect("rmi builds");
+    let present = lookups[0];
+    assert!(engine.get(present).is_some());
+
+    let probe = data.max_key() - 1;
+    match engine.lower_bound(probe) {
+        Some((k, _)) => println!("\nlower_bound({probe}) = {k}"),
+        None => println!("\nlower_bound({probe}) is past the last key"),
+    }
+    let lo = data.key(data.len() / 2);
+    let hi = data.key(data.len() / 2 + 8);
+    let window = engine.range(lo, hi);
+    println!(
+        "range [{lo}, {hi}) holds {} entries, payload sum {:#x}",
+        window.len(),
+        engine.range_sum(lo, hi)
+    );
+
+    // 4. Specs serialize — the config that built this engine:
+    let spec_json = serde_json::to_string(&Family::Rmi.default_spec::<u64>()).expect("serializes");
+    println!("\nengine spec: {spec_json}");
 }

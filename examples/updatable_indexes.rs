@@ -13,16 +13,20 @@
 //! 3. Print the throughput crossover: where model-based structures stop
 //!    winning and pointer-based inserts take over.
 //!
+//! Finally, every structure is lifted into the unified `QueryEngine`
+//! facade — the same serving interface the static indexes use — and probed
+//! through `get`/`lower_bound`/`range`/`lookup_batch`, showing one API over
+//! both index worlds.
+//!
 //! Run with: `cargo run --release --example updatable_indexes [dataset]`
 
 use sosd::bench::dynamic::{run_mixed, DynFamily};
+use sosd::core::QueryEngine;
 use sosd::datasets::{generate_mixed, DatasetId, MixedConfig, ReadSkew};
 
 fn main() {
-    let dataset = std::env::args()
-        .nth(1)
-        .and_then(|s| DatasetId::parse(&s))
-        .unwrap_or(DatasetId::Amzn);
+    let dataset =
+        std::env::args().nth(1).and_then(|s| DatasetId::parse(&s)).unwrap_or(DatasetId::Amzn);
     let n = 300_000;
     let num_ops = 200_000;
     println!(
@@ -32,10 +36,7 @@ fn main() {
         num_ops
     );
 
-    println!(
-        "{:<22} {:>10} {:>10} {:>10} {:>10}",
-        "", "0% writes", "10%", "50%", "90%"
-    );
+    println!("{:<22} {:>10} {:>10} {:>10} {:>10}", "", "0% writes", "10%", "50%", "90%");
     let mut lines: Vec<(String, Vec<f64>)> =
         DynFamily::ALL.iter().map(|f| (f.name().to_string(), Vec::new())).collect();
 
@@ -76,13 +77,32 @@ fn main() {
             .map(|(n, _)| n.as_str())
             .unwrap_or("?")
     };
-    println!(
-        "\nread-heavy winner: {}   write-heavy winner: {}",
-        winner(0),
-        winner(3)
-    );
+    println!("\nread-heavy winner: {}   write-heavy winner: {}", winner(0), winner(3));
     println!(
         "(all four structures returned byte-identical answers on every stream — \
          the dynamic analogue of the paper's payload-checksum validation)"
     );
+
+    // The unified serving facade: the same QueryEngine interface the static
+    // indexes expose, now over each updatable structure.
+    let keys: Vec<u64> = (0..100_000u64).map(|i| i * 3).collect();
+    let payloads: Vec<u64> = keys.iter().map(|&k| k ^ 0x5EED).collect();
+    println!("\nQueryEngine facade over each dynamic structure ({} keys):", keys.len());
+    for family in DynFamily::ALL {
+        let engine = family.engine(&keys, &payloads);
+        let hit = engine.get(300).expect("present key");
+        assert_eq!(hit, 300 ^ 0x5EED);
+        assert_eq!(engine.get(301), None, "absent key misses");
+        let (next, _) = engine.lower_bound(301).expect("in range");
+        let window = engine.range(300, 330);
+        let batch = engine.lookup_batch(&[0, 1, 3, 299_997]);
+        let hits = batch.iter().flatten().count();
+        println!(
+            "  {:<12} get(300)={hit:#06x}  lower_bound(301)={next}  \
+             range[300,330)={} entries  batch hits {hits}/4  ({:.1} MB)",
+            engine.name(),
+            window.len(),
+            engine.size_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
 }

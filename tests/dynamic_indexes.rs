@@ -132,8 +132,7 @@ fn bulk_load_then_heavy_insert_storm() {
             assert_eq!(idx.get(i * 2), Some(i * 2 + 7), "{} even get", idx.name());
             assert_eq!(idx.get(i * 2 + 1), Some(i), "{} odd get", idx.name());
         }
-        let full: u64 = (0..40_000u64)
-            .fold(0u64, |a, i| a.wrapping_add(i * 2 + 7).wrapping_add(i));
+        let full: u64 = (0..40_000u64).fold(0u64, |a, i| a.wrapping_add(i * 2 + 7).wrapping_add(i));
         assert_eq!(idx.range_sum(0, u64::MAX), full, "{} full range", idx.name());
     }
 }

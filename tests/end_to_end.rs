@@ -36,12 +36,7 @@ fn all_search_strategies_agree_on_wiki_duplicates() {
                 &w.lookups,
                 TimingOptions { strategy, repeats: 1, ..Default::default() },
             );
-            assert_eq!(
-                t.checksum,
-                w.expected_checksum,
-                "{} with {strategy:?}",
-                family.name()
-            );
+            assert_eq!(t.checksum, w.expected_checksum, "{} with {strategy:?}", family.name());
         }
     }
 }
@@ -64,7 +59,8 @@ fn fence_and_cold_modes_do_not_change_results() {
 #[test]
 fn u32_pipeline_matches_checksums() {
     let w = make_workload_u32(DatasetId::Amzn, 40_000, 4_000, 5);
-    for family in [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Fast, Family::CuckooMap]
+    for family in
+        [Family::Rmi, Family::Pgm, Family::Rs, Family::BTree, Family::Fast, Family::CuckooMap]
     {
         let index = family.default_builder::<u32>().build_boxed(&w.data).unwrap();
         let t = time_lookups(

@@ -110,7 +110,8 @@ fn build_time_ordering_matches_paper() {
             .expect("three runs");
         best.as_secs_f64()
     };
-    let rmi_b = RmiBuilder { root_kind: ModelKind::Cubic, leaf_kind: ModelKind::Linear, branch: 1 << 16 };
+    let rmi_b =
+        RmiBuilder { root_kind: ModelKind::Cubic, leaf_kind: ModelKind::Linear, branch: 1 << 16 };
     let rs_b = RsBuilder { eps: 16, radix_bits: 18 };
     let bt_b = BTreeBuilder { stride: 1, fanout: 16 };
     let t_rmi = time(&|| drop(IndexBuilder::<u64>::build(&rmi_b, &data).unwrap()));
@@ -186,12 +187,7 @@ fn compression_view_hides_inference_cost() {
 #[test]
 fn wiki_duplicate_semantics() {
     let w = make_workload(DatasetId::Wiki, N, 5_000, 8);
-    let dup_count = w
-        .data
-        .keys()
-        .windows(2)
-        .filter(|p| p[0] == p[1])
-        .count();
+    let dup_count = w.data.keys().windows(2).filter(|p| p[0] == p[1]).count();
     assert!(dup_count > 100, "wiki should contain duplicates, got {dup_count}");
     let rmi = Rmi::build(&w.data, ModelKind::Cubic, ModelKind::Linear, 1 << 12).unwrap();
     for &x in w.lookups.iter().take(500) {

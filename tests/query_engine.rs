@@ -1,0 +1,173 @@
+//! Property tests for the unified `QueryEngine` facade: engines over every
+//! index family must behave exactly like `BTreeMap<u64, u64>` for point and
+//! ordered queries, and the batched lookup path must agree with the
+//! one-at-a-time path bit for bit.
+
+use proptest::prelude::*;
+use sosd::bench::registry::Family;
+use sosd::core::{QueryEngine, SearchStrategy, SortedData};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Distinct sorted keys (so a `BTreeMap` oracle models the data exactly),
+/// with extremes included often enough to stress edge handling.
+fn distinct_keys() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(
+        prop_oneof![
+            8 => any::<u32>().prop_map(|v| v as u64 * 1_000),
+            2 => any::<u64>(),
+            1 => Just(0u64),
+            1 => Just(u64::MAX),
+        ],
+        1..200,
+    )
+    .prop_map(|set| set.into_iter().collect())
+}
+
+/// Keys with duplicates (the `wiki` shape): exercises the payload-sum
+/// contract of `get`.
+fn dup_keys() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..50).prop_map(|v| v * 7),
+            1 => any::<u32>().prop_map(u64::from),
+        ],
+        1..200,
+    )
+    .prop_map(|mut v| {
+        v.sort_unstable();
+        v
+    })
+}
+
+/// Probes around every key plus far extremes.
+fn probes_for(keys: &[u64]) -> Vec<u64> {
+    let mut probes = Vec::with_capacity(keys.len() * 3 + 4);
+    for &k in keys {
+        probes.push(k);
+        probes.push(k.saturating_add(1));
+        probes.push(k.saturating_sub(1));
+    }
+    probes.extend([0, 1, u64::MAX, u64::MAX / 2]);
+    probes
+}
+
+fn engines_for(
+    data: &Arc<SortedData<u64>>,
+    families: &[Family],
+) -> Vec<(Family, Box<dyn QueryEngine<u64>>)> {
+    families
+        .iter()
+        .map(|&family| {
+            let engine = family
+                .default_spec::<u64>()
+                .engine(data, SearchStrategy::Binary)
+                .unwrap_or_else(|e| panic!("{} engine builds: {e}", family.name()));
+            (family, engine)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every extended-family engine answers point and ordered queries
+    /// exactly like the `BTreeMap` oracle.
+    #[test]
+    fn engines_match_btreemap_oracle(keys in distinct_keys()) {
+        let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(31) ^ 0xC0FFEE).collect();
+        let oracle: BTreeMap<u64, u64> =
+            keys.iter().copied().zip(payloads.iter().copied()).collect();
+        let data = Arc::new(SortedData::with_payloads(keys.clone(), payloads).expect("sorted"));
+        let probes = probes_for(&keys);
+
+        for (family, engine) in engines_for(&data, &Family::EXTENDED) {
+            let name = family.name();
+            prop_assert_eq!(engine.len(), oracle.len(), "{} len", name);
+            let ordered = family.ordered();
+            for &p in &probes {
+                prop_assert_eq!(engine.get(p), oracle.get(&p).copied(), "{} get({})", name, p);
+                if ordered {
+                    let want = oracle.range(p..).next().map(|(&k, &v)| (k, v));
+                    prop_assert_eq!(engine.lower_bound(p), want, "{} lower_bound({})", name, p);
+                }
+            }
+            if ordered {
+                // A handful of ranges spanning the key space.
+                let n = keys.len();
+                for (i, j) in [(0, n / 2), (n / 4, 3 * n / 4), (n / 2, n - 1), (0, n - 1)] {
+                    let (lo, hi) = (keys[i.min(n - 1)], keys[j.min(n - 1)]);
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                    let sum = want.iter().fold(0u64, |a, e| a.wrapping_add(e.1));
+                    prop_assert_eq!(engine.range(lo, hi), want, "{} range [{}, {})", name, lo, hi);
+                    prop_assert_eq!(engine.range_sum(lo, hi), sum, "{} range_sum", name);
+                }
+            }
+        }
+    }
+
+    /// `lookup_batch` agrees with one-at-a-time `get` on random batches —
+    /// including over data with duplicate keys, where `get` sums payloads.
+    #[test]
+    fn lookup_batch_agrees_with_get(
+        keys in dup_keys(),
+        batch in prop::collection::vec(any::<u64>(), 1..120),
+    ) {
+        let data = Arc::new(SortedData::new(keys.clone()).expect("sorted"));
+        // Batches mixing hits and random misses.
+        let mut batch = batch;
+        batch.extend(keys.iter().copied().take(40));
+
+        for (family, engine) in engines_for(&data, &Family::EXTENDED) {
+            let batched = engine.lookup_batch(&batch);
+            prop_assert_eq!(batched.len(), batch.len());
+            for (&x, got) in batch.iter().zip(&batched) {
+                prop_assert_eq!(
+                    *got,
+                    engine.get(x),
+                    "{} batch diverges from get at {}",
+                    family.name(),
+                    x
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_path_is_exact_under_every_strategy() {
+    // Deterministic cross-check: the prefetching batched path must not
+    // change results for any last-mile strategy, duplicate keys included.
+    let mut keys: Vec<u64> = (0..30_000u64).map(|i| i * 5).collect();
+    keys.extend((0..500u64).map(|i| i * 300)); // duplicates
+    keys.sort_unstable();
+    let data = Arc::new(SortedData::new(keys.clone()).expect("sorted"));
+    let probes: Vec<u64> = (0..keys.len() as u64).map(|i| i * 7 % 160_000).collect();
+
+    for strategy in SearchStrategy::ALL {
+        let engine = Family::Rmi.default_spec::<u64>().engine(&data, strategy).expect("rmi builds");
+        let batched = engine.lookup_batch(&probes);
+        for (&x, got) in probes.iter().zip(&batched) {
+            assert_eq!(*got, engine.get(x), "{strategy:?} at {x}");
+        }
+    }
+}
+
+#[test]
+fn engine_checksum_reproduces_workload_expectation() {
+    // The facade's get over present keys must reproduce the same checksum
+    // the classic bound+last-mile harness validates against.
+    use sosd::datasets::{make_workload, DatasetId};
+    let w = make_workload(DatasetId::Wiki, 30_000, 3_000, 9);
+    let data = Arc::new(w.data.clone());
+    for family in Family::FIGURE7 {
+        let engine =
+            family.default_spec::<u64>().engine(&data, SearchStrategy::Binary).expect("builds");
+        let sum: u64 = engine
+            .lookup_batch(&w.lookups)
+            .into_iter()
+            .fold(0u64, |a, r| a.wrapping_add(r.unwrap_or(0)));
+        assert_eq!(sum, w.expected_checksum, "{}", family.name());
+    }
+}
