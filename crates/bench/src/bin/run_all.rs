@@ -38,6 +38,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext03_rmi_ablation",
     "ext04_dynamic_ablation",
     "ext05_batching",
+    "ext06_sharding",
 ];
 
 /// Outcome of one experiment.

@@ -6,11 +6,15 @@
 //!
 //! * [`registry`] — uniform access to every index family through
 //!   serializable [`IndexSpec`]s that construct type-erased builders or
-//!   serving-facing `QueryEngine`s.
+//!   serving-facing `QueryEngine`s, plus [`EngineSpec`] for serving-layer
+//!   configuration (key-range sharded engines included).
 //! * [`timing`] — the single-threaded lookup loop (warm/cold, with or
 //!   without memory fences, selectable last-mile search) with payload-sum
 //!   validation, plus the batched `QueryEngine` path.
-//! * [`mt`] — the multithreaded throughput harness (Figure 16).
+//! * [`mt`] — the multithreaded throughput harness (Figure 16),
+//!   generalized to any `QueryEngine` — sharded and shared-everything
+//!   serving are measured by the same loop, with per-worker clocks and a
+//!   non-empty-slice floor keeping the numbers honest.
 //! * [`dynamic`] — the mixed read/write harness over the updatable
 //!   structures (the paper's future-work benchmark; `ext*` binaries).
 //! * [`report`] — markdown/CSV/JSON emitters writing into `results/`.
@@ -28,6 +32,6 @@ pub mod runner;
 pub mod timing;
 
 pub use cli::Args;
-pub use registry::{DynBuilder, Family, IndexParams, IndexSpec};
+pub use registry::{DynBuilder, EngineSpec, Family, IndexParams, IndexSpec};
 pub use report::Report;
 pub use timing::{time_lookups, time_lookups_batched, LookupTiming};

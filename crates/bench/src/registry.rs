@@ -7,11 +7,16 @@
 //! round-tripped through `serde`, and turned into either a raw type-erased
 //! [`Index`] builder ([`IndexSpec::builder`]) or a full serving-facing
 //! [`QueryEngine`] ([`IndexSpec::engine`]).
+//!
+//! One layer up, [`EngineSpec`] configures how an index is *served*:
+//! directly, or partitioned behind a key-range [`ShardedEngine`]
+//! (`{ "family": "sharded", "params": { "shards": S, "inner": <spec> } }`).
 
 use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
 use sosd_core::{
-    BuildError, Index, IndexBuilder, Key, QueryEngine, SearchStrategy, SortedData, StaticEngine,
+    BuildError, Index, IndexBuilder, Key, QueryEngine, SearchStrategy, ShardedEngine, SortedData,
+    StaticEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -236,6 +241,132 @@ impl IndexSpec {
     ) -> Result<Box<dyn QueryEngine<K>>, BuildError> {
         let index = self.builder::<K>().build_boxed(data)?;
         Ok(Box::new(StaticEngine::with_strategy(index, Arc::clone(data), strategy)))
+    }
+}
+
+/// A serving-engine configuration: one layer above [`IndexSpec`].
+///
+/// An index spec pins down one buildable index structure; an engine spec
+/// pins down how that structure is *served* — directly
+/// ([`EngineSpec::Single`]) or behind a key-range
+/// [`ShardedEngine`] router with `shards` partitions, each running its own
+/// inner index ([`EngineSpec::Sharded`]). Like index specs, engine specs
+/// are serializable configuration; the sharded variant's JSON form is
+///
+/// ```json
+/// { "family": "sharded", "params": { "shards": 8, "inner": { "family": "RMI", ... } } }
+/// ```
+///
+/// and any plain [`IndexSpec`] JSON deserializes as the single variant, so
+/// every existing experiment config is already a valid engine spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineSpec {
+    /// Serve one index over the whole dataset (the shared-everything
+    /// setup of Figure 16).
+    Single(IndexSpec),
+    /// Key-range sharded serving: partition the data into `shards` ranges
+    /// and build `inner` per partition.
+    Sharded {
+        /// Requested partition count (duplicate-heavy or tiny datasets may
+        /// yield fewer; see [`sosd_core::partition_points`]).
+        shards: usize,
+        /// The index configuration built per shard.
+        inner: IndexSpec,
+    },
+}
+
+impl EngineSpec {
+    /// Configuration label for result rows.
+    pub fn label<K: Key>(&self) -> String {
+        match self {
+            EngineSpec::Single(spec) => spec.label::<K>(),
+            EngineSpec::Sharded { shards, inner } => {
+                format!("sharded{}x[{}]", shards, inner.label::<K>())
+            }
+        }
+    }
+
+    /// The inner index spec (the sharded variant's per-partition index).
+    pub fn inner_spec(&self) -> IndexSpec {
+        match self {
+            EngineSpec::Single(spec) => *spec,
+            EngineSpec::Sharded { inner, .. } => *inner,
+        }
+    }
+
+    /// Build the serving-facing engine this spec describes.
+    pub fn engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Result<Box<dyn QueryEngine<K>>, BuildError> {
+        match self {
+            EngineSpec::Single(spec) => spec.engine(data, strategy),
+            EngineSpec::Sharded { .. } => Ok(Box::new(self.sharded_engine(data, strategy)?)),
+        }
+    }
+
+    /// Build as a concrete [`ShardedEngine`] (a single spec becomes one
+    /// shard), exposing the parallel batch path the boxed trait object
+    /// hides.
+    pub fn sharded_engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Result<ShardedEngine<K>, BuildError> {
+        let (shards, inner) = match self {
+            EngineSpec::Single(spec) => (1, *spec),
+            EngineSpec::Sharded { shards, inner } => (*shards, *inner),
+        };
+        if shards == 1 {
+            // One shard needs no partition copies: share the caller's Arc.
+            return ShardedEngine::from_engines(vec![inner.engine(data, strategy)?], Vec::new());
+        }
+        ShardedEngine::build_with(data, shards, |part| inner.engine(&Arc::new(part), strategy))
+    }
+}
+
+impl Serialize for EngineSpec {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        match self {
+            EngineSpec::Single(spec) => spec.to_value(),
+            EngineSpec::Sharded { shards, inner } => Value::Object(vec![
+                ("family".into(), Value::Str("sharded".into())),
+                (
+                    "params".into(),
+                    Value::Object(vec![
+                        ("shards".into(), Value::UInt(*shards as u64)),
+                        ("inner".into(), inner.to_value()),
+                    ]),
+                ),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for EngineSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let family = v
+            .get_field("family")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| serde::Error::custom("spec missing `family`"))?;
+        if family != "sharded" {
+            return IndexSpec::from_value(v).map(EngineSpec::Single);
+        }
+        let params =
+            v.get_field("params").ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+        let shards = params
+            .get_field("shards")
+            .and_then(serde::Value::as_u64)
+            .ok_or_else(|| serde::Error::custom("sharded needs `shards`"))?;
+        if shards == 0 {
+            return Err(serde::Error::custom("sharded needs `shards` >= 1"));
+        }
+        let inner = params
+            .get_field("inner")
+            .ok_or_else(|| serde::Error::custom("sharded needs `inner`"))?;
+        Ok(EngineSpec::Sharded { shards: shards as usize, inner: IndexSpec::from_value(inner)? })
     }
 }
 
@@ -709,6 +840,60 @@ mod tests {
         let back: IndexSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.family, Family::Pgm);
         assert_eq!(back.params, rogue.params);
+    }
+
+    #[test]
+    fn engine_specs_round_trip_and_parse_plain_index_specs() {
+        let inner = Family::Pgm.default_spec::<u64>();
+        for spec in [EngineSpec::Single(inner), EngineSpec::Sharded { shards: 8, inner }] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: EngineSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+        }
+        // The sharded JSON shape is the documented one.
+        let json = serde_json::to_string(&EngineSpec::Sharded { shards: 4, inner }).unwrap();
+        assert!(json.contains("\"family\":\"sharded\""), "{json}");
+        assert!(json.contains("\"shards\":4"), "{json}");
+        assert!(json.contains("\"inner\":{"), "{json}");
+        // Any plain index-spec JSON is a valid (single) engine spec.
+        let plain = serde_json::to_string(&inner).unwrap();
+        let engine_spec: EngineSpec = serde_json::from_str(&plain).unwrap();
+        assert_eq!(engine_spec, EngineSpec::Single(inner));
+        // Malformed sharded specs are rejected.
+        for bad in [
+            "{\"family\":\"sharded\",\"params\":{}}",
+            "{\"family\":\"sharded\",\"params\":{\"shards\":0,\"inner\":{\"family\":\"BS\",\"params\":{}}}}",
+            "{\"family\":\"sharded\",\"params\":{\"shards\":2}}",
+        ] {
+            assert!(serde_json::from_str::<EngineSpec>(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_specs_serve_lookups() {
+        let data = Arc::new(SortedData::new((0..30_000u64).map(|i| i * 2).collect()).unwrap());
+        for family in [Family::Rmi, Family::Pgm, Family::BTree] {
+            let spec = EngineSpec::Sharded { shards: 4, inner: family.default_spec::<u64>() };
+            let engine = spec
+                .engine(&data, SearchStrategy::Binary)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.label::<u64>()));
+            assert_eq!(engine.len(), data.len(), "{}", family.name());
+            let key = data.key(17_777);
+            assert_eq!(engine.get(key), Some(data.payload(17_777)), "{}", family.name());
+            assert_eq!(engine.get(key + 1), None, "{}", family.name());
+            // The concrete construction exposes shard structure.
+            let sharded = spec.sharded_engine(&data, SearchStrategy::Binary).unwrap();
+            assert_eq!(sharded.num_shards(), 4, "{}", family.name());
+            assert_eq!(
+                sharded.par_lookup_batch(&[key, key + 1]),
+                vec![Some(data.payload(17_777)), None],
+                "{}",
+                family.name()
+            );
+        }
+        // A single spec builds as one shard.
+        let single = EngineSpec::Single(Family::Bs.default_spec::<u64>());
+        assert_eq!(single.sharded_engine(&data, SearchStrategy::Binary).unwrap().num_shards(), 1);
     }
 
     #[test]

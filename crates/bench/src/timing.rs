@@ -24,18 +24,11 @@ pub struct LookupTiming {
 }
 
 /// Sum the payloads of every record equal to `x` starting at its lower
-/// bound — zero when absent (same contract as the SOSD harness).
+/// bound — zero when absent (the shared [`SortedData::payload_sum_from`]
+/// contract).
 #[inline]
 fn payload_sum<K: Key>(data: &SortedData<K>, x: K, lb: usize) -> u64 {
-    let keys = data.keys();
-    let payloads = data.payloads();
-    let mut i = lb;
-    let mut sum = 0u64;
-    while i < keys.len() && keys[i] == x {
-        sum = sum.wrapping_add(payloads[i]);
-        i += 1;
-    }
-    sum
+    data.payload_sum_from(x, lb).unwrap_or(0)
 }
 
 /// Knobs for [`time_lookups`].
@@ -131,6 +124,10 @@ pub fn time_lookups<K: Key, I: Index<K> + ?Sized>(
 /// keys contribute their payload sum to the checksum (identical to
 /// [`time_lookups`]'s contract), so a run over present-key workloads must
 /// reproduce the workload's expected checksum.
+///
+/// Works unchanged over composite engines — a `ShardedEngine` (or its
+/// `parallel()` view) regroups each timed batch per shard internally, so
+/// sharded and unsharded configurations are timed by identical code.
 pub fn time_lookups_batched<K: Key, E: QueryEngine<K> + ?Sized>(
     engine: &E,
     lookups: &[K],
@@ -243,6 +240,22 @@ mod tests {
         let engine = StaticEngine::new(idx, data);
         let batched = time_lookups_batched(&engine, &w.lookups, 16, 1);
         assert_eq!(batched.checksum, scalar.checksum);
+    }
+
+    #[test]
+    fn sharded_engines_time_and_checksum_like_unsharded_ones() {
+        use crate::registry::{EngineSpec, Family};
+        use std::sync::Arc;
+        let w = workload();
+        let data = Arc::new(w.data.clone());
+        let spec = EngineSpec::Sharded { shards: 4, inner: Family::Bs.default_spec::<u64>() };
+        let engine = spec.sharded_engine(&data, SearchStrategy::Binary).expect("builds");
+        for batch_size in [1usize, 13, 64] {
+            let t = time_lookups_batched(&engine, &w.lookups, batch_size, 1);
+            assert_eq!(t.checksum, w.expected_checksum, "batch_size={batch_size}");
+            let tp = time_lookups_batched(&engine.parallel(), &w.lookups, batch_size, 1);
+            assert_eq!(tp.checksum, w.expected_checksum, "parallel batch_size={batch_size}");
+        }
     }
 
     #[test]

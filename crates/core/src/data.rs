@@ -99,13 +99,25 @@ impl<K: Key> SortedData<K> {
     /// Returns 0 when `x` is absent.
     #[inline]
     pub fn payload_sum_at(&self, x: K) -> u64 {
-        let mut i = self.lower_bound(x);
+        self.payload_sum_from(x, self.lower_bound(x)).unwrap_or(0)
+    }
+
+    /// Sum of payloads of all keys equal to `x` starting at `pos` (which
+    /// must be `x`'s lower bound), or `None` when `x` is not stored there —
+    /// the single definition of the duplicate-sum `get` contract every
+    /// engine and harness shares.
+    #[inline]
+    pub fn payload_sum_from(&self, x: K, pos: usize) -> Option<u64> {
+        if pos >= self.keys.len() || self.keys[pos] != x {
+            return None;
+        }
         let mut sum = 0u64;
-        while i < self.len() && self.keys[i] == x {
+        let mut i = pos;
+        while i < self.keys.len() && self.keys[i] == x {
             sum = sum.wrapping_add(self.payloads[i]);
             i += 1;
         }
-        sum
+        Some(sum)
     }
 
     /// Evenly spaced `(key, relative position)` samples of the empirical CDF,

@@ -23,7 +23,11 @@ use crate::key::Key;
 /// Semantics match `std::collections::BTreeMap<K, u64>`: keys are unique and
 /// inserting an existing key replaces its payload. The integration suite
 /// property-tests every implementation against exactly that oracle.
-pub trait DynamicOrderedIndex<K: Key>: Send {
+///
+/// `Send + Sync` is required so read paths can be shared across serving
+/// threads behind [`crate::QueryEngine`]; writes go through `&mut self`, so
+/// exclusive access is still enforced by the borrow checker.
+pub trait DynamicOrderedIndex<K: Key>: Send + Sync {
     /// Short name used in result tables ("ALEX", "DynamicPGM", ...).
     fn name(&self) -> &'static str;
 

@@ -58,7 +58,14 @@ fn prefetch_read<T>(ptr: *const T) {
 /// records equal to the key** — the same aggregate the paper's harness
 /// checksums — which coincides with the single stored payload when keys are
 /// unique (always true in the dynamic world).
-pub trait QueryEngine<K: Key>: Send {
+///
+/// # Threading
+///
+/// Engines are `Send + Sync`: every method takes `&self`, so a serving
+/// layer (or the multithreaded throughput harness) shares one engine across
+/// worker threads instead of cloning per-thread state. Write paths on
+/// dynamic structures stay behind `&mut` accessors outside this trait.
+pub trait QueryEngine<K: Key>: Send + Sync {
     /// Engine description for result tables (e.g. `"RMI+binary"`).
     fn name(&self) -> String;
 
@@ -197,21 +204,11 @@ impl<K: Key, I: Index<K>> StaticEngine<K, I> {
         self.strategy.find(self.data.keys(), key, bound)
     }
 
-    /// Sum payloads of all records equal to `key` starting at `pos`.
+    /// Sum payloads of all records equal to `key` starting at `pos`
+    /// (delegates to the shared [`SortedData::payload_sum_from`] contract).
     #[inline]
     fn payload_sum_from(&self, key: K, pos: usize) -> Option<u64> {
-        let keys = self.data.keys();
-        if pos >= keys.len() || keys[pos] != key {
-            return None;
-        }
-        let payloads = self.data.payloads();
-        let mut sum = 0u64;
-        let mut i = pos;
-        while i < keys.len() && keys[i] == key {
-            sum = sum.wrapping_add(payloads[i]);
-            i += 1;
-        }
-        Some(sum)
+        self.data.payload_sum_from(key, pos)
     }
 }
 
@@ -352,10 +349,14 @@ impl<K: Key, D: DynamicOrderedIndex<K>> QueryEngine<K> for DynamicEngine<K, D> {
                 break;
             }
             out.push((k, v));
-            if k == K::MAX_KEY {
-                break;
+            // The checked successor terminates at the type's extreme key; a
+            // raw `from_u64(to_u64() + 1)` would depend on each key width's
+            // overflow behavior (saturation re-probes the same key forever,
+            // truncation jumps backwards).
+            match k.successor() {
+                Some(next) => probe = next,
+                None => break,
             }
-            probe = K::from_u64(k.to_u64() + 1);
         }
         out
     }
@@ -448,11 +449,11 @@ mod tests {
     }
 
     /// Minimal dynamic index for adapter tests.
-    struct VecMap {
-        entries: Vec<(u64, u64)>,
+    struct VecMap<K: Key> {
+        entries: Vec<(K, u64)>,
     }
 
-    impl DynamicOrderedIndex<u64> for VecMap {
+    impl<K: Key> DynamicOrderedIndex<K> for VecMap<K> {
         fn name(&self) -> &'static str {
             "VecMap"
         }
@@ -462,7 +463,7 @@ mod tests {
         fn size_bytes(&self) -> usize {
             self.entries.capacity() * 16
         }
-        fn insert(&mut self, key: u64, payload: u64) -> Option<u64> {
+        fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
             match self.entries.binary_search_by_key(&key, |e| e.0) {
                 Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, payload)),
                 Err(i) => {
@@ -471,17 +472,17 @@ mod tests {
                 }
             }
         }
-        fn remove(&mut self, key: u64) -> Option<u64> {
+        fn remove(&mut self, key: K) -> Option<u64> {
             self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries.remove(i).1)
         }
-        fn get(&self, key: u64) -> Option<u64> {
+        fn get(&self, key: K) -> Option<u64> {
             self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries[i].1)
         }
-        fn lower_bound_entry(&self, key: u64) -> Option<(u64, u64)> {
+        fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
             let i = self.entries.partition_point(|e| e.0 < key);
             self.entries.get(i).copied()
         }
-        fn range_sum(&self, lo: u64, hi: u64) -> u64 {
+        fn range_sum(&self, lo: K, hi: K) -> u64 {
             self.entries
                 .iter()
                 .filter(|e| e.0 >= lo && e.0 < hi)
@@ -492,7 +493,7 @@ mod tests {
         }
     }
 
-    fn dynamic_engine() -> DynamicEngine<u64, VecMap> {
+    fn dynamic_engine() -> DynamicEngine<u64, VecMap<u64>> {
         let mut m = VecMap { entries: Vec::new() };
         for k in [2u64, 5, 8, u64::MAX] {
             m.insert(k, k.wrapping_mul(10));
@@ -520,6 +521,62 @@ mod tests {
         assert_eq!(all, vec![(2, 20), (5, 50), (8, 80)], "hi is exclusive");
         let upper = e.lower_bound(u64::MAX);
         assert_eq!(upper, Some((u64::MAX, u64::MAX.wrapping_mul(10))));
+    }
+
+    /// An 8-bit key whose `from_u64` truncates instead of saturating — the
+    /// overflow behavior `DynamicEngine::range`'s successor probe must not
+    /// depend on. With a raw `from_u64(to_u64() + 1)` probe, stepping past
+    /// the stored key 255 would wrap the probe back to 0 and re-scan the map
+    /// from the start; `Key::successor` terminates instead.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+    struct Nib(u8);
+
+    impl std::fmt::Display for Nib {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl Key for Nib {
+        const BITS: u32 = 8;
+        const MIN_KEY: Self = Nib(0);
+        const MAX_KEY: Self = Nib(u8::MAX);
+
+        fn to_u64(self) -> u64 {
+            self.0 as u64
+        }
+        fn from_u64(v: u64) -> Self {
+            Nib(v as u8) // deliberately truncating
+        }
+        fn to_f64(self) -> f64 {
+            self.0 as f64
+        }
+        fn from_f64_clamped(v: f64) -> Self {
+            Nib(if v.is_nan() || v <= 0.0 { 0 } else { (v as u64).min(u8::MAX as u64) as u8 })
+        }
+        fn saturating_sub_key(self, other: Self) -> Self {
+            Nib(self.0.saturating_sub(other.0))
+        }
+    }
+
+    #[test]
+    fn dynamic_range_terminates_on_narrow_truncating_keys() {
+        let mut m: VecMap<Nib> = VecMap { entries: Vec::new() };
+        for k in [0u8, 7, 254, 255] {
+            m.insert(Nib(k), k as u64 * 10);
+        }
+        let e = DynamicEngine::new(m);
+        assert_eq!(Nib(255).successor(), None);
+        // Spans reaching the width's extreme key must terminate and include
+        // it exactly once when below `hi`.
+        assert_eq!(
+            e.range(Nib(0), Nib(255)),
+            vec![(Nib(0), 0), (Nib(7), 70), (Nib(254), 2540)],
+            "hi is exclusive"
+        );
+        assert_eq!(e.range(Nib(250), Nib::MAX_KEY), vec![(Nib(254), 2540)]);
+        let lb = e.lower_bound(Nib(255));
+        assert_eq!(lb, Some((Nib(255), 2550)));
     }
 
     #[test]

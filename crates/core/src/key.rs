@@ -42,6 +42,24 @@ pub trait Key: Copy + Ord + Eq + Hash + Send + Sync + Debug + Display + Default 
 
     /// Saturating subtraction, used for key-space arithmetic in splines.
     fn saturating_sub_key(self, other: Self) -> Self;
+
+    /// The next representable key, or `None` at [`Key::MAX_KEY`].
+    ///
+    /// Successor probes must go through this helper rather than
+    /// `from_u64(to_u64() + 1)`: `from_u64` is only required to be lossless
+    /// for values the key type can represent, so incrementing the widest
+    /// representable key through it may saturate (re-probing the same key
+    /// forever) or truncate (jumping backwards) depending on the
+    /// implementation. Checking against `MAX_KEY` first keeps the increment
+    /// inside the representable range, where `from_u64` is exact.
+    #[inline]
+    fn successor(self) -> Option<Self> {
+        if self == Self::MAX_KEY {
+            None
+        } else {
+            Some(Self::from_u64(self.to_u64() + 1))
+        }
+    }
 }
 
 impl Key for u64 {
@@ -165,5 +183,15 @@ mod tests {
     fn radix_prefix_full_width() {
         let k: u32 = 0xDEAD_BEEF;
         assert_eq!(k.radix_prefix(32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn successor_increments_and_stops_at_max() {
+        assert_eq!(0u64.successor(), Some(1));
+        assert_eq!((u64::MAX - 1).successor(), Some(u64::MAX));
+        assert_eq!(u64::MAX.successor(), None);
+        assert_eq!(0u32.successor(), Some(1));
+        assert_eq!((u32::MAX - 1).successor(), Some(u32::MAX));
+        assert_eq!(u32::MAX.successor(), None, "u32::MAX must not saturate into itself");
     }
 }

@@ -27,6 +27,9 @@
 //! * [`engine`] — the serving-facing [`QueryEngine`] facade unifying both
 //!   worlds behind payload-returning `get`/`lower_bound`/`range` plus a
 //!   batched, prefetch-friendly lookup path.
+//! * [`shard`] — key-range sharded serving: [`ShardedEngine`] partitions a
+//!   [`SortedData`] into fence-routed shards, one inner engine each, with
+//!   shard-grouped batches and a scoped-thread parallel batch path.
 
 pub mod bound;
 pub mod builder;
@@ -38,6 +41,7 @@ pub mod index;
 pub mod key;
 pub mod ols;
 pub mod search;
+pub mod shard;
 pub mod stats;
 pub mod stride;
 pub mod trace;
@@ -52,4 +56,5 @@ pub use error::{BuildError, DataError};
 pub use index::{Capabilities, Index, IndexKind};
 pub use key::Key;
 pub use search::{LastMileSearch, SearchStrategy};
+pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
 pub use trace::{CountingTracer, NullTracer, Tracer};
