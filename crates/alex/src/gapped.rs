@@ -1,6 +1,6 @@
 //! The gapped model array: ALEX's leaf node structure.
 //!
-//! ALEX (ref. [11]) departs from the paper's read-only RMI in one key way:
+//! ALEX (ref. \[11\]) departs from the paper's read-only RMI in one key way:
 //! data nodes store records in a *gapped array* — an array larger than its
 //! contents, with gaps left at model-predicted positions — so inserts can
 //! usually be satisfied by dropping the record into a nearby gap instead of

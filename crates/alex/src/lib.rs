@@ -1,6 +1,6 @@
 //! # sosd-alex
 //!
-//! An ALEX-style updatable adaptive learned index (Ding et al. — ref. [11]
+//! An ALEX-style updatable adaptive learned index (Ding et al. — ref. \[11\]
 //! of the paper), the structure the paper's conclusion points to for "the
 //! next generation of learned index structures which supports writes".
 

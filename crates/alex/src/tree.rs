@@ -1,6 +1,6 @@
 //! The ALEX tree: a model-routed directory of gapped-array leaves.
 //!
-//! ALEX (ref. [11]) routes lookups through internal nodes whose linear
+//! ALEX (ref. \[11\]) routes lookups through internal nodes whose linear
 //! models pick a child directly. This implementation keeps one such level: a
 //! linear model over the sorted leaf-boundary keys predicts the leaf index,
 //! and a measured error window corrects it — the same model-plus-bound

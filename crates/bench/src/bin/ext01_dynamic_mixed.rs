@@ -4,8 +4,8 @@
 //! optimized for updates) could be fruitful").
 //!
 //! Sweeps the insert fraction from read-only to write-heavy over ALEX
-//! (ref. [11]), the dynamic PGM (ref. [13]), the dynamic FITing-Tree
-//! (ref. [14]), and an insertable B+Tree, reporting stream throughput, bulk
+//! (ref. \[11\]), the dynamic PGM (ref. \[13\]), the dynamic FITing-Tree
+//! (ref. \[14\]), and an insertable B+Tree, reporting stream throughput, bulk
 //! load time, and memory. Checksums prove every structure did identical
 //! work.
 //!

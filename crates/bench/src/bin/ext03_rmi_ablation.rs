@@ -1,5 +1,5 @@
 //! Extension 3: RMI hyperparameter ablation — the grid that CDFShop
-//! (ref. [22]) searches, laid out explicitly.
+//! (ref. \[22\]) searches, laid out explicitly.
 //!
 //! Section 4.2 of the paper attributes PGM's earlier "dominance" over RMI to
 //! an untuned RMI ("their RMI only used linear models rather than tuning

@@ -4,9 +4,9 @@
 //!
 //! * **Dynamic PGM** — level-0 insert-buffer capacity (merge amortization
 //!   vs. buffer scan length).
-//! * **FITing-Tree** — per-segment delta-buffer size (the knob ref. [14]'s
+//! * **FITing-Tree** — per-segment delta-buffer size (the knob ref. \[14\]'s
 //!   own evaluation sweeps).
-//! * **ALEX** — maximum leaf size before a sideways split (ref. [11]'s node
+//! * **ALEX** — maximum leaf size before a sideways split (ref. \[11\]'s node
 //!   sizing tradeoff).
 //!
 //! This harness sweeps each knob on a 50/50 read/write stream and reports

@@ -1,0 +1,154 @@
+//! Extension experiment 7: write-behind serving vs the in-place dynamic
+//! structures.
+//!
+//! The paper's updatable-index experiments (Section 5 / Figure 18 of the
+//! extended report) show learned structures falling behind B-trees as the
+//! write fraction grows, because every insert disturbs the learned model.
+//! The LSM answer — and this experiment's subject — is to never write to
+//! the learned structure at all: `WriteBehindEngine` keeps the base
+//! immutable, absorbs inserts in a bounded delta buffer, and re-learns the
+//! base only at merge time.
+//!
+//! The sweep crosses **write ratio × merge threshold × inner (base)
+//! family × merge mode**, driven by the same `MixedWorkload` streams
+//! (including a Zipf read-skew mix) as the `ext01` dynamic baselines, and
+//! re-runs those baselines alongside for a direct comparison. Every run's
+//! op-result checksum is validated against the others on the same
+//! workload before its timing is reported, so a wrong payload anywhere
+//! fails the experiment rather than skewing a row.
+//!
+//! Merge thresholds are expressed relative to the stream's expected insert
+//! count (`ins/8`, `ins/2`), so quick-mode smoke runs still cross them and
+//! exercise real merge cycles. Background-mode rows include the drain of
+//! any merge still in flight when the stream ends (triggered work is
+//! billed to the run that triggered it).
+
+use sosd_bench::dynamic::{run_mixed, run_mixed_writebehind, DynFamily};
+use sosd_bench::registry::{DeltaKind, EngineSpec, Family};
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::Args;
+use sosd_core::MergeMode;
+use sosd_datasets::{generate_mixed, DatasetId, MixedConfig, ReadSkew};
+
+/// The write-behind base layouts under test: unsharded learned, unsharded
+/// traditional, and a sharded learned base (rebuilt and re-partitioned at
+/// every merge).
+const BASES: [(Family, usize); 3] = [(Family::Rmi, 1), (Family::BTree, 1), (Family::Rmi, 4)];
+
+/// Insert fraction × read skew mixes (deletes stay 0: the write-behind
+/// tier has no tombstones yet).
+const MIXES: [(f64, ReadSkew); 4] = [
+    (0.05, ReadSkew::Uniform),
+    (0.25, ReadSkew::Uniform),
+    (0.5, ReadSkew::Uniform),
+    (0.25, ReadSkew::Zipf(1.1)),
+];
+
+/// Merge thresholds as divisors of the expected insert count: `ins/8`
+/// (many small merges) and `ins/2` (few large ones).
+const THRESHOLD_DIVISORS: [usize; 2] = [8, 2];
+
+/// The in-place dynamic baselines re-run on every mix.
+const BASELINES: [DynFamily; 3] = [DynFamily::BPlusTree, DynFamily::Alex, DynFamily::DynamicPgm];
+
+fn main() {
+    let args = Args::parse();
+    let num_ops = args.lookups;
+
+    let mut report = Report::new(
+        "ext07_writebehind",
+        &["mix", "engine", "threshold", "Mops_per_s", "ns_per_op", "merges", "size_mb", "vs_btree"],
+    );
+    let mut rows = Vec::new();
+
+    for (insert_fraction, read_skew) in MIXES {
+        let cfg = MixedConfig {
+            bulk_fraction: 0.5,
+            insert_fraction,
+            delete_fraction: 0.0,
+            range_fraction: 0.05,
+            range_span_keys: 100,
+            read_skew,
+        };
+        let w = generate_mixed(DatasetId::Amzn, args.n, num_ops, cfg, args.seed);
+        let expected_inserts = w.num_inserts().max(1);
+        eprintln!(
+            "[ext07] {} ({} ops, {} inserts, {} bulk keys)",
+            w.label,
+            w.num_ops(),
+            expected_inserts,
+            w.bulk_keys.len()
+        );
+
+        // The dynamic baselines set the reference checksum and the
+        // B+Tree reference rate for the vs_btree column.
+        let mut checksum = None;
+        let mut btree_rate = None;
+        let mut validate = |r_checksum: u64, who: &str| match checksum {
+            None => checksum = Some(r_checksum),
+            Some(c) => assert_eq!(c, r_checksum, "{who} returned wrong payloads on this mix"),
+        };
+        for family in BASELINES {
+            let r = run_mixed(family, &w.label, &w.bulk_keys, &w.bulk_payloads, &w.ops);
+            validate(r.checksum, &r.family);
+            if family == DynFamily::BPlusTree {
+                btree_rate = Some(r.mops_per_s);
+            }
+            push_row(&mut report, &w.label, &r, "-", btree_rate);
+            rows.push(r);
+        }
+
+        for divisor in THRESHOLD_DIVISORS {
+            let merge_threshold = (expected_inserts / divisor).max(64);
+            for (base_family, shards) in BASES {
+                let spec = EngineSpec::WriteBehind {
+                    shards,
+                    inner: base_family.default_spec::<u64>(),
+                    delta: DeltaKind::BTree,
+                    merge_threshold,
+                };
+                for mode in [MergeMode::Sync, MergeMode::Background] {
+                    let r = run_mixed_writebehind(
+                        &spec,
+                        mode,
+                        &w.label,
+                        &w.bulk_keys,
+                        &w.bulk_payloads,
+                        &w.ops,
+                    )
+                    .unwrap_or_else(|e| panic!("{} failed to build: {e}", spec.label::<u64>()));
+                    validate(r.checksum, &r.family);
+                    push_row(&mut report, &w.label, &r, &format!("ins/{divisor}"), btree_rate);
+                    rows.push(r);
+                }
+            }
+        }
+    }
+
+    report.emit(&args.out_dir).expect("write results");
+    write_json(&args.out_dir, "ext07_writebehind", &rows).expect("write json");
+    println!(
+        "\n(write-behind rows: merges counts completed base rebuilds; bg rows \
+         overlap the rebuild with the op stream, sync rows block on it. \
+         vs_btree > 1 means the run beat the in-place B+Tree on the same mix)"
+    );
+}
+
+fn push_row(
+    report: &mut Report,
+    mix: &str,
+    r: &sosd_bench::dynamic::MixedRunResult,
+    threshold: &str,
+    btree_rate: Option<f64>,
+) {
+    report.push_row(vec![
+        mix.to_string(),
+        r.family.clone(),
+        threshold.to_string(),
+        format!("{:.2}", r.mops_per_s),
+        format!("{:.1}", r.ns_per_op),
+        r.merges.to_string(),
+        fmt_mb(r.size_bytes),
+        btree_rate.map_or("-".into(), |b| format!("{:.2}x", r.mops_per_s / b)),
+    ]);
+}

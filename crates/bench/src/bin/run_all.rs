@@ -39,6 +39,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext04_dynamic_ablation",
     "ext05_batching",
     "ext06_sharding",
+    "ext07_writebehind",
 ];
 
 /// Outcome of one experiment.
@@ -116,6 +117,9 @@ fn main() {
         println!("{name:<24} {secs:>9.1} {:>8}", status.label());
         csv.push_str(&format!("{name},{secs:.1},{}\n", status.label()));
     }
+    let total: f64 = summary.iter().map(|(_, secs, _)| secs).sum();
+    println!("{:<24} {total:>9.1}", "total");
+    csv.push_str(&format!("total,{total:.1},-\n"));
     write_summary(&out_dir, &csv);
 
     let count = |s: Status| summary.iter().filter(|(_, _, st)| *st == s).count();

@@ -1,20 +1,24 @@
 //! Harness support for the mixed read/write experiments (the paper's
 //! future-work benchmark): construction of every dynamic structure behind a
-//! uniform factory, and a timed op-stream executor.
+//! uniform factory, a timed op-stream executor, and the write-behind
+//! counterpart that drives the same streams through a
+//! [`sosd_core::WriteBehindEngine`] for checksum-identical comparison.
 
+use crate::registry::EngineSpec;
 use serde::Serialize;
 use sosd_core::dynamic::{BulkLoad, DynamicOrderedIndex, Op};
-use sosd_core::{DynamicEngine, QueryEngine};
+use sosd_core::{BuildError, DynamicEngine, MergeMode, QueryEngine, SearchStrategy, SortedData};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The dynamic structures under test, in table order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DynFamily {
-    /// ALEX (ref. [11]): gapped model arrays.
+    /// ALEX (ref. \[11\]): gapped model arrays.
     Alex,
-    /// Dynamic PGM (ref. [13]): logarithmic method over static PGMs.
+    /// Dynamic PGM (ref. \[13\]): logarithmic method over static PGMs.
     DynamicPgm,
-    /// FITing-Tree (ref. [14]): cone segments with delta buffers.
+    /// FITing-Tree (ref. \[14\]): cone segments with delta buffers.
     Fiting,
     /// Insertable B+Tree: the traditional, insert-optimized yardstick.
     BPlusTree,
@@ -73,6 +77,9 @@ pub struct MixedRunResult {
     pub checksum: u64,
     /// Number of operations executed.
     pub ops: usize,
+    /// Base merges completed during the stream (always 0 for the plain
+    /// dynamic structures; the write-behind runner fills it in).
+    pub merges: u64,
 }
 
 /// Bulk-load `family` and drive the op stream through it, timing both.
@@ -109,7 +116,69 @@ pub fn run_mixed(
         size_bytes: idx.size_bytes(),
         checksum,
         ops: ops.len(),
+        merges: 0,
     }
+}
+
+/// Drive the same mixed stream through a [`sosd_core::WriteBehindEngine`]
+/// built from `spec`: inserts land in the delta, merges fire as thresholds are
+/// crossed, and the clock includes the drain of any in-flight background
+/// merge — triggered work is billed to the run that triggered it.
+///
+/// The checksum folds op results exactly like [`run_mixed`], so a correct
+/// write-behind engine must reproduce the dynamic baselines' checksum on
+/// the same workload. `Remove` ops are rejected (generate the stream with
+/// `delete_fraction: 0.0`); the write-behind tier has no tombstones yet.
+pub fn run_mixed_writebehind(
+    spec: &EngineSpec,
+    mode: MergeMode,
+    label: &str,
+    bulk_keys: &[u64],
+    bulk_payloads: &[u64],
+    ops: &[Op<u64>],
+) -> Result<MixedRunResult, BuildError> {
+    let data = Arc::new(
+        SortedData::with_payloads(bulk_keys.to_vec(), bulk_payloads.to_vec())
+            .map_err(BuildError::Data)?,
+    );
+    let t0 = Instant::now();
+    let engine = spec.writebehind_engine(&data, SearchStrategy::Binary, mode)?;
+    let bulk_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let mut checksum = 0u64;
+    for &op in ops {
+        let r = match op {
+            Op::Insert(k, v) => engine.insert(k, v),
+            Op::Lookup(k) => engine.get(k),
+            Op::RangeSum(lo, hi) => Some(engine.range_sum(lo, hi)),
+            Op::Remove(k) => panic!(
+                "write-behind engine has no remove path (key {k}); \
+                 generate the stream with delete_fraction: 0.0"
+            ),
+        };
+        checksum = checksum.wrapping_mul(0x100000001B3).wrapping_add(r.unwrap_or(0x9E37));
+    }
+    // Bill in-flight background merges to this run before stopping the
+    // clock: the stream triggered them.
+    engine.wait_for_merges();
+    let elapsed = t1.elapsed().as_secs_f64();
+
+    let mode_tag = match mode {
+        MergeMode::Sync => "sync",
+        MergeMode::Background => "bg",
+    };
+    Ok(MixedRunResult {
+        family: format!("{}/{mode_tag}", spec.label::<u64>()),
+        workload: label.to_string(),
+        bulk_ms,
+        mops_per_s: ops.len() as f64 / elapsed / 1e6,
+        ns_per_op: elapsed * 1e9 / ops.len().max(1) as f64,
+        size_bytes: engine.size_bytes(),
+        checksum,
+        ops: ops.len(),
+        merges: engine.merges_completed(),
+    })
 }
 
 #[cfg(test)]
@@ -144,6 +213,39 @@ mod tests {
             assert_eq!(engine.lower_bound(3).map(|e| e.0), Some(4), "{}", family.name());
             let batch = engine.lookup_batch(&[0, 1, 9_998]);
             assert_eq!(batch, vec![Some(1), None, Some(9_999)], "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn writebehind_matches_dynamic_baselines_checksum() {
+        use crate::registry::{DeltaKind, Family};
+        let cfg =
+            MixedConfig { insert_fraction: 0.3, range_fraction: 0.1, ..MixedConfig::default() };
+        let w = generate_mixed(DatasetId::Amzn, 20_000, 6_000, cfg, 42);
+        let baseline =
+            run_mixed(DynFamily::BPlusTree, &w.label, &w.bulk_keys, &w.bulk_payloads, &w.ops);
+        let spec = EngineSpec::WriteBehind {
+            shards: 1,
+            inner: Family::BTree.default_spec::<u64>(),
+            delta: DeltaKind::BTree,
+            merge_threshold: 400,
+        };
+        for mode in [MergeMode::Sync, MergeMode::Background] {
+            let wb = run_mixed_writebehind(
+                &spec,
+                mode,
+                &w.label,
+                &w.bulk_keys,
+                &w.bulk_payloads,
+                &w.ops,
+            )
+            .unwrap();
+            assert_eq!(
+                wb.checksum, baseline.checksum,
+                "{} diverged from the B+Tree baseline",
+                wb.family
+            );
+            assert!(wb.merges >= 1, "threshold 400 should have merged ({})", wb.family);
         }
     }
 

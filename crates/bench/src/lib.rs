@@ -32,6 +32,6 @@ pub mod runner;
 pub mod timing;
 
 pub use cli::Args;
-pub use registry::{DynBuilder, EngineSpec, Family, IndexParams, IndexSpec};
+pub use registry::{DeltaKind, DynBuilder, EngineSpec, Family, IndexParams, IndexSpec};
 pub use report::Report;
 pub use timing::{time_lookups, time_lookups_batched, LookupTiming};

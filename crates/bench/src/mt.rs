@@ -10,7 +10,7 @@
 //! this harness:
 //!
 //! 1. **Clock what actually ran.** Workers poll the stop flag only every
-//!    [`POLL_EVERY`] lookups, so they keep completing lookups past the
+//!    `POLL_EVERY` (4096) lookups, so they keep completing lookups past the
 //!    nominal deadline. Dividing the aggregate count by the nominal budget
 //!    inflated throughput by up to `threads × POLL_EVERY` lookups. Each
 //!    worker now clocks its own elapsed wall time and contributes

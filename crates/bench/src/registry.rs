@@ -9,14 +9,19 @@
 //! [`QueryEngine`] ([`IndexSpec::engine`]).
 //!
 //! One layer up, [`EngineSpec`] configures how an index is *served*:
-//! directly, or partitioned behind a key-range [`ShardedEngine`]
-//! (`{ "family": "sharded", "params": { "shards": S, "inner": <spec> } }`).
+//! directly, partitioned behind a key-range [`ShardedEngine`]
+//! (`{ "family": "sharded", "params": { "shards": S, "inner": <spec> } }`),
+//! or wrapped in a write-behind tier
+//! (`{ "family": "writebehind", "params": { "inner": <engine spec>,
+//! "delta": "btree", "merge_threshold": N } }`) whose delta buffer family
+//! is picked by [`DeltaKind`].
 
 use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
+use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
-    BuildError, Index, IndexBuilder, Key, QueryEngine, SearchStrategy, ShardedEngine, SortedData,
-    StaticEngine,
+    BuildError, DynamicOrderedIndex, Index, IndexBuilder, Key, MergeMode, QueryEngine,
+    SearchStrategy, ShardedEngine, SortedData, StaticEngine, WriteBehindEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -78,7 +83,7 @@ pub enum Family {
     Rbs,
     /// Plain binary search.
     Bs,
-    /// FITing-Tree (extension: ref. [14], not in the paper's Table 1
+    /// FITing-Tree (extension: ref. \[14\], not in the paper's Table 1
     /// because no tuned implementation was public at the time).
     Fiting,
 }
@@ -244,17 +249,73 @@ impl IndexSpec {
     }
 }
 
+/// The delta-buffer family of a write-behind engine: every updatable
+/// structure in the workspace can absorb the write tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaKind {
+    /// Insertable B+Tree — the default: cheap inserts, and its chained
+    /// leaves give the delta drain and range stitch a true leaf walk
+    /// (`for_each_in` is one descent plus a sequential scan).
+    BTree,
+    /// ALEX-style gapped model arrays.
+    Alex,
+    /// Dynamic PGM (logarithmic method over static PGMs).
+    DynamicPgm,
+    /// Dynamic FITing-Tree (cone segments with per-segment buffers).
+    Fiting,
+}
+
+impl DeltaKind {
+    /// Every delta family.
+    pub const ALL: [DeltaKind; 4] =
+        [DeltaKind::BTree, DeltaKind::Alex, DeltaKind::DynamicPgm, DeltaKind::Fiting];
+
+    /// Spec token used in JSON (`"delta": "btree"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            DeltaKind::BTree => "btree",
+            DeltaKind::Alex => "alex",
+            DeltaKind::DynamicPgm => "pgm",
+            DeltaKind::Fiting => "fiting",
+        }
+    }
+
+    /// Inverse of [`DeltaKind::token`].
+    pub fn parse(token: &str) -> Option<DeltaKind> {
+        DeltaKind::ALL.into_iter().find(|d| d.token() == token)
+    }
+
+    /// An empty delta buffer of this family.
+    pub fn make<K: Key>(self) -> Box<dyn DynamicOrderedIndex<K>> {
+        match self {
+            DeltaKind::BTree => Box::new(sosd_btree::DynamicBTree::new()),
+            DeltaKind::Alex => Box::new(sosd_alex::AlexTree::new()),
+            DeltaKind::DynamicPgm => Box::new(sosd_pgm::DynamicPgm::new()),
+            DeltaKind::Fiting => Box::new(sosd_fiting::DynamicFitingTree::new()),
+        }
+    }
+
+    /// The [`DeltaFactory`] handed to [`WriteBehindEngine`].
+    pub fn factory<K: Key>(self) -> DeltaFactory<K> {
+        Arc::new(move || self.make::<K>())
+    }
+}
+
 /// A serving-engine configuration: one layer above [`IndexSpec`].
 ///
 /// An index spec pins down one buildable index structure; an engine spec
 /// pins down how that structure is *served* — directly
-/// ([`EngineSpec::Single`]) or behind a key-range
+/// ([`EngineSpec::Single`]), behind a key-range
 /// [`ShardedEngine`] router with `shards` partitions, each running its own
-/// inner index ([`EngineSpec::Sharded`]). Like index specs, engine specs
-/// are serializable configuration; the sharded variant's JSON form is
+/// inner index ([`EngineSpec::Sharded`]), or behind a write-behind tier
+/// that absorbs inserts in a delta buffer and re-builds its (possibly
+/// sharded) base on merge ([`EngineSpec::WriteBehind`]). Like index specs,
+/// engine specs are serializable configuration; the composite variants'
+/// JSON forms are
 ///
 /// ```json
 /// { "family": "sharded", "params": { "shards": 8, "inner": { "family": "RMI", ... } } }
+/// { "family": "writebehind", "params": { "inner": <engine spec>, "delta": "btree", "merge_threshold": 65536 } }
 /// ```
 ///
 /// and any plain [`IndexSpec`] JSON deserializes as the single variant, so
@@ -273,6 +334,19 @@ pub enum EngineSpec {
         /// The index configuration built per shard.
         inner: IndexSpec,
     },
+    /// Write-behind serving: an immutable base (single index when
+    /// `shards <= 1`, a [`ShardedEngine`] otherwise) plus a mutable delta
+    /// buffer, merged when the delta crosses `merge_threshold` entries.
+    WriteBehind {
+        /// Base partition count (`1` = an unsharded base engine).
+        shards: usize,
+        /// The index configuration of the base (per shard when sharded).
+        inner: IndexSpec,
+        /// The delta-buffer family.
+        delta: DeltaKind,
+        /// Active-delta entry count that triggers a merge.
+        merge_threshold: usize,
+    },
 }
 
 impl EngineSpec {
@@ -283,18 +357,37 @@ impl EngineSpec {
             EngineSpec::Sharded { shards, inner } => {
                 format!("sharded{}x[{}]", shards, inner.label::<K>())
             }
+            EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } => {
+                let base = EngineSpec::base_spec(*shards, *inner).label::<K>();
+                format!("wb[{base}+{}@{merge_threshold}]", delta.token())
+            }
         }
     }
 
-    /// The inner index spec (the sharded variant's per-partition index).
+    /// The inner index spec (the composite variants' per-partition /
+    /// base index).
     pub fn inner_spec(&self) -> IndexSpec {
         match self {
             EngineSpec::Single(spec) => *spec,
             EngineSpec::Sharded { inner, .. } => *inner,
+            EngineSpec::WriteBehind { inner, .. } => *inner,
+        }
+    }
+
+    /// The base layout of a write-behind spec as its own engine spec.
+    fn base_spec(shards: usize, inner: IndexSpec) -> EngineSpec {
+        if shards <= 1 {
+            EngineSpec::Single(inner)
+        } else {
+            EngineSpec::Sharded { shards, inner }
         }
     }
 
     /// Build the serving-facing engine this spec describes.
+    ///
+    /// The write-behind variant is built in [`MergeMode::Background`]; use
+    /// [`EngineSpec::writebehind_engine`] to pick the mode and reach the
+    /// concrete write path.
     pub fn engine<K: Key>(
         &self,
         data: &Arc<SortedData<K>>,
@@ -303,12 +396,16 @@ impl EngineSpec {
         match self {
             EngineSpec::Single(spec) => spec.engine(data, strategy),
             EngineSpec::Sharded { .. } => Ok(Box::new(self.sharded_engine(data, strategy)?)),
+            EngineSpec::WriteBehind { .. } => {
+                Ok(Box::new(self.writebehind_engine(data, strategy, MergeMode::Background)?))
+            }
         }
     }
 
     /// Build as a concrete [`ShardedEngine`] (a single spec becomes one
     /// shard), exposing the parallel batch path the boxed trait object
-    /// hides.
+    /// hides. Write-behind specs are rejected — their delta tier cannot be
+    /// expressed as a shard.
     pub fn sharded_engine<K: Key>(
         &self,
         data: &Arc<SortedData<K>>,
@@ -317,12 +414,47 @@ impl EngineSpec {
         let (shards, inner) = match self {
             EngineSpec::Single(spec) => (1, *spec),
             EngineSpec::Sharded { shards, inner } => (*shards, *inner),
+            EngineSpec::WriteBehind { .. } => {
+                return Err(BuildError::InvalidConfig(
+                    "a write-behind spec is not a sharded engine".into(),
+                ))
+            }
         };
         if shards == 1 {
             // One shard needs no partition copies: share the caller's Arc.
             return ShardedEngine::from_engines(vec![inner.engine(data, strategy)?], Vec::new());
         }
         ShardedEngine::build_with(data, shards, |part| inner.engine(&Arc::new(part), strategy))
+    }
+
+    /// Build as a concrete [`WriteBehindEngine`] with the given merge mode,
+    /// exposing the write path (`insert` / `force_merge`) the boxed trait
+    /// object hides.
+    ///
+    /// The base factory re-runs this spec's base layout (single or sharded)
+    /// at every merge, so a sharded write-behind base is re-partitioned
+    /// over the merged data each cycle.
+    pub fn writebehind_engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+        mode: MergeMode,
+    ) -> Result<WriteBehindEngine<K>, BuildError> {
+        let EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } = *self else {
+            return Err(BuildError::InvalidConfig(
+                "writebehind_engine needs a write-behind spec".into(),
+            ));
+        };
+        let base = EngineSpec::base_spec(shards, inner);
+        let base_factory: BaseFactory<K> =
+            Arc::new(move |d: Arc<SortedData<K>>| base.engine(&d, strategy));
+        WriteBehindEngine::new(
+            Arc::clone(data),
+            base_factory,
+            delta.factory::<K>(),
+            merge_threshold,
+            mode,
+        )
     }
 }
 
@@ -341,6 +473,19 @@ impl Serialize for EngineSpec {
                     ]),
                 ),
             ]),
+            EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } => {
+                Value::Object(vec![
+                    ("family".into(), Value::Str("writebehind".into())),
+                    (
+                        "params".into(),
+                        Value::Object(vec![
+                            ("inner".into(), EngineSpec::base_spec(*shards, *inner).to_value()),
+                            ("delta".into(), Value::Str(delta.token().into())),
+                            ("merge_threshold".into(), Value::UInt(*merge_threshold as u64)),
+                        ]),
+                    ),
+                ])
+            }
         }
     }
 }
@@ -351,22 +496,67 @@ impl Deserialize for EngineSpec {
             .get_field("family")
             .and_then(serde::Value::as_str)
             .ok_or_else(|| serde::Error::custom("spec missing `family`"))?;
-        if family != "sharded" {
-            return IndexSpec::from_value(v).map(EngineSpec::Single);
+        match family {
+            "sharded" => {
+                let params = v
+                    .get_field("params")
+                    .ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+                let shards = params
+                    .get_field("shards")
+                    .and_then(serde::Value::as_u64)
+                    .ok_or_else(|| serde::Error::custom("sharded needs `shards`"))?;
+                if shards == 0 {
+                    return Err(serde::Error::custom("sharded needs `shards` >= 1"));
+                }
+                let inner = params
+                    .get_field("inner")
+                    .ok_or_else(|| serde::Error::custom("sharded needs `inner`"))?;
+                Ok(EngineSpec::Sharded {
+                    shards: shards as usize,
+                    inner: IndexSpec::from_value(inner)?,
+                })
+            }
+            "writebehind" => {
+                let params = v
+                    .get_field("params")
+                    .ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+                let inner_value = params
+                    .get_field("inner")
+                    .ok_or_else(|| serde::Error::custom("writebehind needs `inner`"))?;
+                // The base is itself an engine spec (single or sharded);
+                // nesting another write-behind tier is rejected.
+                let (shards, inner) = match EngineSpec::from_value(inner_value)? {
+                    EngineSpec::Single(spec) => (1, spec),
+                    EngineSpec::Sharded { shards, inner } => (shards, inner),
+                    EngineSpec::WriteBehind { .. } => {
+                        return Err(serde::Error::custom(
+                            "writebehind bases cannot nest another writebehind tier",
+                        ))
+                    }
+                };
+                let delta_token = params
+                    .get_field("delta")
+                    .and_then(serde::Value::as_str)
+                    .ok_or_else(|| serde::Error::custom("writebehind needs `delta`"))?;
+                let delta = DeltaKind::parse(delta_token).ok_or_else(|| {
+                    serde::Error::custom(format!("unknown delta kind `{delta_token}`"))
+                })?;
+                let merge_threshold = params
+                    .get_field("merge_threshold")
+                    .and_then(serde::Value::as_u64)
+                    .ok_or_else(|| serde::Error::custom("writebehind needs `merge_threshold`"))?;
+                if merge_threshold == 0 {
+                    return Err(serde::Error::custom("writebehind needs `merge_threshold` >= 1"));
+                }
+                Ok(EngineSpec::WriteBehind {
+                    shards,
+                    inner,
+                    delta,
+                    merge_threshold: merge_threshold as usize,
+                })
+            }
+            _ => IndexSpec::from_value(v).map(EngineSpec::Single),
         }
-        let params =
-            v.get_field("params").ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
-        let shards = params
-            .get_field("shards")
-            .and_then(serde::Value::as_u64)
-            .ok_or_else(|| serde::Error::custom("sharded needs `shards`"))?;
-        if shards == 0 {
-            return Err(serde::Error::custom("sharded needs `shards` >= 1"));
-        }
-        let inner = params
-            .get_field("inner")
-            .ok_or_else(|| serde::Error::custom("sharded needs `inner`"))?;
-        Ok(EngineSpec::Sharded { shards: shards as usize, inner: IndexSpec::from_value(inner)? })
     }
 }
 
@@ -894,6 +1084,97 @@ mod tests {
         // A single spec builds as one shard.
         let single = EngineSpec::Single(Family::Bs.default_spec::<u64>());
         assert_eq!(single.sharded_engine(&data, SearchStrategy::Binary).unwrap().num_shards(), 1);
+    }
+
+    #[test]
+    fn writebehind_specs_round_trip_and_build() {
+        let inner = Family::Rmi.default_spec::<u64>();
+        for spec in [
+            EngineSpec::WriteBehind {
+                shards: 1,
+                inner,
+                delta: DeltaKind::BTree,
+                merge_threshold: 1024,
+            },
+            EngineSpec::WriteBehind {
+                shards: 4,
+                inner,
+                delta: DeltaKind::Alex,
+                merge_threshold: 64,
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: EngineSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+            assert!(json.contains("\"family\":\"writebehind\""), "{json}");
+            assert!(json.contains("\"merge_threshold\":"), "{json}");
+        }
+        // The documented JSON shape parses, with a sharded base nested as a
+        // full engine spec.
+        let json = "{\"family\":\"writebehind\",\"params\":{\
+                    \"inner\":{\"family\":\"sharded\",\"params\":{\"shards\":2,\
+                    \"inner\":{\"family\":\"BS\",\"params\":{}}}},\
+                    \"delta\":\"btree\",\"merge_threshold\":8}}";
+        let spec: EngineSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            spec,
+            EngineSpec::WriteBehind {
+                shards: 2,
+                inner: IndexSpec::new(IndexParams::Bs),
+                delta: DeltaKind::BTree,
+                merge_threshold: 8,
+            }
+        );
+        // Malformed writebehind specs are rejected.
+        for bad in [
+            "{\"family\":\"writebehind\",\"params\":{}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"nope\",\"merge_threshold\":8}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":0}}",
+        ] {
+            assert!(serde_json::from_str::<EngineSpec>(bad).is_err(), "{bad}");
+        }
+
+        // Build and serve: inserts land in the delta, merges fold them in.
+        let data = Arc::new(SortedData::new((0..20_000u64).map(|i| i * 2).collect()).unwrap());
+        let spec = EngineSpec::WriteBehind {
+            shards: 2,
+            inner: Family::Pgm.default_spec::<u64>(),
+            delta: DeltaKind::BTree,
+            merge_threshold: 100,
+        };
+        let wb = spec
+            .writebehind_engine(&data, SearchStrategy::Binary, sosd_core::MergeMode::Sync)
+            .unwrap();
+        assert_eq!(wb.len(), data.len());
+        for k in 0..250u64 {
+            wb.insert(k * 2 + 1, k);
+        }
+        assert!(wb.merges_completed() >= 2, "got {}", wb.merges_completed());
+        assert_eq!(wb.get(13), Some(6));
+        assert_eq!(wb.get(12), Some(data.payload(6)));
+        assert!(wb.name().starts_with("writebehind["), "{}", wb.name());
+        // The boxed construction serves the same reads.
+        let boxed = spec.engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(boxed.len(), data.len());
+        assert_eq!(boxed.get(12), Some(data.payload(6)));
+        // And non-writebehind specs cannot be built as one.
+        assert!(EngineSpec::Single(inner)
+            .writebehind_engine(&data, SearchStrategy::Binary, sosd_core::MergeMode::Sync)
+            .is_err());
+        assert!(spec.sharded_engine(&data, SearchStrategy::Binary).is_err());
+    }
+
+    #[test]
+    fn every_delta_kind_constructs_and_inserts() {
+        for kind in DeltaKind::ALL {
+            let mut d = kind.make::<u64>();
+            assert_eq!(d.len(), 0, "{}", kind.token());
+            assert_eq!(d.insert(42, 7), None);
+            assert_eq!(d.insert(42, 8), Some(7));
+            assert_eq!(d.get(42), Some(8), "{}", kind.token());
+            assert_eq!(DeltaKind::parse(kind.token()), Some(kind));
+        }
+        assert_eq!(DeltaKind::parse("nope"), None);
     }
 
     #[test]

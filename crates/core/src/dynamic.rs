@@ -4,9 +4,9 @@
 //! obvious next step: "As more learned index structures begin to support
 //! updates [11, 13, 14], a benchmark against traditional indexes (which are
 //! often optimized for updates) could be fruitful." This module provides the
-//! shared interface for that extension: ALEX (`sosd-alex`, ref. [11]), the
-//! dynamic PGM (`sosd-pgm`, ref. [13]), the FITing-Tree (`sosd-fiting`,
-//! ref. [14]), and a dynamic B+Tree baseline (`sosd-btree`) all implement
+//! shared interface for that extension: ALEX (`sosd-alex`, ref. \[11\]), the
+//! dynamic PGM (`sosd-pgm`, ref. \[13\]), the FITing-Tree (`sosd-fiting`,
+//! ref. \[14\]), and a dynamic B+Tree baseline (`sosd-btree`) all implement
 //! [`DynamicOrderedIndex`].
 //!
 //! Unlike the read-only [`crate::Index`] — which maps keys to positions in an
@@ -70,6 +70,46 @@ pub trait DynamicOrderedIndex<K: Key>: Send + Sync {
     /// range-scan workload of LSM-style systems.
     fn range_sum(&self, lo: K, hi: K) -> u64;
 
+    /// Visit every entry with `lo <= key < hi` in ascending key order.
+    ///
+    /// The default implementation bridges through repeated
+    /// [`DynamicOrderedIndex::lower_bound_entry`] probes — one `O(log n)`
+    /// descent per visited entry. Structures with a cheaper successor walk
+    /// (the B+Tree's chained leaves, for instance) override this with one
+    /// descent plus a sequential scan, which is what makes range queries on
+    /// [`crate::DynamicEngine`] and the write-behind delta scan
+    /// `O(log n + m)` instead of `O(m log n)`.
+    ///
+    /// ```
+    /// use sosd_core::testutil::VecMap;
+    /// use sosd_core::DynamicOrderedIndex;
+    ///
+    /// let mut m = VecMap::new();
+    /// for k in [2u64, 5, 8] {
+    ///     m.insert(k, k * 10);
+    /// }
+    /// let mut seen = Vec::new();
+    /// m.for_each_in(3, 9, &mut |k, v| seen.push((k, v)));
+    /// assert_eq!(seen, vec![(5, 50), (8, 80)]);
+    /// ```
+    fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
+        let mut probe = lo;
+        while let Some((k, v)) = self.lower_bound_entry(probe) {
+            if k >= hi {
+                break;
+            }
+            f(k, v);
+            // The checked successor terminates at the type's extreme key; a
+            // raw `from_u64(to_u64() + 1)` would depend on each key width's
+            // overflow behavior (saturation re-probes the same key forever,
+            // truncation jumps backwards).
+            match k.successor() {
+                Some(next) => probe = next,
+                None => break,
+            }
+        }
+    }
+
     /// Table-1-style capability row.
     fn capabilities(&self) -> Capabilities;
 }
@@ -101,6 +141,9 @@ impl<K: Key, D: DynamicOrderedIndex<K> + ?Sized> DynamicOrderedIndex<K> for Box<
     }
     fn range_sum(&self, lo: K, hi: K) -> u64 {
         (**self).range_sum(lo, hi)
+    }
+    fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
+        (**self).for_each_in(lo, hi, f)
     }
     fn capabilities(&self) -> Capabilities {
         (**self).capabilities()
@@ -248,6 +291,22 @@ mod tests {
         assert_eq!(m.lower_bound_entry(0), Some((20, 2)));
         assert_eq!(m.insert(10, 3), None);
         assert_eq!(m.get(10), Some(3));
+    }
+
+    #[test]
+    fn for_each_in_default_visits_in_order_and_terminates_at_max_key() {
+        let mut m = VecMap { entries: vec![] };
+        for k in [3u64, 7, 11, u64::MAX] {
+            m.insert(k, k.wrapping_mul(2));
+        }
+        let mut seen = Vec::new();
+        m.for_each_in(4, 12, &mut |k, v| seen.push((k, v)));
+        assert_eq!(seen, vec![(7, 14), (11, 22)]);
+        // A window reaching the extreme key must terminate (successor of
+        // MAX_KEY is None) and honor the exclusive upper bound.
+        seen.clear();
+        m.for_each_in(0, u64::MAX, &mut |k, v| seen.push((k, v)));
+        assert_eq!(seen, vec![(3, 6), (7, 14), (11, 22)]);
     }
 
     #[test]

@@ -65,6 +65,21 @@ fn prefetch_read<T>(ptr: *const T) {
 /// layer (or the multithreaded throughput harness) shares one engine across
 /// worker threads instead of cloning per-thread state. Write paths on
 /// dynamic structures stay behind `&mut` accessors outside this trait.
+///
+/// ```
+/// use sosd_core::testutil::VecMap;
+/// use sosd_core::{DynamicEngine, DynamicOrderedIndex, QueryEngine};
+///
+/// let mut m = VecMap::new();
+/// for k in [10u64, 20, 30] {
+///     m.insert(k, k * 7);
+/// }
+/// let engine: Box<dyn QueryEngine<u64>> = Box::new(DynamicEngine::new(m));
+/// assert_eq!(engine.get(20), Some(140));
+/// assert_eq!(engine.lower_bound(21), Some((30, 210)));
+/// assert_eq!(engine.range(10, 30), vec![(10, 70), (20, 140)]);
+/// assert_eq!(engine.lookup_batch(&[10, 11]), vec![Some(70), None]);
+/// ```
 pub trait QueryEngine<K: Key>: Send + Sync {
     /// Engine description for result tables (e.g. `"RMI+binary"`).
     fn name(&self) -> String;
@@ -165,6 +180,18 @@ const BATCH_CHUNK: usize = 8;
 ///
 /// The data array is held by `Arc` so many engines (one per index
 /// configuration, as the registry builds them) share one copy.
+///
+/// ```
+/// use sosd_core::testutil::MirrorIndex;
+/// use sosd_core::{QueryEngine, SortedData, StaticEngine};
+/// use std::sync::Arc;
+///
+/// // Duplicate keys are allowed in the static world: get() sums the group.
+/// let data = Arc::new(SortedData::with_payloads(vec![1u64, 3, 3], vec![5, 6, 7]).unwrap());
+/// let engine = StaticEngine::new(MirrorIndex::over(&data), Arc::clone(&data));
+/// assert_eq!(engine.get(3), Some(13));
+/// assert_eq!(engine.range_sum(0, u64::MAX), 18);
+/// ```
 pub struct StaticEngine<K: Key, I: Index<K>> {
     index: I,
     data: Arc<SortedData<K>>,
@@ -287,6 +314,16 @@ impl<K: Key, I: Index<K>> QueryEngine<K> for StaticEngine<K, I> {
 /// [`QueryEngine`] adapter for the dynamic world: any
 /// [`DynamicOrderedIndex`] already maps keys to payloads, so the adapter
 /// only bridges the range queries.
+///
+/// ```
+/// use sosd_core::testutil::VecMap;
+/// use sosd_core::{DynamicEngine, DynamicOrderedIndex, QueryEngine};
+///
+/// let mut engine = DynamicEngine::new(VecMap::new());
+/// engine.inner_mut().insert(5u64, 50); // writes reach through inner_mut
+/// assert_eq!(engine.get(5), Some(50));
+/// assert_eq!(engine.range(0, 10), vec![(5, 50)]);
+/// ```
 pub struct DynamicEngine<K: Key, D: DynamicOrderedIndex<K>> {
     index: D,
     _marker: std::marker::PhantomData<K>,
@@ -336,28 +373,13 @@ impl<K: Key, D: DynamicOrderedIndex<K>> QueryEngine<K> for DynamicEngine<K, D> {
         self.index.lower_bound_entry(key)
     }
 
-    /// Bridged through repeated [`DynamicOrderedIndex::lower_bound_entry`]
-    /// probes — `O(m log n)` for `m` returned entries, since the trait has
-    /// no range-iteration primitive yet. Fine for point-ish windows; a
-    /// leaf-walk primitive on the dynamic trait is the planned fix for
-    /// analytics-sized scans (see ROADMAP).
+    /// Delegates to [`DynamicOrderedIndex::for_each_in`]: structures with a
+    /// successor-walk override (the B+Tree's chained leaves) serve a scan
+    /// with one descent plus a sequential walk; structures without one fall
+    /// back to the trait's `O(m log n)` lower-bound bridge.
     fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
         let mut out = Vec::new();
-        let mut probe = lo;
-        while let Some((k, v)) = self.index.lower_bound_entry(probe) {
-            if k >= hi {
-                break;
-            }
-            out.push((k, v));
-            // The checked successor terminates at the type's extreme key; a
-            // raw `from_u64(to_u64() + 1)` would depend on each key width's
-            // overflow behavior (saturation re-probes the same key forever,
-            // truncation jumps backwards).
-            match k.successor() {
-                Some(next) => probe = next,
-                None => break,
-            }
-        }
+        self.index.for_each_in(lo, hi, &mut |k, v| out.push((k, v)));
         out
     }
 

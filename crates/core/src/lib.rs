@@ -30,6 +30,13 @@
 //! * [`shard`] — key-range sharded serving: [`ShardedEngine`] partitions a
 //!   [`SortedData`] into fence-routed shards, one inner engine each, with
 //!   shard-grouped batches and a scoped-thread parallel batch path.
+//! * [`writebehind`] — the updatable serving tier: [`WriteBehindEngine`]
+//!   layers a bounded mutable delta buffer over any immutable base engine,
+//!   absorbing writes in the delta and folding them into a rebuilt base
+//!   when a size threshold is crossed — synchronously or on a background
+//!   merge thread with an epoch-pointer engine swap.
+//! * [`testutil`] — minimal reference implementations of both interfaces
+//!   for doctests and harness smoke checks.
 
 pub mod bound;
 pub mod builder;
@@ -44,8 +51,10 @@ pub mod search;
 pub mod shard;
 pub mod stats;
 pub mod stride;
+pub mod testutil;
 pub mod trace;
 pub mod util;
+pub mod writebehind;
 
 pub use bound::SearchBound;
 pub use builder::IndexBuilder;
@@ -58,3 +67,4 @@ pub use key::Key;
 pub use search::{LastMileSearch, SearchStrategy};
 pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
 pub use trace::{CountingTracer, NullTracer, Tracer};
+pub use writebehind::{MergeMode, WriteBehindEngine};

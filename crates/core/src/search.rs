@@ -26,7 +26,7 @@ pub enum SearchStrategy {
     /// Exponential (galloping) search from the low end of the bound — the
     /// integration the paper lists as future work (Section 4.2.3).
     Exponential,
-    /// SIP-style interpolation (Van Sandt et al., ref. [30] — the other
+    /// SIP-style interpolation (Van Sandt et al., ref. \[30\] — the other
     /// future-work integration of Section 4.2.3): the interpolation slope is
     /// computed once from the window ends and *reused* for subsequent
     /// probes, with a sequential finish once the expected distance is small
@@ -181,14 +181,14 @@ const SIP_SEQ_CUTOFF: f64 = 16.0;
 /// (the "guard" making the worst case logarithmic).
 const SIP_MAX_PROBES: u32 = 4;
 
-/// SIP-style interpolation search (ref. [30] of the paper).
+/// SIP-style interpolation search (ref. \[30\] of the paper).
 ///
 /// Unlike [`interpolation_search`], which recomputes the slope from the
 /// shrinking window every iteration (two divisions per step), SIP computes
 /// the slope *once* from the initial window ends and reuses it: each probe
 /// moves by `slope * (x - keys[pos])` from the current probe. When the
 /// predicted move is small, a sequential scan finishes; after
-/// [`SIP_MAX_PROBES`] probes a binary search over the narrowed window guards
+/// `SIP_MAX_PROBES` probes a binary search over the narrowed window guards
 /// the worst case.
 #[inline]
 pub fn sip_search<K: Key>(keys: &[K], x: K, bound: SearchBound) -> usize {

@@ -46,6 +46,16 @@ pub const PAR_MIN_KEYS_PER_WORKER: usize = 4096;
 /// the implicit outer boundaries `0` and `keys.len()`. Heavy duplicate runs
 /// can swallow cut points, so the result may hold fewer than `shards - 1`
 /// cuts.
+///
+/// ```
+/// use sosd_core::partition_points;
+///
+/// let keys: Vec<u64> = (0..100).collect();
+/// assert_eq!(partition_points(&keys, 4), vec![25, 50, 75]);
+/// // A duplicate run across a natural cut slides the cut past the run.
+/// let dups = vec![0u64, 1, 5, 5, 5, 5, 5, 9];
+/// assert_eq!(partition_points(&dups, 2), vec![7]);
+/// ```
 pub fn partition_points<K: Key>(keys: &[K], shards: usize) -> Vec<usize> {
     let n = keys.len();
     let shards = shards.max(1).min(n.max(1));
@@ -73,6 +83,23 @@ pub fn partition_points<K: Key>(keys: &[K], shards: usize) -> Vec<usize> {
 /// shard `i + 1`. Construction keeps duplicate runs within one shard, so
 /// every [`QueryEngine`] contract — including the duplicate payload sum of
 /// `get` — holds shard-locally.
+///
+/// ```
+/// use sosd_core::testutil::MirrorIndex;
+/// use sosd_core::{QueryEngine, ShardedEngine, SortedData, StaticEngine};
+/// use std::sync::Arc;
+///
+/// let data = SortedData::new((0..1_000u64).collect()).unwrap();
+/// let engine = ShardedEngine::build_with(&data, 4, |part| {
+///     let idx = MirrorIndex::over(&part);
+///     Ok(Box::new(StaticEngine::new(idx, Arc::new(part))))
+/// })
+/// .unwrap();
+/// assert_eq!(engine.num_shards(), 4);
+/// assert_eq!(engine.fences(), &[250, 500, 750]);
+/// assert_eq!(engine.get(251), engine.shard_engines()[1].get(251)); // routed
+/// assert_eq!(engine.range(249, 252).len(), 3); // stitched across the cut
+/// ```
 pub struct ShardedEngine<K: Key> {
     shards: Vec<Box<dyn QueryEngine<K>>>,
     /// Smallest key of each shard but the first; `len() == shards.len() - 1`.

@@ -1,0 +1,166 @@
+//! Minimal reference implementations of the crate's two index interfaces,
+//! for doctests, unit tests, and harness smoke checks.
+//!
+//! Real index families live in their own crates (which depend on this one),
+//! so examples inside `sosd-core` documentation cannot build an RMI or a
+//! B+Tree. These two structures are the smallest correct stand-ins:
+//! [`MirrorIndex`] answers every [`Index`] probe with the full-array bound
+//! (always valid, never fast), and [`VecMap`] is a sorted-`Vec` ordered map
+//! implementing [`DynamicOrderedIndex`] with `BTreeMap` semantics. Both are
+//! `O(n)`-ish by design — they exist to demonstrate and verify contracts,
+//! not to win benchmarks.
+
+use crate::bound::SearchBound;
+use crate::dynamic::DynamicOrderedIndex;
+use crate::index::{Capabilities, Index, IndexKind};
+use crate::key::Key;
+
+/// An [`Index`] whose every bound is the whole array — trivially correct
+/// over any [`crate::SortedData`], so doctests can wrap it in a
+/// [`crate::StaticEngine`] without building a real model.
+///
+/// ```
+/// use sosd_core::testutil::MirrorIndex;
+/// use sosd_core::{Index, QueryEngine, SortedData, StaticEngine};
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(SortedData::new(vec![1u64, 3, 9]).unwrap());
+/// let engine = StaticEngine::new(MirrorIndex::over(&data), Arc::clone(&data));
+/// assert_eq!(engine.get(9), Some(data.payload(2)));
+/// ```
+pub struct MirrorIndex {
+    n: usize,
+}
+
+impl MirrorIndex {
+    /// A full-scan index over `data` (only the length matters).
+    pub fn over<K: Key>(data: &crate::SortedData<K>) -> Self {
+        MirrorIndex { n: data.len() }
+    }
+
+    /// A full-scan index over an array of `n` records.
+    pub fn with_len(n: usize) -> Self {
+        MirrorIndex { n }
+    }
+}
+
+impl<K: Key> Index<K> for MirrorIndex {
+    fn name(&self) -> &'static str {
+        "Mirror"
+    }
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+    fn search_bound(&self, _key: K) -> SearchBound {
+        SearchBound::full(self.n)
+    }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: false, ordered: true, kind: IndexKind::BinarySearch }
+    }
+}
+
+/// A sorted-`Vec` ordered map: the simplest correct
+/// [`DynamicOrderedIndex`], with `O(n)` inserts and `O(log n)` lookups.
+///
+/// ```
+/// use sosd_core::testutil::VecMap;
+/// use sosd_core::DynamicOrderedIndex;
+///
+/// let mut m = VecMap::new();
+/// assert_eq!(m.insert(5u64, 50), None);
+/// assert_eq!(m.insert(5, 55), Some(50));
+/// assert_eq!(m.get(5), Some(55));
+/// assert_eq!(m.lower_bound_entry(6), None);
+/// ```
+#[derive(Default)]
+pub struct VecMap<K: Key> {
+    entries: Vec<(K, u64)>,
+}
+
+impl<K: Key> VecMap<K> {
+    /// An empty map.
+    pub fn new() -> Self {
+        VecMap { entries: Vec::new() }
+    }
+}
+
+impl<K: Key> DynamicOrderedIndex<K> for VecMap<K> {
+    fn name(&self) -> &'static str {
+        "VecMap"
+    }
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+    fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.capacity() * std::mem::size_of::<(K, u64)>()
+    }
+    fn insert(&mut self, key: K, payload: u64) -> Option<u64> {
+        match self.entries.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, payload)),
+            Err(i) => {
+                self.entries.insert(i, (key, payload));
+                None
+            }
+        }
+    }
+    fn remove(&mut self, key: K) -> Option<u64> {
+        self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries.remove(i).1)
+    }
+    fn get(&self, key: K) -> Option<u64> {
+        self.entries.binary_search_by_key(&key, |e| e.0).ok().map(|i| self.entries[i].1)
+    }
+    fn lower_bound_entry(&self, key: K) -> Option<(K, u64)> {
+        let i = self.entries.partition_point(|e| e.0 < key);
+        self.entries.get(i).copied()
+    }
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.0 >= lo && e.0 < hi)
+            .fold(0u64, |acc, e| acc.wrapping_add(e.1))
+    }
+    fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
+        let start = self.entries.partition_point(|e| e.0 < lo);
+        for &(k, v) in self.entries[start..].iter().take_while(|e| e.0 < hi) {
+            f(k, v);
+        }
+    }
+    fn capabilities(&self) -> Capabilities {
+        Capabilities { updates: true, ordered: true, kind: IndexKind::BinarySearch }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SortedData;
+
+    #[test]
+    fn mirror_index_bounds_are_always_valid() {
+        let data = SortedData::new(vec![1u64, 5, 9]).unwrap();
+        let idx = MirrorIndex::over(&data);
+        for probe in [0u64, 1, 6, 100] {
+            assert!(Index::<u64>::search_bound(&idx, probe).contains(data.lower_bound(probe)));
+        }
+        assert_eq!(Index::<u64>::search_bound(&MirrorIndex::with_len(4), 2u64).hi, 4);
+    }
+
+    #[test]
+    fn vecmap_matches_btreemap_on_a_small_stream() {
+        let mut m = VecMap::new();
+        let mut oracle = std::collections::BTreeMap::new();
+        for i in 0..500u64 {
+            let k = (i * 37) % 113;
+            assert_eq!(m.insert(k, i), oracle.insert(k, i));
+        }
+        for probe in 0..120u64 {
+            assert_eq!(m.get(probe), oracle.get(&probe).copied());
+            assert_eq!(
+                m.lower_bound_entry(probe),
+                oracle.range(probe..).next().map(|(&k, &v)| (k, v))
+            );
+        }
+        assert_eq!(m.remove(37), oracle.remove(&37));
+        assert_eq!(m.len(), oracle.len());
+    }
+}

@@ -1,0 +1,811 @@
+//! Write-behind serving: an immutable base engine plus a bounded delta
+//! buffer, merged in the background.
+//!
+//! The paper's updatable-index experiments show learned structures losing
+//! to B-trees under writes because every insert disturbs the model;
+//! LSM-style systems sidestep this by keeping learned indexes over
+//! **immutable** sorted runs and absorbing writes in a small mutable tier.
+//! [`WriteBehindEngine`] is that architecture as a [`QueryEngine`]:
+//!
+//! * **Writes** go to a mutable *delta* — any [`DynamicOrderedIndex`] —
+//!   so the base index is never retrained on the write path.
+//! * **Reads** merge delta-over-base: point lookups probe the delta first,
+//!   ordered queries stitch a two-way merge, and batched lookups partition
+//!   keys so the base's interleaved-prefetch path still fires for the
+//!   (usually large) non-deltaed majority.
+//! * **Merges** rebuild the base from its [`SortedData`] plus the drained
+//!   delta when the delta crosses a size threshold — synchronously
+//!   ([`MergeMode::Sync`]) or on a background thread
+//!   ([`MergeMode::Background`]).
+//!
+//! # The epoch pointer
+//!
+//! Each merge produces a new immutable *generation* (rebuilt data + rebuilt
+//! engine) held in an `Arc`. Readers snapshot the current generation with
+//! one `Arc` clone and run against it lock-free; the merge builds the next
+//! generation entirely outside any lock and publishes it with an O(1)
+//! pointer swap. The pointer lives behind an `RwLock` (std has no atomic
+//! `Arc` swap), but the write lock is held only for the two O(1) pointer
+//! moves of the cycle — the freeze handoff and the swap — never for the
+//! drain or rebuild, so readers can only ever block for a pointer store,
+//! and a generation's memory is reclaimed when its last in-flight reader
+//! drops its `Arc` (epoch-style reclamation by refcount).
+//!
+//! # Consistency
+//!
+//! A merge cycle touches the state lock twice, O(1) each time: the
+//! *freeze* moves the whole active delta behind the frozen pointer (no
+//! entry is copied under the lock; the drain into a sorted snapshot reads
+//! the now-immutable frozen tier outside it) and installs a fresh active
+//! delta; the *swap* installs the merged base and clears the frozen
+//! pointer in one critical section. A reader therefore always observes one
+//! of two coherent states — old base + frozen entries, or merged base +
+//! empty frozen — never a window where drained entries are in neither
+//! tier. Inserts arriving mid-merge land in the fresh active delta and
+//! survive the swap untouched.
+
+use crate::data::SortedData;
+use crate::dynamic::DynamicOrderedIndex;
+use crate::engine::QueryEngine;
+use crate::error::BuildError;
+use crate::key::Key;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Builds the immutable base engine over a (rebuilt) data array — called
+/// once at construction and once per merge. Any [`QueryEngine`] works: a
+/// plain `StaticEngine`, a `ShardedEngine`, or another compositor.
+pub type BaseFactory<K> =
+    Arc<dyn Fn(Arc<SortedData<K>>) -> Result<Box<dyn QueryEngine<K>>, BuildError> + Send + Sync>;
+
+/// Creates an empty delta buffer — called at construction and every time
+/// the active delta is frozen for a merge.
+pub type DeltaFactory<K> = Arc<dyn Fn() -> Box<dyn DynamicOrderedIndex<K>> + Send + Sync>;
+
+/// When the merge rebuild runs relative to the insert that triggered it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// The triggering insert blocks until the rebuilt base is installed —
+    /// simple, deterministic, and the right choice for single-threaded
+    /// harnesses and tests.
+    Sync,
+    /// The rebuild runs on a spawned thread; the triggering insert returns
+    /// immediately and readers keep serving from the old generation plus
+    /// the frozen delta until the O(1) swap.
+    Background,
+}
+
+/// One immutable base generation: the engine and the data it was built
+/// over (kept so the next merge can rebuild from it).
+struct Generation<K: Key> {
+    engine: Box<dyn QueryEngine<K>>,
+    data: Arc<SortedData<K>>,
+    /// Monotone generation counter (0 = the initial build).
+    epoch: u64,
+}
+
+/// Everything a reader needs one coherent view of: the current generation
+/// pointer, the mutable active delta, and the frozen (mid-merge) delta.
+struct State<K: Key> {
+    generation: Arc<Generation<K>>,
+    active: Box<dyn DynamicOrderedIndex<K>>,
+    /// A previous active delta, moved here wholesale (an O(1) pointer
+    /// handoff) when its merge began and not yet folded into the base.
+    /// `None` except while a merge is in flight. Shared with the merge
+    /// thread, which drains it outside the state lock.
+    frozen: Option<Arc<dyn DynamicOrderedIndex<K>>>,
+}
+
+impl<K: Key> State<K> {
+    fn frozen_get(&self, key: K) -> Option<u64> {
+        self.frozen.as_ref().and_then(|f| f.get(key))
+    }
+
+    /// Payload visible for `key` in the delta tiers (active wins over
+    /// frozen), or `None` when only the base can answer.
+    fn delta_get(&self, key: K) -> Option<u64> {
+        self.active.get(key).or_else(|| self.frozen_get(key))
+    }
+
+    /// Delta entries in `[lo, hi)`, active merged over frozen, sorted and
+    /// unique.
+    fn delta_range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        let mut active = Vec::new();
+        self.active.for_each_in(lo, hi, &mut |k, v| active.push((k, v)));
+        let Some(frozen) = &self.frozen else {
+            return active;
+        };
+        let mut older = Vec::new();
+        frozen.for_each_in(lo, hi, &mut |k, v| older.push((k, v)));
+        merge_newer_over_older(&active, &older)
+    }
+}
+
+/// Merge two sorted unique runs; on equal keys the `newer` entry wins.
+fn merge_newer_over_older<K: Key>(newer: &[(K, u64)], older: &[(K, u64)]) -> Vec<(K, u64)> {
+    let mut out = Vec::with_capacity(newer.len() + older.len());
+    let mut i = 0;
+    for &(k, v) in newer {
+        while i < older.len() && older[i].0 < k {
+            out.push(older[i]);
+            i += 1;
+        }
+        if i < older.len() && older[i].0 == k {
+            i += 1;
+        }
+        out.push((k, v));
+    }
+    out.extend_from_slice(&older[i..]);
+    out
+}
+
+/// Merge sorted unique `delta` entries over `base` records: a delta entry
+/// replaces the *whole duplicate group* of its key (matching the engine's
+/// overwrite semantics, where a deltaed key's payload shadows the base's
+/// duplicate sum).
+fn merge_delta_over_base<K: Key>(base: &SortedData<K>, delta: &[(K, u64)]) -> SortedData<K> {
+    let bk = base.keys();
+    let bp = base.payloads();
+    let mut keys = Vec::with_capacity(bk.len() + delta.len());
+    let mut payloads = Vec::with_capacity(bk.len() + delta.len());
+    let mut i = 0;
+    for &(dk, dv) in delta {
+        while i < bk.len() && bk[i] < dk {
+            keys.push(bk[i]);
+            payloads.push(bp[i]);
+            i += 1;
+        }
+        while i < bk.len() && bk[i] == dk {
+            i += 1; // shadowed duplicate group
+        }
+        keys.push(dk);
+        payloads.push(dv);
+    }
+    keys.extend_from_slice(&bk[i..]);
+    payloads.extend_from_slice(&bp[i..]);
+    SortedData::with_payloads(keys, payloads).expect("two-way merge preserves order")
+}
+
+/// The pieces shared between the engine handle and a background merge
+/// thread.
+struct Shared<K: Key> {
+    state: RwLock<State<K>>,
+    base_factory: BaseFactory<K>,
+    delta_factory: DeltaFactory<K>,
+    merge_threshold: usize,
+    /// True while one merge (freeze → rebuild → swap) is in flight; at
+    /// most one runs at a time.
+    merging: AtomicBool,
+    merges: AtomicU64,
+    failed_merges: AtomicU64,
+    /// Exact number of entries a full range scan returns right now: a
+    /// delta write that shadows a base duplicate group collapses the whole
+    /// group to one visible entry. Updated incrementally on insert, under
+    /// the state write lock. The merge swap leaves it untouched — folding
+    /// the frozen tier into the base neither hides nor exposes entries, so
+    /// the count is invariant across the swap.
+    visible_len: AtomicUsize,
+}
+
+/// Clears the `merging` flag when the merge cycle ends — including by
+/// panic (a panicking user factory must not permanently wedge merging; the
+/// poisoned state lock will still surface the failure loudly).
+struct MergeFlagGuard<'a>(&'a AtomicBool);
+
+impl Drop for MergeFlagGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl<K: Key> Shared<K> {
+    /// The full merge cycle. Caller must have won the `merging` flag; it is
+    /// cleared on every exit path (normal, empty-delta, failed, panicked).
+    fn run_merge(&self) {
+        let _flag = MergeFlagGuard(&self.merging);
+        // Freeze: move the whole active delta behind the frozen pointer (an
+        // O(1) handoff — no entry is copied under the lock) and start a
+        // fresh active delta. Readers see the frozen entries through the
+        // shared pointer for the whole rebuild.
+        let (frozen, generation) = {
+            let mut st = self.state.write().expect("writebehind state lock");
+            debug_assert!(st.frozen.is_none(), "merge started with a frozen tier in place");
+            if st.active.is_empty() {
+                return;
+            }
+            let full = std::mem::replace(&mut st.active, (self.delta_factory)());
+            let frozen: Arc<dyn DynamicOrderedIndex<K>> = Arc::from(full);
+            st.frozen = Some(Arc::clone(&frozen));
+            (frozen, Arc::clone(&st.generation))
+        };
+
+        // Drain and rebuild outside every lock: readers keep serving old
+        // base + frozen, writers keep filling the new active delta.
+        let mut snapshot = Vec::with_capacity(frozen.len());
+        frozen.for_each_in(K::MIN_KEY, K::MAX_KEY, &mut |k, v| snapshot.push((k, v)));
+        // `for_each_in` is half-open, so the extreme key needs one probe.
+        if let Some(v) = frozen.get(K::MAX_KEY) {
+            snapshot.push((K::MAX_KEY, v));
+        }
+        let merged = Arc::new(merge_delta_over_base(&generation.data, &snapshot));
+        match (self.base_factory)(Arc::clone(&merged)) {
+            Ok(engine) => {
+                let next =
+                    Arc::new(Generation { engine, data: merged, epoch: generation.epoch + 1 });
+                // The O(1) swap: install the merged generation and clear
+                // the frozen tier in one critical section, so no reader can
+                // observe the drained entries in neither tier. The visible
+                // count is invariant here: entries the frozen tier shadowed
+                // are exactly the ones the merge collapsed.
+                let mut st = self.state.write().expect("writebehind state lock");
+                st.generation = next;
+                st.frozen = None;
+                self.merges.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                // Roll back: fold the snapshot into the active delta (newer
+                // active entries win) so nothing is lost, and retry on the
+                // next threshold crossing. The visible count is invariant
+                // here too — the fold only restores entries the frozen tier
+                // already made visible.
+                let mut st = self.state.write().expect("writebehind state lock");
+                for &(k, v) in snapshot.iter() {
+                    if st.active.get(k).is_none() {
+                        st.active.insert(k, v);
+                    }
+                }
+                st.frozen = None;
+                self.failed_merges.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[writebehind] merge rebuild failed, delta retained: {e}");
+            }
+        }
+    }
+}
+
+/// A [`QueryEngine`] over an immutable base plus a bounded mutable delta,
+/// with threshold-triggered merges — the write-behind serving tier.
+///
+/// Construction takes two factories: one that (re)builds the base engine
+/// over a data array, and one that creates empty delta buffers. The base
+/// factory runs at every merge, so it can build anything from a single
+/// `StaticEngine` to a full `ShardedEngine`.
+///
+/// ```
+/// use sosd_core::testutil::{MirrorIndex, VecMap};
+/// use sosd_core::writebehind::{MergeMode, WriteBehindEngine};
+/// use sosd_core::{QueryEngine, SortedData, StaticEngine};
+/// use std::sync::Arc;
+///
+/// let data = Arc::new(SortedData::with_payloads(vec![10u64, 20, 30], vec![1, 2, 3]).unwrap());
+/// let engine = WriteBehindEngine::new(
+///     data,
+///     Arc::new(|d: Arc<SortedData<u64>>| {
+///         Ok(Box::new(StaticEngine::new(MirrorIndex::over(&d), d)) as Box<dyn QueryEngine<u64>>)
+///     }),
+///     Arc::new(|| Box::new(VecMap::new()) as _),
+///     2, // merge once the delta holds two entries
+///     MergeMode::Sync,
+/// )
+/// .unwrap();
+///
+/// assert_eq!(engine.insert(15, 99), None); // held in the delta
+/// assert_eq!(engine.get(15), Some(99));
+/// assert_eq!(engine.insert(20, 7), Some(2)); // overwrite of a base record
+/// engine.wait_for_merges();
+/// assert_eq!(engine.merges_completed(), 1); // threshold crossed => merged
+/// assert_eq!(engine.delta_len(), 0);
+/// assert_eq!(engine.range(10, 31), vec![(10, 1), (15, 99), (20, 7), (30, 3)]);
+/// ```
+pub struct WriteBehindEngine<K: Key> {
+    shared: Arc<Shared<K>>,
+    mode: MergeMode,
+    /// Handle of the most recent background merge thread, joined before
+    /// the next spawn and on drop.
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<K: Key> WriteBehindEngine<K> {
+    /// Build the initial base over `data` and start with an empty delta.
+    ///
+    /// `merge_threshold` is the active-delta entry count that triggers a
+    /// merge; it must be at least 1.
+    pub fn new(
+        data: Arc<SortedData<K>>,
+        base_factory: BaseFactory<K>,
+        delta_factory: DeltaFactory<K>,
+        merge_threshold: usize,
+        mode: MergeMode,
+    ) -> Result<Self, BuildError> {
+        if merge_threshold == 0 {
+            return Err(BuildError::InvalidConfig("merge threshold must be >= 1".into()));
+        }
+        let engine = (base_factory)(Arc::clone(&data))?;
+        let visible = data.len();
+        let state = State {
+            generation: Arc::new(Generation { engine, data, epoch: 0 }),
+            active: (delta_factory)(),
+            frozen: None,
+        };
+        Ok(WriteBehindEngine {
+            shared: Arc::new(Shared {
+                state: RwLock::new(state),
+                base_factory,
+                delta_factory,
+                merge_threshold,
+                merging: AtomicBool::new(false),
+                merges: AtomicU64::new(0),
+                failed_merges: AtomicU64::new(0),
+                visible_len: AtomicUsize::new(visible),
+            }),
+            mode,
+            worker: Mutex::new(None),
+        })
+    }
+
+    /// Insert (or overwrite) `key` in the delta, returning the previously
+    /// *visible* payload — the delta entry if one existed, otherwise the
+    /// base's [`QueryEngine::get`] answer (the duplicate-group sum on
+    /// duplicated base keys, located directly in the generation's data
+    /// array — no base index probe on the write path).
+    ///
+    /// Crossing the merge threshold triggers a merge: inline under
+    /// [`MergeMode::Sync`], on a spawned thread under
+    /// [`MergeMode::Background`] (at most one in flight; further inserts
+    /// keep landing in the fresh active delta meanwhile).
+    pub fn insert(&self, key: K, payload: u64) -> Option<u64> {
+        let (prev, crossed) = {
+            let mut st = self.shared.state.write().expect("writebehind state lock");
+            let prev = match st.active.insert(key, payload).or_else(|| st.frozen_get(key)) {
+                Some(v) => Some(v), // already shadowed: visibility unchanged
+                None => {
+                    // First shadow of this key: the base's duplicate group
+                    // (if any) collapses to this one visible entry.
+                    let data = &st.generation.data;
+                    let start = data.lower_bound(key);
+                    let prev_base = data.payload_sum_from(key, start);
+                    match data.keys()[start..].iter().take_while(|&&x| x == key).count() {
+                        0 => {
+                            self.shared.visible_len.fetch_add(1, Ordering::Relaxed);
+                        }
+                        g => {
+                            self.shared.visible_len.fetch_sub(g - 1, Ordering::Relaxed);
+                        }
+                    }
+                    prev_base
+                }
+            };
+            (prev, st.active.len() >= self.shared.merge_threshold)
+        };
+        if crossed {
+            self.trigger_merge();
+        }
+        prev
+    }
+
+    /// Force a merge now (if one is not already running), regardless of
+    /// the threshold. Respects the engine's [`MergeMode`].
+    pub fn force_merge(&self) {
+        self.trigger_merge();
+    }
+
+    /// Block until no merge is in flight (joins the background worker).
+    pub fn wait_for_merges(&self) {
+        if let Some(handle) = self.worker.lock().expect("worker slot").take() {
+            if handle.join().is_err() {
+                // The merge thread panicked (e.g. inside a user-supplied
+                // factory): it never reached its flag clear, so clear it
+                // here rather than spinning forever. State-lock users will
+                // surface the poisoning loudly on their next access.
+                self.shared.merging.store(false, Ordering::Release);
+            }
+        }
+        while self.shared.merging.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Number of merges completed since construction.
+    pub fn merges_completed(&self) -> u64 {
+        self.shared.merges.load(Ordering::Relaxed)
+    }
+
+    /// Number of merge rebuilds that failed (delta rolled back, retried on
+    /// the next threshold crossing).
+    pub fn failed_merges(&self) -> u64 {
+        self.shared.failed_merges.load(Ordering::Relaxed)
+    }
+
+    /// True while a merge (freeze → rebuild → swap) is in flight.
+    pub fn is_merging(&self) -> bool {
+        self.shared.merging.load(Ordering::Acquire)
+    }
+
+    /// Entries currently buffered outside the base (active + frozen).
+    pub fn delta_len(&self) -> usize {
+        let st = self.shared.state.read().expect("writebehind state lock");
+        st.active.len() + st.frozen.as_ref().map_or(0, |f| f.len())
+    }
+
+    /// Records in the current base generation.
+    pub fn base_len(&self) -> usize {
+        self.shared.state.read().expect("writebehind state lock").generation.data.len()
+    }
+
+    /// The current generation counter (0 = initial build; each completed
+    /// merge increments it).
+    pub fn epoch(&self) -> u64 {
+        self.shared.state.read().expect("writebehind state lock").generation.epoch
+    }
+
+    /// The configured merge threshold.
+    pub fn merge_threshold(&self) -> usize {
+        self.shared.merge_threshold
+    }
+
+    /// Win the merge flag and run (or spawn) the merge.
+    fn trigger_merge(&self) {
+        if self
+            .shared
+            .merging
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // a merge is already in flight
+        }
+        match self.mode {
+            MergeMode::Sync => self.shared.run_merge(),
+            MergeMode::Background => {
+                let mut slot = self.worker.lock().expect("worker slot");
+                // The previous worker finished (we won the flag); reap it.
+                // A panicked worker is reported by the join and must not
+                // stop the next cycle from spawning.
+                if let Some(handle) = slot.take() {
+                    let _ = handle.join();
+                }
+                let shared = Arc::clone(&self.shared);
+                *slot = Some(std::thread::spawn(move || shared.run_merge()));
+            }
+        }
+    }
+}
+
+impl<K: Key> Drop for WriteBehindEngine<K> {
+    fn drop(&mut self) {
+        self.wait_for_merges();
+    }
+}
+
+impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
+    fn name(&self) -> String {
+        let st = self.shared.state.read().expect("writebehind state lock");
+        format!("writebehind[{}+{}]", st.generation.engine.name(), st.active.name())
+    }
+
+    /// The number of visible entries: delta overwrites don't double-count,
+    /// and a delta write shadowing a base duplicate group counts the group
+    /// as one entry. Equals the length of a full [`QueryEngine::range`]
+    /// scan, except that an entry at [`Key::MAX_KEY`] is counted here but
+    /// unreachable by any half-open range (`hi` is exclusive).
+    fn len(&self) -> usize {
+        self.shared.visible_len.load(Ordering::Relaxed)
+    }
+
+    fn size_bytes(&self) -> usize {
+        let st = self.shared.state.read().expect("writebehind state lock");
+        st.generation.engine.size_bytes()
+            + st.active.size_bytes()
+            + st.frozen.as_ref().map_or(0, |f| f.size_bytes())
+    }
+
+    /// Delta first (a deltaed key's payload shadows the base, including any
+    /// base duplicate group), then the snapshotted base generation —
+    /// probed outside the state lock.
+    fn get(&self, key: K) -> Option<u64> {
+        let generation = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            if let Some(v) = st.delta_get(key) {
+                return Some(v);
+            }
+            Arc::clone(&st.generation)
+        };
+        generation.engine.get(key)
+    }
+
+    fn lower_bound(&self, key: K) -> Option<(K, u64)> {
+        let (delta, generation) = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            let active = st.active.lower_bound_entry(key);
+            let frozen = st.frozen.as_ref().and_then(|f| f.lower_bound_entry(key));
+            // Active wins frozen on ties (it is newer).
+            let delta = match (active, frozen) {
+                (Some(a), Some(f)) => Some(if f.0 < a.0 { f } else { a }),
+                (a, f) => a.or(f),
+            };
+            (delta, Arc::clone(&st.generation))
+        };
+        let base = generation.engine.lower_bound(key);
+        // The delta entry wins a key tie: its write shadows the base
+        // record(s). A strictly smaller base key cannot be shadowed, since
+        // any delta entry for it would itself be a >= key candidate.
+        match (delta, base) {
+            (Some(d), Some(b)) => Some(if b.0 < d.0 { b } else { d }),
+            (d, b) => d.or(b),
+        }
+    }
+
+    /// Two-way merge of the base range and the delta range; delta entries
+    /// replace the whole base duplicate group of their key.
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let (delta, generation) = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            (st.delta_range(lo, hi), Arc::clone(&st.generation))
+        };
+        let base = generation.engine.range(lo, hi);
+        if delta.is_empty() {
+            return base;
+        }
+        let mut out = Vec::with_capacity(base.len() + delta.len());
+        let mut i = 0;
+        for (dk, dv) in delta {
+            while i < base.len() && base[i].0 < dk {
+                out.push(base[i]);
+                i += 1;
+            }
+            while i < base.len() && base[i].0 == dk {
+                i += 1; // shadowed duplicate group
+            }
+            out.push((dk, dv));
+        }
+        out.extend_from_slice(&base[i..]);
+        out
+    }
+
+    /// Partitioned batch execution: delta hits are answered inline under
+    /// one read-lock acquisition (so the whole batch sees a single coherent
+    /// delta state), and the remaining keys — the non-deltaed majority in a
+    /// read-mostly workload — go to the snapshotted base's own `get_batch`,
+    /// keeping its interleaved-prefetch override on the hot path.
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        if keys.is_empty() {
+            return;
+        }
+        let start = out.len();
+        out.resize(start + keys.len(), None);
+        let mut base_keys = Vec::new();
+        let mut base_slots = Vec::new();
+        let generation = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            for (i, &k) in keys.iter().enumerate() {
+                match st.delta_get(k) {
+                    Some(v) => out[start + i] = Some(v),
+                    None => {
+                        base_keys.push(k);
+                        base_slots.push(i);
+                    }
+                }
+            }
+            Arc::clone(&st.generation)
+        };
+        if base_keys.is_empty() {
+            return;
+        }
+        let mut base_results = Vec::with_capacity(base_keys.len());
+        generation.engine.get_batch(&base_keys, &mut base_results);
+        for (r, &i) in base_results.iter().zip(&base_slots) {
+            out[start + i] = *r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::StaticEngine;
+    use crate::testutil::{MirrorIndex, VecMap};
+    use std::collections::BTreeMap;
+
+    fn mirror_factory() -> BaseFactory<u64> {
+        Arc::new(|d: Arc<SortedData<u64>>| {
+            Ok(Box::new(StaticEngine::new(MirrorIndex::over(&d), d)) as Box<dyn QueryEngine<u64>>)
+        })
+    }
+
+    fn vecmap_factory() -> DeltaFactory<u64> {
+        Arc::new(|| Box::new(VecMap::new()) as Box<dyn DynamicOrderedIndex<u64>>)
+    }
+
+    fn engine(keys: Vec<u64>, threshold: usize, mode: MergeMode) -> WriteBehindEngine<u64> {
+        let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(3) ^ 0xA5).collect();
+        let data = Arc::new(SortedData::with_payloads(keys, payloads).unwrap());
+        WriteBehindEngine::new(data, mirror_factory(), vecmap_factory(), threshold, mode).unwrap()
+    }
+
+    #[test]
+    fn zero_threshold_is_rejected() {
+        let data = Arc::new(SortedData::new(vec![1u64]).unwrap());
+        assert!(WriteBehindEngine::new(
+            data,
+            mirror_factory(),
+            vecmap_factory(),
+            0,
+            MergeMode::Sync
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reads_merge_delta_over_base() {
+        let e = engine(vec![10, 20, 30], 100, MergeMode::Sync);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.insert(15, 1), None);
+        assert_eq!(e.insert(20, 2), Some(20u64.wrapping_mul(3) ^ 0xA5));
+        assert_eq!(e.len(), 4, "overwrite of a base key must not grow len");
+        assert_eq!(e.get(15), Some(1));
+        assert_eq!(e.get(20), Some(2));
+        assert_eq!(e.get(10), Some(10u64.wrapping_mul(3) ^ 0xA5));
+        assert_eq!(e.get(11), None);
+        assert_eq!(e.lower_bound(11), Some((15, 1)));
+        assert_eq!(e.lower_bound(16), Some((20, 2)), "delta overwrite wins the tie");
+        assert_eq!(e.range(10, 31).iter().map(|e| e.0).collect::<Vec<_>>(), vec![10, 15, 20, 30]);
+        assert_eq!(e.merges_completed(), 0, "threshold not crossed");
+        assert_eq!(e.epoch(), 0);
+    }
+
+    #[test]
+    fn sync_merge_drains_delta_into_base() {
+        let e = engine((0..100).map(|i| i * 10).collect(), 4, MergeMode::Sync);
+        for k in [5u64, 15, 25, 35] {
+            e.insert(k, k + 1);
+        }
+        assert_eq!(e.merges_completed(), 1);
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.delta_len(), 0);
+        assert_eq!(e.base_len(), 104);
+        for k in [5u64, 15, 25, 35] {
+            assert_eq!(e.get(k), Some(k + 1), "merged entry {k}");
+        }
+        assert_eq!(e.len(), 104);
+    }
+
+    #[test]
+    fn merged_base_shadows_duplicate_groups() {
+        // Base has a duplicate run at key 7; a delta overwrite must replace
+        // the whole group both before and after the merge.
+        let data = Arc::new(
+            SortedData::with_payloads(vec![5u64, 7, 7, 7, 9], vec![1, 10, 100, 1000, 5]).unwrap(),
+        );
+        let e =
+            WriteBehindEngine::new(data, mirror_factory(), vecmap_factory(), 10, MergeMode::Sync)
+                .unwrap();
+        assert_eq!(e.get(7), Some(1110), "duplicate sum before any write");
+        assert_eq!(e.insert(7, 42), Some(1110), "prior visible payload is the group sum");
+        assert_eq!(e.get(7), Some(42));
+        assert_eq!(e.len(), 3, "the shadowed group collapses to one visible entry");
+        assert_eq!(e.range(5, 10), vec![(5, 1), (7, 42), (9, 5)]);
+        assert_eq!(e.range(5, 10).len(), e.len(), "len matches a full scan");
+        e.force_merge();
+        assert_eq!(e.merges_completed(), 1);
+        assert_eq!(e.base_len(), 3, "merge collapsed the shadowed group");
+        assert_eq!(e.get(7), Some(42));
+        assert_eq!(e.range(5, 10), vec![(5, 1), (7, 42), (9, 5)]);
+    }
+
+    #[test]
+    fn max_key_entries_survive_the_merge_drain() {
+        let e = engine(vec![10, 20], 100, MergeMode::Sync);
+        e.insert(u64::MAX, 77);
+        e.force_merge();
+        assert_eq!(e.merges_completed(), 1);
+        assert_eq!(e.delta_len(), 0);
+        assert_eq!(e.get(u64::MAX), Some(77));
+        assert_eq!(e.lower_bound(u64::MAX), Some((u64::MAX, 77)));
+    }
+
+    #[test]
+    fn batch_partitions_between_delta_and_base() {
+        let e = engine((0..1000).map(|i| i * 2).collect(), 1_000_000, MergeMode::Sync);
+        for k in (1..200u64).step_by(2) {
+            e.insert(k, k * 100);
+        }
+        let probes: Vec<u64> = (0..400u64).collect();
+        let batched = e.lookup_batch(&probes);
+        for (&p, got) in probes.iter().zip(&batched) {
+            assert_eq!(*got, e.get(p), "batch diverges from get at {p}");
+        }
+    }
+
+    #[test]
+    fn oracle_interleaved_with_forced_merges() {
+        let base_keys: Vec<u64> = (0..500).map(|i| i * 7).collect();
+        let e = engine(base_keys.clone(), 64, MergeMode::Sync);
+        let mut oracle: BTreeMap<u64, u64> =
+            base_keys.iter().map(|&k| (k, k.wrapping_mul(3) ^ 0xA5)).collect();
+        let mut x = 12345u64;
+        for step in 0..2_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 4_000;
+            let v = x >> 32;
+            assert_eq!(e.insert(k, v), oracle.insert(k, v), "insert {k} at step {step}");
+            if step % 97 == 0 {
+                let probe = (x >> 16) % 4_100;
+                assert_eq!(e.get(probe), oracle.get(&probe).copied(), "get {probe}");
+                let lo = probe.saturating_sub(300);
+                let want: Vec<(u64, u64)> =
+                    oracle.range(lo..probe).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(e.range(lo, probe), want, "range [{lo}, {probe})");
+            }
+        }
+        assert!(e.merges_completed() >= 3, "expected several merge cycles");
+        assert_eq!(e.len(), oracle.len());
+        let all: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(e.range(0, u64::MAX), all);
+    }
+
+    #[test]
+    fn background_merges_complete_and_agree_with_oracle() {
+        let e = engine((0..200).map(|i| i * 5).collect(), 32, MergeMode::Background);
+        let mut oracle: BTreeMap<u64, u64> =
+            (0..200u64).map(|i| (i * 5, (i * 5).wrapping_mul(3) ^ 0xA5)).collect();
+        for round in 0..4u64 {
+            for j in 0..40u64 {
+                let k = round * 1_000 + j * 3 + 1;
+                assert_eq!(e.insert(k, k), oracle.insert(k, k));
+            }
+            e.wait_for_merges();
+        }
+        assert!(e.merges_completed() >= 3, "got {}", e.merges_completed());
+        assert_eq!(e.delta_len(), 0);
+        for (&k, &v) in &oracle {
+            assert_eq!(e.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(e.len(), oracle.len());
+    }
+
+    #[test]
+    fn failed_rebuild_rolls_the_delta_back() {
+        use std::sync::atomic::AtomicU32;
+        let fail_after = Arc::new(AtomicU32::new(1));
+        let fa = Arc::clone(&fail_after);
+        let factory: BaseFactory<u64> = Arc::new(move |d: Arc<SortedData<u64>>| {
+            if fa.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1)).is_err() {
+                return Err(BuildError::InvalidConfig("injected".into()));
+            }
+            Ok(Box::new(StaticEngine::new(MirrorIndex::over(&d), d)) as Box<dyn QueryEngine<u64>>)
+        });
+        let data = Arc::new(SortedData::new(vec![10u64, 20, 30]).unwrap());
+        let e =
+            WriteBehindEngine::new(data, factory, vecmap_factory(), 100, MergeMode::Sync).unwrap();
+        e.insert(15, 1);
+        e.insert(25, 2);
+        e.force_merge(); // rebuild fails: budget of 1 was spent at construction
+        assert_eq!(e.failed_merges(), 1);
+        assert_eq!(e.merges_completed(), 0);
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.get(15), Some(1), "rolled-back entry still visible");
+        assert_eq!(e.get(25), Some(2));
+        assert_eq!(e.delta_len(), 2);
+        // Allow the next rebuild: the retry succeeds and drains the delta.
+        fail_after.store(1, Ordering::SeqCst);
+        e.force_merge();
+        assert_eq!(e.merges_completed(), 1);
+        assert_eq!(e.delta_len(), 0);
+        assert_eq!(e.get(15), Some(1));
+    }
+
+    #[test]
+    fn metadata_reflects_both_tiers() {
+        let e = engine(vec![1, 2, 3], 100, MergeMode::Sync);
+        assert!(e.name().starts_with("writebehind[Mirror+"));
+        assert_eq!(e.merge_threshold(), 100);
+        let before = e.size_bytes();
+        for k in 10..200u64 {
+            e.insert(k, k);
+        }
+        assert!(e.size_bytes() > before, "delta growth must show in size_bytes");
+        assert!(!e.is_merging());
+    }
+}

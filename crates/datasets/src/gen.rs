@@ -169,7 +169,7 @@ pub fn lognormal(n: usize, seed: u64) -> Vec<u64> {
     )
 }
 
-/// Single normal synthetic dataset: the remaining SOSD [17] synthetic
+/// Single normal synthetic dataset: the remaining SOSD \[17\] synthetic
 /// shape — a symmetric unimodal CDF that learned models fit almost
 /// perfectly (the "drawn from a known distribution" case the paper's
 /// Section 4.1.2 warns about).

@@ -41,7 +41,7 @@ impl DatasetId {
         DatasetId::Normal,
     ];
 
-    /// The synthetic datasets (SOSD ref. [17] shapes), in difficulty order.
+    /// The synthetic datasets (SOSD ref. \[17\] shapes), in difficulty order.
     pub const SYNTHETIC: [DatasetId; 4] = [
         DatasetId::UniformDense,
         DatasetId::Normal,

@@ -1,6 +1,6 @@
 //! The insert-supporting FITing-Tree (delta-insert strategy).
 //!
-//! Ref. [14] proposes two insert strategies; this is the *delta* one: every
+//! Ref. \[14\] proposes two insert strategies; this is the *delta* one: every
 //! segment carries a small sorted buffer of pending inserts. Lookups consult
 //! the buffer alongside the segment's main (model-indexed) data. When a
 //! buffer overflows, the segment merges its buffer into its data and re-runs
@@ -208,7 +208,7 @@ impl<K: Key> Segment<K> {
     }
 }
 
-/// The delta-insert FITing-Tree (ref. [14]).
+/// The delta-insert FITing-Tree (ref. \[14\]).
 pub struct DynamicFitingTree<K: Key> {
     /// Parallel to `segments`: `dir_keys[i] == segments[i].domain_key`.
     dir_keys: Vec<K>,

@@ -1,6 +1,6 @@
 //! # sosd-fiting
 //!
-//! The FITing-Tree (Galakatos et al., SIGMOD 2019 — ref. [14] of the paper):
+//! The FITing-Tree (Galakatos et al., SIGMOD 2019 — ref. \[14\] of the paper):
 //! a data-aware learned index that partitions the key space with the
 //! *shrinking cone* segmentation algorithm and indexes the resulting
 //! segments in a directory.

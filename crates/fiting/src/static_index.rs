@@ -27,7 +27,7 @@ struct SegModel {
     err_under: u32,
 }
 
-/// The static FITing-Tree index (ref. [14]): shrinking-cone segments behind
+/// The static FITing-Tree index (ref. \[14\]): shrinking-cone segments behind
 /// a sorted segment directory.
 #[derive(Debug, Clone)]
 pub struct FitingTreeIndex<K: Key> {

@@ -2,19 +2,19 @@
 //!
 //! Section 3.3 of the paper notes that "the PGM index can also handle
 //! inserts" but does not evaluate that capability; Ferragina & Vinciguerra
-//! (ref. [13]) dynamize the static structure with the *logarithmic method*
+//! (ref. \[13\]) dynamize the static structure with the *logarithmic method*
 //! (Bentley–Saxe): a sequence of static, immutable PGM-indexed sorted runs of
 //! geometrically increasing size. Inserts land in a small sorted buffer;
 //! when the buffer fills, it is merged with every occupied run below the
 //! first empty slot into a single new run at that slot, and a fresh static
 //! PGM is built over the merged run.
 //!
-//! One deliberate simplification relative to ref. [13]: inserting a key that
+//! One deliberate simplification relative to ref. \[13\]: inserting a key that
 //! is already present updates its payload *in place* instead of appending a
 //! shadowing duplicate. This keeps all runs key-disjoint — which makes
 //! lookups, lower bounds, and range sums simple unions — and gives the exact
 //! `BTreeMap` semantics the cross-structure oracle tests demand. Deletions
-//! follow ref. [13]'s tombstone approach: the key stays in its run (so PGM
+//! follow ref. \[13\]'s tombstone approach: the key stays in its run (so PGM
 //! positions remain valid) flagged dead, is skipped by every query, revives
 //! on re-insert, and is physically dropped at the next merge.
 
@@ -30,7 +30,7 @@ pub const DEFAULT_BUFFER_CAPACITY: usize = 128;
 /// a handful of keys costs more to build and chase than it saves.
 const MIN_PGM_RUN: usize = 512;
 
-/// Leaf-level ε for per-run PGM indexes (the dynamic PGM in ref. [13] uses
+/// Leaf-level ε for per-run PGM indexes (the dynamic PGM in ref. \[13\] uses
 /// one ε for every run).
 const RUN_EPS: u64 = 64;
 /// Internal-level ε for per-run PGM indexes.
@@ -41,7 +41,7 @@ type MergeSource<K> = (Vec<K>, Vec<u64>, Option<Box<[bool]>>);
 
 /// One immutable sorted run with an optional static PGM over its keys.
 ///
-/// Deletions tombstone entries in place (ref. [13]'s approach, restricted
+/// Deletions tombstone entries in place (ref. \[13\]'s approach, restricted
 /// to keys that exist): the key stays so the PGM's positions remain valid;
 /// the next merge drops dead entries.
 struct Run<K: Key> {
@@ -125,7 +125,7 @@ impl<K: Key> Run<K> {
     }
 }
 
-/// A PGM index dynamized with the logarithmic method (ref. [13], §"PGM can
+/// A PGM index dynamized with the logarithmic method (ref. \[13\], §"PGM can
 /// also handle inserts"; the paper's future-work benchmark).
 pub struct DynamicPgm<K: Key> {
     /// Sorted insert buffer (level 0), kept small.
@@ -183,7 +183,7 @@ impl<K: Key> DynamicPgm<K> {
 
     /// Merge the buffer and every run into a single run, physically
     /// dropping all tombstones — the explicit space-reclamation step for
-    /// delete-heavy workloads (ref. [13] performs the same cleanup lazily
+    /// delete-heavy workloads (ref. \[13\] performs the same cleanup lazily
     /// at its major merges).
     pub fn compact(&mut self) {
         let mut entries: Vec<(K, u64)> = Vec::with_capacity(self.len);

@@ -2,7 +2,7 @@
 //!
 //! A two-stage Recursive Model Index (Kraska et al., SIGMOD 2018), the
 //! paper's reference learned index — this reproduction follows the
-//! open-source Rust RMI the paper introduced ([1] in the paper).
+//! open-source Rust RMI the paper introduced (\[1\] in the paper).
 //!
 //! An RMI approximates the CDF of a sorted key array with a tree of simple
 //! models: a stage-one model partitions the key space into `B` buckets, and

@@ -1,110 +1,110 @@
-//! Scenario: learned indexes inside an LSM-style storage engine.
+//! Scenario: a learned index serving an LSM-style write-behind engine.
 //!
 //! The paper motivates read-only learned indexes with write-heavy systems
 //! that serve reads from immutable sorted runs (RocksDB-style LSM trees).
-//! This example builds a miniature engine: several immutable sorted runs of
-//! (timestamp, event-id) pairs, each indexed by a RadixSpline (chosen for
-//! its single-pass, constant-cost-per-element build — exactly the property
-//! an ingest pipeline needs), plus point and range reads across runs.
+//! Earlier revisions of this example hand-rolled that engine out of raw
+//! runs; the workspace now ships it as `sosd_core::WriteBehindEngine`:
+//! an immutable base indexed by a RadixSpline (chosen for its single-pass,
+//! constant-cost-per-element build — exactly the property a merge pipeline
+//! needs), a mutable B+Tree delta absorbing the write stream, and
+//! threshold-triggered background merges that rebuild the base while
+//! readers keep serving from the previous generation.
 //!
 //! Run with: `cargo run --release --example lsm_run_lookup`
 
-use sosd::core::{Index, IndexBuilder, SearchStrategy, SortedData};
+use sosd::bench::registry::{DeltaKind, EngineSpec, IndexParams, IndexSpec};
+use sosd::core::{MergeMode, QueryEngine, SearchStrategy, SortedData};
 use sosd::datasets::{registry::generate_u64, DatasetId};
-use sosd::radix_spline::{RsBuilder, RsIndex};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// An immutable sorted run with its learned index.
-struct Run {
-    data: SortedData<u64>,
-    index: RsIndex<u64>,
-}
-
-impl Run {
-    fn new(keys: Vec<u64>) -> Run {
-        let data = SortedData::new(keys).expect("sorted run");
-        let start = Instant::now();
-        let index = RsBuilder { eps: 32, radix_bits: 16 }.build(&data).expect("rs builds");
-        println!(
-            "  built run: {} keys, index {:.1} KB in {:.1} ms (single pass)",
-            data.len(),
-            Index::<u64>::size_bytes(&index) as f64 / 1024.0,
-            start.elapsed().as_secs_f64() * 1e3
-        );
-        Run { data, index }
-    }
-
-    /// Point read: payload of the newest record equal to `key`.
-    fn get(&self, key: u64) -> Option<u64> {
-        let bound = self.index.search_bound(key);
-        let pos = SearchStrategy::Binary.find(self.data.keys(), key, bound);
-        (pos < self.data.len() && self.data.key(pos) == key).then(|| self.data.payload(pos))
-    }
-
-    /// Range read: sum of payloads for keys in `[lo, hi)` (e.g. an
-    /// analytics window over event timestamps).
-    fn range_sum(&self, lo: u64, hi: u64) -> (u64, usize) {
-        let b = self.index.search_bound(lo);
-        let mut pos = SearchStrategy::Binary.find(self.data.keys(), lo, b);
-        let mut sum = 0u64;
-        let mut count = 0usize;
-        while pos < self.data.len() && self.data.key(pos) < hi {
-            sum = sum.wrapping_add(self.data.payload(pos));
-            count += 1;
-            pos += 1;
-        }
-        (sum, count)
-    }
-}
-
-/// The engine: newest run first, reads check runs in order (no tombstones
-/// in this toy).
-struct Engine {
-    runs: Vec<Run>,
-}
-
-impl Engine {
-    fn get(&self, key: u64) -> Option<u64> {
-        self.runs.iter().find_map(|r| r.get(key))
-    }
-}
-
 fn main() {
-    // Three flushed memtables' worth of wiki-style edit timestamps, as an
-    // append-mostly workload would produce them.
-    println!("flushing three immutable runs:");
-    let runs: Vec<Run> = (0..3)
-        .map(|gen| Run::new(generate_u64(DatasetId::Wiki, 200_000, 7 + gen).keys().to_vec()))
-        .collect();
-    let engine = Engine { runs };
+    // The first flushed run: wiki-style edit timestamps, as an append-mostly
+    // ingest pipeline would produce them.
+    let base = generate_u64(DatasetId::Wiki, 400_000, 7);
+    let data = Arc::new(SortedData::new(base.keys().to_vec()).expect("sorted run"));
 
-    // Point reads across generations.
-    let newest = &engine.runs[0];
-    let probe = newest.data.key(123_456);
-    let hit = engine.get(probe);
-    assert!(hit.is_some());
-    println!("\npoint read {probe}: payload {:?}", hit.unwrap());
+    // Engine config — serializable, like every registry spec:
+    //   {"family":"writebehind","params":{"inner":{"family":"RS",...},
+    //    "delta":"btree","merge_threshold":8000}}
+    let spec = EngineSpec::WriteBehind {
+        shards: 1,
+        inner: IndexSpec::new(IndexParams::Rs { eps: 32, radix_bits: 16 }),
+        delta: DeltaKind::BTree,
+        merge_threshold: 8_000,
+    };
+    println!("spec: {}", serde_json::to_string(&spec).expect("spec serializes"));
 
-    // A time-window scan on the oldest run.
-    let old = &engine.runs[2];
-    let lo = old.data.key(old.data.len() / 4);
-    let hi = old.data.key(old.data.len() / 2);
-    let start = Instant::now();
-    let (sum, count) = old.range_sum(lo, hi);
+    let t = Instant::now();
+    let engine = spec
+        .writebehind_engine(&data, SearchStrategy::Binary, MergeMode::Background)
+        .expect("engine builds");
     println!(
-        "range [{lo}, {hi}): {count} events, payload sum {sum:#x} in {:.1} us",
-        start.elapsed().as_secs_f64() * 1e6
+        "built base generation: {} keys, {:.1} KB of index+delta in {:.1} ms (single pass)\n",
+        engine.len(),
+        engine.size_bytes() as f64 / 1024.0,
+        t.elapsed().as_secs_f64() * 1e3
     );
 
-    // Throughput check: a read-mostly phase over the newest run.
-    let lookups: Vec<u64> =
-        (0..200_000).map(|i| newest.data.key((i * 37) % newest.data.len())).collect();
-    let start = Instant::now();
-    let mut checksum = 0u64;
-    for &k in &lookups {
-        checksum = checksum.wrapping_add(engine.get(k).unwrap_or(0));
+    // Ingest phase: two memtables' worth of new events stream into the
+    // delta; each threshold crossing freezes the delta and rebuilds the
+    // base on a background thread while reads continue.
+    let incoming = generate_u64(DatasetId::Wiki, 120_000, 99);
+    let t = Instant::now();
+    for (i, &key) in incoming.keys().iter().enumerate() {
+        engine.insert(key, 0xE0000000 + i as u64);
     }
-    let ns = start.elapsed().as_nanos() as f64 / lookups.len() as f64;
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    engine.wait_for_merges();
+    println!(
+        "ingest: {} writes in {ingest_ms:.1} ms ({:.0} ns/write), \
+         {} background merges, epoch {} (delta holds {} entries)",
+        incoming.len(),
+        ingest_ms * 1e6 / incoming.len() as f64,
+        engine.merges_completed(),
+        engine.epoch(),
+        engine.delta_len(),
+    );
+    // A final explicit compaction (an operator "flush"), draining what the
+    // threshold has not yet claimed.
+    engine.force_merge();
+    engine.wait_for_merges();
+    println!(
+        "after final compaction: epoch {}, base generation {} records, {} visible \
+         (merges collapse overwritten duplicate groups), delta empty: {}\n",
+        engine.epoch(),
+        engine.base_len(),
+        engine.len(),
+        engine.delta_len() == 0,
+    );
+
+    // Point reads across both tiers.
+    let probe_base = data.key(123_456);
+    let probe_delta = incoming.key(60_000);
+    assert!(engine.get(probe_base).is_some());
+    assert!(engine.get(probe_delta).is_some());
+    println!("point read {probe_base} (base tier):  payload {:?}", engine.get(probe_base));
+    println!("point read {probe_delta} (ingested):   payload {:?}", engine.get(probe_delta));
+
+    // A time-window scan stitching delta entries over the base.
+    let lo = data.key(data.len() / 4);
+    let hi = data.key(data.len() / 2);
+    let t = Instant::now();
+    let window = engine.range(lo, hi);
+    println!(
+        "range [{lo}, {hi}): {} events, payload sum {:#x} in {:.1} us\n",
+        window.len(),
+        window.iter().fold(0u64, |a, e| a.wrapping_add(e.1)),
+        t.elapsed().as_secs_f64() * 1e6
+    );
+
+    // Read phase: batched lookups keep the base's interleaved-prefetch
+    // path hot for the non-deltaed majority.
+    let lookups: Vec<u64> = (0..200_000).map(|i| data.key((i * 37) % data.len())).collect();
+    let t = Instant::now();
+    let hits = engine.lookup_batch(&lookups);
+    let ns = t.elapsed().as_nanos() as f64 / lookups.len() as f64;
+    let checksum = hits.iter().fold(0u64, |a, r| a.wrapping_add(r.unwrap_or(0)));
     assert_ne!(checksum, 0);
-    println!("\nread phase: {:.0} ns/read across the run stack", ns);
+    println!("read phase: {ns:.0} ns/read batched across the write-behind tiers");
 }

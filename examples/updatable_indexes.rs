@@ -5,8 +5,8 @@
 //! [11, 13, 14], a benchmark against traditional indexes could be fruitful."
 //! This example runs exactly that comparison end to end:
 //!
-//! 1. Bulk-load four updatable structures — ALEX (ref. [11]), the dynamic
-//!    PGM (ref. [13]), the dynamic FITing-Tree (ref. [14]), and an
+//! 1. Bulk-load four updatable structures — ALEX (ref. \[11\]), the dynamic
+//!    PGM (ref. \[13\]), the dynamic FITing-Tree (ref. \[14\]), and an
 //!    insertable B+Tree — with half of a realistic dataset.
 //! 2. Replay identical mixed read/write streams at increasing write
 //!    intensity, checking all four structures return identical results.

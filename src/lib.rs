@@ -14,9 +14,9 @@
 //!   IBTree), [`art`], [`fast`], [`tries`] (FST + Wormhole), [`hash`]
 //!   (RobinHood + cuckoo), and [`baselines`] (binary search + RBS).
 //! * The updatable structures of the paper's future-work section: [`alex`]
-//!   (gapped model arrays, ref. [11]), [`fiting`] (FITing-Tree with
-//!   shrinking-cone segmentation and delta buffers, ref. [14]), the dynamic
-//!   PGM ([`pgm::DynamicPgm`], ref. [13]), and an insertable B+Tree
+//!   (gapped model arrays, ref. \[11\]), [`fiting`] (FITing-Tree with
+//!   shrinking-cone segmentation and delta buffers, ref. \[14\]), the dynamic
+//!   PGM ([`pgm::DynamicPgm`], ref. \[13\]), and an insertable B+Tree
 //!   baseline ([`btree::DynamicBTree`]) — all behind
 //!   [`core::DynamicOrderedIndex`].
 //! * The dataset repository ([`datasets`]): synthetic generators
@@ -24,8 +24,8 @@
 //!   Hilbert-curve projection for osm), workload generation, and the SOSD
 //!   binary format.
 //! * A hardware-counter simulator ([`perfsim`]) standing in for `perf`.
-//! * The experiment harness ([`bench`]) that regenerates every table and
-//!   figure of the paper.
+//! * The experiment harness ([`mod@bench`]) that regenerates every table
+//!   and figure of the paper.
 //!
 //! ## Quickstart
 //!
