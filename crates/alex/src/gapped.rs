@@ -317,21 +317,30 @@ impl<K: Key> GappedArray<K> {
         Some((self.keys[real], self.payloads[real]))
     }
 
-    /// Sum payloads of real entries with `lo <= key < hi`.
+    /// Sum payloads of real entries with `lo <= key < hi` (one
+    /// [`GappedArray::for_each_in`] walk).
     pub fn range_sum(&self, lo: K, hi: K) -> u64 {
+        let mut sum = 0u64;
+        self.for_each_in(lo, hi, &mut |_, p| sum = sum.wrapping_add(p));
+        sum
+    }
+
+    /// Visit real entries with `lo <= key < hi` in key order — one
+    /// lower-bound probe plus an occupancy-bit slot walk, so the tree's
+    /// `for_each_in` override can scan leaves without one descent per
+    /// visited entry.
+    pub fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
         if hi <= lo || self.num_entries == 0 {
-            return 0;
+            return;
         }
         let mut slot = self.lower_bound_slot(lo);
-        let mut sum = 0u64;
         while let Some(real) = self.occ.next_set(slot, self.capacity()) {
             if self.keys[real] >= hi {
                 break;
             }
-            sum = sum.wrapping_add(self.payloads[real]);
+            f(self.keys[real], self.payloads[real]);
             slot = real + 1;
         }
-        sum
     }
 
     /// All real entries in key order.

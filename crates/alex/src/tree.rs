@@ -269,17 +269,27 @@ impl<K: Key> DynamicOrderedIndex<K> for AlexTree<K> {
         }
     }
 
+    /// One [`AlexTree::for_each_in`] leaf walk, summing as it goes.
     fn range_sum(&self, lo: K, hi: K) -> u64 {
-        if hi <= lo {
-            return 0;
-        }
         let mut sum = 0u64;
+        self.for_each_in(lo, hi, &mut |_, p| sum = sum.wrapping_add(p));
+        sum
+    }
+
+    /// Leaf-walk override: one root routing for `lo`, then each in-range
+    /// leaf is scanned with its occupancy-bit slot walk — `O(route + m)`
+    /// over the trait's `O(m log n)` lower-bound bridge. Leaf domains are
+    /// contiguous and sorted, so visiting leaves left to right emits keys
+    /// in ascending order.
+    fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
+        if hi <= lo {
+            return;
+        }
         let mut li = self.route(lo);
         while li < self.leaves.len() && self.boundaries[li] < hi {
-            sum = sum.wrapping_add(self.leaves[li].range_sum(lo, hi));
+            self.leaves[li].for_each_in(lo, hi, f);
             li += 1;
         }
-        sum
     }
 
     fn capabilities(&self) -> Capabilities {
@@ -438,6 +448,49 @@ mod tests {
             assert_eq!(t.get(k), oracle.get(&k).copied());
         }
     }
+    #[test]
+    fn for_each_in_walks_leaves_in_order() {
+        let mut t = AlexTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in 0..30_000u64 {
+            let k = splitmix(i) % 90_000;
+            let v = splitmix(i ^ 0x51);
+            t.insert(k, v);
+            oracle.insert(k, v);
+        }
+        assert!(t.num_leaves() > 1, "walk must cross leaves");
+        for (lo, hi) in [(0u64, 90_000), (5_000, 70_000), (33_333, 33_334)] {
+            let mut got = Vec::new();
+            t.for_each_in(lo, hi, &mut |k, v| got.push((k, v)));
+            let want: Vec<(u64, u64)> = oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "range [{lo}, {hi})");
+        }
+        // Inverted and empty windows visit nothing.
+        for (lo, hi) in [(70_000u64, 5_000u64), (400, 400)] {
+            t.for_each_in(lo, hi, &mut |k, _| panic!("visited {k} in [{lo}, {hi})"));
+        }
+    }
+
+    #[test]
+    fn for_each_in_skips_deleted_slots_and_honors_extreme_keys() {
+        let keys: Vec<u64> = (0..20_000).map(|i| i * 3).collect();
+        let payloads: Vec<u64> = keys.iter().map(|&k| k + 1).collect();
+        let mut t = AlexTree::bulk_load(&keys, &payloads);
+        let mut oracle: BTreeMap<u64, u64> =
+            keys.iter().zip(&payloads).map(|(&k, &v)| (k, v)).collect();
+        // Punch a hole so the walk must skip emptied gapped slots.
+        for k in (9_000..30_000u64).step_by(3) {
+            t.remove(k);
+            oracle.remove(&k);
+        }
+        t.insert(u64::MAX, 7);
+        oracle.insert(u64::MAX, 7);
+        let mut got = Vec::new();
+        t.for_each_in(0, u64::MAX, &mut |k, v| got.push((k, v)));
+        let want: Vec<(u64, u64)> = oracle.range(..u64::MAX).map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want, "hi is exclusive; deleted slots skipped");
+    }
+
     #[test]
     fn remove_clears_slots_and_reuses_gaps() {
         let keys: Vec<u64> = (0..20_000).map(|i| i * 4).collect();

@@ -51,6 +51,10 @@ const BATCH: usize = 1024;
 /// streams.
 const PAR_STREAM_LEN: usize = PAR_MIN_KEYS_PER_WORKER * 16;
 
+/// One built engine: the shared-everything baseline or the concrete
+/// sharded construction (which exposes the parallel batch path).
+type BuiltEngine = (Option<Box<dyn QueryEngine<u64>>>, Option<ShardedEngine<u64>>);
+
 fn main() {
     let args = Args::parse();
     let budget = Duration::from_millis(if args.quick { 60 } else { 300 });
@@ -86,24 +90,23 @@ fn main() {
             eprintln!("[ext06] {}", spec.label::<u64>());
             // shards == 1 builds the plain engine (no data copy, no fence
             // routing): the honest shared-everything baseline.
-            let (single, sharded): (Option<Box<dyn QueryEngine<u64>>>, Option<ShardedEngine<u64>>) =
-                if shards == 1 {
-                    match spec.engine(&data, SearchStrategy::Binary) {
-                        Ok(e) => (Some(e), None),
-                        Err(e) => {
-                            eprintln!("skipping {}: {e}", spec.label::<u64>());
-                            continue;
-                        }
+            let (single, sharded): BuiltEngine = if shards == 1 {
+                match spec.engine(&data, SearchStrategy::Binary) {
+                    Ok(e) => (Some(e), None),
+                    Err(e) => {
+                        eprintln!("skipping {}: {e}", spec.label::<u64>());
+                        continue;
                     }
-                } else {
-                    match spec.sharded_engine(&data, SearchStrategy::Binary) {
-                        Ok(e) => (None, Some(e)),
-                        Err(e) => {
-                            eprintln!("skipping {}: {e}", spec.label::<u64>());
-                            continue;
-                        }
+                }
+            } else {
+                match spec.sharded_engine(&data, SearchStrategy::Binary) {
+                    Ok(e) => (None, Some(e)),
+                    Err(e) => {
+                        eprintln!("skipping {}: {e}", spec.label::<u64>());
+                        continue;
                     }
-                };
+                }
+            };
             let par_view = sharded.as_ref().map(ShardedEngine::parallel);
             let engine: &dyn QueryEngine<u64> = match &sharded {
                 Some(s) => s,

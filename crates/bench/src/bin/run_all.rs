@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run --release -p sosd-bench --bin run_all -- [--quick]
 //! [--n 1m --lookups 200k --seed 42 --out results]`. Flags are forwarded to
-//! every experiment. Each experiment's stdout+stderr is captured to
+//! every experiment — `--quick` in particular, which is how CI smokes every
+//! registered experiment in one step instead of one workflow step per
+//! binary. Each experiment's stdout+stderr is captured to
 //! `<out>/log_<name>.txt`; a summary with per-experiment wall time is
 //! printed at the end and written to `<out>/run_all_summary.csv`.
 //!
@@ -40,6 +42,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext05_batching",
     "ext06_sharding",
     "ext07_writebehind",
+    "ext08_caching",
 ];
 
 /// Outcome of one experiment.

@@ -7,7 +7,8 @@
 //! * [`registry`] — uniform access to every index family through
 //!   serializable [`IndexSpec`]s that construct type-erased builders or
 //!   serving-facing `QueryEngine`s, plus [`EngineSpec`] for serving-layer
-//!   configuration (key-range sharded engines included).
+//!   configuration (key-range sharded, write-behind, and hot-key cached
+//!   engines included).
 //! * [`timing`] — the single-threaded lookup loop (warm/cold, with or
 //!   without memory fences, selectable last-mile search) with payload-sum
 //!   validation, plus the batched `QueryEngine` path.

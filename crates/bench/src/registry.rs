@@ -11,17 +11,19 @@
 //! One layer up, [`EngineSpec`] configures how an index is *served*:
 //! directly, partitioned behind a key-range [`ShardedEngine`]
 //! (`{ "family": "sharded", "params": { "shards": S, "inner": <spec> } }`),
-//! or wrapped in a write-behind tier
+//! wrapped in a write-behind tier
 //! (`{ "family": "writebehind", "params": { "inner": <engine spec>,
 //! "delta": "btree", "merge_threshold": N } }`) whose delta buffer family
-//! is picked by [`DeltaKind`].
+//! is picked by [`DeltaKind`], or fronted by a hot-key result cache
+//! (`{ "family": "cached", "params": { "capacity": C, "stripes": S,
+//! "inner": <engine spec> } }`) over any of the above.
 
 use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
 use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
-    BuildError, DynamicOrderedIndex, Index, IndexBuilder, Key, MergeMode, QueryEngine,
-    SearchStrategy, ShardedEngine, SortedData, StaticEngine, WriteBehindEngine,
+    BuildError, CachedEngine, DynamicOrderedIndex, Index, IndexBuilder, Key, MergeMode,
+    QueryEngine, SearchStrategy, ShardedEngine, SortedData, StaticEngine, WriteBehindEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -318,9 +320,15 @@ impl DeltaKind {
 /// { "family": "writebehind", "params": { "inner": <engine spec>, "delta": "btree", "merge_threshold": 65536 } }
 /// ```
 ///
-/// and any plain [`IndexSpec`] JSON deserializes as the single variant, so
+/// and a caching tier composes over any of them:
+///
+/// ```json
+/// { "family": "cached", "params": { "capacity": 65536, "stripes": 8, "inner": <engine spec> } }
+/// ```
+///
+/// Any plain [`IndexSpec`] JSON deserializes as the single variant, so
 /// every existing experiment config is already a valid engine spec.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum EngineSpec {
     /// Serve one index over the whole dataset (the shared-everything
     /// setup of Figure 16).
@@ -347,6 +355,17 @@ pub enum EngineSpec {
         /// Active-delta entry count that triggers a merge.
         merge_threshold: usize,
     },
+    /// Hot-key cached serving: a bounded, lock-striped
+    /// [`CachedEngine`] result cache in front of `inner` (which may itself
+    /// be single, sharded, or write-behind).
+    Cached {
+        /// Total cache entry budget (split over the stripes).
+        capacity: usize,
+        /// Requested lock-stripe count (rounded up to a power of two).
+        stripes: usize,
+        /// The engine the cache fronts.
+        inner: Box<EngineSpec>,
+    },
 }
 
 impl EngineSpec {
@@ -361,16 +380,20 @@ impl EngineSpec {
                 let base = EngineSpec::base_spec(*shards, *inner).label::<K>();
                 format!("wb[{base}+{}@{merge_threshold}]", delta.token())
             }
+            EngineSpec::Cached { capacity, stripes, inner } => {
+                format!("cached{capacity}x{stripes}[{}]", inner.label::<K>())
+            }
         }
     }
 
     /// The inner index spec (the composite variants' per-partition /
-    /// base index).
+    /// base index; for a cached spec, the innermost engine's).
     pub fn inner_spec(&self) -> IndexSpec {
         match self {
             EngineSpec::Single(spec) => *spec,
             EngineSpec::Sharded { inner, .. } => *inner,
             EngineSpec::WriteBehind { inner, .. } => *inner,
+            EngineSpec::Cached { inner, .. } => inner.inner_spec(),
         }
     }
 
@@ -399,7 +422,22 @@ impl EngineSpec {
             EngineSpec::WriteBehind { .. } => {
                 Ok(Box::new(self.writebehind_engine(data, strategy, MergeMode::Background)?))
             }
+            EngineSpec::Cached { .. } => Ok(Box::new(self.cached_engine(data, strategy)?)),
         }
+    }
+
+    /// Build as a concrete [`CachedEngine`] over the nested inner engine,
+    /// exposing the cache surface (hit/miss counters, `invalidate`) the
+    /// boxed trait object hides. Non-cached specs are rejected.
+    pub fn cached_engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Result<CachedEngine<K>, BuildError> {
+        let EngineSpec::Cached { capacity, stripes, inner } = self else {
+            return Err(BuildError::InvalidConfig("cached_engine needs a cached spec".into()));
+        };
+        CachedEngine::new(inner.engine(data, strategy)?, *capacity, *stripes)
     }
 
     /// Build as a concrete [`ShardedEngine`] (a single spec becomes one
@@ -414,9 +452,9 @@ impl EngineSpec {
         let (shards, inner) = match self {
             EngineSpec::Single(spec) => (1, *spec),
             EngineSpec::Sharded { shards, inner } => (*shards, *inner),
-            EngineSpec::WriteBehind { .. } => {
+            EngineSpec::WriteBehind { .. } | EngineSpec::Cached { .. } => {
                 return Err(BuildError::InvalidConfig(
-                    "a write-behind spec is not a sharded engine".into(),
+                    "only single/sharded specs build as a sharded engine".into(),
                 ))
             }
         };
@@ -440,7 +478,7 @@ impl EngineSpec {
         strategy: SearchStrategy,
         mode: MergeMode,
     ) -> Result<WriteBehindEngine<K>, BuildError> {
-        let EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } = *self else {
+        let &EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } = self else {
             return Err(BuildError::InvalidConfig(
                 "writebehind_engine needs a write-behind spec".into(),
             ));
@@ -486,6 +524,17 @@ impl Serialize for EngineSpec {
                     ),
                 ])
             }
+            EngineSpec::Cached { capacity, stripes, inner } => Value::Object(vec![
+                ("family".into(), Value::Str("cached".into())),
+                (
+                    "params".into(),
+                    Value::Object(vec![
+                        ("capacity".into(), Value::UInt(*capacity as u64)),
+                        ("stripes".into(), Value::UInt(*stripes as u64)),
+                        ("inner".into(), inner.to_value()),
+                    ]),
+                ),
+            ]),
         }
     }
 }
@@ -524,13 +573,13 @@ impl Deserialize for EngineSpec {
                     .get_field("inner")
                     .ok_or_else(|| serde::Error::custom("writebehind needs `inner`"))?;
                 // The base is itself an engine spec (single or sharded);
-                // nesting another write-behind tier is rejected.
+                // nesting another write-behind tier or a cache is rejected.
                 let (shards, inner) = match EngineSpec::from_value(inner_value)? {
                     EngineSpec::Single(spec) => (1, spec),
                     EngineSpec::Sharded { shards, inner } => (shards, inner),
-                    EngineSpec::WriteBehind { .. } => {
+                    EngineSpec::WriteBehind { .. } | EngineSpec::Cached { .. } => {
                         return Err(serde::Error::custom(
-                            "writebehind bases cannot nest another writebehind tier",
+                            "writebehind bases must be single or sharded specs",
                         ))
                     }
                 };
@@ -553,6 +602,37 @@ impl Deserialize for EngineSpec {
                     inner,
                     delta,
                     merge_threshold: merge_threshold as usize,
+                })
+            }
+            "cached" => {
+                let params = v
+                    .get_field("params")
+                    .ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+                let capacity = params
+                    .get_field("capacity")
+                    .and_then(serde::Value::as_u64)
+                    .ok_or_else(|| serde::Error::custom("cached needs `capacity`"))?;
+                if capacity == 0 {
+                    return Err(serde::Error::custom("cached needs `capacity` >= 1"));
+                }
+                let stripes = params
+                    .get_field("stripes")
+                    .and_then(serde::Value::as_u64)
+                    .ok_or_else(|| serde::Error::custom("cached needs `stripes`"))?;
+                if stripes == 0 {
+                    return Err(serde::Error::custom("cached needs `stripes` >= 1"));
+                }
+                let inner_value = params
+                    .get_field("inner")
+                    .ok_or_else(|| serde::Error::custom("cached needs `inner`"))?;
+                let inner = EngineSpec::from_value(inner_value)?;
+                if matches!(inner, EngineSpec::Cached { .. }) {
+                    return Err(serde::Error::custom("cached tiers cannot nest another cache"));
+                }
+                Ok(EngineSpec::Cached {
+                    capacity: capacity as usize,
+                    stripes: stripes as usize,
+                    inner: Box::new(inner),
                 })
             }
             _ => IndexSpec::from_value(v).map(EngineSpec::Single),
@@ -1161,6 +1241,74 @@ mod tests {
         assert!(EngineSpec::Single(inner)
             .writebehind_engine(&data, SearchStrategy::Binary, sosd_core::MergeMode::Sync)
             .is_err());
+        assert!(spec.sharded_engine(&data, SearchStrategy::Binary).is_err());
+    }
+
+    #[test]
+    fn cached_specs_round_trip_and_build() {
+        let inner = Family::Rmi.default_spec::<u64>();
+        for spec in [
+            EngineSpec::Cached {
+                capacity: 1024,
+                stripes: 8,
+                inner: Box::new(EngineSpec::Single(inner)),
+            },
+            EngineSpec::Cached {
+                capacity: 64,
+                stripes: 2,
+                inner: Box::new(EngineSpec::Sharded { shards: 4, inner }),
+            },
+            EngineSpec::Cached {
+                capacity: 256,
+                stripes: 4,
+                inner: Box::new(EngineSpec::WriteBehind {
+                    shards: 1,
+                    inner,
+                    delta: DeltaKind::BTree,
+                    merge_threshold: 512,
+                }),
+            },
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: EngineSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec, "{json}");
+            assert!(json.contains("\"family\":\"cached\""), "{json}");
+            assert!(json.contains("\"capacity\":"), "{json}");
+            assert!(json.contains("\"stripes\":"), "{json}");
+            assert_eq!(spec.inner_spec(), inner);
+        }
+        // Malformed cached specs are rejected.
+        for bad in [
+            "{\"family\":\"cached\",\"params\":{}}",
+            "{\"family\":\"cached\",\"params\":{\"capacity\":0,\"stripes\":1,\"inner\":{\"family\":\"BS\",\"params\":{}}}}",
+            "{\"family\":\"cached\",\"params\":{\"capacity\":8,\"stripes\":0,\"inner\":{\"family\":\"BS\",\"params\":{}}}}",
+            "{\"family\":\"cached\",\"params\":{\"capacity\":8,\"stripes\":1}}",
+            // Nesting a cache in a cache is config nonsense; rejected.
+            "{\"family\":\"cached\",\"params\":{\"capacity\":8,\"stripes\":1,\"inner\":{\"family\":\"cached\",\"params\":{\"capacity\":8,\"stripes\":1,\"inner\":{\"family\":\"BS\",\"params\":{}}}}}}",
+        ] {
+            assert!(serde_json::from_str::<EngineSpec>(bad).is_err(), "{bad}");
+        }
+
+        // Build and serve: repeated gets hit the cache, and the concrete
+        // construction exposes the stats surface.
+        let data = Arc::new(SortedData::new((0..20_000u64).map(|i| i * 2).collect()).unwrap());
+        let spec = EngineSpec::Cached {
+            capacity: 128,
+            stripes: 4,
+            inner: Box::new(EngineSpec::Single(Family::Pgm.default_spec::<u64>())),
+        };
+        let cached = spec.cached_engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(cached.len(), data.len());
+        assert_eq!(cached.get(24), Some(data.payload(12)));
+        assert_eq!(cached.get(24), Some(data.payload(12)));
+        assert_eq!(cached.hits(), 1);
+        assert!(cached.name().starts_with("cached["), "{}", cached.name());
+        // The boxed construction serves the same reads.
+        let boxed = spec.engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(boxed.get(24), Some(data.payload(12)));
+        assert_eq!(boxed.lookup_batch(&[24, 25]), vec![Some(data.payload(12)), None]);
+        // And non-cached specs cannot be built as one.
+        assert!(EngineSpec::Single(inner).cached_engine(&data, SearchStrategy::Binary).is_err());
         assert!(spec.sharded_engine(&data, SearchStrategy::Binary).is_err());
     }
 

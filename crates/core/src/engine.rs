@@ -621,7 +621,7 @@ mod tests {
         let engines: Vec<Box<dyn QueryEngine<u64>>> =
             vec![Box::new(static_engine()), Box::new(dynamic_engine())];
         for e in &engines {
-            assert!(e.len() > 0);
+            assert!(!e.is_empty());
             assert!(e.lower_bound(0).is_some());
             let batch = e.lookup_batch(&[0, 2, 5]);
             assert_eq!(batch.len(), 3);

@@ -30,6 +30,10 @@
 //! * [`shard`] — key-range sharded serving: [`ShardedEngine`] partitions a
 //!   [`SortedData`] into fence-routed shards, one inner engine each, with
 //!   shard-grouped batches and a scoped-thread parallel batch path.
+//! * [`cache`] — the hot-key serving tier: [`CachedEngine`] puts a
+//!   bounded, lock-striped CLOCK result cache in front of any engine so
+//!   Zipf-skewed read traffic is answered by one hash probe, with
+//!   version-fenced invalidation keeping it exact over updatable inners.
 //! * [`writebehind`] — the updatable serving tier: [`WriteBehindEngine`]
 //!   layers a bounded mutable delta buffer over any immutable base engine,
 //!   absorbing writes in the delta and folding them into a rebuilt base
@@ -40,6 +44,7 @@
 
 pub mod bound;
 pub mod builder;
+pub mod cache;
 pub mod data;
 pub mod dynamic;
 pub mod engine;
@@ -58,6 +63,7 @@ pub mod writebehind;
 
 pub use bound::SearchBound;
 pub use builder::IndexBuilder;
+pub use cache::CachedEngine;
 pub use data::SortedData;
 pub use dynamic::{BulkLoad, DynamicOrderedIndex, Op};
 pub use engine::{DynamicEngine, QueryEngine, StaticEngine};

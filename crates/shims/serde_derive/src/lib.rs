@@ -92,14 +92,13 @@ fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
         // Skip the type up to the next comma at angle-bracket depth zero.
         let mut angle_depth = 0i32;
         for tok in it.by_ref() {
-            match tok {
-                TokenTree::Punct(p) => match p.as_char() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
                     '<' => angle_depth += 1,
                     '>' => angle_depth -= 1,
                     ',' if angle_depth == 0 => break,
                     _ => {}
-                },
-                _ => {}
+                }
             }
         }
     }

@@ -130,7 +130,7 @@ proptest! {
             filler += 1;
             let v = filler ^ 0xABCD;
             prop_assert_eq!(engine.insert(filler, v), oracle.insert(filler, v));
-            if filler % 16 == 0 {
+            if filler.is_multiple_of(16) {
                 engine.wait_for_merges();
             }
         }
