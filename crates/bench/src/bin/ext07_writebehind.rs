@@ -1,52 +1,68 @@
 //! Extension experiment 7: write-behind serving vs the in-place dynamic
-//! structures.
+//! structures, across merge policies and churn (insert + remove) mixes.
 //!
 //! The paper's updatable-index experiments (Section 5 / Figure 18 of the
 //! extended report) show learned structures falling behind B-trees as the
 //! write fraction grows, because every insert disturbs the learned model.
 //! The LSM answer — and this experiment's subject — is to never write to
 //! the learned structure at all: `WriteBehindEngine` keeps the base
-//! immutable, absorbs inserts in a bounded delta buffer, and re-learns the
-//! base only at merge time.
+//! immutable, absorbs inserts *and tombstoned removes* in a bounded delta
+//! buffer, and folds them in at merge time. The [`MergePolicy`] axis pits
+//! the two LSM shapes against each other: `Flat` rebuilds the whole base
+//! per cycle (one engine to probe, `O(n)` merged volume), `Leveled` stacks
+//! frozen runs — each its own learned index — and compacts level-locally
+//! (bounded merged volume, more engines to probe). The `merged/cycle` and
+//! `fanout` columns make that trade explicit, and the run self-gates on
+//! it: on every churn mix, the leveled rows must move strictly less volume
+//! per merge cycle than the flat row of the same configuration.
 //!
-//! The sweep crosses **write ratio × merge threshold × inner (base)
-//! family × merge mode**, driven by the same `MixedWorkload` streams
-//! (including a Zipf read-skew mix) as the `ext01` dynamic baselines, and
-//! re-runs those baselines alongside for a direct comparison. Every run's
-//! op-result checksum is validated against the others on the same
-//! workload before its timing is reported, so a wrong payload anywhere
-//! fails the experiment rather than skewing a row.
+//! The sweep crosses **write/remove ratio × merge threshold × base
+//! family × merge policy × merge mode**, driven by the same
+//! `MixedWorkload` streams (including a Zipf read-skew mix) as the `ext01`
+//! dynamic baselines, and re-runs those baselines alongside for a direct
+//! comparison. Every run's op-result checksum is validated against the
+//! others on the same workload before its timing is reported, so a wrong
+//! payload anywhere — a stale tombstone, a resurrected key — fails the
+//! experiment rather than skewing a row.
 //!
-//! Merge thresholds are expressed relative to the stream's expected insert
-//! count (`ins/8`, `ins/2`), so quick-mode smoke runs still cross them and
-//! exercise real merge cycles. Background-mode rows include the drain of
-//! any merge still in flight when the stream ends (triggered work is
-//! billed to the run that triggered it).
+//! Merge thresholds are expressed relative to the stream's expected write
+//! count (`writes/8`, `writes/2`), so quick-mode smoke runs still cross
+//! them and exercise real merge (and compaction) cycles. Background-mode
+//! rows include the drain of any merge still in flight when the stream
+//! ends (triggered work is billed to the run that triggered it).
 
-use sosd_bench::dynamic::{run_mixed, run_mixed_writebehind, DynFamily};
+use sosd_bench::dynamic::{run_mixed, run_mixed_writebehind, DynFamily, MixedRunResult};
 use sosd_bench::registry::{DeltaKind, EngineSpec, Family};
 use sosd_bench::report::{fmt_mb, write_json, Report};
 use sosd_bench::Args;
-use sosd_core::MergeMode;
+use sosd_core::{MergeMode, MergePolicy};
 use sosd_datasets::{generate_mixed, DatasetId, MixedConfig, ReadSkew};
 
 /// The write-behind base layouts under test: unsharded learned, unsharded
 /// traditional, and a sharded learned base (rebuilt and re-partitioned at
-/// every merge).
+/// every base fold).
 const BASES: [(Family, usize); 3] = [(Family::Rmi, 1), (Family::BTree, 1), (Family::Rmi, 4)];
 
-/// Insert fraction × read skew mixes (deletes stay 0: the write-behind
-/// tier has no tombstones yet).
-const MIXES: [(f64, ReadSkew); 4] = [
-    (0.05, ReadSkew::Uniform),
-    (0.25, ReadSkew::Uniform),
-    (0.5, ReadSkew::Uniform),
-    (0.25, ReadSkew::Zipf(1.1)),
+/// Insert fraction × remove fraction × read skew mixes. Remove ratios
+/// above zero are the churn workloads the tombstone path exists for.
+const MIXES: [(f64, f64, ReadSkew); 4] = [
+    (0.25, 0.0, ReadSkew::Uniform),
+    (0.25, 0.10, ReadSkew::Uniform),
+    (0.40, 0.20, ReadSkew::Uniform),
+    (0.25, 0.10, ReadSkew::Zipf(1.1)),
 ];
 
-/// Merge thresholds as divisors of the expected insert count: `ins/8`
-/// (many small merges) and `ins/2` (few large ones).
+/// Merge thresholds as divisors of the expected write (insert + remove)
+/// count: `writes/8` (many small merges) and `writes/2` (few large ones).
 const THRESHOLD_DIVISORS: [usize; 2] = [8, 2];
+
+/// The merge policies under test: the flat rebuild against two leveled
+/// shapes (deep/narrow and shallow/wide fan-out).
+const POLICIES: [MergePolicy; 3] = [
+    MergePolicy::Flat,
+    MergePolicy::Leveled { fanout: 4, max_levels: 3 },
+    MergePolicy::Leveled { fanout: 8, max_levels: 2 },
+];
 
 /// The in-place dynamic baselines re-run on every mix.
 const BASELINES: [DynFamily; 3] = [DynFamily::BPlusTree, DynFamily::Alex, DynFamily::DynamicPgm];
@@ -57,26 +73,43 @@ fn main() {
 
     let mut report = Report::new(
         "ext07_writebehind",
-        &["mix", "engine", "threshold", "Mops_per_s", "ns_per_op", "merges", "size_mb", "vs_btree"],
+        &[
+            "mix",
+            "engine",
+            "threshold",
+            "policy",
+            "Mops_per_s",
+            "ns_per_op",
+            "merges",
+            "merged_per_cycle",
+            "fanout",
+            "size_mb",
+            "vs_btree",
+        ],
     );
     let mut rows = Vec::new();
 
-    for (insert_fraction, read_skew) in MIXES {
+    for (insert_fraction, delete_fraction, read_skew) in MIXES {
         let cfg = MixedConfig {
             bulk_fraction: 0.5,
             insert_fraction,
-            delete_fraction: 0.0,
+            delete_fraction,
             range_fraction: 0.05,
             range_span_keys: 100,
             read_skew,
         };
         let w = generate_mixed(DatasetId::Amzn, args.n, num_ops, cfg, args.seed);
-        let expected_inserts = w.num_inserts().max(1);
+        let expected_writes = w
+            .ops
+            .iter()
+            .filter(|op| matches!(op, sosd_core::Op::Insert(..) | sosd_core::Op::Remove(..)))
+            .count()
+            .max(1);
         eprintln!(
-            "[ext07] {} ({} ops, {} inserts, {} bulk keys)",
+            "[ext07] {} ({} ops, {} writes, {} bulk keys)",
             w.label,
             w.num_ops(),
-            expected_inserts,
+            expected_writes,
             w.bulk_keys.len()
         );
 
@@ -94,32 +127,58 @@ fn main() {
             if family == DynFamily::BPlusTree {
                 btree_rate = Some(r.mops_per_s);
             }
-            push_row(&mut report, &w.label, &r, "-", btree_rate);
+            push_row(&mut report, &w.label, &r, "-", "-", btree_rate);
             rows.push(r);
         }
 
         for divisor in THRESHOLD_DIVISORS {
-            let merge_threshold = (expected_inserts / divisor).max(64);
+            let merge_threshold = (expected_writes / divisor).max(64);
             for (base_family, shards) in BASES {
-                let spec = EngineSpec::WriteBehind {
-                    shards,
-                    inner: base_family.default_spec::<u64>(),
-                    delta: DeltaKind::BTree,
-                    merge_threshold,
-                };
-                for mode in [MergeMode::Sync, MergeMode::Background] {
-                    let r = run_mixed_writebehind(
-                        &spec,
-                        mode,
-                        &w.label,
-                        &w.bulk_keys,
-                        &w.bulk_payloads,
-                        &w.ops,
-                    )
-                    .unwrap_or_else(|e| panic!("{} failed to build: {e}", spec.label::<u64>()));
-                    validate(r.checksum, &r.family);
-                    push_row(&mut report, &w.label, &r, &format!("ins/{divisor}"), btree_rate);
-                    rows.push(r);
+                // Per-cycle merged volume of the flat row of each (mode),
+                // for the leveled-beats-flat self-gate.
+                let mut flat_volume = [None::<f64>; 2];
+                for policy in POLICIES {
+                    let spec = EngineSpec::WriteBehind {
+                        shards,
+                        inner: base_family.default_spec::<u64>(),
+                        delta: DeltaKind::BTree,
+                        merge_threshold,
+                        policy,
+                    };
+                    for (m, mode) in
+                        [MergeMode::Sync, MergeMode::Background].into_iter().enumerate()
+                    {
+                        let r = run_mixed_writebehind(
+                            &spec,
+                            mode,
+                            &w.label,
+                            &w.bulk_keys,
+                            &w.bulk_payloads,
+                            &w.ops,
+                        )
+                        .unwrap_or_else(|e| panic!("{} failed to build: {e}", spec.label::<u64>()));
+                        validate(r.checksum, &r.family);
+                        let volume = per_cycle_volume(&r);
+                        match (policy, volume, flat_volume[m]) {
+                            (MergePolicy::Flat, v, _) => flat_volume[m] = v,
+                            (MergePolicy::Leveled { .. }, Some(lv), Some(fv)) => assert!(
+                                lv < fv,
+                                "{}: leveled merged volume/cycle {lv:.0} must be strictly \
+                                 below flat {fv:.0} on the same mix",
+                                r.family
+                            ),
+                            _ => {}
+                        }
+                        push_row(
+                            &mut report,
+                            &w.label,
+                            &r,
+                            &format!("w/{divisor}"),
+                            policy_tag(policy),
+                            btree_rate,
+                        );
+                        rows.push(r);
+                    }
                 }
             }
         }
@@ -128,26 +187,46 @@ fn main() {
     report.emit(&args.out_dir).expect("write results");
     write_json(&args.out_dir, "ext07_writebehind", &rows).expect("write json");
     println!(
-        "\n(write-behind rows: merges counts completed base rebuilds; bg rows \
-         overlap the rebuild with the op stream, sync rows block on it. \
+        "\n(write-behind rows: merges counts completed merge cycles; merged_per_cycle \
+         is the entries written into immutable structures per cycle — the volume the \
+         leveled policy bounds (self-gated: leveled < flat on every mix); fanout is \
+         runs+base, the worst-case engine probes per point read after missing the \
+         delta. bg rows overlap merge work with the op stream, sync rows block on it. \
          vs_btree > 1 means the run beat the in-place B+Tree on the same mix)"
     );
+}
+
+/// Entries merged per completed cycle, when any cycle completed.
+fn per_cycle_volume(r: &MixedRunResult) -> Option<f64> {
+    (r.merges > 0).then(|| r.merged_entries as f64 / r.merges as f64)
+}
+
+fn policy_tag(policy: MergePolicy) -> &'static str {
+    match policy {
+        MergePolicy::Flat => "flat",
+        MergePolicy::Leveled { fanout: 4, .. } => "lvl4x3",
+        MergePolicy::Leveled { .. } => "lvl8x2",
+    }
 }
 
 fn push_row(
     report: &mut Report,
     mix: &str,
-    r: &sosd_bench::dynamic::MixedRunResult,
+    r: &MixedRunResult,
     threshold: &str,
+    policy: &str,
     btree_rate: Option<f64>,
 ) {
     report.push_row(vec![
         mix.to_string(),
         r.family.clone(),
         threshold.to_string(),
+        policy.to_string(),
         format!("{:.2}", r.mops_per_s),
         format!("{:.1}", r.ns_per_op),
         r.merges.to_string(),
+        per_cycle_volume(r).map_or("-".into(), |v| format!("{v:.0}")),
+        if threshold == "-" { "-".into() } else { (r.runs + 1).to_string() },
         fmt_mb(r.size_bytes),
         btree_rate.map_or("-".into(), |b| format!("{:.2}x", r.mops_per_s / b)),
     ]);

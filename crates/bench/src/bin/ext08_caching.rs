@@ -81,6 +81,7 @@ fn inner_specs() -> Vec<(&'static str, EngineSpec)> {
                 inner: rmi,
                 delta: DeltaKind::BTree,
                 merge_threshold: 1 << 40,
+                policy: sosd_core::MergePolicy::Flat,
             },
         ),
     ]

@@ -7,13 +7,18 @@
 //! registered experiment in one step instead of one workflow step per
 //! binary. Each experiment's stdout+stderr is captured to
 //! `<out>/log_<name>.txt`; a summary with per-experiment wall time is
-//! printed at the end and written to `<out>/run_all_summary.csv`.
+//! printed at the end and written to `<out>/run_all_summary.csv`, plus a
+//! machine-readable `<out>/results.json` — per-experiment status, wall
+//! time, and headline throughput rows lifted from each experiment's CSV —
+//! which CI uploads as a build artifact on every run (success and
+//! failure), so the perf trajectory is reconstructable from CI history.
 //!
 //! Exit status: nonzero when any experiment that *ran* failed (its own exit
 //! status was nonzero, or it could not be spawned). Experiments whose
 //! binaries are not built are reported as `skipped` and do not fail the
 //! run — build with `--bins` to cover everything.
 
+use serde::{Serialize, Value};
 use std::io::Write;
 use std::path::Path;
 use std::process::Command;
@@ -44,6 +49,15 @@ const EXPERIMENTS: &[&str] = &[
     "ext07_writebehind",
     "ext08_caching",
 ];
+
+/// How many top rows of each experiment's CSV make it into the
+/// `results.json` headline (enough to eyeball a perf trend across CI runs
+/// without downloading the full CSVs).
+const HEADLINE_ROWS: usize = 3;
+
+/// Column-header fragments recognized as throughput-like (higher is
+/// better); the first matching column ranks the headline rows.
+const THROUGHPUT_COLUMNS: &[&str] = &["mops_per_s", "m_lookups_per_sec", "mlookups_per_s"];
 
 /// Outcome of one experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +138,7 @@ fn main() {
     println!("{:<24} {total:>9.1}", "total");
     csv.push_str(&format!("total,{total:.1},-\n"));
     write_summary(&out_dir, &csv);
+    write_results_json(&out_dir, &summary, total, &forwarded);
 
     let count = |s: Status| summary.iter().filter(|(_, _, st)| *st == s).count();
     let failed: Vec<&str> = summary
@@ -146,4 +161,125 @@ fn main() {
 
 fn write_summary(out_dir: &Path, csv: &str) {
     std::fs::write(out_dir.join("run_all_summary.csv"), csv).expect("write summary");
+}
+
+/// The machine-readable run summary: one record per experiment with its
+/// status, wall time, and up to [`HEADLINE_ROWS`] headline rows pulled
+/// from the experiment's own CSV (the rows with the highest value in the
+/// first throughput-like column). Written on every run — success and
+/// failure alike — so CI's artifact always carries it.
+fn write_results_json(
+    out_dir: &Path,
+    summary: &[(String, f64, Status)],
+    total: f64,
+    forwarded: &[String],
+) {
+    let experiments: Vec<Value> = summary
+        .iter()
+        .map(|(name, secs, status)| {
+            let csv_path = out_dir.join(format!("{name}.csv"));
+            let headline = std::fs::read_to_string(&csv_path)
+                .map(|csv| headline_rows(&csv, HEADLINE_ROWS))
+                .unwrap_or_default();
+            Value::Object(vec![
+                ("name".into(), Value::Str(name.clone())),
+                ("status".into(), Value::Str(status.label().into())),
+                ("seconds".into(), Value::Float((secs * 10.0).round() / 10.0)),
+                ("headline".into(), Value::Array(headline)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("schema".into(), Value::Str("sosd-run-all/1".into())),
+        ("args".into(), forwarded.to_vec().to_value()),
+        ("total_seconds".into(), Value::Float((total * 10.0).round() / 10.0)),
+        ("experiments".into(), Value::Array(experiments)),
+    ]);
+    let json = serde_json::to_string_pretty(&doc).expect("results document serializes");
+    std::fs::write(out_dir.join("results.json"), json).expect("write results.json");
+}
+
+/// Up to `limit` rows of an experiment CSV as JSON objects, ranked by the
+/// first throughput-like column (falling back to the file's first rows
+/// when no such column exists). Quoted cells are tolerated but headline
+/// columns are always plain numbers in this workspace's reports.
+fn headline_rows(csv: &str, limit: usize) -> Vec<Value> {
+    let mut lines = csv.lines();
+    let Some(header) = lines.next() else {
+        return Vec::new();
+    };
+    let columns: Vec<&str> = header.split(',').collect();
+    let rank_col = columns.iter().position(|c| {
+        let lower = c.to_ascii_lowercase();
+        THROUGHPUT_COLUMNS.iter().any(|t| lower.contains(t))
+    });
+    let mut rows: Vec<Vec<&str>> = lines
+        .map(|l| l.split(',').collect())
+        .filter(|r: &Vec<&str>| r.len() == columns.len())
+        .collect();
+    if let Some(col) = rank_col {
+        rows.sort_by(|a, b| {
+            let parse = |r: &Vec<&str>| r[col].parse::<f64>().unwrap_or(f64::MIN);
+            parse(b).partial_cmp(&parse(a)).unwrap_or(std::cmp::Ordering::Equal)
+        });
+    }
+    rows.truncate(limit);
+    rows.into_iter()
+        .map(|row| {
+            Value::Object(
+                columns
+                    .iter()
+                    .zip(&row)
+                    .map(|(&c, &cell)| {
+                        let v = match cell.parse::<u64>() {
+                            Ok(n) => Value::UInt(n),
+                            Err(_) => match cell.parse::<f64>() {
+                                Ok(f) => Value::Float(f),
+                                Err(_) => Value::Str(cell.to_string()),
+                            },
+                        };
+                        (c.to_string(), v)
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_ranks_by_throughput_column() {
+        let csv = "mix,engine,Mops_per_s,ns_per_op\n\
+                   a,x,1.50,666\n\
+                   a,y,9.25,108\n\
+                   a,z,4.00,250\n\
+                   a,w,0.25,4000\n";
+        let rows = headline_rows(csv, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get_field("engine").and_then(Value::as_str), Some("y"));
+        assert_eq!(rows[0].get_field("Mops_per_s").and_then(Value::as_f64), Some(9.25));
+        assert_eq!(rows[1].get_field("engine").and_then(Value::as_str), Some("z"));
+    }
+
+    #[test]
+    fn headline_without_throughput_column_keeps_file_order() {
+        let csv = "index,size_mb\nfirst,1.0\nsecond,2.0\n";
+        let rows = headline_rows(csv, 5);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get_field("index").and_then(Value::as_str), Some("first"));
+    }
+
+    #[test]
+    fn headline_tolerates_empty_and_ragged_input() {
+        assert!(headline_rows("", 3).is_empty());
+        assert!(headline_rows("a,b\n", 3).is_empty());
+        // Ragged rows (stray commas from quoted cells) are dropped, not
+        // misaligned.
+        let rows = headline_rows("a,b\n1,2\nonly_one_cell\n", 3);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get_field("a").and_then(Value::as_u64), Some(1));
+    }
 }

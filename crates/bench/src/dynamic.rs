@@ -77,9 +77,20 @@ pub struct MixedRunResult {
     pub checksum: u64,
     /// Number of operations executed.
     pub ops: usize,
-    /// Base merges completed during the stream (always 0 for the plain
+    /// Merge cycles completed during the stream (always 0 for the plain
     /// dynamic structures; the write-behind runner fills it in).
     pub merges: u64,
+    /// Entries written into new immutable structures by merges and
+    /// compactions (write-behind only) — `merged_entries / merges` is the
+    /// per-cycle merged volume the leveled policy bounds.
+    pub merged_entries: u64,
+    /// Compaction steps completed (write-behind leveled policy only).
+    pub compactions: u64,
+    /// Immutable runs stacked above the base when the stream ended
+    /// (write-behind leveled policy only) — `runs + 1` is the worst-case
+    /// engine probes per point read, the read fan-out the leveled policy
+    /// trades merge work against.
+    pub runs: usize,
 }
 
 /// Bulk-load `family` and drive the op stream through it, timing both.
@@ -117,6 +128,9 @@ pub fn run_mixed(
         checksum,
         ops: ops.len(),
         merges: 0,
+        merged_entries: 0,
+        compactions: 0,
+        runs: 0,
     }
 }
 
@@ -127,8 +141,8 @@ pub fn run_mixed(
 ///
 /// The checksum folds op results exactly like [`run_mixed`], so a correct
 /// write-behind engine must reproduce the dynamic baselines' checksum on
-/// the same workload. `Remove` ops are rejected (generate the stream with
-/// `delete_fraction: 0.0`); the write-behind tier has no tombstones yet.
+/// the same workload — `Remove` ops included, which land as tombstones in
+/// the delta and replay churn mixes (`delete_fraction > 0`) honestly.
 pub fn run_mixed_writebehind(
     spec: &EngineSpec,
     mode: MergeMode,
@@ -150,12 +164,9 @@ pub fn run_mixed_writebehind(
     for &op in ops {
         let r = match op {
             Op::Insert(k, v) => engine.insert(k, v),
+            Op::Remove(k) => engine.remove(k),
             Op::Lookup(k) => engine.get(k),
             Op::RangeSum(lo, hi) => Some(engine.range_sum(lo, hi)),
-            Op::Remove(k) => panic!(
-                "write-behind engine has no remove path (key {k}); \
-                 generate the stream with delete_fraction: 0.0"
-            ),
         };
         checksum = checksum.wrapping_mul(0x100000001B3).wrapping_add(r.unwrap_or(0x9E37));
     }
@@ -178,6 +189,9 @@ pub fn run_mixed_writebehind(
         checksum,
         ops: ops.len(),
         merges: engine.merges_completed(),
+        merged_entries: engine.merged_entries(),
+        compactions: engine.compactions(),
+        runs: engine.run_count(),
     })
 }
 
@@ -219,33 +233,47 @@ mod tests {
     #[test]
     fn writebehind_matches_dynamic_baselines_checksum() {
         use crate::registry::{DeltaKind, Family};
-        let cfg =
-            MixedConfig { insert_fraction: 0.3, range_fraction: 0.1, ..MixedConfig::default() };
+        use sosd_core::MergePolicy;
+        // A churn mix: removes land as tombstones in the write-behind tier
+        // and must fold the same observable results as the in-place
+        // baseline, in both merge policies and both merge modes.
+        let cfg = MixedConfig {
+            insert_fraction: 0.3,
+            delete_fraction: 0.1,
+            range_fraction: 0.1,
+            ..MixedConfig::default()
+        };
         let w = generate_mixed(DatasetId::Amzn, 20_000, 6_000, cfg, 42);
         let baseline =
             run_mixed(DynFamily::BPlusTree, &w.label, &w.bulk_keys, &w.bulk_payloads, &w.ops);
-        let spec = EngineSpec::WriteBehind {
-            shards: 1,
-            inner: Family::BTree.default_spec::<u64>(),
-            delta: DeltaKind::BTree,
-            merge_threshold: 400,
-        };
-        for mode in [MergeMode::Sync, MergeMode::Background] {
-            let wb = run_mixed_writebehind(
-                &spec,
-                mode,
-                &w.label,
-                &w.bulk_keys,
-                &w.bulk_payloads,
-                &w.ops,
-            )
-            .unwrap();
-            assert_eq!(
-                wb.checksum, baseline.checksum,
-                "{} diverged from the B+Tree baseline",
-                wb.family
-            );
-            assert!(wb.merges >= 1, "threshold 400 should have merged ({})", wb.family);
+        for policy in [MergePolicy::Flat, MergePolicy::Leveled { fanout: 4, max_levels: 2 }] {
+            let spec = EngineSpec::WriteBehind {
+                shards: 1,
+                inner: Family::BTree.default_spec::<u64>(),
+                delta: DeltaKind::BTree,
+                merge_threshold: 400,
+                policy,
+            };
+            for mode in [MergeMode::Sync, MergeMode::Background] {
+                let wb = run_mixed_writebehind(
+                    &spec,
+                    mode,
+                    &w.label,
+                    &w.bulk_keys,
+                    &w.bulk_payloads,
+                    &w.ops,
+                )
+                .unwrap();
+                assert_eq!(
+                    wb.checksum, baseline.checksum,
+                    "{} diverged from the B+Tree baseline",
+                    wb.family
+                );
+                assert!(wb.merges >= 1, "threshold 400 should have merged ({})", wb.family);
+                if policy != MergePolicy::Flat {
+                    assert!(wb.merged_entries > 0, "merge volume must be tracked");
+                }
+            }
         }
     }
 

@@ -23,7 +23,8 @@ use sosd_baselines::{BsBuilder, RbsBuilder};
 use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
     BuildError, CachedEngine, DynamicOrderedIndex, Index, IndexBuilder, Key, MergeMode,
-    QueryEngine, SearchStrategy, ShardedEngine, SortedData, StaticEngine, WriteBehindEngine,
+    MergePolicy, QueryEngine, SearchStrategy, ShardedEngine, SortedData, StaticEngine,
+    WriteBehindEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -344,16 +345,23 @@ pub enum EngineSpec {
     },
     /// Write-behind serving: an immutable base (single index when
     /// `shards <= 1`, a [`ShardedEngine`] otherwise) plus a mutable delta
-    /// buffer, merged when the delta crosses `merge_threshold` entries.
+    /// buffer, merged when the delta crosses `merge_threshold` shadow
+    /// entries (inserts and tombstoned removes both count).
     WriteBehind {
         /// Base partition count (`1` = an unsharded base engine).
         shards: usize,
-        /// The index configuration of the base (per shard when sharded).
+        /// The index configuration of the base (per shard when sharded;
+        /// under a leveled policy also built per frozen run).
         inner: IndexSpec,
         /// The delta-buffer family.
         delta: DeltaKind,
-        /// Active-delta entry count that triggers a merge.
+        /// Active-delta shadow-entry count that triggers a merge.
         merge_threshold: usize,
+        /// How merges fold the delta into the immutable tiers: one flat
+        /// base rebuild per cycle, or an LSM-style leveled run stack
+        /// (JSON `"policy": "flat"` — the default when absent — or
+        /// `"policy": "leveled", "fanout": F, "max_levels": L`).
+        policy: MergePolicy,
     },
     /// Hot-key cached serving: a bounded, lock-striped
     /// [`CachedEngine`] result cache in front of `inner` (which may itself
@@ -376,9 +384,15 @@ impl EngineSpec {
             EngineSpec::Sharded { shards, inner } => {
                 format!("sharded{}x[{}]", shards, inner.label::<K>())
             }
-            EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } => {
+            EngineSpec::WriteBehind { shards, inner, delta, merge_threshold, policy } => {
                 let base = EngineSpec::base_spec(*shards, *inner).label::<K>();
-                format!("wb[{base}+{}@{merge_threshold}]", delta.token())
+                match policy {
+                    MergePolicy::Flat => format!("wb[{base}+{}@{merge_threshold}]", delta.token()),
+                    MergePolicy::Leveled { fanout, max_levels } => format!(
+                        "wb[{base}+{}@{merge_threshold},lvl{fanout}x{max_levels}]",
+                        delta.token()
+                    ),
+                }
             }
             EngineSpec::Cached { capacity, stripes, inner } => {
                 format!("cached{capacity}x{stripes}[{}]", inner.label::<K>())
@@ -478,7 +492,8 @@ impl EngineSpec {
         strategy: SearchStrategy,
         mode: MergeMode,
     ) -> Result<WriteBehindEngine<K>, BuildError> {
-        let &EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } = self else {
+        let &EngineSpec::WriteBehind { shards, inner, delta, merge_threshold, policy } = self
+        else {
             return Err(BuildError::InvalidConfig(
                 "writebehind_engine needs a write-behind spec".into(),
             ));
@@ -486,12 +501,13 @@ impl EngineSpec {
         let base = EngineSpec::base_spec(shards, inner);
         let base_factory: BaseFactory<K> =
             Arc::new(move |d: Arc<SortedData<K>>| base.engine(&d, strategy));
-        WriteBehindEngine::new(
+        WriteBehindEngine::with_policy(
             Arc::clone(data),
             base_factory,
             delta.factory::<K>(),
             merge_threshold,
             mode,
+            policy,
         )
     }
 }
@@ -511,17 +527,25 @@ impl Serialize for EngineSpec {
                     ]),
                 ),
             ]),
-            EngineSpec::WriteBehind { shards, inner, delta, merge_threshold } => {
+            EngineSpec::WriteBehind { shards, inner, delta, merge_threshold, policy } => {
+                let mut params = vec![
+                    ("inner".into(), EngineSpec::base_spec(*shards, *inner).to_value()),
+                    ("delta".into(), Value::Str(delta.token().into())),
+                    ("merge_threshold".into(), Value::UInt(*merge_threshold as u64)),
+                ];
+                match policy {
+                    MergePolicy::Flat => {
+                        params.push(("policy".into(), Value::Str("flat".into())));
+                    }
+                    MergePolicy::Leveled { fanout, max_levels } => {
+                        params.push(("policy".into(), Value::Str("leveled".into())));
+                        params.push(("fanout".into(), Value::UInt(*fanout as u64)));
+                        params.push(("max_levels".into(), Value::UInt(*max_levels as u64)));
+                    }
+                }
                 Value::Object(vec![
                     ("family".into(), Value::Str("writebehind".into())),
-                    (
-                        "params".into(),
-                        Value::Object(vec![
-                            ("inner".into(), EngineSpec::base_spec(*shards, *inner).to_value()),
-                            ("delta".into(), Value::Str(delta.token().into())),
-                            ("merge_threshold".into(), Value::UInt(*merge_threshold as u64)),
-                        ]),
-                    ),
+                    ("params".into(), Value::Object(params)),
                 ])
             }
             EngineSpec::Cached { capacity, stripes, inner } => Value::Object(vec![
@@ -597,11 +621,46 @@ impl Deserialize for EngineSpec {
                 if merge_threshold == 0 {
                     return Err(serde::Error::custom("writebehind needs `merge_threshold` >= 1"));
                 }
+                // `policy` is optional for backward compatibility: specs
+                // written before leveled merges existed are flat.
+                let policy = match params.get_field("policy").map(|p| {
+                    p.as_str().ok_or_else(|| serde::Error::custom("`policy` must be a string"))
+                }) {
+                    None => MergePolicy::Flat,
+                    Some(token) => match token? {
+                        "flat" => MergePolicy::Flat,
+                        "leveled" => {
+                            let knob = |name: &str| -> Result<u64, serde::Error> {
+                                params.get_field(name).and_then(serde::Value::as_u64).ok_or_else(
+                                    || {
+                                        serde::Error::custom(format!(
+                                            "leveled policy needs `{name}`"
+                                        ))
+                                    },
+                                )
+                            };
+                            let policy = MergePolicy::Leveled {
+                                fanout: knob("fanout")? as usize,
+                                max_levels: knob("max_levels")? as usize,
+                            };
+                            // Validity rules live on MergePolicy itself —
+                            // one source of truth with the engine.
+                            policy.validate().map_err(serde::Error::custom)?;
+                            policy
+                        }
+                        other => {
+                            return Err(serde::Error::custom(format!(
+                                "unknown merge policy `{other}`"
+                            )))
+                        }
+                    },
+                };
                 Ok(EngineSpec::WriteBehind {
                     shards,
                     inner,
                     delta,
                     merge_threshold: merge_threshold as usize,
+                    policy,
                 })
             }
             "cached" => {
@@ -1175,12 +1234,21 @@ mod tests {
                 inner,
                 delta: DeltaKind::BTree,
                 merge_threshold: 1024,
+                policy: MergePolicy::Flat,
             },
             EngineSpec::WriteBehind {
                 shards: 4,
                 inner,
                 delta: DeltaKind::Alex,
                 merge_threshold: 64,
+                policy: MergePolicy::Flat,
+            },
+            EngineSpec::WriteBehind {
+                shards: 1,
+                inner,
+                delta: DeltaKind::BTree,
+                merge_threshold: 256,
+                policy: MergePolicy::Leveled { fanout: 4, max_levels: 3 },
             },
         ] {
             let json = serde_json::to_string(&spec).unwrap();
@@ -1188,9 +1256,11 @@ mod tests {
             assert_eq!(back, spec, "{json}");
             assert!(json.contains("\"family\":\"writebehind\""), "{json}");
             assert!(json.contains("\"merge_threshold\":"), "{json}");
+            assert!(json.contains("\"policy\":"), "{json}");
         }
         // The documented JSON shape parses, with a sharded base nested as a
-        // full engine spec.
+        // full engine spec; a spec with no `policy` field (written before
+        // leveled merges existed) parses as flat.
         let json = "{\"family\":\"writebehind\",\"params\":{\
                     \"inner\":{\"family\":\"sharded\",\"params\":{\"shards\":2,\
                     \"inner\":{\"family\":\"BS\",\"params\":{}}}},\
@@ -1203,6 +1273,7 @@ mod tests {
                 inner: IndexSpec::new(IndexParams::Bs),
                 delta: DeltaKind::BTree,
                 merge_threshold: 8,
+                policy: MergePolicy::Flat,
             }
         );
         // Malformed writebehind specs are rejected.
@@ -1210,6 +1281,9 @@ mod tests {
             "{\"family\":\"writebehind\",\"params\":{}}",
             "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"nope\",\"merge_threshold\":8}}",
             "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":0}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"nope\"}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\"}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\",\"fanout\":1,\"max_levels\":2}}",
         ] {
             assert!(serde_json::from_str::<EngineSpec>(bad).is_err(), "{bad}");
         }
@@ -1221,6 +1295,7 @@ mod tests {
             inner: Family::Pgm.default_spec::<u64>(),
             delta: DeltaKind::BTree,
             merge_threshold: 100,
+            policy: MergePolicy::Flat,
         };
         let wb = spec
             .writebehind_engine(&data, SearchStrategy::Binary, sosd_core::MergeMode::Sync)
@@ -1242,6 +1317,30 @@ mod tests {
             .writebehind_engine(&data, SearchStrategy::Binary, sosd_core::MergeMode::Sync)
             .is_err());
         assert!(spec.sharded_engine(&data, SearchStrategy::Binary).is_err());
+
+        // A leveled spec builds, stacks runs instead of rebuilding the
+        // base, and serves removes as tombstones.
+        let leveled = EngineSpec::WriteBehind {
+            shards: 1,
+            inner: Family::Pgm.default_spec::<u64>(),
+            delta: DeltaKind::BTree,
+            merge_threshold: 100,
+            policy: MergePolicy::Leveled { fanout: 4, max_levels: 2 },
+        };
+        assert!(leveled.label::<u64>().contains("lvl4x2"), "{}", leveled.label::<u64>());
+        let wb = leveled
+            .writebehind_engine(&data, SearchStrategy::Binary, sosd_core::MergeMode::Sync)
+            .unwrap();
+        for k in 0..250u64 {
+            wb.insert(k * 2 + 1, k);
+        }
+        assert_eq!(wb.remove(12), Some(data.payload(6)));
+        wb.wait_for_merges();
+        assert!(wb.merges_completed() >= 2);
+        assert!(wb.run_count() >= 1, "leveled merges must stack runs");
+        assert_eq!(wb.base_len(), data.len(), "leveled merges must not rebuild the base");
+        assert_eq!(wb.get(13), Some(6));
+        assert_eq!(wb.get(12), None, "tombstone shadows the base record");
     }
 
     #[test]
@@ -1266,6 +1365,7 @@ mod tests {
                     inner,
                     delta: DeltaKind::BTree,
                     merge_threshold: 512,
+                    policy: MergePolicy::Leveled { fanout: 4, max_levels: 2 },
                 }),
             },
         ] {

@@ -371,6 +371,16 @@ impl<K: Key> CachedEngine<K, WriteBehindEngine<K>> {
         self.invalidate(key);
         prev
     }
+
+    /// Write-through remove: forward the tombstoning remove to the
+    /// [`WriteBehindEngine`] write path, then invalidate the cached result
+    /// — same ordering as [`CachedEngine::insert`], so a probe after this
+    /// returns can never resurrect the removed payload from the cache.
+    pub fn remove(&self, key: K) -> Option<u64> {
+        let prev = self.inner.remove(key);
+        self.invalidate(key);
+        prev
+    }
 }
 
 impl<K: Key, E: QueryEngine<K>> QueryEngine<K> for CachedEngine<K, E> {

@@ -74,11 +74,14 @@ pub trait DynamicOrderedIndex<K: Key>: Send + Sync {
     ///
     /// The default implementation bridges through repeated
     /// [`DynamicOrderedIndex::lower_bound_entry`] probes — one `O(log n)`
-    /// descent per visited entry. Structures with a cheaper successor walk
-    /// (the B+Tree's chained leaves, for instance) override this with one
-    /// descent plus a sequential scan, which is what makes range queries on
+    /// descent per visited entry. Every workspace family overrides this
+    /// with a sequential walk (the B+Tree's chained leaves, ALEX's
+    /// occupancy-bit slot scans, the dynamic PGM's k-way run-cursor merge,
+    /// the FITing-Tree's per-segment two-pointer merge) — roughly one
+    /// descent plus a scan, which is what makes range queries on
     /// [`crate::DynamicEngine`] and the write-behind delta scan
-    /// `O(log n + m)` instead of `O(m log n)`.
+    /// `O(log n + m)` instead of `O(m log n)`. Overrides must skip
+    /// tombstoned entries, exactly like every other read.
     ///
     /// ```
     /// use sosd_core::testutil::VecMap;

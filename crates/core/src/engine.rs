@@ -59,6 +59,18 @@ fn prefetch_read<T>(ptr: *const T) {
 /// checksums — which coincides with the single stored payload when keys are
 /// unique (always true in the dynamic world).
 ///
+/// # Deleted keys
+///
+/// Compositors with a write path may *tombstone* deletions (the
+/// write-behind tier does: a removed key's records stay physically present
+/// in the immutable tiers until a merge folds the tombstone onto them).
+/// The read contract is in terms of **visible** entries only: a tombstoned
+/// key answers `None` from [`QueryEngine::get`], is skipped by
+/// [`QueryEngine::lower_bound`], appears in no [`QueryEngine::range`]
+/// output, and counts zero toward [`QueryEngine::len`] — physically
+/// retained shadowed records are an implementation detail no reader can
+/// observe.
+///
 /// # Threading
 ///
 /// Engines are `Send + Sync`: every method takes `&self`, so a serving

@@ -73,4 +73,4 @@ pub use key::Key;
 pub use search::{LastMileSearch, SearchStrategy};
 pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
 pub use trace::{CountingTracer, NullTracer, Tracer};
-pub use writebehind::{MergeMode, WriteBehindEngine};
+pub use writebehind::{MergeMode, MergePolicy, WriteBehindEngine};

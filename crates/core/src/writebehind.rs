@@ -1,5 +1,6 @@
 //! Write-behind serving: an immutable base engine plus a bounded delta
-//! buffer, merged in the background.
+//! buffer, merged in the background — with tombstoned deletes and an
+//! optional LSM-style leveled run stack.
 //!
 //! The paper's updatable-index experiments show learned structures losing
 //! to B-trees under writes because every insert disturbs the model;
@@ -8,41 +9,62 @@
 //! [`WriteBehindEngine`] is that architecture as a [`QueryEngine`]:
 //!
 //! * **Writes** go to a mutable *delta* — any [`DynamicOrderedIndex`] —
-//!   so the base index is never retrained on the write path.
-//! * **Reads** merge delta-over-base: point lookups probe the delta first,
-//!   ordered queries stitch a two-way merge, and batched lookups partition
+//!   so the base index is never retrained on the write path. The delta
+//!   stores *shadow entries* with `Option<u64>` payloads: an insert lands
+//!   as `Some(payload)`, a [`WriteBehindEngine::remove`] lands as a
+//!   **tombstone** (`None`) that hides every older record of its key.
+//! * **Reads** merge delta-over-stack-over-base: point lookups stop at the
+//!   newest shadow entry (a tombstone hit answers `None`), ordered queries
+//!   stitch merges that drop tombstoned keys, and batched lookups partition
 //!   keys so the base's interleaved-prefetch path still fires for the
-//!   (usually large) non-deltaed majority.
-//! * **Merges** rebuild the base from its [`SortedData`] plus the drained
-//!   delta when the delta crosses a size threshold — synchronously
-//!   ([`MergeMode::Sync`]) or on a background thread
-//!   ([`MergeMode::Background`]).
+//!   (usually large) non-shadowed majority.
+//! * **Merges** follow the configured [`MergePolicy`]:
+//!   * [`MergePolicy::Flat`] rebuilds the base from its [`SortedData`]
+//!     plus the drained delta when the delta crosses a size threshold
+//!     (tombstones delete their base records and are then dropped) —
+//!     `O(n)` merged volume per cycle.
+//!   * [`MergePolicy::Leveled`] freezes the threshold-crossing delta into
+//!     an immutable sorted *run* — each run carries **its own engine**,
+//!     built by the same base factory, so every frozen run is itself a
+//!     learned index — stacked newest-first in levels. A level holding
+//!     `fanout` runs is compacted into a single run one level down
+//!     (bounded work: only that level's volume moves), and only when the
+//!     *bottom* level overflows do its runs fold into the base — the one
+//!     point where tombstones may be dropped, because nothing older can
+//!     still hold their keys. Reads probe newest-to-oldest with per-run
+//!     key-range pruning.
+//!
+//!   Either way the merge runs synchronously ([`MergeMode::Sync`]) or on a
+//!   background thread ([`MergeMode::Background`]).
 //!
 //! # The epoch pointer
 //!
-//! Each merge produces a new immutable *generation* (rebuilt data + rebuilt
-//! engine) held in an `Arc`. Readers snapshot the current generation with
+//! Each merge step produces a new immutable *generation* — the base
+//! (rebuilt data + engine) plus, under the leveled policy, the whole run
+//! stack — held in an `Arc`. Readers snapshot the current generation with
 //! one `Arc` clone and run against it lock-free; the merge builds the next
 //! generation entirely outside any lock and publishes it with an O(1)
 //! pointer swap. The pointer lives behind an `RwLock` (std has no atomic
-//! `Arc` swap), but the write lock is held only for the two O(1) pointer
-//! moves of the cycle — the freeze handoff and the swap — never for the
-//! drain or rebuild, so readers can only ever block for a pointer store,
-//! and a generation's memory is reclaimed when its last in-flight reader
-//! drops its `Arc` (epoch-style reclamation by refcount).
+//! `Arc` swap), but the write lock is held only for the O(1) pointer moves
+//! of the cycle — the freeze handoff and each stack/base swap — never for
+//! the drain, run build, or compaction, so readers can only ever block for
+//! a pointer store, and a generation's memory is reclaimed when its last
+//! in-flight reader drops its `Arc` (epoch-style reclamation by refcount).
 //!
 //! # Consistency
 //!
-//! A merge cycle touches the state lock twice, O(1) each time: the
+//! A merge cycle touches the state lock O(1) times, O(1) each: the
 //! *freeze* moves the whole active delta behind the frozen pointer (no
 //! entry is copied under the lock; the drain into a sorted snapshot reads
 //! the now-immutable frozen tier outside it) and installs a fresh active
-//! delta; the *swap* installs the merged base and clears the frozen
-//! pointer in one critical section. A reader therefore always observes one
-//! of two coherent states — old base + frozen entries, or merged base +
-//! empty frozen — never a window where drained entries are in neither
-//! tier. Inserts arriving mid-merge land in the fresh active delta and
-//! survive the swap untouched.
+//! delta; each *swap* installs a new generation — and the first one clears
+//! the frozen pointer — in one critical section. A reader therefore always
+//! observes one coherent tier assignment: old stack + frozen entries, or
+//! new stack + empty frozen — never a window where drained entries are in
+//! neither tier. Writes arriving mid-merge land in the fresh active delta
+//! and survive every swap untouched. Compaction swaps never change the
+//! *visible* mapping at all (they only fold already-shadowed records
+//! away), so in-flight readers cannot observe a compaction.
 
 use crate::data::SortedData;
 use crate::dynamic::DynamicOrderedIndex;
@@ -53,77 +75,306 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-/// Builds the immutable base engine over a (rebuilt) data array — called
-/// once at construction and once per merge. Any [`QueryEngine`] works: a
-/// plain `StaticEngine`, a `ShardedEngine`, or another compositor.
+/// Builds an immutable engine over a (rebuilt) data array — called once at
+/// construction, once per base rebuild, and (under [`MergePolicy::Leveled`])
+/// once per frozen run. Any [`QueryEngine`] works: a plain `StaticEngine`,
+/// a `ShardedEngine`, or another compositor.
 pub type BaseFactory<K> =
     Arc<dyn Fn(Arc<SortedData<K>>) -> Result<Box<dyn QueryEngine<K>>, BuildError> + Send + Sync>;
 
 /// Creates an empty delta buffer — called at construction and every time
-/// the active delta is frozen for a merge.
+/// the active delta is frozen for a merge (twice each: the delta tier keeps
+/// its live values and its tombstone set in two buffers of this family).
 pub type DeltaFactory<K> = Arc<dyn Fn() -> Box<dyn DynamicOrderedIndex<K>> + Send + Sync>;
 
-/// When the merge rebuild runs relative to the insert that triggered it.
+/// When the merge rebuild runs relative to the write that triggered it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MergeMode {
-    /// The triggering insert blocks until the rebuilt base is installed —
+    /// The triggering write blocks until the new generation is installed —
     /// simple, deterministic, and the right choice for single-threaded
     /// harnesses and tests.
     Sync,
-    /// The rebuild runs on a spawned thread; the triggering insert returns
+    /// The rebuild runs on a spawned thread; the triggering write returns
     /// immediately and readers keep serving from the old generation plus
     /// the frozen delta until the O(1) swap.
     Background,
 }
 
-/// One immutable base generation: the engine and the data it was built
-/// over (kept so the next merge can rebuild from it).
-struct Generation<K: Key> {
+/// How threshold-crossing deltas are folded into the immutable tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergePolicy {
+    /// Every merge rebuilds the single flat base from scratch: one engine
+    /// to probe on reads, `O(n)` merged volume per cycle.
+    Flat,
+    /// LSM-style leveled run stack: each merge freezes the delta into an
+    /// immutable sorted run (with its own engine) at level 0; a level
+    /// reaching `fanout` runs is compacted into one run at the next level;
+    /// the bottom level (`max_levels - 1`) folds into the base instead.
+    /// Bounded merge work per cycle, at the cost of read fan-out (up to
+    /// `fanout * max_levels` run probes before the base answers).
+    Leveled {
+        /// Runs a level holds before compaction (>= 2).
+        fanout: usize,
+        /// Number of run levels above the base (>= 1).
+        max_levels: usize,
+    },
+}
+
+impl MergePolicy {
+    /// Validate the policy's parameters — the single definition of what a
+    /// well-formed policy is, shared by [`WriteBehindEngine::with_policy`]
+    /// and the bench registry's spec deserializer.
+    pub fn validate(self) -> Result<(), BuildError> {
+        if let MergePolicy::Leveled { fanout, max_levels } = self {
+            if fanout < 2 {
+                return Err(BuildError::InvalidConfig("leveled fanout must be >= 2".into()));
+            }
+            if max_levels == 0 {
+                return Err(BuildError::InvalidConfig("leveled max_levels must be >= 1".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One shadow entry: `Some(payload)` overwrites the key's older records,
+/// `None` (a tombstone) hides them.
+type Shadow<K> = (K, Option<u64>);
+
+/// The mutable delta tier: live values and tombstones, kept in two buffers
+/// of the configured delta family. Invariant: a key is present in at most
+/// one of the two (writes move it between them under the state lock), so
+/// ordered merges of the two buffers never see a key tie.
+struct DeltaTier<K: Key> {
+    values: Box<dyn DynamicOrderedIndex<K>>,
+    /// Tombstoned keys; the stored payload is unused (always 0).
+    tombs: Box<dyn DynamicOrderedIndex<K>>,
+}
+
+impl<K: Key> DeltaTier<K> {
+    fn new(factory: &DeltaFactory<K>) -> Self {
+        DeltaTier { values: factory(), tombs: factory() }
+    }
+
+    /// Shadow state of `key` in this tier, or `None` when the tier says
+    /// nothing about it.
+    fn state(&self, key: K) -> Option<Option<u64>> {
+        if let Some(v) = self.values.get(key) {
+            return Some(Some(v));
+        }
+        self.tombs.get(key).map(|_| None)
+    }
+
+    fn len(&self) -> usize {
+        self.values.len() + self.tombs.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.values.is_empty() && self.tombs.is_empty()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.values.size_bytes() + self.tombs.size_bytes()
+    }
+
+    /// Shadow entries in `[lo, hi)`, sorted by key (values and tombstones
+    /// are key-disjoint, so this is a tie-free two-way merge).
+    fn entries_in(&self, lo: K, hi: K) -> Vec<Shadow<K>> {
+        let mut values = Vec::new();
+        self.values.for_each_in(lo, hi, &mut |k, v| values.push((k, Some(v))));
+        if self.tombs.is_empty() {
+            return values;
+        }
+        let mut tombs = Vec::new();
+        self.tombs.for_each_in(lo, hi, &mut |k, _| tombs.push((k, None)));
+        merge_newer_over_older(&values, &tombs)
+    }
+
+    /// Every shadow entry, sorted — the merge drain. `for_each_in` is
+    /// half-open, so the extreme key needs one explicit probe.
+    fn drain_sorted(&self) -> Vec<Shadow<K>> {
+        let mut out = self.entries_in(K::MIN_KEY, K::MAX_KEY);
+        if let Some(v) = self.values.get(K::MAX_KEY) {
+            out.push((K::MAX_KEY, Some(v)));
+        } else if self.tombs.get(K::MAX_KEY).is_some() {
+            out.push((K::MAX_KEY, None));
+        }
+        out
+    }
+
+    /// Smallest shadow entry with key `>= key`.
+    fn lower_bound_entry(&self, key: K) -> Option<Shadow<K>> {
+        let value = self.values.lower_bound_entry(key).map(|(k, v)| (k, Some(v)));
+        let tomb = self.tombs.lower_bound_entry(key).map(|(k, _)| (k, None));
+        match (value, tomb) {
+            (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// One immutable sorted run of shadow entries with its own engine (built by
+/// the shared base factory — a learned index over the run's keys).
+/// Tombstoned keys stay in the run's data (payload 0, ignored) so the
+/// engine can route to them; `dead_keys` marks which they are.
+struct Run<K: Key> {
     engine: Box<dyn QueryEngine<K>>,
+    data: Arc<SortedData<K>>,
+    /// Sorted keys of this run that are tombstones.
+    dead_keys: Vec<K>,
+}
+
+impl<K: Key> Run<K> {
+    /// Build a run from sorted shadow entries (non-empty, unique keys).
+    fn build(entries: &[Shadow<K>], factory: &BaseFactory<K>) -> Result<Run<K>, BuildError> {
+        let keys: Vec<K> = entries.iter().map(|e| e.0).collect();
+        let payloads: Vec<u64> = entries.iter().map(|e| e.1.unwrap_or(0)).collect();
+        let dead_keys: Vec<K> = entries.iter().filter(|e| e.1.is_none()).map(|e| e.0).collect();
+        let data = Arc::new(SortedData::with_payloads(keys, payloads).map_err(BuildError::Data)?);
+        let engine = factory(Arc::clone(&data))?;
+        Ok(Run { engine, data, dead_keys })
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    fn is_dead(&self, key: K) -> bool {
+        self.dead_keys.binary_search(&key).is_ok()
+    }
+
+    /// Key-range prune: true when `key` cannot be in this run.
+    #[inline]
+    fn prunes(&self, key: K) -> bool {
+        key < self.data.min_key() || key > self.data.max_key()
+    }
+
+    /// Shadow state of `key`, probed through the run's engine (the learned
+    /// read path), or `None` when the run says nothing about it.
+    fn probe(&self, key: K) -> Option<Option<u64>> {
+        if self.prunes(key) {
+            return None;
+        }
+        let v = self.engine.get(key)?;
+        Some((!self.is_dead(key)).then_some(v))
+    }
+
+    /// Shadow state of `key`, probed directly against the run's data array
+    /// (one binary search; the write path stays off every engine).
+    fn probe_in_data(&self, key: K) -> Option<Option<u64>> {
+        if self.prunes(key) {
+            return None;
+        }
+        let pos = self.data.lower_bound(key);
+        if pos >= self.data.len() || self.data.key(pos) != key {
+            return None;
+        }
+        Some((!self.is_dead(key)).then(|| self.data.payload(pos)))
+    }
+
+    /// Smallest shadow entry with key `>= key` (tombstones included).
+    fn lower_bound(&self, key: K) -> Option<Shadow<K>> {
+        if key > self.data.max_key() {
+            return None;
+        }
+        let (k, v) = self.engine.lower_bound(key)?;
+        Some((k, (!self.is_dead(k)).then_some(v)))
+    }
+
+    /// Shadow entries in `[lo, hi)`, through the run's engine.
+    fn entries_in(&self, lo: K, hi: K) -> Vec<Shadow<K>> {
+        if hi <= self.data.min_key() || lo > self.data.max_key() {
+            return Vec::new(); // whole window outside the run's key range
+        }
+        self.engine
+            .range(lo, hi)
+            .into_iter()
+            .map(|(k, v)| (k, (!self.is_dead(k)).then_some(v)))
+            .collect()
+    }
+
+    /// Every shadow entry, straight from the data array (merge input).
+    fn all_entries(&self) -> Vec<Shadow<K>> {
+        let keys = self.data.keys();
+        let payloads = self.data.payloads();
+        (0..keys.len())
+            .map(|i| (keys[i], (!self.is_dead(keys[i])).then_some(payloads[i])))
+            .collect()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.engine.size_bytes()
+            + self.data.data_size_bytes()
+            + self.dead_keys.capacity() * std::mem::size_of::<K>()
+    }
+}
+
+/// The base engine handle, shared across generations by `Arc`: a leveled
+/// stack swap reuses the same base engine (only base folds rebuild it), so
+/// the handle must be cloneable even though `Box<dyn QueryEngine>` is not.
+type SharedBase<K> = Arc<Box<dyn QueryEngine<K>>>;
+
+/// One immutable generation: the run stack (newest level first, newest run
+/// first within a level; always empty under [`MergePolicy::Flat`]) over the
+/// base engine and the data it was built from.
+struct Generation<K: Key> {
+    /// `levels[0]` holds the newest runs; within a level, index 0 is the
+    /// newest run.
+    levels: Vec<Vec<Arc<Run<K>>>>,
+    base: SharedBase<K>,
     data: Arc<SortedData<K>>,
     /// Monotone generation counter (0 = the initial build).
     epoch: u64,
+}
+
+impl<K: Key> Generation<K> {
+    /// Runs in shadowing order: newest first.
+    fn runs_newest_first(&self) -> impl Iterator<Item = &Arc<Run<K>>> {
+        self.levels.iter().flatten()
+    }
+
+    /// Total runs across all levels.
+    fn run_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
 }
 
 /// Everything a reader needs one coherent view of: the current generation
 /// pointer, the mutable active delta, and the frozen (mid-merge) delta.
 struct State<K: Key> {
     generation: Arc<Generation<K>>,
-    active: Box<dyn DynamicOrderedIndex<K>>,
+    active: DeltaTier<K>,
     /// A previous active delta, moved here wholesale (an O(1) pointer
-    /// handoff) when its merge began and not yet folded into the base.
+    /// handoff) when its merge began and not yet folded into the stack.
     /// `None` except while a merge is in flight. Shared with the merge
     /// thread, which drains it outside the state lock.
-    frozen: Option<Arc<dyn DynamicOrderedIndex<K>>>,
+    frozen: Option<Arc<DeltaTier<K>>>,
 }
 
 impl<K: Key> State<K> {
-    fn frozen_get(&self, key: K) -> Option<u64> {
-        self.frozen.as_ref().and_then(|f| f.get(key))
+    /// Shadow state visible for `key` in the delta tiers (active wins over
+    /// frozen), or `None` when only the immutable tiers can answer.
+    fn delta_state(&self, key: K) -> Option<Option<u64>> {
+        self.active.state(key).or_else(|| self.frozen.as_ref().and_then(|f| f.state(key)))
     }
 
-    /// Payload visible for `key` in the delta tiers (active wins over
-    /// frozen), or `None` when only the base can answer.
-    fn delta_get(&self, key: K) -> Option<u64> {
-        self.active.get(key).or_else(|| self.frozen_get(key))
-    }
-
-    /// Delta entries in `[lo, hi)`, active merged over frozen, sorted and
-    /// unique.
-    fn delta_range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
-        let mut active = Vec::new();
-        self.active.for_each_in(lo, hi, &mut |k, v| active.push((k, v)));
+    /// Delta shadow entries in `[lo, hi)`, active merged over frozen,
+    /// sorted and unique.
+    fn delta_entries(&self, lo: K, hi: K) -> Vec<Shadow<K>> {
+        let active = self.active.entries_in(lo, hi);
         let Some(frozen) = &self.frozen else {
             return active;
         };
-        let mut older = Vec::new();
-        frozen.for_each_in(lo, hi, &mut |k, v| older.push((k, v)));
-        merge_newer_over_older(&active, &older)
+        merge_newer_over_older(&active, &frozen.entries_in(lo, hi))
     }
 }
 
 /// Merge two sorted unique runs; on equal keys the `newer` entry wins.
-fn merge_newer_over_older<K: Key>(newer: &[(K, u64)], older: &[(K, u64)]) -> Vec<(K, u64)> {
+fn merge_newer_over_older<K: Key, V: Copy>(newer: &[(K, V)], older: &[(K, V)]) -> Vec<(K, V)> {
+    if newer.is_empty() {
+        return older.to_vec();
+    }
     let mut out = Vec::with_capacity(newer.len() + older.len());
     let mut i = 0;
     for &(k, v) in newer {
@@ -140,17 +391,24 @@ fn merge_newer_over_older<K: Key>(newer: &[(K, u64)], older: &[(K, u64)]) -> Vec
     out
 }
 
-/// Merge sorted unique `delta` entries over `base` records: a delta entry
+/// Merge sorted unique shadow entries over `base` records: a value entry
 /// replaces the *whole duplicate group* of its key (matching the engine's
-/// overwrite semantics, where a deltaed key's payload shadows the base's
-/// duplicate sum).
-fn merge_delta_over_base<K: Key>(base: &SortedData<K>, delta: &[(K, u64)]) -> SortedData<K> {
+/// overwrite semantics, where a shadowed key's payload replaces the base's
+/// duplicate sum) and a tombstone deletes the group — this is the one
+/// place tombstones are dropped, so it must only run when nothing older
+/// than `base` can still hold their keys. Returns `None` when tombstones
+/// deleted every record — an empty `SortedData` is not representable, so
+/// callers must keep the tombstones shadowing instead.
+fn merge_shadows_over_base<K: Key>(
+    base: &SortedData<K>,
+    shadows: &[Shadow<K>],
+) -> Option<SortedData<K>> {
     let bk = base.keys();
     let bp = base.payloads();
-    let mut keys = Vec::with_capacity(bk.len() + delta.len());
-    let mut payloads = Vec::with_capacity(bk.len() + delta.len());
+    let mut keys = Vec::with_capacity(bk.len() + shadows.len());
+    let mut payloads = Vec::with_capacity(bk.len() + shadows.len());
     let mut i = 0;
-    for &(dk, dv) in delta {
+    for &(dk, dv) in shadows {
         while i < bk.len() && bk[i] < dk {
             keys.push(bk[i]);
             payloads.push(bp[i]);
@@ -159,12 +417,18 @@ fn merge_delta_over_base<K: Key>(base: &SortedData<K>, delta: &[(K, u64)]) -> So
         while i < bk.len() && bk[i] == dk {
             i += 1; // shadowed duplicate group
         }
-        keys.push(dk);
-        payloads.push(dv);
+        if let Some(v) = dv {
+            keys.push(dk);
+            payloads.push(v);
+        }
+        // A tombstone emits nothing: the key and its group are gone.
     }
     keys.extend_from_slice(&bk[i..]);
     payloads.extend_from_slice(&bp[i..]);
-    SortedData::with_payloads(keys, payloads).expect("two-way merge preserves order")
+    if keys.is_empty() {
+        return None;
+    }
+    Some(SortedData::with_payloads(keys, payloads).expect("shadow merge preserves order"))
 }
 
 /// The pieces shared between the engine handle and a background merge
@@ -174,18 +438,39 @@ struct Shared<K: Key> {
     base_factory: BaseFactory<K>,
     delta_factory: DeltaFactory<K>,
     merge_threshold: usize,
-    /// True while one merge (freeze → rebuild → swap) is in flight; at
+    policy: MergePolicy,
+    /// True while one merge (freeze → build → swaps) is in flight; at
     /// most one runs at a time.
     merging: AtomicBool,
     merges: AtomicU64,
     failed_merges: AtomicU64,
+    /// Compaction steps completed (level folds and base folds).
+    compactions: AtomicU64,
+    /// Total entries written into new immutable structures by merges and
+    /// compactions — the merge write volume; `merged_entries / merges` is
+    /// the per-cycle merged volume the leveled policy bounds.
+    merged_entries: AtomicU64,
     /// Exact number of entries a full range scan returns right now: a
-    /// delta write that shadows a base duplicate group collapses the whole
-    /// group to one visible entry. Updated incrementally on insert, under
-    /// the state write lock. The merge swap leaves it untouched — folding
-    /// the frozen tier into the base neither hides nor exposes entries, so
-    /// the count is invariant across the swap.
+    /// shadow value over a base duplicate group collapses the whole group
+    /// to one visible entry, and a tombstone hides its key entirely.
+    /// Updated incrementally on insert/remove, under the state write lock.
+    /// Every merge swap leaves it untouched — folding shadow entries down
+    /// the stack neither hides nor exposes entries.
     visible_len: AtomicUsize,
+}
+
+/// What the immutable tiers below the active delta currently say about a
+/// key — the information a write needs to return the previous visible
+/// payload and keep `visible_len` exact.
+enum DeeperState {
+    /// Visible value in the frozen delta or a run (counted as one entry).
+    Value(u64),
+    /// Tombstoned in the frozen delta or a run.
+    Tombstone,
+    /// Present only in the base: the duplicate-group sum and group size.
+    BaseGroup(u64, usize),
+    /// Nowhere.
+    Absent,
 }
 
 /// Clears the `merging` flag when the merge cycle ends — including by
@@ -200,6 +485,35 @@ impl Drop for MergeFlagGuard<'_> {
 }
 
 impl<K: Key> Shared<K> {
+    /// What the tiers below the active delta say about `key`, probed
+    /// without touching any engine (runs and base are probed directly in
+    /// their data arrays — the write path stays search-cheap).
+    fn deeper_state(&self, st: &State<K>, key: K) -> DeeperState {
+        if let Some(frozen) = &st.frozen {
+            match frozen.state(key) {
+                Some(Some(v)) => return DeeperState::Value(v),
+                Some(None) => return DeeperState::Tombstone,
+                None => {}
+            }
+        }
+        for run in st.generation.runs_newest_first() {
+            match run.probe_in_data(key) {
+                Some(Some(v)) => return DeeperState::Value(v),
+                Some(None) => return DeeperState::Tombstone,
+                None => {}
+            }
+        }
+        let data = &st.generation.data;
+        let start = data.lower_bound(key);
+        match data.payload_sum_from(key, start) {
+            Some(sum) => {
+                let group = data.keys()[start..].iter().take_while(|&&x| x == key).count();
+                DeeperState::BaseGroup(sum, group)
+            }
+            None => DeeperState::Absent,
+        }
+    }
+
     /// The full merge cycle. Caller must have won the `merging` flag; it is
     /// cleared on every exit path (normal, empty-delta, failed, panicked).
     fn run_merge(&self) {
@@ -214,66 +528,220 @@ impl<K: Key> Shared<K> {
             if st.active.is_empty() {
                 return;
             }
-            let full = std::mem::replace(&mut st.active, (self.delta_factory)());
-            let frozen: Arc<dyn DynamicOrderedIndex<K>> = Arc::from(full);
+            let full = std::mem::replace(&mut st.active, DeltaTier::new(&self.delta_factory));
+            let frozen = Arc::new(full);
             st.frozen = Some(Arc::clone(&frozen));
             (frozen, Arc::clone(&st.generation))
         };
 
-        // Drain and rebuild outside every lock: readers keep serving old
-        // base + frozen, writers keep filling the new active delta.
-        let mut snapshot = Vec::with_capacity(frozen.len());
-        frozen.for_each_in(K::MIN_KEY, K::MAX_KEY, &mut |k, v| snapshot.push((k, v)));
-        // `for_each_in` is half-open, so the extreme key needs one probe.
-        if let Some(v) = frozen.get(K::MAX_KEY) {
-            snapshot.push((K::MAX_KEY, v));
+        // Drain outside every lock: readers keep serving old stack +
+        // frozen, writers keep filling the new active delta.
+        let snapshot = frozen.drain_sorted();
+        match self.policy {
+            MergePolicy::Flat => self.merge_flat(&generation, &snapshot),
+            MergePolicy::Leveled { fanout, max_levels } => {
+                self.merge_leveled(&generation, &snapshot, fanout, max_levels)
+            }
         }
-        let merged = Arc::new(merge_delta_over_base(&generation.data, &snapshot));
+    }
+
+    /// Flat policy: rebuild the whole base over base-data + snapshot.
+    fn merge_flat(&self, generation: &Arc<Generation<K>>, snapshot: &[Shadow<K>]) {
+        let Some(merged) = merge_shadows_over_base(&generation.data, snapshot) else {
+            // Every record was tombstoned away: an empty base is not
+            // representable (`SortedData` is non-empty by invariant), so
+            // the tombstones stay in the delta and keep shadowing the old
+            // base. Correct, if slow, in the everything-deleted corner.
+            self.rollback(snapshot);
+            return;
+        };
+        let merged = Arc::new(merged);
         match (self.base_factory)(Arc::clone(&merged)) {
             Ok(engine) => {
-                let next =
-                    Arc::new(Generation { engine, data: merged, epoch: generation.epoch + 1 });
+                self.merged_entries.fetch_add(merged.len() as u64, Ordering::Relaxed);
+                let next = Arc::new(Generation {
+                    levels: Vec::new(),
+                    base: Arc::new(engine),
+                    data: merged,
+                    epoch: generation.epoch + 1,
+                });
                 // The O(1) swap: install the merged generation and clear
                 // the frozen tier in one critical section, so no reader can
                 // observe the drained entries in neither tier. The visible
                 // count is invariant here: entries the frozen tier shadowed
-                // are exactly the ones the merge collapsed.
+                // are exactly the ones the merge collapsed or deleted.
                 let mut st = self.state.write().expect("writebehind state lock");
                 st.generation = next;
                 st.frozen = None;
                 self.merges.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => {
-                // Roll back: fold the snapshot into the active delta (newer
-                // active entries win) so nothing is lost, and retry on the
-                // next threshold crossing. The visible count is invariant
-                // here too — the fold only restores entries the frozen tier
-                // already made visible.
-                let mut st = self.state.write().expect("writebehind state lock");
-                for &(k, v) in snapshot.iter() {
-                    if st.active.get(k).is_none() {
-                        st.active.insert(k, v);
-                    }
-                }
-                st.frozen = None;
+                self.rollback(snapshot);
                 self.failed_merges.fetch_add(1, Ordering::Relaxed);
                 eprintln!("[writebehind] merge rebuild failed, delta retained: {e}");
             }
         }
     }
+
+    /// Leveled policy: freeze the snapshot into a level-0 run, then run
+    /// bounded compactions while any level overflows.
+    fn merge_leveled(
+        &self,
+        generation: &Arc<Generation<K>>,
+        snapshot: &[Shadow<K>],
+        fanout: usize,
+        max_levels: usize,
+    ) {
+        match Run::build(snapshot, &self.base_factory) {
+            Ok(run) => {
+                self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
+                let mut levels = generation.levels.clone();
+                if levels.is_empty() {
+                    levels.push(Vec::new());
+                }
+                levels[0].insert(0, Arc::new(run));
+                let next = Arc::new(Generation {
+                    levels,
+                    base: Arc::clone(&generation.base),
+                    data: Arc::clone(&generation.data),
+                    epoch: generation.epoch + 1,
+                });
+                let mut st = self.state.write().expect("writebehind state lock");
+                st.generation = next;
+                st.frozen = None;
+                drop(st);
+                self.merges.fetch_add(1, Ordering::Relaxed);
+                self.compact(fanout, max_levels);
+            }
+            Err(e) => {
+                self.rollback(snapshot);
+                self.failed_merges.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[writebehind] run build failed, delta retained: {e}");
+            }
+        }
+    }
+
+    /// Fold overflowing levels down the stack until every level is within
+    /// its fanout. Each step merges exactly one level's runs (newest wins)
+    /// into one run at the next level — or, at the bottom, into the base,
+    /// where tombstones are finally dropped. Runs are immutable and only
+    /// the merge thread replaces generations, so each step builds outside
+    /// the lock and publishes with one O(1) swap.
+    fn compact(&self, fanout: usize, max_levels: usize) {
+        loop {
+            let generation = {
+                let st = self.state.read().expect("writebehind state lock");
+                Arc::clone(&st.generation)
+            };
+            let Some(level) = generation.levels.iter().position(|l| l.len() >= fanout) else {
+                return;
+            };
+            let mut merged: Vec<Shadow<K>> = Vec::new();
+            for run in &generation.levels[level] {
+                merged = merge_newer_over_older(&merged, &run.all_entries());
+            }
+            let mut levels = generation.levels.clone();
+            levels[level].clear();
+            let built = if level + 1 < max_levels {
+                // Fold into a single run one level down; tombstones are
+                // preserved — older levels and the base may still hold
+                // their keys.
+                Run::build(&merged, &self.base_factory).map(|run| {
+                    self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
+                    while levels.len() <= level + 1 {
+                        levels.push(Vec::new());
+                    }
+                    levels[level + 1].insert(0, Arc::new(run));
+                    Generation {
+                        levels,
+                        base: Arc::clone(&generation.base),
+                        data: Arc::clone(&generation.data),
+                        epoch: generation.epoch + 1,
+                    }
+                })
+            } else {
+                // Bottom level: fold into the base. Nothing older than the
+                // base exists, so tombstones delete their records and are
+                // dropped.
+                if let Some(data) = merge_shadows_over_base(&generation.data, &merged) {
+                    let data = Arc::new(data);
+                    (self.base_factory)(Arc::clone(&data)).map(|base| {
+                        self.merged_entries.fetch_add(data.len() as u64, Ordering::Relaxed);
+                        Generation {
+                            levels,
+                            base: Arc::new(base),
+                            data,
+                            epoch: generation.epoch + 1,
+                        }
+                    })
+                } else {
+                    // Everything tombstoned away: an empty base is not
+                    // representable, so keep the bottom level as one
+                    // all-shadowing run instead (run count drops below the
+                    // fanout, so this terminates).
+                    Run::build(&merged, &self.base_factory).map(|run| {
+                        self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
+                        levels[level] = vec![Arc::new(run)];
+                        Generation {
+                            levels,
+                            base: Arc::clone(&generation.base),
+                            data: Arc::clone(&generation.data),
+                            epoch: generation.epoch + 1,
+                        }
+                    })
+                }
+            };
+            match built {
+                Ok(next) => {
+                    let mut st = self.state.write().expect("writebehind state lock");
+                    st.generation = Arc::new(next);
+                    drop(st);
+                    self.compactions.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // Nothing was lost (the overflowing level is intact);
+                    // retry at the next merge cycle.
+                    self.failed_merges.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("[writebehind] compaction build failed, level retained: {e}");
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Fold a drained snapshot back into the active delta (newer active
+    /// entries win) so nothing is lost, and clear the frozen pointer. The
+    /// visible count is invariant — the fold only restores shadow entries
+    /// the frozen tier already applied.
+    fn rollback(&self, snapshot: &[Shadow<K>]) {
+        let mut st = self.state.write().expect("writebehind state lock");
+        for &(k, v) in snapshot {
+            if st.active.state(k).is_none() {
+                match v {
+                    Some(payload) => {
+                        st.active.values.insert(k, payload);
+                    }
+                    None => {
+                        st.active.tombs.insert(k, 0);
+                    }
+                }
+            }
+        }
+        st.frozen = None;
+    }
 }
 
 /// A [`QueryEngine`] over an immutable base plus a bounded mutable delta,
-/// with threshold-triggered merges — the write-behind serving tier.
+/// with threshold-triggered merges — the write-behind serving tier, now
+/// with tombstoned deletes and an optional leveled run stack.
 ///
-/// Construction takes two factories: one that (re)builds the base engine
-/// over a data array, and one that creates empty delta buffers. The base
-/// factory runs at every merge, so it can build anything from a single
-/// `StaticEngine` to a full `ShardedEngine`.
+/// Construction takes two factories: one that (re)builds an immutable
+/// engine over a data array (the base, and each frozen run under
+/// [`MergePolicy::Leveled`]), and one that creates empty delta buffers.
 ///
 /// ```
 /// use sosd_core::testutil::{MirrorIndex, VecMap};
-/// use sosd_core::writebehind::{MergeMode, WriteBehindEngine};
+/// use sosd_core::writebehind::{MergeMode, MergePolicy, WriteBehindEngine};
 /// use sosd_core::{QueryEngine, SortedData, StaticEngine};
 /// use std::sync::Arc;
 ///
@@ -284,18 +752,21 @@ impl<K: Key> Shared<K> {
 ///         Ok(Box::new(StaticEngine::new(MirrorIndex::over(&d), d)) as Box<dyn QueryEngine<u64>>)
 ///     }),
 ///     Arc::new(|| Box::new(VecMap::new()) as _),
-///     2, // merge once the delta holds two entries
+///     3, // merge once the delta holds three shadow entries
 ///     MergeMode::Sync,
 /// )
 /// .unwrap();
 ///
 /// assert_eq!(engine.insert(15, 99), None); // held in the delta
 /// assert_eq!(engine.get(15), Some(99));
-/// assert_eq!(engine.insert(20, 7), Some(2)); // overwrite of a base record
+/// assert_eq!(engine.remove(20), Some(2)); // a tombstone shadows the base record
+/// assert_eq!(engine.get(20), None);
+/// assert_eq!(engine.insert(20, 7), None); // re-insert over the tombstone
+/// assert_eq!(engine.insert(25, 5), None); // third shadow entry => merge
 /// engine.wait_for_merges();
-/// assert_eq!(engine.merges_completed(), 1); // threshold crossed => merged
+/// assert_eq!(engine.merges_completed(), 1);
 /// assert_eq!(engine.delta_len(), 0);
-/// assert_eq!(engine.range(10, 31), vec![(10, 1), (15, 99), (20, 7), (30, 3)]);
+/// assert_eq!(engine.range(10, 31), vec![(10, 1), (15, 99), (20, 7), (25, 5), (30, 3)]);
 /// ```
 pub struct WriteBehindEngine<K: Key> {
     shared: Arc<Shared<K>>,
@@ -306,10 +777,10 @@ pub struct WriteBehindEngine<K: Key> {
 }
 
 impl<K: Key> WriteBehindEngine<K> {
-    /// Build the initial base over `data` and start with an empty delta.
+    /// Build the initial base over `data` with the flat merge policy.
     ///
-    /// `merge_threshold` is the active-delta entry count that triggers a
-    /// merge; it must be at least 1.
+    /// `merge_threshold` is the active-delta shadow-entry count that
+    /// triggers a merge; it must be at least 1.
     pub fn new(
         data: Arc<SortedData<K>>,
         base_factory: BaseFactory<K>,
@@ -317,14 +788,34 @@ impl<K: Key> WriteBehindEngine<K> {
         merge_threshold: usize,
         mode: MergeMode,
     ) -> Result<Self, BuildError> {
+        Self::with_policy(
+            data,
+            base_factory,
+            delta_factory,
+            merge_threshold,
+            mode,
+            MergePolicy::Flat,
+        )
+    }
+
+    /// Build with an explicit [`MergePolicy`].
+    pub fn with_policy(
+        data: Arc<SortedData<K>>,
+        base_factory: BaseFactory<K>,
+        delta_factory: DeltaFactory<K>,
+        merge_threshold: usize,
+        mode: MergeMode,
+        policy: MergePolicy,
+    ) -> Result<Self, BuildError> {
         if merge_threshold == 0 {
             return Err(BuildError::InvalidConfig("merge threshold must be >= 1".into()));
         }
-        let engine = (base_factory)(Arc::clone(&data))?;
+        policy.validate()?;
+        let engine = Arc::new((base_factory)(Arc::clone(&data))?);
         let visible = data.len();
         let state = State {
-            generation: Arc::new(Generation { engine, data, epoch: 0 }),
-            active: (delta_factory)(),
+            generation: Arc::new(Generation { levels: Vec::new(), base: engine, data, epoch: 0 }),
+            active: DeltaTier::new(&delta_factory),
             frozen: None,
         };
         Ok(WriteBehindEngine {
@@ -333,9 +824,12 @@ impl<K: Key> WriteBehindEngine<K> {
                 base_factory,
                 delta_factory,
                 merge_threshold,
+                policy,
                 merging: AtomicBool::new(false),
                 merges: AtomicU64::new(0),
                 failed_merges: AtomicU64::new(0),
+                compactions: AtomicU64::new(0),
+                merged_entries: AtomicU64::new(0),
                 visible_len: AtomicUsize::new(visible),
             }),
             mode,
@@ -344,36 +838,85 @@ impl<K: Key> WriteBehindEngine<K> {
     }
 
     /// Insert (or overwrite) `key` in the delta, returning the previously
-    /// *visible* payload — the delta entry if one existed, otherwise the
-    /// base's [`QueryEngine::get`] answer (the duplicate-group sum on
-    /// duplicated base keys, located directly in the generation's data
-    /// array — no base index probe on the write path).
+    /// *visible* payload — the newest shadow entry if one existed (`None`
+    /// for a tombstone), otherwise the base's [`QueryEngine::get`] answer
+    /// (the duplicate-group sum on duplicated base keys, located directly
+    /// in the generation's data arrays — no engine probe on the write
+    /// path).
     ///
     /// Crossing the merge threshold triggers a merge: inline under
     /// [`MergeMode::Sync`], on a spawned thread under
-    /// [`MergeMode::Background`] (at most one in flight; further inserts
+    /// [`MergeMode::Background`] (at most one in flight; further writes
     /// keep landing in the fresh active delta meanwhile).
     pub fn insert(&self, key: K, payload: u64) -> Option<u64> {
         let (prev, crossed) = {
             let mut st = self.shared.state.write().expect("writebehind state lock");
-            let prev = match st.active.insert(key, payload).or_else(|| st.frozen_get(key)) {
-                Some(v) => Some(v), // already shadowed: visibility unchanged
-                None => {
-                    // First shadow of this key: the base's duplicate group
-                    // (if any) collapses to this one visible entry.
-                    let data = &st.generation.data;
-                    let start = data.lower_bound(key);
-                    let prev_base = data.payload_sum_from(key, start);
-                    match data.keys()[start..].iter().take_while(|&&x| x == key).count() {
-                        0 => {
-                            self.shared.visible_len.fetch_add(1, Ordering::Relaxed);
-                        }
-                        g => {
-                            self.shared.visible_len.fetch_sub(g - 1, Ordering::Relaxed);
-                        }
-                    }
-                    prev_base
+            let prev = match st.active.state(key) {
+                Some(Some(_)) => st.active.values.insert(key, payload),
+                Some(None) => {
+                    // Re-insert over an active tombstone: the key revives.
+                    st.active.tombs.remove(key);
+                    st.active.values.insert(key, payload);
+                    self.shared.visible_len.fetch_add(1, Ordering::Relaxed);
+                    None
                 }
+                None => {
+                    let prev = match self.shared.deeper_state(&st, key) {
+                        DeeperState::Value(v) => Some(v),
+                        DeeperState::BaseGroup(sum, group) => {
+                            // First shadow of this key: the base's duplicate
+                            // group collapses to this one visible entry.
+                            self.shared.visible_len.fetch_sub(group - 1, Ordering::Relaxed);
+                            Some(sum)
+                        }
+                        DeeperState::Tombstone | DeeperState::Absent => {
+                            self.shared.visible_len.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                    };
+                    st.active.values.insert(key, payload);
+                    prev
+                }
+            };
+            (prev, st.active.len() >= self.shared.merge_threshold)
+        };
+        if crossed {
+            self.trigger_merge();
+        }
+        prev
+    }
+
+    /// Remove `key`, returning the previously visible payload (the
+    /// duplicate-group sum when the key only existed as a duplicated base
+    /// group). The removal lands as a **tombstone** shadow entry in the
+    /// delta; the key's older records stay physically present until a
+    /// merge folds the tombstone onto them. Removing a key that is not
+    /// visible returns `None` and writes nothing (so remove-heavy streams
+    /// of absent keys cannot grow the delta).
+    pub fn remove(&self, key: K) -> Option<u64> {
+        let (prev, crossed) = {
+            let mut st = self.shared.state.write().expect("writebehind state lock");
+            let prev = match st.active.state(key) {
+                Some(Some(_)) => {
+                    let prev = st.active.values.remove(key);
+                    st.active.tombs.insert(key, 0);
+                    self.shared.visible_len.fetch_sub(1, Ordering::Relaxed);
+                    prev
+                }
+                Some(None) => None, // already tombstoned: nothing to do
+                None => match self.shared.deeper_state(&st, key) {
+                    DeeperState::Value(v) => {
+                        st.active.tombs.insert(key, 0);
+                        self.shared.visible_len.fetch_sub(1, Ordering::Relaxed);
+                        Some(v)
+                    }
+                    DeeperState::BaseGroup(sum, group) => {
+                        st.active.tombs.insert(key, 0);
+                        self.shared.visible_len.fetch_sub(group, Ordering::Relaxed);
+                        Some(sum)
+                    }
+                    DeeperState::Tombstone | DeeperState::Absent => None,
+                },
             };
             (prev, st.active.len() >= self.shared.merge_threshold)
         };
@@ -405,35 +948,65 @@ impl<K: Key> WriteBehindEngine<K> {
         }
     }
 
-    /// Number of merges completed since construction.
+    /// Number of merge cycles completed since construction (each drains
+    /// one frozen delta).
     pub fn merges_completed(&self) -> u64 {
         self.shared.merges.load(Ordering::Relaxed)
     }
 
-    /// Number of merge rebuilds that failed (delta rolled back, retried on
-    /// the next threshold crossing).
+    /// Number of merge builds that failed (delta rolled back or level
+    /// retained, retried on the next cycle).
     pub fn failed_merges(&self) -> u64 {
         self.shared.failed_merges.load(Ordering::Relaxed)
     }
 
-    /// True while a merge (freeze → rebuild → swap) is in flight.
+    /// Compaction steps completed (always 0 under [`MergePolicy::Flat`]).
+    pub fn compactions(&self) -> u64 {
+        self.shared.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Total entries written into new immutable structures by merges and
+    /// compactions — divide by [`WriteBehindEngine::merges_completed`] for
+    /// the per-cycle merged volume the leveled policy bounds.
+    pub fn merged_entries(&self) -> u64 {
+        self.shared.merged_entries.load(Ordering::Relaxed)
+    }
+
+    /// True while a merge (freeze → build → swaps) is in flight.
     pub fn is_merging(&self) -> bool {
         self.shared.merging.load(Ordering::Acquire)
     }
 
-    /// Entries currently buffered outside the base (active + frozen).
+    /// Shadow entries currently buffered in the delta tiers (active +
+    /// frozen), tombstones included.
     pub fn delta_len(&self) -> usize {
         let st = self.shared.state.read().expect("writebehind state lock");
         st.active.len() + st.frozen.as_ref().map_or(0, |f| f.len())
     }
 
-    /// Records in the current base generation.
+    /// Records in the current base generation's data array (frozen runs
+    /// not included; see [`WriteBehindEngine::run_count`]).
     pub fn base_len(&self) -> usize {
         self.shared.state.read().expect("writebehind state lock").generation.data.len()
     }
 
-    /// The current generation counter (0 = initial build; each completed
-    /// merge increments it).
+    /// Immutable runs currently stacked above the base (always 0 under
+    /// [`MergePolicy::Flat`]). `run_count + 1` bounds the number of
+    /// engines a point read may probe after missing the delta — the read
+    /// fan-out the leveled policy trades merge work against.
+    pub fn run_count(&self) -> usize {
+        self.shared.state.read().expect("writebehind state lock").generation.run_count()
+    }
+
+    /// Runs per level, newest level first (empty under
+    /// [`MergePolicy::Flat`]).
+    pub fn level_run_counts(&self) -> Vec<usize> {
+        let st = self.shared.state.read().expect("writebehind state lock");
+        st.generation.levels.iter().map(Vec::len).collect()
+    }
+
+    /// The current generation counter (0 = initial build; each merge and
+    /// compaction swap increments it).
     pub fn epoch(&self) -> u64 {
         self.shared.state.read().expect("writebehind state lock").generation.epoch
     }
@@ -441,6 +1014,11 @@ impl<K: Key> WriteBehindEngine<K> {
     /// The configured merge threshold.
     pub fn merge_threshold(&self) -> usize {
         self.shared.merge_threshold
+    }
+
+    /// The configured merge policy.
+    pub fn policy(&self) -> MergePolicy {
+        self.shared.policy
     }
 
     /// Win the merge flag and run (or spawn) the merge.
@@ -479,78 +1057,116 @@ impl<K: Key> Drop for WriteBehindEngine<K> {
 impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
     fn name(&self) -> String {
         let st = self.shared.state.read().expect("writebehind state lock");
-        format!("writebehind[{}+{}]", st.generation.engine.name(), st.active.name())
+        format!("writebehind[{}+{}]", st.generation.base.name(), st.active.values.name())
     }
 
     /// The number of visible entries: delta overwrites don't double-count,
-    /// and a delta write shadowing a base duplicate group counts the group
-    /// as one entry. Equals the length of a full [`QueryEngine::range`]
-    /// scan, except that an entry at [`Key::MAX_KEY`] is counted here but
-    /// unreachable by any half-open range (`hi` is exclusive).
+    /// a shadow value over a base duplicate group counts the group as one
+    /// entry, and tombstoned keys count zero. Equals the length of a full
+    /// [`QueryEngine::range`] scan, except that an entry at
+    /// [`Key::MAX_KEY`] is counted here but unreachable by any half-open
+    /// range (`hi` is exclusive).
     fn len(&self) -> usize {
         self.shared.visible_len.load(Ordering::Relaxed)
     }
 
     fn size_bytes(&self) -> usize {
         let st = self.shared.state.read().expect("writebehind state lock");
-        st.generation.engine.size_bytes()
+        st.generation.base.size_bytes()
+            + st.generation.runs_newest_first().map(|r| r.size_bytes()).sum::<usize>()
             + st.active.size_bytes()
             + st.frozen.as_ref().map_or(0, |f| f.size_bytes())
     }
 
-    /// Delta first (a deltaed key's payload shadows the base, including any
-    /// base duplicate group), then the snapshotted base generation —
-    /// probed outside the state lock.
+    /// Delta first (the newest shadow entry wins: a value answers, a
+    /// tombstone answers `None`), then each run newest-to-oldest (skipping
+    /// runs whose key range prunes the probe), then the snapshotted base
+    /// generation — everything below the delta probed outside the state
+    /// lock.
     fn get(&self, key: K) -> Option<u64> {
         let generation = {
             let st = self.shared.state.read().expect("writebehind state lock");
-            if let Some(v) = st.delta_get(key) {
-                return Some(v);
+            if let Some(state) = st.delta_state(key) {
+                return state;
             }
             Arc::clone(&st.generation)
         };
-        generation.engine.get(key)
+        for run in generation.runs_newest_first() {
+            if let Some(state) = run.probe(key) {
+                return state;
+            }
+        }
+        generation.base.get(key)
     }
 
+    /// Smallest visible entry `>= key`. Candidates are gathered from every
+    /// tier; on key ties the newest tier wins, and a winning tombstone
+    /// advances the probe past its key (tombstones hide, they don't
+    /// answer). The state read lock is held across the *whole* skip loop:
+    /// every iteration must see the same delta and generation, or a writer
+    /// interleaving between two iterations could make the call return an
+    /// answer that was correct at no single instant (e.g. skip a tombstone
+    /// that a concurrent re-insert just revived, then miss an entry a
+    /// concurrent remove just hid).
     fn lower_bound(&self, key: K) -> Option<(K, u64)> {
-        let (delta, generation) = {
-            let st = self.shared.state.read().expect("writebehind state lock");
-            let active = st.active.lower_bound_entry(key);
-            let frozen = st.frozen.as_ref().and_then(|f| f.lower_bound_entry(key));
+        let st = self.shared.state.read().expect("writebehind state lock");
+        let generation = &st.generation;
+        let mut probe = key;
+        loop {
+            let active = st.active.lower_bound_entry(probe);
+            let frozen = st.frozen.as_ref().and_then(|f| f.lower_bound_entry(probe));
             // Active wins frozen on ties (it is newer).
-            let delta = match (active, frozen) {
+            let mut best = match (active, frozen) {
                 (Some(a), Some(f)) => Some(if f.0 < a.0 { f } else { a }),
                 (a, f) => a.or(f),
             };
-            (delta, Arc::clone(&st.generation))
-        };
-        let base = generation.engine.lower_bound(key);
-        // The delta entry wins a key tie: its write shadows the base
-        // record(s). A strictly smaller base key cannot be shadowed, since
-        // any delta entry for it would itself be a >= key candidate.
-        match (delta, base) {
-            (Some(d), Some(b)) => Some(if b.0 < d.0 { b } else { d }),
-            (d, b) => d.or(b),
+            // Fold in run candidates newest-to-oldest, then the base; an
+            // earlier (newer) candidate wins key ties, so `best` is always
+            // the newest shadow state of the smallest candidate key.
+            for run in generation.runs_newest_first() {
+                if let Some(cand) = run.lower_bound(probe) {
+                    if best.as_ref().is_none_or(|b| cand.0 < b.0) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((k, v)) = generation.base.lower_bound(probe) {
+                if best.as_ref().is_none_or(|b| k < b.0) {
+                    best = Some((k, Some(v)));
+                }
+            }
+            match best {
+                None => return None,
+                Some((k, Some(v))) => return Some((k, v)),
+                Some((k, None)) => match k.successor() {
+                    Some(next) => probe = next,
+                    None => return None,
+                },
+            }
         }
     }
 
-    /// Two-way merge of the base range and the delta range; delta entries
-    /// replace the whole base duplicate group of their key.
+    /// Merge of the delta range, each run's range (newest over older), and
+    /// the base range; a shadow value replaces the whole base duplicate
+    /// group of its key, and a tombstone drops it.
     fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
         if hi <= lo {
             return Vec::new();
         }
-        let (delta, generation) = {
+        let (mut shadows, generation) = {
             let st = self.shared.state.read().expect("writebehind state lock");
-            (st.delta_range(lo, hi), Arc::clone(&st.generation))
+            (st.delta_entries(lo, hi), Arc::clone(&st.generation))
         };
-        let base = generation.engine.range(lo, hi);
-        if delta.is_empty() {
+        for run in generation.runs_newest_first() {
+            shadows = merge_newer_over_older(&shadows, &run.entries_in(lo, hi));
+        }
+        let base = generation.base.range(lo, hi);
+        if shadows.is_empty() {
             return base;
         }
-        let mut out = Vec::with_capacity(base.len() + delta.len());
+        let mut out = Vec::with_capacity(base.len() + shadows.len());
         let mut i = 0;
-        for (dk, dv) in delta {
+        for (dk, dv) in shadows {
             while i < base.len() && base[i].0 < dk {
                 out.push(base[i]);
                 i += 1;
@@ -558,44 +1174,67 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
             while i < base.len() && base[i].0 == dk {
                 i += 1; // shadowed duplicate group
             }
-            out.push((dk, dv));
+            if let Some(v) = dv {
+                out.push((dk, v));
+            }
         }
         out.extend_from_slice(&base[i..]);
         out
     }
 
-    /// Partitioned batch execution: delta hits are answered inline under
-    /// one read-lock acquisition (so the whole batch sees a single coherent
-    /// delta state), and the remaining keys — the non-deltaed majority in a
-    /// read-mostly workload — go to the snapshotted base's own `get_batch`,
-    /// keeping its interleaved-prefetch override on the hot path.
+    /// Partitioned batch execution: delta hits (values *and* tombstones)
+    /// are answered inline under one read-lock acquisition (so the whole
+    /// batch sees a single coherent delta state), run hits are resolved
+    /// newest-to-oldest against the generation snapshot, and the remaining
+    /// keys — the non-shadowed majority in a read-mostly workload — go to
+    /// the snapshotted base's own `get_batch`, keeping its
+    /// interleaved-prefetch override on the hot path.
     fn get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
         if keys.is_empty() {
             return;
         }
         let start = out.len();
         out.resize(start + keys.len(), None);
-        let mut base_keys = Vec::new();
-        let mut base_slots = Vec::new();
+        let mut pending_keys = Vec::new();
+        let mut pending_slots = Vec::new();
         let generation = {
             let st = self.shared.state.read().expect("writebehind state lock");
             for (i, &k) in keys.iter().enumerate() {
-                match st.delta_get(k) {
-                    Some(v) => out[start + i] = Some(v),
+                match st.delta_state(k) {
+                    Some(state) => out[start + i] = state,
                     None => {
-                        base_keys.push(k);
-                        base_slots.push(i);
+                        pending_keys.push(k);
+                        pending_slots.push(i);
                     }
                 }
             }
             Arc::clone(&st.generation)
         };
-        if base_keys.is_empty() {
+        if pending_keys.is_empty() {
             return;
         }
-        let mut base_results = Vec::with_capacity(base_keys.len());
-        generation.engine.get_batch(&base_keys, &mut base_results);
-        for (r, &i) in base_results.iter().zip(&base_slots) {
+        if generation.run_count() > 0 {
+            let mut next_keys = Vec::with_capacity(pending_keys.len());
+            let mut next_slots = Vec::with_capacity(pending_slots.len());
+            'keys: for (&k, &i) in pending_keys.iter().zip(&pending_slots) {
+                for run in generation.runs_newest_first() {
+                    if let Some(state) = run.probe(k) {
+                        out[start + i] = state;
+                        continue 'keys;
+                    }
+                }
+                next_keys.push(k);
+                next_slots.push(i);
+            }
+            pending_keys = next_keys;
+            pending_slots = next_slots;
+        }
+        if pending_keys.is_empty() {
+            return;
+        }
+        let mut base_results = Vec::with_capacity(pending_keys.len());
+        generation.base.get_batch(&pending_keys, &mut base_results);
+        for (r, &i) in base_results.iter().zip(&pending_slots) {
             out[start + i] = *r;
         }
     }
@@ -619,9 +1258,26 @@ mod tests {
     }
 
     fn engine(keys: Vec<u64>, threshold: usize, mode: MergeMode) -> WriteBehindEngine<u64> {
+        engine_with_policy(keys, threshold, mode, MergePolicy::Flat)
+    }
+
+    fn engine_with_policy(
+        keys: Vec<u64>,
+        threshold: usize,
+        mode: MergeMode,
+        policy: MergePolicy,
+    ) -> WriteBehindEngine<u64> {
         let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(3) ^ 0xA5).collect();
         let data = Arc::new(SortedData::with_payloads(keys, payloads).unwrap());
-        WriteBehindEngine::new(data, mirror_factory(), vecmap_factory(), threshold, mode).unwrap()
+        WriteBehindEngine::with_policy(
+            data,
+            mirror_factory(),
+            vecmap_factory(),
+            threshold,
+            mode,
+            policy,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -635,6 +1291,28 @@ mod tests {
             MergeMode::Sync
         )
         .is_err());
+    }
+
+    #[test]
+    fn bad_leveled_policies_are_rejected() {
+        for policy in [
+            MergePolicy::Leveled { fanout: 1, max_levels: 2 },
+            MergePolicy::Leveled { fanout: 4, max_levels: 0 },
+        ] {
+            let data = Arc::new(SortedData::new(vec![1u64]).unwrap());
+            assert!(
+                WriteBehindEngine::with_policy(
+                    data,
+                    mirror_factory(),
+                    vecmap_factory(),
+                    8,
+                    MergeMode::Sync,
+                    policy,
+                )
+                .is_err(),
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]
@@ -653,6 +1331,50 @@ mod tests {
         assert_eq!(e.range(10, 31).iter().map(|e| e.0).collect::<Vec<_>>(), vec![10, 15, 20, 30]);
         assert_eq!(e.merges_completed(), 0, "threshold not crossed");
         assert_eq!(e.epoch(), 0);
+    }
+
+    #[test]
+    fn removes_tombstone_and_shadow_every_read_path() {
+        let e = engine(vec![10, 20, 30, 40], 100, MergeMode::Sync);
+        let p = |k: u64| k.wrapping_mul(3) ^ 0xA5;
+        assert_eq!(e.remove(20), Some(p(20)), "base record payload returned");
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.get(20), None, "tombstone hides the base record");
+        assert_eq!(e.lower_bound(15), Some((30, p(30))), "lower bound skips the tombstone");
+        assert_eq!(e.range(10, 41), vec![(10, p(10)), (30, p(30)), (40, p(40))]);
+        assert_eq!(e.lookup_batch(&[10, 20, 30]), vec![Some(p(10)), None, Some(p(30))]);
+        // Remove of a delta value.
+        e.insert(25, 7);
+        assert_eq!(e.remove(25), Some(7));
+        assert_eq!(e.get(25), None);
+        // Removing what is already gone (or never existed) is a no-op.
+        assert_eq!(e.remove(20), None);
+        assert_eq!(e.remove(21), None);
+        assert_eq!(e.len(), 3);
+        // Tombstone-then-re-insert revives the key as a fresh entry.
+        assert_eq!(e.insert(20, 99), None);
+        assert_eq!(e.get(20), Some(99));
+        assert_eq!(e.len(), 4);
+    }
+
+    #[test]
+    fn flat_merge_drops_tombstoned_keys() {
+        let e = engine((0..100).map(|i| i * 10).collect(), 1_000, MergeMode::Sync);
+        let before = e.base_len();
+        e.remove(100);
+        e.remove(200);
+        e.insert(5, 1);
+        e.force_merge();
+        assert_eq!(e.merges_completed(), 1);
+        assert_eq!(e.delta_len(), 0, "tombstones drained with the delta");
+        assert_eq!(e.base_len(), before - 2 + 1, "merge physically dropped dead keys");
+        assert_eq!(e.get(100), None);
+        assert_eq!(e.get(200), None);
+        assert_eq!(e.get(5), Some(1));
+        assert_eq!(e.len(), before - 1);
+        // A dropped key can come back afterwards.
+        assert_eq!(e.insert(100, 42), None);
+        assert_eq!(e.get(100), Some(42));
     }
 
     #[test]
@@ -695,6 +1417,23 @@ mod tests {
     }
 
     #[test]
+    fn removing_a_duplicate_group_deletes_the_whole_group() {
+        let data = Arc::new(
+            SortedData::with_payloads(vec![5u64, 7, 7, 7, 9], vec![1, 10, 100, 1000, 5]).unwrap(),
+        );
+        let e =
+            WriteBehindEngine::new(data, mirror_factory(), vecmap_factory(), 10, MergeMode::Sync)
+                .unwrap();
+        assert_eq!(e.remove(7), Some(1110), "previous visible payload is the group sum");
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.get(7), None);
+        assert_eq!(e.range(5, 10), vec![(5, 1), (9, 5)]);
+        e.force_merge();
+        assert_eq!(e.base_len(), 2, "the whole group is physically gone");
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
     fn max_key_entries_survive_the_merge_drain() {
         let e = engine(vec![10, 20], 100, MergeMode::Sync);
         e.insert(u64::MAX, 77);
@@ -703,6 +1442,11 @@ mod tests {
         assert_eq!(e.delta_len(), 0);
         assert_eq!(e.get(u64::MAX), Some(77));
         assert_eq!(e.lower_bound(u64::MAX), Some((u64::MAX, 77)));
+        // A tombstone at the extreme key also survives the drain.
+        assert_eq!(e.remove(u64::MAX), Some(77));
+        e.force_merge();
+        assert_eq!(e.get(u64::MAX), None);
+        assert_eq!(e.lower_bound(u64::MAX), None);
     }
 
     #[test]
@@ -710,6 +1454,9 @@ mod tests {
         let e = engine((0..1000).map(|i| i * 2).collect(), 1_000_000, MergeMode::Sync);
         for k in (1..200u64).step_by(2) {
             e.insert(k, k * 100);
+        }
+        for k in (0..100u64).step_by(4) {
+            e.remove(k);
         }
         let probes: Vec<u64> = (0..400u64).collect();
         let batched = e.lookup_batch(&probes);
@@ -728,8 +1475,12 @@ mod tests {
         for step in 0..2_000u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let k = x % 4_000;
-            let v = x >> 32;
-            assert_eq!(e.insert(k, v), oracle.insert(k, v), "insert {k} at step {step}");
+            if x.is_multiple_of(5) {
+                assert_eq!(e.remove(k), oracle.remove(&k), "remove {k} at step {step}");
+            } else {
+                let v = x >> 32;
+                assert_eq!(e.insert(k, v), oracle.insert(k, v), "insert {k} at step {step}");
+            }
             if step % 97 == 0 {
                 let probe = (x >> 16) % 4_100;
                 assert_eq!(e.get(probe), oracle.get(&probe).copied(), "get {probe}");
@@ -743,6 +1494,105 @@ mod tests {
         assert_eq!(e.len(), oracle.len());
         let all: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
         assert_eq!(e.range(0, u64::MAX), all);
+    }
+
+    #[test]
+    fn leveled_oracle_interleaved_with_forced_merges() {
+        let base_keys: Vec<u64> = (0..500).map(|i| i * 7).collect();
+        let e = engine_with_policy(
+            base_keys.clone(),
+            48,
+            MergeMode::Sync,
+            MergePolicy::Leveled { fanout: 2, max_levels: 2 },
+        );
+        let mut oracle: BTreeMap<u64, u64> =
+            base_keys.iter().map(|&k| (k, k.wrapping_mul(3) ^ 0xA5)).collect();
+        let mut x = 999u64;
+        for step in 0..3_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 4_000;
+            if x.is_multiple_of(4) {
+                assert_eq!(e.remove(k), oracle.remove(&k), "remove {k} at step {step}");
+            } else {
+                let v = x >> 32;
+                assert_eq!(e.insert(k, v), oracle.insert(k, v), "insert {k} at step {step}");
+            }
+            if step % 83 == 0 {
+                let probe = (x >> 16) % 4_100;
+                assert_eq!(e.get(probe), oracle.get(&probe).copied(), "get {probe}");
+                assert_eq!(
+                    e.lower_bound(probe),
+                    oracle.range(probe..).next().map(|(&k, &v)| (k, v)),
+                    "lower_bound {probe}"
+                );
+            }
+        }
+        assert!(e.merges_completed() >= 3);
+        assert!(e.compactions() >= 1, "fanout 2 must have compacted");
+        assert_eq!(e.len(), oracle.len());
+        let all: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(e.range(0, u64::MAX), all);
+        let batch: Vec<u64> = (0..4_100).step_by(3).collect();
+        let results = e.lookup_batch(&batch);
+        for (&k, got) in batch.iter().zip(&results) {
+            assert_eq!(*got, oracle.get(&k).copied(), "batch {k}");
+        }
+    }
+
+    #[test]
+    fn leveled_merges_stack_runs_and_compact() {
+        let e = engine_with_policy(
+            (0..200).map(|i| i * 10).collect(),
+            8,
+            MergeMode::Sync,
+            MergePolicy::Leveled { fanout: 2, max_levels: 2 },
+        );
+        // First freeze: one run at level 0; base untouched.
+        for k in 0..8u64 {
+            e.insert(k * 10 + 1, k);
+        }
+        assert_eq!(e.merges_completed(), 1);
+        assert_eq!(e.run_count(), 1);
+        assert_eq!(e.base_len(), 200, "leveled freeze must not rebuild the base");
+        // Second freeze overflows level 0 (fanout 2) into level 1.
+        for k in 0..8u64 {
+            e.insert(k * 10 + 2, k);
+        }
+        assert_eq!(e.merges_completed(), 2);
+        assert!(e.compactions() >= 1, "level 0 must have compacted");
+        assert_eq!(e.level_run_counts()[0], 0);
+        // Two more freezes overflow level 0 again; two level-1 runs then
+        // fold into the base (the bottom level).
+        for k in 0..16u64 {
+            e.insert(k * 10 + 3, k);
+        }
+        e.wait_for_merges();
+        assert!(e.base_len() > 200, "bottom-level overflow folds into the base");
+        // Every write is still visible through every path.
+        for k in 0..8u64 {
+            assert_eq!(e.get(k * 10 + 1), Some(k));
+            assert_eq!(e.get(k * 10 + 2), Some(k));
+        }
+        assert_eq!(e.len(), 200 + 8 + 8 + 16);
+    }
+
+    #[test]
+    fn leveled_merged_volume_stays_below_flat() {
+        // Same write stream through both policies: the leveled stack must
+        // move strictly fewer entries per merge cycle.
+        let keys: Vec<u64> = (0..20_000).map(|i| i * 4).collect();
+        let run = |policy| {
+            let e = engine_with_policy(keys.clone(), 256, MergeMode::Sync, policy);
+            for k in 0..2_048u64 {
+                e.insert(k * 4 + 1, k);
+            }
+            e.wait_for_merges();
+            assert!(e.merges_completed() >= 4, "{policy:?}");
+            e.merged_entries() as f64 / e.merges_completed() as f64
+        };
+        let flat = run(MergePolicy::Flat);
+        let leveled = run(MergePolicy::Leveled { fanout: 4, max_levels: 3 });
+        assert!(leveled < flat, "leveled per-cycle volume {leveled} must be below flat {flat}");
     }
 
     #[test]
@@ -781,19 +1631,46 @@ mod tests {
             WriteBehindEngine::new(data, factory, vecmap_factory(), 100, MergeMode::Sync).unwrap();
         e.insert(15, 1);
         e.insert(25, 2);
+        e.remove(20);
         e.force_merge(); // rebuild fails: budget of 1 was spent at construction
         assert_eq!(e.failed_merges(), 1);
         assert_eq!(e.merges_completed(), 0);
         assert_eq!(e.epoch(), 0);
         assert_eq!(e.get(15), Some(1), "rolled-back entry still visible");
         assert_eq!(e.get(25), Some(2));
-        assert_eq!(e.delta_len(), 2);
+        assert_eq!(e.get(20), None, "rolled-back tombstone still shadows");
+        assert_eq!(e.delta_len(), 3);
         // Allow the next rebuild: the retry succeeds and drains the delta.
         fail_after.store(1, Ordering::SeqCst);
         e.force_merge();
         assert_eq!(e.merges_completed(), 1);
         assert_eq!(e.delta_len(), 0);
         assert_eq!(e.get(15), Some(1));
+        assert_eq!(e.get(20), None);
+    }
+
+    #[test]
+    fn deleting_everything_keeps_serving() {
+        // An empty base is not representable; the engine must stay correct
+        // (tombstones keep shadowing) even when every record is removed.
+        for policy in [MergePolicy::Flat, MergePolicy::Leveled { fanout: 2, max_levels: 2 }] {
+            let e = engine_with_policy(vec![10, 20, 30], 2, MergeMode::Sync, policy);
+            let p = |k: u64| k.wrapping_mul(3) ^ 0xA5;
+            for k in [10u64, 20, 30] {
+                assert_eq!(e.remove(k), Some(p(k)), "{policy:?}");
+            }
+            e.force_merge();
+            assert_eq!(e.len(), 0, "{policy:?}");
+            assert_eq!(e.range(0, u64::MAX), vec![], "{policy:?}");
+            assert_eq!(e.lower_bound(0), None, "{policy:?}");
+            for k in [10u64, 20, 30] {
+                assert_eq!(e.get(k), None, "{policy:?}");
+            }
+            // And the world can come back.
+            assert_eq!(e.insert(20, 9), None, "{policy:?}");
+            assert_eq!(e.get(20), Some(9), "{policy:?}");
+            assert_eq!(e.len(), 1, "{policy:?}");
+        }
     }
 
     #[test]
@@ -801,11 +1678,29 @@ mod tests {
         let e = engine(vec![1, 2, 3], 100, MergeMode::Sync);
         assert!(e.name().starts_with("writebehind[Mirror+"));
         assert_eq!(e.merge_threshold(), 100);
+        assert_eq!(e.policy(), MergePolicy::Flat);
         let before = e.size_bytes();
         for k in 10..200u64 {
             e.insert(k, k);
         }
         assert!(e.size_bytes() > before, "delta growth must show in size_bytes");
         assert!(!e.is_merging());
+    }
+
+    #[test]
+    fn leveled_size_bytes_counts_runs() {
+        let e = engine_with_policy(
+            (0..100).map(|i| i * 3).collect(),
+            16,
+            MergeMode::Sync,
+            MergePolicy::Leveled { fanout: 8, max_levels: 2 },
+        );
+        let before = e.size_bytes();
+        for k in 0..16u64 {
+            e.insert(k * 3 + 1, k);
+        }
+        e.wait_for_merges();
+        assert_eq!(e.run_count(), 1);
+        assert!(e.size_bytes() > before, "a frozen run must show in size_bytes");
     }
 }

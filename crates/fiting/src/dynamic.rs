@@ -469,6 +469,45 @@ impl<K: Key> DynamicOrderedIndex<K> for DynamicFitingTree<K> {
         sum
     }
 
+    /// Route once to the first overlapping segment, then walk segments in
+    /// directory order, two-pointer-merging each segment's (disjoint) main
+    /// data and delta buffer — one model-guided descent per segment
+    /// instead of the trait default's full-tree descent per visited entry.
+    /// Tombstoned main entries are skipped in place.
+    fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
+        if hi <= lo {
+            return;
+        }
+        let mut s = self.route(lo);
+        while s < self.segments.len() && self.segments[s].domain_key < hi {
+            let seg = &self.segments[s];
+            let mut i = seg.main_lower_bound(lo);
+            let main_end = seg.main_lower_bound(hi);
+            let mut j = seg.buf_keys.partition_point(|&k| k < lo);
+            let buf_end = seg.buf_keys.partition_point(|&k| k < hi);
+            loop {
+                while i < main_end && seg.is_dead(i) {
+                    i += 1;
+                }
+                let take_main = match (i < main_end, j < buf_end) {
+                    (false, false) => break,
+                    (true, false) => true,
+                    (false, true) => false,
+                    // Main and buffer are key-disjoint: no tie to break.
+                    (true, true) => seg.keys[i] < seg.buf_keys[j],
+                };
+                if take_main {
+                    f(seg.keys[i], seg.payloads[i]);
+                    i += 1;
+                } else {
+                    f(seg.buf_keys[j], seg.buf_payloads[j]);
+                    j += 1;
+                }
+            }
+            s += 1;
+        }
+    }
+
     fn capabilities(&self) -> Capabilities {
         Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
     }
@@ -667,6 +706,43 @@ mod tests {
         assert_eq!(t.len(), 0);
         assert_eq!(t.lower_bound_entry(0), None);
         assert_eq!(t.range_sum(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn for_each_in_walks_segments_and_skips_tombstones() {
+        let mut t = DynamicFitingTree::new();
+        let mut oracle = BTreeMap::new();
+        // Two widely separated clusters force multiple segments; removes
+        // leave tombstones in main data, churn leaves entries in buffers.
+        for i in 0..15_000u64 {
+            let k =
+                if i % 2 == 0 { splitmix(i) % 100_000 } else { 1 << 40 | (splitmix(i) % 100_000) };
+            t.insert(k, i);
+            oracle.insert(k, i);
+            if i % 4 == 0 {
+                let dk = if i % 8 == 0 {
+                    splitmix(i ^ 0x99) % 100_000
+                } else {
+                    1 << 40 | (splitmix(i ^ 0x99) % 100_000)
+                };
+                assert_eq!(t.remove(dk), oracle.remove(&dk), "remove {dk}");
+            }
+        }
+        assert!(t.num_segments() > 1, "clusters must split segments");
+        for (lo, hi) in [
+            (0u64, 100_000u64),
+            (50_000, 1 << 40),
+            ((1 << 40) - 5, (1 << 40) + 100_000),
+            (0, u64::MAX),
+        ] {
+            let mut got = Vec::new();
+            t.for_each_in(lo, hi, &mut |k, v| got.push((k, v)));
+            let want: Vec<(u64, u64)> = oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "window [{lo}, {hi})");
+        }
+        // Empty and inverted windows visit nothing.
+        t.for_each_in(10, 10, &mut |_, _| panic!("empty window"));
+        t.for_each_in(20, 10, &mut |_, _| panic!("inverted window"));
     }
 
     #[test]

@@ -413,6 +413,64 @@ impl<K: Key> DynamicOrderedIndex<K> for DynamicPgm<K> {
         sum
     }
 
+    /// One PGM-guided descent per source (the buffer plus each run) to
+    /// find its window, then a k-way merge of the window cursors — k is
+    /// `O(log n)` runs, so the scan is `O(log n + m log log n)`-ish
+    /// instead of the trait default's one full multi-run descent *per
+    /// visited entry*. Tombstoned entries are skipped at their cursor.
+    fn for_each_in(&self, lo: K, hi: K, f: &mut dyn FnMut(K, u64)) {
+        if hi <= lo {
+            return;
+        }
+        /// One sorted source: a key/payload window plus optional
+        /// tombstone flags (absent for the insert buffer).
+        struct Cursor<'a, K> {
+            keys: &'a [K],
+            payloads: &'a [u64],
+            dead: Option<&'a [bool]>,
+            /// Absolute position within the source arrays.
+            pos: usize,
+            /// Exclusive end of the window.
+            end: usize,
+        }
+        let mut cursors: Vec<Cursor<'_, K>> = Vec::with_capacity(self.runs.len() + 1);
+        cursors.push(Cursor {
+            keys: &self.buf_keys,
+            payloads: &self.buf_payloads,
+            dead: None,
+            pos: self.buf_keys.partition_point(|&k| k < lo),
+            end: self.buf_keys.partition_point(|&k| k < hi),
+        });
+        for run in self.runs.iter().flatten() {
+            cursors.push(Cursor {
+                keys: &run.keys,
+                payloads: &run.payloads,
+                dead: run.dead.as_deref(),
+                pos: run.lower_bound(lo),
+                end: run.lower_bound(hi),
+            });
+        }
+        loop {
+            // Advance every cursor past tombstoned entries, then take the
+            // globally smallest key (sources are key-disjoint: no ties).
+            let mut best: Option<(usize, K)> = None;
+            for (c, cur) in cursors.iter_mut().enumerate() {
+                while cur.pos < cur.end && cur.dead.is_some_and(|d| d[cur.pos]) {
+                    cur.pos += 1;
+                }
+                if cur.pos < cur.end {
+                    let k = cur.keys[cur.pos];
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((c, k));
+                    }
+                }
+            }
+            let Some((c, k)) = best else { break };
+            f(k, cursors[c].payloads[cursors[c].pos]);
+            cursors[c].pos += 1;
+        }
+    }
+
     fn capabilities(&self) -> Capabilities {
         Capabilities { updates: true, ordered: true, kind: IndexKind::Learned }
     }
@@ -609,6 +667,39 @@ mod tests {
         assert_eq!(idx.get(30), Some(99));
         assert_eq!(idx.len(), 2_000);
         assert_eq!(idx.remove(31), None, "absent key");
+    }
+
+    #[test]
+    fn for_each_in_merges_runs_and_skips_tombstones() {
+        let mut idx = DynamicPgm::new();
+        let mut oracle = BTreeMap::new();
+        // Interleave inserts and removes so entries live in the buffer and
+        // several runs, with tombstones scattered through the runs.
+        for i in 0..20_000u64 {
+            let k = splitmix(i) % 50_000;
+            idx.insert(k, i);
+            oracle.insert(k, i);
+            if i % 3 == 0 {
+                let dk = splitmix(i ^ 0x77) % 50_000;
+                assert_eq!(idx.remove(dk), oracle.remove(&dk), "remove {dk}");
+            }
+        }
+        for i in 0..30u64 {
+            let lo = splitmix(i * 13) % 50_000;
+            let hi = lo + splitmix(i * 29) % 20_000;
+            let mut got = Vec::new();
+            idx.for_each_in(lo, hi, &mut |k, v| got.push((k, v)));
+            let want: Vec<(u64, u64)> = oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, want, "window [{lo}, {hi})");
+        }
+        // Full-range scan, the write-behind drain shape.
+        let mut got = Vec::new();
+        idx.for_each_in(0, u64::MAX, &mut |k, v| got.push((k, v)));
+        let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+        // Empty and inverted windows visit nothing.
+        idx.for_each_in(10, 10, &mut |_, _| panic!("empty window"));
+        idx.for_each_in(20, 10, &mut |_, _| panic!("inverted window"));
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn main() {
         inner: Family::Rmi.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: 4_096,
+        policy: sosd::core::MergePolicy::Flat,
     };
     let wb = wb_spec
         .writebehind_engine(&data, SearchStrategy::Binary, MergeMode::Background)

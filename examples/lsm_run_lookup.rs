@@ -13,7 +13,7 @@
 //! Run with: `cargo run --release --example lsm_run_lookup`
 
 use sosd::bench::registry::{DeltaKind, EngineSpec, IndexParams, IndexSpec};
-use sosd::core::{MergeMode, QueryEngine, SearchStrategy, SortedData};
+use sosd::core::{MergeMode, MergePolicy, QueryEngine, SearchStrategy, SortedData};
 use sosd::datasets::{registry::generate_u64, DatasetId};
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,12 +26,17 @@ fn main() {
 
     // Engine config — serializable, like every registry spec:
     //   {"family":"writebehind","params":{"inner":{"family":"RS",...},
-    //    "delta":"btree","merge_threshold":8000}}
+    //    "delta":"btree","merge_threshold":8000,
+    //    "policy":"leveled","fanout":4,"max_levels":2}}
+    // The leveled policy is the true LSM shape: each frozen delta becomes
+    // an immutable run with its own RadixSpline, and compaction folds
+    // level-locally instead of rebuilding the whole base per cycle.
     let spec = EngineSpec::WriteBehind {
         shards: 1,
         inner: IndexSpec::new(IndexParams::Rs { eps: 32, radix_bits: 16 }),
         delta: DeltaKind::BTree,
         merge_threshold: 8_000,
+        policy: MergePolicy::Leveled { fanout: 4, max_levels: 2 },
     };
     println!("spec: {}", serde_json::to_string(&spec).expect("spec serializes"));
 
@@ -58,13 +63,22 @@ fn main() {
     engine.wait_for_merges();
     println!(
         "ingest: {} writes in {ingest_ms:.1} ms ({:.0} ns/write), \
-         {} background merges, epoch {} (delta holds {} entries)",
+         {} background merges + {} compactions, {} runs stacked, epoch {} \
+         (delta holds {} entries)",
         incoming.len(),
         ingest_ms * 1e6 / incoming.len() as f64,
         engine.merges_completed(),
+        engine.compactions(),
+        engine.run_count(),
         engine.epoch(),
         engine.delta_len(),
     );
+    // Churn: tombstoned deletes shadow their keys until a compaction folds
+    // them onto the records they hide.
+    let victim = data.key(99);
+    let removed = engine.remove(victim);
+    assert!(removed.is_some() && engine.get(victim).is_none());
+    println!("tombstoned delete of {victim}: payload was {removed:?}, reads now miss");
     // A final explicit compaction (an operator "flush"), draining what the
     // threshold has not yet claimed.
     engine.force_merge();

@@ -8,7 +8,9 @@
 use proptest::prelude::*;
 use sosd::bench::registry::{DeltaKind, EngineSpec, Family};
 use sosd::core::cache::CachedEngine;
-use sosd::core::{MergeMode, QueryEngine, SearchStrategy, SortedData, WriteBehindEngine};
+use sosd::core::{
+    MergeMode, MergePolicy, QueryEngine, SearchStrategy, SortedData, WriteBehindEngine,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,6 +30,7 @@ fn build(
         inner: Family::Pgm.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: threshold,
+        policy: MergePolicy::Flat,
     };
     let wb = spec.writebehind_engine(&data, SearchStrategy::Binary, mode).expect("builds");
     (CachedEngine::new(wb, capacity, 4).expect("cache builds"), oracle)
@@ -131,6 +134,61 @@ proptest! {
     }
 }
 
+/// Removes invalidate cached hits: a cached key removed through the
+/// cached write path (which lands a tombstone in the write-behind delta)
+/// must answer `None` on the very next probe — a stale cache would
+/// resurrect the payload. Exercised over a *leveled* write-behind inner,
+/// across merge and compaction cycles, with re-inserts mixed in so
+/// tombstone-then-revive transitions also flow through the cache.
+#[test]
+fn removes_invalidate_cached_hits_over_writebehind() {
+    let keys: Vec<u64> = (0..2_000u64).map(|i| i * 3).collect();
+    let payloads: Vec<u64> = keys.iter().map(|&k| k + 7).collect();
+    let data = Arc::new(SortedData::with_payloads(keys.clone(), payloads).expect("sorted"));
+    let spec = EngineSpec::WriteBehind {
+        shards: 1,
+        inner: Family::Pgm.default_spec::<u64>(),
+        delta: DeltaKind::BTree,
+        merge_threshold: 64,
+        policy: MergePolicy::Leveled { fanout: 2, max_levels: 2 },
+    };
+    for mode in [MergeMode::Sync, MergeMode::Background] {
+        let mut oracle: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k + 7)).collect();
+        let wb = spec.writebehind_engine(&data, SearchStrategy::Binary, mode).expect("builds");
+        let engine = CachedEngine::new(wb, 256, 4).expect("cache builds");
+        let mut x = 0xC0FFEEu64;
+        for step in 0..1_500u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x % 2_200) * 3; // mostly collides with stored keys
+                                     // Cache the current state of the key (hit or miss).
+            assert_eq!(engine.get(k), oracle.get(&k).copied(), "pre-op get {k} ({mode:?})");
+            if x.is_multiple_of(3) {
+                assert_eq!(engine.remove(k), oracle.remove(&k), "remove {k} step {step}");
+                // The trap: a stale cache hit would resurrect the payload.
+                assert_eq!(engine.get(k), None, "stale hit after remove of {k} ({mode:?})");
+            } else {
+                let v = x >> 32;
+                assert_eq!(engine.insert(k, v), oracle.insert(k, v), "insert {k} step {step}");
+                assert_eq!(engine.get(k), Some(v), "stale hit after insert of {k} ({mode:?})");
+            }
+        }
+        engine.inner().wait_for_merges();
+        // Sync merges run inline, one per threshold crossing; background
+        // cycles overlap the stream, so only some crossings win the flag.
+        let want_cycles = if mode == MergeMode::Sync { 3 } else { 1 };
+        assert!(
+            engine.inner().merges_completed() >= want_cycles,
+            "merge cycles must have run ({mode:?}): {}",
+            engine.inner().merges_completed()
+        );
+        assert!(engine.hits() > 0, "the stream must have exercised cache hits ({mode:?})");
+        for &k in &keys {
+            assert_eq!(engine.get(k), oracle.get(&k).copied(), "post-merge {k} ({mode:?})");
+        }
+        assert_eq!(engine.len(), oracle.len(), "{mode:?}");
+    }
+}
+
 /// Eviction at capacity: a probe stream far wider than the cache leaves at
 /// most `capacity()` entries cached, evicts cold keys, and never evicts
 /// correctness — every probe still matches the inner engine.
@@ -184,6 +242,7 @@ fn concurrent_reads_never_go_backwards_under_merges() {
         inner: Family::BTree.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: 150,
+        policy: MergePolicy::Flat,
     };
     let wb = spec
         .writebehind_engine(&data, SearchStrategy::Binary, MergeMode::Background)

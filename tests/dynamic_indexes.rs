@@ -155,6 +155,13 @@ fn churn_delete_then_reinsert_everything() {
         }
         // Lower bounds must skip deleted keys.
         assert_eq!(idx.lower_bound_entry(0), Some((3, 4)), "{}", idx.name());
+        // Ordered iteration (overridden per family) must skip them too and
+        // stay in ascending order across the tombstone-riddled middle.
+        let mut seen = Vec::new();
+        idx.for_each_in(0, 3_000, &mut |k, v| seen.push((k, v)));
+        let want: Vec<(u64, u64)> =
+            (0..1_000u64).filter(|i| i % 2 == 1).map(|i| (i * 3, i * 3 + 1)).collect();
+        assert_eq!(seen, want, "{} for_each_in after deletes", idx.name());
         for i in (0..30_000u64).step_by(2) {
             assert_eq!(idx.insert(i * 3, i), None, "{} reinsert", idx.name());
         }

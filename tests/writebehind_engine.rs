@@ -1,12 +1,16 @@
 //! Integration suite for the write-behind engine: `BTreeMap`-oracle
-//! property tests with merges forced mid-sequence (in both merge modes),
-//! and a torn-read regression proving that a background merge concurrent
-//! with an in-flight batched read yields pre- or post-merge-consistent
-//! payloads — never a window where drained delta entries are invisible.
+//! property tests with merges forced mid-sequence (in both merge modes and
+//! both merge policies), interleaved insert/remove/re-insert churn through
+//! the tombstone path across compaction cycles, and a torn-read regression
+//! proving that a background merge concurrent with an in-flight batched
+//! read yields pre- or post-merge-consistent payloads — never a window
+//! where drained delta entries are invisible.
 
 use proptest::prelude::*;
 use sosd::bench::registry::{DeltaKind, EngineSpec, Family};
-use sosd::core::{MergeMode, QueryEngine, SearchStrategy, SortedData, WriteBehindEngine};
+use sosd::core::{
+    MergeMode, MergePolicy, QueryEngine, SearchStrategy, SortedData, WriteBehindEngine,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,6 +23,16 @@ fn build(
     shards: usize,
     mode: MergeMode,
 ) -> (WriteBehindEngine<u64>, BTreeMap<u64, u64>) {
+    build_with_policy(keys, threshold, shards, mode, MergePolicy::Flat)
+}
+
+fn build_with_policy(
+    keys: &[u64],
+    threshold: usize,
+    shards: usize,
+    mode: MergeMode,
+    policy: MergePolicy,
+) -> (WriteBehindEngine<u64>, BTreeMap<u64, u64>) {
     let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(0x9E37_79B9) ^ 1).collect();
     let oracle: BTreeMap<u64, u64> = keys.iter().copied().zip(payloads.iter().copied()).collect();
     let data = Arc::new(SortedData::with_payloads(keys.to_vec(), payloads).expect("sorted"));
@@ -27,6 +41,7 @@ fn build(
         inner: Family::Pgm.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: threshold,
+        policy,
     };
     let engine = spec.writebehind_engine(&data, SearchStrategy::Binary, mode).expect("builds");
     (engine, oracle)
@@ -62,8 +77,119 @@ fn op_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
     )
 }
 
+/// An interleaved churn stream: `(action, key, payload)` where action 0 is
+/// a remove and anything else an insert. Keys collide with base keys, with
+/// each other, and with earlier removes often, so tombstone-then-re-insert
+/// and remove-of-removed transitions occur organically.
+fn churn_stream() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            prop_oneof![
+                4 => (0u64..60).prop_map(|v| v * 1_000),
+                2 => any::<u64>(),
+                1 => Just(0u64),
+                1 => Just(u64::MAX),
+            ],
+            any::<u64>(),
+        ),
+        1..250,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Interleaved insert/remove/re-insert churn against the `BTreeMap`
+    /// oracle, in both merge policies × both merge modes, driven through
+    /// at least 3 merge cycles (and, leveled, at least 3 compactions).
+    /// Every write's returned previous payload and every probe must agree
+    /// with the oracle at every step — including the two classic traps:
+    /// re-inserting a tombstoned key (must look like a fresh insert and
+    /// revive the key) and removing a nonexistent or already-removed key
+    /// (must return `None` and change nothing).
+    #[test]
+    fn churn_agrees_with_btreemap_oracle_across_policies(
+        keys in base_keys(),
+        ops in churn_stream(),
+    ) {
+        let combos = [
+            (MergePolicy::Flat, MergeMode::Sync),
+            (MergePolicy::Flat, MergeMode::Background),
+            (MergePolicy::Leveled { fanout: 2, max_levels: 2 }, MergeMode::Sync),
+            (MergePolicy::Leveled { fanout: 2, max_levels: 2 }, MergeMode::Background),
+        ];
+        for (policy, mode) in combos {
+            let (engine, mut oracle) = build_with_policy(&keys, 20, 1, mode, policy);
+            for (step, &(action, k, v)) in ops.iter().enumerate() {
+                if action % 3 == 0 {
+                    prop_assert_eq!(
+                        engine.remove(k), oracle.remove(&k),
+                        "remove {} step {} ({:?}/{:?})", k, step, policy, mode
+                    );
+                    prop_assert_eq!(engine.get(k), None, "removed {} still visible", k);
+                    // The nonexistent-key trap: the second remove is a no-op.
+                    prop_assert_eq!(engine.remove(k), None, "double remove {}", k);
+                } else {
+                    prop_assert_eq!(
+                        engine.insert(k, v), oracle.insert(k, v),
+                        "insert {} step {} ({:?}/{:?})", k, step, policy, mode
+                    );
+                    prop_assert_eq!(engine.get(k), Some(v), "read-your-write {}", k);
+                }
+                let probe = k.wrapping_mul(3).wrapping_add(step as u64);
+                prop_assert_eq!(engine.get(probe), oracle.get(&probe).copied(), "get {}", probe);
+                prop_assert_eq!(
+                    engine.lower_bound(probe),
+                    oracle.range(probe..).next().map(|(&k, &v)| (k, v)),
+                    "lower_bound {}", probe
+                );
+                if step % 50 == 25 {
+                    engine.force_merge();
+                    let lo = k.saturating_sub(40_000);
+                    let hi = k.saturating_add(40_000);
+                    let want: Vec<(u64, u64)> =
+                        oracle.range(lo..hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(engine.range(lo, hi), want, "range [{}, {})", lo, hi);
+                }
+            }
+            // Drive the cycle count regardless of stream length: the
+            // tombstone-then-re-insert trap, replayed until >= 3 merge
+            // cycles and (leveled, fanout 2) >= 3 compactions completed.
+            let target_compactions = if policy == MergePolicy::Flat { 0 } else { 3 };
+            let mut filler = 0x7EED_0000u64;
+            while engine.merges_completed() < 3 || engine.compactions() < target_compactions {
+                filler += 1;
+                let v = filler ^ 0x5A5A;
+                prop_assert_eq!(engine.insert(filler, v), oracle.insert(filler, v));
+                prop_assert_eq!(engine.remove(filler), oracle.remove(&filler));
+                prop_assert_eq!(engine.insert(filler, v ^ 1), oracle.insert(filler, v ^ 1));
+                if filler.is_multiple_of(8) {
+                    engine.wait_for_merges();
+                }
+            }
+            // A final value write plus an explicit drain: the loop may have
+            // exited with sub-threshold leftovers in the active delta, and
+            // the value guarantees the flat fold has a non-empty output
+            // even when the churn deleted every other key.
+            prop_assert_eq!(engine.insert(7_777_777, 42), oracle.insert(7_777_777, 42));
+            engine.wait_for_merges();
+            engine.force_merge();
+            engine.wait_for_merges();
+            prop_assert!(engine.merges_completed() >= 3);
+            prop_assert_eq!(engine.delta_len(), 0, "drained after the last cycle");
+            prop_assert_eq!(engine.len(), oracle.len(), "visible count ({:?}/{:?})", policy, mode);
+            let all: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            let hi_exclusive: Vec<(u64, u64)> =
+                all.iter().copied().filter(|e| e.0 < u64::MAX).collect();
+            prop_assert_eq!(engine.range(0, u64::MAX), hi_exclusive);
+            let batch: Vec<u64> = ops.iter().map(|&(_, k, _)| k).collect();
+            let results = engine.lookup_batch(&batch);
+            for (&k, got) in batch.iter().zip(&results) {
+                prop_assert_eq!(*got, oracle.get(&k).copied(), "batch {}", k);
+            }
+        }
+    }
 
     /// Interleaved insert/get/range against the `BTreeMap` oracle, with
     /// sync merges forced mid-sequence: every probe must agree at every
@@ -162,6 +288,7 @@ fn batched_reads_see_no_torn_state_across_merge_swaps() {
         inner: Family::BTree.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: 200,
+        policy: MergePolicy::Leveled { fanout: 3, max_levels: 2 },
     };
     let engine = Arc::new(
         spec.writebehind_engine(&data, SearchStrategy::Binary, MergeMode::Background)
@@ -243,6 +370,7 @@ fn boxed_writebehind_engines_are_first_class() {
         inner: Family::Rmi.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: 1_000,
+        policy: MergePolicy::Flat,
     };
     let engine = spec.engine(&data, SearchStrategy::Binary).expect("builds");
     assert_eq!(engine.len(), 5_000);
