@@ -205,6 +205,7 @@ fn main() {
                 let cached_spec = EngineSpec::Cached {
                     capacity,
                     stripes: STRIPES,
+                    negative: false,
                     inner: Box::new(spec.clone()),
                 };
                 let cached = cached_spec
@@ -282,6 +283,7 @@ fn main() {
             let spec = EngineSpec::Cached {
                 capacity: *capacity,
                 stripes: STRIPES,
+                negative: false,
                 inner: Box::new(inner.clone()),
             };
             let cached =

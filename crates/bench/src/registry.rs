@@ -20,11 +20,12 @@
 
 use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
+use sosd_core::serve::FastProbe;
 use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
     BuildError, CachedEngine, DynamicOrderedIndex, Index, IndexBuilder, Key, MergeMode,
-    MergePolicy, QueryEngine, SearchStrategy, ShardedEngine, SortedData, StaticEngine,
-    WriteBehindEngine,
+    MergePolicy, QueryEngine, RequestScheduler, SchedulerConfig, SearchStrategy, ShardedEngine,
+    SortedData, StaticEngine, WriteBehindEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -371,6 +372,10 @@ pub enum EngineSpec {
         capacity: usize,
         /// Requested lock-stripe count (rounded up to a power of two).
         stripes: usize,
+        /// Cache absent-key results as negative entries (JSON
+        /// `"negative": true`; absent = `false`, so pre-negative specs
+        /// still parse).
+        negative: bool,
         /// The engine the cache fronts.
         inner: Box<EngineSpec>,
     },
@@ -394,8 +399,9 @@ impl EngineSpec {
                     ),
                 }
             }
-            EngineSpec::Cached { capacity, stripes, inner } => {
-                format!("cached{capacity}x{stripes}[{}]", inner.label::<K>())
+            EngineSpec::Cached { capacity, stripes, negative, inner } => {
+                let neg = if *negative { ",neg" } else { "" };
+                format!("cached{capacity}x{stripes}{neg}[{}]", inner.label::<K>())
             }
         }
     }
@@ -448,10 +454,10 @@ impl EngineSpec {
         data: &Arc<SortedData<K>>,
         strategy: SearchStrategy,
     ) -> Result<CachedEngine<K>, BuildError> {
-        let EngineSpec::Cached { capacity, stripes, inner } = self else {
+        let EngineSpec::Cached { capacity, stripes, negative, inner } = self else {
             return Err(BuildError::InvalidConfig("cached_engine needs a cached spec".into()));
         };
-        CachedEngine::new(inner.engine(data, strategy)?, *capacity, *stripes)
+        CachedEngine::with_negative(inner.engine(data, strategy)?, *capacity, *stripes, *negative)
     }
 
     /// Build as a concrete [`ShardedEngine`] (a single spec becomes one
@@ -548,17 +554,22 @@ impl Serialize for EngineSpec {
                     ("params".into(), Value::Object(params)),
                 ])
             }
-            EngineSpec::Cached { capacity, stripes, inner } => Value::Object(vec![
-                ("family".into(), Value::Str("cached".into())),
-                (
-                    "params".into(),
-                    Value::Object(vec![
-                        ("capacity".into(), Value::UInt(*capacity as u64)),
-                        ("stripes".into(), Value::UInt(*stripes as u64)),
-                        ("inner".into(), inner.to_value()),
-                    ]),
-                ),
-            ]),
+            EngineSpec::Cached { capacity, stripes, negative, inner } => {
+                let mut params = vec![
+                    ("capacity".into(), Value::UInt(*capacity as u64)),
+                    ("stripes".into(), Value::UInt(*stripes as u64)),
+                ];
+                if *negative {
+                    // Emitted only when set, so pre-negative spec files and
+                    // their JSON forms stay byte-identical.
+                    params.push(("negative".into(), Value::Bool(true)));
+                }
+                params.push(("inner".into(), inner.to_value()));
+                Value::Object(vec![
+                    ("family".into(), Value::Str("cached".into())),
+                    ("params".into(), Value::Object(params)),
+                ])
+            }
         }
     }
 }
@@ -681,6 +692,13 @@ impl Deserialize for EngineSpec {
                 if stripes == 0 {
                     return Err(serde::Error::custom("cached needs `stripes` >= 1"));
                 }
+                // Optional for backward compatibility: specs written before
+                // negative caching existed cache present keys only.
+                let negative = match params.get_field("negative") {
+                    None => false,
+                    Some(serde::Value::Bool(b)) => *b,
+                    Some(_) => return Err(serde::Error::custom("`negative` must be a bool")),
+                };
                 let inner_value = params
                     .get_field("inner")
                     .ok_or_else(|| serde::Error::custom("cached needs `inner`"))?;
@@ -691,11 +709,129 @@ impl Deserialize for EngineSpec {
                 Ok(EngineSpec::Cached {
                     capacity: capacity as usize,
                     stripes: stripes as usize,
+                    negative,
                     inner: Box::new(inner),
                 })
             }
             _ => IndexSpec::from_value(v).map(EngineSpec::Single),
         }
+    }
+}
+
+/// Serving-front-end configuration: the serializable twin of
+/// [`SchedulerConfig`], one layer above [`EngineSpec`] — an engine spec
+/// pins down what answers lookups, a scheduler spec pins down how
+/// open-loop requests reach it (wave batching, worker pool, admission
+/// control). JSON form:
+///
+/// ```json
+/// { "wave_size": 32, "linger_us": 100, "workers": 2, "queue_cap": 4096 }
+/// ```
+///
+/// [`SchedulerSpec::scheduler`] builds the full serving stack from a spec
+/// pair; when the engine spec is cached, the scheduler's hit-fast path is
+/// wired to the *same* cache instance's non-filling
+/// [`CachedEngine::peek`], so a cached key is answered at submit time
+/// instead of riding a miss wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchedulerSpec {
+    /// Maximum keys per dispatched wave.
+    pub wave_size: usize,
+    /// Longest a partial wave waits for company (microseconds, from its
+    /// oldest request's enqueue).
+    pub linger_us: u64,
+    /// Worker threads dispatching waves.
+    pub workers: usize,
+    /// Ingest queue bound; submits beyond it are shed.
+    pub queue_cap: usize,
+}
+
+impl SchedulerSpec {
+    /// The one-request-per-call baseline at the same pool size: waves of
+    /// one, no linger — what a serving layer without batching does.
+    pub fn naive(workers: usize, queue_cap: usize) -> Self {
+        SchedulerSpec { wave_size: 1, linger_us: 0, workers, queue_cap }
+    }
+
+    /// Configuration label for result rows, e.g. `sched[w32,l100us,t2,q4096]`.
+    pub fn label(&self) -> String {
+        format!(
+            "sched[w{},l{}us,t{},q{}]",
+            self.wave_size, self.linger_us, self.workers, self.queue_cap
+        )
+    }
+
+    /// The runtime configuration this spec describes.
+    pub fn config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            wave_size: self.wave_size,
+            linger: std::time::Duration::from_micros(self.linger_us),
+            workers: self.workers,
+            queue_cap: self.queue_cap,
+        }
+    }
+
+    /// Build the full serving stack: the engine `engine_spec` describes,
+    /// fronted by a [`RequestScheduler`] with this spec's configuration.
+    ///
+    /// A cached engine spec additionally wires the scheduler's hit-fast
+    /// path to the built cache's [`CachedEngine::peek`] — the probe and
+    /// the served engine share one cache instance, so a fast-path answer
+    /// is exactly what the wave path would have returned.
+    pub fn scheduler<K: Key>(
+        &self,
+        engine_spec: &EngineSpec,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Result<RequestScheduler<K>, BuildError> {
+        if matches!(engine_spec, EngineSpec::Cached { .. }) {
+            let cached = Arc::new(engine_spec.cached_engine(data, strategy)?);
+            let probe: FastProbe<K> = {
+                let cache = Arc::clone(&cached);
+                Arc::new(move |key| cache.peek(key))
+            };
+            RequestScheduler::with_fast_path(
+                cached as Arc<dyn QueryEngine<K>>,
+                self.config(),
+                probe,
+            )
+        } else {
+            let engine: Arc<dyn QueryEngine<K>> = Arc::from(engine_spec.engine(data, strategy)?);
+            RequestScheduler::new(engine, self.config())
+        }
+    }
+}
+
+impl Serialize for SchedulerSpec {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        Value::Object(vec![
+            ("wave_size".into(), Value::UInt(self.wave_size as u64)),
+            ("linger_us".into(), Value::UInt(self.linger_us)),
+            ("workers".into(), Value::UInt(self.workers as u64)),
+            ("queue_cap".into(), Value::UInt(self.queue_cap as u64)),
+        ])
+    }
+}
+
+impl Deserialize for SchedulerSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let knob = |name: &str| -> Result<u64, serde::Error> {
+            v.get_field(name)
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| serde::Error::custom(format!("scheduler spec needs `{name}`")))
+        };
+        let spec = SchedulerSpec {
+            wave_size: knob("wave_size")? as usize,
+            linger_us: knob("linger_us")?,
+            workers: knob("workers")? as usize,
+            queue_cap: knob("queue_cap")? as usize,
+        };
+        // Reuse the runtime validation — one source of truth with serve.
+        spec.config()
+            .validate()
+            .map_err(|e| serde::Error::custom(format!("invalid scheduler spec: {e}")))?;
+        Ok(spec)
     }
 }
 
@@ -1350,16 +1486,19 @@ mod tests {
             EngineSpec::Cached {
                 capacity: 1024,
                 stripes: 8,
+                negative: false,
                 inner: Box::new(EngineSpec::Single(inner)),
             },
             EngineSpec::Cached {
                 capacity: 64,
                 stripes: 2,
+                negative: true,
                 inner: Box::new(EngineSpec::Sharded { shards: 4, inner }),
             },
             EngineSpec::Cached {
                 capacity: 256,
                 stripes: 4,
+                negative: false,
                 inner: Box::new(EngineSpec::WriteBehind {
                     shards: 1,
                     inner,
@@ -1395,6 +1534,7 @@ mod tests {
         let spec = EngineSpec::Cached {
             capacity: 128,
             stripes: 4,
+            negative: false,
             inner: Box::new(EngineSpec::Single(Family::Pgm.default_spec::<u64>())),
         };
         let cached = spec.cached_engine(&data, SearchStrategy::Binary).unwrap();
@@ -1410,6 +1550,96 @@ mod tests {
         // And non-cached specs cannot be built as one.
         assert!(EngineSpec::Single(inner).cached_engine(&data, SearchStrategy::Binary).is_err());
         assert!(spec.sharded_engine(&data, SearchStrategy::Binary).is_err());
+    }
+
+    #[test]
+    fn negative_flag_round_trips_and_defaults_off() {
+        let inner = Family::Rmi.default_spec::<u64>();
+        let spec = EngineSpec::Cached {
+            capacity: 64,
+            stripes: 2,
+            negative: true,
+            inner: Box::new(EngineSpec::Single(inner)),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"negative\":true"), "{json}");
+        assert_eq!(serde_json::from_str::<EngineSpec>(&json).unwrap(), spec);
+        assert!(spec.label::<u64>().contains(",neg["), "{}", spec.label::<u64>());
+        // A pre-negative spec (no field) parses as negative-off, and its
+        // JSON never mentions the knob.
+        let old = "{\"family\":\"cached\",\"params\":{\"capacity\":8,\"stripes\":1,\
+                   \"inner\":{\"family\":\"BS\",\"params\":{}}}}";
+        let parsed: EngineSpec = serde_json::from_str(old).unwrap();
+        assert!(matches!(parsed, EngineSpec::Cached { negative: false, .. }));
+        assert!(!serde_json::to_string(&parsed).unwrap().contains("negative"));
+        // Non-bool values are rejected.
+        let bad = "{\"family\":\"cached\",\"params\":{\"capacity\":8,\"stripes\":1,\
+                   \"negative\":1,\"inner\":{\"family\":\"BS\",\"params\":{}}}}";
+        assert!(serde_json::from_str::<EngineSpec>(bad).is_err());
+        // The built engine honors the flag.
+        let data = Arc::new(SortedData::new((0..1_000u64).map(|i| i * 2).collect()).unwrap());
+        let cached = spec.cached_engine(&data, SearchStrategy::Binary).unwrap();
+        assert!(cached.negative_enabled());
+        assert_eq!(cached.get(3), None);
+        assert_eq!(cached.peek(3), Some(None), "absence was cached");
+    }
+
+    #[test]
+    fn scheduler_specs_round_trip_and_serve() {
+        let spec = SchedulerSpec { wave_size: 16, linger_us: 50, workers: 2, queue_cap: 512 };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(json, "{\"wave_size\":16,\"linger_us\":50,\"workers\":2,\"queue_cap\":512}");
+        assert_eq!(serde_json::from_str::<SchedulerSpec>(&json).unwrap(), spec);
+        assert_eq!(spec.label(), "sched[w16,l50us,t2,q512]");
+        assert_eq!(SchedulerSpec::naive(2, 512).config().wave_size, 1);
+        // Zero knobs are rejected at parse time, same rule as the runtime.
+        for bad in [
+            "{\"wave_size\":0,\"linger_us\":0,\"workers\":1,\"queue_cap\":8}",
+            "{\"wave_size\":1,\"linger_us\":0,\"workers\":0,\"queue_cap\":8}",
+            "{\"wave_size\":1,\"linger_us\":0,\"workers\":1,\"queue_cap\":0}",
+            "{\"wave_size\":1,\"linger_us\":0,\"workers\":1}",
+        ] {
+            assert!(serde_json::from_str::<SchedulerSpec>(bad).is_err(), "{bad}");
+        }
+
+        // Build the full stack over a plain engine spec…
+        let data = Arc::new(SortedData::new((0..10_000u64).map(|i| i * 2).collect()).unwrap());
+        let sched = spec
+            .scheduler(
+                &EngineSpec::Single(Family::Pgm.default_spec::<u64>()),
+                &data,
+                SearchStrategy::Binary,
+            )
+            .unwrap();
+        assert_eq!(sched.submit(24).unwrap().wait(), Some(data.payload(12)));
+        assert_eq!(sched.submit(25).unwrap().wait(), None);
+        sched.wait_idle();
+        assert_eq!(sched.stats().completed, 2);
+        assert_eq!(sched.stats().fast_hits, 0, "plain engines have no fast path");
+
+        // …and over a cached spec, whose peek becomes the fast path.
+        let cached_spec = EngineSpec::Cached {
+            capacity: 256,
+            stripes: 4,
+            negative: true,
+            inner: Box::new(EngineSpec::Single(Family::Pgm.default_spec::<u64>())),
+        };
+        let sched = spec.scheduler(&cached_spec, &data, SearchStrategy::Binary).unwrap();
+        assert_eq!(sched.submit(24).unwrap().wait(), Some(data.payload(12)));
+        assert_eq!(sched.submit(25).unwrap().wait(), None);
+        sched.wait_idle();
+        let cold = sched.stats();
+        assert_eq!(cold.fast_hits, 0, "cold cache: both keys rode waves");
+        // Warm re-submits: the cache (negative mode) now answers both at
+        // submit time.
+        let r = sched.submit(24).unwrap();
+        assert!(r.is_fast());
+        assert_eq!(r.wait(), Some(data.payload(12)));
+        let r = sched.submit(25).unwrap();
+        assert!(r.is_fast(), "negative entry is a fast answer too");
+        assert_eq!(r.wait(), None);
+        sched.wait_idle();
+        assert_eq!(sched.stats().fast_hits, 2);
     }
 
     #[test]

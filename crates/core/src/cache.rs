@@ -26,7 +26,24 @@
 //!   populates the cache. [`CachedEngine::get_batch`] partitions hits from
 //!   misses and hands the *whole miss set* to the inner engine's own
 //!   `get_batch`, so a `StaticEngine` base still runs its
-//!   interleaved-prefetch path over the keys that actually need it.
+//!   interleaved-prefetch path over the keys that actually need it. Over a
+//!   sharded inner, [`CachedEngine::par_get_batch`] does the same
+//!   partitioning before the parallel shard fan-out, so cached keys never
+//!   reach the shard threads.
+//! * **Negative caching is opt-in.** By default absent keys are never
+//!   cached (absence is cheap to re-verify, and nonexistent probes would
+//!   evict hot results); [`CachedEngine::with_negative`] flips a miss on
+//!   an absent key into a **negative entry** that answers later probes of
+//!   that key from the cache — the right trade for miss-heavy serving
+//!   traffic. Negative entries ride the same slots, CLOCK policy, and
+//!   version-fenced invalidation as values, so an insert of a
+//!   negatively-cached key invalidates the entry exactly like a payload
+//!   overwrite (rule 1 below) and a racing fill of stale absence is
+//!   discarded (rule 2).
+//! * **A non-filling [`CachedEngine::peek`]** answers "is this key cached
+//!   right now" without falling through — the probe the serving layer's
+//!   hit-fast path (`sosd_core::serve`) runs at submit time so a cache
+//!   hit never waits behind a wave of misses.
 //! * **Ranges bypass.** `lower_bound`, `range`, and `range_sum` delegate
 //!   straight to the inner engine: a point-result cache cannot answer an
 //!   ordered query without an order-preserving directory, and caching
@@ -61,6 +78,7 @@
 use crate::engine::QueryEngine;
 use crate::error::BuildError;
 use crate::key::Key;
+use crate::shard::ShardedEngine;
 use crate::util::splitmix64;
 use crate::writebehind::WriteBehindEngine;
 use std::collections::HashMap;
@@ -106,10 +124,12 @@ impl Hasher for MixHasher {
 
 type MixBuild = BuildHasherDefault<MixHasher>;
 
-/// One CLOCK ring entry.
+/// One CLOCK ring entry. `value` is the cached `get` result: `Some` a
+/// payload sum, `None` a **negative entry** (key known absent; only stored
+/// when negative caching is enabled).
 struct Slot<K> {
     key: K,
-    value: u64,
+    value: Option<u64>,
     /// Second-chance bit: set on hit, cleared by the sweeping hand.
     referenced: bool,
 }
@@ -128,14 +148,16 @@ struct StripeState<K> {
 }
 
 impl<K: Key> StripeState<K> {
-    fn probe(&mut self, key: K) -> Option<u64> {
+    /// Cached `get` result for `key`: outer `None` = not cached, inner
+    /// `None` = negative entry (known absent).
+    fn probe(&mut self, key: K) -> Option<Option<u64>> {
         let &i = self.map.get(&key)?;
         self.slots[i].referenced = true;
         Some(self.slots[i].value)
     }
 
     /// Insert `key → value`, evicting via CLOCK when at `cap`.
-    fn fill(&mut self, key: K, value: u64, cap: usize) {
+    fn fill(&mut self, key: K, value: Option<u64>, cap: usize) {
         if let Some(&i) = self.map.get(&key) {
             // A racing reader of the same key filled first; the values are
             // identical (same stripe version ⇒ same inner state).
@@ -210,6 +232,8 @@ pub struct CachedEngine<K: Key, E: QueryEngine<K> = Box<dyn QueryEngine<K>>> {
     stripes: Vec<Mutex<StripeState<K>>>,
     /// Per-stripe entry budget (total capacity split evenly).
     stripe_cap: usize,
+    /// Whether misses on absent keys fill negative entries.
+    negative: bool,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -220,8 +244,28 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
     /// each stripe holds at least one entry; the effective capacity —
     /// [`CachedEngine::capacity`] — rounds `capacity` up to a multiple of
     /// the stripe count). `capacity` and `stripes` must both be at least
-    /// 1 (the same rule the spec layer enforces).
+    /// 1 (the same rule the spec layer enforces). Negative caching is
+    /// off; see [`CachedEngine::with_negative`].
     pub fn new(inner: E, capacity: usize, stripes: usize) -> Result<Self, BuildError> {
+        Self::with_negative(inner, capacity, stripes, false)
+    }
+
+    /// Like [`CachedEngine::new`], with **negative caching** opt-in: when
+    /// `negative` is true, a miss whose inner lookup returns `None` fills
+    /// a negative entry, so repeated probes of an absent key are answered
+    /// by the cache instead of re-verifying absence through the engine —
+    /// miss-heavy open-loop traffic is exactly where this pays. Negative
+    /// entries obey the same version-fenced invalidation as values: a
+    /// later `insert` of the key drops the entry and fences in-flight
+    /// fills, so absence can never shadow a new write. Off by default
+    /// because each negative entry occupies a slot a hot *present* key
+    /// could use.
+    pub fn with_negative(
+        inner: E,
+        capacity: usize,
+        stripes: usize,
+        negative: bool,
+    ) -> Result<Self, BuildError> {
         if capacity == 0 {
             return Err(BuildError::InvalidConfig("cache capacity must be >= 1".into()));
         }
@@ -244,6 +288,7 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
             inner,
             stripes,
             stripe_cap,
+            negative,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
@@ -252,6 +297,11 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
     /// The wrapped engine.
     pub fn inner(&self) -> &E {
         &self.inner
+    }
+
+    /// Whether absent-key results are cached as negative entries.
+    pub fn negative_enabled(&self) -> bool {
+        self.negative
     }
 
     /// Unwrap back into the inner engine.
@@ -333,10 +383,11 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
         &self.stripes[(h >> 32) as usize & (self.stripes.len() - 1)]
     }
 
-    /// Cache probe: `Ok(payload)` on a hit, `Err(version)` on a miss (the
-    /// stripe version to hand back to [`CachedEngine::fill_checked`]).
+    /// Cache probe: `Ok(result)` on a hit (`Ok(None)` = negative entry),
+    /// `Err(version)` on a miss (the stripe version to hand back to
+    /// [`CachedEngine::fill_checked`]).
     #[inline]
-    fn probe(&self, key: K) -> Result<u64, u64> {
+    fn probe(&self, key: K) -> Result<Option<u64>, u64> {
         let mut st = self.stripe(key).lock().expect("cache stripe");
         match st.probe(key) {
             Some(v) => {
@@ -350,13 +401,72 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
         }
     }
 
+    /// Non-filling, non-falling-through probe: `Some(result)` if `key` is
+    /// cached (`Some(None)` = cached absence), `None` if not — without
+    /// consulting the inner engine. A hit counts toward [`hits`]; a lookup
+    /// that finds nothing is **not** counted as a miss, because the caller
+    /// (the serving fast path — `sosd_core::serve`) re-probes through the
+    /// normal `get_batch` path, which counts it.
+    ///
+    /// [`hits`]: CachedEngine::hits
+    #[inline]
+    pub fn peek(&self, key: K) -> Option<Option<u64>> {
+        let mut st = self.stripe(key).lock().expect("cache stripe");
+        let r = st.probe(key);
+        if r.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
     /// Fill after a miss, discarded when the stripe version moved past
     /// `version` (a writer invalidated between the probe and this fill).
+    /// `value = None` (a negative entry) is only stored in negative mode.
     #[inline]
-    fn fill_checked(&self, key: K, value: u64, version: u64) {
+    fn fill_checked(&self, key: K, value: Option<u64>, version: u64) {
+        if value.is_none() && !self.negative {
+            return;
+        }
         let mut st = self.stripe(key).lock().expect("cache stripe");
         if st.version == version {
             st.fill(key, value, self.stripe_cap);
+        }
+    }
+
+    /// The hit/miss-partitioned batch shared by [`QueryEngine::get_batch`]
+    /// and the cache-aware parallel path: hits (including negative
+    /// entries) answer from the stripes, and the whole miss set goes to
+    /// the inner engine through `exec` in one call.
+    fn get_batch_via(
+        &self,
+        keys: &[K],
+        out: &mut Vec<Option<u64>>,
+        exec: impl FnOnce(&E, &[K], &mut Vec<Option<u64>>),
+    ) {
+        if keys.is_empty() {
+            return;
+        }
+        let start = out.len();
+        out.resize(start + keys.len(), None);
+        let mut miss_keys = Vec::new();
+        let mut miss_meta = Vec::new(); // (output slot, stripe version at probe)
+        for (i, &k) in keys.iter().enumerate() {
+            match self.probe(k) {
+                Ok(v) => out[start + i] = v,
+                Err(version) => {
+                    miss_keys.push(k);
+                    miss_meta.push((i, version));
+                }
+            }
+        }
+        if miss_keys.is_empty() {
+            return;
+        }
+        let mut miss_results = Vec::with_capacity(miss_keys.len());
+        exec(&self.inner, &miss_keys, &mut miss_results);
+        for ((r, &k), &(i, version)) in miss_results.iter().zip(&miss_keys).zip(&miss_meta) {
+            out[start + i] = *r;
+            self.fill_checked(k, *r, version);
         }
     }
 }
@@ -400,17 +510,16 @@ impl<K: Key, E: QueryEngine<K>> QueryEngine<K> for CachedEngine<K, E> {
         self.inner.size_bytes() + self.cached_len() * (slot + map_entry)
     }
 
-    /// Cache first; a miss falls through to the inner engine and fills
-    /// (present keys only — absence is cheap to re-verify and caching it
-    /// would let nonexistent probes evict hot results).
+    /// Cache first; a miss falls through to the inner engine and fills.
+    /// By default only present keys fill (absence is cheap to re-verify
+    /// and caching it would let nonexistent probes evict hot results);
+    /// [`CachedEngine::with_negative`] opts absent keys in too.
     fn get(&self, key: K) -> Option<u64> {
         match self.probe(key) {
-            Ok(v) => Some(v),
+            Ok(v) => v,
             Err(version) => {
                 let r = self.inner.get(key);
-                if let Some(v) = r {
-                    self.fill_checked(key, v, version);
-                }
+                self.fill_checked(key, r, version);
                 r
             }
         }
@@ -435,33 +544,28 @@ impl<K: Key, E: QueryEngine<K>> QueryEngine<K> for CachedEngine<K, E> {
     /// the whole miss set goes to the inner engine's own `get_batch` in one
     /// call, so its interleaved-prefetch override still fires.
     fn get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
-        if keys.is_empty() {
-            return;
-        }
-        let start = out.len();
-        out.resize(start + keys.len(), None);
-        let mut miss_keys = Vec::new();
-        let mut miss_meta = Vec::new(); // (output slot, stripe version at probe)
-        for (i, &k) in keys.iter().enumerate() {
-            match self.probe(k) {
-                Ok(v) => out[start + i] = Some(v),
-                Err(version) => {
-                    miss_keys.push(k);
-                    miss_meta.push((i, version));
-                }
-            }
-        }
-        if miss_keys.is_empty() {
-            return;
-        }
-        let mut miss_results = Vec::with_capacity(miss_keys.len());
-        self.inner.get_batch(&miss_keys, &mut miss_results);
-        for ((r, &k), &(i, version)) in miss_results.iter().zip(&miss_keys).zip(&miss_meta) {
-            out[start + i] = *r;
-            if let Some(v) = r {
-                self.fill_checked(k, *v, version);
-            }
-        }
+        self.get_batch_via(keys, out, |inner, miss, res| inner.get_batch(miss, res));
+    }
+}
+
+impl<K: Key> CachedEngine<K, ShardedEngine<K>> {
+    /// Cache-aware parallel batch over a sharded inner engine: hits
+    /// (including negative entries) are partitioned out under the stripe
+    /// locks first, and only the **miss set** is fanned out across the
+    /// shards via [`ShardedEngine::par_get_batch`] — under a skewed
+    /// workload most keys never reach the shard threads at all, and the
+    /// smaller miss set also keeps the sharded path's per-worker
+    /// spawn-amortization floor honest. Observably identical to
+    /// [`QueryEngine::get_batch`].
+    pub fn par_get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        self.get_batch_via(keys, out, |inner, miss, res| inner.par_get_batch(miss, res));
+    }
+
+    /// [`CachedEngine::par_get_batch`] into a fresh vector.
+    pub fn par_lookup_batch(&self, keys: &[K]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        self.par_get_batch(keys, &mut out);
+        out
     }
 }
 
@@ -594,8 +698,81 @@ mod tests {
             Ok(_) => panic!("absent key cannot hit"),
         };
         e.invalidate(42); // bumps the (single) stripe's version
-        e.fill_checked(9999, 123, version);
+        e.fill_checked(9999, Some(123), version);
         assert!(e.probe(9999).is_err(), "stale fill must be discarded");
+    }
+
+    fn negative_engine(
+        n: u64,
+        capacity: usize,
+        stripes: usize,
+    ) -> CachedEngine<u64, Box<dyn QueryEngine<u64>>> {
+        let data = Arc::new(SortedData::new((0..n).map(|i| i * 2).collect()).unwrap());
+        let inner: Box<dyn QueryEngine<u64>> =
+            Box::new(StaticEngine::new(MirrorIndex::over(&data), Arc::clone(&data)));
+        CachedEngine::with_negative(inner, capacity, stripes, true).unwrap()
+    }
+
+    #[test]
+    fn negative_mode_caches_absence() {
+        let e = negative_engine(1_000, 64, 4);
+        assert!(e.negative_enabled());
+        assert_eq!(e.get(11), None); // miss: negative entry filled
+        let (h0, m0) = (e.hits(), e.misses());
+        assert_eq!(e.get(11), None, "absence answered from the cache");
+        assert_eq!(e.hits() - h0, 1, "second probe of an absent key is a hit");
+        assert_eq!(e.misses(), m0);
+        // Batches serve negative entries too, and fill new ones.
+        let probes: Vec<u64> = (0..40).collect();
+        let first = e.lookup_batch(&probes);
+        for (&p, got) in probes.iter().zip(&first) {
+            assert_eq!(*got, e.inner().get(p), "batch probe {p}");
+        }
+        let m1 = e.misses();
+        assert_eq!(e.lookup_batch(&probes), first);
+        assert_eq!(e.misses(), m1, "every key — present or absent — now hits");
+    }
+
+    #[test]
+    fn negative_entries_are_version_fenced_and_invalidated() {
+        let e = negative_engine(1_000, 64, 1);
+        assert_eq!(e.get(11), None);
+        assert!(matches!(e.probe(11), Ok(None)), "negative entry present");
+        // The writer half: invalidating (what a cached write path does
+        // after an insert of key 11 lands) must drop the negative entry…
+        e.invalidate(11);
+        assert!(e.probe(11).is_err(), "insert invalidates cached absence");
+        // …and fence a concurrent fill of the now-stale absence.
+        let version = match e.probe(12_345) {
+            Err(v) => v,
+            Ok(_) => panic!("absent key cannot hit before fill"),
+        };
+        e.invalidate(42); // bumps the (single) stripe's version
+        e.fill_checked(12_345, None, version);
+        assert!(e.probe(12_345).is_err(), "stale negative fill must be discarded");
+    }
+
+    #[test]
+    fn default_mode_still_never_caches_absence() {
+        let e = engine(1_000, 64, 4);
+        assert_eq!(e.get(11), None);
+        assert_eq!(e.get(11), None);
+        assert_eq!(e.hits(), 0, "absent keys never hit without negative mode");
+        assert_eq!(e.cached_len(), 0);
+    }
+
+    #[test]
+    fn peek_reports_cached_state_without_filling() {
+        let e = negative_engine(1_000, 64, 4);
+        assert_eq!(e.peek(10), None, "cold key: no fast answer");
+        assert_eq!(e.misses(), 0, "peek never counts a miss");
+        assert_eq!(e.cached_len(), 0, "peek never fills");
+        e.get(10); // present: fills Some
+        e.get(11); // absent: fills negative
+        let h0 = e.hits();
+        assert_eq!(e.peek(10), Some(Some(e.inner().get(10).unwrap())));
+        assert_eq!(e.peek(11), Some(None), "cached absence is a fast answer");
+        assert_eq!(e.hits() - h0, 2, "peek hits count as hits");
     }
 
     #[test]
@@ -605,6 +782,32 @@ mod tests {
         assert_eq!(e.range(10, 30), e.inner().range(10, 30));
         assert_eq!(e.range_sum(10, 30), e.inner().range_sum(10, 30));
         assert_eq!(e.hits() + e.misses(), 0, "ordered queries never touch the stripes");
+    }
+
+    #[test]
+    fn par_get_batch_partitions_hits_before_the_shard_fanout() {
+        let data = SortedData::new((0..4_000u64).map(|i| i * 2).collect()).unwrap();
+        let sharded = ShardedEngine::build_with(&data, 4, |part| {
+            let part = Arc::new(part);
+            Ok(Box::new(StaticEngine::new(MirrorIndex::over(&part), part)))
+        })
+        .unwrap();
+        // Capacity comfortably above the probe set so the second pass
+        // cannot re-miss through eviction.
+        let e = CachedEngine::with_negative(sharded, 1024, 4, true).unwrap();
+        // Warm a third of the probe set (present and absent keys).
+        for k in (0..300u64).step_by(3) {
+            e.get(k);
+        }
+        let probes: Vec<u64> = (0..400).rev().collect();
+        let par = e.par_lookup_batch(&probes);
+        let serial = e.inner().lookup_batch(&probes);
+        assert_eq!(par, serial, "cache-aware parallel batch matches the inner engine");
+        // Everything is cached now: the next parallel batch must not fall
+        // through at all.
+        let m0 = e.misses();
+        assert_eq!(e.par_lookup_batch(&probes), serial);
+        assert_eq!(e.misses(), m0, "fully-warm parallel batch sends no key to the shards");
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //!   absorbing writes in the delta and folding them into a rebuilt base
 //!   when a size threshold is crossed — synchronously or on a background
 //!   merge thread with an epoch-pointer engine swap.
+//! * [`serve`] — the open-loop serving front end: [`RequestScheduler`]
+//!   coalesces independently arriving point lookups into batched waves
+//!   over a worker pool, with shed-on-full admission control and
+//!   lock-free latency recording via [`hist::LatencyHistogram`].
 //! * [`testutil`] — minimal reference implementations of both interfaces
 //!   for doctests and harness smoke checks.
 
@@ -49,10 +53,12 @@ pub mod data;
 pub mod dynamic;
 pub mod engine;
 pub mod error;
+pub mod hist;
 pub mod index;
 pub mod key;
 pub mod ols;
 pub mod search;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod stride;
@@ -68,9 +74,11 @@ pub use data::SortedData;
 pub use dynamic::{BulkLoad, DynamicOrderedIndex, Op};
 pub use engine::{DynamicEngine, QueryEngine, StaticEngine};
 pub use error::{BuildError, DataError};
+pub use hist::LatencyHistogram;
 pub use index::{Capabilities, Index, IndexKind};
 pub use key::Key;
 pub use search::{LastMileSearch, SearchStrategy};
+pub use serve::{RequestScheduler, RequestShed, Response, SchedulerConfig, SchedulerStats};
 pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
 pub use trace::{CountingTracer, NullTracer, Tracer};
 pub use writebehind::{MergeMode, MergePolicy, WriteBehindEngine};

@@ -26,9 +26,11 @@ pub mod gen;
 pub mod hilbert;
 pub mod io;
 pub mod mixed;
+pub mod openloop;
 pub mod registry;
 pub mod workload;
 
 pub use mixed::{generate_mixed, MixedConfig, MixedWorkload, ReadSkew};
+pub use openloop::{generate_openloop, OpenLoopConfig, OpenLoopSchedule};
 pub use registry::{generate_u32, generate_u64, DatasetId};
 pub use workload::{make_workload, make_workload_u32, Workload};

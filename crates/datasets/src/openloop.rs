@@ -1,0 +1,243 @@
+//! Open-loop request-arrival schedules for the serving front end.
+//!
+//! Closed-loop benchmarks (issue a lookup, wait, issue the next) hide
+//! queueing: the client self-throttles, so tail latency under load is never
+//! observed. An **open-loop** workload fixes the arrival process instead —
+//! requests arrive at timestamps drawn independently of how fast the server
+//! answers — which is what exposes coordinated-omission-free p99/p999 and
+//! the saturation point of a scheduler.
+//!
+//! [`generate_openloop`] produces a deterministic schedule: Poisson
+//! inter-arrivals (exponential gaps) whose rate alternates between a calm
+//! phase and a burst phase (`burst_factor`× the base rate), paired with a
+//! key per request drawn Zipf-skewed from a population plus an optional
+//! fraction of guaranteed-absent keys. Everything is a pure function of the
+//! seed, so the same schedule can be replayed against different engines and
+//! scheduler configurations.
+
+use crate::dist::{exponential, Zipf};
+use sosd_core::util::XorShift64;
+use sosd_core::Key;
+
+/// Configuration for [`generate_openloop`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Mean arrival rate during calm phases, in requests per second.
+    pub rate_per_s: f64,
+    /// Rate multiplier during burst phases (1.0 disables bursts).
+    pub burst_factor: f64,
+    /// Length of each phase in nanoseconds; the schedule alternates
+    /// calm → burst → calm → … starting calm.
+    pub phase_ns: u64,
+    /// Zipf exponent for key popularity (values near 0 approach uniform).
+    pub zipf_s: f64,
+    /// Fraction of requests targeting keys absent from the population
+    /// (drawn uniformly from the caller-supplied miss set).
+    pub miss_fraction: f64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            rate_per_s: 100_000.0,
+            burst_factor: 4.0,
+            phase_ns: 10_000_000, // 10 ms phases
+            zipf_s: 1.1,
+            miss_fraction: 0.05,
+        }
+    }
+}
+
+/// A generated open-loop schedule: per-request arrival offsets (nanoseconds
+/// from replay start, non-decreasing) and lookup keys.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSchedule<K: Key> {
+    /// Arrival offset of each request in nanoseconds, sorted ascending.
+    pub arrivals_ns: Vec<u64>,
+    /// Lookup key of each request, parallel to `arrivals_ns`.
+    pub keys: Vec<K>,
+    /// Human-readable description ("open-loop 100kreq/s ×4 bursts
+    /// zipf(1.1) miss=5%").
+    pub label: String,
+}
+
+impl<K: Key> OpenLoopSchedule<K> {
+    /// Number of requests in the schedule.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Mean offered rate in requests per second over the whole schedule
+    /// (the bursts make this exceed the configured calm-phase rate).
+    pub fn offered_rate_per_s(&self) -> f64 {
+        match self.arrivals_ns.last() {
+            Some(&last) if last > 0 => self.len() as f64 / (last as f64 / 1e9),
+            _ => 0.0,
+        }
+    }
+
+    /// Rescale every arrival gap by `factor` (> 1 slows arrivals down,
+    /// < 1 speeds them up), producing the same key sequence at a different
+    /// offered rate — one generated schedule sweeps a whole rate axis.
+    pub fn scaled(&self, factor: f64) -> OpenLoopSchedule<K> {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let arrivals_ns =
+            self.arrivals_ns.iter().map(|&t| (t as f64 * factor).round() as u64).collect();
+        OpenLoopSchedule { arrivals_ns, keys: self.keys.clone(), label: self.label.clone() }
+    }
+}
+
+/// Generate `n` open-loop requests over `population` (present keys; hit
+/// probability follows a shuffled-rank Zipf) and `miss_keys` (keys
+/// guaranteed absent from the served data, hit with `cfg.miss_fraction`).
+/// Pass an empty `miss_keys` to force an all-hit schedule regardless of
+/// `miss_fraction`. Deterministic in `seed`.
+pub fn generate_openloop<K: Key>(
+    population: &[K],
+    miss_keys: &[K],
+    n: usize,
+    cfg: OpenLoopConfig,
+    seed: u64,
+) -> OpenLoopSchedule<K> {
+    assert!(!population.is_empty(), "population must be non-empty");
+    assert!(cfg.rate_per_s > 0.0, "arrival rate must be positive");
+    assert!(cfg.burst_factor >= 1.0, "burst factor must be >= 1");
+    assert!((0.0..=1.0).contains(&cfg.miss_fraction), "miss_fraction out of range");
+    assert!(cfg.phase_ns > 0, "phase length must be positive");
+
+    let mut rng = XorShift64::new(seed ^ 0x4F50_454E_4C4F_4F50); // "OPENLOOP"
+
+    // Zipf ranks index a shuffled view of the population so the hot set is
+    // scattered across the key space (adjacent-rank keys must not be
+    // adjacent in key order, or a range-partitioned sharded engine would
+    // see all heat on one shard).
+    let mut perm: Vec<u32> = (0..population.len() as u32).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    let zipf = Zipf::new(population.len(), cfg.zipf_s);
+
+    let mut arrivals_ns = Vec::with_capacity(n);
+    let mut keys = Vec::with_capacity(n);
+    let mut t_ns = 0f64;
+    for _ in 0..n {
+        // Phase by absolute time: even 10ms windows are calm, odd burst.
+        let in_burst = (t_ns as u64 / cfg.phase_ns) % 2 == 1;
+        let rate = if in_burst { cfg.rate_per_s * cfg.burst_factor } else { cfg.rate_per_s };
+        t_ns += exponential(&mut rng, rate) * 1e9;
+        arrivals_ns.push(t_ns as u64);
+
+        let key = if !miss_keys.is_empty() && rng.next_f64() < cfg.miss_fraction {
+            miss_keys[rng.next_below(miss_keys.len() as u64) as usize]
+        } else {
+            let rank = zipf.sample(&mut rng) % population.len();
+            population[perm[rank] as usize]
+        };
+        keys.push(key);
+    }
+
+    let label = format!(
+        "open-loop {:.0}kreq/s ×{:.0} bursts zipf({}) miss={:.0}%",
+        cfg.rate_per_s / 1e3,
+        cfg.burst_factor,
+        cfg.zipf_s,
+        cfg.miss_fraction * 100.0
+    );
+    OpenLoopSchedule { arrivals_ns, keys, label }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> Vec<u64> {
+        (0..10_000u64).map(|i| i * 2).collect()
+    }
+
+    #[test]
+    fn deterministic_and_monotone() {
+        let p = pop();
+        let misses: Vec<u64> = (0..100).map(|i| i * 2 + 1).collect();
+        let a = generate_openloop(&p, &misses, 5_000, OpenLoopConfig::default(), 42);
+        let b = generate_openloop(&p, &misses, 5_000, OpenLoopConfig::default(), 42);
+        assert_eq!(a.arrivals_ns, b.arrivals_ns);
+        assert_eq!(a.keys, b.keys);
+        assert!(a.arrivals_ns.windows(2).all(|w| w[0] <= w[1]), "arrivals sorted");
+        assert_eq!(a.len(), 5_000);
+    }
+
+    #[test]
+    fn offered_rate_tracks_config() {
+        let p = pop();
+        let cfg = OpenLoopConfig { burst_factor: 1.0, ..Default::default() };
+        let s = generate_openloop(&p, &[], 50_000, cfg, 7);
+        let rate = s.offered_rate_per_s();
+        // Without bursts the mean rate is the configured rate (±5% sampling
+        // noise at 50k arrivals).
+        assert!((rate - cfg.rate_per_s).abs() < cfg.rate_per_s * 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn bursts_raise_the_mean_rate() {
+        let p = pop();
+        let calm = generate_openloop(
+            &p,
+            &[],
+            50_000,
+            OpenLoopConfig { burst_factor: 1.0, ..Default::default() },
+            7,
+        );
+        let bursty = generate_openloop(
+            &p,
+            &[],
+            50_000,
+            OpenLoopConfig { burst_factor: 4.0, ..Default::default() },
+            7,
+        );
+        assert!(
+            bursty.offered_rate_per_s() > calm.offered_rate_per_s() * 1.3,
+            "bursty {} vs calm {}",
+            bursty.offered_rate_per_s(),
+            calm.offered_rate_per_s()
+        );
+    }
+
+    #[test]
+    fn zipf_concentrates_and_misses_appear() {
+        let p = pop();
+        let misses: Vec<u64> = (0..128u64).map(|i| i * 2 + 1).collect();
+        let s = generate_openloop(&p, &misses, 40_000, OpenLoopConfig::default(), 3);
+        let mut counts = std::collections::HashMap::new();
+        let mut miss_hits = 0usize;
+        for &k in &s.keys {
+            if k % 2 == 1 {
+                miss_hits += 1;
+            } else {
+                *counts.entry(k).or_insert(0usize) += 1;
+            }
+        }
+        let hottest = counts.values().copied().max().unwrap();
+        assert!(hottest > 400, "hottest key only {hottest} hits over 40k requests");
+        // miss_fraction = 5%: expect ~2000 misses.
+        assert!((1_400..=2_600).contains(&miss_hits), "miss hits = {miss_hits}");
+        // Empty miss set forces all hits.
+        let all_hit = generate_openloop(&p, &[], 5_000, OpenLoopConfig::default(), 3);
+        assert!(all_hit.keys.iter().all(|&k| k % 2 == 0));
+    }
+
+    #[test]
+    fn scaling_changes_rate_not_keys() {
+        let p = pop();
+        let s = generate_openloop(&p, &[], 10_000, OpenLoopConfig::default(), 5);
+        let slower = s.scaled(2.0);
+        assert_eq!(slower.keys, s.keys);
+        let ratio = s.offered_rate_per_s() / slower.offered_rate_per_s();
+        assert!((ratio - 2.0).abs() < 0.01, "ratio = {ratio}");
+    }
+}

@@ -38,8 +38,12 @@ fn main() {
     //    32k-entry, 8-stripe CLOCK cache. The spec JSON is what a
     //    deployment would store.
     let inner_spec = EngineSpec::Single(Family::Rmi.default_spec::<u64>());
-    let spec =
-        EngineSpec::Cached { capacity: 32_768, stripes: 8, inner: Box::new(inner_spec.clone()) };
+    let spec = EngineSpec::Cached {
+        capacity: 32_768,
+        stripes: 8,
+        negative: false,
+        inner: Box::new(inner_spec.clone()),
+    };
     let cached = spec.cached_engine(&data, SearchStrategy::Binary).expect("spec builds");
     println!(
         "engine: {} (capacity {}, {} stripes)\nspec:   {}",

@@ -189,6 +189,58 @@ fn removes_invalidate_cached_hits_over_writebehind() {
     }
 }
 
+/// The negative-mode stale-absence trap over a live write-behind inner: an
+/// absent key's None is cached (the repeat probe is a hit), then an insert
+/// through the cached write path must invalidate that negative entry —
+/// serving the cached None after the insert would un-insert the key. The
+/// remove → re-insert cycle is exercised too, in both merge modes.
+#[test]
+fn negative_entries_are_invalidated_by_writes_over_writebehind() {
+    let keys: Vec<u64> = (0..2_000u64).map(|i| i * 3).collect();
+    let payloads: Vec<u64> = keys.iter().map(|&k| k + 7).collect();
+    let data = Arc::new(SortedData::with_payloads(keys.clone(), payloads).expect("sorted"));
+    let spec = EngineSpec::WriteBehind {
+        shards: 1,
+        inner: Family::Pgm.default_spec::<u64>(),
+        delta: DeltaKind::BTree,
+        merge_threshold: 64,
+        policy: MergePolicy::Flat,
+    };
+    for mode in [MergeMode::Sync, MergeMode::Background] {
+        let mut oracle: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k + 7)).collect();
+        let wb = spec.writebehind_engine(&data, SearchStrategy::Binary, mode).expect("builds");
+        let engine = CachedEngine::with_negative(wb, 256, 4, true).expect("cache builds");
+        let mut x = 0xBAD_C0DEu64;
+        for step in 0..1_200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x % 2_200) * 3 + (x % 2); // odd keys are never stored
+                                               // Cache the key's current state; absences are cached too.
+            assert_eq!(engine.get(k), oracle.get(&k).copied(), "pre-op get {k} ({mode:?})");
+            if !oracle.contains_key(&k) {
+                // The repeat probe of an absent key must be a negative hit,
+                // not a second trip to the inner engine.
+                let h0 = engine.hits();
+                assert_eq!(engine.get(k), None, "repeat miss {k}");
+                assert_eq!(engine.hits(), h0 + 1, "absence of {k} was not cached ({mode:?})");
+            }
+            if x.is_multiple_of(3) {
+                let v = x >> 32;
+                assert_eq!(engine.insert(k, v), oracle.insert(k, v), "insert {k} step {step}");
+                // The trap: a surviving negative entry would answer None.
+                assert_eq!(engine.get(k), Some(v), "stale negative hit on {k} ({mode:?})");
+            } else if x.is_multiple_of(5) {
+                assert_eq!(engine.remove(k), oracle.remove(&k), "remove {k} step {step}");
+                assert_eq!(engine.get(k), None, "stale hit after remove of {k} ({mode:?})");
+            }
+        }
+        engine.inner().wait_for_merges();
+        for &k in &keys {
+            assert_eq!(engine.get(k), oracle.get(&k).copied(), "post-merge {k} ({mode:?})");
+        }
+        assert_eq!(engine.len(), oracle.len(), "{mode:?}");
+    }
+}
+
 /// Eviction at capacity: a probe stream far wider than the cache leaves at
 /// most `capacity()` entries cached, evicts cold keys, and never evicts
 /// correctness — every probe still matches the inner engine.
@@ -307,6 +359,7 @@ fn boxed_cached_engines_are_first_class() {
     let spec = EngineSpec::Cached {
         capacity: 128,
         stripes: 4,
+        negative: false,
         inner: Box::new(EngineSpec::Sharded {
             shards: 2,
             inner: Family::Rmi.default_spec::<u64>(),
