@@ -79,6 +79,8 @@ struct OpenLoopRow {
     p50_us: f64,
     p99_us: f64,
     p999_us: f64,
+    mean_us: f64,
+    max_us: f64,
     checksum: u64,
 }
 
@@ -180,6 +182,10 @@ fn replay(
         p50_us: lat.p50() as f64 / 1e3,
         p99_us: lat.p99() as f64 / 1e3,
         p999_us: lat.p999() as f64 / 1e3,
+        mean_us: lat.mean() / 1e3,
+        // Exact, not bucket-quantized: the one-off worst request is
+        // visible even when every percentile looks healthy.
+        max_us: lat.max() as f64 / 1e3,
         checksum: stats.checksum,
     }
 }
@@ -268,6 +274,8 @@ fn main() {
             "p50_us",
             "p99_us",
             "p999_us",
+            "mean_us",
+            "max_us",
         ],
     );
     let mut rows: Vec<OpenLoopRow> = Vec::new();
@@ -373,6 +381,8 @@ fn push(report: &mut Report, rows: &mut Vec<OpenLoopRow>, row: OpenLoopRow) {
         format!("{:.0}", row.p50_us),
         format!("{:.0}", row.p99_us),
         format!("{:.0}", row.p999_us),
+        format!("{:.0}", row.mean_us),
+        format!("{:.0}", row.max_us),
     ]);
     rows.push(row);
 }

@@ -1,0 +1,361 @@
+//! ext10 — storage-aware serving: paged snapshots under simulated devices.
+//!
+//! The paper benchmarks learned indexes entirely in RAM. This extension asks
+//! what happens when the sorted array lives on a block device and only the
+//! model stays resident: every lookup pays for the pages its search window
+//! touches. We serialize the dataset into the versioned snapshot format
+//! ([`sosd_core::store::write_snapshot`]), re-open it through a
+//! [`ProfiledStore`] that injects a device profile's latency/bandwidth cost,
+//! and measure paged lookups for a grid of
+//!
+//!   storage profile (ram / nvme / nfs) × index family (RMI / PGM / BTree)
+//!     × page size (512 / 4096 / 16384)
+//!
+//! plus, per profile, the configuration the [`StoreDesigner`] cost model
+//! picks (the designer also considers RS via its default family set).
+//! Reported per row: throughput, mean/p50/p99 and exact-max latency
+//! (from [`LatencyHistogram`]), pages touched per lookup (from the store's
+//! counters), snapshot size, cold-start time (open + validate + stream keys
+//! + rebuild the model) and rebuild-from-RAM time (build model + serialize).
+//!
+//! Self-gates (loud failure, no silent drift):
+//! * every measured configuration's payload-sum checksum must match the
+//!   in-RAM data — the paged read path may not diverge;
+//! * the designer's pick must land within [`GATE_FACTOR`]× of the best
+//!   *measured* fixed configuration for each profile (timing half: up to
+//!   [`GATE_RETRIES`] fresh re-measures before failing).
+//!
+//! Run: `cargo run --release -p sosd-bench --bin ext10_storage -- --quick`
+
+use serde::Serialize;
+use sosd_bench::designer::DEFAULT_PAGE_SIZES;
+use sosd_bench::registry::Family;
+use sosd_bench::report::{fmt_mb, write_json, Report};
+use sosd_bench::{Args, IndexSpec, StoreDesigner};
+use sosd_core::{
+    write_snapshot, BlockStore, FileStore, LatencyHistogram, PagedData, PagedEngine, ProfiledStore,
+    QueryEngine, SearchStrategy, SortedData, StorageProfile,
+};
+use sosd_datasets::{make_workload, DatasetId};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Families measured in the fixed grid (RS behaves like PGM here; the
+/// designer still considers it via its default family set).
+const GRID_FAMILIES: [Family; 3] = [Family::Rmi, Family::Pgm, Family::BTree];
+
+/// Designer pick must be within this factor of the best fixed config.
+const GATE_FACTOR: f64 = 1.25;
+/// Timing-half re-measures before the gate fails.
+const GATE_RETRIES: usize = 2;
+
+/// One measured (profile, config, page size) cell.
+#[derive(Clone, Serialize)]
+struct StorageRow {
+    profile: String,
+    config: String,
+    page_size: usize,
+    mops_per_s: f64,
+    mean_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    max_ns: f64,
+    pages_per_lookup: f64,
+    snapshot_bytes: u64,
+    cold_start_ms: f64,
+    rebuild_ms: f64,
+    lookups: usize,
+    checksum: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let report = run(&args);
+    report.emit(&args.out_dir).expect("write results");
+}
+
+fn run(args: &Args) -> Report {
+    let dataset = *args.datasets.first().unwrap_or(&DatasetId::Amzn);
+    let wl = make_workload(dataset, args.n, args.lookups, args.seed);
+    let data = Arc::new(wl.data);
+    println!(
+        "ext10: {} keys ({dataset:?}), {} lookup keys, profiles {:?}",
+        data.len(),
+        wl.lookups.len(),
+        StorageProfile::ALL.iter().map(|p| p.name).collect::<Vec<_>>()
+    );
+
+    let snap_dir = args.out_dir.join("ext10_snapshots");
+    std::fs::create_dir_all(&snap_dir).expect("create snapshot dir");
+
+    // The snapshot content depends only on the data and the page size —
+    // not on the index family or device profile — so serialize each page
+    // size once and time it once; every config at that page size reuses
+    // the file and the recorded serialization cost.
+    let snapshots: Vec<(usize, PathBuf, f64)> = DEFAULT_PAGE_SIZES
+        .iter()
+        .map(|&ps| {
+            let path = snap_dir.join(format!("{dataset:?}-p{ps}.snap").to_lowercase());
+            let t = Instant::now();
+            let mut store = FileStore::create(&path, ps).expect("create snapshot file");
+            write_snapshot(&mut store, &data, &[]).expect("serialize snapshot");
+            store.flush().expect("flush snapshot");
+            let write_ms = t.elapsed().as_secs_f64() * 1e3;
+            println!("  serialized p{ps}: {} in {write_ms:.0}ms", fmt_mb(store.page_count() * ps));
+            (ps, path, write_ms)
+        })
+        .collect();
+    let snapshot = |ps: usize| -> (&Path, f64) {
+        let (_, path, write_ms) = snapshots
+            .iter()
+            .find(|(p, _, _)| *p == ps)
+            .expect("page size has a serialized snapshot");
+        (path, *write_ms)
+    };
+
+    let mut report = Report::new(
+        "ext10_storage",
+        &[
+            "profile",
+            "config",
+            "page_size",
+            "Mops_per_s",
+            "mean_ns",
+            "p50_ns",
+            "p99_ns",
+            "max_ns",
+            "pages_per_lookup",
+            "snapshot_bytes",
+            "cold_start_ms",
+            "rebuild_ms",
+        ],
+    );
+    let mut rows: Vec<StorageRow> = Vec::new();
+    let designer = StoreDesigner::new();
+
+    for &profile in StorageProfile::ALL.iter() {
+        // Injected device latency dominates non-RAM rows; clamp the
+        // measured-lookup count so NFS (~hundreds of µs per lookup) stays
+        // tractable while RAM keeps the full workload.
+        let budget = match profile.read_latency_ns {
+            0 => wl.lookups.len(),
+            ns if ns < 100_000 => wl.lookups.len().min(4_000),
+            _ => wl.lookups.len().min(1_500),
+        };
+        let keys = &wl.lookups[..budget];
+        let expected: u64 =
+            keys.iter().fold(0u64, |acc, &k| acc.wrapping_add(data.payload_sum_at(k)));
+
+        // Fixed grid.
+        let mut best_fixed: Option<StorageRow> = None;
+        for family in GRID_FAMILIES {
+            let spec = family.default_spec::<u64>();
+            for &ps in DEFAULT_PAGE_SIZES.iter() {
+                let (path, write_ms) = snapshot(ps);
+                let row = run_config(
+                    family.name(),
+                    &spec,
+                    ps,
+                    profile,
+                    &data,
+                    keys,
+                    expected,
+                    path,
+                    write_ms,
+                );
+                if best_fixed.as_ref().is_none_or(|b| row.mean_ns < b.mean_ns) {
+                    best_fixed = Some(row.clone());
+                }
+                push(&mut report, &mut rows, row);
+            }
+        }
+        let mut best_fixed = best_fixed.expect("grid measured at least one config");
+
+        // Designer pick for this profile.
+        let pick = designer.design(&data, profile).expect("designer scores a candidate");
+        let pick_label = format!("designer[{}]", pick.spec.family.name());
+        let (path, write_ms) = snapshot(pick.page_size);
+        let mut picked = run_config(
+            &pick_label,
+            &pick.spec,
+            pick.page_size,
+            profile,
+            &data,
+            keys,
+            expected,
+            path,
+            write_ms,
+        );
+        println!(
+            "  {}: designer picked {} p{} (predicted {:.0}ns, measured {:.0}ns; best fixed {} p{} at {:.0}ns)",
+            profile.name,
+            pick.spec.family.name(),
+            pick.page_size,
+            pick.predicted_ns,
+            picked.mean_ns,
+            best_fixed.config,
+            best_fixed.page_size,
+            best_fixed.mean_ns,
+        );
+
+        // Self-gate: the cost model must not pick a configuration that
+        // measures far off the best fixed one. Timing is noisy (especially
+        // the RAM rows, where a lookup is tens of ns) — re-measure both
+        // sides afresh before declaring failure.
+        let mut retries = 0;
+        while picked.mean_ns > GATE_FACTOR * best_fixed.mean_ns && retries < GATE_RETRIES {
+            retries += 1;
+            println!(
+                "  {}: gate retry {retries}: designer {:.0}ns vs best {:.0}ns",
+                profile.name, picked.mean_ns, best_fixed.mean_ns
+            );
+            let spec = Family::ALL
+                .iter()
+                .find(|f| f.name() == best_fixed.config)
+                .expect("best fixed row names a family")
+                .default_spec::<u64>();
+            let (bpath, bwrite) = snapshot(best_fixed.page_size);
+            let remeasured = run_config(
+                &best_fixed.config.clone(),
+                &spec,
+                best_fixed.page_size,
+                profile,
+                &data,
+                keys,
+                expected,
+                bpath,
+                bwrite,
+            );
+            if remeasured.mean_ns < best_fixed.mean_ns {
+                best_fixed = remeasured;
+            }
+            let repicked = run_config(
+                &pick_label,
+                &pick.spec,
+                pick.page_size,
+                profile,
+                &data,
+                keys,
+                expected,
+                path,
+                write_ms,
+            );
+            if repicked.mean_ns < picked.mean_ns {
+                picked = repicked;
+            }
+        }
+        assert!(
+            picked.mean_ns <= GATE_FACTOR * best_fixed.mean_ns,
+            "{}: designer pick {} p{} measured {:.0}ns/lookup, more than {GATE_FACTOR}x the \
+             best fixed config {} p{} at {:.0}ns",
+            profile.name,
+            picked.config,
+            picked.page_size,
+            picked.mean_ns,
+            best_fixed.config,
+            best_fixed.page_size,
+            best_fixed.mean_ns,
+        );
+        push(&mut report, &mut rows, picked);
+    }
+
+    write_json(&args.out_dir, "ext10_storage", &rows).expect("write json");
+    println!("{}", report.to_table());
+    println!(
+        "(Checksums verified against in-RAM data for every row; designer picks landed within \
+         {GATE_FACTOR}x of the best fixed config on every profile. cold_start_ms = open + \
+         validate + stream keys + rebuild model; rebuild_ms = build model + serialize snapshot.)"
+    );
+    report
+}
+
+/// Measure one (config, page size, profile) cell end to end: rebuild cost,
+/// cold-start cost, then paged lookups with per-op latency and page counts.
+#[allow(clippy::too_many_arguments)]
+fn run_config(
+    label: &str,
+    spec: &IndexSpec,
+    page_size: usize,
+    profile: StorageProfile,
+    data: &Arc<SortedData<u64>>,
+    keys: &[u64],
+    expected: u64,
+    snap_path: &Path,
+    snapshot_write_ms: f64,
+) -> StorageRow {
+    // Rebuild-from-RAM cost: build the model over resident data, plus the
+    // (shared, pre-measured) snapshot serialization time.
+    let t = Instant::now();
+    let model = spec.builder::<u64>().build_boxed(data).expect("grid family builds");
+    let rebuild_ms = t.elapsed().as_secs_f64() * 1e3 + snapshot_write_ms;
+    drop(model);
+
+    // Cold start: open the file, validate the header, stream the key
+    // section under the device profile, rebuild the model from it.
+    let t = Instant::now();
+    let file = FileStore::open(snap_path, page_size).expect("open snapshot file");
+    let profiled = ProfiledStore::new(file, profile);
+    let stats = profiled.stats();
+    let store: Arc<dyn BlockStore> = Arc::new(profiled);
+    let paged = Arc::new(PagedData::open(store).expect("snapshot validates"));
+    let builder = spec.builder::<u64>();
+    let engine = PagedEngine::open_with(Arc::clone(&paged), SearchStrategy::Binary, |d| {
+        builder.build_boxed(d)
+    })
+    .expect("cold open rebuilds the model");
+    let cold_start_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Serve: page reads and injected latency are charged per lookup.
+    stats.reset();
+    let hist = LatencyHistogram::new();
+    let mut sum = 0u64;
+    for &k in keys {
+        let t = Instant::now();
+        let got = engine.get(k);
+        hist.record(t.elapsed().as_nanos() as u64);
+        sum = sum.wrapping_add(got.unwrap_or(0));
+    }
+    assert_eq!(
+        sum, expected,
+        "{label} p{page_size} @ {}: paged lookups diverged from in-RAM data",
+        profile.name
+    );
+
+    let mean_ns = hist.mean();
+    StorageRow {
+        profile: profile.name.to_string(),
+        config: label.to_string(),
+        page_size,
+        mops_per_s: if mean_ns > 0.0 { 1e3 / mean_ns } else { 0.0 },
+        mean_ns,
+        p50_ns: hist.p50() as f64,
+        p99_ns: hist.p99() as f64,
+        max_ns: hist.max() as f64,
+        pages_per_lookup: stats.pages_read.load(Ordering::Relaxed) as f64 / keys.len() as f64,
+        snapshot_bytes: paged.snapshot_bytes(),
+        cold_start_ms,
+        rebuild_ms,
+        lookups: keys.len(),
+        checksum: sum,
+    }
+}
+
+fn push(report: &mut Report, rows: &mut Vec<StorageRow>, row: StorageRow) {
+    report.push_row(vec![
+        row.profile.clone(),
+        row.config.clone(),
+        row.page_size.to_string(),
+        format!("{:.3}", row.mops_per_s),
+        format!("{:.0}", row.mean_ns),
+        format!("{:.0}", row.p50_ns),
+        format!("{:.0}", row.p99_ns),
+        format!("{:.0}", row.max_ns),
+        format!("{:.2}", row.pages_per_lookup),
+        row.snapshot_bytes.to_string(),
+        format!("{:.1}", row.cold_start_ms),
+        format!("{:.1}", row.rebuild_ms),
+    ]);
+    rows.push(row);
+}

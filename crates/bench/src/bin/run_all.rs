@@ -49,6 +49,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext07_writebehind",
     "ext08_caching",
     "ext09_openloop",
+    "ext10_storage",
 ];
 
 /// How many top rows of each experiment's CSV make it into the

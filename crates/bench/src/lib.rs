@@ -7,8 +7,12 @@
 //! * [`registry`] — uniform access to every index family through
 //!   serializable [`IndexSpec`]s that construct type-erased builders or
 //!   serving-facing `QueryEngine`s, plus [`EngineSpec`] for serving-layer
-//!   configuration (key-range sharded, write-behind, and hot-key cached
-//!   engines included).
+//!   configuration (key-range sharded, write-behind, hot-key cached, and
+//!   block-store-backed engines included).
+//! * [`designer`] — the `StoreDesigner`: scores index family × page size
+//!   against a storage profile's latency/bandwidth curve with a
+//!   closed-form cost model and picks the configuration to serve from
+//!   that device (`ext10_storage` validates the picks).
 //! * [`timing`] — the single-threaded lookup loop (warm/cold, with or
 //!   without memory fences, selectable last-mile search) with payload-sum
 //!   validation, plus the batched `QueryEngine` path.
@@ -25,6 +29,7 @@
 //! `cargo run --release -p sosd-bench --bin fig07_pareto -- --n 1000000`.
 
 pub mod cli;
+pub mod designer;
 pub mod dynamic;
 pub mod mt;
 pub mod registry;
@@ -33,6 +38,9 @@ pub mod runner;
 pub mod timing;
 
 pub use cli::Args;
-pub use registry::{DeltaKind, DynBuilder, EngineSpec, Family, IndexParams, IndexSpec};
+pub use designer::{CandidateCost, StoreDesigner};
+pub use registry::{
+    DeltaKind, DynBuilder, EngineSpec, Family, IndexParams, IndexSpec, StorageSpec,
+};
 pub use report::Report;
 pub use timing::{time_lookups, time_lookups_batched, LookupTiming};

@@ -14,18 +14,22 @@
 //! wrapped in a write-behind tier
 //! (`{ "family": "writebehind", "params": { "inner": <engine spec>,
 //! "delta": "btree", "merge_threshold": N } }`) whose delta buffer family
-//! is picked by [`DeltaKind`], or fronted by a hot-key result cache
+//! is picked by [`DeltaKind`], fronted by a hot-key result cache
 //! (`{ "family": "cached", "params": { "capacity": C, "stripes": S,
-//! "inner": <engine spec> } }`) over any of the above.
+//! "inner": <engine spec> } }`) over any of the above, or served
+//! page-granular from a block-store snapshot under a simulated storage
+//! profile (`{ "family": "stored", "params": { "profile": "nvme",
+//! "page_size": 4096, "inner": <index spec> } }` — see [`StorageSpec`]).
 
 use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
 use sosd_core::serve::FastProbe;
 use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
-    BuildError, CachedEngine, DynamicOrderedIndex, Index, IndexBuilder, Key, MergeMode,
-    MergePolicy, QueryEngine, RequestScheduler, SchedulerConfig, SearchStrategy, ShardedEngine,
-    SortedData, StaticEngine, WriteBehindEngine,
+    write_snapshot, BlockStore, BuildError, CachedEngine, DynamicOrderedIndex, FileStore, Index,
+    IndexBuilder, Key, MemStore, MergeMode, MergePolicy, PagedData, PagedEngine, ProfiledStore,
+    QueryEngine, RequestScheduler, SchedulerConfig, SearchStrategy, ShardedEngine, SortedData,
+    StaticEngine, StorageProfile, WriteBehindEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -305,6 +309,38 @@ impl DeltaKind {
     }
 }
 
+/// Storage configuration of a [`EngineSpec::Stored`] tier: where the
+/// snapshot lives and how expensive it is to read.
+///
+/// `profile` names one of the [`StorageProfile`] presets by token
+/// (`"ram"`, `"nvme"`, `"nfs"`); non-RAM profiles wrap the backing in a
+/// [`ProfiledStore`] that injects the preset's latency/bandwidth curve.
+/// `path` selects the backing: a [`FileStore`] snapshot at that path when
+/// set, an anonymous in-heap [`MemStore`] when absent (the page layout,
+/// checksums, and read granularity are identical either way).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StorageSpec {
+    /// Simulated device the snapshot is served from.
+    pub profile: StorageProfile,
+    /// Snapshot page size in bytes (validated against the store's layout
+    /// rules at parse and build time).
+    pub page_size: usize,
+    /// Snapshot file path; `None` serves from an anonymous memory store.
+    pub path: Option<String>,
+}
+
+impl StorageSpec {
+    /// Share a freshly written backing behind `dyn`, wrapped in a
+    /// [`ProfiledStore`] unless the profile is RAM.
+    fn share<S: BlockStore + 'static>(&self, store: S) -> Arc<dyn BlockStore> {
+        if self.profile == StorageProfile::RAM {
+            Arc::new(store)
+        } else {
+            Arc::new(ProfiledStore::new(store, self.profile))
+        }
+    }
+}
+
 /// A serving-engine configuration: one layer above [`IndexSpec`].
 ///
 /// An index spec pins down one buildable index structure; an engine spec
@@ -322,10 +358,18 @@ impl DeltaKind {
 /// { "family": "writebehind", "params": { "inner": <engine spec>, "delta": "btree", "merge_threshold": 65536 } }
 /// ```
 ///
-/// and a caching tier composes over any of them:
+/// a caching tier composes over any of them:
 ///
 /// ```json
 /// { "family": "cached", "params": { "capacity": 65536, "stripes": 8, "inner": <engine spec> } }
+/// ```
+///
+/// and a storage tier snapshots the data into a paged block store and
+/// serves it page-granular under a simulated device profile (the cache
+/// tier may front it):
+///
+/// ```json
+/// { "family": "stored", "params": { "profile": "nvme", "page_size": 4096, "inner": <index spec> } }
 /// ```
 ///
 /// Any plain [`IndexSpec`] JSON deserializes as the single variant, so
@@ -379,6 +423,18 @@ pub enum EngineSpec {
         /// The engine the cache fronts.
         inner: Box<EngineSpec>,
     },
+    /// Storage-backed serving: snapshot the data into a paged block store
+    /// and serve through a [`PagedEngine`] that keeps only the index model
+    /// in RAM and fetches just the pages each lookup's error bound names,
+    /// charged at the configured profile's latency/bandwidth curve.
+    Stored {
+        /// Where the snapshot lives and what reads from it cost.
+        storage: StorageSpec,
+        /// The index model built over the snapshot. A plain index spec:
+        /// serving tiers (shards, caches, write-behind) compose *over*
+        /// storage, not under it.
+        inner: IndexSpec,
+    },
 }
 
 impl EngineSpec {
@@ -403,6 +459,16 @@ impl EngineSpec {
                 let neg = if *negative { ",neg" } else { "" };
                 format!("cached{capacity}x{stripes}{neg}[{}]", inner.label::<K>())
             }
+            EngineSpec::Stored { storage, inner } => {
+                // The path is deployment detail, not configuration
+                // identity; result rows stay machine-independent.
+                format!(
+                    "stored[{},p{}][{}]",
+                    storage.profile.name,
+                    storage.page_size,
+                    inner.label::<K>()
+                )
+            }
         }
     }
 
@@ -414,6 +480,7 @@ impl EngineSpec {
             EngineSpec::Sharded { inner, .. } => *inner,
             EngineSpec::WriteBehind { inner, .. } => *inner,
             EngineSpec::Cached { inner, .. } => inner.inner_spec(),
+            EngineSpec::Stored { inner, .. } => *inner,
         }
     }
 
@@ -443,6 +510,7 @@ impl EngineSpec {
                 Ok(Box::new(self.writebehind_engine(data, strategy, MergeMode::Background)?))
             }
             EngineSpec::Cached { .. } => Ok(Box::new(self.cached_engine(data, strategy)?)),
+            EngineSpec::Stored { .. } => Ok(Box::new(self.paged_engine(data, strategy)?)),
         }
     }
 
@@ -472,7 +540,9 @@ impl EngineSpec {
         let (shards, inner) = match self {
             EngineSpec::Single(spec) => (1, *spec),
             EngineSpec::Sharded { shards, inner } => (*shards, *inner),
-            EngineSpec::WriteBehind { .. } | EngineSpec::Cached { .. } => {
+            EngineSpec::WriteBehind { .. }
+            | EngineSpec::Cached { .. }
+            | EngineSpec::Stored { .. } => {
                 return Err(BuildError::InvalidConfig(
                     "only single/sharded specs build as a sharded engine".into(),
                 ))
@@ -515,6 +585,63 @@ impl EngineSpec {
             mode,
             policy,
         )
+    }
+
+    /// Build as a concrete [`PagedEngine`]: serialize `data` into the
+    /// configured block store (a [`FileStore`] snapshot when the spec names
+    /// a path, an anonymous [`MemStore`] otherwise), re-open it under the
+    /// configured profile, and serve page-granular with the inner index
+    /// model held in RAM. Non-stored specs are rejected.
+    pub fn paged_engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Result<PagedEngine<K>, BuildError> {
+        let EngineSpec::Stored { storage, inner } = self else {
+            return Err(BuildError::InvalidConfig("paged_engine needs a stored spec".into()));
+        };
+        let snap =
+            |e: sosd_core::StoreError| BuildError::Unbuildable(format!("snapshot failed: {e}"));
+        let store: Arc<dyn BlockStore> = match &storage.path {
+            Some(path) => {
+                let mut file = FileStore::create(std::path::Path::new(path), storage.page_size)
+                    .map_err(snap)?;
+                write_snapshot(&mut file, data, &[]).map_err(snap)?;
+                file.flush().map_err(snap)?;
+                storage.share(file)
+            }
+            None => {
+                let mut mem = MemStore::new(storage.page_size).map_err(snap)?;
+                write_snapshot(&mut mem, data, &[]).map_err(snap)?;
+                storage.share(mem)
+            }
+        };
+        let paged = Arc::new(PagedData::open(store).map_err(snap)?);
+        let index = inner.builder::<K>().build_boxed(data)?;
+        Ok(PagedEngine::with_strategy(index, paged, strategy))
+    }
+
+    /// Re-open an existing snapshot file cold — no source data needed: the
+    /// snapshot's validated key section is streamed once to rebuild the
+    /// inner index model, then serving reads stay page-granular. The page
+    /// size recorded in the snapshot header wins over the spec's. Only
+    /// stored specs with a `path` can cold-open.
+    pub fn cold_open_engine<K: Key>(
+        &self,
+        strategy: SearchStrategy,
+    ) -> Result<PagedEngine<K>, BuildError> {
+        let EngineSpec::Stored { storage, inner } = self else {
+            return Err(BuildError::InvalidConfig("cold_open_engine needs a stored spec".into()));
+        };
+        let Some(path) = &storage.path else {
+            return Err(BuildError::InvalidConfig(
+                "cold open needs a snapshot `path` (memory stores do not survive a restart)".into(),
+            ));
+        };
+        let paged = PagedData::open_file(std::path::Path::new(path), storage.profile)
+            .map_err(|e| BuildError::Unbuildable(format!("snapshot open failed: {e}")))?;
+        let builder = inner.builder::<K>();
+        PagedEngine::open_with(Arc::new(paged), strategy, |d| builder.build_boxed(d))
     }
 }
 
@@ -570,6 +697,20 @@ impl Serialize for EngineSpec {
                     ("params".into(), Value::Object(params)),
                 ])
             }
+            EngineSpec::Stored { storage, inner } => {
+                let mut params = vec![
+                    ("profile".into(), Value::Str(storage.profile.name.into())),
+                    ("page_size".into(), Value::UInt(storage.page_size as u64)),
+                ];
+                if let Some(path) = &storage.path {
+                    params.push(("path".into(), Value::Str(path.clone())));
+                }
+                params.push(("inner".into(), inner.to_value()));
+                Value::Object(vec![
+                    ("family".into(), Value::Str("stored".into())),
+                    ("params".into(), Value::Object(params)),
+                ])
+            }
         }
     }
 }
@@ -612,7 +753,9 @@ impl Deserialize for EngineSpec {
                 let (shards, inner) = match EngineSpec::from_value(inner_value)? {
                     EngineSpec::Single(spec) => (1, spec),
                     EngineSpec::Sharded { shards, inner } => (shards, inner),
-                    EngineSpec::WriteBehind { .. } | EngineSpec::Cached { .. } => {
+                    EngineSpec::WriteBehind { .. }
+                    | EngineSpec::Cached { .. }
+                    | EngineSpec::Stored { .. } => {
                         return Err(serde::Error::custom(
                             "writebehind bases must be single or sharded specs",
                         ))
@@ -712,6 +855,44 @@ impl Deserialize for EngineSpec {
                     negative,
                     inner: Box::new(inner),
                 })
+            }
+            "stored" => {
+                let params = v
+                    .get_field("params")
+                    .ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+                let token = params
+                    .get_field("profile")
+                    .and_then(serde::Value::as_str)
+                    .ok_or_else(|| serde::Error::custom("stored needs `profile`"))?;
+                let profile = StorageProfile::parse(token).ok_or_else(|| {
+                    serde::Error::custom(format!("unknown storage profile `{token}`"))
+                })?;
+                let page_size = params
+                    .get_field("page_size")
+                    .and_then(serde::Value::as_u64)
+                    .ok_or_else(|| serde::Error::custom("stored needs `page_size`"))?
+                    as usize;
+                // Layout rules live in the store — one source of truth
+                // with snapshot serialization.
+                sosd_core::store::validate_page_size(page_size)
+                    .map_err(|e| serde::Error::custom(e.to_string()))?;
+                let path = match params.get_field("path") {
+                    None => None,
+                    Some(serde::Value::Str(s)) => Some(s.clone()),
+                    Some(_) => return Err(serde::Error::custom("`path` must be a string")),
+                };
+                let inner_value = params
+                    .get_field("inner")
+                    .ok_or_else(|| serde::Error::custom("stored needs `inner`"))?;
+                // The model layer is a plain index spec; serving tiers
+                // compose over storage, not under it.
+                let inner = match EngineSpec::from_value(inner_value)? {
+                    EngineSpec::Single(spec) => spec,
+                    _ => {
+                        return Err(serde::Error::custom("stored inner must be a plain index spec"))
+                    }
+                };
+                Ok(EngineSpec::Stored { storage: StorageSpec { profile, page_size, path }, inner })
             }
             _ => IndexSpec::from_value(v).map(EngineSpec::Single),
         }
@@ -1653,6 +1834,143 @@ mod tests {
             assert_eq!(DeltaKind::parse(kind.token()), Some(kind));
         }
         assert_eq!(DeltaKind::parse("nope"), None);
+    }
+
+    /// Drop guard for on-disk snapshot fixtures.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("sosd-registry-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    #[test]
+    fn stored_specs_round_trip_and_build() {
+        let inner = Family::Pgm.default_spec::<u64>();
+        let spec = EngineSpec::Stored {
+            storage: StorageSpec { profile: StorageProfile::NVME, page_size: 4096, path: None },
+            inner,
+        };
+        // Round-trip through the documented JSON shape; the absent path
+        // never appears.
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"family\":\"stored\""), "{json}");
+        assert!(json.contains("\"profile\":\"nvme\""), "{json}");
+        assert!(json.contains("\"page_size\":4096"), "{json}");
+        assert!(!json.contains("\"path\""), "{json}");
+        assert_eq!(serde_json::from_str::<EngineSpec>(&json).unwrap(), spec);
+        assert_eq!(spec.inner_spec(), inner);
+        assert!(spec.label::<u64>().starts_with("stored[nvme,p4096]["), "{}", spec.label::<u64>());
+        // A path round-trips when present.
+        let pathed = EngineSpec::Stored {
+            storage: StorageSpec {
+                profile: StorageProfile::RAM,
+                page_size: 512,
+                path: Some("/tmp/snap.bin".into()),
+            },
+            inner,
+        };
+        let json = serde_json::to_string(&pathed).unwrap();
+        assert!(json.contains("\"path\":\"/tmp/snap.bin\""), "{json}");
+        assert_eq!(serde_json::from_str::<EngineSpec>(&json).unwrap(), pathed);
+        // Malformed stored specs are rejected.
+        for bad in [
+            "{\"family\":\"stored\",\"params\":{}}",
+            "{\"family\":\"stored\",\"params\":{\"profile\":\"tape\",\"page_size\":4096,\"inner\":{\"family\":\"BS\",\"params\":{}}}}",
+            "{\"family\":\"stored\",\"params\":{\"profile\":\"ram\",\"page_size\":100,\"inner\":{\"family\":\"BS\",\"params\":{}}}}",
+            "{\"family\":\"stored\",\"params\":{\"profile\":\"ram\",\"page_size\":4096}}",
+            "{\"family\":\"stored\",\"params\":{\"profile\":\"ram\",\"page_size\":4096,\"path\":7,\"inner\":{\"family\":\"BS\",\"params\":{}}}}",
+            // Serving tiers compose over storage, never under it.
+            "{\"family\":\"stored\",\"params\":{\"profile\":\"ram\",\"page_size\":4096,\"inner\":{\"family\":\"sharded\",\"params\":{\"shards\":2,\"inner\":{\"family\":\"BS\",\"params\":{}}}}}}",
+            // And write-behind bases cannot live on a storage tier.
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"stored\",\"params\":{\"profile\":\"ram\",\"page_size\":4096,\"inner\":{\"family\":\"BS\",\"params\":{}}}},\"delta\":\"btree\",\"merge_threshold\":8}}",
+        ] {
+            assert!(serde_json::from_str::<EngineSpec>(bad).is_err(), "{bad}");
+        }
+
+        // Build and serve from an anonymous memory store: every read goes
+        // through the paged snapshot, answers match the source data.
+        let data = Arc::new(SortedData::new((0..20_000u64).map(|i| i * 2).collect()).unwrap());
+        let spec = EngineSpec::Stored {
+            storage: StorageSpec { profile: StorageProfile::RAM, page_size: 512, path: None },
+            inner,
+        };
+        let engine = spec.engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(engine.len(), data.len());
+        assert_eq!(engine.get(24), Some(data.payload(12)));
+        assert_eq!(engine.get(25), None);
+        assert_eq!(engine.lower_bound(25).map(|e| e.0), Some(26));
+        assert_eq!(engine.lookup_batch(&[24, 25]), vec![Some(data.payload(12)), None]);
+        // The concrete construction exposes the snapshot surface.
+        let paged = spec.paged_engine(&data, SearchStrategy::Binary).unwrap();
+        assert!(paged.paged().snapshot_bytes() > 0);
+        assert!(paged.paged().keys_per_page() > 0);
+        // And non-stored specs cannot be built as one.
+        assert!(EngineSpec::Single(inner).paged_engine(&data, SearchStrategy::Binary).is_err());
+        assert!(spec.sharded_engine(&data, SearchStrategy::Binary).is_err());
+        assert!(spec.cold_open_engine::<u64>(SearchStrategy::Binary).is_err(), "no path");
+    }
+
+    #[test]
+    fn stored_specs_write_and_cold_open_snapshot_files() {
+        let dir = TempDir::new("stored");
+        let path = dir.0.join("snap.bin");
+        let spec = EngineSpec::Stored {
+            storage: StorageSpec {
+                profile: StorageProfile::RAM,
+                page_size: 1024,
+                path: Some(path.to_string_lossy().into_owned()),
+            },
+            inner: Family::Rmi.default_spec::<u64>(),
+        };
+        let data = Arc::new(SortedData::new((0..5_000u64).map(|i| i * 3).collect()).unwrap());
+        let engine = spec.engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(engine.get(30), Some(data.payload(10)));
+        assert!(path.exists(), "building the engine must write the snapshot");
+        drop(engine);
+        // Cold open: no source data in sight — the snapshot file is the
+        // only input, and the model is rebuilt from its key section.
+        let cold = spec.cold_open_engine::<u64>(SearchStrategy::Binary).unwrap();
+        assert_eq!(cold.len(), data.len());
+        for probe in [0usize, 10, 999, 4_999] {
+            let key = data.key(probe);
+            assert_eq!(cold.get(key), Some(data.payload(probe)), "key {key}");
+            assert_eq!(cold.get(key + 1), None);
+        }
+    }
+
+    #[test]
+    fn cached_stored_specs_nest() {
+        let inner = Family::Pgm.default_spec::<u64>();
+        let spec = EngineSpec::Cached {
+            capacity: 128,
+            stripes: 4,
+            negative: false,
+            inner: Box::new(EngineSpec::Stored {
+                storage: StorageSpec { profile: StorageProfile::RAM, page_size: 512, path: None },
+                inner,
+            }),
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<EngineSpec>(&json).unwrap(), spec);
+        assert_eq!(spec.inner_spec(), inner);
+        // A hot-key cache in front of a storage tier is the point of the
+        // composition: repeat reads skip the paged fetch entirely.
+        let data = Arc::new(SortedData::new((0..10_000u64).map(|i| i * 2).collect()).unwrap());
+        let cached = spec.cached_engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(cached.get(24), Some(data.payload(12)));
+        assert_eq!(cached.get(24), Some(data.payload(12)));
+        assert_eq!(cached.hits(), 1);
     }
 
     #[test]

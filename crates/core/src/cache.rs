@@ -85,6 +85,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Cheap multiply-mix hasher for the per-stripe index (keys are already
 /// integers; SipHash would dominate the hit path). Not DoS-resistant —
@@ -130,8 +131,14 @@ type MixBuild = BuildHasherDefault<MixHasher>;
 struct Slot<K> {
     key: K,
     value: Option<u64>,
-    /// Second-chance bit: set on hit, cleared by the sweeping hand.
-    referenced: bool,
+    /// Recent-hit weight: bumped on hit (saturating at the engine's
+    /// admission weight cap), decremented by the sweeping hand. With the
+    /// default cap of 1 this is exactly the classic CLOCK second-chance
+    /// bit; a larger cap makes frequently-hit entries survive
+    /// proportionally more sweep revolutions (weighted admission).
+    weight: u8,
+    /// Fill time in nanoseconds since the engine's epoch, for TTL expiry.
+    filled_at: u64,
 }
 
 /// One independently locked cache partition.
@@ -149,49 +156,64 @@ struct StripeState<K> {
 
 impl<K: Key> StripeState<K> {
     /// Cached `get` result for `key`: outer `None` = not cached, inner
-    /// `None` = negative entry (known absent).
-    fn probe(&mut self, key: K) -> Option<Option<u64>> {
+    /// `None` = negative entry (known absent). An entry older than the TTL
+    /// (when one is configured) is dropped on probe and reported as a miss
+    /// so the caller refills it with a fresh inner result.
+    fn probe(
+        &mut self,
+        key: K,
+        now_ns: u64,
+        ttl_ns: Option<u64>,
+        weight_cap: u8,
+    ) -> Option<Option<u64>> {
         let &i = self.map.get(&key)?;
-        self.slots[i].referenced = true;
+        if let Some(ttl) = ttl_ns {
+            if now_ns.saturating_sub(self.slots[i].filled_at) > ttl {
+                self.remove_slot(i);
+                return None;
+            }
+        }
+        self.slots[i].weight = self.slots[i].weight.saturating_add(1).min(weight_cap);
         Some(self.slots[i].value)
     }
 
-    /// Insert `key → value`, evicting via CLOCK when at `cap`.
-    fn fill(&mut self, key: K, value: Option<u64>, cap: usize) {
+    /// Insert `key → value`, evicting via the weighted CLOCK when at `cap`.
+    fn fill(&mut self, key: K, value: Option<u64>, cap: usize, now_ns: u64) {
         if let Some(&i) = self.map.get(&key) {
             // A racing reader of the same key filled first; the values are
-            // identical (same stripe version ⇒ same inner state).
+            // identical (same stripe version ⇒ same inner state). Refresh
+            // the fill time so the TTL clock restarts.
             self.slots[i].value = value;
+            self.slots[i].filled_at = now_ns;
             return;
         }
         if self.slots.len() < cap {
             self.map.insert(key, self.slots.len());
-            self.slots.push(Slot { key, value, referenced: false });
+            self.slots.push(Slot { key, value, weight: 0, filled_at: now_ns });
             return;
         }
-        // CLOCK sweep: demote referenced entries until an unreferenced
-        // victim is found (bounded by one full revolution plus one step).
+        // CLOCK sweep: decrement positive weights until a zero-weight
+        // victim is found (bounded by `weight_cap` full revolutions plus
+        // one step; one revolution with the classic cap of 1).
         loop {
             let i = self.hand;
             self.hand = (self.hand + 1) % self.slots.len();
-            if self.slots[i].referenced {
-                self.slots[i].referenced = false;
+            if self.slots[i].weight > 0 {
+                self.slots[i].weight -= 1;
             } else {
                 self.map.remove(&self.slots[i].key);
                 self.map.insert(key, i);
-                self.slots[i] = Slot { key, value, referenced: false };
+                self.slots[i] = Slot { key, value, weight: 0, filled_at: now_ns };
                 return;
             }
         }
     }
 
-    /// Drop `key` if cached; always bump the version so in-flight fills
-    /// for this stripe (cached or not) are discarded.
-    fn invalidate(&mut self, key: K) {
-        self.version = self.version.wrapping_add(1);
-        let Some(i) = self.map.remove(&key) else {
-            return;
-        };
+    /// Remove the slot at ring position `i` (TTL expiry; no version bump —
+    /// expiry is a freshness policy, not a write, so in-flight fills stay
+    /// valid).
+    fn remove_slot(&mut self, i: usize) {
+        self.map.remove(&self.slots[i].key);
         self.slots.swap_remove(i);
         if i < self.slots.len() {
             self.map.insert(self.slots[i].key, i);
@@ -199,6 +221,16 @@ impl<K: Key> StripeState<K> {
         if self.hand >= self.slots.len() {
             self.hand = 0;
         }
+    }
+
+    /// Drop `key` if cached; always bump the version so in-flight fills
+    /// for this stripe (cached or not) are discarded.
+    fn invalidate(&mut self, key: K) {
+        self.version = self.version.wrapping_add(1);
+        let Some(&i) = self.map.get(&key) else {
+            return;
+        };
+        self.remove_slot(i);
     }
 }
 
@@ -234,6 +266,12 @@ pub struct CachedEngine<K: Key, E: QueryEngine<K> = Box<dyn QueryEngine<K>>> {
     stripe_cap: usize,
     /// Whether misses on absent keys fill negative entries.
     negative: bool,
+    /// Entries older than this (ns) miss and refill; `None` = never expire.
+    ttl_ns: Option<u64>,
+    /// Saturation cap for per-slot hit weights (1 = classic CLOCK).
+    weight_cap: u8,
+    /// Epoch for slot fill timestamps.
+    epoch: Instant,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -289,9 +327,55 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
             stripes,
             stripe_cap,
             negative,
+            ttl_ns: None,
+            weight_cap: 1,
+            epoch: Instant::now(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
+    }
+
+    /// Expire entries older than `ttl`: a probe of an entry past its TTL
+    /// drops it and reports a **miss**, so the caller refills it with a
+    /// fresh inner result. Freshness policy for serving setups where
+    /// payloads can change out-of-band (e.g. a base swapped in from a
+    /// snapshot); exactness against the inner engine's write path never
+    /// depended on it. `Duration::ZERO` expires everything immediately
+    /// (every probe refills).
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl_ns = Some(ttl.as_nanos().min(u64::MAX as u128) as u64);
+        self
+    }
+
+    /// Weight admission by recent hit count: per-slot hit weights saturate
+    /// at `cap` instead of 1, and the eviction sweep decrements weights —
+    /// so an entry hit `w` times since its last demotion survives `w` sweep
+    /// revolutions. `cap` is clamped to at least 1 (1 = classic CLOCK).
+    pub fn with_weighted_admission(mut self, cap: u8) -> Self {
+        self.weight_cap = cap.max(1);
+        self
+    }
+
+    /// Configured TTL, if any.
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl_ns.map(Duration::from_nanos)
+    }
+
+    /// The admission weight cap (1 = classic CLOCK).
+    pub fn admission_weight_cap(&self) -> u8 {
+        self.weight_cap
+    }
+
+    /// Nanoseconds since the engine's epoch (slot timestamp clock) — but
+    /// only when a TTL is configured: without one no probe or fill ever
+    /// consults timestamps, and a clock read per hit is exactly the kind
+    /// of hot-path tax the striped design avoids.
+    #[inline]
+    fn now_ns(&self) -> u64 {
+        if self.ttl_ns.is_none() {
+            return 0;
+        }
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
     }
 
     /// The wrapped engine.
@@ -388,8 +472,9 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
     /// [`CachedEngine::fill_checked`]).
     #[inline]
     fn probe(&self, key: K) -> Result<Option<u64>, u64> {
+        let now_ns = self.now_ns();
         let mut st = self.stripe(key).lock().expect("cache stripe");
-        match st.probe(key) {
+        match st.probe(key, now_ns, self.ttl_ns, self.weight_cap) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Ok(v)
@@ -411,8 +496,9 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
     /// [`hits`]: CachedEngine::hits
     #[inline]
     pub fn peek(&self, key: K) -> Option<Option<u64>> {
+        let now_ns = self.now_ns();
         let mut st = self.stripe(key).lock().expect("cache stripe");
-        let r = st.probe(key);
+        let r = st.probe(key, now_ns, self.ttl_ns, self.weight_cap);
         if r.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -427,9 +513,10 @@ impl<K: Key, E: QueryEngine<K>> CachedEngine<K, E> {
         if value.is_none() && !self.negative {
             return;
         }
+        let now_ns = self.now_ns();
         let mut st = self.stripe(key).lock().expect("cache stripe");
         if st.version == version {
-            st.fill(key, value, self.stripe_cap);
+            st.fill(key, value, self.stripe_cap, now_ns);
         }
     }
 
@@ -820,6 +907,62 @@ mod tests {
         e.clear();
         assert_eq!(e.cached_len(), 0);
         assert_eq!(e.get(10), e.inner().get(10));
+    }
+
+    #[test]
+    fn zero_ttl_expires_every_entry_on_reprobe() {
+        let e = engine(1_000, 64, 4).with_ttl(Duration::ZERO);
+        assert_eq!(e.ttl(), Some(Duration::ZERO));
+        assert_eq!(e.get(10), e.inner().get(10)); // miss: filled
+        std::thread::sleep(Duration::from_millis(2));
+        let (h0, m0) = (e.hits(), e.misses());
+        assert_eq!(e.get(10), e.inner().get(10), "expired probe refills");
+        assert_eq!(e.hits(), h0, "an expired entry never hits");
+        assert_eq!(e.misses(), m0 + 1, "expiry is reported as a miss");
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(e.peek(10), None, "peek drops expired entries too");
+        assert_eq!(e.misses(), m0 + 1, "peek still never counts a miss");
+    }
+
+    #[test]
+    fn long_ttl_keeps_serving_hits() {
+        let e = engine(1_000, 64, 4).with_ttl(Duration::from_secs(3600));
+        assert_eq!(e.get(10), e.inner().get(10));
+        let h0 = e.hits();
+        assert_eq!(e.get(10), e.inner().get(10));
+        assert_eq!(e.hits(), h0 + 1, "a fresh entry hits as usual");
+    }
+
+    #[test]
+    fn weighted_admission_outlives_classic_clock() {
+        // Single stripe, 8 slots, deterministic hand. The hot key is hit
+        // three times; 16 evicting fills (~2 hand revolutions) then pour
+        // through the ring.
+        let hot = 6u64;
+        let classic = engine(10_000, 8, 1);
+        assert_eq!(classic.admission_weight_cap(), 1);
+        let weighted = engine(10_000, 8, 1).with_weighted_admission(3);
+        assert_eq!(weighted.admission_weight_cap(), 3);
+        for e in [&classic, &weighted] {
+            for k in 0..8u64 {
+                e.get(k * 2); // fill all 8 slots (weight 0)
+            }
+            for _ in 0..3 {
+                e.get(hot); // bump the hot key's weight (capped)
+            }
+            for k in 100..116u64 {
+                e.get(k * 2); // 16 evicting fills
+            }
+        }
+        // Classic CLOCK: the hot key's single reference bit is consumed in
+        // the first revolution and the entry evicted in the second. A
+        // weight cap of 3 survives both revolutions with weight to spare.
+        assert_eq!(classic.peek(hot), None, "cap 1: hot key evicted after two sweeps");
+        assert_eq!(
+            weighted.peek(hot),
+            Some(classic.inner().get(hot)),
+            "cap 3: hot key survives the same churn"
+        );
     }
 
     #[test]

@@ -26,9 +26,11 @@
 use crate::bound::SearchBound;
 use crate::data::SortedData;
 use crate::dynamic::DynamicOrderedIndex;
+use crate::error::BuildError;
 use crate::index::Index;
 use crate::key::Key;
 use crate::search::SearchStrategy;
+use crate::store::PagedData;
 use std::sync::Arc;
 
 /// Issue a best-effort prefetch of the cache line holding `ptr`.
@@ -318,6 +320,305 @@ impl<K: Key, I: Index<K>> QueryEngine<K> for StaticEngine<K, I> {
             for (&bound, &x) in bounds.iter().zip(chunk) {
                 let pos = self.strategy.find(keys, x, bound);
                 out.push(self.payload_sum_from(x, pos));
+            }
+        }
+    }
+}
+
+/// Batch width of the paged lookup path: enough windows per page fetch to
+/// amortize the per-batch page sort/dedup, small enough that the slab stays
+/// cache-resident.
+const PAGED_CHUNK: usize = 16;
+
+/// [`QueryEngine`] adapter for the storage world: an in-RAM index model
+/// over a [`PagedData`] snapshot. The last-mile search window is
+/// **page-granular** — a lookup fetches only the key pages its error bound
+/// names (one contiguous batched read, every page checksum-validated),
+/// searches the window in memory, then fetches the payload page(s) of the
+/// duplicate group. Nothing else of the data array is resident.
+///
+/// This is the AirIndex-shaped division of labor: the model lives in RAM
+/// (it is small), the base lives on storage, and the storage profile's
+/// latency × the model's error bound decide the lookup cost.
+///
+/// # Corruption
+///
+/// Page validation failures on the serving path **panic** with the
+/// checksum diagnosis rather than returning wrong answers — the read
+/// contract is "right answer or loud failure", never garbage. Use
+/// [`PagedData`]'s fallible accessors directly where an error value is
+/// needed.
+pub struct PagedEngine<K: Key> {
+    index: Box<dyn Index<K>>,
+    paged: Arc<PagedData<K>>,
+    strategy: SearchStrategy,
+}
+
+impl<K: Key> PagedEngine<K> {
+    /// Wrap an already-built index model over an open snapshot.
+    pub fn new(index: Box<dyn Index<K>>, paged: Arc<PagedData<K>>) -> Self {
+        Self::with_strategy(index, paged, SearchStrategy::Binary)
+    }
+
+    /// Wrap with an explicit last-mile strategy.
+    pub fn with_strategy(
+        index: Box<dyn Index<K>>,
+        paged: Arc<PagedData<K>>,
+        strategy: SearchStrategy,
+    ) -> Self {
+        PagedEngine { index, paged, strategy }
+    }
+
+    /// Cold-start an engine from an open snapshot: stream the key section
+    /// once (validated, bandwidth-bound — this is the measured cold-start
+    /// cost), hand the keys to `build` to reconstruct the in-RAM model,
+    /// then drop them so serving reads stay page-granular.
+    pub fn open_with<F>(
+        paged: Arc<PagedData<K>>,
+        strategy: SearchStrategy,
+        build: F,
+    ) -> Result<Self, BuildError>
+    where
+        F: FnOnce(&SortedData<K>) -> Result<Box<dyn Index<K>>, BuildError>,
+    {
+        let keys = paged
+            .read_keys(0, paged.len())
+            .map_err(|e| BuildError::Unbuildable(format!("snapshot key stream failed: {e}")))?;
+        let n = keys.len();
+        // Index builders map keys to positions; payload values are
+        // irrelevant to the model, so the transient build copy uses zeros
+        // instead of re-reading the payload section.
+        let model_data = SortedData::with_payloads(keys, vec![0u64; n])?;
+        let index = build(&model_data)?;
+        Ok(PagedEngine { index, paged, strategy })
+    }
+
+    /// The open snapshot this engine serves from.
+    pub fn paged(&self) -> &Arc<PagedData<K>> {
+        &self.paged
+    }
+
+    /// The wrapped index model.
+    pub fn index(&self) -> &dyn Index<K> {
+        &*self.index
+    }
+
+    fn clamped_bound(&self, key: K) -> SearchBound {
+        let n = self.paged.len();
+        let b = self.index.search_bound(key);
+        SearchBound { lo: b.lo.min(n), hi: b.hi.min(n) }
+    }
+
+    /// Exact lower-bound position of `key`: fetch the bound's key pages,
+    /// search the window in memory.
+    fn position(&self, key: K) -> usize {
+        let bound = self.clamped_bound(key);
+        if bound.is_empty() {
+            return bound.hi;
+        }
+        let window = self
+            .paged
+            .read_keys(bound.lo, bound.hi)
+            .unwrap_or_else(|e| panic!("paged last-mile read failed: {e}"));
+        bound.lo + self.strategy.find(&window, key, SearchBound::full(window.len()))
+    }
+
+    /// Extent `[pos, end)` of the duplicate group of `key` at `pos`, or
+    /// `None` when `key` is not stored at `pos`. Reads keys in small chunks
+    /// starting at `pos` (the common case resolves in one).
+    fn group_end(&self, key: K, pos: usize) -> Option<usize> {
+        const GROUP_CHUNK: usize = 32;
+        let n = self.paged.len();
+        if pos >= n {
+            return None;
+        }
+        let mut end = pos;
+        loop {
+            let hi = (end + GROUP_CHUNK).min(n);
+            let keys = self
+                .paged
+                .read_keys(end, hi)
+                .unwrap_or_else(|e| panic!("paged duplicate-group read failed: {e}"));
+            if end == pos && keys.first() != Some(&key) {
+                return None;
+            }
+            let run = keys.iter().take_while(|&&k| k == key).count();
+            end += run;
+            if run < keys.len() || end == n {
+                return Some(end);
+            }
+        }
+    }
+
+    fn sum_payloads(&self, lo: usize, hi: usize) -> u64 {
+        self.paged
+            .read_payloads(lo, hi)
+            .unwrap_or_else(|e| panic!("paged payload read failed: {e}"))
+            .iter()
+            .fold(0u64, |acc, &p| acc.wrapping_add(p))
+    }
+}
+
+impl<K: Key> QueryEngine<K> for PagedEngine<K> {
+    fn name(&self) -> String {
+        format!("{}+{}+paged", self.index.name(), self.strategy.label())
+    }
+
+    fn len(&self) -> usize {
+        self.paged.len()
+    }
+
+    /// The in-RAM footprint: the model only — the data array lives on the
+    /// block store and is counted by [`PagedData::snapshot_bytes`].
+    fn size_bytes(&self) -> usize {
+        self.index.size_bytes()
+    }
+
+    fn get(&self, key: K) -> Option<u64> {
+        let pos = self.position(key);
+        let end = self.group_end(key, pos)?;
+        Some(self.sum_payloads(pos, end))
+    }
+
+    fn lower_bound(&self, key: K) -> Option<(K, u64)> {
+        let pos = self.position(key);
+        if pos >= self.paged.len() {
+            return None;
+        }
+        let k =
+            self.paged.read_keys(pos, pos + 1).unwrap_or_else(|e| panic!("paged read failed: {e}"))
+                [0];
+        let p = self
+            .paged
+            .read_payloads(pos, pos + 1)
+            .unwrap_or_else(|e| panic!("paged read failed: {e}"))[0];
+        Some((k, p))
+    }
+
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let start = self.position(lo);
+        let end = self.position(hi);
+        let keys = self
+            .paged
+            .read_keys(start, end)
+            .unwrap_or_else(|e| panic!("paged range read failed: {e}"));
+        let payloads = self
+            .paged
+            .read_payloads(start, end)
+            .unwrap_or_else(|e| panic!("paged range read failed: {e}"));
+        keys.into_iter().zip(payloads).collect()
+    }
+
+    fn range_sum(&self, lo: K, hi: K) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let start = self.position(lo);
+        let end = self.position(hi);
+        self.sum_payloads(start, end)
+    }
+
+    /// Batched paged lookups: per chunk, run model inference for every key,
+    /// fetch the union of all windows' key pages in **one** deduplicated
+    /// `read_batch`, resolve every last-mile search against that slab, then
+    /// fetch the union of payload pages in a second batched read. Keys
+    /// whose duplicate group escapes the fetched slab (rare) fall back to
+    /// the single-lookup path.
+    fn get_batch(&self, lookup_keys: &[K], out: &mut Vec<Option<u64>>) {
+        let n = self.paged.len();
+        out.reserve(lookup_keys.len());
+        let mut pages: Vec<usize> = Vec::new();
+        let mut bounds: Vec<SearchBound> = Vec::with_capacity(PAGED_CHUNK);
+        for chunk in lookup_keys.chunks(PAGED_CHUNK) {
+            // Phase 1: inference; collect every window's key pages (plus
+            // the page of the position just past each window, so group
+            // verification at `hi` resolves in-slab).
+            pages.clear();
+            bounds.clear();
+            for &x in chunk {
+                let b = self.clamped_bound(x);
+                self.paged.key_window_pages(b.lo, (b.hi + 1).min(n), &mut pages);
+                bounds.push(b);
+            }
+            pages.sort_unstable();
+            pages.dedup();
+            let slab = self
+                .paged
+                .fetch_pages(std::mem::take(&mut pages))
+                .unwrap_or_else(|e| panic!("paged batch read failed: {e}"));
+            // Phase 2: last-mile search per key against the shared slab;
+            // record each hit's duplicate-group extent.
+            let mut groups: Vec<Option<(usize, usize)>> = Vec::with_capacity(chunk.len());
+            let mut payload_pages: Vec<usize> = Vec::new();
+            for (&x, &b) in chunk.iter().zip(&bounds) {
+                let mut window: Vec<K> = Vec::with_capacity(b.len());
+                for i in b.lo..b.hi {
+                    window.push(self.paged.key_in(&slab, i).expect("window page in slab"));
+                }
+                let pos = b.lo + self.strategy.find(&window, x, SearchBound::full(window.len()));
+                // Walk the duplicate group while it stays inside the slab.
+                let mut end = pos;
+                let mut resolved = true;
+                loop {
+                    if end >= n {
+                        break;
+                    }
+                    match self.paged.key_in(&slab, end) {
+                        Some(k) if k == x => end += 1,
+                        Some(_) => break,
+                        None => {
+                            resolved = false;
+                            break;
+                        }
+                    }
+                }
+                if !resolved {
+                    groups.push(None); // fall back below
+                } else if end == pos {
+                    groups.push(Some((pos, pos))); // absent
+                } else {
+                    payload_pages.push(self.paged.payload_page_of(pos));
+                    payload_pages.push(self.paged.payload_page_of(end - 1));
+                    groups.push(Some((pos, end)));
+                }
+            }
+            // Phase 3: one batched payload fetch for every hit.
+            payload_pages.sort_unstable();
+            payload_pages.dedup();
+            // Fill page gaps inside multi-page groups so every group
+            // position resolves (groups are nearly always single-page).
+            let payload_slab = self
+                .paged
+                .fetch_pages(payload_pages)
+                .unwrap_or_else(|e| panic!("paged batch payload read failed: {e}"));
+            for (&x, group) in chunk.iter().zip(&groups) {
+                out.push(match group {
+                    None => self.get(x),
+                    Some((pos, end)) if pos == end => None,
+                    Some((pos, end)) => {
+                        let mut sum = 0u64;
+                        let mut in_slab = true;
+                        for i in *pos..*end {
+                            match self.paged.payload_in(&payload_slab, i) {
+                                Some(p) => sum = sum.wrapping_add(p),
+                                None => {
+                                    in_slab = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if in_slab {
+                            Some(sum)
+                        } else {
+                            // A wide group spanning unfetched interior
+                            // pages: resolve it alone.
+                            Some(self.sum_payloads(*pos, *end))
+                        }
+                    }
+                });
             }
         }
     }
@@ -626,6 +927,71 @@ mod tests {
         assert_eq!(e.get(7), Some(70));
         assert_eq!(e.inner_mut().remove(2), Some(20));
         assert_eq!(e.get(2), None);
+    }
+
+    fn paged_engine_over(data: SortedData<u64>, page_size: usize) -> PagedEngine<u64> {
+        use crate::store::{write_snapshot, MemStore, PagedData};
+        let mut store = MemStore::new(page_size).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        let paged = Arc::new(PagedData::<u64>::open(Arc::new(store)).unwrap());
+        let n = data.len();
+        PagedEngine::new(Box::new(FullScan { n }), paged)
+    }
+
+    #[test]
+    fn paged_engine_matches_static_engine() {
+        let keys: Vec<u64> = (0..500u64).map(|i| i * 2 + 10).collect();
+        let data = SortedData::new(keys).unwrap();
+        let n = data.len();
+        let ram = StaticEngine::new(FullScan { n }, Arc::new(data.clone()));
+        let paged = paged_engine_over(data, 128);
+        assert_eq!(paged.len(), ram.len());
+        let probes: Vec<u64> = (0..1200u64).collect();
+        for &x in &probes {
+            assert_eq!(paged.get(x), ram.get(x), "get({x})");
+        }
+        assert_eq!(paged.lookup_batch(&probes), ram.lookup_batch(&probes));
+        assert_eq!(paged.lower_bound(0), ram.lower_bound(0));
+        assert_eq!(paged.lower_bound(501), ram.lower_bound(501));
+        assert_eq!(paged.lower_bound(u64::MAX), None);
+        assert_eq!(paged.range(100, 140), ram.range(100, 140));
+        assert_eq!(paged.range_sum(0, u64::MAX), ram.range_sum(0, u64::MAX));
+    }
+
+    #[test]
+    fn paged_engine_sums_duplicate_groups_across_pages() {
+        // 40 duplicates of one key: the group spans several 128-byte pages
+        // (15 keys per page), exercising the chunked group walk and the
+        // batched path's out-of-slab payload fallback.
+        let mut keys = vec![1u64];
+        keys.extend(std::iter::repeat_n(77u64, 40));
+        keys.push(99);
+        let data = SortedData::new(keys).unwrap();
+        let expected: u64 = data
+            .keys()
+            .iter()
+            .zip(data.payloads())
+            .filter(|(k, _)| **k == 77)
+            .fold(0u64, |acc, (_, p)| acc.wrapping_add(*p));
+        let paged = paged_engine_over(data, 128);
+        assert_eq!(paged.get(77), Some(expected));
+        assert_eq!(paged.lookup_batch(&[77, 2, 99]), vec![Some(expected), None, paged.get(99)]);
+    }
+
+    #[test]
+    fn paged_cold_open_rebuilds_model() {
+        use crate::store::{write_snapshot, MemStore, PagedData};
+        let data = SortedData::new((0..300u64).map(|i| i * 5).collect()).unwrap();
+        let mut store = MemStore::new(256).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        let paged = Arc::new(PagedData::<u64>::open(Arc::new(store)).unwrap());
+        let engine = PagedEngine::open_with(paged, SearchStrategy::Binary, |model_data| {
+            Ok(Box::new(FullScan { n: model_data.len() }))
+        })
+        .unwrap();
+        for x in [0u64, 5, 7, 1495, 1500] {
+            assert_eq!(engine.get(x), data.payload_sum_from(x, data.lower_bound(x)));
+        }
     }
 
     #[test]

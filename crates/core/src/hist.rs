@@ -82,6 +82,7 @@ pub struct LatencyHistogram {
     buckets: Box<[AtomicU64; NUM_BUCKETS]>,
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -97,16 +98,22 @@ impl LatencyHistogram {
         // keep the 15 KiB off the stack.
         let v: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
         let buckets = v.into_boxed_slice().try_into().expect("bucket count is fixed");
-        LatencyHistogram { buckets, count: AtomicU64::new(0), sum: AtomicU64::new(0) }
+        LatencyHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
     }
 
-    /// Record one sample. Lock-free: two relaxed `fetch_add`s plus the
-    /// bucket increment.
+    /// Record one sample. Lock-free: relaxed `fetch_add`s plus a relaxed
+    /// `fetch_max` for the exact maximum.
     #[inline]
     pub fn record(&self, value: u64) {
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 
     /// Samples recorded.
@@ -154,6 +161,13 @@ impl LatencyHistogram {
         )
     }
 
+    /// Largest sample recorded — exact (not bucket-quantized), which is
+    /// what makes one-off tails like cold-start page faults visible when
+    /// every percentile still looks healthy. Returns 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
     /// Median (`percentile(0.50)`).
     pub fn p50(&self) -> u64 {
         self.percentile(0.50)
@@ -176,6 +190,7 @@ impl LatencyHistogram {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -251,6 +266,20 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn max_is_exact_not_bucketed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.max(), 0);
+        for v in [5u64, 1_000_003, 12] {
+            h.record(v);
+        }
+        // A one-off spike must be reported exactly, even though its bucket
+        // upper edge is ~3% above it.
+        assert_eq!(h.max(), 1_000_003);
+        assert!(h.percentile(1.0) >= 1_000_003);
     }
 
     #[test]

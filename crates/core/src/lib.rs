@@ -39,6 +39,11 @@
 //!   absorbing writes in the delta and folding them into a rebuilt base
 //!   when a size threshold is crossed — synchronously or on a background
 //!   merge thread with an epoch-pointer engine swap.
+//! * [`store`] — the persistence layer: the [`BlockStore`] page-storage
+//!   contract (in-memory and file-backed), [`StorageProfile`] latency
+//!   injection for RAM / NVMe-like / NFS-like backends, and the versioned,
+//!   checksummed snapshot page format that [`PagedEngine`] serves from with
+//!   page-granular last-mile reads.
 //! * [`serve`] — the open-loop serving front end: [`RequestScheduler`]
 //!   coalesces independently arriving point lookups into batched waves
 //!   over a worker pool, with shed-on-full admission control and
@@ -61,6 +66,7 @@ pub mod search;
 pub mod serve;
 pub mod shard;
 pub mod stats;
+pub mod store;
 pub mod stride;
 pub mod testutil;
 pub mod trace;
@@ -70,9 +76,9 @@ pub mod writebehind;
 pub use bound::SearchBound;
 pub use builder::IndexBuilder;
 pub use cache::CachedEngine;
-pub use data::SortedData;
+pub use data::{DataBacking, SortedData};
 pub use dynamic::{BulkLoad, DynamicOrderedIndex, Op};
-pub use engine::{DynamicEngine, QueryEngine, StaticEngine};
+pub use engine::{DynamicEngine, PagedEngine, QueryEngine, StaticEngine};
 pub use error::{BuildError, DataError};
 pub use hist::LatencyHistogram;
 pub use index::{Capabilities, Index, IndexKind};
@@ -80,5 +86,9 @@ pub use key::Key;
 pub use search::{LastMileSearch, SearchStrategy};
 pub use serve::{RequestScheduler, RequestShed, Response, SchedulerConfig, SchedulerStats};
 pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
+pub use store::{
+    write_snapshot, BlockStore, FileStore, MemStore, PagedData, ProfiledStore, StorageProfile,
+    StoreError, StoreStats, DEFAULT_PAGE_SIZE,
+};
 pub use trace::{CountingTracer, NullTracer, Tracer};
 pub use writebehind::{MergeMode, MergePolicy, WriteBehindEngine};

@@ -1,0 +1,1170 @@
+//! Pluggable block storage and the versioned snapshot page format.
+//!
+//! Everything built in the earlier tiers lives in RAM; production bases do
+//! not. This module is the persistence layer underneath the serving stack:
+//!
+//! * [`BlockStore`] — aligned page reads/writes plus a batched read entry
+//!   point, implemented by the in-memory [`MemStore`] and the file-backed
+//!   [`FileStore`].
+//! * [`StorageProfile`] — a per-read latency + bandwidth curve (presets for
+//!   RAM / NVMe-like / NFS-like backends). [`ProfiledStore`] wraps any store
+//!   with **deterministic simulated-latency injection** so storage-sensitive
+//!   experiments run inside the sandbox: every page read spins for
+//!   `latency + bytes/bandwidth`, batched reads charge the fixed latency
+//!   once per *contiguous run* of pages (modelling one seek + a streaming
+//!   transfer), and the injected time is tallied for reporting.
+//! * The snapshot page layout: [`write_snapshot`] serializes a
+//!   [`SortedData`] (plus an optional tombstone section, used by the
+//!   write-behind run stack) into a versioned, checksummed sequence of
+//!   pages; [`PagedData`] re-opens it and serves page-granular reads with
+//!   every page validated against its trailer checksum, so a truncated or
+//!   corrupted snapshot fails loudly instead of returning garbage.
+//!
+//! # Page layout
+//!
+//! Every page reserves its final 8 bytes for a checksum over the page body
+//! chained with the page index and the format version — swapping two intact
+//! pages is detected, not just flipping bytes within one. The usable body is
+//! therefore `page_size - 8` bytes, and page sizes must be multiples of 8 so
+//! 4- and 8-byte entries never straddle a page boundary.
+//!
+//! Snapshot layout: `[header page][key pages][payload pages][dead-key
+//! pages]`. The header records magic, version, key width, entry counts and
+//! section sizes; keys and payloads are packed little-endian at their key
+//! width (4 or 8 bytes) and 8 bytes respectively.
+
+use crate::data::SortedData;
+use crate::error::DataError;
+use crate::key::Key;
+use std::fmt;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// First 8 bytes of every snapshot: `b"SOSDSNAP"` as a little-endian word.
+pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"SOSDSNAP");
+
+/// Version stamped into the header and folded into every page checksum; a
+/// reader refuses snapshots written by a different layout revision.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Bytes reserved at the end of every page for the trailer checksum.
+pub const PAGE_TRAILER: usize = 8;
+
+/// Smallest supported page size (header fields must fit the body).
+pub const MIN_PAGE_SIZE: usize = 128;
+
+/// Default page size when a spec leaves it unset.
+pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Errors from the storage layer. Corruption is always reported as a
+/// distinct, page-addressed error — never surfaced as garbage data.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header's magic word did not match [`SNAPSHOT_MAGIC`].
+    BadMagic(u64),
+    /// The snapshot was written by a different format revision.
+    BadVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// A page's trailer checksum did not match its body (bit rot, torn
+    /// write, or two pages swapped).
+    Corrupt {
+        /// Index of the failing page.
+        page: usize,
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// A read or write addressed a page beyond the store's extent —
+    /// truncated files surface here instead of short-reading.
+    OutOfBounds {
+        /// Requested page index.
+        page: usize,
+        /// Pages the store actually holds.
+        pages: usize,
+    },
+    /// Invalid configuration (page size, key width mismatch, ...).
+    BadConfig(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::BadMagic(m) => write!(f, "not a snapshot (magic {m:#018x})"),
+            StoreError::BadVersion { found, expected } => {
+                write!(f, "snapshot version {found} unsupported (reader expects {expected})")
+            }
+            StoreError::Corrupt { page, detail } => {
+                write!(f, "snapshot page {page} corrupt: {detail}")
+            }
+            StoreError::OutOfBounds { page, pages } => {
+                write!(f, "page {page} out of bounds (store holds {pages} pages; truncated?)")
+            }
+            StoreError::BadConfig(msg) => write!(f, "invalid storage config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Reject page sizes the layout cannot pack: too small, or whose usable
+/// body (`page_size - 8`) is not a multiple of 8 (entries would straddle
+/// pages).
+pub fn validate_page_size(page_size: usize) -> Result<(), StoreError> {
+    if page_size < MIN_PAGE_SIZE {
+        return Err(StoreError::BadConfig(format!(
+            "page size {page_size} below minimum {MIN_PAGE_SIZE}"
+        )));
+    }
+    if !page_size.is_multiple_of(8) {
+        return Err(StoreError::BadConfig(format!(
+            "page size {page_size} must be a multiple of 8"
+        )));
+    }
+    Ok(())
+}
+
+/// Checksum of a page body, chained with the page's index and the format
+/// version so relocated or cross-version pages fail validation. FNV-1a over
+/// 8-byte words with an avalanche step per word.
+pub fn page_checksum(body: &[u8], page: usize) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64
+        ^ (page as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+        ^ ((SNAPSHOT_VERSION as u64) << 17);
+    for chunk in body.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(0x1000_0000_01B3);
+        h ^= h >> 31;
+    }
+    h
+}
+
+/// Aligned page storage: the contract every backing implements.
+///
+/// Reads take `&self` (serving is concurrent); writes take `&mut self`
+/// (serialization happens before a store is shared). `read_batch` is the
+/// hook a profiled store uses to charge one seek per contiguous run.
+pub trait BlockStore: Send + Sync {
+    /// Fixed page size in bytes (trailer included).
+    fn page_size(&self) -> usize;
+
+    /// Pages currently stored.
+    fn page_count(&self) -> usize;
+
+    /// Read page `page` into `out` (`out.len() == page_size`).
+    fn read_page(&self, page: usize, out: &mut [u8]) -> Result<(), StoreError>;
+
+    /// Read `pages[i]` into the `i`-th page-sized chunk of `out`
+    /// (`out.len() == pages.len() * page_size`). The default loops over
+    /// [`BlockStore::read_page`]; wrappers may override to model batched
+    /// transfer costs.
+    fn read_batch(&self, pages: &[usize], out: &mut [u8]) -> Result<(), StoreError> {
+        let ps = self.page_size();
+        debug_assert_eq!(out.len(), pages.len() * ps);
+        for (&page, chunk) in pages.iter().zip(out.chunks_mut(ps)) {
+            self.read_page(page, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Write `data` (`data.len() == page_size`) as page `page`, growing the
+    /// store when `page >= page_count()`.
+    fn write_page(&mut self, page: usize, data: &[u8]) -> Result<(), StoreError>;
+
+    /// Flush buffered writes to durable media (no-op for memory stores).
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+impl BlockStore for Box<dyn BlockStore> {
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+    fn page_count(&self) -> usize {
+        (**self).page_count()
+    }
+    fn read_page(&self, page: usize, out: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read_page(page, out)
+    }
+    fn read_batch(&self, pages: &[usize], out: &mut [u8]) -> Result<(), StoreError> {
+        (**self).read_batch(pages, out)
+    }
+    fn write_page(&mut self, page: usize, data: &[u8]) -> Result<(), StoreError> {
+        (**self).write_page(page, data)
+    }
+    fn flush(&mut self) -> Result<(), StoreError> {
+        (**self).flush()
+    }
+}
+
+/// Heap-backed page store: the zero-latency baseline and the default
+/// snapshot target when no path is configured.
+pub struct MemStore {
+    page_size: usize,
+    bytes: Vec<u8>,
+}
+
+impl MemStore {
+    /// An empty store with the given page size.
+    pub fn new(page_size: usize) -> Result<Self, StoreError> {
+        validate_page_size(page_size)?;
+        Ok(MemStore { page_size, bytes: Vec::new() })
+    }
+}
+
+impl BlockStore for MemStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> usize {
+        self.bytes.len() / self.page_size
+    }
+
+    fn read_page(&self, page: usize, out: &mut [u8]) -> Result<(), StoreError> {
+        let ps = self.page_size;
+        let off = page * ps;
+        if off + ps > self.bytes.len() {
+            return Err(StoreError::OutOfBounds { page, pages: self.page_count() });
+        }
+        out.copy_from_slice(&self.bytes[off..off + ps]);
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: usize, data: &[u8]) -> Result<(), StoreError> {
+        let ps = self.page_size;
+        assert_eq!(data.len(), ps, "write_page requires a full page");
+        let off = page * ps;
+        if self.bytes.len() < off + ps {
+            self.bytes.resize(off + ps, 0);
+        }
+        self.bytes[off..off + ps].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+/// File-backed page store. Reads are positioned (`pread`-style on Unix) so
+/// concurrent readers never contend on a shared cursor.
+pub struct FileStore {
+    file: File,
+    page_size: usize,
+    pages: usize,
+    #[cfg(not(unix))]
+    cursor: std::sync::Mutex<()>,
+}
+
+impl FileStore {
+    /// Create (or truncate) the file at `path`.
+    pub fn create(path: &Path, page_size: usize) -> Result<Self, StoreError> {
+        validate_page_size(page_size)?;
+        let file = File::options().read(true).write(true).create(true).truncate(true).open(path)?;
+        Ok(FileStore {
+            file,
+            page_size,
+            pages: 0,
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// Open an existing file read-only. A trailing partial page (a truncated
+    /// snapshot) is excluded from `page_count`, so reads into it surface as
+    /// [`StoreError::OutOfBounds`] rather than short data.
+    pub fn open(path: &Path, page_size: usize) -> Result<Self, StoreError> {
+        validate_page_size(page_size)?;
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        Ok(FileStore {
+            file,
+            page_size,
+            pages: len / page_size,
+            #[cfg(not(unix))]
+            cursor: std::sync::Mutex::new(()),
+        })
+    }
+
+    fn read_at(&self, off: u64, out: &mut [u8]) -> Result<(), StoreError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(out, off)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom};
+            let _guard = self.cursor.lock().expect("file cursor lock");
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(off))?;
+            f.read_exact(out)?;
+        }
+        Ok(())
+    }
+}
+
+impl BlockStore for FileStore {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn page_count(&self) -> usize {
+        self.pages
+    }
+
+    fn read_page(&self, page: usize, out: &mut [u8]) -> Result<(), StoreError> {
+        if page >= self.pages {
+            return Err(StoreError::OutOfBounds { page, pages: self.pages });
+        }
+        self.read_at((page * self.page_size) as u64, out)
+    }
+
+    fn write_page(&mut self, page: usize, data: &[u8]) -> Result<(), StoreError> {
+        assert_eq!(data.len(), self.page_size, "write_page requires a full page");
+        let off = (page * self.page_size) as u64;
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.write_all_at(data, off)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let _guard = self.cursor.lock().expect("file cursor lock");
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(off))?;
+            f.write_all(data)?;
+        }
+        self.pages = self.pages.max(page + 1);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// A backing store's latency/bandwidth curve: the cost of one page read is
+/// `read_latency_ns + bytes * 1000 / bandwidth_mb_s` nanoseconds
+/// (`bandwidth_mb_s == 0` means unlimited). The same curve drives both the
+/// injected delay in [`ProfiledStore`] and the `StoreDesigner` cost model,
+/// which is what makes the designer's predictions track measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StorageProfile {
+    /// Short token used in specs and result tables (`ram`, `nvme`, `nfs`).
+    pub name: &'static str,
+    /// Fixed per-read setup cost (seek / RPC round trip), nanoseconds.
+    pub read_latency_ns: u64,
+    /// Sequential transfer rate in MB/s; `0` = unlimited.
+    pub bandwidth_mb_s: u64,
+}
+
+impl StorageProfile {
+    /// In-memory backing: no injected cost at all.
+    pub const RAM: StorageProfile =
+        StorageProfile { name: "ram", read_latency_ns: 0, bandwidth_mb_s: 0 };
+
+    /// NVMe-like: ~25µs random read, ~2 GB/s streaming.
+    pub const NVME: StorageProfile =
+        StorageProfile { name: "nvme", read_latency_ns: 25_000, bandwidth_mb_s: 2_000 };
+
+    /// NFS-like: ~180µs round trip, ~250 MB/s streaming.
+    pub const NFS: StorageProfile =
+        StorageProfile { name: "nfs", read_latency_ns: 180_000, bandwidth_mb_s: 250 };
+
+    /// Every preset, slowest last.
+    pub const ALL: [StorageProfile; 3] = [Self::RAM, Self::NVME, Self::NFS];
+
+    /// Look a preset up by its token.
+    pub fn parse(name: &str) -> Option<StorageProfile> {
+        Self::ALL.into_iter().find(|p| p.name == name)
+    }
+
+    /// Cost of one read of `bytes` bytes under this profile, in ns.
+    #[inline]
+    pub fn read_cost_ns(&self, bytes: usize) -> u64 {
+        let transfer =
+            (bytes as u64).saturating_mul(1000).checked_div(self.bandwidth_mb_s).unwrap_or(0);
+        self.read_latency_ns + transfer
+    }
+}
+
+/// Counters a [`ProfiledStore`] accumulates; shared out as an `Arc` so the
+/// harness keeps visibility after the store is boxed behind `dyn`.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Read calls (one per `read_page`, one per `read_batch`).
+    pub reads: AtomicU64,
+    /// Pages fetched.
+    pub pages_read: AtomicU64,
+    /// Bytes fetched.
+    pub bytes_read: AtomicU64,
+    /// Total simulated latency injected, nanoseconds.
+    pub injected_ns: AtomicU64,
+}
+
+impl StoreStats {
+    /// Reset every counter (between measurement passes).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.pages_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.injected_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Busy-wait for `ns` nanoseconds (sleep granularity is far too coarse for
+/// µs-scale injection).
+fn spin_for(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let end = Instant::now() + Duration::from_nanos(ns);
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// Wraps any [`BlockStore`] with deterministic simulated-latency injection
+/// per [`StorageProfile`]: single reads cost `latency + bytes/bandwidth`;
+/// batched reads charge the fixed latency once per contiguous run of pages
+/// (one seek, then streaming) plus bandwidth for every byte.
+pub struct ProfiledStore<S: BlockStore> {
+    inner: S,
+    profile: StorageProfile,
+    stats: Arc<StoreStats>,
+}
+
+impl<S: BlockStore> ProfiledStore<S> {
+    /// Wrap `inner` under `profile`.
+    pub fn new(inner: S, profile: StorageProfile) -> Self {
+        ProfiledStore { inner, profile, stats: Arc::new(StoreStats::default()) }
+    }
+
+    /// Shared counter handle (clone before boxing the store behind `dyn`).
+    pub fn stats(&self) -> Arc<StoreStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The injected profile.
+    pub fn profile(&self) -> StorageProfile {
+        self.profile
+    }
+
+    fn charge(&self, pages: u64, runs: u64) {
+        let bytes = pages * self.inner.page_size() as u64;
+        // One fixed latency per contiguous run (seek / round trip), plus
+        // bandwidth for every transferred byte.
+        let transfer = self.profile.read_cost_ns(bytes as usize) - self.profile.read_latency_ns;
+        let cost = runs * self.profile.read_latency_ns + transfer;
+        spin_for(cost);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.pages_read.fetch_add(pages, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.stats.injected_ns.fetch_add(cost, Ordering::Relaxed);
+    }
+}
+
+/// Number of contiguous ascending runs in `pages` (a run = one simulated
+/// seek).
+fn contiguous_runs(pages: &[usize]) -> u64 {
+    if pages.is_empty() {
+        return 0;
+    }
+    let mut runs = 1u64;
+    for w in pages.windows(2) {
+        if w[1] != w[0] + 1 {
+            runs += 1;
+        }
+    }
+    runs
+}
+
+impl<S: BlockStore> BlockStore for ProfiledStore<S> {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn page_count(&self) -> usize {
+        self.inner.page_count()
+    }
+
+    fn read_page(&self, page: usize, out: &mut [u8]) -> Result<(), StoreError> {
+        self.inner.read_page(page, out)?;
+        self.charge(1, 1);
+        Ok(())
+    }
+
+    fn read_batch(&self, pages: &[usize], out: &mut [u8]) -> Result<(), StoreError> {
+        self.inner.read_batch(pages, out)?;
+        self.charge(pages.len() as u64, contiguous_runs(pages));
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: usize, data: &[u8]) -> Result<(), StoreError> {
+        // Snapshot writes happen off the serving path; no injection.
+        self.inner.write_page(page, data)
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        self.inner.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot layout
+// ---------------------------------------------------------------------------
+
+/// Header flag: the snapshot carries a dead-key (tombstone) section.
+const FLAG_HAS_DEAD: u32 = 1;
+
+/// Byte offsets of the fixed header fields within page 0's body.
+mod hdr {
+    pub const MAGIC: usize = 0;
+    pub const VERSION: usize = 8;
+    pub const PAGE_SIZE: usize = 12;
+    pub const KEY_BITS: usize = 16;
+    pub const FLAGS: usize = 20;
+    pub const N_ENTRIES: usize = 24;
+    pub const N_DEAD: usize = 32;
+    pub const KEY_PAGES: usize = 40;
+    pub const PAYLOAD_PAGES: usize = 48;
+    pub const DEAD_PAGES: usize = 56;
+    pub const MIN_KEY: usize = 64;
+    pub const MAX_KEY: usize = 72;
+}
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("u32 field"))
+}
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("u64 field"))
+}
+
+/// Derived page arithmetic for one snapshot.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    page_size: usize,
+    usable: usize,
+    key_bytes: usize,
+    n: usize,
+    n_dead: usize,
+    keys_per_page: usize,
+    payloads_per_page: usize,
+    key_pages: usize,
+    payload_pages: usize,
+    dead_pages: usize,
+}
+
+impl Layout {
+    fn new(page_size: usize, key_bytes: usize, n: usize, n_dead: usize) -> Layout {
+        let usable = page_size - PAGE_TRAILER;
+        let keys_per_page = usable / key_bytes;
+        let payloads_per_page = usable / 8;
+        Layout {
+            page_size,
+            usable,
+            key_bytes,
+            n,
+            n_dead,
+            keys_per_page,
+            payloads_per_page,
+            key_pages: n.div_ceil(keys_per_page),
+            payload_pages: n.div_ceil(payloads_per_page),
+            dead_pages: n_dead.div_ceil(keys_per_page),
+        }
+    }
+
+    /// First key page.
+    fn key_start(&self) -> usize {
+        1
+    }
+    /// First payload page.
+    fn payload_start(&self) -> usize {
+        1 + self.key_pages
+    }
+    /// First dead-key page.
+    fn dead_start(&self) -> usize {
+        1 + self.key_pages + self.payload_pages
+    }
+    /// Total pages, header included.
+    fn total_pages(&self) -> usize {
+        1 + self.key_pages + self.payload_pages + self.dead_pages
+    }
+}
+
+/// Pack `count` entries of `width` bytes (produced by `entry`) into pages
+/// starting at `first_page`, checksumming each.
+fn write_section(
+    store: &mut dyn BlockStore,
+    layout: &Layout,
+    first_page: usize,
+    count: usize,
+    width: usize,
+    mut entry: impl FnMut(usize) -> u64,
+) -> Result<(), StoreError> {
+    let per_page = layout.usable / width;
+    let mut page_buf = vec![0u8; layout.page_size];
+    let pages = count.div_ceil(per_page);
+    for p in 0..pages {
+        page_buf.fill(0);
+        let base = p * per_page;
+        let in_page = per_page.min(count - base);
+        for i in 0..in_page {
+            let bytes = entry(base + i).to_le_bytes();
+            page_buf[i * width..i * width + width].copy_from_slice(&bytes[..width]);
+        }
+        let page = first_page + p;
+        let sum = page_checksum(&page_buf[..layout.usable], page);
+        put_u64(&mut page_buf, layout.usable, sum);
+        store.write_page(page, &page_buf)?;
+    }
+    Ok(())
+}
+
+/// Serialize `data` (and an optional tombstone section `dead`) into `store`
+/// as a fresh snapshot, returning the snapshot's total size in bytes.
+///
+/// `dead` is only ever non-empty for write-behind *runs*; a base engine's
+/// snapshot never carries tombstones (merges fold them away before the base
+/// is rebuilt) — see `docs/ARCHITECTURE.md`.
+pub fn write_snapshot<K: Key>(
+    store: &mut dyn BlockStore,
+    data: &SortedData<K>,
+    dead: &[K],
+) -> Result<u64, StoreError> {
+    let page_size = store.page_size();
+    validate_page_size(page_size)?;
+    let key_bytes = (K::BITS / 8) as usize;
+    let layout = Layout::new(page_size, key_bytes, data.len(), dead.len());
+
+    // Header.
+    let mut page_buf = vec![0u8; page_size];
+    put_u64(&mut page_buf, hdr::MAGIC, SNAPSHOT_MAGIC);
+    put_u32(&mut page_buf, hdr::VERSION, SNAPSHOT_VERSION);
+    put_u32(&mut page_buf, hdr::PAGE_SIZE, page_size as u32);
+    put_u32(&mut page_buf, hdr::KEY_BITS, K::BITS);
+    put_u32(&mut page_buf, hdr::FLAGS, if dead.is_empty() { 0 } else { FLAG_HAS_DEAD });
+    put_u64(&mut page_buf, hdr::N_ENTRIES, data.len() as u64);
+    put_u64(&mut page_buf, hdr::N_DEAD, dead.len() as u64);
+    put_u64(&mut page_buf, hdr::KEY_PAGES, layout.key_pages as u64);
+    put_u64(&mut page_buf, hdr::PAYLOAD_PAGES, layout.payload_pages as u64);
+    put_u64(&mut page_buf, hdr::DEAD_PAGES, layout.dead_pages as u64);
+    put_u64(&mut page_buf, hdr::MIN_KEY, data.min_key().to_u64());
+    put_u64(&mut page_buf, hdr::MAX_KEY, data.max_key().to_u64());
+    let sum = page_checksum(&page_buf[..layout.usable], 0);
+    put_u64(&mut page_buf, layout.usable, sum);
+    store.write_page(0, &page_buf)?;
+
+    write_section(store, &layout, layout.key_start(), data.len(), key_bytes, |i| {
+        data.key(i).to_u64()
+    })?;
+    write_section(store, &layout, layout.payload_start(), data.len(), 8, |i| data.payload(i))?;
+    write_section(store, &layout, layout.dead_start(), dead.len(), key_bytes, |i| {
+        dead[i].to_u64()
+    })?;
+    store.flush()?;
+    Ok((layout.total_pages() * page_size) as u64)
+}
+
+/// Peek a snapshot file's page size (from the fixed-offset header field)
+/// without knowing it in advance — the bootstrap for [`FileStore::open`].
+pub fn snapshot_page_size(path: &Path) -> Result<usize, StoreError> {
+    let mut f = File::open(path)?;
+    let mut prefix = [0u8; hdr::KEY_BITS];
+    f.read_exact(&mut prefix)?;
+    let magic = get_u64(&prefix, hdr::MAGIC);
+    if magic != SNAPSHOT_MAGIC {
+        return Err(StoreError::BadMagic(magic));
+    }
+    let version = get_u32(&prefix, hdr::VERSION);
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::BadVersion { found: version, expected: SNAPSHOT_VERSION });
+    }
+    let ps = get_u32(&prefix, hdr::PAGE_SIZE) as usize;
+    validate_page_size(ps)?;
+    Ok(ps)
+}
+
+/// A batch of validated pages fetched in one [`BlockStore::read_batch`]
+/// call; positions are resolved against it without further I/O.
+pub struct PageSlab {
+    pages: Vec<usize>,
+    data: Vec<u8>,
+    page_size: usize,
+}
+
+impl PageSlab {
+    /// Body bytes of `page`, or `None` when the slab does not hold it.
+    fn body(&self, page: usize) -> Option<&[u8]> {
+        let slot = self.pages.binary_search(&page).ok()?;
+        let start = slot * self.page_size;
+        Some(&self.data[start..start + self.page_size - PAGE_TRAILER])
+    }
+}
+
+/// Read-side view of one snapshot: header metadata plus page-granular,
+/// checksum-validated accessors. This is the paged backing a
+/// `PagedEngine` serves from — only the pages a lookup's error bound
+/// names are ever fetched.
+pub struct PagedData<K: Key> {
+    store: Arc<dyn BlockStore>,
+    layout: Layout,
+    min_key: K,
+    max_key: K,
+    has_dead: bool,
+}
+
+impl<K: Key> fmt::Debug for PagedData<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PagedData")
+            .field("n", &self.layout.n)
+            .field("n_dead", &self.layout.n_dead)
+            .field("page_size", &self.layout.page_size)
+            .field("total_pages", &self.layout.total_pages())
+            .finish()
+    }
+}
+
+impl<K: Key> PagedData<K> {
+    /// Open and validate the snapshot in `store`: magic, version, key
+    /// width, page size, and section extents are all checked up front, and
+    /// the header page's checksum is verified.
+    pub fn open(store: Arc<dyn BlockStore>) -> Result<Self, StoreError> {
+        let page_size = store.page_size();
+        validate_page_size(page_size)?;
+        let usable = page_size - PAGE_TRAILER;
+        let mut page_buf = vec![0u8; page_size];
+        store.read_page(0, &mut page_buf)?;
+        let sum = get_u64(&page_buf, usable);
+        if sum != page_checksum(&page_buf[..usable], 0) {
+            return Err(StoreError::Corrupt { page: 0, detail: "header checksum mismatch".into() });
+        }
+        let magic = get_u64(&page_buf, hdr::MAGIC);
+        if magic != SNAPSHOT_MAGIC {
+            return Err(StoreError::BadMagic(magic));
+        }
+        let version = get_u32(&page_buf, hdr::VERSION);
+        if version != SNAPSHOT_VERSION {
+            return Err(StoreError::BadVersion { found: version, expected: SNAPSHOT_VERSION });
+        }
+        let header_ps = get_u32(&page_buf, hdr::PAGE_SIZE) as usize;
+        if header_ps != page_size {
+            return Err(StoreError::BadConfig(format!(
+                "store page size {page_size} != snapshot page size {header_ps}"
+            )));
+        }
+        let key_bits = get_u32(&page_buf, hdr::KEY_BITS);
+        if key_bits != K::BITS {
+            return Err(StoreError::BadConfig(format!(
+                "snapshot holds {key_bits}-bit keys, reader expects {}-bit",
+                K::BITS
+            )));
+        }
+        let n = get_u64(&page_buf, hdr::N_ENTRIES) as usize;
+        let n_dead = get_u64(&page_buf, hdr::N_DEAD) as usize;
+        if n == 0 {
+            return Err(StoreError::Corrupt { page: 0, detail: "snapshot holds 0 entries".into() });
+        }
+        let layout = Layout::new(page_size, (K::BITS / 8) as usize, n, n_dead);
+        let declared = (
+            get_u64(&page_buf, hdr::KEY_PAGES) as usize,
+            get_u64(&page_buf, hdr::PAYLOAD_PAGES) as usize,
+            get_u64(&page_buf, hdr::DEAD_PAGES) as usize,
+        );
+        if declared != (layout.key_pages, layout.payload_pages, layout.dead_pages) {
+            return Err(StoreError::Corrupt {
+                page: 0,
+                detail: format!(
+                    "section extents {declared:?} disagree with entry counts n={n} n_dead={n_dead}"
+                ),
+            });
+        }
+        if store.page_count() < layout.total_pages() {
+            return Err(StoreError::OutOfBounds {
+                page: layout.total_pages() - 1,
+                pages: store.page_count(),
+            });
+        }
+        let flags = get_u32(&page_buf, hdr::FLAGS);
+        Ok(PagedData {
+            store,
+            layout,
+            min_key: K::from_u64(get_u64(&page_buf, hdr::MIN_KEY)),
+            max_key: K::from_u64(get_u64(&page_buf, hdr::MAX_KEY)),
+            has_dead: flags & FLAG_HAS_DEAD != 0,
+        })
+    }
+
+    /// Open a snapshot file directly (page size read from its header),
+    /// optionally wrapped in a [`StorageProfile`]'s latency injection.
+    pub fn open_file(path: &Path, profile: StorageProfile) -> Result<Self, StoreError> {
+        let ps = snapshot_page_size(path)?;
+        let file = FileStore::open(path, ps)?;
+        let store: Arc<dyn BlockStore> = if profile == StorageProfile::RAM {
+            Arc::new(file)
+        } else {
+            Arc::new(ProfiledStore::new(file, profile))
+        };
+        PagedData::open(store)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.layout.n
+    }
+
+    /// Always false (construction rejects empty snapshots).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of tombstoned keys in the dead section.
+    pub fn dead_len(&self) -> usize {
+        self.layout.n_dead
+    }
+
+    /// Smallest stored key.
+    pub fn min_key(&self) -> K {
+        self.min_key
+    }
+
+    /// Largest stored key.
+    pub fn max_key(&self) -> K {
+        self.max_key
+    }
+
+    /// Page size of the backing store.
+    pub fn page_size(&self) -> usize {
+        self.layout.page_size
+    }
+
+    /// Total snapshot size in bytes (all sections, header included).
+    pub fn snapshot_bytes(&self) -> u64 {
+        (self.layout.total_pages() * self.layout.page_size) as u64
+    }
+
+    /// Live keys packed per page (for expected-pages-per-lookup math).
+    pub fn keys_per_page(&self) -> usize {
+        self.layout.keys_per_page
+    }
+
+    /// Fetch and validate `pages` (ascending, deduplicated) in one batched
+    /// read.
+    pub fn fetch_pages(&self, pages: Vec<usize>) -> Result<PageSlab, StoreError> {
+        debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "pages must be ascending unique");
+        let ps = self.layout.page_size;
+        let mut data = vec![0u8; pages.len() * ps];
+        self.store.read_batch(&pages, &mut data)?;
+        for (slot, &page) in pages.iter().enumerate() {
+            let body = &data[slot * ps..slot * ps + self.layout.usable];
+            let sum = get_u64(&data[slot * ps..(slot + 1) * ps], self.layout.usable);
+            if sum != page_checksum(body, page) {
+                return Err(StoreError::Corrupt { page, detail: "page checksum mismatch".into() });
+            }
+        }
+        Ok(PageSlab { pages, data, page_size: ps })
+    }
+
+    /// Append the key pages covering entry positions `lo..hi` to `out`.
+    pub fn key_window_pages(&self, lo: usize, hi: usize, out: &mut Vec<usize>) {
+        if hi <= lo {
+            return;
+        }
+        let first = self.layout.key_start() + lo / self.layout.keys_per_page;
+        let last = self.layout.key_start() + (hi - 1) / self.layout.keys_per_page;
+        out.extend(first..=last);
+    }
+
+    /// The payload page holding position `pos`.
+    pub fn payload_page_of(&self, pos: usize) -> usize {
+        self.layout.payload_start() + pos / self.layout.payloads_per_page
+    }
+
+    /// Key at `pos` resolved against a slab, or `None` when the slab lacks
+    /// the needed page.
+    pub fn key_in(&self, slab: &PageSlab, pos: usize) -> Option<K> {
+        let page = self.layout.key_start() + pos / self.layout.keys_per_page;
+        let body = slab.body(page)?;
+        let off = (pos % self.layout.keys_per_page) * self.layout.key_bytes;
+        Some(self.decode_key(&body[off..off + self.layout.key_bytes]))
+    }
+
+    /// Payload at `pos` resolved against a slab.
+    pub fn payload_in(&self, slab: &PageSlab, pos: usize) -> Option<u64> {
+        let body = slab.body(self.payload_page_of(pos))?;
+        let off = (pos % self.layout.payloads_per_page) * 8;
+        Some(get_u64(body, off))
+    }
+
+    fn decode_key(&self, bytes: &[u8]) -> K {
+        let mut w = [0u8; 8];
+        w[..bytes.len()].copy_from_slice(bytes);
+        K::from_u64(u64::from_le_bytes(w))
+    }
+
+    /// Keys at positions `lo..hi` via one contiguous batched read.
+    pub fn read_keys(&self, lo: usize, hi: usize) -> Result<Vec<K>, StoreError> {
+        let hi = hi.min(self.layout.n);
+        if hi <= lo {
+            return Ok(Vec::new());
+        }
+        let mut pages = Vec::new();
+        self.key_window_pages(lo, hi, &mut pages);
+        let slab = self.fetch_pages(pages)?;
+        Ok((lo..hi).map(|i| self.key_in(&slab, i).expect("window page fetched")).collect())
+    }
+
+    /// Payloads at positions `lo..hi` via one contiguous batched read.
+    pub fn read_payloads(&self, lo: usize, hi: usize) -> Result<Vec<u64>, StoreError> {
+        let hi = hi.min(self.layout.n);
+        if hi <= lo {
+            return Ok(Vec::new());
+        }
+        let first = self.payload_page_of(lo);
+        let last = self.payload_page_of(hi - 1);
+        let slab = self.fetch_pages((first..=last).collect())?;
+        Ok((lo..hi).map(|i| self.payload_in(&slab, i).expect("window page fetched")).collect())
+    }
+
+    /// The tombstone section, in stored order (empty when the snapshot has
+    /// none).
+    pub fn read_dead_keys(&self) -> Result<Vec<K>, StoreError> {
+        if self.layout.n_dead == 0 {
+            return Ok(Vec::new());
+        }
+        let first = self.layout.dead_start();
+        let last = first + self.layout.dead_pages - 1;
+        let slab = self.fetch_pages((first..=last).collect())?;
+        let kpp = self.layout.keys_per_page;
+        let kb = self.layout.key_bytes;
+        Ok((0..self.layout.n_dead)
+            .map(|i| {
+                let body = slab.body(first + i / kpp).expect("dead page fetched");
+                let off = (i % kpp) * kb;
+                self.decode_key(&body[off..off + kb])
+            })
+            .collect())
+    }
+
+    /// Materialize the whole snapshot back into RAM: the live entries as a
+    /// [`SortedData`] plus the tombstone section. Every page is validated
+    /// on the way through. This is the cold-restart bulk path; page-granular
+    /// serving uses the windowed accessors instead.
+    pub fn load(&self) -> Result<(SortedData<K>, Vec<K>), StoreError> {
+        let keys = self.read_keys(0, self.layout.n)?;
+        let payloads = self.read_payloads(0, self.layout.n)?;
+        let dead = self.read_dead_keys()?;
+        let data = SortedData::with_payloads(keys, payloads).map_err(|e: DataError| {
+            StoreError::Corrupt { page: self.layout.key_start(), detail: format!("{e:?}") }
+        })?;
+        Ok((data, dead))
+    }
+
+    /// Expose the dead-section flag (distinguishes "no tombstones" from "an
+    /// empty list").
+    pub fn has_dead_section(&self) -> bool {
+        self.has_dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> SortedData<u64> {
+        SortedData::new((0..n as u64).map(|i| i * 3 + 7).collect()).unwrap()
+    }
+
+    #[test]
+    fn page_size_validation() {
+        assert!(validate_page_size(64).is_err());
+        assert!(validate_page_size(130).is_err());
+        assert!(validate_page_size(128).is_ok());
+        assert!(validate_page_size(4096).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_memstore() {
+        let data = sample(1000);
+        let mut store = MemStore::new(256).unwrap();
+        let bytes = write_snapshot(&mut store, &data, &[]).unwrap();
+        assert_eq!(bytes as usize, store.page_count() * 256);
+        let paged = PagedData::<u64>::open(Arc::new(store)).unwrap();
+        assert_eq!(paged.len(), 1000);
+        assert_eq!(paged.min_key(), data.min_key());
+        assert_eq!(paged.max_key(), data.max_key());
+        let (back, dead) = paged.load().unwrap();
+        assert_eq!(back.keys(), data.keys());
+        assert_eq!(back.payloads(), data.payloads());
+        assert!(dead.is_empty());
+        assert!(!paged.has_dead_section());
+    }
+
+    #[test]
+    fn roundtrip_with_tombstones_u32() {
+        let data = SortedData::<u32>::new(vec![5, 6, 9, 9, 40]).unwrap();
+        let dead = vec![7u32, 8];
+        let mut store = MemStore::new(128).unwrap();
+        write_snapshot(&mut store, &data, &dead).unwrap();
+        let paged = PagedData::<u32>::open(Arc::new(store)).unwrap();
+        assert!(paged.has_dead_section());
+        assert_eq!(paged.read_dead_keys().unwrap(), dead);
+        let (back, dead_back) = paged.load().unwrap();
+        assert_eq!(back.keys(), data.keys());
+        assert_eq!(dead_back, dead);
+    }
+
+    #[test]
+    fn key_width_mismatch_rejected() {
+        let data = sample(10);
+        let mut store = MemStore::new(128).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        let err = PagedData::<u32>::open(Arc::new(store)).unwrap_err();
+        assert!(matches!(err, StoreError::BadConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn windowed_reads_match_full_load() {
+        let data = sample(777);
+        let mut store = MemStore::new(128).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        let paged = PagedData::<u64>::open(Arc::new(store)).unwrap();
+        for (lo, hi) in [(0, 5), (13, 55), (770, 777), (776, 777), (40, 40)] {
+            assert_eq!(paged.read_keys(lo, hi).unwrap(), data.keys()[lo..hi]);
+            assert_eq!(paged.read_payloads(lo, hi).unwrap(), data.payloads()[lo..hi]);
+        }
+    }
+
+    #[test]
+    fn corrupted_page_fails_loudly() {
+        let data = sample(500);
+        let mut store = MemStore::new(128).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        // Flip one byte in the middle of a key page.
+        let victim = 3;
+        let mut page = vec![0u8; 128];
+        store.read_page(victim, &mut page).unwrap();
+        page[17] ^= 0x40;
+        store.write_page(victim, &page).unwrap();
+        let paged = PagedData::<u64>::open(Arc::new(store)).unwrap();
+        let err = paged.load().unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { page, .. } if page == victim),
+            "expected loud corruption on page {victim}, got {err}"
+        );
+    }
+
+    #[test]
+    fn swapped_pages_fail_loudly() {
+        let data = sample(500);
+        let mut store = MemStore::new(128).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        // Swap two intact key pages: per-page checksums chained with the
+        // page index must catch relocation, not just bit rot.
+        let (mut a, mut b) = (vec![0u8; 128], vec![0u8; 128]);
+        store.read_page(2, &mut a).unwrap();
+        store.read_page(3, &mut b).unwrap();
+        store.write_page(2, &b).unwrap();
+        store.write_page(3, &a).unwrap();
+        let paged = PagedData::<u64>::open(Arc::new(store)).unwrap();
+        assert!(matches!(paged.load().unwrap_err(), StoreError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn truncated_file_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("sosd_store_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.snap");
+        let data = sample(2000);
+        {
+            let mut fs = FileStore::create(&path, 256).unwrap();
+            write_snapshot(&mut fs, &data, &[]).unwrap();
+        }
+        // Cut the file short mid-section.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = PagedData::<u64>::open_file(&path, StorageProfile::RAM).unwrap_err();
+        assert!(matches!(err, StoreError::OutOfBounds { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn filestore_roundtrip_and_page_size_probe() {
+        let dir = std::env::temp_dir().join(format!("sosd_store_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.snap");
+        let data = sample(300);
+        {
+            let mut fs = FileStore::create(&path, 512).unwrap();
+            write_snapshot(&mut fs, &data, &[]).unwrap();
+        }
+        assert_eq!(snapshot_page_size(&path).unwrap(), 512);
+        let paged = PagedData::<u64>::open_file(&path, StorageProfile::RAM).unwrap();
+        let (back, _) = paged.load().unwrap();
+        assert_eq!(back.keys(), data.keys());
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn profiled_store_counts_and_injects() {
+        let data = sample(1000);
+        let mut store = MemStore::new(256).unwrap();
+        write_snapshot(&mut store, &data, &[]).unwrap();
+        let profile = StorageProfile { name: "test", read_latency_ns: 50_000, bandwidth_mb_s: 0 };
+        let wrapped = ProfiledStore::new(store, profile);
+        let stats = wrapped.stats();
+        let paged = PagedData::<u64>::open(Arc::new(wrapped)).unwrap();
+        stats.reset();
+        let t = Instant::now();
+        paged.read_keys(10, 20).unwrap();
+        let elapsed = t.elapsed();
+        assert_eq!(stats.reads.load(Ordering::Relaxed), 1);
+        assert!(stats.pages_read.load(Ordering::Relaxed) >= 1);
+        let injected = stats.injected_ns.load(Ordering::Relaxed);
+        assert!(injected >= 50_000, "one contiguous run charges one latency");
+        assert!(elapsed >= Duration::from_nanos(injected), "spin actually waited");
+    }
+
+    #[test]
+    fn contiguous_run_counting() {
+        assert_eq!(contiguous_runs(&[]), 0);
+        assert_eq!(contiguous_runs(&[4]), 1);
+        assert_eq!(contiguous_runs(&[4, 5, 6]), 1);
+        assert_eq!(contiguous_runs(&[4, 6, 7, 10]), 3);
+    }
+
+    #[test]
+    fn profile_cost_curve() {
+        assert_eq!(StorageProfile::RAM.read_cost_ns(4096), 0);
+        // NVMe: 25µs + 4096B / 2000MB/s ≈ 25µs + 2.0µs.
+        assert_eq!(StorageProfile::NVME.read_cost_ns(4096), 25_000 + 2_048);
+        assert!(StorageProfile::NFS.read_cost_ns(4096) > StorageProfile::NVME.read_cost_ns(4096));
+        assert_eq!(StorageProfile::parse("nfs"), Some(StorageProfile::NFS));
+        assert_eq!(StorageProfile::parse("tape"), None);
+    }
+}

@@ -51,6 +51,23 @@
 //! a pointer store, and a generation's memory is reclaimed when its last
 //! in-flight reader drops its `Arc` (epoch-style reclamation by refcount).
 //!
+//! # Persistence (the snapshot spool)
+//!
+//! [`WriteBehindEngine::with_spool`] attaches a **snapshot spool**: a
+//! directory into which every immutable tier is serialized as it is
+//! created, in the checksummed page format of [`crate::store`]. The initial
+//! base is written at construction; each frozen delta's run is written **at
+//! freeze time** (tombstones ride in the snapshot's dead-key section);
+//! every rebuilt base — flat merges and bottom-level folds — is written
+//! before its swap, and because those folds drop tombstones first, a base
+//! snapshot never carries a dead-key section. After each swap a versioned
+//! manifest is committed (tmp-write + rename) pointing at exactly the
+//! files of the live generation, and unreferenced snapshots are swept.
+//! [`WriteBehindEngine::open_spool`] re-opens the whole stack cold:
+//! checksum-verified loads, engines rebuilt by the base factory (models
+//! are derived state), active delta empty — the durability boundary is
+//! the freeze, so unmerged delta writes do not survive a restart.
+//!
 //! # Consistency
 //!
 //! A merge cycle touches the state lock O(1) times, O(1) each: the
@@ -71,6 +88,9 @@ use crate::dynamic::DynamicOrderedIndex;
 use crate::engine::QueryEngine;
 use crate::error::BuildError;
 use crate::key::Key;
+use crate::store::{write_snapshot, FileStore, PagedData, StorageProfile, StoreError};
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -222,6 +242,9 @@ struct Run<K: Key> {
     data: Arc<SortedData<K>>,
     /// Sorted keys of this run that are tombstones.
     dead_keys: Vec<K>,
+    /// Snapshot file name inside the spool directory (`Some` exactly when
+    /// the engine runs with a [`WriteBehindEngine::with_spool`] spool).
+    file: Option<String>,
 }
 
 impl<K: Key> Run<K> {
@@ -232,7 +255,7 @@ impl<K: Key> Run<K> {
         let dead_keys: Vec<K> = entries.iter().filter(|e| e.1.is_none()).map(|e| e.0).collect();
         let data = Arc::new(SortedData::with_payloads(keys, payloads).map_err(BuildError::Data)?);
         let engine = factory(Arc::clone(&data))?;
-        Ok(Run { engine, data, dead_keys })
+        Ok(Run { engine, data, dead_keys, file: None })
     }
 
     fn len(&self) -> usize {
@@ -326,6 +349,10 @@ struct Generation<K: Key> {
     data: Arc<SortedData<K>>,
     /// Monotone generation counter (0 = the initial build).
     epoch: u64,
+    /// Snapshot file name of the base inside the spool directory (`Some`
+    /// exactly when a spool is attached). Shared by `Arc` because stack
+    /// swaps reuse the base without rewriting its snapshot.
+    base_file: Option<Arc<str>>,
 }
 
 impl<K: Key> Generation<K> {
@@ -431,6 +458,93 @@ fn merge_shadows_over_base<K: Key>(
     Some(SortedData::with_payloads(keys, payloads).expect("shadow merge preserves order"))
 }
 
+/// The snapshot spool: a directory the engine persists its immutable tiers
+/// into as they are created, so the whole stack can be re-opened cold (see
+/// the module docs for the durability boundary).
+struct Spool {
+    dir: PathBuf,
+    page_size: usize,
+    /// Monotone id for snapshot file names (`base-<id>.snap`,
+    /// `run-<id>.snap`); never reused, so a crashed merge can leave only
+    /// unreferenced garbage, which the next manifest commit sweeps.
+    next_id: AtomicU64,
+}
+
+/// First line of a spool manifest — the version gate for cold re-open.
+const MANIFEST_HEADER: &str = "sosd-writebehind v1";
+/// Manifest file name inside the spool directory.
+const MANIFEST_FILE: &str = "manifest";
+
+impl Spool {
+    fn next_name(&self, prefix: &str) -> String {
+        format!("{prefix}-{}.snap", self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Serialize `data` (+ tombstoned keys) into a fresh snapshot file.
+    fn write_data<K: Key>(
+        &self,
+        name: &str,
+        data: &SortedData<K>,
+        dead: &[K],
+    ) -> Result<(), StoreError> {
+        let mut store = FileStore::create(&self.dir.join(name), self.page_size)?;
+        write_snapshot(&mut store, data, dead)?;
+        crate::store::BlockStore::flush(&mut store)
+    }
+
+    /// Persist on the merge path. A failed persist panics: the caller asked
+    /// for durability, and silently continuing would hand a later cold
+    /// re-open a manifest that lies about what survived.
+    fn persist<K: Key>(&self, prefix: &str, data: &SortedData<K>, dead: &[K]) -> String {
+        let name = self.next_name(prefix);
+        if let Err(e) = self.write_data(&name, data, dead) {
+            panic!("[writebehind] spool persist of {name} failed: {e}");
+        }
+        name
+    }
+
+    /// Durably point the manifest at `generation` (tmp-write + rename),
+    /// then sweep snapshot files the manifest no longer references. Runs
+    /// only after the generation swap, so a crash at any point leaves a
+    /// manifest describing one complete, re-openable stack.
+    fn commit<K: Key>(&self, generation: &Generation<K>) {
+        let base_file =
+            generation.base_file.as_deref().expect("spooled generation carries a base file");
+        let mut live: Vec<&str> = vec![base_file];
+        let mut manifest = format!(
+            "{MANIFEST_HEADER}\npage_size {}\nepoch {}\nbase {base_file}\n",
+            self.page_size, generation.epoch
+        );
+        for level in &generation.levels {
+            manifest.push_str("level");
+            for run in level {
+                let file = run.file.as_deref().expect("spooled run carries a file");
+                manifest.push(' ');
+                manifest.push_str(file);
+                live.push(file);
+            }
+            manifest.push('\n');
+        }
+        let tmp = self.dir.join("manifest.tmp");
+        let commit = fs::write(&tmp, &manifest)
+            .and_then(|()| fs::rename(&tmp, self.dir.join(MANIFEST_FILE)));
+        if let Err(e) = commit {
+            panic!("[writebehind] spool manifest commit failed: {e}");
+        }
+        // Best-effort garbage sweep; leftovers are unreferenced and swept
+        // again on the next commit.
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.ends_with(".snap") && !live.contains(&name) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
 /// The pieces shared between the engine handle and a background merge
 /// thread.
 struct Shared<K: Key> {
@@ -450,6 +564,8 @@ struct Shared<K: Key> {
     /// compactions — the merge write volume; `merged_entries / merges` is
     /// the per-cycle merged volume the leveled policy bounds.
     merged_entries: AtomicU64,
+    /// The snapshot spool, when persistence was requested at construction.
+    spool: Option<Spool>,
     /// Exact number of entries a full range scan returns right now: a
     /// shadow value over a base duplicate group collapses the whole group
     /// to one visible entry, and a tombstone hides its key entirely.
@@ -559,11 +675,19 @@ impl<K: Key> Shared<K> {
         match (self.base_factory)(Arc::clone(&merged)) {
             Ok(engine) => {
                 self.merged_entries.fetch_add(merged.len() as u64, Ordering::Relaxed);
+                // Persist the rebuilt base *before* the swap: tombstones
+                // were folded into deletions above, so the base snapshot
+                // never carries a dead-key section.
+                let base_file = self
+                    .spool
+                    .as_ref()
+                    .map(|s| Arc::from(s.persist("base", &merged, &[]).as_str()));
                 let next = Arc::new(Generation {
                     levels: Vec::new(),
                     base: Arc::new(engine),
                     data: merged,
                     epoch: generation.epoch + 1,
+                    base_file,
                 });
                 // The O(1) swap: install the merged generation and clear
                 // the frozen tier in one critical section, so no reader can
@@ -571,9 +695,13 @@ impl<K: Key> Shared<K> {
                 // count is invariant here: entries the frozen tier shadowed
                 // are exactly the ones the merge collapsed or deleted.
                 let mut st = self.state.write().expect("writebehind state lock");
-                st.generation = next;
+                st.generation = Arc::clone(&next);
                 st.frozen = None;
+                drop(st);
                 self.merges.fetch_add(1, Ordering::Relaxed);
+                if let Some(spool) = &self.spool {
+                    spool.commit(&next);
+                }
             }
             Err(e) => {
                 self.rollback(snapshot);
@@ -593,8 +721,14 @@ impl<K: Key> Shared<K> {
         max_levels: usize,
     ) {
         match Run::build(snapshot, &self.base_factory) {
-            Ok(run) => {
+            Ok(mut run) => {
                 self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
+                // Freeze time is the durability boundary: the run hits the
+                // spool (tombstones serialized in its dead-key section)
+                // before any reader can see the new generation.
+                if let Some(spool) = &self.spool {
+                    run.file = Some(spool.persist("run", &run.data, &run.dead_keys));
+                }
                 let mut levels = generation.levels.clone();
                 if levels.is_empty() {
                     levels.push(Vec::new());
@@ -605,12 +739,16 @@ impl<K: Key> Shared<K> {
                     base: Arc::clone(&generation.base),
                     data: Arc::clone(&generation.data),
                     epoch: generation.epoch + 1,
+                    base_file: generation.base_file.clone(),
                 });
                 let mut st = self.state.write().expect("writebehind state lock");
-                st.generation = next;
+                st.generation = Arc::clone(&next);
                 st.frozen = None;
                 drop(st);
                 self.merges.fetch_add(1, Ordering::Relaxed);
+                if let Some(spool) = &self.spool {
+                    spool.commit(&next);
+                }
                 self.compact(fanout, max_levels);
             }
             Err(e) => {
@@ -646,8 +784,11 @@ impl<K: Key> Shared<K> {
                 // Fold into a single run one level down; tombstones are
                 // preserved — older levels and the base may still hold
                 // their keys.
-                Run::build(&merged, &self.base_factory).map(|run| {
+                Run::build(&merged, &self.base_factory).map(|mut run| {
                     self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
+                    if let Some(spool) = &self.spool {
+                        run.file = Some(spool.persist("run", &run.data, &run.dead_keys));
+                    }
                     while levels.len() <= level + 1 {
                         levels.push(Vec::new());
                     }
@@ -657,6 +798,7 @@ impl<K: Key> Shared<K> {
                         base: Arc::clone(&generation.base),
                         data: Arc::clone(&generation.data),
                         epoch: generation.epoch + 1,
+                        base_file: generation.base_file.clone(),
                     }
                 })
             } else {
@@ -667,11 +809,19 @@ impl<K: Key> Shared<K> {
                     let data = Arc::new(data);
                     (self.base_factory)(Arc::clone(&data)).map(|base| {
                         self.merged_entries.fetch_add(data.len() as u64, Ordering::Relaxed);
+                        // The fold dropped every tombstone, so the fresh
+                        // base snapshot has no dead-key section — the
+                        // tombstones-never-serialized-to-base rule.
+                        let base_file = self
+                            .spool
+                            .as_ref()
+                            .map(|s| Arc::from(s.persist("base", &data, &[]).as_str()));
                         Generation {
                             levels,
                             base: Arc::new(base),
                             data,
                             epoch: generation.epoch + 1,
+                            base_file,
                         }
                     })
                 } else {
@@ -679,24 +829,32 @@ impl<K: Key> Shared<K> {
                     // representable, so keep the bottom level as one
                     // all-shadowing run instead (run count drops below the
                     // fanout, so this terminates).
-                    Run::build(&merged, &self.base_factory).map(|run| {
+                    Run::build(&merged, &self.base_factory).map(|mut run| {
                         self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
+                        if let Some(spool) = &self.spool {
+                            run.file = Some(spool.persist("run", &run.data, &run.dead_keys));
+                        }
                         levels[level] = vec![Arc::new(run)];
                         Generation {
                             levels,
                             base: Arc::clone(&generation.base),
                             data: Arc::clone(&generation.data),
                             epoch: generation.epoch + 1,
+                            base_file: generation.base_file.clone(),
                         }
                     })
                 }
             };
             match built {
                 Ok(next) => {
+                    let next = Arc::new(next);
                     let mut st = self.state.write().expect("writebehind state lock");
-                    st.generation = Arc::new(next);
+                    st.generation = Arc::clone(&next);
                     drop(st);
                     self.compactions.fetch_add(1, Ordering::Relaxed);
+                    if let Some(spool) = &self.spool {
+                        spool.commit(&next);
+                    }
                 }
                 Err(e) => {
                     // Nothing was lost (the overflowing level is intact);
@@ -812,13 +970,220 @@ impl<K: Key> WriteBehindEngine<K> {
         }
         policy.validate()?;
         let engine = Arc::new((base_factory)(Arc::clone(&data))?);
-        let visible = data.len();
-        let state = State {
-            generation: Arc::new(Generation { levels: Vec::new(), base: engine, data, epoch: 0 }),
-            active: DeltaTier::new(&delta_factory),
-            frozen: None,
+        let generation = Arc::new(Generation {
+            levels: Vec::new(),
+            base: engine,
+            data,
+            epoch: 0,
+            base_file: None,
+        });
+        Ok(Self::assemble(
+            generation,
+            base_factory,
+            delta_factory,
+            merge_threshold,
+            mode,
+            policy,
+            None,
+        ))
+    }
+
+    /// Like [`WriteBehindEngine::with_policy`], with a **snapshot spool**:
+    /// the initial base — and, from then on, every frozen run at freeze
+    /// time and every rebuilt base — is serialized into `dir` as a
+    /// checksummed snapshot, with a versioned manifest pointing at the
+    /// current stack. [`WriteBehindEngine::open_spool`] re-opens the whole
+    /// stack cold from that directory.
+    ///
+    /// The durability boundary is the **freeze**: entries still in the
+    /// active delta at crash time are lost (they were never acknowledged as
+    /// merged), while everything at or below a frozen run is on storage.
+    /// Persist failures on the merge path panic rather than serve from a
+    /// manifest that lies about what survived.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_spool(
+        data: Arc<SortedData<K>>,
+        base_factory: BaseFactory<K>,
+        delta_factory: DeltaFactory<K>,
+        merge_threshold: usize,
+        mode: MergeMode,
+        policy: MergePolicy,
+        dir: &Path,
+        page_size: usize,
+    ) -> Result<Self, BuildError> {
+        if merge_threshold == 0 {
+            return Err(BuildError::InvalidConfig("merge threshold must be >= 1".into()));
+        }
+        policy.validate()?;
+        fs::create_dir_all(dir)
+            .map_err(|e| BuildError::Unbuildable(format!("spool dir {}: {e}", dir.display())))?;
+        let spool = Spool { dir: dir.to_path_buf(), page_size, next_id: AtomicU64::new(0) };
+        let base_name = spool.next_name("base");
+        spool.write_data(&base_name, &data, &[]).map_err(|e| {
+            BuildError::Unbuildable(format!("spool base snapshot {base_name}: {e}"))
+        })?;
+        let engine = Arc::new((base_factory)(Arc::clone(&data))?);
+        let generation = Arc::new(Generation {
+            levels: Vec::new(),
+            base: engine,
+            data,
+            epoch: 0,
+            base_file: Some(Arc::from(base_name.as_str())),
+        });
+        spool.commit(&generation);
+        Ok(Self::assemble(
+            generation,
+            base_factory,
+            delta_factory,
+            merge_threshold,
+            mode,
+            policy,
+            Some(spool),
+        ))
+    }
+
+    /// Cold re-open: reconstruct the whole immutable stack — base and every
+    /// frozen run, tombstones included — from a spool directory written by
+    /// [`WriteBehindEngine::with_spool`]. Every page of every snapshot is
+    /// checksum-verified during the load; corruption fails loudly here
+    /// instead of surfacing as garbage reads later. Engines are rebuilt by
+    /// `base_factory` (models are derived state, not persisted), and the
+    /// active delta starts empty — the spool's documented durability
+    /// boundary.
+    pub fn open_spool(
+        dir: &Path,
+        base_factory: BaseFactory<K>,
+        delta_factory: DeltaFactory<K>,
+        merge_threshold: usize,
+        mode: MergeMode,
+        policy: MergePolicy,
+    ) -> Result<Self, BuildError> {
+        if merge_threshold == 0 {
+            return Err(BuildError::InvalidConfig("merge threshold must be >= 1".into()));
+        }
+        policy.validate()?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&manifest_path).map_err(|e| {
+            BuildError::Unbuildable(format!("spool manifest {}: {e}", manifest_path.display()))
+        })?;
+        let bad = |detail: String| BuildError::Unbuildable(format!("spool manifest: {detail}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(bad(format!("expected header `{MANIFEST_HEADER}`")));
+        }
+        let mut page_size = 0usize;
+        let mut epoch = 0u64;
+        let mut base_name: Option<String> = None;
+        let mut level_files: Vec<Vec<String>> = Vec::new();
+        for line in lines {
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("page_size") => {
+                    page_size = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad page_size line".into()))?;
+                }
+                Some("epoch") => {
+                    epoch = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad epoch line".into()))?;
+                }
+                Some("base") => {
+                    base_name =
+                        Some(fields.next().ok_or_else(|| bad("bad base line".into()))?.to_string());
+                }
+                Some("level") => level_files.push(fields.map(String::from).collect()),
+                None => {}
+                Some(other) => return Err(bad(format!("unknown directive `{other}`"))),
+            }
+        }
+        let base_name = base_name.ok_or_else(|| bad("no base line".into()))?;
+        if !level_files.iter().all(|l| l.is_empty()) && policy == MergePolicy::Flat {
+            return Err(BuildError::InvalidConfig(
+                "flat policy cannot re-open a spool with frozen runs (their entries would \
+                 vanish at the first merge); re-open with the leveled policy"
+                    .into(),
+            ));
+        }
+        let load = |name: &String| -> Result<(SortedData<K>, Vec<K>), BuildError> {
+            PagedData::<K>::open_file(&dir.join(name), StorageProfile::RAM)
+                .and_then(|paged| paged.load())
+                .map_err(|e| BuildError::Unbuildable(format!("spool snapshot {name}: {e}")))
         };
-        Ok(WriteBehindEngine {
+        let (base_data, base_dead) = load(&base_name)?;
+        if !base_dead.is_empty() {
+            return Err(bad(format!(
+                "base snapshot {base_name} carries {} tombstones; tombstones are never \
+                 serialized to the base",
+                base_dead.len()
+            )));
+        }
+        let base_data = Arc::new(base_data);
+        let base = Arc::new((base_factory)(Arc::clone(&base_data))?);
+        let mut levels = Vec::with_capacity(level_files.len());
+        for files in &level_files {
+            let mut level = Vec::with_capacity(files.len());
+            for file in files {
+                let (data, dead_keys) = load(file)?;
+                let data = Arc::new(data);
+                let engine = (base_factory)(Arc::clone(&data))?;
+                level.push(Arc::new(Run { engine, data, dead_keys, file: Some(file.clone()) }));
+            }
+            levels.push(level);
+        }
+        // The visible count is the length of the stack folded over the
+        // base — exactly the bottom-fold merge, discarded after counting.
+        let mut shadows: Vec<Shadow<K>> = Vec::new();
+        for run in levels.iter().flatten() {
+            shadows = merge_newer_over_older(&shadows, &run.all_entries());
+        }
+        let visible = if shadows.is_empty() {
+            base_data.len()
+        } else {
+            merge_shadows_over_base(&base_data, &shadows).map_or(0, |d| d.len())
+        };
+        // Snapshot ids are monotone; resume past everything referenced.
+        let next_id = std::iter::once(&base_name)
+            .chain(level_files.iter().flatten())
+            .filter_map(|name| name.split_once('-')?.1.strip_suffix(".snap")?.parse::<u64>().ok())
+            .max()
+            .map_or(0, |id| id + 1);
+        let generation = Arc::new(Generation {
+            levels,
+            base,
+            data: base_data,
+            epoch,
+            base_file: Some(Arc::from(base_name.as_str())),
+        });
+        let spool = Spool { dir: dir.to_path_buf(), page_size, next_id: AtomicU64::new(next_id) };
+        let engine = Self::assemble(
+            generation,
+            base_factory,
+            delta_factory,
+            merge_threshold,
+            mode,
+            policy,
+            Some(spool),
+        );
+        engine.shared.visible_len.store(visible, Ordering::Relaxed);
+        Ok(engine)
+    }
+
+    /// Wire an already-built initial generation into a full engine.
+    fn assemble(
+        generation: Arc<Generation<K>>,
+        base_factory: BaseFactory<K>,
+        delta_factory: DeltaFactory<K>,
+        merge_threshold: usize,
+        mode: MergeMode,
+        policy: MergePolicy,
+        spool: Option<Spool>,
+    ) -> Self {
+        let visible = generation.data.len();
+        let state = State { generation, active: DeltaTier::new(&delta_factory), frozen: None };
+        WriteBehindEngine {
             shared: Arc::new(Shared {
                 state: RwLock::new(state),
                 base_factory,
@@ -830,11 +1195,12 @@ impl<K: Key> WriteBehindEngine<K> {
                 failed_merges: AtomicU64::new(0),
                 compactions: AtomicU64::new(0),
                 merged_entries: AtomicU64::new(0),
+                spool,
                 visible_len: AtomicUsize::new(visible),
             }),
             mode,
             worker: Mutex::new(None),
-        })
+        }
     }
 
     /// Insert (or overwrite) `key` in the delta, returning the previously
@@ -1019,6 +1385,31 @@ impl<K: Key> WriteBehindEngine<K> {
     /// The configured merge policy.
     pub fn policy(&self) -> MergePolicy {
         self.shared.policy
+    }
+
+    /// The snapshot spool directory, when persistence is on.
+    pub fn spool_dir(&self) -> Option<&Path> {
+        self.shared.spool.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Total bytes of the snapshot files the current generation references
+    /// (0 without a spool) — the on-storage footprint a cold re-open reads.
+    pub fn spool_bytes(&self) -> u64 {
+        let Some(spool) = &self.shared.spool else {
+            return 0;
+        };
+        let generation = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            Arc::clone(&st.generation)
+        };
+        let file_len =
+            |name: &str| fs::metadata(spool.dir.join(name)).map(|m| m.len()).unwrap_or(0);
+        generation.base_file.as_deref().map_or(0, file_len)
+            + generation
+                .runs_newest_first()
+                .filter_map(|r| r.file.as_deref())
+                .map(file_len)
+                .sum::<u64>()
     }
 
     /// Win the merge flag and run (or spawn) the merge.
@@ -1702,5 +2093,203 @@ mod tests {
         e.wait_for_merges();
         assert_eq!(e.run_count(), 1);
         assert!(e.size_bytes() > before, "a frozen run must show in size_bytes");
+    }
+
+    /// Fresh spool directory under the system temp dir, removed by the
+    /// returned guard.
+    fn spool_dir(tag: &str) -> (PathBuf, impl Drop) {
+        struct Cleanup(PathBuf);
+        impl Drop for Cleanup {
+            fn drop(&mut self) {
+                let _ = fs::remove_dir_all(&self.0);
+            }
+        }
+        let dir = std::env::temp_dir().join(format!("sosd-wb-spool-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        (dir.clone(), Cleanup(dir))
+    }
+
+    fn spooled_engine(
+        keys: Vec<u64>,
+        threshold: usize,
+        policy: MergePolicy,
+        dir: &Path,
+    ) -> WriteBehindEngine<u64> {
+        let payloads: Vec<u64> = keys.iter().map(|&k| k.wrapping_mul(3) ^ 0xA5).collect();
+        let data = Arc::new(SortedData::with_payloads(keys, payloads).unwrap());
+        WriteBehindEngine::with_spool(
+            data,
+            mirror_factory(),
+            vecmap_factory(),
+            threshold,
+            MergeMode::Sync,
+            policy,
+            dir,
+            256,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn leveled_spool_reopens_the_whole_stack_cold() {
+        let (dir, _guard) = spool_dir("leveled");
+        let policy = MergePolicy::Leveled { fanout: 3, max_levels: 2 };
+        let e = spooled_engine((0..200).map(|i| i * 2).collect(), 8, policy, &dir);
+        // Enough churn to stack runs, compact, and leave live tombstones.
+        for k in 0..40u64 {
+            e.insert(k * 2 + 1, k + 1000);
+        }
+        for k in 10..30u64 {
+            e.remove(k * 2); // tombstones over base keys
+        }
+        e.force_merge();
+        e.wait_for_merges();
+        assert!(e.run_count() > 0, "the scenario must leave frozen runs");
+        drop(e);
+
+        let cold = WriteBehindEngine::open_spool(
+            &dir,
+            mirror_factory(),
+            vecmap_factory(),
+            8,
+            MergeMode::Sync,
+            policy,
+        )
+        .unwrap();
+        // Rebuild the original in RAM for the oracle comparison (the
+        // spooled engine above was dropped; same data, same operations —
+        // but never merged, so the oracle's answers come straight from its
+        // delta over the pristine base).
+        let oracle = engine_with_policy(
+            (0..200).map(|i| i * 2).collect(),
+            usize::MAX,
+            MergeMode::Sync,
+            policy,
+        );
+        for k in 0..40u64 {
+            oracle.insert(k * 2 + 1, k + 1000);
+        }
+        for k in 10..30u64 {
+            oracle.remove(k * 2);
+        }
+        for probe in 0..440u64 {
+            assert_eq!(cold.get(probe), oracle.get(probe), "cold get({probe})");
+        }
+        assert_eq!(cold.range(0, 441), oracle.range(0, 441), "cold range");
+        assert_eq!(cold.lookup_batch(&(0..440).collect::<Vec<_>>()), {
+            let mut out = Vec::new();
+            oracle.get_batch(&(0..440).collect::<Vec<_>>(), &mut out);
+            out
+        });
+        assert_eq!(cold.len(), oracle.len(), "visible length survives re-open");
+        assert_eq!(cold.delta_len(), 0, "the delta never survives a restart");
+        assert!(cold.spool_bytes() > 0);
+        // The re-opened engine keeps serving and spooling: a new merge must
+        // commit a manifest the next cold open can read.
+        cold.insert(9_999, 1);
+        cold.force_merge();
+        cold.wait_for_merges();
+        let again = WriteBehindEngine::open_spool(
+            &dir,
+            mirror_factory(),
+            vecmap_factory(),
+            8,
+            MergeMode::Sync,
+            policy,
+        )
+        .unwrap();
+        assert_eq!(again.get(9_999), Some(1), "post-reopen writes survive the next restart");
+    }
+
+    #[test]
+    fn flat_spool_keeps_one_base_snapshot_and_reopens() {
+        let (dir, _guard) = spool_dir("flat");
+        let e = spooled_engine((0..50).map(|i| i * 2).collect(), 4, MergePolicy::Flat, &dir);
+        for k in 0..20u64 {
+            e.insert(k * 2 + 1, k); // several merge cycles
+        }
+        e.remove(0);
+        e.force_merge();
+        e.wait_for_merges();
+        assert!(e.merges_completed() >= 2);
+        let snaps: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter_map(|f| f.file_name().to_str().map(String::from))
+            .filter(|n| n.ends_with(".snap"))
+            .collect();
+        assert_eq!(snaps.len(), 1, "flat spool sweeps every superseded base: {snaps:?}");
+        let expect: Vec<Option<u64>> = (0..60u64).map(|k| e.get(k)).collect();
+        drop(e);
+        let cold = WriteBehindEngine::open_spool(
+            &dir,
+            mirror_factory(),
+            vecmap_factory(),
+            4,
+            MergeMode::Sync,
+            MergePolicy::Flat,
+        )
+        .unwrap();
+        let got: Vec<Option<u64>> = (0..60u64).map(|k| cold.get(k)).collect();
+        assert_eq!(got, expect, "flat cold re-open serves the merged base");
+        assert_eq!(cold.run_count(), 0);
+    }
+
+    #[test]
+    fn corrupted_spool_snapshot_fails_loudly_on_reopen() {
+        let (dir, _guard) = spool_dir("corrupt");
+        let policy = MergePolicy::Leveled { fanout: 4, max_levels: 2 };
+        let e = spooled_engine((0..100).map(|i| i * 2).collect(), 4, policy, &dir);
+        for k in 0..8u64 {
+            e.insert(k * 2 + 1, k);
+        }
+        e.wait_for_merges();
+        assert!(e.run_count() > 0);
+        drop(e);
+        // Flip one byte in the middle of a run snapshot.
+        let victim = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .find(|f| f.file_name().to_str().is_some_and(|n| n.starts_with("run-")))
+            .expect("a run snapshot exists")
+            .path();
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&victim, bytes).unwrap();
+        let err = WriteBehindEngine::<u64>::open_spool(
+            &dir,
+            mirror_factory(),
+            vecmap_factory(),
+            4,
+            MergeMode::Sync,
+            policy,
+        );
+        assert!(err.is_err(), "a corrupted run page must fail the cold open, not serve garbage");
+    }
+
+    #[test]
+    fn flat_reopen_of_a_leveled_spool_is_rejected() {
+        let (dir, _guard) = spool_dir("mismatch");
+        let policy = MergePolicy::Leveled { fanout: 4, max_levels: 2 };
+        let e = spooled_engine((0..100).map(|i| i * 2).collect(), 4, policy, &dir);
+        for k in 0..8u64 {
+            e.insert(k * 2 + 1, k);
+        }
+        e.wait_for_merges();
+        assert!(e.run_count() > 0);
+        drop(e);
+        assert!(
+            WriteBehindEngine::<u64>::open_spool(
+                &dir,
+                mirror_factory(),
+                vecmap_factory(),
+                4,
+                MergeMode::Sync,
+                MergePolicy::Flat,
+            )
+            .is_err(),
+            "flat policy would drop the frozen runs' entries at the first merge"
+        );
     }
 }
