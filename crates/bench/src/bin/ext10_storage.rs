@@ -322,6 +322,27 @@ fn run_config(
         "{label} p{page_size} @ {}: paged lookups diverged from in-RAM data",
         profile.name
     );
+    let pages_per_key_pass = stats.pages_read.load(Ordering::Relaxed);
+
+    // Batched pass over the same keys: the wave path unions every
+    // window's pages into one fetch (plus one payload fetch), so it can
+    // never read more pages than the per-key loop just did — deduped
+    // shared pages only remove reads. Answers must be identical.
+    stats.reset();
+    let batched_sum: u64 =
+        engine.lookup_batch(keys).into_iter().map(|v| v.unwrap_or(0)).fold(0, u64::wrapping_add);
+    let pages_batched = stats.pages_read.load(Ordering::Relaxed);
+    assert_eq!(
+        batched_sum, expected,
+        "{label} p{page_size} @ {}: batched lookups diverged from per-key lookups",
+        profile.name
+    );
+    assert!(
+        pages_batched <= pages_per_key_pass,
+        "{label} p{page_size} @ {}: batched wave read {pages_batched} pages, more than \
+         the {pages_per_key_pass} the per-key pass read",
+        profile.name
+    );
 
     let mean_ns = hist.mean();
     StorageRow {
@@ -333,7 +354,7 @@ fn run_config(
         p50_ns: hist.p50() as f64,
         p99_ns: hist.p99() as f64,
         max_ns: hist.max() as f64,
-        pages_per_lookup: stats.pages_read.load(Ordering::Relaxed) as f64 / keys.len() as f64,
+        pages_per_lookup: pages_per_key_pass as f64 / keys.len() as f64,
         snapshot_bytes: paged.snapshot_bytes(),
         cold_start_ms,
         rebuild_ms,

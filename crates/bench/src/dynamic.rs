@@ -91,6 +91,16 @@ pub struct MixedRunResult {
     /// engine probes per point read, the read fan-out the leveled policy
     /// trades merge work against.
     pub runs: usize,
+    /// Frozen-run probes skipped because the run's filter proved the key
+    /// absent (write-behind leveled policy only).
+    pub filter_skips: u64,
+    /// Mean frozen-run probes per stack lookup after filter pruning —
+    /// the realized read fan-out, vs the `runs + 1` worst case.
+    pub probes_per_lookup: f64,
+    /// Tombstone-density-triggered run rewrites completed.
+    pub density_rewrites: u64,
+    /// Read-amp-triggered early compactions completed.
+    pub early_compactions: u64,
 }
 
 /// Bulk-load `family` and drive the op stream through it, timing both.
@@ -131,6 +141,10 @@ pub fn run_mixed(
         merged_entries: 0,
         compactions: 0,
         runs: 0,
+        filter_skips: 0,
+        probes_per_lookup: 0.0,
+        density_rewrites: 0,
+        early_compactions: 0,
     }
 }
 
@@ -192,6 +206,10 @@ pub fn run_mixed_writebehind(
         merged_entries: engine.merged_entries(),
         compactions: engine.compactions(),
         runs: engine.run_count(),
+        filter_skips: engine.filter_skips(),
+        probes_per_lookup: engine.probes_per_lookup(),
+        density_rewrites: engine.density_rewrites(),
+        early_compactions: engine.early_compactions(),
     })
 }
 
@@ -246,7 +264,7 @@ mod tests {
         let w = generate_mixed(DatasetId::Amzn, 20_000, 6_000, cfg, 42);
         let baseline =
             run_mixed(DynFamily::BPlusTree, &w.label, &w.bulk_keys, &w.bulk_payloads, &w.ops);
-        for policy in [MergePolicy::Flat, MergePolicy::Leveled { fanout: 4, max_levels: 2 }] {
+        for policy in [MergePolicy::Flat, MergePolicy::leveled(4, 2)] {
             let spec = EngineSpec::WriteBehind {
                 shards: 1,
                 inner: Family::BTree.default_spec::<u64>(),

@@ -26,10 +26,10 @@ use sosd_baselines::{BsBuilder, RbsBuilder};
 use sosd_core::serve::FastProbe;
 use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
-    write_snapshot, BlockStore, BuildError, CachedEngine, DynamicOrderedIndex, FileStore, Index,
-    IndexBuilder, Key, MemStore, MergeMode, MergePolicy, PagedData, PagedEngine, ProfiledStore,
-    QueryEngine, RequestScheduler, SchedulerConfig, SearchStrategy, ShardedEngine, SortedData,
-    StaticEngine, StorageProfile, WriteBehindEngine,
+    write_snapshot, BlockStore, BuildError, CachedEngine, DynamicOrderedIndex, FileStore,
+    FilterKind, Index, IndexBuilder, Key, LeveledTuning, MemStore, MergeMode, MergePolicy,
+    PagedData, PagedEngine, ProfiledStore, QueryEngine, RequestScheduler, SchedulerConfig,
+    SearchStrategy, ShardedEngine, SortedData, StaticEngine, StorageProfile, WriteBehindEngine,
 };
 use sosd_fast::FastBuilder;
 use sosd_fiting::FitingTreeBuilder;
@@ -449,10 +449,22 @@ impl EngineSpec {
                 let base = EngineSpec::base_spec(*shards, *inner).label::<K>();
                 match policy {
                     MergePolicy::Flat => format!("wb[{base}+{}@{merge_threshold}]", delta.token()),
-                    MergePolicy::Leveled { fanout, max_levels } => format!(
-                        "wb[{base}+{}@{merge_threshold},lvl{fanout}x{max_levels}]",
-                        delta.token()
-                    ),
+                    MergePolicy::Leveled { fanout, max_levels, tuning } => {
+                        let mut extras = String::new();
+                        if tuning.filter != LeveledTuning::DEFAULT.filter {
+                            extras.push_str(&format!(",{}", tuning.filter.token()));
+                        }
+                        if tuning.rewrite_live_pct != 0 {
+                            extras.push_str(&format!(",rw{}", tuning.rewrite_live_pct));
+                        }
+                        if tuning.read_amp_watermark != 0 {
+                            extras.push_str(&format!(",ra{}", tuning.read_amp_watermark));
+                        }
+                        format!(
+                            "wb[{base}+{}@{merge_threshold},lvl{fanout}x{max_levels}{extras}]",
+                            delta.token()
+                        )
+                    }
                 }
             }
             EngineSpec::Cached { capacity, stripes, negative, inner } => {
@@ -670,10 +682,29 @@ impl Serialize for EngineSpec {
                     MergePolicy::Flat => {
                         params.push(("policy".into(), Value::Str("flat".into())));
                     }
-                    MergePolicy::Leveled { fanout, max_levels } => {
+                    MergePolicy::Leveled { fanout, max_levels, tuning } => {
                         params.push(("policy".into(), Value::Str("leveled".into())));
                         params.push(("fanout".into(), Value::UInt(*fanout as u64)));
                         params.push(("max_levels".into(), Value::UInt(*max_levels as u64)));
+                        // Tuning knobs are emitted only when off-default,
+                        // so pre-filter spec files and their JSON forms
+                        // stay byte-identical (the `negative` precedent).
+                        if tuning.filter != LeveledTuning::DEFAULT.filter {
+                            params
+                                .push(("filter".into(), Value::Str(tuning.filter.token().into())));
+                        }
+                        if tuning.rewrite_live_pct != 0 {
+                            params.push((
+                                "rewrite_live_pct".into(),
+                                Value::UInt(tuning.rewrite_live_pct as u64),
+                            ));
+                        }
+                        if tuning.read_amp_watermark != 0 {
+                            params.push((
+                                "read_amp_watermark".into(),
+                                Value::UInt(tuning.read_amp_watermark as u64),
+                            ));
+                        }
                     }
                 }
                 Value::Object(vec![
@@ -793,9 +824,46 @@ impl Deserialize for EngineSpec {
                                     },
                                 )
                             };
+                            // Tuning knobs are optional with back-compat
+                            // defaults: absent `filter` means Bloom, absent
+                            // trigger knobs mean off — pre-filter specs
+                            // keep their exact semantics.
+                            let filter = match params
+                                .get_field("filter")
+                                .map(|f| {
+                                    f.as_str().ok_or_else(|| {
+                                        serde::Error::custom("`filter` must be a string")
+                                    })
+                                })
+                                .transpose()?
+                            {
+                                None => LeveledTuning::DEFAULT.filter,
+                                Some(token) => FilterKind::from_token(token).ok_or_else(|| {
+                                    serde::Error::custom(format!("unknown filter kind `{token}`"))
+                                })?,
+                            };
+                            let opt_knob = |name: &str| -> Result<u8, serde::Error> {
+                                match params.get_field(name) {
+                                    None => Ok(0),
+                                    Some(val) => val
+                                        .as_u64()
+                                        .filter(|&n| n <= u8::MAX as u64)
+                                        .map(|n| n as u8)
+                                        .ok_or_else(|| {
+                                            serde::Error::custom(format!(
+                                                "`{name}` must be an integer in 0..=255"
+                                            ))
+                                        }),
+                                }
+                            };
                             let policy = MergePolicy::Leveled {
                                 fanout: knob("fanout")? as usize,
                                 max_levels: knob("max_levels")? as usize,
+                                tuning: LeveledTuning {
+                                    filter,
+                                    rewrite_live_pct: opt_knob("rewrite_live_pct")?,
+                                    read_amp_watermark: opt_knob("read_amp_watermark")?,
+                                },
                             };
                             // Validity rules live on MergePolicy itself —
                             // one source of truth with the engine.
@@ -1565,7 +1633,7 @@ mod tests {
                 inner,
                 delta: DeltaKind::BTree,
                 merge_threshold: 256,
-                policy: MergePolicy::Leveled { fanout: 4, max_levels: 3 },
+                policy: MergePolicy::leveled(4, 3),
             },
         ] {
             let json = serde_json::to_string(&spec).unwrap();
@@ -1574,7 +1642,38 @@ mod tests {
             assert!(json.contains("\"family\":\"writebehind\""), "{json}");
             assert!(json.contains("\"merge_threshold\":"), "{json}");
             assert!(json.contains("\"policy\":"), "{json}");
+            // Default tuning stays invisible on the wire so specs written
+            // before per-run filters existed stay byte-identical.
+            assert!(!json.contains("\"filter\""), "{json}");
+            assert!(!json.contains("rewrite_live_pct"), "{json}");
+            assert!(!json.contains("read_amp_watermark"), "{json}");
         }
+        // Non-default leveled tuning round-trips and shows in the label.
+        let tuned = EngineSpec::WriteBehind {
+            shards: 1,
+            inner,
+            delta: DeltaKind::BTree,
+            merge_threshold: 256,
+            policy: MergePolicy::Leveled {
+                fanout: 4,
+                max_levels: 3,
+                tuning: LeveledTuning {
+                    filter: FilterKind::Fence,
+                    rewrite_live_pct: 60,
+                    read_amp_watermark: 3,
+                },
+            },
+        };
+        let json = serde_json::to_string(&tuned).unwrap();
+        assert!(json.contains("\"filter\":\"fence\""), "{json}");
+        assert!(json.contains("\"rewrite_live_pct\":60"), "{json}");
+        assert!(json.contains("\"read_amp_watermark\":3"), "{json}");
+        let back: EngineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tuned, "{json}");
+        let label = tuned.label::<u64>();
+        assert!(label.contains("fence"), "{label}");
+        assert!(label.contains("rw60"), "{label}");
+        assert!(label.contains("ra3"), "{label}");
         // The documented JSON shape parses, with a sharded base nested as a
         // full engine spec; a spec with no `policy` field (written before
         // leveled merges existed) parses as flat.
@@ -1601,6 +1700,9 @@ mod tests {
             "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"nope\"}}",
             "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\"}}",
             "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\",\"fanout\":1,\"max_levels\":2}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\",\"fanout\":4,\"max_levels\":2,\"filter\":\"nope\"}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\",\"fanout\":4,\"max_levels\":2,\"rewrite_live_pct\":101}}",
+            "{\"family\":\"writebehind\",\"params\":{\"inner\":{\"family\":\"BS\",\"params\":{}},\"delta\":\"btree\",\"merge_threshold\":8,\"policy\":\"leveled\",\"fanout\":4,\"max_levels\":2,\"read_amp_watermark\":300}}",
         ] {
             assert!(serde_json::from_str::<EngineSpec>(bad).is_err(), "{bad}");
         }
@@ -1642,7 +1744,7 @@ mod tests {
             inner: Family::Pgm.default_spec::<u64>(),
             delta: DeltaKind::BTree,
             merge_threshold: 100,
-            policy: MergePolicy::Leveled { fanout: 4, max_levels: 2 },
+            policy: MergePolicy::leveled(4, 2),
         };
         assert!(leveled.label::<u64>().contains("lvl4x2"), "{}", leveled.label::<u64>());
         let wb = leveled
@@ -1685,7 +1787,7 @@ mod tests {
                     inner,
                     delta: DeltaKind::BTree,
                     merge_threshold: 512,
-                    policy: MergePolicy::Leveled { fanout: 4, max_levels: 2 },
+                    policy: MergePolicy::leveled(4, 2),
                 }),
             },
         ] {

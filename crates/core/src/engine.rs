@@ -325,11 +325,6 @@ impl<K: Key, I: Index<K>> QueryEngine<K> for StaticEngine<K, I> {
     }
 }
 
-/// Batch width of the paged lookup path: enough windows per page fetch to
-/// amortize the per-batch page sort/dedup, small enough that the slab stays
-/// cache-resident.
-const PAGED_CHUNK: usize = 16;
-
 /// [`QueryEngine`] adapter for the storage world: an in-RAM index model
 /// over a [`PagedData`] snapshot. The last-mile search window is
 /// **page-granular** — a lookup fetches only the key pages its error bound
@@ -521,105 +516,103 @@ impl<K: Key> QueryEngine<K> for PagedEngine<K> {
         self.sum_payloads(start, end)
     }
 
-    /// Batched paged lookups: per chunk, run model inference for every key,
-    /// fetch the union of all windows' key pages in **one** deduplicated
-    /// `read_batch`, resolve every last-mile search against that slab, then
-    /// fetch the union of payload pages in a second batched read. Keys
-    /// whose duplicate group escapes the fetched slab (rare) fall back to
-    /// the single-lookup path.
+    /// Batched paged lookups: run model inference for every key of the
+    /// wave, fetch the union of all windows' key pages in **one**
+    /// deduplicated `fetch_pages` call, resolve every last-mile search
+    /// against that slab, then fetch the union of payload pages in a
+    /// second batched read — two storage round trips per wave, not per
+    /// key or per chunk. Wave size is the caller's batch; the serving
+    /// front end already bounds it. Keys whose duplicate group escapes
+    /// the fetched slab (rare) fall back to the single-lookup path.
     fn get_batch(&self, lookup_keys: &[K], out: &mut Vec<Option<u64>>) {
         let n = self.paged.len();
         out.reserve(lookup_keys.len());
         let mut pages: Vec<usize> = Vec::new();
-        let mut bounds: Vec<SearchBound> = Vec::with_capacity(PAGED_CHUNK);
-        for chunk in lookup_keys.chunks(PAGED_CHUNK) {
-            // Phase 1: inference; collect every window's key pages (plus
-            // the page of the position just past each window, so group
-            // verification at `hi` resolves in-slab).
-            pages.clear();
-            bounds.clear();
-            for &x in chunk {
-                let b = self.clamped_bound(x);
-                self.paged.key_window_pages(b.lo, (b.hi + 1).min(n), &mut pages);
-                bounds.push(b);
+        let mut bounds: Vec<SearchBound> = Vec::with_capacity(lookup_keys.len());
+        // Phase 1: inference; collect every window's key pages (plus
+        // the page of the position just past each window, so group
+        // verification at `hi` resolves in-slab).
+        for &x in lookup_keys {
+            let b = self.clamped_bound(x);
+            self.paged.key_window_pages(b.lo, (b.hi + 1).min(n), &mut pages);
+            bounds.push(b);
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        let slab = self
+            .paged
+            .fetch_pages(std::mem::take(&mut pages))
+            .unwrap_or_else(|e| panic!("paged batch read failed: {e}"));
+        // Phase 2: last-mile search per key against the shared slab;
+        // record each hit's duplicate-group extent.
+        let mut groups: Vec<Option<(usize, usize)>> = Vec::with_capacity(lookup_keys.len());
+        let mut payload_pages: Vec<usize> = Vec::new();
+        for (&x, &b) in lookup_keys.iter().zip(&bounds) {
+            let mut window: Vec<K> = Vec::with_capacity(b.len());
+            for i in b.lo..b.hi {
+                window.push(self.paged.key_in(&slab, i).expect("window page in slab"));
             }
-            pages.sort_unstable();
-            pages.dedup();
-            let slab = self
-                .paged
-                .fetch_pages(std::mem::take(&mut pages))
-                .unwrap_or_else(|e| panic!("paged batch read failed: {e}"));
-            // Phase 2: last-mile search per key against the shared slab;
-            // record each hit's duplicate-group extent.
-            let mut groups: Vec<Option<(usize, usize)>> = Vec::with_capacity(chunk.len());
-            let mut payload_pages: Vec<usize> = Vec::new();
-            for (&x, &b) in chunk.iter().zip(&bounds) {
-                let mut window: Vec<K> = Vec::with_capacity(b.len());
-                for i in b.lo..b.hi {
-                    window.push(self.paged.key_in(&slab, i).expect("window page in slab"));
+            let pos = b.lo + self.strategy.find(&window, x, SearchBound::full(window.len()));
+            // Walk the duplicate group while it stays inside the slab.
+            let mut end = pos;
+            let mut resolved = true;
+            loop {
+                if end >= n {
+                    break;
                 }
-                let pos = b.lo + self.strategy.find(&window, x, SearchBound::full(window.len()));
-                // Walk the duplicate group while it stays inside the slab.
-                let mut end = pos;
-                let mut resolved = true;
-                loop {
-                    if end >= n {
+                match self.paged.key_in(&slab, end) {
+                    Some(k) if k == x => end += 1,
+                    Some(_) => break,
+                    None => {
+                        resolved = false;
                         break;
                     }
-                    match self.paged.key_in(&slab, end) {
-                        Some(k) if k == x => end += 1,
-                        Some(_) => break,
-                        None => {
-                            resolved = false;
-                            break;
-                        }
-                    }
-                }
-                if !resolved {
-                    groups.push(None); // fall back below
-                } else if end == pos {
-                    groups.push(Some((pos, pos))); // absent
-                } else {
-                    payload_pages.push(self.paged.payload_page_of(pos));
-                    payload_pages.push(self.paged.payload_page_of(end - 1));
-                    groups.push(Some((pos, end)));
                 }
             }
-            // Phase 3: one batched payload fetch for every hit.
-            payload_pages.sort_unstable();
-            payload_pages.dedup();
-            // Fill page gaps inside multi-page groups so every group
-            // position resolves (groups are nearly always single-page).
-            let payload_slab = self
-                .paged
-                .fetch_pages(payload_pages)
-                .unwrap_or_else(|e| panic!("paged batch payload read failed: {e}"));
-            for (&x, group) in chunk.iter().zip(&groups) {
-                out.push(match group {
-                    None => self.get(x),
-                    Some((pos, end)) if pos == end => None,
-                    Some((pos, end)) => {
-                        let mut sum = 0u64;
-                        let mut in_slab = true;
-                        for i in *pos..*end {
-                            match self.paged.payload_in(&payload_slab, i) {
-                                Some(p) => sum = sum.wrapping_add(p),
-                                None => {
-                                    in_slab = false;
-                                    break;
-                                }
+            if !resolved {
+                groups.push(None); // fall back below
+            } else if end == pos {
+                groups.push(Some((pos, pos))); // absent
+            } else {
+                payload_pages.push(self.paged.payload_page_of(pos));
+                payload_pages.push(self.paged.payload_page_of(end - 1));
+                groups.push(Some((pos, end)));
+            }
+        }
+        // Phase 3: one batched payload fetch for every hit.
+        payload_pages.sort_unstable();
+        payload_pages.dedup();
+        // Fill page gaps inside multi-page groups so every group
+        // position resolves (groups are nearly always single-page).
+        let payload_slab = self
+            .paged
+            .fetch_pages(payload_pages)
+            .unwrap_or_else(|e| panic!("paged batch payload read failed: {e}"));
+        for (&x, group) in lookup_keys.iter().zip(&groups) {
+            out.push(match group {
+                None => self.get(x),
+                Some((pos, end)) if pos == end => None,
+                Some((pos, end)) => {
+                    let mut sum = 0u64;
+                    let mut in_slab = true;
+                    for i in *pos..*end {
+                        match self.paged.payload_in(&payload_slab, i) {
+                            Some(p) => sum = sum.wrapping_add(p),
+                            None => {
+                                in_slab = false;
+                                break;
                             }
                         }
-                        if in_slab {
-                            Some(sum)
-                        } else {
-                            // A wide group spanning unfetched interior
-                            // pages: resolve it alone.
-                            Some(self.sum_payloads(*pos, *end))
-                        }
                     }
-                });
-            }
+                    if in_slab {
+                        Some(sum)
+                    } else {
+                        // A wide group spanning unfetched interior
+                        // pages: resolve it alone.
+                        Some(self.sum_payloads(*pos, *end))
+                    }
+                }
+            });
         }
     }
 }

@@ -1,0 +1,490 @@
+//! Per-run membership filters for the write-behind run stack.
+//!
+//! A leveled stack pays one engine probe per run on negative or cold keys:
+//! key-range pruning cannot reject a point probe that lands inside every
+//! run's fence range. The filters here answer "might this run contain the
+//! key?" in a handful of cache-line touches, letting the read path skip
+//! runs that provably lack the key. Two designs are selectable per
+//! [`crate::writebehind::MergePolicy`]:
+//!
+//! * [`BlockedBloom`] — a blocked Bloom filter. One 64-byte block per
+//!   ~51 keys (~10 bits/key), all probe bits of a key land in a single
+//!   block, so a negative query costs one cache line. False-positive
+//!   rate is ~1% at the default sizing.
+//! * [`FenceBits`] — a bit array over equi-width buckets of the run's
+//!   key span. Cheaper to build and byte-addressable, but degrades on
+//!   skewed key spans; useful when keys are densely clustered.
+//!
+//! Both are *approximate* on the positive side and *exact* on the
+//! negative side: `may_contain` may return `true` for an absent key
+//! (false positive, costs one wasted probe) but never returns `false`
+//! for a present key (a false negative would silently drop data).
+//! Filters index every key frozen into the run **including tombstones**:
+//! a probe must still find the tombstone so it can shadow older tiers.
+//!
+//! Filters are derived state, like learned models: rebuildable from the
+//! run's key column at any time, and persisted in the spool snapshot as
+//! an optional checksummed section purely so cold re-opens skip the
+//! rebuild.
+
+/// Which per-run filter a leveled policy builds at freeze time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FilterKind {
+    /// No filter: every in-range probe hits the run's engine.
+    None,
+    /// Blocked Bloom filter (default): ~10 bits/key, one cache line per query.
+    #[default]
+    Bloom,
+    /// Fence-bit array: equi-width bucket occupancy bits over the key span.
+    Fence,
+}
+
+impl FilterKind {
+    /// Stable token used in registry JSON and snapshot headers.
+    pub fn token(self) -> &'static str {
+        match self {
+            FilterKind::None => "none",
+            FilterKind::Bloom => "bloom",
+            FilterKind::Fence => "fence",
+        }
+    }
+
+    /// Inverse of [`FilterKind::token`].
+    pub fn from_token(tok: &str) -> Option<FilterKind> {
+        match tok {
+            "none" => Some(FilterKind::None),
+            "bloom" => Some(FilterKind::Bloom),
+            "fence" => Some(FilterKind::Fence),
+            _ => None,
+        }
+    }
+
+    /// Numeric code stored in the snapshot header's FILTER_KIND field.
+    pub fn code(self) -> u32 {
+        match self {
+            FilterKind::None => 0,
+            FilterKind::Bloom => 1,
+            FilterKind::Fence => 2,
+        }
+    }
+
+    /// Inverse of [`FilterKind::code`].
+    pub fn from_code(code: u32) -> Option<FilterKind> {
+        match code {
+            0 => Some(FilterKind::None),
+            1 => Some(FilterKind::Bloom),
+            2 => Some(FilterKind::Fence),
+            _ => None,
+        }
+    }
+}
+
+/// 64-byte Bloom block: 512 bits, all probe bits of a key land in one
+/// 64-bit word of it.
+const BLOCK_WORDS: usize = 8;
+const BLOCK_BITS: u64 = (BLOCK_WORDS * 64) as u64;
+/// Probe bits per key, all set in a single word of the block so a
+/// membership test is one load and one mask compare.
+const BLOOM_PROBES: usize = 3;
+/// Filter sizing: bits budgeted per indexed key.
+const BLOOM_BITS_PER_KEY: usize = 10;
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fast-range block selection: maps a full-width hash onto `0..n_blocks`
+/// with one widening multiply — no per-probe integer division.
+#[inline]
+fn block_of(h: u64, n_blocks: usize) -> usize {
+    (((h as u128) * (n_blocks as u128)) >> 64) as usize
+}
+
+/// The word-within-block index and [`BLOOM_PROBES`]-bit probe mask for
+/// one key, derived from non-overlapping windows of a second hash.
+#[inline]
+fn probe_word_mask(h: u64) -> (usize, u64) {
+    let bits = splitmix64(h);
+    let word = (bits & (BLOCK_WORDS as u64 - 1)) as usize;
+    let mut mask = 0u64;
+    for i in 0..BLOOM_PROBES {
+        mask |= 1u64 << ((bits >> (3 + 6 * i)) & 63);
+    }
+    (word, mask)
+}
+
+/// One lookup key's precomputed filter probe. The hash work depends only
+/// on the key, not the filter — an N-run stack consults N filters per
+/// lookup, and sharing the probe makes that one hash, not N. A Bloom
+/// consult against a prepared probe is one fast-range multiply, one
+/// word load, and one mask compare.
+#[derive(Debug, Clone, Copy)]
+pub struct FilterProbe {
+    key: u64,
+    h: u64,
+    word: usize,
+    mask: u64,
+}
+
+impl FilterProbe {
+    /// Hash `key` once for any number of filter consultations.
+    #[inline]
+    pub fn new(key: u64) -> FilterProbe {
+        let h = splitmix64(key);
+        let (word, mask) = probe_word_mask(h);
+        FilterProbe { key, h, word, mask }
+    }
+}
+
+/// Blocked Bloom filter over `u64` key images.
+///
+/// One hash picks a block (fast-range multiply); a second picks one
+/// 64-bit word of it and a [`BLOOM_PROBES`]-bit mask inside that word.
+/// Construction is a single pass over the key column; a membership test
+/// is one cache-line touch, one load, and one mask compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedBloom {
+    blocks: Vec<[u64; BLOCK_WORDS]>,
+}
+
+impl BlockedBloom {
+    /// Build from an iterator of key images; one pass, no sorting required.
+    pub fn build(keys: impl Iterator<Item = u64>, n_hint: usize) -> BlockedBloom {
+        let n_blocks = (n_hint.max(1) * BLOOM_BITS_PER_KEY).div_ceil(BLOCK_BITS as usize).max(1);
+        let mut blocks = vec![[0u64; BLOCK_WORDS]; n_blocks];
+        for key in keys {
+            let h = splitmix64(key);
+            let (word, mask) = probe_word_mask(h);
+            blocks[block_of(h, n_blocks)][word] |= mask;
+        }
+        BlockedBloom { blocks }
+    }
+
+    /// `false` means the key is definitely absent from the indexed set.
+    #[inline]
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.may_contain_probe(&FilterProbe::new(key))
+    }
+
+    /// [`BlockedBloom::may_contain`] with the hash work already done.
+    #[inline]
+    pub fn may_contain_probe(&self, p: &FilterProbe) -> bool {
+        self.blocks[block_of(p.h, self.blocks.len())][p.word] & p.mask == p.mask
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.blocks.len() * 64);
+        out.extend_from_slice(&(self.blocks.len() as u64).to_le_bytes());
+        for block in &self.blocks {
+            for word in block {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<BlockedBloom> {
+        let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        if n == 0 || bytes.len() != 8 + n * BLOCK_WORDS * 8 {
+            return None;
+        }
+        let mut blocks = vec![[0u64; BLOCK_WORDS]; n];
+        for (i, chunk) in bytes[8..].chunks_exact(8).enumerate() {
+            blocks[i / BLOCK_WORDS][i % BLOCK_WORDS] = u64::from_le_bytes(chunk.try_into().ok()?);
+        }
+        Some(BlockedBloom { blocks })
+    }
+}
+
+/// Default fence-bit resolution: buckets per indexed key.
+const FENCE_BITS_PER_KEY: usize = 4;
+
+/// Fence-bit array: one occupancy bit per equi-width bucket of the run's
+/// `[min, max]` key span. A key maps to `(key - min) * n / span`; an unset
+/// bucket proves no key of the run lands there. Unlike a Bloom filter it
+/// can also answer *range* emptiness (`may_contain_from`), which lets
+/// `lower_bound` skip runs whose tail past the probe is provably empty.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FenceBits {
+    min: u64,
+    max: u64,
+    n_buckets: u64,
+    words: Vec<u64>,
+}
+
+impl FenceBits {
+    /// Build from key images; `min`/`max` must bound every key.
+    pub fn build(keys: impl Iterator<Item = u64>, n_hint: usize) -> FenceBits {
+        let keys: Vec<u64> = keys.collect();
+        let (min, max) = keys.iter().fold((u64::MAX, 0u64), |(lo, hi), &k| (lo.min(k), hi.max(k)));
+        let (min, max) = if keys.is_empty() { (0, 0) } else { (min, max) };
+        let n_buckets = (n_hint.max(1) * FENCE_BITS_PER_KEY).max(1) as u64;
+        let mut fence =
+            FenceBits { min, max, n_buckets, words: vec![0u64; (n_buckets as usize).div_ceil(64)] };
+        for &k in &keys {
+            let b = fence.bucket(k);
+            fence.words[(b / 64) as usize] |= 1u64 << (b % 64);
+        }
+        fence
+    }
+
+    fn bucket(&self, key: u64) -> u64 {
+        let span = (self.max - self.min) as u128 + 1;
+        let off = (key - self.min) as u128;
+        ((off * self.n_buckets as u128 / span) as u64).min(self.n_buckets - 1)
+    }
+
+    /// `false` means the key is definitely absent from the indexed set.
+    #[inline]
+    pub fn may_contain(&self, key: u64) -> bool {
+        if key < self.min || key > self.max {
+            return false;
+        }
+        let b = self.bucket(key);
+        self.words[(b / 64) as usize] & (1u64 << (b % 64)) != 0
+    }
+
+    /// `false` means no indexed key is `>= lo` — sound pruning for
+    /// `lower_bound` probes.
+    pub fn may_contain_from(&self, lo: u64) -> bool {
+        if lo <= self.min {
+            return true;
+        }
+        if lo > self.max {
+            return false;
+        }
+        let start = self.bucket(lo);
+        let mut w = (start / 64) as usize;
+        let mut mask = !0u64 << (start % 64);
+        while w < self.words.len() {
+            if self.words[w] & mask != 0 {
+                return true;
+            }
+            mask = !0u64;
+            w += 1;
+        }
+        false
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.words.len() * 8);
+        out.extend_from_slice(&self.min.to_le_bytes());
+        out.extend_from_slice(&self.max.to_le_bytes());
+        out.extend_from_slice(&self.n_buckets.to_le_bytes());
+        for word in &self.words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<FenceBits> {
+        let min = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?);
+        let max = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?);
+        let n_buckets = u64::from_le_bytes(bytes.get(16..24)?.try_into().ok()?);
+        let n_words = (n_buckets as usize).div_ceil(64);
+        if n_buckets == 0 || min > max || bytes.len() != 24 + n_words * 8 {
+            return None;
+        }
+        let mut words = vec![0u64; n_words];
+        for (i, chunk) in bytes[24..].chunks_exact(8).enumerate() {
+            words[i] = u64::from_le_bytes(chunk.try_into().ok()?);
+        }
+        Some(FenceBits { min, max, n_buckets, words })
+    }
+}
+
+/// A built per-run filter of whichever kind the policy selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunFilter {
+    /// Pass-through: admits every key (policy opted out of filtering).
+    None,
+    Bloom(BlockedBloom),
+    Fence(FenceBits),
+}
+
+impl RunFilter {
+    /// Build a filter of `kind` over the key images of one frozen run.
+    /// Tombstoned keys must be included by the caller.
+    pub fn build(kind: FilterKind, keys: impl Iterator<Item = u64>, n: usize) -> RunFilter {
+        match kind {
+            FilterKind::None => RunFilter::None,
+            FilterKind::Bloom => RunFilter::Bloom(BlockedBloom::build(keys, n)),
+            FilterKind::Fence => RunFilter::Fence(FenceBits::build(keys, n)),
+        }
+    }
+
+    /// Which kind this filter is (for snapshot headers).
+    pub fn kind(&self) -> FilterKind {
+        match self {
+            RunFilter::None => FilterKind::None,
+            RunFilter::Bloom(_) => FilterKind::Bloom,
+            RunFilter::Fence(_) => FilterKind::Fence,
+        }
+    }
+
+    /// `false` proves the key is absent; `true` means "probe the run".
+    #[inline]
+    pub fn may_contain(&self, key: u64) -> bool {
+        self.may_contain_probe(&FilterProbe::new(key))
+    }
+
+    /// [`RunFilter::may_contain`] against a precomputed [`FilterProbe`] —
+    /// the read loops hash each lookup key once and consult every run's
+    /// filter with the same probe.
+    #[inline]
+    pub fn may_contain_probe(&self, p: &FilterProbe) -> bool {
+        match self {
+            RunFilter::None => true,
+            RunFilter::Bloom(b) => b.may_contain_probe(p),
+            RunFilter::Fence(f) => f.may_contain(p.key),
+        }
+    }
+
+    /// `false` proves no key `>= lo` exists. Only fence filters can
+    /// answer this; Bloom filters conservatively admit the probe.
+    #[inline]
+    pub fn may_contain_from(&self, lo: u64) -> bool {
+        match self {
+            RunFilter::Fence(f) => f.may_contain_from(lo),
+            _ => true,
+        }
+    }
+
+    /// Serialized payload for the snapshot's optional filter section.
+    /// [`RunFilter::None`] has no payload and is not persisted.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            RunFilter::None => Vec::new(),
+            RunFilter::Bloom(b) => b.to_bytes(),
+            RunFilter::Fence(f) => f.to_bytes(),
+        }
+    }
+
+    /// Inverse of [`RunFilter::to_bytes`]; `None` on a malformed payload.
+    pub fn from_bytes(kind: FilterKind, bytes: &[u8]) -> Option<RunFilter> {
+        match kind {
+            FilterKind::None => Some(RunFilter::None),
+            FilterKind::Bloom => BlockedBloom::from_bytes(bytes).map(RunFilter::Bloom),
+            FilterKind::Fence => FenceBits::from_bytes(bytes).map(RunFilter::Fence),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_keys(n: u64) -> Vec<u64> {
+        (0..n).map(|i| i.wrapping_mul(2654435761) % (n * 16)).collect()
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let keys = sample_keys(5_000);
+        let f = BlockedBloom::build(keys.iter().copied(), keys.len());
+        for &k in &keys {
+            assert!(f.may_contain(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_low() {
+        let keys = sample_keys(5_000);
+        let f = BlockedBloom::build(keys.iter().copied(), keys.len());
+        let present: std::collections::HashSet<u64> = keys.iter().copied().collect();
+        let mut fp = 0usize;
+        let mut probes = 0usize;
+        for i in 0..50_000u64 {
+            let k = 1_000_000_000 + i * 7;
+            if present.contains(&k) {
+                continue;
+            }
+            probes += 1;
+            if f.may_contain(k) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.05, "bloom FP rate {rate} too high");
+    }
+
+    #[test]
+    fn fence_has_no_false_negatives_and_prunes_gaps() {
+        let keys: Vec<u64> = (0..1_000u64).map(|i| i * 1_000).collect();
+        let f = FenceBits::build(keys.iter().copied(), keys.len());
+        for &k in &keys {
+            assert!(f.may_contain(k), "false negative for {k}");
+        }
+        // Out-of-span probes are always rejected.
+        assert!(!f.may_contain(keys.last().unwrap() + 1));
+        // Range form: nothing at or past max+1, everything from 0.
+        assert!(!f.may_contain_from(keys.last().unwrap() + 1));
+        assert!(f.may_contain_from(0));
+        assert!(f.may_contain_from(*keys.last().unwrap()));
+    }
+
+    #[test]
+    fn fence_range_probe_matches_exhaustive_scan() {
+        let keys: Vec<u64> = vec![10, 11, 500, 501, 90_000];
+        let f = FenceBits::build(keys.iter().copied(), keys.len());
+        for lo in [0u64, 9, 10, 12, 499, 502, 89_999, 90_000, 90_001] {
+            let truth = keys.iter().any(|&k| k >= lo);
+            if !truth {
+                assert!(!f.may_contain_from(lo), "fence admitted empty tail from {lo}");
+            } else {
+                // The filter may conservatively admit, but must never
+                // reject a non-empty tail.
+                assert!(f.may_contain_from(lo), "fence rejected non-empty tail from {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn filters_round_trip_through_bytes() {
+        let keys = sample_keys(2_000);
+        for kind in [FilterKind::Bloom, FilterKind::Fence] {
+            let f = RunFilter::build(kind, keys.iter().copied(), keys.len());
+            let bytes = f.to_bytes();
+            let back = RunFilter::from_bytes(kind, &bytes).expect("round trip");
+            assert_eq!(f, back, "{kind:?} did not round-trip");
+        }
+        assert_eq!(RunFilter::from_bytes(FilterKind::None, &[]), Some(RunFilter::None));
+    }
+
+    #[test]
+    fn malformed_filter_bytes_are_rejected() {
+        let keys = sample_keys(100);
+        for kind in [FilterKind::Bloom, FilterKind::Fence] {
+            let mut bytes = RunFilter::build(kind, keys.iter().copied(), keys.len()).to_bytes();
+            bytes.pop();
+            assert!(RunFilter::from_bytes(kind, &bytes).is_none(), "{kind:?} truncated");
+            assert!(RunFilter::from_bytes(kind, &[]).is_none(), "{kind:?} empty");
+        }
+    }
+
+    #[test]
+    fn kind_tokens_and_codes_round_trip() {
+        for kind in [FilterKind::None, FilterKind::Bloom, FilterKind::Fence] {
+            assert_eq!(FilterKind::from_token(kind.token()), Some(kind));
+            assert_eq!(FilterKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(FilterKind::from_token("weird"), None);
+        assert_eq!(FilterKind::from_code(9), None);
+    }
+
+    #[test]
+    fn single_key_and_empty_edge_cases() {
+        let one = RunFilter::build(FilterKind::Fence, std::iter::once(42), 1);
+        assert!(one.may_contain(42));
+        assert!(!one.may_contain(43));
+        assert!(one.may_contain_from(42));
+        assert!(!one.may_contain_from(43));
+        let bloom_one = RunFilter::build(FilterKind::Bloom, std::iter::once(42), 1);
+        assert!(bloom_one.may_contain(42));
+    }
+}

@@ -58,6 +58,7 @@ pub mod data;
 pub mod dynamic;
 pub mod engine;
 pub mod error;
+pub mod filter;
 pub mod hist;
 pub mod index;
 pub mod key;
@@ -80,6 +81,7 @@ pub use data::{DataBacking, SortedData};
 pub use dynamic::{BulkLoad, DynamicOrderedIndex, Op};
 pub use engine::{DynamicEngine, PagedEngine, QueryEngine, StaticEngine};
 pub use error::{BuildError, DataError};
+pub use filter::{FilterKind, RunFilter};
 pub use hist::LatencyHistogram;
 pub use index::{Capabilities, Index, IndexKind};
 pub use key::Key;
@@ -87,8 +89,8 @@ pub use search::{LastMileSearch, SearchStrategy};
 pub use serve::{RequestScheduler, RequestShed, Response, SchedulerConfig, SchedulerStats};
 pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
 pub use store::{
-    write_snapshot, BlockStore, FileStore, MemStore, PagedData, ProfiledStore, StorageProfile,
-    StoreError, StoreStats, DEFAULT_PAGE_SIZE,
+    write_snapshot, write_snapshot_with_filter, BlockStore, FileStore, MemStore, PagedData,
+    ProfiledStore, StorageProfile, StoreError, StoreStats, DEFAULT_PAGE_SIZE,
 };
 pub use trace::{CountingTracer, NullTracer, Tracer};
-pub use writebehind::{MergeMode, MergePolicy, WriteBehindEngine};
+pub use writebehind::{LeveledTuning, MergeMode, MergePolicy, WriteBehindEngine};

@@ -533,6 +533,11 @@ impl<S: BlockStore> BlockStore for ProfiledStore<S> {
 
 /// Header flag: the snapshot carries a dead-key (tombstone) section.
 const FLAG_HAS_DEAD: u32 = 1;
+/// Header flag: the snapshot carries an optional run-filter section after
+/// the dead-key pages. Snapshots written before filters existed have the
+/// flag (and every filter header field) zeroed, so version 1 readers of
+/// either vintage agree on the layout.
+const FLAG_HAS_FILTER: u32 = 2;
 
 /// Byte offsets of the fixed header fields within page 0's body.
 mod hdr {
@@ -548,6 +553,10 @@ mod hdr {
     pub const DEAD_PAGES: usize = 56;
     pub const MIN_KEY: usize = 64;
     pub const MAX_KEY: usize = 72;
+    /// Filter section fields; all zero when FLAG_HAS_FILTER is unset.
+    pub const FILTER_KIND: usize = 80;
+    pub const N_FILTER_BYTES: usize = 88;
+    pub const FILTER_PAGES: usize = 96;
 }
 
 fn put_u32(buf: &mut [u8], off: usize, v: u32) {
@@ -576,10 +585,19 @@ struct Layout {
     key_pages: usize,
     payload_pages: usize,
     dead_pages: usize,
+    /// Serialized run-filter bytes (0 when the snapshot carries none).
+    n_filter_bytes: usize,
+    filter_pages: usize,
 }
 
 impl Layout {
-    fn new(page_size: usize, key_bytes: usize, n: usize, n_dead: usize) -> Layout {
+    fn new(
+        page_size: usize,
+        key_bytes: usize,
+        n: usize,
+        n_dead: usize,
+        n_filter_bytes: usize,
+    ) -> Layout {
         let usable = page_size - PAGE_TRAILER;
         let keys_per_page = usable / key_bytes;
         let payloads_per_page = usable / 8;
@@ -594,6 +612,8 @@ impl Layout {
             key_pages: n.div_ceil(keys_per_page),
             payload_pages: n.div_ceil(payloads_per_page),
             dead_pages: n_dead.div_ceil(keys_per_page),
+            n_filter_bytes,
+            filter_pages: n_filter_bytes.div_ceil(usable),
         }
     }
 
@@ -609,9 +629,13 @@ impl Layout {
     fn dead_start(&self) -> usize {
         1 + self.key_pages + self.payload_pages
     }
+    /// First filter page (the filter section is always last).
+    fn filter_start(&self) -> usize {
+        1 + self.key_pages + self.payload_pages + self.dead_pages
+    }
     /// Total pages, header included.
     fn total_pages(&self) -> usize {
-        1 + self.key_pages + self.payload_pages + self.dead_pages
+        1 + self.key_pages + self.payload_pages + self.dead_pages + self.filter_pages
     }
 }
 
@@ -655,18 +679,41 @@ pub fn write_snapshot<K: Key>(
     data: &SortedData<K>,
     dead: &[K],
 ) -> Result<u64, StoreError> {
+    write_snapshot_with_filter(store, data, dead, None)
+}
+
+/// [`write_snapshot`] plus an optional run-filter section: `(kind_code,
+/// payload)` as produced by `sosd_core::filter`. The section is appended
+/// after the dead-key pages, paged and checksummed like every other
+/// section, so a flipped bit in a persisted filter surfaces as
+/// [`StoreError::Corrupt`] — never as a silently wrong membership answer.
+pub fn write_snapshot_with_filter<K: Key>(
+    store: &mut dyn BlockStore,
+    data: &SortedData<K>,
+    dead: &[K],
+    filter: Option<(u32, &[u8])>,
+) -> Result<u64, StoreError> {
     let page_size = store.page_size();
     validate_page_size(page_size)?;
     let key_bytes = (K::BITS / 8) as usize;
-    let layout = Layout::new(page_size, key_bytes, data.len(), dead.len());
+    let filter = filter.filter(|(_, bytes)| !bytes.is_empty());
+    let n_filter_bytes = filter.map_or(0, |(_, bytes)| bytes.len());
+    let layout = Layout::new(page_size, key_bytes, data.len(), dead.len(), n_filter_bytes);
 
     // Header.
+    let mut flags = 0u32;
+    if !dead.is_empty() {
+        flags |= FLAG_HAS_DEAD;
+    }
+    if filter.is_some() {
+        flags |= FLAG_HAS_FILTER;
+    }
     let mut page_buf = vec![0u8; page_size];
     put_u64(&mut page_buf, hdr::MAGIC, SNAPSHOT_MAGIC);
     put_u32(&mut page_buf, hdr::VERSION, SNAPSHOT_VERSION);
     put_u32(&mut page_buf, hdr::PAGE_SIZE, page_size as u32);
     put_u32(&mut page_buf, hdr::KEY_BITS, K::BITS);
-    put_u32(&mut page_buf, hdr::FLAGS, if dead.is_empty() { 0 } else { FLAG_HAS_DEAD });
+    put_u32(&mut page_buf, hdr::FLAGS, flags);
     put_u64(&mut page_buf, hdr::N_ENTRIES, data.len() as u64);
     put_u64(&mut page_buf, hdr::N_DEAD, dead.len() as u64);
     put_u64(&mut page_buf, hdr::KEY_PAGES, layout.key_pages as u64);
@@ -674,6 +721,11 @@ pub fn write_snapshot<K: Key>(
     put_u64(&mut page_buf, hdr::DEAD_PAGES, layout.dead_pages as u64);
     put_u64(&mut page_buf, hdr::MIN_KEY, data.min_key().to_u64());
     put_u64(&mut page_buf, hdr::MAX_KEY, data.max_key().to_u64());
+    if let Some((kind, bytes)) = filter {
+        put_u32(&mut page_buf, hdr::FILTER_KIND, kind);
+        put_u64(&mut page_buf, hdr::N_FILTER_BYTES, bytes.len() as u64);
+        put_u64(&mut page_buf, hdr::FILTER_PAGES, layout.filter_pages as u64);
+    }
     let sum = page_checksum(&page_buf[..layout.usable], 0);
     put_u64(&mut page_buf, layout.usable, sum);
     store.write_page(0, &page_buf)?;
@@ -685,6 +737,9 @@ pub fn write_snapshot<K: Key>(
     write_section(store, &layout, layout.dead_start(), dead.len(), key_bytes, |i| {
         dead[i].to_u64()
     })?;
+    if let Some((_, bytes)) = filter {
+        write_section(store, &layout, layout.filter_start(), bytes.len(), 1, |i| bytes[i] as u64)?;
+    }
     store.flush()?;
     Ok((layout.total_pages() * page_size) as u64)
 }
@@ -735,6 +790,8 @@ pub struct PagedData<K: Key> {
     min_key: K,
     max_key: K,
     has_dead: bool,
+    /// Kind code of the optional filter section (`None` without one).
+    filter_kind: Option<u32>,
 }
 
 impl<K: Key> fmt::Debug for PagedData<K> {
@@ -788,7 +845,17 @@ impl<K: Key> PagedData<K> {
         if n == 0 {
             return Err(StoreError::Corrupt { page: 0, detail: "snapshot holds 0 entries".into() });
         }
-        let layout = Layout::new(page_size, (K::BITS / 8) as usize, n, n_dead);
+        let flags = get_u32(&page_buf, hdr::FLAGS);
+        let has_filter = flags & FLAG_HAS_FILTER != 0;
+        let n_filter_bytes =
+            if has_filter { get_u64(&page_buf, hdr::N_FILTER_BYTES) as usize } else { 0 };
+        if has_filter && n_filter_bytes == 0 {
+            return Err(StoreError::Corrupt {
+                page: 0,
+                detail: "filter flag set but filter section is empty".into(),
+            });
+        }
+        let layout = Layout::new(page_size, (K::BITS / 8) as usize, n, n_dead, n_filter_bytes);
         let declared = (
             get_u64(&page_buf, hdr::KEY_PAGES) as usize,
             get_u64(&page_buf, hdr::PAYLOAD_PAGES) as usize,
@@ -802,19 +869,29 @@ impl<K: Key> PagedData<K> {
                 ),
             });
         }
+        let declared_filter_pages = get_u64(&page_buf, hdr::FILTER_PAGES) as usize;
+        if declared_filter_pages != layout.filter_pages {
+            return Err(StoreError::Corrupt {
+                page: 0,
+                detail: format!(
+                    "filter extent {declared_filter_pages} disagrees with \
+                     {n_filter_bytes} filter bytes"
+                ),
+            });
+        }
         if store.page_count() < layout.total_pages() {
             return Err(StoreError::OutOfBounds {
                 page: layout.total_pages() - 1,
                 pages: store.page_count(),
             });
         }
-        let flags = get_u32(&page_buf, hdr::FLAGS);
         Ok(PagedData {
             store,
             layout,
             min_key: K::from_u64(get_u64(&page_buf, hdr::MIN_KEY)),
             max_key: K::from_u64(get_u64(&page_buf, hdr::MAX_KEY)),
             has_dead: flags & FLAG_HAS_DEAD != 0,
+            filter_kind: has_filter.then(|| get_u32(&page_buf, hdr::FILTER_KIND)),
         })
     }
 
@@ -987,6 +1064,33 @@ impl<K: Key> PagedData<K> {
     /// empty list").
     pub fn has_dead_section(&self) -> bool {
         self.has_dead
+    }
+
+    /// True when the snapshot carries a persisted run-filter section.
+    pub fn has_filter_section(&self) -> bool {
+        self.filter_kind.is_some()
+    }
+
+    /// The optional run-filter section: `(kind_code, payload)` as written
+    /// by [`write_snapshot_with_filter`], or `None` when the snapshot has
+    /// none (e.g. written before filters existed, or a base snapshot).
+    /// Every filter page is checksum-validated on the way through, so a
+    /// corrupted filter surfaces as [`StoreError::Corrupt`] here instead
+    /// of as a wrong membership answer later.
+    pub fn read_filter(&self) -> Result<Option<(u32, Vec<u8>)>, StoreError> {
+        let Some(kind) = self.filter_kind else {
+            return Ok(None);
+        };
+        let first = self.layout.filter_start();
+        let last = first + self.layout.filter_pages - 1;
+        let slab = self.fetch_pages((first..=last).collect())?;
+        let mut bytes = Vec::with_capacity(self.layout.n_filter_bytes);
+        for page in first..=last {
+            let body = slab.body(page).expect("filter page fetched");
+            let take = (self.layout.n_filter_bytes - bytes.len()).min(body.len());
+            bytes.extend_from_slice(&body[..take]);
+        }
+        Ok(Some((kind, bytes)))
     }
 }
 

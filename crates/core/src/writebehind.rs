@@ -87,8 +87,9 @@ use crate::data::SortedData;
 use crate::dynamic::DynamicOrderedIndex;
 use crate::engine::QueryEngine;
 use crate::error::BuildError;
+use crate::filter::{FilterKind, FilterProbe, RunFilter};
 use crate::key::Key;
-use crate::store::{write_snapshot, FileStore, PagedData, StorageProfile, StoreError};
+use crate::store::{write_snapshot_with_filter, FileStore, PagedData, StorageProfile, StoreError};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -131,31 +132,90 @@ pub enum MergePolicy {
     /// reaching `fanout` runs is compacted into one run at the next level;
     /// the bottom level (`max_levels - 1`) folds into the base instead.
     /// Bounded merge work per cycle, at the cost of read fan-out (up to
-    /// `fanout * max_levels` run probes before the base answers).
+    /// `fanout * max_levels` run probes before the base answers — per-run
+    /// filters claw most of that back on negative and cold keys).
     Leveled {
         /// Runs a level holds before compaction (>= 2).
         fanout: usize,
         /// Number of run levels above the base (>= 1).
         max_levels: usize,
+        /// Filter and compaction-trigger knobs (defaults are back-compat:
+        /// Bloom filters on, both triggers off).
+        tuning: LeveledTuning,
     },
 }
 
+/// Tuning knobs for [`MergePolicy::Leveled`] beyond its shape: which
+/// per-run filter is built at freeze time, and the two adaptive compaction
+/// triggers (tombstone-density rewrites, read-amp early compaction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeveledTuning {
+    /// Per-run membership filter built at freeze/compaction time and
+    /// consulted before any run probe on point reads.
+    pub filter: FilterKind,
+    /// Tombstone-density rewrite trigger: a run whose live fraction (the
+    /// percentage of non-tombstone entries) drops below this is rewritten
+    /// in place at the end of a merge cycle, dropping shadowed entries and
+    /// dead tombstones early. `0` disables the trigger.
+    pub rewrite_live_pct: u8,
+    /// Read-amp trigger: when the windowed average of run probes per stack
+    /// lookup exceeds this watermark, the fullest level is compacted early
+    /// (before it reaches `fanout`). `0` disables the trigger.
+    pub read_amp_watermark: u8,
+}
+
+impl LeveledTuning {
+    /// Back-compat defaults: Bloom filters on (filters never change
+    /// results, only skip provably fruitless probes), both triggers off.
+    pub const DEFAULT: LeveledTuning =
+        LeveledTuning { filter: FilterKind::Bloom, rewrite_live_pct: 0, read_amp_watermark: 0 };
+}
+
+impl Default for LeveledTuning {
+    fn default() -> Self {
+        LeveledTuning::DEFAULT
+    }
+}
+
 impl MergePolicy {
+    /// Leveled policy with default tuning — the common construction.
+    pub const fn leveled(fanout: usize, max_levels: usize) -> MergePolicy {
+        MergePolicy::Leveled { fanout, max_levels, tuning: LeveledTuning::DEFAULT }
+    }
+
+    /// The tuning knobs when leveled; defaults otherwise (a flat stack has
+    /// no runs to filter or rewrite).
+    pub fn tuning(self) -> LeveledTuning {
+        match self {
+            MergePolicy::Leveled { tuning, .. } => tuning,
+            MergePolicy::Flat => LeveledTuning::DEFAULT,
+        }
+    }
+
     /// Validate the policy's parameters — the single definition of what a
     /// well-formed policy is, shared by [`WriteBehindEngine::with_policy`]
     /// and the bench registry's spec deserializer.
     pub fn validate(self) -> Result<(), BuildError> {
-        if let MergePolicy::Leveled { fanout, max_levels } = self {
+        if let MergePolicy::Leveled { fanout, max_levels, tuning } = self {
             if fanout < 2 {
                 return Err(BuildError::InvalidConfig("leveled fanout must be >= 2".into()));
             }
             if max_levels == 0 {
                 return Err(BuildError::InvalidConfig("leveled max_levels must be >= 1".into()));
             }
+            if tuning.rewrite_live_pct > 100 {
+                return Err(BuildError::InvalidConfig(
+                    "leveled rewrite_live_pct must be <= 100".into(),
+                ));
+            }
         }
         Ok(())
     }
 }
+
+/// Point lookups between read-amp trigger evaluations: the trigger fires
+/// on a windowed probes-per-lookup average, not a single unlucky batch.
+const READ_AMP_WINDOW: u64 = 256;
 
 /// One shadow entry: `Some(payload)` overwrites the key's older records,
 /// `None` (a tombstone) hides them.
@@ -242,24 +302,61 @@ struct Run<K: Key> {
     data: Arc<SortedData<K>>,
     /// Sorted keys of this run that are tombstones.
     dead_keys: Vec<K>,
+    /// Membership filter over every key of the run, tombstones included
+    /// (a probe must still find the tombstone so it can shadow older
+    /// tiers). Consulted before any engine probe on point reads; may
+    /// admit an absent key (one wasted probe) but never rejects a
+    /// present one.
+    filter: RunFilter,
+    /// Cached key bounds (`data.min_key()`, `data.max_key()`): `prunes`
+    /// runs once per run on every stack lookup, and reading the bounds
+    /// off the run struct itself avoids two pointer chases into the key
+    /// column.
+    min_key: K,
+    max_key: K,
     /// Snapshot file name inside the spool directory (`Some` exactly when
     /// the engine runs with a [`WriteBehindEngine::with_spool`] spool).
     file: Option<String>,
 }
 
 impl<K: Key> Run<K> {
-    /// Build a run from sorted shadow entries (non-empty, unique keys).
-    fn build(entries: &[Shadow<K>], factory: &BaseFactory<K>) -> Result<Run<K>, BuildError> {
+    /// Build a run from sorted shadow entries (non-empty, unique keys);
+    /// the filter is built in the same pass over the key column.
+    fn build(
+        entries: &[Shadow<K>],
+        factory: &BaseFactory<K>,
+        filter_kind: FilterKind,
+    ) -> Result<Run<K>, BuildError> {
         let keys: Vec<K> = entries.iter().map(|e| e.0).collect();
         let payloads: Vec<u64> = entries.iter().map(|e| e.1.unwrap_or(0)).collect();
         let dead_keys: Vec<K> = entries.iter().filter(|e| e.1.is_none()).map(|e| e.0).collect();
+        let filter = RunFilter::build(filter_kind, keys.iter().map(|k| k.to_u64()), keys.len());
         let data = Arc::new(SortedData::with_payloads(keys, payloads).map_err(BuildError::Data)?);
         let engine = factory(Arc::clone(&data))?;
-        Ok(Run { engine, data, dead_keys, file: None })
+        let (min_key, max_key) = (data.min_key(), data.max_key());
+        Ok(Run { engine, data, dead_keys, filter, min_key, max_key, file: None })
     }
 
     fn len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Live (non-tombstone) entries in this run.
+    fn live_len(&self) -> usize {
+        self.data.len() - self.dead_keys.len()
+    }
+
+    /// Filter check: `false` proves the key is not in this run.
+    #[inline]
+    fn filter_admits(&self, key: K) -> bool {
+        self.filter.may_contain(key.to_u64())
+    }
+
+    /// [`Run::filter_admits`] with the lookup key's hash work already
+    /// done — stack read loops hash each key once, not once per run.
+    #[inline]
+    fn filter_admits_probe(&self, probe: &FilterProbe) -> bool {
+        self.filter.may_contain_probe(probe)
     }
 
     #[inline]
@@ -270,15 +367,14 @@ impl<K: Key> Run<K> {
     /// Key-range prune: true when `key` cannot be in this run.
     #[inline]
     fn prunes(&self, key: K) -> bool {
-        key < self.data.min_key() || key > self.data.max_key()
+        key < self.min_key || key > self.max_key
     }
 
     /// Shadow state of `key`, probed through the run's engine (the learned
-    /// read path), or `None` when the run says nothing about it.
-    fn probe(&self, key: K) -> Option<Option<u64>> {
-        if self.prunes(key) {
-            return None;
-        }
+    /// read path), or `None` when the run says nothing about it. The
+    /// caller has already range-pruned and filter-checked the probe — the
+    /// read loops do both explicitly so skipped probes can be counted.
+    fn probe_unpruned(&self, key: K) -> Option<Option<u64>> {
         let v = self.engine.get(key)?;
         Some((!self.is_dead(key)).then_some(v))
     }
@@ -345,6 +441,12 @@ struct Generation<K: Key> {
     /// `levels[0]` holds the newest runs; within a level, index 0 is the
     /// newest run.
     levels: Vec<Vec<Arc<Run<K>>>>,
+    /// Dense point-read index over the stack, newest first: each run's
+    /// fence bounds and a clone of its filter, laid out contiguously so
+    /// the hot read loop scans one flat array and touches a run's own
+    /// allocation only after fence and filter both admit the probe.
+    /// Derived from `levels` at construction; generations are immutable.
+    probe_runs: Vec<ProbeEntry<K>>,
     base: SharedBase<K>,
     data: Arc<SortedData<K>>,
     /// Monotone generation counter (0 = the initial build).
@@ -355,7 +457,37 @@ struct Generation<K: Key> {
     base_file: Option<Arc<str>>,
 }
 
+/// One run's entry in [`Generation::probe_runs`].
+struct ProbeEntry<K: Key> {
+    min_key: K,
+    max_key: K,
+    filter: RunFilter,
+    run: Arc<Run<K>>,
+}
+
 impl<K: Key> Generation<K> {
+    /// Assemble a generation, deriving the dense probe index from the
+    /// run stack.
+    fn new(
+        levels: Vec<Vec<Arc<Run<K>>>>,
+        base: SharedBase<K>,
+        data: Arc<SortedData<K>>,
+        epoch: u64,
+        base_file: Option<Arc<str>>,
+    ) -> Generation<K> {
+        let probe_runs = levels
+            .iter()
+            .flatten()
+            .map(|run| ProbeEntry {
+                min_key: run.min_key,
+                max_key: run.max_key,
+                filter: run.filter.clone(),
+                run: Arc::clone(run),
+            })
+            .collect();
+        Generation { levels, probe_runs, base, data, epoch, base_file }
+    }
+
     /// Runs in shadowing order: newest first.
     fn runs_newest_first(&self) -> impl Iterator<Item = &Arc<Run<K>>> {
         self.levels.iter().flatten()
@@ -363,7 +495,7 @@ impl<K: Key> Generation<K> {
 
     /// Total runs across all levels.
     fn run_count(&self) -> usize {
-        self.levels.iter().map(Vec::len).sum()
+        self.probe_runs.len()
     }
 }
 
@@ -426,6 +558,14 @@ fn merge_newer_over_older<K: Key, V: Copy>(newer: &[(K, V)], older: &[(K, V)]) -
 /// than `base` can still hold their keys. Returns `None` when tombstones
 /// deleted every record — an empty `SortedData` is not representable, so
 /// callers must keep the tombstones shadowing instead.
+/// One binary search: does the base data array hold `key` at all? Used by
+/// the density-rewrite trigger to decide whether a tombstone still shadows
+/// anything (the write path's group-sum probe is overkill there).
+fn base_has_key<K: Key>(data: &SortedData<K>, key: K) -> bool {
+    let pos = data.lower_bound(key);
+    pos < data.len() && data.key(pos) == key
+}
+
 fn merge_shadows_over_base<K: Key>(
     base: &SortedData<K>,
     shadows: &[Shadow<K>],
@@ -480,24 +620,35 @@ impl Spool {
         format!("{prefix}-{}.snap", self.next_id.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// Serialize `data` (+ tombstoned keys) into a fresh snapshot file.
+    /// Serialize `data` (+ tombstoned keys + optional run filter) into a
+    /// fresh snapshot file.
     fn write_data<K: Key>(
         &self,
         name: &str,
         data: &SortedData<K>,
         dead: &[K],
+        filter: Option<&RunFilter>,
     ) -> Result<(), StoreError> {
         let mut store = FileStore::create(&self.dir.join(name), self.page_size)?;
-        write_snapshot(&mut store, data, dead)?;
+        let filter_bytes = filter.map(|f| (f.kind().code(), f.to_bytes()));
+        let filter_section =
+            filter_bytes.as_ref().filter(|(_, b)| !b.is_empty()).map(|(c, b)| (*c, b.as_slice()));
+        write_snapshot_with_filter(&mut store, data, dead, filter_section)?;
         crate::store::BlockStore::flush(&mut store)
     }
 
     /// Persist on the merge path. A failed persist panics: the caller asked
     /// for durability, and silently continuing would hand a later cold
     /// re-open a manifest that lies about what survived.
-    fn persist<K: Key>(&self, prefix: &str, data: &SortedData<K>, dead: &[K]) -> String {
+    fn persist<K: Key>(
+        &self,
+        prefix: &str,
+        data: &SortedData<K>,
+        dead: &[K],
+        filter: Option<&RunFilter>,
+    ) -> String {
         let name = self.next_name(prefix);
-        if let Err(e) = self.write_data(&name, data, dead) {
+        if let Err(e) = self.write_data(&name, data, dead, filter) {
             panic!("[writebehind] spool persist of {name} failed: {e}");
         }
         name
@@ -560,6 +711,24 @@ struct Shared<K: Key> {
     failed_merges: AtomicU64,
     /// Compaction steps completed (level folds and base folds).
     compactions: AtomicU64,
+    /// Of those, compactions forced early by the read-amp watermark.
+    early_compactions: AtomicU64,
+    /// Tombstone-density-triggered in-place run rewrites completed.
+    density_rewrites: AtomicU64,
+    /// Point lookups (`get` / `get_batch` keys) that consulted a non-empty
+    /// run stack — the denominator of probes-per-lookup.
+    stack_lookups: AtomicU64,
+    /// Run engine probes actually performed by those lookups (after range
+    /// pruning and filters) — the read-amplification numerator.
+    stack_probes: AtomicU64,
+    /// Run probes skipped because the run's filter proved the key absent
+    /// (range-pruned probes are not counted; they were never candidates).
+    filter_skips: AtomicU64,
+    /// Counter snapshots at the last read-amp evaluation, so the trigger
+    /// measures probes-per-lookup over the most recent window instead of
+    /// a sticky since-construction average.
+    read_amp_probes_mark: AtomicU64,
+    read_amp_lookups_mark: AtomicU64,
     /// Total entries written into new immutable structures by merges and
     /// compactions — the merge write volume; `merged_entries / merges` is
     /// the per-cycle merged volume the leveled policy bounds.
@@ -612,7 +781,11 @@ impl<K: Key> Shared<K> {
                 None => {}
             }
         }
+        let fprobe = FilterProbe::new(key.to_u64());
         for run in st.generation.runs_newest_first() {
+            if !run.filter_admits_probe(&fprobe) {
+                continue; // filter-proven absent; skip the binary search
+            }
             match run.probe_in_data(key) {
                 Some(Some(v)) => return DeeperState::Value(v),
                 Some(None) => return DeeperState::Tombstone,
@@ -655,8 +828,8 @@ impl<K: Key> Shared<K> {
         let snapshot = frozen.drain_sorted();
         match self.policy {
             MergePolicy::Flat => self.merge_flat(&generation, &snapshot),
-            MergePolicy::Leveled { fanout, max_levels } => {
-                self.merge_leveled(&generation, &snapshot, fanout, max_levels)
+            MergePolicy::Leveled { fanout, max_levels, tuning } => {
+                self.merge_leveled(&generation, &snapshot, fanout, max_levels, tuning)
             }
         }
     }
@@ -681,14 +854,14 @@ impl<K: Key> Shared<K> {
                 let base_file = self
                     .spool
                     .as_ref()
-                    .map(|s| Arc::from(s.persist("base", &merged, &[]).as_str()));
-                let next = Arc::new(Generation {
-                    levels: Vec::new(),
-                    base: Arc::new(engine),
-                    data: merged,
-                    epoch: generation.epoch + 1,
+                    .map(|s| Arc::from(s.persist("base", &merged, &[], None).as_str()));
+                let next = Arc::new(Generation::new(
+                    Vec::new(),
+                    Arc::new(engine),
+                    merged,
+                    generation.epoch + 1,
                     base_file,
-                });
+                ));
                 // The O(1) swap: install the merged generation and clear
                 // the frozen tier in one critical section, so no reader can
                 // observe the drained entries in neither tier. The visible
@@ -712,35 +885,39 @@ impl<K: Key> Shared<K> {
     }
 
     /// Leveled policy: freeze the snapshot into a level-0 run, then run
-    /// bounded compactions while any level overflows.
+    /// bounded compactions while any level overflows, then rewrite any
+    /// run whose tombstone density crossed the policy's threshold.
     fn merge_leveled(
         &self,
         generation: &Arc<Generation<K>>,
         snapshot: &[Shadow<K>],
         fanout: usize,
         max_levels: usize,
+        tuning: LeveledTuning,
     ) {
-        match Run::build(snapshot, &self.base_factory) {
+        match Run::build(snapshot, &self.base_factory, tuning.filter) {
             Ok(mut run) => {
                 self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
-                // Freeze time is the durability boundary: the run hits the
-                // spool (tombstones serialized in its dead-key section)
-                // before any reader can see the new generation.
+                // Freeze time is the durability boundary: the run (and its
+                // filter) hits the spool (tombstones serialized in its
+                // dead-key section) before any reader can see the new
+                // generation.
                 if let Some(spool) = &self.spool {
-                    run.file = Some(spool.persist("run", &run.data, &run.dead_keys));
+                    run.file =
+                        Some(spool.persist("run", &run.data, &run.dead_keys, Some(&run.filter)));
                 }
                 let mut levels = generation.levels.clone();
                 if levels.is_empty() {
                     levels.push(Vec::new());
                 }
                 levels[0].insert(0, Arc::new(run));
-                let next = Arc::new(Generation {
+                let next = Arc::new(Generation::new(
                     levels,
-                    base: Arc::clone(&generation.base),
-                    data: Arc::clone(&generation.data),
-                    epoch: generation.epoch + 1,
-                    base_file: generation.base_file.clone(),
-                });
+                    Arc::clone(&generation.base),
+                    Arc::clone(&generation.data),
+                    generation.epoch + 1,
+                    generation.base_file.clone(),
+                ));
                 let mut st = self.state.write().expect("writebehind state lock");
                 st.generation = Arc::clone(&next);
                 st.frozen = None;
@@ -749,7 +926,10 @@ impl<K: Key> Shared<K> {
                 if let Some(spool) = &self.spool {
                     spool.commit(&next);
                 }
-                self.compact(fanout, max_levels);
+                self.compact(fanout, max_levels, tuning.filter);
+                if tuning.rewrite_live_pct > 0 {
+                    self.rewrite_dense_tombstone_runs(tuning);
+                }
             }
             Err(e) => {
                 self.rollback(snapshot);
@@ -765,7 +945,7 @@ impl<K: Key> Shared<K> {
     /// where tombstones are finally dropped. Runs are immutable and only
     /// the merge thread replaces generations, so each step builds outside
     /// the lock and publishes with one O(1) swap.
-    fn compact(&self, fanout: usize, max_levels: usize) {
+    fn compact(&self, fanout: usize, max_levels: usize, filter_kind: FilterKind) {
         loop {
             let generation = {
                 let st = self.state.read().expect("writebehind state lock");
@@ -774,6 +954,23 @@ impl<K: Key> Shared<K> {
             let Some(level) = generation.levels.iter().position(|l| l.len() >= fanout) else {
                 return;
             };
+            if !self.compact_level(&generation, level, max_levels, filter_kind) {
+                return;
+            }
+        }
+    }
+
+    /// One compaction step: fold `level`'s runs (newest wins) into one run
+    /// at the next level — or, at the bottom, into the base. Returns false
+    /// when the build failed (the level is retained; retry next cycle).
+    fn compact_level(
+        &self,
+        generation: &Arc<Generation<K>>,
+        level: usize,
+        max_levels: usize,
+        filter_kind: FilterKind,
+    ) -> bool {
+        {
             let mut merged: Vec<Shadow<K>> = Vec::new();
             for run in &generation.levels[level] {
                 merged = merge_newer_over_older(&merged, &run.all_entries());
@@ -784,22 +981,27 @@ impl<K: Key> Shared<K> {
                 // Fold into a single run one level down; tombstones are
                 // preserved — older levels and the base may still hold
                 // their keys.
-                Run::build(&merged, &self.base_factory).map(|mut run| {
+                Run::build(&merged, &self.base_factory, filter_kind).map(|mut run| {
                     self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
                     if let Some(spool) = &self.spool {
-                        run.file = Some(spool.persist("run", &run.data, &run.dead_keys));
+                        run.file = Some(spool.persist(
+                            "run",
+                            &run.data,
+                            &run.dead_keys,
+                            Some(&run.filter),
+                        ));
                     }
                     while levels.len() <= level + 1 {
                         levels.push(Vec::new());
                     }
                     levels[level + 1].insert(0, Arc::new(run));
-                    Generation {
+                    Generation::new(
                         levels,
-                        base: Arc::clone(&generation.base),
-                        data: Arc::clone(&generation.data),
-                        epoch: generation.epoch + 1,
-                        base_file: generation.base_file.clone(),
-                    }
+                        Arc::clone(&generation.base),
+                        Arc::clone(&generation.data),
+                        generation.epoch + 1,
+                        generation.base_file.clone(),
+                    )
                 })
             } else {
                 // Bottom level: fold into the base. Nothing older than the
@@ -815,33 +1017,38 @@ impl<K: Key> Shared<K> {
                         let base_file = self
                             .spool
                             .as_ref()
-                            .map(|s| Arc::from(s.persist("base", &data, &[]).as_str()));
-                        Generation {
+                            .map(|s| Arc::from(s.persist("base", &data, &[], None).as_str()));
+                        Generation::new(
                             levels,
-                            base: Arc::new(base),
+                            Arc::new(base),
                             data,
-                            epoch: generation.epoch + 1,
+                            generation.epoch + 1,
                             base_file,
-                        }
+                        )
                     })
                 } else {
                     // Everything tombstoned away: an empty base is not
                     // representable, so keep the bottom level as one
                     // all-shadowing run instead (run count drops below the
                     // fanout, so this terminates).
-                    Run::build(&merged, &self.base_factory).map(|mut run| {
+                    Run::build(&merged, &self.base_factory, filter_kind).map(|mut run| {
                         self.merged_entries.fetch_add(run.len() as u64, Ordering::Relaxed);
                         if let Some(spool) = &self.spool {
-                            run.file = Some(spool.persist("run", &run.data, &run.dead_keys));
+                            run.file = Some(spool.persist(
+                                "run",
+                                &run.data,
+                                &run.dead_keys,
+                                Some(&run.filter),
+                            ));
                         }
                         levels[level] = vec![Arc::new(run)];
-                        Generation {
+                        Generation::new(
                             levels,
-                            base: Arc::clone(&generation.base),
-                            data: Arc::clone(&generation.data),
-                            epoch: generation.epoch + 1,
-                            base_file: generation.base_file.clone(),
-                        }
+                            Arc::clone(&generation.base),
+                            Arc::clone(&generation.data),
+                            generation.epoch + 1,
+                            generation.base_file.clone(),
+                        )
                     })
                 }
             };
@@ -855,15 +1062,136 @@ impl<K: Key> Shared<K> {
                     if let Some(spool) = &self.spool {
                         spool.commit(&next);
                     }
+                    true
                 }
                 Err(e) => {
                     // Nothing was lost (the overflowing level is intact);
                     // retry at the next merge cycle.
                     self.failed_merges.fetch_add(1, Ordering::Relaxed);
                     eprintln!("[writebehind] compaction build failed, level retained: {e}");
-                    return;
+                    false
                 }
             }
+        }
+    }
+
+    /// Tombstone-density trigger: rewrite, in place, every run whose live
+    /// fraction dropped below `tuning.rewrite_live_pct` percent. The
+    /// rewrite drops entries shadowed by *newer frozen runs* (invisible
+    /// already — but never entries shadowed only by the volatile delta,
+    /// which has not crossed the durability boundary yet) and tombstones
+    /// whose key exists in no older run and not in the base (they shadow
+    /// nothing, so the tombstone-drop rule is satisfied early). The
+    /// visible mapping is unchanged by construction, so readers just see
+    /// a smaller run behind the same O(1) generation swap.
+    fn rewrite_dense_tombstone_runs(&self, tuning: LeveledTuning) {
+        let generation = {
+            let st = self.state.read().expect("writebehind state lock");
+            Arc::clone(&st.generation)
+        };
+        let mut levels: Vec<Vec<Option<Arc<Run<K>>>>> = generation
+            .levels
+            .iter()
+            .map(|level| level.iter().cloned().map(Some).collect())
+            .collect();
+        let flat: Vec<Arc<Run<K>>> = generation.runs_newest_first().cloned().collect();
+        let mut rewrote = false;
+        let mut position = 0usize; // index into `flat`, newest first
+        for (li, level) in levels.iter_mut().enumerate() {
+            for (ri, slot) in level.iter_mut().enumerate() {
+                let idx = position;
+                position += 1;
+                let run = &generation.levels[li][ri];
+                if run.len() == 0
+                    || run.live_len() * 100 >= tuning.rewrite_live_pct as usize * run.len()
+                {
+                    continue;
+                }
+                let newer = &flat[..idx];
+                let older = &flat[idx + 1..];
+                let mut kept: Vec<Shadow<K>> = Vec::with_capacity(run.len());
+                for (k, v) in run.all_entries() {
+                    let shadowed = newer.iter().any(|r| r.probe_in_data(k).is_some());
+                    if shadowed {
+                        continue; // a newer frozen run already answers for k
+                    }
+                    if v.is_none() {
+                        let covers_something = older.iter().any(|r| r.probe_in_data(k).is_some())
+                            || base_has_key(&generation.data, k);
+                        if !covers_something {
+                            continue; // dead tombstone: nothing left to hide
+                        }
+                    }
+                    kept.push((k, v));
+                }
+                if kept.len() == run.len() {
+                    continue; // nothing droppable; avoid a no-op rebuild
+                }
+                if kept.is_empty() {
+                    *slot = None; // whole run was shadow noise
+                    rewrote = true;
+                    continue;
+                }
+                match Run::build(&kept, &self.base_factory, tuning.filter) {
+                    Ok(mut new_run) => {
+                        self.merged_entries.fetch_add(new_run.len() as u64, Ordering::Relaxed);
+                        if let Some(spool) = &self.spool {
+                            new_run.file = Some(spool.persist(
+                                "run",
+                                &new_run.data,
+                                &new_run.dead_keys,
+                                Some(&new_run.filter),
+                            ));
+                        }
+                        *slot = Some(Arc::new(new_run));
+                        rewrote = true;
+                    }
+                    Err(e) => {
+                        self.failed_merges.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("[writebehind] density rewrite failed, run retained: {e}");
+                    }
+                }
+            }
+        }
+        if !rewrote {
+            return;
+        }
+        let next = Arc::new(Generation::new(
+            levels.into_iter().map(|level| level.into_iter().flatten().collect()).collect(),
+            Arc::clone(&generation.base),
+            Arc::clone(&generation.data),
+            generation.epoch + 1,
+            generation.base_file.clone(),
+        ));
+        let mut st = self.state.write().expect("writebehind state lock");
+        st.generation = Arc::clone(&next);
+        drop(st);
+        self.density_rewrites.fetch_add(1, Ordering::Relaxed);
+        if let Some(spool) = &self.spool {
+            spool.commit(&next);
+        }
+    }
+
+    /// One read-amp-forced compaction step. Caller must have won the
+    /// `merging` flag; folds the fullest level (at least two runs) down
+    /// the stack even though it has not reached its fanout yet.
+    fn run_early_compaction(&self, max_levels: usize, filter_kind: FilterKind) {
+        let _flag = MergeFlagGuard(&self.merging);
+        let generation = {
+            let st = self.state.read().expect("writebehind state lock");
+            Arc::clone(&st.generation)
+        };
+        let Some((level, _)) = generation
+            .levels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.len() >= 2)
+            .max_by_key(|(_, l)| l.len())
+        else {
+            return; // one run per level at most: fan-out is already minimal
+        };
+        if self.compact_level(&generation, level, max_levels, filter_kind) {
+            self.early_compactions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -970,13 +1298,7 @@ impl<K: Key> WriteBehindEngine<K> {
         }
         policy.validate()?;
         let engine = Arc::new((base_factory)(Arc::clone(&data))?);
-        let generation = Arc::new(Generation {
-            levels: Vec::new(),
-            base: engine,
-            data,
-            epoch: 0,
-            base_file: None,
-        });
+        let generation = Arc::new(Generation::new(Vec::new(), engine, data, 0, None));
         Ok(Self::assemble(
             generation,
             base_factory,
@@ -1019,17 +1341,17 @@ impl<K: Key> WriteBehindEngine<K> {
             .map_err(|e| BuildError::Unbuildable(format!("spool dir {}: {e}", dir.display())))?;
         let spool = Spool { dir: dir.to_path_buf(), page_size, next_id: AtomicU64::new(0) };
         let base_name = spool.next_name("base");
-        spool.write_data(&base_name, &data, &[]).map_err(|e| {
+        spool.write_data(&base_name, &data, &[], None).map_err(|e| {
             BuildError::Unbuildable(format!("spool base snapshot {base_name}: {e}"))
         })?;
         let engine = Arc::new((base_factory)(Arc::clone(&data))?);
-        let generation = Arc::new(Generation {
-            levels: Vec::new(),
-            base: engine,
+        let generation = Arc::new(Generation::new(
+            Vec::new(),
+            engine,
             data,
-            epoch: 0,
-            base_file: Some(Arc::from(base_name.as_str())),
-        });
+            0,
+            Some(Arc::from(base_name.as_str())),
+        ));
         spool.commit(&generation);
         Ok(Self::assemble(
             generation,
@@ -1107,12 +1429,17 @@ impl<K: Key> WriteBehindEngine<K> {
                     .into(),
             ));
         }
-        let load = |name: &String| -> Result<(SortedData<K>, Vec<K>), BuildError> {
-            PagedData::<K>::open_file(&dir.join(name), StorageProfile::RAM)
-                .and_then(|paged| paged.load())
-                .map_err(|e| BuildError::Unbuildable(format!("spool snapshot {name}: {e}")))
+        type Loaded<K> = (SortedData<K>, Vec<K>, Option<(u32, Vec<u8>)>);
+        let load = |name: &String| -> Result<Loaded<K>, BuildError> {
+            let snap_err =
+                |e: StoreError| BuildError::Unbuildable(format!("spool snapshot {name}: {e}"));
+            let paged = PagedData::<K>::open_file(&dir.join(name), StorageProfile::RAM)
+                .map_err(snap_err)?;
+            let (data, dead) = paged.load().map_err(snap_err)?;
+            let filter = paged.read_filter().map_err(snap_err)?;
+            Ok((data, dead, filter))
         };
-        let (base_data, base_dead) = load(&base_name)?;
+        let (base_data, base_dead, _) = load(&base_name)?;
         if !base_dead.is_empty() {
             return Err(bad(format!(
                 "base snapshot {base_name} carries {} tombstones; tombstones are never \
@@ -1126,10 +1453,37 @@ impl<K: Key> WriteBehindEngine<K> {
         for files in &level_files {
             let mut level = Vec::with_capacity(files.len());
             for file in files {
-                let (data, dead_keys) = load(file)?;
+                let (data, dead_keys, stored_filter) = load(file)?;
                 let data = Arc::new(data);
                 let engine = (base_factory)(Arc::clone(&data))?;
-                level.push(Arc::new(Run { engine, data, dead_keys, file: Some(file.clone()) }));
+                // Filters are derived state: deserialize the persisted one
+                // when the snapshot carries it, rebuild from the key column
+                // otherwise (spools written before filters existed).
+                let filter = match stored_filter {
+                    Some((code, bytes)) => {
+                        let kind = FilterKind::from_code(code).ok_or_else(|| {
+                            bad(format!("snapshot {file}: unknown filter kind {code}"))
+                        })?;
+                        RunFilter::from_bytes(kind, &bytes).ok_or_else(|| {
+                            bad(format!("snapshot {file}: malformed {} filter", kind.token()))
+                        })?
+                    }
+                    None => RunFilter::build(
+                        policy.tuning().filter,
+                        data.keys().iter().map(|k| k.to_u64()),
+                        data.len(),
+                    ),
+                };
+                let (min_key, max_key) = (data.min_key(), data.max_key());
+                level.push(Arc::new(Run {
+                    engine,
+                    data,
+                    dead_keys,
+                    filter,
+                    min_key,
+                    max_key,
+                    file: Some(file.clone()),
+                }));
             }
             levels.push(level);
         }
@@ -1150,13 +1504,13 @@ impl<K: Key> WriteBehindEngine<K> {
             .filter_map(|name| name.split_once('-')?.1.strip_suffix(".snap")?.parse::<u64>().ok())
             .max()
             .map_or(0, |id| id + 1);
-        let generation = Arc::new(Generation {
+        let generation = Arc::new(Generation::new(
             levels,
             base,
-            data: base_data,
+            base_data,
             epoch,
-            base_file: Some(Arc::from(base_name.as_str())),
-        });
+            Some(Arc::from(base_name.as_str())),
+        ));
         let spool = Spool { dir: dir.to_path_buf(), page_size, next_id: AtomicU64::new(next_id) };
         let engine = Self::assemble(
             generation,
@@ -1194,6 +1548,13 @@ impl<K: Key> WriteBehindEngine<K> {
                 merges: AtomicU64::new(0),
                 failed_merges: AtomicU64::new(0),
                 compactions: AtomicU64::new(0),
+                early_compactions: AtomicU64::new(0),
+                density_rewrites: AtomicU64::new(0),
+                stack_lookups: AtomicU64::new(0),
+                stack_probes: AtomicU64::new(0),
+                filter_skips: AtomicU64::new(0),
+                read_amp_probes_mark: AtomicU64::new(0),
+                read_amp_lookups_mark: AtomicU64::new(0),
                 merged_entries: AtomicU64::new(0),
                 spool,
                 visible_len: AtomicUsize::new(visible),
@@ -1329,6 +1690,129 @@ impl<K: Key> WriteBehindEngine<K> {
     /// Compaction steps completed (always 0 under [`MergePolicy::Flat`]).
     pub fn compactions(&self) -> u64 {
         self.shared.compactions.load(Ordering::Relaxed)
+    }
+
+    /// Compactions forced early by the read-amp watermark — a subset of
+    /// [`WriteBehindEngine::compactions`].
+    pub fn early_compactions(&self) -> u64 {
+        self.shared.early_compactions.load(Ordering::Relaxed)
+    }
+
+    /// Tombstone-density-triggered in-place run rewrites completed.
+    pub fn density_rewrites(&self) -> u64 {
+        self.shared.density_rewrites.load(Ordering::Relaxed)
+    }
+
+    /// Point lookups (`get` and `get_batch` keys missing the delta) that
+    /// consulted a non-empty run stack.
+    pub fn stack_lookups(&self) -> u64 {
+        self.shared.stack_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Run engine probes those lookups performed, after range pruning and
+    /// filter checks — the read-amplification numerator.
+    pub fn stack_probes(&self) -> u64 {
+        self.shared.stack_probes.load(Ordering::Relaxed)
+    }
+
+    /// Run probes skipped because a per-run filter proved the key absent.
+    pub fn filter_skips(&self) -> u64 {
+        self.shared.filter_skips.load(Ordering::Relaxed)
+    }
+
+    /// Average run probes per stack lookup since construction (0.0 before
+    /// the first stack lookup) — the read-amp figure ext07 tracks.
+    pub fn probes_per_lookup(&self) -> f64 {
+        let lookups = self.shared.stack_lookups.load(Ordering::Relaxed);
+        if lookups == 0 {
+            0.0
+        } else {
+            self.shared.stack_probes.load(Ordering::Relaxed) as f64 / lookups as f64
+        }
+    }
+
+    /// For every run (newest first): `(admits, present)` — does the run's
+    /// filter (after range pruning) admit `key`, and does the run's data
+    /// actually contain it (tombstones count as present)? A filter may
+    /// admit an absent key (false positive, one wasted probe) but must
+    /// never reject a present one; test harnesses assert
+    /// `present implies admits` over deleted and never-inserted keys.
+    pub fn run_filter_audit(&self, key: K) -> Vec<(bool, bool)> {
+        let generation = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            Arc::clone(&st.generation)
+        };
+        generation
+            .runs_newest_first()
+            .map(|run| {
+                let admits = !run.prunes(key) && run.filter_admits(key);
+                let present = run.probe_in_data(key).is_some();
+                (admits, present)
+            })
+            .collect()
+    }
+
+    /// Record run-stack observability for `lookups` point lookups and,
+    /// when the policy arms a read-amp watermark, evaluate the windowed
+    /// probes-per-lookup average once per [`READ_AMP_WINDOW`] lookups.
+    fn note_stack_lookups(&self, lookups: u64, probes: u64, skips: u64) {
+        let shared = &self.shared;
+        if probes != 0 {
+            shared.stack_probes.fetch_add(probes, Ordering::Relaxed);
+        }
+        if skips != 0 {
+            shared.filter_skips.fetch_add(skips, Ordering::Relaxed);
+        }
+        let before = shared.stack_lookups.fetch_add(lookups, Ordering::Relaxed);
+        let MergePolicy::Leveled { tuning, .. } = shared.policy else {
+            return;
+        };
+        let watermark = tuning.read_amp_watermark as u64;
+        if watermark == 0 || before / READ_AMP_WINDOW == (before + lookups) / READ_AMP_WINDOW {
+            return;
+        }
+        let total_probes = shared.stack_probes.load(Ordering::Relaxed);
+        let total_lookups = shared.stack_lookups.load(Ordering::Relaxed);
+        // Saturating: a racing evaluator may have advanced a mark past the
+        // totals this thread read; the window is then simply empty here.
+        let d_probes = total_probes
+            .saturating_sub(shared.read_amp_probes_mark.swap(total_probes, Ordering::Relaxed));
+        let d_lookups = total_lookups
+            .saturating_sub(shared.read_amp_lookups_mark.swap(total_lookups, Ordering::Relaxed));
+        if d_lookups == 0 || d_probes <= watermark * d_lookups {
+            return;
+        }
+        self.early_compact();
+    }
+
+    /// Read-amp trigger: win the merge flag and fold the fullest level
+    /// early. Respects the engine's [`MergeMode`]; a merge already in
+    /// flight wins the race and will reduce fan-out itself.
+    fn early_compact(&self) {
+        let MergePolicy::Leveled { max_levels, tuning, .. } = self.shared.policy else {
+            return;
+        };
+        if self
+            .shared
+            .merging
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        match self.mode {
+            MergeMode::Sync => self.shared.run_early_compaction(max_levels, tuning.filter),
+            MergeMode::Background => {
+                let mut slot = self.worker.lock().expect("worker slot");
+                if let Some(handle) = slot.take() {
+                    let _ = handle.join();
+                }
+                let shared = Arc::clone(&self.shared);
+                *slot = Some(std::thread::spawn(move || {
+                    shared.run_early_compaction(max_levels, tuning.filter)
+                }));
+            }
+        }
     }
 
     /// Total entries written into new immutable structures by merges and
@@ -1471,9 +1955,9 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
 
     /// Delta first (the newest shadow entry wins: a value answers, a
     /// tombstone answers `None`), then each run newest-to-oldest (skipping
-    /// runs whose key range prunes the probe), then the snapshotted base
-    /// generation — everything below the delta probed outside the state
-    /// lock.
+    /// runs whose key range prunes the probe or whose filter proves the
+    /// key absent), then the snapshotted base generation — everything
+    /// below the delta probed outside the state lock.
     fn get(&self, key: K) -> Option<u64> {
         let generation = {
             let st = self.shared.state.read().expect("writebehind state lock");
@@ -1482,12 +1966,31 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
             }
             Arc::clone(&st.generation)
         };
-        for run in generation.runs_newest_first() {
-            if let Some(state) = run.probe(key) {
-                return state;
+        let mut hit = None;
+        if !generation.probe_runs.is_empty() {
+            let mut probes = 0u64;
+            let mut skips = 0u64;
+            let fprobe = FilterProbe::new(key.to_u64());
+            for entry in &generation.probe_runs {
+                if key < entry.min_key || key > entry.max_key {
+                    continue;
+                }
+                if !entry.filter.may_contain_probe(&fprobe) {
+                    skips += 1;
+                    continue;
+                }
+                probes += 1;
+                if let Some(state) = entry.run.probe_unpruned(key) {
+                    hit = Some(state);
+                    break;
+                }
             }
+            self.note_stack_lookups(1, probes, skips);
         }
-        generation.base.get(key)
+        match hit {
+            Some(state) => state,
+            None => generation.base.get(key),
+        }
     }
 
     /// Smallest visible entry `>= key`. Candidates are gathered from every
@@ -1514,8 +2017,14 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
             // Fold in run candidates newest-to-oldest, then the base; an
             // earlier (newer) candidate wins key ties, so `best` is always
             // the newest shadow state of the smallest candidate key.
-            for run in generation.runs_newest_first() {
-                if let Some(cand) = run.lower_bound(probe) {
+            for entry in &generation.probe_runs {
+                // A fence filter can prove the run's tail past `probe` is
+                // empty and skip the engine entirely; point filters (Bloom)
+                // conservatively admit every range probe.
+                if !entry.filter.may_contain_from(probe.to_u64()) {
+                    continue;
+                }
+                if let Some(cand) = entry.run.lower_bound(probe) {
                     if best.as_ref().is_none_or(|b| cand.0 < b.0) {
                         best = Some(cand);
                     }
@@ -1605,11 +2114,23 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
             return;
         }
         if generation.run_count() > 0 {
+            let lookups = pending_keys.len() as u64;
+            let mut probes = 0u64;
+            let mut skips = 0u64;
             let mut next_keys = Vec::with_capacity(pending_keys.len());
             let mut next_slots = Vec::with_capacity(pending_slots.len());
             'keys: for (&k, &i) in pending_keys.iter().zip(&pending_slots) {
-                for run in generation.runs_newest_first() {
-                    if let Some(state) = run.probe(k) {
+                let fprobe = FilterProbe::new(k.to_u64());
+                for entry in &generation.probe_runs {
+                    if k < entry.min_key || k > entry.max_key {
+                        continue;
+                    }
+                    if !entry.filter.may_contain_probe(&fprobe) {
+                        skips += 1;
+                        continue;
+                    }
+                    probes += 1;
+                    if let Some(state) = entry.run.probe_unpruned(k) {
                         out[start + i] = state;
                         continue 'keys;
                     }
@@ -1619,6 +2140,7 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
             }
             pending_keys = next_keys;
             pending_slots = next_slots;
+            self.note_stack_lookups(lookups, probes, skips);
         }
         if pending_keys.is_empty() {
             return;
@@ -1686,10 +2208,7 @@ mod tests {
 
     #[test]
     fn bad_leveled_policies_are_rejected() {
-        for policy in [
-            MergePolicy::Leveled { fanout: 1, max_levels: 2 },
-            MergePolicy::Leveled { fanout: 4, max_levels: 0 },
-        ] {
+        for policy in [MergePolicy::leveled(1, 2), MergePolicy::leveled(4, 0)] {
             let data = Arc::new(SortedData::new(vec![1u64]).unwrap());
             assert!(
                 WriteBehindEngine::with_policy(
@@ -1890,12 +2409,8 @@ mod tests {
     #[test]
     fn leveled_oracle_interleaved_with_forced_merges() {
         let base_keys: Vec<u64> = (0..500).map(|i| i * 7).collect();
-        let e = engine_with_policy(
-            base_keys.clone(),
-            48,
-            MergeMode::Sync,
-            MergePolicy::Leveled { fanout: 2, max_levels: 2 },
-        );
+        let e =
+            engine_with_policy(base_keys.clone(), 48, MergeMode::Sync, MergePolicy::leveled(2, 2));
         let mut oracle: BTreeMap<u64, u64> =
             base_keys.iter().map(|&k| (k, k.wrapping_mul(3) ^ 0xA5)).collect();
         let mut x = 999u64;
@@ -1936,7 +2451,7 @@ mod tests {
             (0..200).map(|i| i * 10).collect(),
             8,
             MergeMode::Sync,
-            MergePolicy::Leveled { fanout: 2, max_levels: 2 },
+            MergePolicy::leveled(2, 2),
         );
         // First freeze: one run at level 0; base untouched.
         for k in 0..8u64 {
@@ -1982,7 +2497,7 @@ mod tests {
             e.merged_entries() as f64 / e.merges_completed() as f64
         };
         let flat = run(MergePolicy::Flat);
-        let leveled = run(MergePolicy::Leveled { fanout: 4, max_levels: 3 });
+        let leveled = run(MergePolicy::leveled(4, 3));
         assert!(leveled < flat, "leveled per-cycle volume {leveled} must be below flat {flat}");
     }
 
@@ -2044,7 +2559,7 @@ mod tests {
     fn deleting_everything_keeps_serving() {
         // An empty base is not representable; the engine must stay correct
         // (tombstones keep shadowing) even when every record is removed.
-        for policy in [MergePolicy::Flat, MergePolicy::Leveled { fanout: 2, max_levels: 2 }] {
+        for policy in [MergePolicy::Flat, MergePolicy::leveled(2, 2)] {
             let e = engine_with_policy(vec![10, 20, 30], 2, MergeMode::Sync, policy);
             let p = |k: u64| k.wrapping_mul(3) ^ 0xA5;
             for k in [10u64, 20, 30] {
@@ -2084,7 +2599,7 @@ mod tests {
             (0..100).map(|i| i * 3).collect(),
             16,
             MergeMode::Sync,
-            MergePolicy::Leveled { fanout: 8, max_levels: 2 },
+            MergePolicy::leveled(8, 2),
         );
         let before = e.size_bytes();
         for k in 0..16u64 {
@@ -2133,7 +2648,7 @@ mod tests {
     #[test]
     fn leveled_spool_reopens_the_whole_stack_cold() {
         let (dir, _guard) = spool_dir("leveled");
-        let policy = MergePolicy::Leveled { fanout: 3, max_levels: 2 };
+        let policy = MergePolicy::leveled(3, 2);
         let e = spooled_engine((0..200).map(|i| i * 2).collect(), 8, policy, &dir);
         // Enough churn to stack runs, compact, and leave live tombstones.
         for k in 0..40u64 {
@@ -2238,7 +2753,7 @@ mod tests {
     #[test]
     fn corrupted_spool_snapshot_fails_loudly_on_reopen() {
         let (dir, _guard) = spool_dir("corrupt");
-        let policy = MergePolicy::Leveled { fanout: 4, max_levels: 2 };
+        let policy = MergePolicy::leveled(4, 2);
         let e = spooled_engine((0..100).map(|i| i * 2).collect(), 4, policy, &dir);
         for k in 0..8u64 {
             e.insert(k * 2 + 1, k);
@@ -2271,7 +2786,7 @@ mod tests {
     #[test]
     fn flat_reopen_of_a_leveled_spool_is_rejected() {
         let (dir, _guard) = spool_dir("mismatch");
-        let policy = MergePolicy::Leveled { fanout: 4, max_levels: 2 };
+        let policy = MergePolicy::leveled(4, 2);
         let e = spooled_engine((0..100).map(|i| i * 2).collect(), 4, policy, &dir);
         for k in 0..8u64 {
             e.insert(k * 2 + 1, k);

@@ -28,15 +28,19 @@ fn main() {
     //   {"family":"writebehind","params":{"inner":{"family":"RS",...},
     //    "delta":"btree","merge_threshold":8000,
     //    "policy":"leveled","fanout":4,"max_levels":2}}
+    // (Leveled specs may also carry "filter", "rewrite_live_pct", and
+    // "read_amp_watermark"; the defaults — bloom filters, triggers off —
+    // are omitted from the JSON.)
     // The leveled policy is the true LSM shape: each frozen delta becomes
-    // an immutable run with its own RadixSpline, and compaction folds
-    // level-locally instead of rebuilding the whole base per cycle.
+    // an immutable run with its own RadixSpline and a per-run Bloom
+    // filter, and compaction folds level-locally instead of rebuilding
+    // the whole base per cycle.
     let spec = EngineSpec::WriteBehind {
         shards: 1,
         inner: IndexSpec::new(IndexParams::Rs { eps: 32, radix_bits: 16 }),
         delta: DeltaKind::BTree,
         merge_threshold: 8_000,
-        policy: MergePolicy::Leveled { fanout: 4, max_levels: 2 },
+        policy: MergePolicy::leveled(4, 2),
     };
     println!("spec: {}", serde_json::to_string(&spec).expect("spec serializes"));
 

@@ -150,7 +150,7 @@ fn removes_invalidate_cached_hits_over_writebehind() {
         inner: Family::Pgm.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: 64,
-        policy: MergePolicy::Leveled { fanout: 2, max_levels: 2 },
+        policy: MergePolicy::leveled(2, 2),
     };
     for mode in [MergeMode::Sync, MergeMode::Background] {
         let mut oracle: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k + 7)).collect();

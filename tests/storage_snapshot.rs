@@ -154,7 +154,7 @@ fn leveled_spool_cold_reopen_preserves_tombstones() {
         keys.iter().zip(&payloads).map(|(&k, &p)| (k, p)).collect();
     let data = Arc::new(SortedData::with_payloads(keys, payloads).expect("sorted input"));
 
-    let policy = MergePolicy::Leveled { fanout: 2, max_levels: 2 };
+    let policy = MergePolicy::leveled(2, 2);
     let engine = WriteBehindEngine::with_spool(
         Arc::clone(&data),
         base_factory(),

@@ -9,7 +9,8 @@
 use proptest::prelude::*;
 use sosd::bench::registry::{DeltaKind, EngineSpec, Family};
 use sosd::core::{
-    MergeMode, MergePolicy, QueryEngine, SearchStrategy, SortedData, WriteBehindEngine,
+    FilterKind, LeveledTuning, MergeMode, MergePolicy, QueryEngine, SearchStrategy, SortedData,
+    WriteBehindEngine,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -116,8 +117,8 @@ proptest! {
         let combos = [
             (MergePolicy::Flat, MergeMode::Sync),
             (MergePolicy::Flat, MergeMode::Background),
-            (MergePolicy::Leveled { fanout: 2, max_levels: 2 }, MergeMode::Sync),
-            (MergePolicy::Leveled { fanout: 2, max_levels: 2 }, MergeMode::Background),
+            (MergePolicy::leveled(2, 2), MergeMode::Sync),
+            (MergePolicy::leveled(2, 2), MergeMode::Background),
         ];
         for (policy, mode) in combos {
             let (engine, mut oracle) = build_with_policy(&keys, 20, 1, mode, policy);
@@ -288,7 +289,7 @@ fn batched_reads_see_no_torn_state_across_merge_swaps() {
         inner: Family::BTree.default_spec::<u64>(),
         delta: DeltaKind::BTree,
         merge_threshold: 200,
-        policy: MergePolicy::Leveled { fanout: 3, max_levels: 2 },
+        policy: MergePolicy::leveled(3, 2),
     };
     let engine = Arc::new(
         spec.writebehind_engine(&data, SearchStrategy::Binary, MergeMode::Background)
@@ -358,6 +359,132 @@ fn batched_reads_see_no_torn_state_across_merge_swaps() {
         assert_eq!(engine.get(k), Some(6), "key {k}");
     }
     assert_eq!(engine.len(), 20_000, "hot overwrites never added keys");
+}
+
+/// The filter-path variant of the torn-read regression: readers stream
+/// batched hot-key lookups AND absent-key point probes (the path where
+/// per-run filters skip probes) while the writer churns a side region
+/// through insert → tombstone → re-insert cycles that trigger background
+/// tombstone-density rewrites. A rewrite swaps generations just like a
+/// merge; a torn swap would show a hot key vanishing, a version going
+/// backwards, or a deleted side key resurrecting mid-batch.
+#[test]
+fn filtered_reads_survive_background_density_rewrites() {
+    const HOT: u64 = 256;
+    let keys: Vec<u64> = (0..20_000u64).collect();
+    let payloads = vec![0u64; keys.len()]; // version 0 everywhere
+    let data = Arc::new(SortedData::with_payloads(keys, payloads).expect("sorted"));
+    let spec = EngineSpec::WriteBehind {
+        shards: 1,
+        inner: Family::BTree.default_spec::<u64>(),
+        delta: DeltaKind::BTree,
+        merge_threshold: 200,
+        policy: MergePolicy::Leveled {
+            fanout: 6,
+            max_levels: 2,
+            tuning: LeveledTuning {
+                filter: FilterKind::Bloom,
+                rewrite_live_pct: 60,
+                read_amp_watermark: 0,
+            },
+        },
+    };
+    let engine = Arc::new(
+        spec.writebehind_engine(&data, SearchStrategy::Binary, MergeMode::Background)
+            .expect("builds"),
+    );
+    let hot: Vec<u64> = (0..HOT).map(|i| i * 37 % 20_000).collect();
+    // Side region: odd keys above the base, never in the hot set.
+    let side: Vec<u64> = (0..64u64).map(|i| 30_001 + i * 2).collect();
+    let done = AtomicBool::new(false);
+    let current_round = AtomicU64::new(0);
+    let batches_seen = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let reader = {
+            let engine = Arc::clone(&engine);
+            let (done, current_round, batches_seen, hot) =
+                (&done, &current_round, &batches_seen, &hot);
+            scope.spawn(move || {
+                let mut last_seen: Vec<u64> = vec![0; hot.len()];
+                let mut absent = 40_001u64;
+                while !done.load(Ordering::Acquire) {
+                    let results = engine.lookup_batch(hot);
+                    let upper = current_round.load(Ordering::Acquire);
+                    for (i, r) in results.iter().enumerate() {
+                        let v = r.unwrap_or_else(|| {
+                            panic!("key {} vanished mid-rewrite (torn read)", hot[i])
+                        });
+                        assert!(
+                            v >= last_seen[i],
+                            "key {} went backwards: {} after {} (torn read)",
+                            hot[i],
+                            v,
+                            last_seen[i]
+                        );
+                        assert!(v <= upper, "key {} saw future version {v} > {upper}", hot[i]);
+                        last_seen[i] = v;
+                    }
+                    // Absent keys above every tier: the probe either dies at
+                    // a filter or misses every run — never a phantom value.
+                    for _ in 0..32 {
+                        absent = absent.wrapping_add(2);
+                        assert_eq!(engine.get(absent), None, "phantom at {absent}");
+                    }
+                    batches_seen.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+
+        // Writer: hot-set version bumps interleaved with side-region
+        // insert → tombstone → re-insert cycles. Each cycle strands an
+        // all-tombstone run behind a newer shadowing run, so the 60%
+        // density watermark rewrites it away under the reader's feet.
+        let cycle = |round: u64| {
+            for &k in &side {
+                engine.insert(k, round);
+            }
+            engine.force_merge();
+            engine.wait_for_merges();
+            for &k in &side {
+                engine.remove(k);
+            }
+            engine.force_merge();
+            engine.wait_for_merges();
+            for &k in &side {
+                engine.insert(k, round ^ 1);
+            }
+            engine.force_merge();
+            engine.wait_for_merges();
+        };
+        for round in 1..=6u64 {
+            current_round.store(round, Ordering::Release);
+            for &k in &hot {
+                engine.insert(k, round);
+            }
+            cycle(round);
+        }
+        // Compaction folds can absorb a cycle's tombstone run before its
+        // shadowing run lands; drive more cycles until a rewrite fired.
+        let mut spins = 0;
+        while engine.density_rewrites() == 0 {
+            spins += 1;
+            assert!(spins <= 20, "density rewrite never fired in the background");
+            cycle(6);
+        }
+        done.store(true, Ordering::Release);
+        reader.join().expect("reader thread");
+    });
+
+    assert!(batches_seen.load(Ordering::Relaxed) > 0, "reader never completed a batch");
+    assert!(engine.density_rewrites() >= 1);
+    for &k in &hot {
+        assert_eq!(engine.get(k), Some(6), "hot key {k}");
+    }
+    for &k in &side {
+        assert_eq!(engine.get(k), Some(7), "side key {k} after the last re-insert");
+    }
+    assert_eq!(engine.len(), 20_000 + side.len(), "visible count drifted");
 }
 
 /// The write-behind engine serves reads through the plain boxed
