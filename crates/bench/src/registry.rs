@@ -23,6 +23,7 @@
 
 use serde::{Deserialize, Serialize};
 use sosd_baselines::{BsBuilder, RbsBuilder};
+use sosd_core::advisor::{AdvisedPlan, Advisor, Candidate, ObservabilityHub};
 use sosd_core::serve::FastProbe;
 use sosd_core::writebehind::{BaseFactory, DeltaFactory};
 use sosd_core::{
@@ -245,6 +246,15 @@ impl IndexSpec {
         self.builder::<K>().label()
     }
 
+    /// This spec as an advisor [`Candidate`]: the builder's label plus a
+    /// type-erased build closure, ready for [`Advisor::train`].
+    pub fn candidate<K: Key>(&self) -> Candidate<K> {
+        let spec = *self;
+        Candidate::new(spec.label::<K>(), move |d: &SortedData<K>| {
+            spec.builder::<K>().build_boxed(d)
+        })
+    }
+
     /// Build a serving-facing [`QueryEngine`] over shared data: the static
     /// adapter with the given last-mile strategy.
     pub fn engine<K: Key>(
@@ -372,6 +382,15 @@ impl StorageSpec {
 /// { "family": "stored", "params": { "profile": "nvme", "page_size": 4096, "inner": <index spec> } }
 /// ```
 ///
+/// The self-tuning variant ([`EngineSpec::AutoTuned`]) names only the
+/// *candidate pool*; the per-shard winners are chosen at build time by a
+/// trained [`Advisor`] from each shard's key distribution and the current
+/// access snapshot:
+///
+/// ```json
+/// { "family": "autotuned", "params": { "shards": 8, "candidates": [ <index spec>, ... ] } }
+/// ```
+///
 /// Any plain [`IndexSpec`] JSON deserializes as the single variant, so
 /// every existing experiment config is already a valid engine spec.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -435,6 +454,18 @@ pub enum EngineSpec {
         /// storage, not under it.
         inner: IndexSpec,
     },
+    /// Self-tuning sharded serving: a trained [`Advisor`] scores every
+    /// candidate per key-range shard and serves each shard from its
+    /// winner — a possibly heterogeneous [`ShardedEngine`] (the spec pins
+    /// the candidate pool, not the outcome). Use
+    /// [`EngineSpec::advised_writebehind_engine`] to put the same pool
+    /// behind a write-behind tier that re-advises at every base rebuild.
+    AutoTuned {
+        /// Requested partition count (see [`sosd_core::partition_points`]).
+        shards: usize,
+        /// The candidate pool the advisor picks from, per shard.
+        candidates: Vec<IndexSpec>,
+    },
 }
 
 impl EngineSpec {
@@ -481,11 +512,17 @@ impl EngineSpec {
                     inner.label::<K>()
                 )
             }
+            EngineSpec::AutoTuned { shards, candidates } => {
+                let pool: Vec<String> = candidates.iter().map(|c| c.family.name().into()).collect();
+                format!("auto{}x[{}]", shards, pool.join("|"))
+            }
         }
     }
 
     /// The inner index spec (the composite variants' per-partition /
-    /// base index; for a cached spec, the innermost engine's).
+    /// base index; for a cached spec, the innermost engine's; for an
+    /// auto-tuned spec, the first candidate — the pool's representative,
+    /// since the real per-shard winners are a build-time decision).
     pub fn inner_spec(&self) -> IndexSpec {
         match self {
             EngineSpec::Single(spec) => *spec,
@@ -493,6 +530,9 @@ impl EngineSpec {
             EngineSpec::WriteBehind { inner, .. } => *inner,
             EngineSpec::Cached { inner, .. } => inner.inner_spec(),
             EngineSpec::Stored { inner, .. } => *inner,
+            EngineSpec::AutoTuned { candidates, .. } => {
+                candidates.first().copied().unwrap_or(IndexSpec::new(IndexParams::Bs))
+            }
         }
     }
 
@@ -523,7 +563,60 @@ impl EngineSpec {
             }
             EngineSpec::Cached { .. } => Ok(Box::new(self.cached_engine(data, strategy)?)),
             EngineSpec::Stored { .. } => Ok(Box::new(self.paged_engine(data, strategy)?)),
+            EngineSpec::AutoTuned { .. } => Ok(Box::new(self.advised_plan(data)?.engine)),
         }
+    }
+
+    /// Train an [`Advisor`] over this auto-tuned spec's candidate pool.
+    /// Training builds and times every candidate on a small synthetic grid
+    /// (tens of milliseconds); hold on to the advisor when advising more
+    /// than once. Non-auto-tuned specs are rejected.
+    pub fn advisor<K: Key>(&self) -> Result<Advisor<K>, BuildError> {
+        let EngineSpec::AutoTuned { candidates, .. } = self else {
+            return Err(BuildError::InvalidConfig("advisor needs an autotuned spec".into()));
+        };
+        Advisor::train(candidates.iter().map(IndexSpec::candidate).collect())
+    }
+
+    /// Build the advised heterogeneous engine together with the per-shard
+    /// decisions that produced it (label, predicted cost, full score
+    /// board). Non-auto-tuned specs are rejected.
+    pub fn advised_plan<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+    ) -> Result<AdvisedPlan<K>, BuildError> {
+        let EngineSpec::AutoTuned { shards, .. } = self else {
+            return Err(BuildError::InvalidConfig("advised_plan needs an autotuned spec".into()));
+        };
+        self.advisor::<K>()?.advise(data, *shards, &Default::default())
+    }
+
+    /// Build a [`WriteBehindEngine`] whose base is *re-advised at every
+    /// rebuild*: each merge reads `hub`'s current access snapshot (hot-key
+    /// histogram, operation mix), re-scores the candidate pool per shard of
+    /// the merged data, and publishes the winning labels back into the hub.
+    /// Non-auto-tuned specs are rejected.
+    pub fn advised_writebehind_engine<K: Key>(
+        &self,
+        data: &Arc<SortedData<K>>,
+        delta: DeltaKind,
+        merge_threshold: usize,
+        mode: MergeMode,
+        hub: &Arc<ObservabilityHub<K>>,
+    ) -> Result<WriteBehindEngine<K>, BuildError> {
+        let EngineSpec::AutoTuned { shards, .. } = self else {
+            return Err(BuildError::InvalidConfig(
+                "advised_writebehind_engine needs an autotuned spec".into(),
+            ));
+        };
+        let advisor = Arc::new(self.advisor::<K>()?);
+        WriteBehindEngine::new(
+            Arc::clone(data),
+            advisor.base_factory(*shards, hub),
+            delta.factory::<K>(),
+            merge_threshold,
+            mode,
+        )
     }
 
     /// Build as a concrete [`CachedEngine`] over the nested inner engine,
@@ -541,7 +634,8 @@ impl EngineSpec {
     }
 
     /// Build as a concrete [`ShardedEngine`] (a single spec becomes one
-    /// shard), exposing the parallel batch path the boxed trait object
+    /// shard; an auto-tuned spec becomes its advised heterogeneous
+    /// engine), exposing the parallel batch path the boxed trait object
     /// hides. Write-behind specs are rejected — their delta tier cannot be
     /// expressed as a shard.
     pub fn sharded_engine<K: Key>(
@@ -552,11 +646,12 @@ impl EngineSpec {
         let (shards, inner) = match self {
             EngineSpec::Single(spec) => (1, *spec),
             EngineSpec::Sharded { shards, inner } => (*shards, *inner),
+            EngineSpec::AutoTuned { .. } => return Ok(self.advised_plan(data)?.engine),
             EngineSpec::WriteBehind { .. }
             | EngineSpec::Cached { .. }
             | EngineSpec::Stored { .. } => {
                 return Err(BuildError::InvalidConfig(
-                    "only single/sharded specs build as a sharded engine".into(),
+                    "only single/sharded/autotuned specs build as a sharded engine".into(),
                 ))
             }
         };
@@ -742,6 +837,19 @@ impl Serialize for EngineSpec {
                     ("params".into(), Value::Object(params)),
                 ])
             }
+            EngineSpec::AutoTuned { shards, candidates } => Value::Object(vec![
+                ("family".into(), Value::Str("autotuned".into())),
+                (
+                    "params".into(),
+                    Value::Object(vec![
+                        ("shards".into(), Value::UInt(*shards as u64)),
+                        (
+                            "candidates".into(),
+                            Value::Array(candidates.iter().map(Serialize::to_value).collect()),
+                        ),
+                    ]),
+                ),
+            ]),
         }
     }
 }
@@ -780,13 +888,18 @@ impl Deserialize for EngineSpec {
                     .get_field("inner")
                     .ok_or_else(|| serde::Error::custom("writebehind needs `inner`"))?;
                 // The base is itself an engine spec (single or sharded);
-                // nesting another write-behind tier or a cache is rejected.
+                // nesting another write-behind tier, a cache, or an
+                // advisor pool is rejected (an advised base is built
+                // programmatically via `advised_writebehind_engine`, not
+                // from spec JSON — its base layout is a build-time
+                // decision, not configuration).
                 let (shards, inner) = match EngineSpec::from_value(inner_value)? {
                     EngineSpec::Single(spec) => (1, spec),
                     EngineSpec::Sharded { shards, inner } => (shards, inner),
                     EngineSpec::WriteBehind { .. }
                     | EngineSpec::Cached { .. }
-                    | EngineSpec::Stored { .. } => {
+                    | EngineSpec::Stored { .. }
+                    | EngineSpec::AutoTuned { .. } => {
                         return Err(serde::Error::custom(
                             "writebehind bases must be single or sharded specs",
                         ))
@@ -961,6 +1074,33 @@ impl Deserialize for EngineSpec {
                     }
                 };
                 Ok(EngineSpec::Stored { storage: StorageSpec { profile, page_size, path }, inner })
+            }
+            "autotuned" => {
+                let params = v
+                    .get_field("params")
+                    .ok_or_else(|| serde::Error::custom("spec missing `params`"))?;
+                let shards = params
+                    .get_field("shards")
+                    .and_then(serde::Value::as_u64)
+                    .ok_or_else(|| serde::Error::custom("autotuned needs `shards`"))?;
+                if shards == 0 {
+                    return Err(serde::Error::custom("autotuned needs `shards` >= 1"));
+                }
+                let candidates = match params.get_field("candidates") {
+                    Some(serde::Value::Array(items)) => {
+                        items.iter().map(IndexSpec::from_value).collect::<Result<Vec<_>, _>>()?
+                    }
+                    Some(_) => {
+                        return Err(serde::Error::custom("`candidates` must be an array"));
+                    }
+                    None => {
+                        return Err(serde::Error::custom("autotuned needs `candidates`"));
+                    }
+                };
+                if candidates.is_empty() {
+                    return Err(serde::Error::custom("autotuned needs at least one candidate"));
+                }
+                Ok(EngineSpec::AutoTuned { shards: shards as usize, candidates })
             }
             _ => IndexSpec::from_value(v).map(EngineSpec::Single),
         }
@@ -1608,6 +1748,84 @@ mod tests {
         // A single spec builds as one shard.
         let single = EngineSpec::Single(Family::Bs.default_spec::<u64>());
         assert_eq!(single.sharded_engine(&data, SearchStrategy::Binary).unwrap().num_shards(), 1);
+    }
+
+    #[test]
+    fn autotuned_specs_round_trip_and_reject_malformed() {
+        let spec = EngineSpec::AutoTuned {
+            shards: 4,
+            candidates: vec![Family::Bs.default_spec::<u64>(), Family::Rbs.default_spec::<u64>()],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: EngineSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec, "{json}");
+        // The documented JSON shape.
+        assert!(json.contains("\"family\":\"autotuned\""), "{json}");
+        assert!(json.contains("\"shards\":4"), "{json}");
+        assert!(json.contains("\"candidates\":["), "{json}");
+        // The label names the pool, not a winner.
+        assert_eq!(spec.label::<u64>(), "auto4x[BS|RBS]");
+        // Malformed variants are rejected.
+        let bs = "{\"family\":\"BS\",\"params\":{}}";
+        for bad in [
+            "{\"family\":\"autotuned\",\"params\":{}}".to_string(),
+            format!(
+                "{{\"family\":\"autotuned\",\"params\":{{\"shards\":0,\"candidates\":[{bs}]}}}}"
+            ),
+            "{\"family\":\"autotuned\",\"params\":{\"shards\":2}}".to_string(),
+            "{\"family\":\"autotuned\",\"params\":{\"shards\":2,\"candidates\":[]}}".to_string(),
+            "{\"family\":\"autotuned\",\"params\":{\"shards\":2,\"candidates\":7}}".to_string(),
+        ] {
+            assert!(serde_json::from_str::<EngineSpec>(&bad).is_err(), "{bad}");
+        }
+        // An advisor pool cannot be a write-behind base in spec JSON; the
+        // advised base is built programmatically.
+        let wb = format!(
+            "{{\"family\":\"writebehind\",\"params\":{{\"inner\":{json},\"delta\":\"btree\",\"merge_threshold\":64}}}}"
+        );
+        assert!(serde_json::from_str::<EngineSpec>(&wb).is_err(), "{wb}");
+        // Non-auto-tuned specs are rejected by the advisor constructors.
+        let data = Arc::new(SortedData::new((0..1_000u64).collect()).unwrap());
+        let single = EngineSpec::Single(Family::Bs.default_spec::<u64>());
+        assert!(single.advisor::<u64>().is_err());
+        assert!(single.advised_plan(&data).is_err());
+    }
+
+    #[test]
+    fn autotuned_specs_build_and_retune_behind_writebehind() {
+        let data = Arc::new(SortedData::new((0..30_000u64).map(|i| i * 2).collect()).unwrap());
+        let spec = EngineSpec::AutoTuned {
+            shards: 4,
+            candidates: vec![Family::Bs.default_spec::<u64>(), Family::Rbs.default_spec::<u64>()],
+        };
+        // The generic engine path serves lookups from the advised plan.
+        let engine = spec.engine(&data, SearchStrategy::Binary).unwrap();
+        assert_eq!(engine.len(), data.len());
+        assert_eq!(engine.get(data.key(17_777)), Some(data.payload(17_777)));
+        assert_eq!(engine.get(1), None);
+        // The plan exposes one pick per shard, each from the pool.
+        let plan = spec.advised_plan(&data).unwrap();
+        assert_eq!(plan.picks.len(), plan.engine.num_shards());
+        let pool: Vec<String> = vec![
+            Family::Bs.default_spec::<u64>().label::<u64>(),
+            Family::Rbs.default_spec::<u64>().label::<u64>(),
+        ];
+        for pick in &plan.picks {
+            assert!(pool.contains(&pick.label), "{} not in pool {pool:?}", pick.label);
+            assert_eq!(pick.scores.len(), 2);
+        }
+        // Behind a write-behind tier the base re-advises at every rebuild.
+        let hub = Arc::new(ObservabilityHub::<u64>::new());
+        let wb = spec
+            .advised_writebehind_engine(&data, DeltaKind::BTree, 1 << 20, MergeMode::Sync, &hub)
+            .unwrap();
+        assert_eq!(hub.retunes(), 1, "initial base build advises once");
+        assert!(!hub.last_picks().is_empty());
+        wb.insert(1, 111);
+        wb.retune(&hub);
+        assert_eq!(hub.retunes(), 2, "explicit retune re-advises");
+        assert_eq!(wb.get(1), Some(111), "retune keeps the visible mapping");
+        assert_eq!(wb.get(data.key(123)), Some(data.payload(123)));
     }
 
     #[test]

@@ -574,8 +574,9 @@ impl<K: Key> QueryEngine<K> for PagedEngine<K> {
             } else if end == pos {
                 groups.push(Some((pos, pos))); // absent
             } else {
-                payload_pages.push(self.paged.payload_page_of(pos));
-                payload_pages.push(self.paged.payload_page_of(end - 1));
+                // Rank-derived snapshots have no payload pages to fetch.
+                payload_pages.extend(self.paged.payload_page_of(pos));
+                payload_pages.extend(self.paged.payload_page_of(end - 1));
                 groups.push(Some((pos, end)));
             }
         }

@@ -105,7 +105,7 @@ fn block_of(h: u64, n_blocks: usize) -> usize {
     (((h as u128) * (n_blocks as u128)) >> 64) as usize
 }
 
-/// The word-within-block index and [`BLOOM_PROBES`]-bit probe mask for
+/// The word-within-block index and `BLOOM_PROBES`-bit probe mask for
 /// one key, derived from non-overlapping windows of a second hash.
 #[inline]
 fn probe_word_mask(h: u64) -> (usize, u64) {
@@ -144,7 +144,7 @@ impl FilterProbe {
 /// Blocked Bloom filter over `u64` key images.
 ///
 /// One hash picks a block (fast-range multiply); a second picks one
-/// 64-bit word of it and a [`BLOOM_PROBES`]-bit mask inside that word.
+/// 64-bit word of it and a `BLOOM_PROBES`-bit mask inside that word.
 /// Construction is a single pass over the key column; a membership test
 /// is one cache-line touch, one load, and one mask compare.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -48,9 +48,16 @@
 //!   coalesces independently arriving point lookups into batched waves
 //!   over a worker pool, with shed-on-full admission control and
 //!   lock-free latency recording via [`hist::LatencyHistogram`].
+//! * [`advisor`] — the self-tuning index advisor: per-shard candidate
+//!   scoring with a trained-once linear cost model over fig12-style bound
+//!   statistics plus access observability (hot-key histogram, operation
+//!   mix), emitting heterogeneous [`ShardedEngine`]s and re-advising at
+//!   every write-behind base rebuild through an advisor-driven base
+//!   factory.
 //! * [`testutil`] — minimal reference implementations of both interfaces
 //!   for doctests and harness smoke checks.
 
+pub mod advisor;
 pub mod bound;
 pub mod builder;
 pub mod cache;
@@ -74,6 +81,7 @@ pub mod trace;
 pub mod util;
 pub mod writebehind;
 
+pub use advisor::{AccessMix, AccessSnapshot, AdvisedPlan, Advisor, ObservabilityHub, ShardPick};
 pub use bound::SearchBound;
 pub use builder::IndexBuilder;
 pub use cache::CachedEngine;

@@ -31,11 +31,15 @@
 //! Snapshot layout: `[header page][key pages][payload pages][dead-key
 //! pages]`. The header records magic, version, key width, entry counts and
 //! section sizes; keys and payloads are packed little-endian at their key
-//! width (4 or 8 bytes) and 8 bytes respectively.
+//! width (4 or 8 bytes) and 8 bytes respectively. When every payload is
+//! the rank-derived default (`payload(i) == splitmix64(i)`), the writer
+//! sets a header flag and elides the payload section entirely; readers
+//! reconstruct payloads arithmetically and skip payload I/O.
 
 use crate::data::SortedData;
 use crate::error::DataError;
 use crate::key::Key;
+use crate::util::splitmix64;
 use std::fmt;
 use std::fs::File;
 use std::io::Read;
@@ -538,6 +542,15 @@ const FLAG_HAS_DEAD: u32 = 1;
 /// flag (and every filter header field) zeroed, so version 1 readers of
 /// either vintage agree on the layout.
 const FLAG_HAS_FILTER: u32 = 2;
+/// Header flag: the payload section is elided because every payload is
+/// derivable from its rank — `payload(i) == splitmix64(i)`, the
+/// [`SortedData::new`] convention. The writer detects this and drops the
+/// section (≈8 bytes/entry saved); readers reconstruct payloads on the
+/// fly and never fetch payload pages. Datasets with explicit payloads
+/// (`SortedData::with_payloads`, merged write-behind bases) keep the
+/// section. Snapshots written before this flag existed have it zeroed
+/// and read exactly as before.
+const FLAG_DERIVED_PAYLOADS: u32 = 4;
 
 /// Byte offsets of the fixed header fields within page 0's body.
 mod hdr {
@@ -588,6 +601,8 @@ struct Layout {
     /// Serialized run-filter bytes (0 when the snapshot carries none).
     n_filter_bytes: usize,
     filter_pages: usize,
+    /// Payload section elided; payloads are `splitmix64(rank)`.
+    derived_payloads: bool,
 }
 
 impl Layout {
@@ -597,6 +612,7 @@ impl Layout {
         n: usize,
         n_dead: usize,
         n_filter_bytes: usize,
+        derived_payloads: bool,
     ) -> Layout {
         let usable = page_size - PAGE_TRAILER;
         let keys_per_page = usable / key_bytes;
@@ -610,10 +626,11 @@ impl Layout {
             keys_per_page,
             payloads_per_page,
             key_pages: n.div_ceil(keys_per_page),
-            payload_pages: n.div_ceil(payloads_per_page),
+            payload_pages: if derived_payloads { 0 } else { n.div_ceil(payloads_per_page) },
             dead_pages: n_dead.div_ceil(keys_per_page),
             n_filter_bytes,
             filter_pages: n_filter_bytes.div_ceil(usable),
+            derived_payloads,
         }
     }
 
@@ -698,7 +715,12 @@ pub fn write_snapshot_with_filter<K: Key>(
     let key_bytes = (K::BITS / 8) as usize;
     let filter = filter.filter(|(_, bytes)| !bytes.is_empty());
     let n_filter_bytes = filter.map_or(0, |(_, bytes)| bytes.len());
-    let layout = Layout::new(page_size, key_bytes, data.len(), dead.len(), n_filter_bytes);
+    // Elide the payload section when every payload is the rank-derived
+    // default — one linear pass over data already in RAM, repaid 8
+    // bytes/entry in snapshot size and zero payload I/O at read time.
+    let derived_payloads = (0..data.len()).all(|i| data.payload(i) == splitmix64(i as u64));
+    let layout =
+        Layout::new(page_size, key_bytes, data.len(), dead.len(), n_filter_bytes, derived_payloads);
 
     // Header.
     let mut flags = 0u32;
@@ -707,6 +729,9 @@ pub fn write_snapshot_with_filter<K: Key>(
     }
     if filter.is_some() {
         flags |= FLAG_HAS_FILTER;
+    }
+    if derived_payloads {
+        flags |= FLAG_DERIVED_PAYLOADS;
     }
     let mut page_buf = vec![0u8; page_size];
     put_u64(&mut page_buf, hdr::MAGIC, SNAPSHOT_MAGIC);
@@ -733,7 +758,9 @@ pub fn write_snapshot_with_filter<K: Key>(
     write_section(store, &layout, layout.key_start(), data.len(), key_bytes, |i| {
         data.key(i).to_u64()
     })?;
-    write_section(store, &layout, layout.payload_start(), data.len(), 8, |i| data.payload(i))?;
+    if !derived_payloads {
+        write_section(store, &layout, layout.payload_start(), data.len(), 8, |i| data.payload(i))?;
+    }
     write_section(store, &layout, layout.dead_start(), dead.len(), key_bytes, |i| {
         dead[i].to_u64()
     })?;
@@ -855,7 +882,15 @@ impl<K: Key> PagedData<K> {
                 detail: "filter flag set but filter section is empty".into(),
             });
         }
-        let layout = Layout::new(page_size, (K::BITS / 8) as usize, n, n_dead, n_filter_bytes);
+        let derived_payloads = flags & FLAG_DERIVED_PAYLOADS != 0;
+        let layout = Layout::new(
+            page_size,
+            (K::BITS / 8) as usize,
+            n,
+            n_dead,
+            n_filter_bytes,
+            derived_payloads,
+        );
         let declared = (
             get_u64(&page_buf, hdr::KEY_PAGES) as usize,
             get_u64(&page_buf, hdr::PAYLOAD_PAGES) as usize,
@@ -975,9 +1010,14 @@ impl<K: Key> PagedData<K> {
         out.extend(first..=last);
     }
 
-    /// The payload page holding position `pos`.
-    pub fn payload_page_of(&self, pos: usize) -> usize {
-        self.layout.payload_start() + pos / self.layout.payloads_per_page
+    /// The payload page holding position `pos`, or `None` when the
+    /// snapshot's payloads are rank-derived and no payload pages exist —
+    /// callers simply have nothing to fetch for that position.
+    pub fn payload_page_of(&self, pos: usize) -> Option<usize> {
+        if self.layout.derived_payloads {
+            return None;
+        }
+        Some(self.layout.payload_start() + pos / self.layout.payloads_per_page)
     }
 
     /// Key at `pos` resolved against a slab, or `None` when the slab lacks
@@ -989,9 +1029,13 @@ impl<K: Key> PagedData<K> {
         Some(self.decode_key(&body[off..off + self.layout.key_bytes]))
     }
 
-    /// Payload at `pos` resolved against a slab.
+    /// Payload at `pos` resolved against a slab (no slab page is needed —
+    /// or consulted — when payloads are rank-derived).
     pub fn payload_in(&self, slab: &PageSlab, pos: usize) -> Option<u64> {
-        let body = slab.body(self.payload_page_of(pos))?;
+        if self.layout.derived_payloads {
+            return Some(splitmix64(pos as u64));
+        }
+        let body = slab.body(self.payload_page_of(pos)?)?;
         let off = (pos % self.layout.payloads_per_page) * 8;
         Some(get_u64(body, off))
     }
@@ -1014,16 +1058,26 @@ impl<K: Key> PagedData<K> {
         Ok((lo..hi).map(|i| self.key_in(&slab, i).expect("window page fetched")).collect())
     }
 
-    /// Payloads at positions `lo..hi` via one contiguous batched read.
+    /// Payloads at positions `lo..hi` — one contiguous batched read, or a
+    /// pure computation when the snapshot's payloads are rank-derived.
     pub fn read_payloads(&self, lo: usize, hi: usize) -> Result<Vec<u64>, StoreError> {
         let hi = hi.min(self.layout.n);
         if hi <= lo {
             return Ok(Vec::new());
         }
-        let first = self.payload_page_of(lo);
-        let last = self.payload_page_of(hi - 1);
+        if self.layout.derived_payloads {
+            return Ok((lo..hi).map(|i| splitmix64(i as u64)).collect());
+        }
+        let first = self.payload_page_of(lo).expect("non-derived snapshot has payload pages");
+        let last = self.payload_page_of(hi - 1).expect("non-derived snapshot has payload pages");
         let slab = self.fetch_pages((first..=last).collect())?;
         Ok((lo..hi).map(|i| self.payload_in(&slab, i).expect("window page fetched")).collect())
+    }
+
+    /// True when the payload section is elided and payloads are
+    /// reconstructed as `splitmix64(rank)`.
+    pub fn has_derived_payloads(&self) -> bool {
+        self.layout.derived_payloads
     }
 
     /// The tombstone section, in stored order (empty when the snapshot has

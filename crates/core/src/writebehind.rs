@@ -83,6 +83,7 @@
 //! *visible* mapping at all (they only fold already-shadowed records
 //! away), so in-flight readers cannot observe a compaction.
 
+use crate::advisor::{AccessMix, ObservabilityHub};
 use crate::data::SortedData;
 use crate::dynamic::DynamicOrderedIndex;
 use crate::engine::QueryEngine;
@@ -733,6 +734,13 @@ struct Shared<K: Key> {
     /// compactions — the merge write volume; `merged_entries / merges` is
     /// the per-cycle merged volume the leveled policy bounds.
     merged_entries: AtomicU64,
+    /// Point-read keys served (`get` plus every `get_batch` key) — the
+    /// read side of the access mix the index advisor consumes.
+    reads: AtomicU64,
+    /// Inserts/overwrites absorbed by the delta.
+    writes: AtomicU64,
+    /// Removes (tombstone writes, including no-op removes of absent keys).
+    removes: AtomicU64,
     /// The snapshot spool, when persistence was requested at construction.
     spool: Option<Spool>,
     /// Exact number of entries a full range scan returns right now: a
@@ -1556,6 +1564,9 @@ impl<K: Key> WriteBehindEngine<K> {
                 read_amp_probes_mark: AtomicU64::new(0),
                 read_amp_lookups_mark: AtomicU64::new(0),
                 merged_entries: AtomicU64::new(0),
+                reads: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                removes: AtomicU64::new(0),
                 spool,
                 visible_len: AtomicUsize::new(visible),
             }),
@@ -1576,6 +1587,7 @@ impl<K: Key> WriteBehindEngine<K> {
     /// [`MergeMode::Background`] (at most one in flight; further writes
     /// keep landing in the fresh active delta meanwhile).
     pub fn insert(&self, key: K, payload: u64) -> Option<u64> {
+        self.shared.writes.fetch_add(1, Ordering::Relaxed);
         let (prev, crossed) = {
             let mut st = self.shared.state.write().expect("writebehind state lock");
             let prev = match st.active.state(key) {
@@ -1621,6 +1633,7 @@ impl<K: Key> WriteBehindEngine<K> {
     /// visible returns `None` and writes nothing (so remove-heavy streams
     /// of absent keys cannot grow the delta).
     pub fn remove(&self, key: K) -> Option<u64> {
+        self.shared.removes.fetch_add(1, Ordering::Relaxed);
         let (prev, crossed) = {
             let mut st = self.shared.state.write().expect("writebehind state lock");
             let prev = match st.active.state(key) {
@@ -1657,6 +1670,30 @@ impl<K: Key> WriteBehindEngine<K> {
     /// the threshold. Respects the engine's [`MergeMode`].
     pub fn force_merge(&self) {
         self.trigger_merge();
+    }
+
+    /// The cumulative read/write/remove operation mix served since
+    /// construction — the workload half of the access observability the
+    /// index advisor consumes at rebuild time.
+    pub fn access_mix(&self) -> AccessMix {
+        AccessMix {
+            reads: self.shared.reads.load(Ordering::Relaxed),
+            writes: self.shared.writes.load(Ordering::Relaxed),
+            removes: self.shared.removes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Retune now: publish this engine's operation mix into `hub`, force a
+    /// base rebuild, and wait for it to complete. With an advisor-driven
+    /// [`BaseFactory`] (see
+    /// [`Advisor::base_factory`](crate::advisor::Advisor::base_factory))
+    /// the rebuild re-scores every candidate per shard under the hub's
+    /// current snapshot. The generation swap keeps the retune invisible:
+    /// the mapping served before and after is identical.
+    pub fn retune(&self, hub: &ObservabilityHub<K>) {
+        hub.publish_mix(self.access_mix());
+        self.force_merge();
+        self.wait_for_merges();
     }
 
     /// Block until no merge is in flight (joins the background worker).
@@ -1959,6 +1996,7 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
     /// key absent), then the snapshotted base generation — everything
     /// below the delta probed outside the state lock.
     fn get(&self, key: K) -> Option<u64> {
+        self.shared.reads.fetch_add(1, Ordering::Relaxed);
         let generation = {
             let st = self.shared.state.read().expect("writebehind state lock");
             if let Some(state) = st.delta_state(key) {
@@ -2093,6 +2131,7 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
         if keys.is_empty() {
             return;
         }
+        self.shared.reads.fetch_add(keys.len() as u64, Ordering::Relaxed);
         let start = out.len();
         out.resize(start + keys.len(), None);
         let mut pending_keys = Vec::new();

@@ -1,84 +1,103 @@
-//! Scenario: an "index advisor" that picks the right structure for *your*
-//! data and memory budget.
+//! Scenario: a self-tuning "index advisor" that picks the right structure
+//! per key-range shard — and re-picks it as the workload drifts.
 //!
-//! The paper's headline result is a Pareto analysis: which index gives the
-//! fastest lookups at each size budget depends on the dataset. This example
-//! runs the same analysis programmatically — auto-tuning an RMI (CDFShop
-//! style), sweeping PGM/RS/BTree, and printing the Pareto-optimal choice
-//! for a handful of memory budgets.
+//! The paper's headline result is that no single index family wins
+//! everywhere: the right choice depends on the key distribution and the
+//! workload. This example builds a deliberately mixed dataset (a linear
+//! ramp, a duplicate-heavy run, and a uniform-random segment stitched into
+//! one sorted array), trains a [`sosd::core::Advisor`] over a candidate
+//! pool, and shows it picking *different* families for different shards.
+//! It then wires the full self-tuning serving stack — advisor-driven
+//! write-behind base under a hot-key cache — drives skewed traffic at it,
+//! and retunes: the rebuild re-advises from the observed access mix and
+//! hot-key histogram while the visible mapping stays untouched.
 //!
-//! Run with: `cargo run --release --example index_advisor [dataset]`
+//! Run with: `cargo run --release --example index_advisor`
 
-use sosd::bench::registry::Family;
-use sosd::bench::runner::{pareto_rows, run_family_sweep, sweep_with_builders};
-use sosd::bench::timing::TimingOptions;
-use sosd::core::IndexBuilder;
-use sosd::datasets::{make_workload, DatasetId};
-use sosd::rmi::{auto_tune, TunerConfig};
+use sosd::bench::registry::{DeltaKind, EngineSpec, Family};
+use sosd::core::advisor::ObservabilityHub;
+use sosd::core::util::splitmix64;
+use sosd::core::{CachedEngine, MergeMode, QueryEngine, SortedData};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One sorted array with three very different local shapes.
+fn mixed_dataset(n: usize) -> Arc<SortedData<u64>> {
+    let seg = n / 3;
+    let mut keys: Vec<u64> = Vec::with_capacity(seg * 3);
+    keys.extend((0..seg).map(|i| (1u64 << 40) + 3 * i as u64)); // linear ramp
+    keys.extend((0..seg).map(|i| (2u64 << 40) + (i as u64 / 64) * 97)); // duplicate runs
+    let mut random: Vec<u64> =
+        (0..seg).map(|i| (3u64 << 40) + splitmix64(i as u64) % (16 * seg as u64)).collect();
+    random.sort_unstable();
+    keys.extend(random);
+    Arc::new(SortedData::new(keys).expect("sorted non-empty keys"))
+}
 
 fn main() {
-    let dataset =
-        std::env::args().nth(1).and_then(|s| DatasetId::parse(&s)).unwrap_or(DatasetId::Osm);
-    let workload = make_workload(dataset, 300_000, 50_000, 1);
-    println!("advising for dataset '{}' ({} keys)\n", dataset.name(), workload.data.len());
+    let data = mixed_dataset(240_000);
+    println!("advising over a mixed dataset of {} keys\n", data.len());
 
-    // 1. CDFShop-style auto-tuning for the RMI: Pareto set over model types
-    //    and branching factors.
-    let tuner = TunerConfig {
-        branches: vec![1 << 8, 1 << 10, 1 << 12, 1 << 14, 1 << 16],
-        probes: 5_000,
-        max_configs: 5,
-        ..TunerConfig::default()
-    };
-    let rmi_configs = auto_tune(&workload.data, &tuner);
-    println!("auto-tuner picked {} RMI configurations:", rmi_configs.len());
-    for c in &rmi_configs {
-        println!("  {}", IndexBuilder::<u64>::describe(c));
-    }
-
-    // 2. Measure everything: tuned RMIs plus the standard sweeps.
-    let opts = TimingOptions { repeats: 1, ..Default::default() };
-    let mut rows = sweep_with_builders(
-        dataset.name(),
-        "RMI",
-        rmi_configs
-            .into_iter()
-            .map(|b| Box::new(b) as Box<dyn sosd::bench::registry::DynBuilder<u64>>)
+    // 1. Train the advisor once over a candidate pool. Training builds and
+    //    times every candidate on a small synthetic grid, then fits one
+    //    linear cost model per candidate; it never sees our dataset.
+    let spec = EngineSpec::AutoTuned {
+        shards: 6,
+        candidates: [Family::Rmi, Family::Pgm, Family::Rbs, Family::Bs]
+            .iter()
+            .map(|f| f.default_spec::<u64>())
             .collect(),
-        &workload,
-        opts,
-    );
-    for family in [Family::Pgm, Family::Rs, Family::BTree, Family::Rbs] {
-        rows.extend(run_family_sweep(dataset.name(), family, &workload, opts));
-    }
+    };
+    let t = Instant::now();
+    let advisor = Arc::new(spec.advisor::<u64>().expect("pool trains"));
+    println!("trained 4-candidate cost model in {:.0}ms", t.elapsed().as_secs_f64() * 1e3);
 
-    // 3. Report the Pareto front and answer budget queries.
-    let front = pareto_rows(&rows);
-    println!("\nPareto-optimal configurations (size -> latency):");
-    for &i in &front {
-        let r = &rows[i];
+    // 2. Advise: score every candidate per key-range shard, serve each
+    //    shard from its winner.
+    let plan = advisor.advise(&data, 6, &Default::default()).expect("advisor plans");
+    println!("\nper-shard picks (cold — no traffic observed yet):");
+    for (i, pick) in plan.picks.iter().enumerate() {
+        let runner_up = pick.scores.get(1).map(|s| s.label.as_str()).unwrap_or("-");
         println!(
-            "  {:>10.1} KB -> {:>7.1} ns  {}",
-            r.size_bytes as f64 / 1024.0,
-            r.ns_per_lookup,
-            r.config
+            "  shard {i}: {:<28} predicted {:>6.1} ns/lookup ({} keys; runner-up {})",
+            pick.label, pick.predicted_ns, pick.shard_len, runner_up
         );
     }
+    let probe = data.key(1_234);
+    assert_eq!(plan.engine.get(probe), Some(data.payload_sum_at(probe)));
 
-    for budget_kb in [16.0, 128.0, 1024.0, 8192.0] {
-        let best = front
-            .iter()
-            .map(|&i| &rows[i])
-            .filter(|r| r.size_bytes as f64 / 1024.0 <= budget_kb)
-            .min_by(|a, b| a.ns_per_lookup.total_cmp(&b.ns_per_lookup));
-        match best {
-            Some(r) => println!(
-                "budget {budget_kb:>7.0} KB: use {} ({:.1} ns, {:.1} KB)",
-                r.config,
-                r.ns_per_lookup,
-                r.size_bytes as f64 / 1024.0
-            ),
-            None => println!("budget {budget_kb:>7.0} KB: nothing fits — use binary search"),
-        }
+    // 3. The self-tuning serving stack: the same advisor drives the
+    //    write-behind base factory (re-advising at every rebuild), with a
+    //    hot-key cache in front publishing its histogram into the hub.
+    let hub = Arc::new(ObservabilityHub::<u64>::new());
+    let wb = spec
+        .advised_writebehind_engine(&data, DeltaKind::BTree, 1 << 20, MergeMode::Sync, &hub)
+        .expect("stack builds");
+    let cached = CachedEngine::new(wb, 4_096, 8).expect("cache wraps");
+
+    // Drive write-heavy churn plus a skewed read mix concentrated on the
+    // duplicate-heavy segment.
+    for i in 0..20_000u64 {
+        cached.insert((2u64 << 40) + 7 * i + 1, i);
     }
+    for i in 0..60_000usize {
+        let hot = (2u64 << 40) + (splitmix64(i as u64) % 512 / 64) * 97;
+        cached.get(hot);
+    }
+    println!(
+        "\nobserved traffic: {:?}, cache hit rate {:.0}%",
+        cached.inner().access_mix(),
+        cached.hit_rate() * 100.0
+    );
+
+    // 4. Retune: publish the hot-key histogram and operation mix, rebuild
+    //    the base, re-advise per shard of the *merged* data.
+    let before = cached.get((2u64 << 40) + 8);
+    cached.retune(&hub);
+    assert_eq!(cached.get((2u64 << 40) + 8), before, "retune never changes the mapping");
+    println!("\nper-shard picks after retune #{} (merged data + observed mix):", hub.retunes());
+    for (i, label) in hub.last_picks().iter().enumerate() {
+        println!("  shard {i}: {label}");
+    }
+    println!("\nretune done; the generation swap kept every visible key identical.");
 }

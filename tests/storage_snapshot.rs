@@ -137,6 +137,54 @@ proptest! {
     }
 }
 
+#[test]
+fn derivable_payloads_are_elided_and_reconstructed() {
+    // Same keys twice: once with the rank-derived default payloads
+    // (SortedData::new) and once with explicit payloads. Only the former
+    // may drop its payload section.
+    let keys: Vec<u64> = (0..20_000u64).map(|i| (i / 3) * 7).collect();
+    let derived = SortedData::new(keys.clone()).expect("sorted input");
+    let explicit = SortedData::with_payloads(keys.clone(), keys.iter().map(|&k| k + 7).collect())
+        .expect("sorted input");
+
+    let mut store_d = MemStore::new(512).expect("mem store");
+    let bytes_derived = write_snapshot(&mut store_d, &derived, &[]).expect("serialize derived");
+    let mut store_e = MemStore::new(512).expect("mem store");
+    let bytes_explicit = write_snapshot(&mut store_e, &explicit, &[]).expect("serialize explicit");
+    assert!(
+        bytes_derived + 8 * derived.len() as u64 <= bytes_explicit,
+        "elision must save ~8 bytes/entry: derived {bytes_derived} vs explicit {bytes_explicit}"
+    );
+
+    let paged_d =
+        Arc::new(PagedData::<u64>::open(Arc::new(store_d) as Arc<dyn BlockStore>).expect("open"));
+    let paged_e =
+        Arc::new(PagedData::<u64>::open(Arc::new(store_e) as Arc<dyn BlockStore>).expect("open"));
+    assert!(paged_d.has_derived_payloads());
+    assert!(!paged_e.has_derived_payloads());
+
+    // Bulk reload round-trips the reconstructed payloads bit-exactly.
+    let (round, _) = paged_d.load().expect("load");
+    assert_eq!(round.keys(), derived.keys());
+    assert_eq!(round.payloads(), derived.payloads());
+
+    // Page-granular serving (single gets and the batched path, which must
+    // cope with there being no payload pages at all) matches the in-RAM
+    // answers, including duplicate-group sums and misses.
+    let builder = Family::Rmi.default_builder::<u64>();
+    let engine = PagedEngine::open_with(Arc::clone(&paged_d), SearchStrategy::Binary, |d| {
+        builder.build_boxed(d)
+    })
+    .expect("cold open");
+    let probe_keys: Vec<u64> = (0..512u64).map(|i| i * 131 % 60_000).collect();
+    let batched = engine.lookup_batch(&probe_keys);
+    for (&k, got) in probe_keys.iter().zip(&batched) {
+        let want = derived.payload_sum_from(k, derived.lower_bound(k));
+        assert_eq!(engine.get(k), want, "single get at {k}");
+        assert_eq!(*got, want, "batched get at {k}");
+    }
+}
+
 fn base_factory() -> BaseFactory<u64> {
     Arc::new(|d: Arc<SortedData<u64>>| {
         let index = Family::BTree.default_builder::<u64>().build_boxed(&d)?;
