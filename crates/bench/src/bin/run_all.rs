@@ -75,6 +75,7 @@ const EXPERIMENTS: &[&str] = &[
     "ext09_openloop",
     "ext10_storage",
     "ext11_advisor",
+    "ext12_snapshot",
 ];
 
 /// How many top rows of each experiment's CSV make it into the

@@ -410,7 +410,10 @@ pub enum EngineSpec {
     /// Write-behind serving: an immutable base (single index when
     /// `shards <= 1`, a [`ShardedEngine`] otherwise) plus a mutable delta
     /// buffer, merged when the delta crosses `merge_threshold` shadow
-    /// entries (inserts and tombstoned removes both count).
+    /// entries (inserts and tombstoned removes both count). Built via
+    /// [`EngineSpec::writebehind_engine`], the concrete engine also pins
+    /// consistent point-in-time snapshots and reports content-hash
+    /// fingerprints.
     WriteBehind {
         /// Base partition count (`1` = an unsharded base engine).
         shards: usize,
@@ -663,8 +666,10 @@ impl EngineSpec {
     }
 
     /// Build as a concrete [`WriteBehindEngine`] with the given merge mode,
-    /// exposing the write path (`insert` / `force_merge`) the boxed trait
-    /// object hides.
+    /// exposing the write path (`insert` / `force_merge`) — and the
+    /// snapshot surface ([`WriteBehindEngine::snapshot`] pinned views,
+    /// [`WriteBehindEngine::fingerprint`] replica comparison) — that the
+    /// boxed trait object hides.
     ///
     /// The base factory re-runs this spec's base layout (single or sharded)
     /// at every merge, so a sharded write-behind base is re-partitioned

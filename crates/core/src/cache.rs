@@ -609,6 +609,17 @@ impl<K: Key> CachedEngine<K, WriteBehindEngine<K>> {
         hub.publish_hot_keys(self.hot_keys(1_024));
         self.inner.retune(hub);
     }
+
+    /// Pin a consistent point-in-time view of the inner
+    /// [`WriteBehindEngine`] (see [`WriteBehindEngine::snapshot`]). The
+    /// cache is deliberately bypassed: a
+    /// [`PinnedView`](crate::writebehind::PinnedView) answers from its
+    /// frozen tiers only, while the cache tracks the *live* mapping —
+    /// serving pinned reads through it would either pollute it with
+    /// historical payloads or let live fills leak into the pinned past.
+    pub fn snapshot(&self) -> crate::writebehind::PinnedView<K> {
+        self.inner.snapshot()
+    }
 }
 
 impl<K: Key, E: QueryEngine<K>> QueryEngine<K> for CachedEngine<K, E> {

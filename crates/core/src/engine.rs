@@ -151,6 +151,18 @@ pub trait QueryEngine<K: Key>: Send + Sync {
         self.get_batch(keys, &mut out);
         out
     }
+
+    /// Execute a batch of point lookups, parallelizing across threads when
+    /// the engine can and the batch is large enough to amortize dispatch
+    /// (same contract as [`QueryEngine::get_batch`], preserving order).
+    ///
+    /// The default implementation is the serial [`QueryEngine::get_batch`];
+    /// engines with internal parallelism (a sharded layout) override it, so
+    /// compositors above — snapshots included — can fan a batch out through
+    /// a type-erased inner engine without knowing its concrete shape.
+    fn par_get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        self.get_batch(keys, out)
+    }
 }
 
 impl<K: Key, E: QueryEngine<K> + ?Sized> QueryEngine<K> for Box<E> {
@@ -180,6 +192,9 @@ impl<K: Key, E: QueryEngine<K> + ?Sized> QueryEngine<K> for Box<E> {
     }
     fn lookup_batch(&self, keys: &[K]) -> Vec<Option<u64>> {
         (**self).lookup_batch(keys)
+    }
+    fn par_get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        (**self).par_get_batch(keys, out)
     }
 }
 

@@ -303,7 +303,9 @@ impl FenceBits {
 pub enum RunFilter {
     /// Pass-through: admits every key (policy opted out of filtering).
     None,
+    /// Register-blocked Bloom filter — point-probe pruning.
     Bloom(BlockedBloom),
+    /// Bucketed fence bits over the key range — prunes range probes too.
     Fence(FenceBits),
 }
 

@@ -38,7 +38,12 @@
 //!   layers a bounded mutable delta buffer over any immutable base engine,
 //!   absorbing writes in the delta and folding them into a rebuilt base
 //!   when a size threshold is crossed — synchronously or on a background
-//!   merge thread with an epoch-pointer engine swap.
+//!   merge thread with an epoch-pointer engine swap. The epoch pointer is
+//!   also exposed directly: [`WriteBehindEngine::snapshot`] pins a
+//!   [`PinnedView`] — a consistent point-in-time read handle over one
+//!   generation — and every immutable tier carries a deterministic
+//!   content hash for spool verification, replica comparison
+//!   ([`WriteBehindEngine::fingerprint`]), and run dedupe.
 //! * [`store`] — the persistence layer: the [`BlockStore`] page-storage
 //!   contract (in-memory and file-backed), [`StorageProfile`] latency
 //!   injection for RAM / NVMe-like / NFS-like backends, and the versioned,
@@ -56,6 +61,10 @@
 //!   factory.
 //! * [`testutil`] — minimal reference implementations of both interfaces
 //!   for doctests and harness smoke checks.
+
+// Every public item in this crate is documentation surface; CI denies the
+// lint (rustdoc-coverage step) so the surface cannot silently regress.
+#![warn(missing_docs)]
 
 pub mod advisor;
 pub mod bound;
@@ -97,8 +106,11 @@ pub use search::{LastMileSearch, SearchStrategy};
 pub use serve::{RequestScheduler, RequestShed, Response, SchedulerConfig, SchedulerStats};
 pub use shard::{partition_points, ParallelBatchView, ShardedEngine, PAR_MIN_KEYS_PER_WORKER};
 pub use store::{
-    write_snapshot, write_snapshot_with_filter, BlockStore, FileStore, MemStore, PagedData,
-    ProfiledStore, StorageProfile, StoreError, StoreStats, DEFAULT_PAGE_SIZE,
+    content_hash_fold, content_hash_stream, snapshot_content_hash, write_snapshot,
+    write_snapshot_with_filter, BlockStore, FileStore, MemStore, PagedData, ProfiledStore,
+    StorageProfile, StoreError, StoreStats, CONTENT_HASH_SEED, DEFAULT_PAGE_SIZE,
 };
 pub use trace::{CountingTracer, NullTracer, Tracer};
-pub use writebehind::{LeveledTuning, MergeMode, MergePolicy, WriteBehindEngine};
+pub use writebehind::{
+    LeveledTuning, MergeMode, MergePolicy, PinnedView, SpoolVerifyReport, WriteBehindEngine,
+};

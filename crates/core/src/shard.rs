@@ -430,6 +430,13 @@ impl<K: Key> QueryEngine<K> for ShardedEngine<K> {
         let (offsets, grouped_keys, positions) = self.group_by_shard(keys);
         self.exec_groups_serial(&offsets, &grouped_keys, &positions, base, out);
     }
+
+    /// The inherent shard-parallel path ([`ShardedEngine::par_get_batch`]),
+    /// surfaced through the trait so type-erased callers (snapshots, the
+    /// write-behind base) fan out without knowing the concrete shape.
+    fn par_get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        ShardedEngine::par_get_batch(self, keys, out)
+    }
 }
 
 #[cfg(test)]

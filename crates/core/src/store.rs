@@ -35,6 +35,16 @@
 //! the rank-derived default (`payload(i) == splitmix64(i)`), the writer
 //! sets a header flag and elides the payload section entirely; readers
 //! reconstruct payloads arithmetically and skip payload I/O.
+//!
+//! Every snapshot additionally carries a **logical content hash**
+//! ([`content_hash_stream`]): a deterministic splitmix64 chain over the
+//! sorted key/payload/tombstone stream, stamped into the header at write
+//! time. Identical logical contents hash identically regardless of page
+//! size, payload elision, or filter sections, so replicas and manifests
+//! compare and dedupe snapshots by one 64-bit word;
+//! [`PagedData::verify_content_hash`] re-derives it from the validated
+//! sections on a cold open. The full byte-level format specification
+//! lives in `docs/FORMATS.md`.
 
 use crate::data::SortedData;
 use crate::error::DataError;
@@ -63,6 +73,42 @@ pub const MIN_PAGE_SIZE: usize = 128;
 
 /// Default page size when a spec leaves it unset.
 pub const DEFAULT_PAGE_SIZE: usize = 4096;
+
+/// Seed of every content-hash chain. Non-zero so the (degenerate) empty
+/// stream does not hash to zero, and distinct from the page-checksum seed
+/// so the two families of check values can never be confused for one
+/// another.
+pub const CONTENT_HASH_SEED: u64 = u64::from_le_bytes(*b"SOSDHASH");
+
+/// Tag mixed into a live entry's payload word so a live entry and a
+/// tombstone of the same key can never fold to the same chain state.
+const CONTENT_HASH_LIVE_TAG: u64 = 0xA5A5_5A5A_C3C3_3C3C;
+
+/// Fold one logical entry into a running content hash: the key, then the
+/// entry's state — `Some(payload)` for a live record, `None` for a
+/// tombstone. The chain is order-sensitive by construction (entries must
+/// be folded in sorted key order), so two streams holding the same
+/// entries agree exactly when they present them identically.
+#[inline]
+pub fn content_hash_fold<K: Key>(h: u64, key: K, state: Option<u64>) -> u64 {
+    let h = splitmix64(h ^ splitmix64(key.to_u64()));
+    let state_word = match state {
+        Some(payload) => splitmix64(payload ^ CONTENT_HASH_LIVE_TAG),
+        None => 0,
+    };
+    splitmix64(h ^ state_word)
+}
+
+/// Content hash of a whole logical entry stream, presented in sorted key
+/// order: [`content_hash_fold`] chained from [`CONTENT_HASH_SEED`].
+///
+/// This is the **logical identity** of a snapshot or run: identical
+/// key/payload/tombstone streams produce identical hashes no matter how
+/// they are paged, filtered, or payload-elided on storage — which is what
+/// lets manifests verify cold opens and replicas dedupe by hash alone.
+pub fn content_hash_stream<K: Key>(entries: impl IntoIterator<Item = (K, Option<u64>)>) -> u64 {
+    entries.into_iter().fold(CONTENT_HASH_SEED, |h, (k, state)| content_hash_fold(h, k, state))
+}
 
 /// Errors from the storage layer. Corruption is always reported as a
 /// distinct, page-addressed error — never surfaced as garbage data.
@@ -551,6 +597,12 @@ const FLAG_HAS_FILTER: u32 = 2;
 /// section. Snapshots written before this flag existed have it zeroed
 /// and read exactly as before.
 const FLAG_DERIVED_PAYLOADS: u32 = 4;
+/// Header flag: the `CONTENT_HASH` header field holds the snapshot's
+/// logical content hash ([`content_hash_stream`] over the merged
+/// live+tombstone stream). Every snapshot written since the field existed
+/// sets it; snapshots from before have the flag (and the field) zeroed
+/// and read exactly as before — they simply report no stored hash.
+const FLAG_HAS_CONTENT_HASH: u32 = 8;
 
 /// Byte offsets of the fixed header fields within page 0's body.
 mod hdr {
@@ -570,6 +622,8 @@ mod hdr {
     pub const FILTER_KIND: usize = 80;
     pub const N_FILTER_BYTES: usize = 88;
     pub const FILTER_PAGES: usize = 96;
+    /// Logical content hash; zero when FLAG_HAS_CONTENT_HASH is unset.
+    pub const CONTENT_HASH: usize = 104;
 }
 
 fn put_u32(buf: &mut [u8], off: usize, v: u32) {
@@ -699,6 +753,28 @@ pub fn write_snapshot<K: Key>(
     write_snapshot_with_filter(store, data, dead, None)
 }
 
+/// The logical content hash of a snapshot's entry stream: one
+/// [`content_hash_fold`] per `data` entry in key order, folding entries
+/// whose key appears in `dead` as tombstones and every other entry as
+/// live. `dead` is sorted and a subset of `data`'s key column (tombstoned
+/// keys ride in the data array with payload 0 — the write-behind run
+/// layout), so this reconstructs exactly the shadow stream the run was
+/// frozen from and equals [`content_hash_stream`] over that stream.
+pub fn snapshot_content_hash<K: Key>(data: &SortedData<K>, dead: &[K]) -> u64 {
+    let mut h = CONTENT_HASH_SEED;
+    let mut j = 0usize;
+    for i in 0..data.len() {
+        let k = data.key(i);
+        if j < dead.len() && dead[j] == k {
+            j += 1;
+            h = content_hash_fold(h, k, None);
+        } else {
+            h = content_hash_fold(h, k, Some(data.payload(i)));
+        }
+    }
+    h
+}
+
 /// [`write_snapshot`] plus an optional run-filter section: `(kind_code,
 /// payload)` as produced by `sosd_core::filter`. The section is appended
 /// after the dead-key pages, paged and checksummed like every other
@@ -723,7 +799,7 @@ pub fn write_snapshot_with_filter<K: Key>(
         Layout::new(page_size, key_bytes, data.len(), dead.len(), n_filter_bytes, derived_payloads);
 
     // Header.
-    let mut flags = 0u32;
+    let mut flags = FLAG_HAS_CONTENT_HASH;
     if !dead.is_empty() {
         flags |= FLAG_HAS_DEAD;
     }
@@ -751,6 +827,7 @@ pub fn write_snapshot_with_filter<K: Key>(
         put_u64(&mut page_buf, hdr::N_FILTER_BYTES, bytes.len() as u64);
         put_u64(&mut page_buf, hdr::FILTER_PAGES, layout.filter_pages as u64);
     }
+    put_u64(&mut page_buf, hdr::CONTENT_HASH, snapshot_content_hash(data, dead));
     let sum = page_checksum(&page_buf[..layout.usable], 0);
     put_u64(&mut page_buf, layout.usable, sum);
     store.write_page(0, &page_buf)?;
@@ -819,6 +896,9 @@ pub struct PagedData<K: Key> {
     has_dead: bool,
     /// Kind code of the optional filter section (`None` without one).
     filter_kind: Option<u32>,
+    /// Stored logical content hash (`None` for snapshots written before
+    /// the field existed).
+    content_hash: Option<u64>,
 }
 
 impl<K: Key> fmt::Debug for PagedData<K> {
@@ -927,6 +1007,8 @@ impl<K: Key> PagedData<K> {
             max_key: K::from_u64(get_u64(&page_buf, hdr::MAX_KEY)),
             has_dead: flags & FLAG_HAS_DEAD != 0,
             filter_kind: has_filter.then(|| get_u32(&page_buf, hdr::FILTER_KIND)),
+            content_hash: (flags & FLAG_HAS_CONTENT_HASH != 0)
+                .then(|| get_u64(&page_buf, hdr::CONTENT_HASH)),
         })
     }
 
@@ -1123,6 +1205,40 @@ impl<K: Key> PagedData<K> {
     /// True when the snapshot carries a persisted run-filter section.
     pub fn has_filter_section(&self) -> bool {
         self.filter_kind.is_some()
+    }
+
+    /// The logical content hash stamped into the header at write time, or
+    /// `None` for snapshots written before the field existed.
+    pub fn content_hash(&self) -> Option<u64> {
+        self.content_hash
+    }
+
+    /// Re-derive the snapshot's logical content hash from its (checksum-
+    /// validated) key, payload, and dead-key sections and compare it
+    /// against the stored header field, returning the verified hash.
+    ///
+    /// This is the deep end of snapshot verification: page checksums catch
+    /// physical corruption page by page, while the content hash pins the
+    /// *logical stream* — a structurally valid snapshot substituted for
+    /// another (or a manifest pointing at the wrong file) fails here even
+    /// though every page checksum passes. Snapshots without a stored hash
+    /// return the recomputed value, so callers holding an external
+    /// reference hash (a spool manifest line) can still compare.
+    pub fn verify_content_hash(&self) -> Result<u64, StoreError> {
+        let (data, dead) = self.load()?;
+        let recomputed = snapshot_content_hash(&data, &dead);
+        if let Some(stored) = self.content_hash {
+            if stored != recomputed {
+                return Err(StoreError::Corrupt {
+                    page: 0,
+                    detail: format!(
+                        "content hash mismatch: header {stored:#018x}, \
+                         sections hash to {recomputed:#018x}"
+                    ),
+                });
+            }
+        }
+        Ok(recomputed)
     }
 
     /// The optional run-filter section: `(kind_code, payload)` as written

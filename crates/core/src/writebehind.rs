@@ -82,6 +82,29 @@
 //! and survive every swap untouched. Compaction swaps never change the
 //! *visible* mapping at all (they only fold already-shadowed records
 //! away), so in-flight readers cannot observe a compaction.
+//!
+//! # Pinned snapshots and content hashes
+//!
+//! [`WriteBehindEngine::snapshot`] turns the epoch pointer into a
+//! first-class handle: a [`PinnedView`] clones the current generation
+//! `Arc` and copies the delta (active merged over frozen) once, so every
+//! read through the handle — point, batch, ordered — sees exactly the
+//! mapping that was visible at pin time. Concurrent inserts, removes,
+//! merges, compactions, and density rewrites only ever publish *newer*
+//! generations, which the pin never observes; the pinned generation's
+//! memory is reclaimed by the same refcount rule as any in-flight
+//! reader's, when its last holder drops ([`WriteBehindEngine::active_pins`]
+//! counts outstanding pins).
+//!
+//! Every immutable tier also carries a deterministic **content hash** of
+//! its logical entry stream ([`crate::store::content_hash_stream`]):
+//! computed at freeze/rebuild time, stamped into the snapshot header and
+//! the spool manifest (`hash <file> <hex>` lines), and re-derivable from
+//! the persisted sections. Identical logical state hashes identically, so
+//! [`WriteBehindEngine::verify_spool`] can audit a spool cold — catching
+//! flipped bits, substituted files, and lying manifests — and
+//! [`PinnedView::fingerprint`] folds the whole visible mapping into one
+//! root hash for replica comparison and run dedupe.
 
 use crate::advisor::{AccessMix, ObservabilityHub};
 use crate::data::SortedData;
@@ -90,7 +113,11 @@ use crate::engine::QueryEngine;
 use crate::error::BuildError;
 use crate::filter::{FilterKind, FilterProbe, RunFilter};
 use crate::key::Key;
-use crate::store::{write_snapshot_with_filter, FileStore, PagedData, StorageProfile, StoreError};
+use crate::store::{
+    content_hash_fold, content_hash_stream, snapshot_content_hash, write_snapshot_with_filter,
+    FileStore, PagedData, StorageProfile, StoreError, CONTENT_HASH_SEED,
+};
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -318,11 +345,18 @@ struct Run<K: Key> {
     /// Snapshot file name inside the spool directory (`Some` exactly when
     /// the engine runs with a [`WriteBehindEngine::with_spool`] spool).
     file: Option<String>,
+    /// Deterministic content hash of the run's logical shadow stream
+    /// ([`content_hash_stream`] over its sorted entries, tombstones
+    /// included) — computed once at build time, stamped into the run's
+    /// snapshot header and spool manifest, and compared on cold re-open.
+    /// Two runs frozen from identical logical state hash identically.
+    content_hash: u64,
 }
 
 impl<K: Key> Run<K> {
     /// Build a run from sorted shadow entries (non-empty, unique keys);
-    /// the filter is built in the same pass over the key column.
+    /// the filter and content hash are built in the same pass over the
+    /// entry stream.
     fn build(
         entries: &[Shadow<K>],
         factory: &BaseFactory<K>,
@@ -332,10 +366,11 @@ impl<K: Key> Run<K> {
         let payloads: Vec<u64> = entries.iter().map(|e| e.1.unwrap_or(0)).collect();
         let dead_keys: Vec<K> = entries.iter().filter(|e| e.1.is_none()).map(|e| e.0).collect();
         let filter = RunFilter::build(filter_kind, keys.iter().map(|k| k.to_u64()), keys.len());
+        let content_hash = content_hash_stream(entries.iter().copied());
         let data = Arc::new(SortedData::with_payloads(keys, payloads).map_err(BuildError::Data)?);
         let engine = factory(Arc::clone(&data))?;
         let (min_key, max_key) = (data.min_key(), data.max_key());
-        Ok(Run { engine, data, dead_keys, filter, min_key, max_key, file: None })
+        Ok(Run { engine, data, dead_keys, filter, min_key, max_key, file: None, content_hash })
     }
 
     fn len(&self) -> usize {
@@ -456,6 +491,11 @@ struct Generation<K: Key> {
     /// exactly when a spool is attached). Shared by `Arc` because stack
     /// swaps reuse the base without rewriting its snapshot.
     base_file: Option<Arc<str>>,
+    /// Content hash of the base's logical entry stream (every base entry
+    /// is live — tombstones are folded away before a base rebuild).
+    /// Computed once per base build and carried through stack swaps, like
+    /// `base_file`.
+    base_hash: u64,
 }
 
 /// One run's entry in [`Generation::probe_runs`].
@@ -475,6 +515,7 @@ impl<K: Key> Generation<K> {
         data: Arc<SortedData<K>>,
         epoch: u64,
         base_file: Option<Arc<str>>,
+        base_hash: u64,
     ) -> Generation<K> {
         let probe_runs = levels
             .iter()
@@ -486,7 +527,7 @@ impl<K: Key> Generation<K> {
                 run: Arc::clone(run),
             })
             .collect();
-        Generation { levels, probe_runs, base, data, epoch, base_file }
+        Generation { levels, probe_runs, base, data, epoch, base_file, base_hash }
     }
 
     /// Runs in shadowing order: newest first.
@@ -599,6 +640,32 @@ fn merge_shadows_over_base<K: Key>(
     Some(SortedData::with_payloads(keys, payloads).expect("shadow merge preserves order"))
 }
 
+/// Overlay sorted unique shadow entries on a sorted base range result: a
+/// value replaces the whole duplicate group of its key and a tombstone
+/// drops it — the in-memory mirror of [`merge_shadows_over_base`], shared
+/// by the live engine's and a pinned view's `range`.
+fn overlay_shadows<K: Key>(shadows: Vec<Shadow<K>>, base: Vec<(K, u64)>) -> Vec<(K, u64)> {
+    if shadows.is_empty() {
+        return base;
+    }
+    let mut out = Vec::with_capacity(base.len() + shadows.len());
+    let mut i = 0;
+    for (dk, dv) in shadows {
+        while i < base.len() && base[i].0 < dk {
+            out.push(base[i]);
+            i += 1;
+        }
+        while i < base.len() && base[i].0 == dk {
+            i += 1; // shadowed duplicate group
+        }
+        if let Some(v) = dv {
+            out.push((dk, v));
+        }
+    }
+    out.extend_from_slice(&base[i..]);
+    out
+}
+
 /// The snapshot spool: a directory the engine persists its immutable tiers
 /// into as they are created, so the whole stack can be re-opened cold (see
 /// the module docs for the durability boundary).
@@ -658,7 +725,13 @@ impl Spool {
     /// Durably point the manifest at `generation` (tmp-write + rename),
     /// then sweep snapshot files the manifest no longer references. Runs
     /// only after the generation swap, so a crash at any point leaves a
-    /// manifest describing one complete, re-openable stack.
+    /// manifest describing one complete, re-openable stack. Every
+    /// referenced file also gets a `hash <file> <hex>` line carrying its
+    /// content hash, so a cold open (and
+    /// [`WriteBehindEngine::verify_spool`]) can pin each snapshot to the
+    /// exact logical stream this commit referenced — a structurally valid
+    /// but substituted file fails the manifest, not just the page
+    /// checksums.
     fn commit<K: Key>(&self, generation: &Generation<K>) {
         let base_file =
             generation.base_file.as_deref().expect("spooled generation carries a base file");
@@ -677,6 +750,11 @@ impl Spool {
             }
             manifest.push('\n');
         }
+        manifest.push_str(&format!("hash {base_file} {:016x}\n", generation.base_hash));
+        for run in generation.runs_newest_first() {
+            let file = run.file.as_deref().expect("spooled run carries a file");
+            manifest.push_str(&format!("hash {file} {:016x}\n", run.content_hash));
+        }
         let tmp = self.dir.join("manifest.tmp");
         let commit = fs::write(&tmp, &manifest)
             .and_then(|()| fs::rename(&tmp, self.dir.join(MANIFEST_FILE)));
@@ -693,6 +771,101 @@ impl Spool {
                     let _ = fs::remove_file(entry.path());
                 }
             }
+        }
+    }
+}
+
+/// A parsed spool manifest — the single definition of the manifest
+/// protocol, shared by [`WriteBehindEngine::open_spool`] (cold re-open)
+/// and [`WriteBehindEngine::verify_spool`] (offline audit).
+struct SpoolManifest {
+    page_size: usize,
+    epoch: u64,
+    base: String,
+    /// Referenced run files per level, newest level first.
+    levels: Vec<Vec<String>>,
+    /// Content hash per referenced file, from the manifest's `hash`
+    /// lines. Empty for manifests written before hashes existed — absent
+    /// hashes mean "unverifiable", never "invalid".
+    hashes: HashMap<String, u64>,
+}
+
+impl SpoolManifest {
+    /// Read and parse the manifest inside `dir`.
+    fn read(dir: &Path) -> Result<SpoolManifest, BuildError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).map_err(|e| {
+            BuildError::Unbuildable(format!("spool manifest {}: {e}", path.display()))
+        })?;
+        SpoolManifest::parse(&text)
+    }
+
+    /// Parse the manifest text: the version header, then one directive
+    /// per line (`page_size`, `epoch`, `base`, `level`, `hash`). Unknown
+    /// directives are rejected — a manifest from a future format version
+    /// must fail loudly, not be half-read.
+    fn parse(text: &str) -> Result<SpoolManifest, BuildError> {
+        let bad = |detail: String| BuildError::Unbuildable(format!("spool manifest: {detail}"));
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(bad(format!("expected header `{MANIFEST_HEADER}`")));
+        }
+        let mut page_size = 0usize;
+        let mut epoch = 0u64;
+        let mut base: Option<String> = None;
+        let mut levels: Vec<Vec<String>> = Vec::new();
+        let mut hashes: HashMap<String, u64> = HashMap::new();
+        for line in lines {
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("page_size") => {
+                    page_size = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad page_size line".into()))?;
+                }
+                Some("epoch") => {
+                    epoch = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad epoch line".into()))?;
+                }
+                Some("base") => {
+                    base =
+                        Some(fields.next().ok_or_else(|| bad("bad base line".into()))?.to_string());
+                }
+                Some("level") => levels.push(fields.map(String::from).collect()),
+                Some("hash") => {
+                    let file = fields.next().ok_or_else(|| bad("bad hash line".into()))?;
+                    let value = fields
+                        .next()
+                        .and_then(|v| u64::from_str_radix(v, 16).ok())
+                        .ok_or_else(|| bad(format!("bad hash value for {file}")))?;
+                    hashes.insert(file.to_string(), value);
+                }
+                None => {}
+                Some(other) => return Err(bad(format!("unknown directive `{other}`"))),
+            }
+        }
+        let base = base.ok_or_else(|| bad("no base line".into()))?;
+        Ok(SpoolManifest { page_size, epoch, base, levels, hashes })
+    }
+
+    /// Every referenced snapshot file: the base, then each level's runs,
+    /// newest level first.
+    fn files(&self) -> impl Iterator<Item = &String> {
+        std::iter::once(&self.base).chain(self.levels.iter().flatten())
+    }
+
+    /// The manifest's content hash for `file`, compared against `actual`;
+    /// an absent line passes (older manifests carry no hashes).
+    fn check_hash(&self, file: &str, actual: u64) -> Result<(), BuildError> {
+        match self.hashes.get(file) {
+            Some(&expected) if expected != actual => Err(BuildError::Unbuildable(format!(
+                "spool snapshot {file}: manifest content hash {expected:#018x} does not match \
+                 the file's hash {actual:#018x}"
+            ))),
+            _ => Ok(()),
         }
     }
 }
@@ -743,6 +916,12 @@ struct Shared<K: Key> {
     removes: AtomicU64,
     /// The snapshot spool, when persistence was requested at construction.
     spool: Option<Spool>,
+    /// Outstanding [`PinnedView`] handles. Purely observability: the pins
+    /// themselves keep their generation alive through its `Arc` (the same
+    /// refcount rule as any in-flight reader), and this counter lets
+    /// harnesses assert that pins drain ([`WriteBehindEngine::active_pins`]).
+    /// Shared by `Arc` so a pin outliving its engine can still decrement.
+    pins: Arc<AtomicUsize>,
     /// Exact number of entries a full range scan returns right now: a
     /// shadow value over a base duplicate group collapses the whole group
     /// to one visible entry, and a tombstone hides its key entirely.
@@ -863,12 +1042,14 @@ impl<K: Key> Shared<K> {
                     .spool
                     .as_ref()
                     .map(|s| Arc::from(s.persist("base", &merged, &[], None).as_str()));
+                let base_hash = snapshot_content_hash(&merged, &[]);
                 let next = Arc::new(Generation::new(
                     Vec::new(),
                     Arc::new(engine),
                     merged,
                     generation.epoch + 1,
                     base_file,
+                    base_hash,
                 ));
                 // The O(1) swap: install the merged generation and clear
                 // the frozen tier in one critical section, so no reader can
@@ -925,6 +1106,7 @@ impl<K: Key> Shared<K> {
                     Arc::clone(&generation.data),
                     generation.epoch + 1,
                     generation.base_file.clone(),
+                    generation.base_hash,
                 ));
                 let mut st = self.state.write().expect("writebehind state lock");
                 st.generation = Arc::clone(&next);
@@ -1009,6 +1191,7 @@ impl<K: Key> Shared<K> {
                         Arc::clone(&generation.data),
                         generation.epoch + 1,
                         generation.base_file.clone(),
+                        generation.base_hash,
                     )
                 })
             } else {
@@ -1026,12 +1209,14 @@ impl<K: Key> Shared<K> {
                             .spool
                             .as_ref()
                             .map(|s| Arc::from(s.persist("base", &data, &[], None).as_str()));
+                        let base_hash = snapshot_content_hash(&data, &[]);
                         Generation::new(
                             levels,
                             Arc::new(base),
                             data,
                             generation.epoch + 1,
                             base_file,
+                            base_hash,
                         )
                     })
                 } else {
@@ -1056,6 +1241,7 @@ impl<K: Key> Shared<K> {
                             Arc::clone(&generation.data),
                             generation.epoch + 1,
                             generation.base_file.clone(),
+                            generation.base_hash,
                         )
                     })
                 }
@@ -1170,6 +1356,7 @@ impl<K: Key> Shared<K> {
             Arc::clone(&generation.data),
             generation.epoch + 1,
             generation.base_file.clone(),
+            generation.base_hash,
         ));
         let mut st = self.state.write().expect("writebehind state lock");
         st.generation = Arc::clone(&next);
@@ -1306,7 +1493,8 @@ impl<K: Key> WriteBehindEngine<K> {
         }
         policy.validate()?;
         let engine = Arc::new((base_factory)(Arc::clone(&data))?);
-        let generation = Arc::new(Generation::new(Vec::new(), engine, data, 0, None));
+        let base_hash = snapshot_content_hash(&data, &[]);
+        let generation = Arc::new(Generation::new(Vec::new(), engine, data, 0, None, base_hash));
         Ok(Self::assemble(
             generation,
             base_factory,
@@ -1353,12 +1541,14 @@ impl<K: Key> WriteBehindEngine<K> {
             BuildError::Unbuildable(format!("spool base snapshot {base_name}: {e}"))
         })?;
         let engine = Arc::new((base_factory)(Arc::clone(&data))?);
+        let base_hash = snapshot_content_hash(&data, &[]);
         let generation = Arc::new(Generation::new(
             Vec::new(),
             engine,
             data,
             0,
             Some(Arc::from(base_name.as_str())),
+            base_hash,
         ));
         spool.commit(&generation);
         Ok(Self::assemble(
@@ -1392,44 +1582,11 @@ impl<K: Key> WriteBehindEngine<K> {
             return Err(BuildError::InvalidConfig("merge threshold must be >= 1".into()));
         }
         policy.validate()?;
-        let manifest_path = dir.join(MANIFEST_FILE);
-        let text = fs::read_to_string(&manifest_path).map_err(|e| {
-            BuildError::Unbuildable(format!("spool manifest {}: {e}", manifest_path.display()))
-        })?;
+        let manifest = SpoolManifest::read(dir)?;
         let bad = |detail: String| BuildError::Unbuildable(format!("spool manifest: {detail}"));
-        let mut lines = text.lines();
-        if lines.next() != Some(MANIFEST_HEADER) {
-            return Err(bad(format!("expected header `{MANIFEST_HEADER}`")));
-        }
-        let mut page_size = 0usize;
-        let mut epoch = 0u64;
-        let mut base_name: Option<String> = None;
-        let mut level_files: Vec<Vec<String>> = Vec::new();
-        for line in lines {
-            let mut fields = line.split_whitespace();
-            match fields.next() {
-                Some("page_size") => {
-                    page_size = fields
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| bad("bad page_size line".into()))?;
-                }
-                Some("epoch") => {
-                    epoch = fields
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| bad("bad epoch line".into()))?;
-                }
-                Some("base") => {
-                    base_name =
-                        Some(fields.next().ok_or_else(|| bad("bad base line".into()))?.to_string());
-                }
-                Some("level") => level_files.push(fields.map(String::from).collect()),
-                None => {}
-                Some(other) => return Err(bad(format!("unknown directive `{other}`"))),
-            }
-        }
-        let base_name = base_name.ok_or_else(|| bad("no base line".into()))?;
+        let SpoolManifest { page_size, epoch, base: base_name, levels: level_files, .. } =
+            &manifest;
+        let (page_size, epoch) = (*page_size, *epoch);
         if !level_files.iter().all(|l| l.is_empty()) && policy == MergePolicy::Flat {
             return Err(BuildError::InvalidConfig(
                 "flat policy cannot re-open a spool with frozen runs (their entries would \
@@ -1437,7 +1594,7 @@ impl<K: Key> WriteBehindEngine<K> {
                     .into(),
             ));
         }
-        type Loaded<K> = (SortedData<K>, Vec<K>, Option<(u32, Vec<u8>)>);
+        type Loaded<K> = (SortedData<K>, Vec<K>, Option<(u32, Vec<u8>)>, u64);
         let load = |name: &String| -> Result<Loaded<K>, BuildError> {
             let snap_err =
                 |e: StoreError| BuildError::Unbuildable(format!("spool snapshot {name}: {e}"));
@@ -1445,9 +1602,25 @@ impl<K: Key> WriteBehindEngine<K> {
                 .map_err(snap_err)?;
             let (data, dead) = paged.load().map_err(snap_err)?;
             let filter = paged.read_filter().map_err(snap_err)?;
-            Ok((data, dead, filter))
+            // Re-derive the logical content hash from the loaded sections
+            // and pin it against both the snapshot's own header and the
+            // manifest's `hash` line (each absent in files/manifests from
+            // before hashes existed): page checksums catch flipped bits,
+            // these two catch a structurally valid file that is not the
+            // one the manifest committed.
+            let hash = snapshot_content_hash(&data, &dead);
+            if let Some(stored) = paged.content_hash() {
+                if stored != hash {
+                    return Err(BuildError::Unbuildable(format!(
+                        "spool snapshot {name}: header content hash {stored:#018x} does not \
+                         match the loaded sections ({hash:#018x})"
+                    )));
+                }
+            }
+            manifest.check_hash(name, hash)?;
+            Ok((data, dead, filter, hash))
         };
-        let (base_data, base_dead, _) = load(&base_name)?;
+        let (base_data, base_dead, _, base_hash) = load(base_name)?;
         if !base_dead.is_empty() {
             return Err(bad(format!(
                 "base snapshot {base_name} carries {} tombstones; tombstones are never \
@@ -1458,10 +1631,10 @@ impl<K: Key> WriteBehindEngine<K> {
         let base_data = Arc::new(base_data);
         let base = Arc::new((base_factory)(Arc::clone(&base_data))?);
         let mut levels = Vec::with_capacity(level_files.len());
-        for files in &level_files {
+        for files in level_files {
             let mut level = Vec::with_capacity(files.len());
             for file in files {
-                let (data, dead_keys, stored_filter) = load(file)?;
+                let (data, dead_keys, stored_filter, content_hash) = load(file)?;
                 let data = Arc::new(data);
                 let engine = (base_factory)(Arc::clone(&data))?;
                 // Filters are derived state: deserialize the persisted one
@@ -1491,6 +1664,7 @@ impl<K: Key> WriteBehindEngine<K> {
                     min_key,
                     max_key,
                     file: Some(file.clone()),
+                    content_hash,
                 }));
             }
             levels.push(level);
@@ -1507,8 +1681,8 @@ impl<K: Key> WriteBehindEngine<K> {
             merge_shadows_over_base(&base_data, &shadows).map_or(0, |d| d.len())
         };
         // Snapshot ids are monotone; resume past everything referenced.
-        let next_id = std::iter::once(&base_name)
-            .chain(level_files.iter().flatten())
+        let next_id = manifest
+            .files()
             .filter_map(|name| name.split_once('-')?.1.strip_suffix(".snap")?.parse::<u64>().ok())
             .max()
             .map_or(0, |id| id + 1);
@@ -1518,6 +1692,7 @@ impl<K: Key> WriteBehindEngine<K> {
             base_data,
             epoch,
             Some(Arc::from(base_name.as_str())),
+            base_hash,
         ));
         let spool = Spool { dir: dir.to_path_buf(), page_size, next_id: AtomicU64::new(next_id) };
         let engine = Self::assemble(
@@ -1568,6 +1743,7 @@ impl<K: Key> WriteBehindEngine<K> {
                 writes: AtomicU64::new(0),
                 removes: AtomicU64::new(0),
                 spool,
+                pins: Arc::new(AtomicUsize::new(0)),
                 visible_len: AtomicUsize::new(visible),
             }),
             mode,
@@ -1933,6 +2109,83 @@ impl<K: Key> WriteBehindEngine<K> {
                 .sum::<u64>()
     }
 
+    /// Pin a consistent point-in-time view: one `Arc` clone of the
+    /// current generation plus one copy of the delta (active merged over
+    /// frozen), taken under a single read-lock acquisition. Every read
+    /// through the returned [`PinnedView`] — point, batch, ordered —
+    /// answers from exactly the mapping visible at this instant;
+    /// concurrent inserts, removes, merges, compactions, density
+    /// rewrites, and retunes publish *newer* generations the pin never
+    /// observes. The pin costs `O(delta)` to take (the immutable tiers
+    /// are shared, not copied) and holds its generation's memory alive
+    /// until dropped — the same refcount rule as any in-flight reader.
+    pub fn snapshot(&self) -> PinnedView<K> {
+        let (generation, delta, visible_len) = {
+            let st = self.shared.state.read().expect("writebehind state lock");
+            // `delta_entries` is half-open, so the extreme key needs one
+            // explicit probe (mirroring the merge drain).
+            let mut delta = st.delta_entries(K::MIN_KEY, K::MAX_KEY);
+            if let Some(state) = st.delta_state(K::MAX_KEY) {
+                delta.push((K::MAX_KEY, state));
+            }
+            // `visible_len` is only ever updated under the state *write*
+            // lock, so this read is coherent with the delta copy above.
+            (Arc::clone(&st.generation), delta, self.shared.visible_len.load(Ordering::Relaxed))
+        };
+        self.shared.pins.fetch_add(1, Ordering::Relaxed);
+        PinnedView {
+            generation,
+            delta: delta.into(),
+            visible_len,
+            _pin: PinGuard { pins: Arc::clone(&self.shared.pins) },
+        }
+    }
+
+    /// Outstanding [`PinnedView`] handles (clones included). Purely
+    /// observability — harnesses assert this drains back to zero to prove
+    /// pinned generations are reclaimable, not leaked.
+    pub fn active_pins(&self) -> usize {
+        self.shared.pins.load(Ordering::Acquire)
+    }
+
+    /// The root content hash of the engine's *visible* logical mapping —
+    /// [`PinnedView::fingerprint`] of a snapshot taken now. Two engines
+    /// serving the same mapping report equal fingerprints regardless of
+    /// how their physical tiers differ (delta vs. runs vs. base, flat vs.
+    /// leveled, before vs. after a compaction).
+    pub fn fingerprint(&self) -> u64 {
+        self.snapshot().fingerprint()
+    }
+
+    /// Audit a spool directory cold, without building any engine: parse
+    /// the manifest, open every referenced snapshot (every page checksum
+    /// is verified on the way), re-derive each snapshot's logical content
+    /// hash from its sections, and compare it against both the snapshot's
+    /// own header and the manifest's `hash` line. Any mismatch — a
+    /// flipped bit, a structurally valid file substituted for another, a
+    /// manifest edited to lie — fails loudly with the offending file
+    /// named. Returns what was checked, so callers can also assert
+    /// coverage (`hashed == files.len()` for spools written by this
+    /// version).
+    pub fn verify_spool(dir: &Path) -> Result<SpoolVerifyReport, BuildError> {
+        let manifest = SpoolManifest::read(dir)?;
+        let mut files = Vec::new();
+        let mut hashed = 0usize;
+        for name in manifest.files() {
+            let snap_err =
+                |e: StoreError| BuildError::Unbuildable(format!("spool snapshot {name}: {e}"));
+            let paged = PagedData::<K>::open_file(&dir.join(name), StorageProfile::RAM)
+                .map_err(snap_err)?;
+            let hash = paged.verify_content_hash().map_err(snap_err)?;
+            if manifest.hashes.contains_key(name.as_str()) {
+                hashed += 1;
+                manifest.check_hash(name, hash)?;
+            }
+            files.push((name.clone(), hash));
+        }
+        Ok(SpoolVerifyReport { epoch: manifest.epoch, files, hashed })
+    }
+
     /// Win the merge flag and run (or spawn) the merge.
     fn trigger_merge(&self) {
         if self
@@ -2098,26 +2351,7 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
         for run in generation.runs_newest_first() {
             shadows = merge_newer_over_older(&shadows, &run.entries_in(lo, hi));
         }
-        let base = generation.base.range(lo, hi);
-        if shadows.is_empty() {
-            return base;
-        }
-        let mut out = Vec::with_capacity(base.len() + shadows.len());
-        let mut i = 0;
-        for (dk, dv) in shadows {
-            while i < base.len() && base[i].0 < dk {
-                out.push(base[i]);
-                i += 1;
-            }
-            while i < base.len() && base[i].0 == dk {
-                i += 1; // shadowed duplicate group
-            }
-            if let Some(v) = dv {
-                out.push((dk, v));
-            }
-        }
-        out.extend_from_slice(&base[i..]);
-        out
+        overlay_shadows(shadows, generation.base.range(lo, hi))
     }
 
     /// Partitioned batch execution: delta hits (values *and* tombstones)
@@ -2189,6 +2423,306 @@ impl<K: Key> QueryEngine<K> for WriteBehindEngine<K> {
         for (r, &i) in base_results.iter().zip(&pending_slots) {
             out[start + i] = *r;
         }
+    }
+}
+
+/// What [`WriteBehindEngine::verify_spool`] checked: every snapshot file
+/// the manifest references, with its verified content hash.
+#[derive(Debug, Clone)]
+pub struct SpoolVerifyReport {
+    /// The generation counter recorded in the manifest.
+    pub epoch: u64,
+    /// Every referenced snapshot file (base first, then runs, newest
+    /// level first) with its verified logical content hash.
+    pub files: Vec<(String, u64)>,
+    /// How many of those files the manifest carried a reference hash for
+    /// (fewer than `files.len()` only for spools written before manifest
+    /// hashes existed).
+    pub hashed: usize,
+}
+
+/// Decrements the engine's pin counter when the last handle to one
+/// [`PinnedView`] drops.
+struct PinGuard {
+    pins: Arc<AtomicUsize>,
+}
+
+impl Clone for PinGuard {
+    fn clone(&self) -> PinGuard {
+        self.pins.fetch_add(1, Ordering::Relaxed);
+        PinGuard { pins: Arc::clone(&self.pins) }
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.pins.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// A consistent point-in-time read handle over a [`WriteBehindEngine`],
+/// returned by [`WriteBehindEngine::snapshot`]: one pinned generation
+/// (base + run stack, shared by `Arc`) plus a frozen copy of the delta as
+/// of pin time. Implements [`QueryEngine`], and every read answers from
+/// exactly the mapping that was visible when the pin was taken — writes,
+/// merges, compactions, and rewrites racing the reads land in newer
+/// generations this handle never observes.
+///
+/// Cloning is cheap (two `Arc` clones and a counter bump) and shares the
+/// pin. The pinned generation's memory is reclaimed when the last clone
+/// drops; [`WriteBehindEngine::active_pins`] counts handles outstanding.
+///
+/// Reads through a pin are *not* recorded in the engine's access
+/// observability (`access_mix`, read-amp counters): a pin may outlive its
+/// engine, and historical reads would skew the advisor's picture of the
+/// live workload anyway.
+pub struct PinnedView<K: Key> {
+    generation: Arc<Generation<K>>,
+    /// Sorted, unique shadow entries: the delta (active merged over
+    /// frozen) at pin time, including the `K::MAX_KEY` entry when one
+    /// existed.
+    delta: Arc<[Shadow<K>]>,
+    /// The engine's exact visible-entry count at pin time.
+    visible_len: usize,
+    _pin: PinGuard,
+}
+
+impl<K: Key> Clone for PinnedView<K> {
+    fn clone(&self) -> PinnedView<K> {
+        PinnedView {
+            generation: Arc::clone(&self.generation),
+            delta: Arc::clone(&self.delta),
+            visible_len: self.visible_len,
+            _pin: self._pin.clone(),
+        }
+    }
+}
+
+impl<K: Key> PinnedView<K> {
+    /// The pinned generation's epoch (each merge/compaction/rewrite swap
+    /// increments the engine's; this one is frozen at pin time).
+    pub fn epoch(&self) -> u64 {
+        self.generation.epoch
+    }
+
+    /// Shadow entries frozen from the delta at pin time.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Immutable runs in the pinned stack.
+    pub fn run_count(&self) -> usize {
+        self.generation.run_count()
+    }
+
+    /// Content hash of the pinned base's logical entry stream.
+    pub fn base_hash(&self) -> u64 {
+        self.generation.base_hash
+    }
+
+    /// Content hash of each pinned run's logical shadow stream, newest
+    /// first. Runs frozen from identical logical state hash identically —
+    /// the dedupe handle for replica transfer and backup.
+    pub fn run_hashes(&self) -> Vec<u64> {
+        self.generation.runs_newest_first().map(|r| r.content_hash).collect()
+    }
+
+    /// The pinned base generation's backing data array (shared, not
+    /// copied). Useful for zero-copy export and for harnesses asserting
+    /// reclamation: a `Weak` of this fails to upgrade once the pin and
+    /// every newer reference to the generation are gone.
+    pub fn base_data(&self) -> Arc<SortedData<K>> {
+        Arc::clone(&self.generation.data)
+    }
+
+    /// The root content hash of the pinned *visible* mapping: one
+    /// [`content_hash_fold`] per visible entry in key order, over the
+    /// full ordered scan. Hash equality is logical-state equality — two
+    /// pins over identical mappings fingerprint identically no matter how
+    /// their physical tiers differ (delta vs. runs vs. base, flat vs.
+    /// leveled, before vs. after a compaction), and any visible
+    /// insert/remove/overwrite changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = CONTENT_HASH_SEED;
+        for (k, v) in self.range(K::MIN_KEY, K::MAX_KEY) {
+            h = content_hash_fold(h, k, Some(v));
+        }
+        // The ordered scan is half-open; an entry at the extreme key is
+        // visible but unreachable by any range, so probe it explicitly.
+        if let Some(v) = self.get(K::MAX_KEY) {
+            h = content_hash_fold(h, K::MAX_KEY, Some(v));
+        }
+        h
+    }
+
+    /// Shadow state of `key` in the frozen delta copy, or `None` when
+    /// only the pinned immutable tiers can answer.
+    fn delta_state(&self, key: K) -> Option<Option<u64>> {
+        self.delta.binary_search_by(|e| e.0.cmp(&key)).ok().map(|i| self.delta[i].1)
+    }
+
+    /// The frozen delta entries in `[lo, hi)`.
+    fn delta_entries_in(&self, lo: K, hi: K) -> &[Shadow<K>] {
+        let a = self.delta.partition_point(|e| e.0 < lo);
+        let b = self.delta.partition_point(|e| e.0 < hi);
+        &self.delta[a..b]
+    }
+
+    /// Batch path shared by the serial and parallel entry points: delta
+    /// hits answer from the frozen copy, run hits resolve newest-to-
+    /// oldest, and the remainder goes to the pinned base in one batch —
+    /// through its parallel path when `par` (so a sharded base fans the
+    /// non-shadowed majority out across cores).
+    fn get_batch_impl(&self, keys: &[K], out: &mut Vec<Option<u64>>, par: bool) {
+        if keys.is_empty() {
+            return;
+        }
+        let start = out.len();
+        out.resize(start + keys.len(), None);
+        let mut pending_keys = Vec::new();
+        let mut pending_slots = Vec::new();
+        for (i, &k) in keys.iter().enumerate() {
+            match self.delta_state(k) {
+                Some(state) => out[start + i] = state,
+                None => {
+                    pending_keys.push(k);
+                    pending_slots.push(i);
+                }
+            }
+        }
+        if !pending_keys.is_empty() && self.generation.run_count() > 0 {
+            let mut next_keys = Vec::with_capacity(pending_keys.len());
+            let mut next_slots = Vec::with_capacity(pending_slots.len());
+            'keys: for (&k, &i) in pending_keys.iter().zip(&pending_slots) {
+                let fprobe = FilterProbe::new(k.to_u64());
+                for entry in &self.generation.probe_runs {
+                    if k < entry.min_key || k > entry.max_key {
+                        continue;
+                    }
+                    if !entry.filter.may_contain_probe(&fprobe) {
+                        continue;
+                    }
+                    if let Some(state) = entry.run.probe_unpruned(k) {
+                        out[start + i] = state;
+                        continue 'keys;
+                    }
+                }
+                next_keys.push(k);
+                next_slots.push(i);
+            }
+            pending_keys = next_keys;
+            pending_slots = next_slots;
+        }
+        if pending_keys.is_empty() {
+            return;
+        }
+        let mut base_results = Vec::with_capacity(pending_keys.len());
+        if par {
+            self.generation.base.par_get_batch(&pending_keys, &mut base_results);
+        } else {
+            self.generation.base.get_batch(&pending_keys, &mut base_results);
+        }
+        for (r, &i) in base_results.iter().zip(&pending_slots) {
+            out[start + i] = *r;
+        }
+    }
+}
+
+impl<K: Key> QueryEngine<K> for PinnedView<K> {
+    fn name(&self) -> String {
+        format!("pinned[{}@{}]", self.generation.base.name(), self.generation.epoch)
+    }
+
+    /// The visible-entry count at pin time (same counting rule as
+    /// [`WriteBehindEngine::len`]).
+    fn len(&self) -> usize {
+        self.visible_len
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.generation.base.size_bytes()
+            + self.generation.runs_newest_first().map(|r| r.size_bytes()).sum::<usize>()
+            + self.delta.len() * std::mem::size_of::<Shadow<K>>()
+    }
+
+    /// The live engine's read path against the pinned tiers: frozen delta
+    /// first, then each run newest-to-oldest (fence- and filter-pruned),
+    /// then the pinned base — no lock anywhere; everything is immutable.
+    fn get(&self, key: K) -> Option<u64> {
+        if let Some(state) = self.delta_state(key) {
+            return state;
+        }
+        let fprobe = FilterProbe::new(key.to_u64());
+        for entry in &self.generation.probe_runs {
+            if key < entry.min_key || key > entry.max_key {
+                continue;
+            }
+            if !entry.filter.may_contain_probe(&fprobe) {
+                continue;
+            }
+            if let Some(state) = entry.run.probe_unpruned(key) {
+                return state;
+            }
+        }
+        self.generation.base.get(key)
+    }
+
+    /// Smallest visible entry `>= key` in the pinned mapping; a winning
+    /// tombstone advances the probe past its key, exactly like the live
+    /// engine — but with no lock to hold, because every tier is frozen.
+    fn lower_bound(&self, key: K) -> Option<(K, u64)> {
+        let mut probe = key;
+        loop {
+            let i = self.delta.partition_point(|e| e.0 < probe);
+            let mut best = self.delta.get(i).copied();
+            for entry in &self.generation.probe_runs {
+                if !entry.filter.may_contain_from(probe.to_u64()) {
+                    continue;
+                }
+                if let Some(cand) = entry.run.lower_bound(probe) {
+                    if best.as_ref().is_none_or(|b| cand.0 < b.0) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            if let Some((k, v)) = self.generation.base.lower_bound(probe) {
+                if best.as_ref().is_none_or(|b| k < b.0) {
+                    best = Some((k, Some(v)));
+                }
+            }
+            match best {
+                None => return None,
+                Some((k, Some(v))) => return Some((k, v)),
+                Some((k, None)) => match k.successor() {
+                    Some(next) => probe = next,
+                    None => return None,
+                },
+            }
+        }
+    }
+
+    /// Merge of the frozen delta range, each pinned run's range (newest
+    /// over older), and the pinned base range.
+    fn range(&self, lo: K, hi: K) -> Vec<(K, u64)> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let mut shadows: Vec<Shadow<K>> = self.delta_entries_in(lo, hi).to_vec();
+        for run in self.generation.runs_newest_first() {
+            shadows = merge_newer_over_older(&shadows, &run.entries_in(lo, hi));
+        }
+        overlay_shadows(shadows, self.generation.base.range(lo, hi))
+    }
+
+    fn get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        self.get_batch_impl(keys, out, false);
+    }
+
+    /// Like [`QueryEngine::get_batch`], routing the base-bound remainder
+    /// through the pinned base's own parallel path — a sharded base fans
+    /// the batch out across cores while the view stays consistent.
+    fn par_get_batch(&self, keys: &[K], out: &mut Vec<Option<u64>>) {
+        self.get_batch_impl(keys, out, true);
     }
 }
 
